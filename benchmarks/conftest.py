@@ -1,0 +1,33 @@
+"""Shared fixtures and report helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper and
+*asserts* the reproduced shape (who wins, by what factor, where the
+thresholds land), so ``pytest benchmarks/ --benchmark-only`` doubles as
+the reproduction check.  Each module also appends its rows to
+``benchmarks/results.txt`` so the numbers survive pytest's capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Append human-readable result blocks to benchmarks/results.txt."""
+    handle = RESULTS_PATH.open("a")
+
+    def write(title: str, body: str) -> None:
+        handle.write(f"\n=== {title} ===\n{body}\n")
+        handle.flush()
+
+    yield write
+    handle.close()
+
+
+def pytest_sessionstart(session):
+    # Start each benchmark session with a fresh results file.
+    if RESULTS_PATH.exists():
+        RESULTS_PATH.unlink()

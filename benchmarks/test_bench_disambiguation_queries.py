@@ -1,0 +1,131 @@
+"""Benchmark/ablation: §4 — the disambiguator queries logarithmically.
+
+Sweeps the number of overlapping stanzas n and measures how many
+questions each strategy asks to place a new stanza at the worst-case
+position:
+
+* FULL (the paper's §4 binary search)  — ceil(log2(n+1));
+* LINEAR (ablation baseline)           — O(n);
+* TOP_BOTTOM (the paper's prototype)   — exactly 1, but it can only
+  realise the top or bottom placement.
+
+Also checks the §7 limitation: TOP_BOTTOM cannot implement a
+middle-of-map intent, while FULL places it correctly.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import eval_route_map
+from repro.config import parse_config
+from repro.config.names import rename_snippet_lists
+from repro.core import (
+    CountingOracle,
+    DisambiguationMode,
+    IntentOracle,
+    disambiguate_stanza,
+)
+
+SWEEP = (2, 4, 8, 16, 32, 63)
+
+
+def overlapping_map(n: int):
+    """A route-map of n deny stanzas, each matching one metric value."""
+    lines = []
+    for i in range(n):
+        lines.append(f"route-map RM deny {10 * (i + 1)}")
+        lines.append(f" match metric {i}")
+    return parse_config("\n".join(lines))
+
+
+def new_permit_snippet(store):
+    snippet = parse_config("route-map NEW permit 10\n set local-preference 200")
+    return rename_snippet_lists(snippet, store)
+
+
+def middle_intent(n: int):
+    """Ground truth: the new stanza belongs exactly in the middle."""
+
+    def intended(route, n=n):
+        if route.metric < n // 2:
+            return ("deny", None)
+        return ("permit", route.with_updates(local_preference=200))
+
+    return intended
+
+
+def questions_for(n: int, mode: DisambiguationMode) -> int:
+    store = overlapping_map(n)
+    snippet = new_permit_snippet(store)
+    oracle = CountingOracle(IntentOracle(middle_intent(n)))
+    result = disambiguate_stanza(store, "RM", snippet, oracle, mode)
+    if mode is DisambiguationMode.FULL or mode is DisambiguationMode.LINEAR:
+        assert result.position == n // 2, (mode, n, result.position)
+    return result.question_count
+
+
+def run_sweep():
+    rows = []
+    for n in SWEEP:
+        full = questions_for(n, DisambiguationMode.FULL)
+        linear = questions_for(n, DisambiguationMode.LINEAR)
+        rows.append((n, full, linear))
+    return rows
+
+
+def test_bench_disambiguation_queries(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    lines = [f"{'n overlaps':<12}{'binary (§4)':<14}{'linear scan':<14}{'ceil(log2(n+1))'}"]
+    for n, full, linear in rows:
+        bound = math.ceil(math.log2(n + 1))
+        assert full <= bound, (n, full)
+        # Linear scan to the middle costs ~n/2 questions; binary search
+        # must win by a growing factor.
+        assert linear >= n // 2
+        if n >= 8:
+            assert full < linear
+        lines.append(f"{n:<12}{full:<14}{linear:<14}{bound}")
+    report("§4 ablation: questions vs overlap count", "\n".join(lines))
+
+
+def test_top_bottom_cannot_place_in_middle(report):
+    n = 8
+    store = overlapping_map(n)
+    snippet = new_permit_snippet(store)
+
+    # With FULL mode the middle intent is realised...
+    oracle = CountingOracle(IntentOracle(middle_intent(n)))
+    full = disambiguate_stanza(
+        store, "RM", snippet, oracle, DisambiguationMode.FULL
+    )
+    assert full.position == n // 2
+
+    # ...with TOP_BOTTOM the intent oracle cannot even answer: neither
+    # offered option matches the intended middle semantics on every
+    # differential input, so a fixed preference lands at top or bottom.
+    from repro.core import ScriptedOracle
+
+    for choice, position in ((1, 0), (2, n)):
+        result = disambiguate_stanza(
+            store,
+            "RM",
+            snippet,
+            CountingOracle(ScriptedOracle([choice])),
+            DisambiguationMode.TOP_BOTTOM,
+        )
+        assert result.position == position
+        assert result.question_count == 1
+        # Neither placement implements the middle intent.
+        rm = result.store.route_map("RM")
+        from repro.route import BgpRoute
+
+        low = BgpRoute.build("1.0.0.0/8", metric=0)
+        high = BgpRoute.build("1.0.0.0/8", metric=n - 1)
+        low_result = eval_route_map(rm, result.store, low)
+        high_result = eval_route_map(rm, result.store, high)
+        intended = middle_intent(n)
+        ok_low = low_result.behaviour_key() == intended(low)
+        ok_high = high_result.behaviour_key() == intended(high)
+        assert not (ok_low and ok_high)

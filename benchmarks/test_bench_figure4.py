@@ -1,0 +1,37 @@
+"""Benchmark: Figure 4 — incremental synthesis of the Figure 3 routers.
+
+Regenerates the paper's per-router table (#route-maps, #LLM calls,
+#disambiguation interactions) and checks the five global policies on
+the simulated network, plus the §5 claim that every stanza synthesised
+in a single pass.
+"""
+
+from repro.evalcase import build_figure3, figure4_rows
+
+PAPER_FIGURE_4 = {
+    "M": (4, 9, 5),
+    "R1": (5, 12, 6),
+    "R2": (5, 12, 6),
+}
+
+
+def test_bench_figure4(benchmark, report):
+    result = benchmark.pedantic(build_figure3, rounds=1, iterations=1)
+
+    rows = figure4_rows(result.stats)
+    assert {name: tuple(rest) for name, *rest in rows} == PAPER_FIGURE_4
+    assert all(result.policy_results.values()), result.policy_results
+    for stats in result.stats:
+        assert stats.llm_calls == 3 * stats.stanzas  # single-pass synthesis
+
+    lines = [
+        f"{'Router':<8}{'#Route-maps':<14}{'#LLM calls':<12}{'#Disambiguation'}"
+    ]
+    for name, maps, calls, interactions in rows:
+        lines.append(f"{name:<8}{maps:<14}{calls:<12}{interactions}")
+    lines.append("")
+    lines.append("paper:   M 4/9/5, R1 5/12/6, R2 5/12/6  -> reproduced exactly")
+    lines.append("global policies: " + ", ".join(
+        f"{k}={'PASS' if v else 'FAIL'}" for k, v in result.policy_results.items()
+    ))
+    report("Figure 4 (per-router synthesis statistics)", "\n".join(lines))

@@ -1,0 +1,87 @@
+"""Benchmark/ablation: §7 — do richer LLM augmentations help?
+
+The paper asks whether augmentation beyond plain few-shot examples
+(chain-of-thought, RAG, agentic loops) would improve synthesis.  This
+bench measures one concrete axis with everything else held fixed:
+**self-consistency majority voting** in front of a fault-injected model,
+against the plain verify-and-retry loop, at equal or lower total model
+call budgets.
+"""
+
+from repro.core import SynthesisPunt
+from repro.core.synthesis import SynthesisPipeline
+from repro.llm import FaultyLLM, SimulatedLLM
+from repro.llm.strategies import MajorityVoteLLM
+
+INTENT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+ERROR_RATES = (0.3, 0.5, 0.7)
+TRIALS = 30
+MAX_ATTEMPTS = 3
+
+
+def run(error_rate: float, vote_k: int):
+    """(successes, punts, mean synthesis attempts) over TRIALS."""
+    successes = punts = 0
+    attempts_total = 0
+    for trial in range(TRIALS):
+        inner = FaultyLLM(SimulatedLLM(), error_rate, seed=trial)
+        llm = MajorityVoteLLM(inner, k=vote_k) if vote_k > 1 else inner
+        pipeline = SynthesisPipeline(llm, max_attempts=MAX_ATTEMPTS)
+        try:
+            result = pipeline.synthesize(INTENT)
+        except SynthesisPunt:
+            punts += 1
+            attempts_total += MAX_ATTEMPTS
+        else:
+            successes += 1
+            attempts_total += result.attempts
+    return successes, punts, attempts_total / TRIALS
+
+
+def sweep():
+    rows = []
+    for rate in ERROR_RATES:
+        plain = run(rate, vote_k=1)
+        voted = run(rate, vote_k=5)
+        rows.append((rate, plain, voted))
+    return rows
+
+
+def test_bench_llm_strategies(benchmark, report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"{'fault rate':<12}{'plain attempts':<16}{'plain punts':<13}"
+        f"{'voted attempts':<16}{'voted punts'}"
+    ]
+    for rate, (p_ok, p_punts, p_attempts), (v_ok, v_punts, v_attempts) in rows:
+        lines.append(
+            f"{rate:<12}{p_attempts:<16.2f}{p_punts:<13}{v_attempts:<16.2f}"
+            f"{v_punts}"
+        )
+
+    by_rate = {r: (plain, voted) for r, plain, voted in rows}
+    # Below the p=0.5 crossover, voting reduces retry pressure without
+    # increasing punts...
+    for rate in (0.3, 0.5):
+        plain, voted = by_rate[rate]
+        assert voted[1] <= plain[1]
+        assert voted[2] <= plain[2] + 1e-9
+    # ...and above it, the majority itself flips to corrupted outputs,
+    # so voting stops helping — the theoretically expected crossover
+    # (self-consistency assumes a mostly-correct sampler).
+    plain, voted = by_rate[0.7]
+    assert voted[1] >= plain[1]
+
+    report(
+        "§7 ablation: self-consistency voting vs plain retry loop",
+        "\n".join(lines)
+        + "\n\nvoting reduces retry pressure below the p=0.5 crossover and"
+        "\nstops helping above it; correctness is unchanged either way"
+        "\n(only verified stanzas ever ship)",
+    )

@@ -1,0 +1,78 @@
+"""Benchmark: the §2 walkthrough (ISP_OUT + the paper's intent).
+
+Regenerates the §2.1/§2.2 artifacts — the synthesised snippet, the JSON
+spec, and the differential example — and times one full Clarify cycle.
+"""
+
+import json
+
+from repro.analysis import eval_route_map
+from repro.config import parse_config
+from repro.core import ClarifySession, DisambiguationMode, ScriptedOracle
+from repro.llm import PromptDatabase, SimulatedLLM, TaskKind
+from repro.route import BgpRoute
+
+ISP_OUT = """
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+"""
+
+INTENT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+
+def run_full_cycle():
+    session = ClarifySession(
+        store=parse_config(ISP_OUT),
+        oracle=ScriptedOracle([1]),
+        mode=DisambiguationMode.TOP_BOTTOM,
+    )
+    report = session.request(INTENT, "ISP_OUT")
+    return session, report
+
+
+def test_bench_walkthrough_cycle(benchmark, report):
+    session, update = run_full_cycle()
+    benchmark(run_full_cycle)
+
+    # Paper shape: single-pass synthesis, one differential question,
+    # Figure 2(a) as the outcome, the spec exactly as printed in §2.1.
+    assert update.attempts == 1
+    assert update.llm_calls == 3
+    assert update.questions == 1
+    assert update.position == 0
+
+    spec = json.loads(
+        SimulatedLLM().complete(
+            PromptDatabase().system_prompt(TaskKind.ROUTE_MAP_SPEC), INTENT
+        )
+    )
+    assert spec == {
+        "permit": True,
+        "prefix": ["100.0.0.0/16:16-23"],
+        "community": "/_300:3_/",
+        "set": {"metric": 55},
+    }
+
+    rm = session.store.route_map("ISP_OUT")
+    probe = BgpRoute.build("100.0.0.0/16", as_path=[32], communities=["300:3"])
+    outcome = eval_route_map(rm, session.store, probe)
+    assert outcome.permitted() and outcome.output.metric == 55
+
+    question = session.oracle.questions[0].difference
+    report(
+        "§2 walkthrough",
+        "spec: " + json.dumps(spec) + "\n\ndifferential example:\n"
+        + question.render(),
+    )

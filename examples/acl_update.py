@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Incremental ACL updates with disambiguation.
+
+An edge ACL permits datacenter traffic and ends with a catch-all deny.
+The operator wants to block SSH from one subnet — an update whose
+correct position is ambiguous: above the broad permit (blocking SSH) or
+below it (doing nothing).  Clarify synthesises the rule, finds the
+overlapping rules, and asks one differential question to place it.
+
+Run:  python examples/acl_update.py
+"""
+
+from repro.analysis import eval_acl
+from repro.config import parse_config, render_config
+from repro.core import ClarifySession, IntentOracle
+from repro.route import Packet
+
+EDGE_ACL = """\
+ip access-list extended EDGE_IN
+ 10 permit udp any any eq 53
+ 20 permit tcp 10.0.0.0 0.255.255.255 any
+ 30 deny ip any any
+"""
+
+INTENT = (
+    "Add a rule that denies tcp traffic from 10.9.0.0/16 to any on "
+    "destination port 22."
+)
+
+
+def operator_intent(packet: Packet) -> tuple:
+    """The operator's ground truth: SSH from 10.9/16 must be blocked;
+    everything else behaves as before."""
+    blocked = (
+        packet.protocol == 6
+        and packet.dst_port == 22
+        and str(packet.src_ip).startswith("10.9.")
+    )
+    if blocked:
+        return ("deny",)
+    return eval_acl(parse_config(EDGE_ACL).acl("EDGE_IN"), packet).behaviour_key()
+
+
+def main() -> None:
+    print("The existing ACL:\n")
+    print(EDGE_ACL)
+    print("The update intent:\n ", INTENT, "\n")
+
+    session = ClarifySession(store=parse_config(EDGE_ACL))
+    report = session.request(
+        INTENT, "EDGE_IN", oracle=IntentOracle(operator_intent)
+    )
+
+    print(f"pipeline: {report.llm_calls} LLM calls, "
+          f"{report.attempts} synthesis attempt(s)")
+    print(f"overlapping rules (indices): {list(report.overlaps)}")
+    print(f"questions asked: {report.questions}")
+    print(f"rule inserted at position {report.position}\n")
+
+    acl = session.store.acl("EDGE_IN")
+    print(render_config(session.store))
+
+    print("\nBehaviour checks:")
+    probes = [
+        ("SSH from 10.9.1.1", Packet.build("10.9.1.1", "8.8.8.8", dst_port=22)),
+        ("HTTPS from 10.9.1.1", Packet.build("10.9.1.1", "8.8.8.8", dst_port=443)),
+        ("SSH from 10.8.1.1", Packet.build("10.8.1.1", "8.8.8.8", dst_port=22)),
+        ("DNS from anywhere", Packet.build("4.4.4.4", "8.8.8.8", protocol=17, dst_port=53)),
+    ]
+    for label, packet in probes:
+        print(f"  {label:<22} -> {eval_acl(acl, packet).action}")
+
+
+if __name__ == "__main__":
+    main()

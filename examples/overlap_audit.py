@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Auditing a configuration corpus for overlaps (the Section 3 study).
+
+Generates scaled-down synthetic cloud-WAN and campus corpora and runs
+the overlap analyzer over them, printing the same statistics the paper
+reports.  Use ``--full`` to run at the paper's corpus sizes (takes about
+a minute for the campus corpus).
+
+Run:  python examples/overlap_audit.py [--full]
+"""
+
+import argparse
+
+from repro.overlap import (
+    AclCorpusStats,
+    RouteMapCorpusStats,
+    acl_overlap_report,
+    route_map_overlap_report,
+)
+from repro.synth import generate_campus_corpus, generate_cloud_corpus
+from repro.synth.campus import TOTAL_ACLS, TOTAL_ROUTE_MAPS
+
+
+def audit(label, acls, route_maps, store) -> None:
+    print(f"\n=== {label} ===")
+    acl_stats = AclCorpusStats.collect(acl_overlap_report(a) for a in acls)
+    print(acl_stats.render())
+    print()
+    rm_stats = RouteMapCorpusStats.collect(
+        route_map_overlap_report(rm, store) for rm in route_maps
+    )
+    print(rm_stats.render())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at the paper's corpus sizes (slower)",
+    )
+    args = parser.parse_args()
+    scale = 1.0 if args.full else 0.05
+
+    cloud = generate_cloud_corpus(scale=scale)
+    audit(
+        f"cloud WAN corpus (scale {scale})",
+        cloud.acls,
+        cloud.route_maps,
+        cloud.store,
+    )
+
+    campus = generate_campus_corpus(
+        total_acls=max(1, round(TOTAL_ACLS * scale)),
+        route_maps=TOTAL_ROUTE_MAPS if args.full else max(5, round(TOTAL_ROUTE_MAPS * scale)),
+    )
+    audit(
+        f"campus corpus (scale {scale})",
+        campus.acls,
+        campus.route_maps,
+        campus.store,
+    )
+
+    print(
+        "\nPaper reference (§3): cloud: 69/237 ACLs overlapping, 48 with "
+        ">20; 140/800 route-maps overlapping, 3 with >20.\n"
+        "Campus: 37.7% conflicting (27% of those >20); 18.6% non-trivial "
+        "(16.3% of those >20); 2/169 route-maps overlapping."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Clarify: LLM-based incremental network configuration synthesis with
+intent disambiguation.
+
+A from-scratch reproduction of Mondal et al., *Tackling Ambiguity in
+User Intent for LLM-based Network Configuration Synthesis* (HotNets
+'25).  The top-level package re-exports the pieces a typical user needs;
+the subpackages are:
+
+* :mod:`repro.core` — the Clarify pipeline and disambiguator;
+* :mod:`repro.analysis` — the symbolic route/packet-space engine;
+* :mod:`repro.config` — the Cisco IOS configuration model and parser;
+* :mod:`repro.llm` — the LLM interface and the simulated model;
+* :mod:`repro.overlap` / :mod:`repro.synth` — the §3 measurement study;
+* :mod:`repro.bgp` / :mod:`repro.evalcase` — the §5 evaluation;
+* :mod:`repro.netaddr`, :mod:`repro.regexlib`, :mod:`repro.route` —
+  foundation value types and the regex engine.
+"""
+
+from repro.config import ConfigStore, parse_config, render_config
+from repro.core import (
+    ClarifySession,
+    DisambiguationMode,
+    IntentOracle,
+    ScriptedOracle,
+    UpdateReport,
+)
+from repro.llm import LLMClient, SimulatedLLM
+from repro.route import BgpRoute, Packet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BgpRoute",
+    "ClarifySession",
+    "ConfigStore",
+    "DisambiguationMode",
+    "IntentOracle",
+    "LLMClient",
+    "Packet",
+    "ScriptedOracle",
+    "SimulatedLLM",
+    "UpdateReport",
+    "parse_config",
+    "render_config",
+    "__version__",
+]

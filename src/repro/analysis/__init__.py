@@ -1,0 +1,75 @@
+"""The symbolic analysis engine (our Batfish equivalent).
+
+This package provides the behavioural analyses the paper obtains from
+Batfish:
+
+* :mod:`repro.analysis.evaluate` — concrete first-match evaluation of
+  route-maps on routes and ACLs on packets;
+* :mod:`repro.analysis.prefixspace` — the prefix+length-range region
+  algebra underlying symbolic prefix-list reasoning;
+* :mod:`repro.analysis.routespace` / :mod:`repro.analysis.headerspace` —
+  symbolic route and packet spaces (unions of per-field product regions)
+  with guard translation and per-stanza reachable-space computation;
+* :mod:`repro.analysis.search` — ``search_route_policies`` /
+  ``search_filters``: spec-conformance checks with counterexamples;
+* :mod:`repro.analysis.compare` — ``compare_route_policies`` /
+  ``compare_filters``: differential witnesses between two policies, the
+  primitive the disambiguator is built on.
+"""
+
+from repro.analysis.compare import (
+    BehaviorDifference,
+    PacketDifference,
+    compare_filters,
+    compare_route_policies,
+)
+from repro.analysis.evaluate import (
+    AclResult,
+    RouteMapResult,
+    eval_acl,
+    eval_route_map,
+)
+from repro.analysis.headerspace import (
+    PacketRegion,
+    PacketSpace,
+    acl_guard_space,
+    acl_reachable_spaces,
+)
+from repro.analysis.prefixspace import PrefixAtom, PrefixSpace
+from repro.analysis.routespace import (
+    RouteRegion,
+    RouteSpace,
+    stanza_guard_space,
+    route_map_reachable_spaces,
+)
+from repro.analysis.search import (
+    FilterSearchResult,
+    RoutePolicySearchResult,
+    search_filters,
+    search_route_policies,
+)
+
+__all__ = [
+    "AclResult",
+    "BehaviorDifference",
+    "FilterSearchResult",
+    "PacketDifference",
+    "PacketRegion",
+    "PacketSpace",
+    "PrefixAtom",
+    "PrefixSpace",
+    "RouteMapResult",
+    "RoutePolicySearchResult",
+    "RouteRegion",
+    "RouteSpace",
+    "acl_guard_space",
+    "acl_reachable_spaces",
+    "compare_filters",
+    "compare_route_policies",
+    "eval_acl",
+    "eval_route_map",
+    "search_filters",
+    "search_route_policies",
+    "stanza_guard_space",
+    "route_map_reachable_spaces",
+]

@@ -1,0 +1,330 @@
+"""Differential comparison of two policies (``compareRoutePolicies``).
+
+Given two route-maps (or two ACLs) this module finds concrete inputs on
+which they behave differently, together with both outcomes — exactly the
+differential examples Clarify shows the user (§2.2 of the paper).
+
+The search intersects the per-stanza *reachable* spaces of the two
+policies: within one intersection cell, each policy's action and
+transform are fixed, so a behavioural difference is decidable per cell.
+When both stanzas permit, the observable difference lives in the
+transforms; a cell witness whose outputs coincide by accident (e.g. the
+input metric already equals the ``set metric`` value) is *de-coincided*
+by nudging unconstrained fields while staying inside the cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.evaluate import (
+    AclResult,
+    RouteMapResult,
+    eval_acl,
+    eval_route_map,
+)
+from repro.analysis.headerspace import PacketSpace, acl_reachable_spaces
+from repro.analysis.routespace import RouteRegion, RouteSpace, route_map_reachable_spaces
+from repro.config.acl import Acl
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.config.sets import (
+    SetAsPathPrepend,
+    SetCommunity,
+    SetLocalPreference,
+    SetMetric,
+    SetNextHop,
+    SetTag,
+    SetWeight,
+)
+from repro.config.store import ConfigStore
+from repro.netaddr import IntervalSet, Ipv4Address
+from repro.regexlib.cisco import community_matches, find_community
+from repro.route import BgpRoute, Packet
+
+
+@dataclasses.dataclass(frozen=True)
+class BehaviorDifference:
+    """One route on which two route-maps disagree, with both outcomes."""
+
+    route: BgpRoute
+    result_a: RouteMapResult
+    result_b: RouteMapResult
+
+    @property
+    def subject(self) -> BgpRoute:
+        """The differential input (uniform across difference kinds)."""
+        return self.route
+
+    def render(self) -> str:
+        """The paper's §2.2 display: the input route and both options."""
+        return (
+            self.route.render()
+            + "\n\nOPTION 1:\n\n"
+            + self.result_a.render()
+            + "\n\nOPTION 2:\n\n"
+            + self.result_b.render()
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PacketDifference:
+    """One packet on which two ACLs disagree, with both outcomes."""
+
+    packet: Packet
+    result_a: AclResult
+    result_b: AclResult
+
+    @property
+    def subject(self) -> Packet:
+        """The differential input (uniform across difference kinds)."""
+        return self.packet
+
+    def render(self) -> str:
+        return (
+            self.packet.render()
+            + "\n\nOPTION 1:\n\n"
+            + self.result_a.render()
+            + "\n\nOPTION 2:\n\n"
+            + self.result_b.render()
+        )
+
+
+# --------------------------------------------------- transform summaries
+
+
+def transform_summary(stanza: RouteMapStanza) -> Dict[str, object]:
+    """A canonical description of a permit stanza's output function.
+
+    Two permit stanzas with equal summaries produce identical outputs on
+    every input; the verifier also uses this to compare a stanza's set
+    clauses against a specification's ``set`` object.
+    """
+    summary: Dict[str, object] = {}
+    for clause in stanza.sets:
+        if isinstance(clause, SetMetric):
+            summary["metric"] = clause.value
+        elif isinstance(clause, SetLocalPreference):
+            summary["local_preference"] = clause.value
+        elif isinstance(clause, SetTag):
+            summary["tag"] = clause.value
+        elif isinstance(clause, SetWeight):
+            summary["weight"] = clause.value
+        elif isinstance(clause, SetNextHop):
+            summary["next_hop"] = str(clause.address)
+        elif isinstance(clause, SetCommunity):
+            summary["community"] = (
+                tuple(sorted(clause.communities)),
+                clause.additive,
+            )
+        elif isinstance(clause, SetAsPathPrepend):
+            summary["prepend"] = clause.asns
+    return summary
+
+
+_SCALAR_REGION_FIELDS = {"metric", "local_preference", "tag"}
+
+
+def _decoincide(
+    route: BgpRoute,
+    cell: RouteRegion,
+    summary_a: Dict[str, object],
+    summary_b: Dict[str, object],
+) -> Optional[BgpRoute]:
+    """Nudge ``route`` inside ``cell`` so differing transforms become visible.
+
+    Returns a replacement route, or None if no nudge can expose a
+    difference (meaning the two stanzas genuinely coincide on the cell).
+    """
+    for field in sorted(set(summary_a) | set(summary_b)):
+        in_a, in_b = field in summary_a, field in summary_b
+        if in_a and in_b:
+            # Both set the field; outputs are input-independent, so if they
+            # coincided on the witness they coincide everywhere.
+            continue
+        present = summary_a.get(field, summary_b.get(field))
+        if field in _SCALAR_REGION_FIELDS:
+            allowed: IntervalSet = getattr(cell, field)
+            candidates = allowed.subtract(IntervalSet.single(int(present)))
+            if candidates.is_empty():
+                continue
+            return route.with_updates(**{field: candidates.min()})
+        if field == "weight":
+            new_weight = 0 if int(present) != 0 else 1
+            return route.with_updates(weight=new_weight)
+        if field == "next_hop":
+            current = str(route.next_hop)
+            fresh = "0.0.0.2" if current == str(present) else current
+            if fresh == current:
+                continue
+            return route.with_updates(next_hop=Ipv4Address.parse(fresh))
+        if field == "community":
+            nudged = _decoincide_communities(route, cell, present)
+            if nudged is not None:
+                return nudged
+        if field == "prepend":
+            # Prepending always changes the AS path; a coincident witness is
+            # impossible, so nothing to do here.
+            continue
+    return None
+
+
+def _decoincide_communities(
+    route: BgpRoute, cell: RouteRegion, present: object
+) -> Optional[BgpRoute]:
+    """Add a community that stays in-cell but distinguishes replace/none."""
+    communities, additive = present  # type: ignore[misc]
+    forbidden = list(cell.communities_forbidden)
+    # The fresh community must avoid the cell's forbidden patterns and not
+    # already be produced by the transform.
+    taken = set(communities) | set(route.communities)
+    for candidate_seed in range(64000, 64050):
+        candidate = f"{candidate_seed}:99"
+        if candidate in taken:
+            continue
+        if any(community_matches(p, candidate) for p in forbidden):
+            continue
+        nudged = route.with_updates(
+            communities=frozenset(route.communities) | {candidate}
+        )
+        if cell.contains(nudged):
+            return nudged
+    found = find_community([], forbidden)
+    if found is not None and found not in taken:
+        nudged = route.with_updates(
+            communities=frozenset(route.communities) | {found}
+        )
+        if cell.contains(nudged):
+            return nudged
+    return None
+
+
+# ------------------------------------------------------------ route maps
+
+
+def compare_route_policies(
+    map_a: RouteMap,
+    map_b: RouteMap,
+    store: ConfigStore,
+    store_b: Optional[ConfigStore] = None,
+    max_differences: Optional[int] = None,
+) -> List[BehaviorDifference]:
+    """Find routes on which the two route-maps behave differently.
+
+    Mirrors Batfish's ``compareRoutePolicies``: the result is a list of
+    concrete differential examples (possibly empty when the policies are
+    behaviourally equivalent).  ``max_differences`` stops the search early
+    — the disambiguator only needs one example per question.
+    """
+    store_b = store_b if store_b is not None else store
+    reaches_a = route_map_reachable_spaces(map_a, store, include_implicit_deny=True)
+    reaches_b = route_map_reachable_spaces(map_b, store_b, include_implicit_deny=True)
+
+    differences: List[BehaviorDifference] = []
+    seen_routes = set()
+    for stanza_a, space_a in reaches_a:
+        for stanza_b, space_b in reaches_b:
+            if _same_outcome(stanza_a, stanza_b):
+                continue
+            overlap = space_a.intersect(space_b)
+            for cell in overlap.regions:
+                difference = _cell_difference(
+                    cell, map_a, map_b, store, store_b, stanza_a, stanza_b
+                )
+                if difference is None:
+                    continue
+                if difference.route in seen_routes:
+                    continue
+                seen_routes.add(difference.route)
+                differences.append(difference)
+                if (
+                    max_differences is not None
+                    and len(differences) >= max_differences
+                ):
+                    return differences
+                break  # one example per stanza pair is enough
+    return differences
+
+
+def _same_outcome(
+    stanza_a: Optional[RouteMapStanza], stanza_b: Optional[RouteMapStanza]
+) -> bool:
+    """True when the outcome is identical for every route, skip the cell."""
+    action_a = stanza_a.action if stanza_a is not None else "deny"
+    action_b = stanza_b.action if stanza_b is not None else "deny"
+    if action_a != action_b:
+        return False
+    if action_a == "deny":
+        return True
+    return transform_summary(stanza_a) == transform_summary(stanza_b)
+
+
+def _cell_difference(
+    cell: RouteRegion,
+    map_a: RouteMap,
+    map_b: RouteMap,
+    store: ConfigStore,
+    store_b: ConfigStore,
+    stanza_a: Optional[RouteMapStanza],
+    stanza_b: Optional[RouteMapStanza],
+) -> Optional[BehaviorDifference]:
+    route = cell.witness()
+    if route is None:
+        return None
+    result_a = eval_route_map(map_a, store, route)
+    result_b = eval_route_map(map_b, store_b, route)
+    if result_a.behaviour_key() != result_b.behaviour_key():
+        return BehaviorDifference(route, result_a, result_b)
+    # Both permitted with coincidentally equal outputs: nudge the witness.
+    if stanza_a is not None and stanza_b is not None:
+        nudged = _decoincide(
+            route, cell, transform_summary(stanza_a), transform_summary(stanza_b)
+        )
+        if nudged is not None:
+            result_a = eval_route_map(map_a, store, nudged)
+            result_b = eval_route_map(map_b, store_b, nudged)
+            if result_a.behaviour_key() != result_b.behaviour_key():
+                return BehaviorDifference(nudged, result_a, result_b)
+    return None
+
+
+# ------------------------------------------------------------------ ACLs
+
+
+def compare_filters(
+    acl_a: Acl,
+    acl_b: Acl,
+    max_differences: Optional[int] = None,
+) -> List[PacketDifference]:
+    """Find packets on which the two ACLs disagree (permit vs deny)."""
+    reaches_a = acl_reachable_spaces(acl_a, include_implicit_deny=True)
+    reaches_b = acl_reachable_spaces(acl_b, include_implicit_deny=True)
+    differences: List[PacketDifference] = []
+    seen = set()
+    for rule_a, space_a in reaches_a:
+        action_a = rule_a.action if rule_a is not None else "deny"
+        for rule_b, space_b in reaches_b:
+            action_b = rule_b.action if rule_b is not None else "deny"
+            if action_a == action_b:
+                continue
+            overlap = space_a.intersect(space_b)
+            packet = overlap.witness()
+            if packet is None or packet in seen:
+                continue
+            result_a = eval_acl(acl_a, packet)
+            result_b = eval_acl(acl_b, packet)
+            if result_a.behaviour_key() == result_b.behaviour_key():
+                continue
+            seen.add(packet)
+            differences.append(PacketDifference(packet, result_a, result_b))
+            if max_differences is not None and len(differences) >= max_differences:
+                return differences
+    return differences
+
+
+__all__ = [
+    "BehaviorDifference",
+    "PacketDifference",
+    "compare_filters",
+    "compare_route_policies",
+]

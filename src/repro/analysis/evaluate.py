@@ -1,0 +1,110 @@
+"""Concrete first-match evaluation of route-maps and ACLs.
+
+This is the executable semantics the paper's Section 4 formalises: a
+policy is a list of rules, the leftmost matching rule handles the input
+(the function ``M``), and a missing match falls through to the implicit
+deny.  The symbolic engine and the BGP simulator both defer to these
+definitions; differential examples are validated against them before
+being shown to the user.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.config.acl import Acl, AclRule
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.config.store import ConfigStore
+from repro.route import BgpRoute, Packet
+
+PERMIT = "permit"
+DENY = "deny"
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteMapResult:
+    """The outcome of running one route through a route-map."""
+
+    action: str
+    #: The transformed route when permitted; None when denied.
+    output: Optional[BgpRoute]
+    #: Sequence number of the stanza that handled the route; None when the
+    #: route fell through to the implicit deny.
+    stanza_seq: Optional[int]
+
+    def permitted(self) -> bool:
+        return self.action == PERMIT
+
+    def render(self, indent: str = "") -> str:
+        """The paper's OPTION display format (§2.2)."""
+        lines = [f"ACTION: {self.action}"]
+        text = "\n".join(indent + line for line in lines)
+        if self.output is not None:
+            text += "\n" + self.output.render(indent)
+        return text
+
+    def behaviour_key(self) -> tuple:
+        """Everything observable about the outcome except which stanza fired."""
+        return (self.action, self.output)
+
+
+def stanza_matches(
+    stanza: RouteMapStanza, route: BgpRoute, store: ConfigStore
+) -> bool:
+    """All of the stanza's match clauses succeed (empty clauses match all)."""
+    return all(clause.matches(route, store) for clause in stanza.matches)
+
+
+def apply_sets(stanza: RouteMapStanza, route: BgpRoute) -> BgpRoute:
+    for clause in stanza.sets:
+        route = clause.apply(route)
+    return route
+
+
+def eval_route_map(
+    route_map: RouteMap, store: ConfigStore, route: BgpRoute
+) -> RouteMapResult:
+    """Run ``route`` through ``route_map`` (first match wins, implicit deny)."""
+    for stanza in route_map.stanzas:
+        if stanza_matches(stanza, route, store):
+            if stanza.action == PERMIT:
+                return RouteMapResult(PERMIT, apply_sets(stanza, route), stanza.seq)
+            return RouteMapResult(DENY, None, stanza.seq)
+    return RouteMapResult(DENY, None, None)
+
+
+@dataclasses.dataclass(frozen=True)
+class AclResult:
+    """The outcome of running one packet through an ACL."""
+
+    action: str
+    #: Sequence number of the matching rule; None for the implicit deny.
+    rule_seq: Optional[int]
+
+    def permitted(self) -> bool:
+        return self.action == PERMIT
+
+    def render(self, indent: str = "") -> str:
+        return f"{indent}ACTION: {self.action}"
+
+    def behaviour_key(self) -> tuple:
+        return (self.action,)
+
+
+def eval_acl(acl: Acl, packet: Packet) -> AclResult:
+    """Run ``packet`` through ``acl`` (first match wins, implicit deny)."""
+    rule: Optional[AclRule] = acl.first_match(packet)
+    if rule is None:
+        return AclResult(DENY, None)
+    return AclResult(rule.action, rule.seq)
+
+
+__all__ = [
+    "AclResult",
+    "RouteMapResult",
+    "apply_sets",
+    "eval_acl",
+    "eval_route_map",
+    "stanza_matches",
+]

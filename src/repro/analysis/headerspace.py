@@ -1,0 +1,326 @@
+"""Symbolic packet (header) spaces for ACL analysis.
+
+Packets are simpler than routes: every field is a finite integer domain,
+so a :class:`PacketRegion` is a product of interval sets plus a tri-state
+TCP-established constraint, and all operations are exact — no automaton
+search needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.config.acl import (
+    FULL_PORT_RANGE,
+    FULL_PROTOCOL_RANGE,
+    Acl,
+    AclRule,
+)
+from repro.netaddr import IntervalSet, Ipv4Address, Ipv4Wildcard
+from repro.route.packet import PROTOCOL_NUMBERS, Packet
+
+U32 = IntervalSet.closed(0, 0xFFFFFFFF)
+BOTH = frozenset((True, False))
+_TCP = PROTOCOL_NUMBERS["tcp"]
+_UDP = PROTOCOL_NUMBERS["udp"]
+
+#: Refuse to expand wildcard masks with more scattered don't-care bits
+#: than this (2^10 intervals); real configurations use prefix-like masks.
+_MAX_SCATTERED_BITS = 10
+
+
+class HeaderSpaceError(RuntimeError):
+    """Raised for wildcard masks too pathological to expand exactly."""
+
+
+def wildcard_to_intervals(wc: Ipv4Wildcard) -> IntervalSet:
+    """The exact set of addresses a wildcard matcher accepts."""
+    if wc.is_prefix_like():
+        prefix = wc.to_prefix()
+        return IntervalSet.closed(
+            prefix.first_address().value, prefix.last_address().value
+        )
+    wildcard = wc.wildcard.value
+    trailing = 0
+    while wildcard & (1 << trailing):
+        trailing += 1
+    run = (1 << trailing) - 1
+    scattered = [
+        bit
+        for bit in range(trailing, 32)
+        if wildcard & (1 << bit)
+    ]
+    if len(scattered) > _MAX_SCATTERED_BITS:
+        raise HeaderSpaceError(
+            f"wildcard {wc} has {len(scattered)} scattered don't-care bits; "
+            "exact expansion refused"
+        )
+    base = wc.address.value
+    pairs = []
+    for combo in range(1 << len(scattered)):
+        value = base
+        for idx, bit in enumerate(scattered):
+            if combo & (1 << idx):
+                value |= 1 << bit
+        pairs.append((value, value | run))
+    return IntervalSet.from_pairs(pairs)
+
+
+@dataclasses.dataclass(frozen=True)
+class PacketRegion:
+    """A conjunctive constraint over every ACL-matchable packet field."""
+
+    src: IntervalSet = U32
+    dst: IntervalSet = U32
+    protocol: IntervalSet = FULL_PROTOCOL_RANGE
+    src_ports: IntervalSet = FULL_PORT_RANGE
+    dst_ports: IntervalSet = FULL_PORT_RANGE
+    established: FrozenSet[bool] = BOTH
+
+    def intersect(self, other: "PacketRegion") -> "PacketRegion":
+        return PacketRegion(
+            src=self.src.intersect(other.src),
+            dst=self.dst.intersect(other.dst),
+            protocol=self.protocol.intersect(other.protocol),
+            src_ports=self.src_ports.intersect(other.src_ports),
+            dst_ports=self.dst_ports.intersect(other.dst_ports),
+            established=self.established & other.established,
+        )
+
+    def is_empty(self) -> bool:
+        if (
+            self.src.is_empty()
+            or self.dst.is_empty()
+            or self.protocol.is_empty()
+            or self.src_ports.is_empty()
+            or self.dst_ports.is_empty()
+            or not self.established
+        ):
+            return True
+        # "Established" packets are TCP by definition (the packet model
+        # enforces this), so an established-only region needs TCP.
+        if self.established == frozenset((True,)) and not self.protocol.contains(
+            _TCP
+        ):
+            return True
+        return False
+
+    def negation_regions(self) -> Tuple["PacketRegion", ...]:
+        out: List[PacketRegion] = []
+        for field, universe in (
+            ("src", U32),
+            ("dst", U32),
+            ("protocol", FULL_PROTOCOL_RANGE),
+            ("src_ports", FULL_PORT_RANGE),
+            ("dst_ports", FULL_PORT_RANGE),
+        ):
+            value: IntervalSet = getattr(self, field)
+            if value != universe:
+                out.append(PacketRegion(**{field: value.complement(universe)}))
+        if self.established != BOTH:
+            missing = BOTH - self.established
+            out.append(PacketRegion(established=missing))
+        return tuple(out)
+
+    def subtract_region(self, other: "PacketRegion") -> Tuple["PacketRegion", ...]:
+        """Exact difference as *disjoint* pieces (hyper-rectangle carving).
+
+        Returns ``(self,)`` untouched when the regions are disjoint, and
+        at most one piece per field otherwise — the key to keeping
+        first-match reachability linear on real ACLs instead of the
+        exponential growth DNF complements would cause.
+        """
+        if self.intersect(other).is_empty():
+            return (self,)
+        pieces: List[PacketRegion] = []
+        current = self
+        for field, _universe in (
+            ("src", U32),
+            ("dst", U32),
+            ("protocol", FULL_PROTOCOL_RANGE),
+            ("src_ports", FULL_PORT_RANGE),
+            ("dst_ports", FULL_PORT_RANGE),
+        ):
+            mine: IntervalSet = getattr(current, field)
+            theirs: IntervalSet = getattr(other, field)
+            outside = mine.subtract(theirs)
+            if not outside.is_empty():
+                pieces.append(dataclasses.replace(current, **{field: outside}))
+            current = dataclasses.replace(
+                current, **{field: mine.intersect(theirs)}
+            )
+        missing = current.established - other.established
+        if missing:
+            pieces.append(dataclasses.replace(current, established=missing))
+        return tuple(pieces)
+
+    def contains(self, packet: Packet) -> bool:
+        """Field-wise membership.
+
+        Port fields are treated as formal fields present on every packet
+        (rule regions for portless protocols leave them unconstrained, so
+        this agrees with concrete ACL evaluation on every rule region, and
+        the boolean algebra stays exact).
+        """
+        return (
+            self.src.contains(packet.src_ip.value)
+            and self.dst.contains(packet.dst_ip.value)
+            and self.protocol.contains(packet.protocol)
+            and self.src_ports.contains(packet.src_port)
+            and self.dst_ports.contains(packet.dst_port)
+            and packet.tcp_established in self.established
+        )
+
+    def witness(self) -> Optional[Packet]:
+        if self.is_empty():
+            return None
+        must_be_established = self.established == frozenset((True,))
+        if must_be_established or self.protocol.contains(_TCP):
+            protocol = _TCP
+        elif self.protocol.contains(_UDP):
+            protocol = _UDP
+        else:
+            protocol = self.protocol.min()
+        return Packet(
+            src_ip=Ipv4Address(self.src.min()),
+            dst_ip=Ipv4Address(self.dst.min()),
+            protocol=protocol,
+            src_port=self.src_ports.min(),
+            dst_port=self.dst_ports.min(),
+            tcp_established=must_be_established,
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        for field, universe in (
+            ("src", U32),
+            ("dst", U32),
+            ("protocol", FULL_PROTOCOL_RANGE),
+            ("src_ports", FULL_PORT_RANGE),
+            ("dst_ports", FULL_PORT_RANGE),
+        ):
+            value = getattr(self, field)
+            if value != universe:
+                parts.append(f"{field} in {value}")
+        if self.established != BOTH:
+            parts.append(f"established in {sorted(self.established)}")
+        return " & ".join(parts) if parts else "true"
+
+
+def _dedupe(regions: Sequence[PacketRegion]) -> Tuple[PacketRegion, ...]:
+    kept: List[PacketRegion] = []
+    for region in regions:
+        if region.is_empty() or region in kept:
+            continue
+        kept.append(region)
+    return tuple(kept)
+
+
+@dataclasses.dataclass(frozen=True)
+class PacketSpace:
+    """A finite union of :class:`PacketRegion`."""
+
+    regions: Tuple[PacketRegion, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "regions", _dedupe(self.regions))
+
+    @classmethod
+    def empty(cls) -> "PacketSpace":
+        return cls(())
+
+    @classmethod
+    def universe(cls) -> "PacketSpace":
+        return cls((PacketRegion(),))
+
+    @classmethod
+    def of(cls, region: PacketRegion) -> "PacketSpace":
+        return cls((region,))
+
+    def union(self, other: "PacketSpace") -> "PacketSpace":
+        return PacketSpace(self.regions + other.regions)
+
+    def intersect(self, other: "PacketSpace") -> "PacketSpace":
+        out = [a.intersect(b) for a in self.regions for b in other.regions]
+        return PacketSpace(tuple(out))
+
+    def complement(self) -> "PacketSpace":
+        return PacketSpace.universe().subtract(self)
+
+    def subtract(self, other: "PacketSpace") -> "PacketSpace":
+        """Exact difference via disjoint rectangle carving (stays small)."""
+        remaining = list(self.regions)
+        for taken in other.regions:
+            remaining = [
+                piece
+                for region in remaining
+                for piece in region.subtract_region(taken)
+            ]
+            if not remaining:
+                break
+        return PacketSpace(tuple(remaining))
+
+    def is_empty(self) -> bool:
+        return not self.regions
+
+    def is_subset_of(self, other: "PacketSpace") -> bool:
+        return self.subtract(other).is_empty()
+
+    def contains(self, packet: Packet) -> bool:
+        return any(region.contains(packet) for region in self.regions)
+
+    def witness(self) -> Optional[Packet]:
+        for region in self.regions:
+            packet = region.witness()
+            if packet is not None:
+                return packet
+        return None
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+
+def acl_rule_region(rule: AclRule) -> PacketRegion:
+    """The packets one ACL rule matches."""
+    carries_ports = rule.protocol.carries_ports()
+    return PacketRegion(
+        src=wildcard_to_intervals(rule.src),
+        dst=wildcard_to_intervals(rule.dst),
+        protocol=rule.protocol.to_intervals(),
+        src_ports=rule.src_ports.to_intervals() if carries_ports else FULL_PORT_RANGE,
+        dst_ports=rule.dst_ports.to_intervals() if carries_ports else FULL_PORT_RANGE,
+        established=frozenset((True,)) if rule.established else BOTH,
+    )
+
+
+def acl_guard_space(rule: AclRule) -> PacketSpace:
+    return PacketSpace.of(acl_rule_region(rule))
+
+
+def acl_reachable_spaces(
+    acl: Acl, include_implicit_deny: bool = False
+) -> List[Tuple[Optional[AclRule], PacketSpace]]:
+    """Per-rule spaces of packets that reach and match each rule."""
+    remaining = PacketSpace.universe()
+    out: List[Tuple[Optional[AclRule], PacketSpace]] = []
+    for rule in acl.rules:
+        guard = acl_guard_space(rule)
+        out.append((rule, guard.intersect(remaining)))
+        remaining = remaining.subtract(guard)
+        if remaining.is_empty():
+            remaining = PacketSpace.empty()
+    if include_implicit_deny:
+        out.append((None, remaining))
+    return out
+
+
+__all__ = [
+    "HeaderSpaceError",
+    "PacketRegion",
+    "PacketSpace",
+    "acl_guard_space",
+    "acl_reachable_spaces",
+    "acl_rule_region",
+    "wildcard_to_intervals",
+]

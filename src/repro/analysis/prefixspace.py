@@ -1,0 +1,187 @@
+"""The symbolic domain for BGP network prefixes.
+
+A prefix-list entry ``permit P/len ge G le L`` matches the set of route
+networks that lie inside ``P/len`` and whose own prefix length falls in a
+range.  :class:`PrefixAtom` captures exactly that shape — a covering
+prefix plus an inclusive length window — and :class:`PrefixSpace` is a
+finite union of atoms closed under intersection and complement, which is
+all the guard algebra needs.
+
+The complement of an atom decomposes into at most ``2 * len(P) + 2``
+atoms: the *sibling* subtrees that diverge from ``P`` at each bit, the
+shorter prefixes along the path to ``P``, and the in-``P`` length windows
+outside ``[lo, hi]``.  The property tests in ``tests/analysis`` check
+this decomposition against brute-force enumeration on small universes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netaddr import Ipv4Prefix
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixAtom:
+    """Networks within ``covering`` whose length lies in ``[lo, hi]``."""
+
+    covering: Ipv4Prefix
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not self.covering.length <= self.lo <= self.hi <= 32:
+            raise ValueError(
+                f"invalid length window [{self.lo}, {self.hi}] for "
+                f"{self.covering}"
+            )
+
+    @classmethod
+    def universe(cls) -> "PrefixAtom":
+        return cls(Ipv4Prefix.parse("0.0.0.0/0"), 0, 32)
+
+    @classmethod
+    def exact(cls, prefix: Ipv4Prefix) -> "PrefixAtom":
+        return cls(prefix, prefix.length, prefix.length)
+
+    def contains(self, network: Ipv4Prefix) -> bool:
+        return (
+            self.lo <= network.length <= self.hi
+            and self.covering.contains_prefix(network)
+        )
+
+    def subsumes(self, other: "PrefixAtom") -> bool:
+        """True if every network in ``other`` is in this atom."""
+        return (
+            self.covering.contains_prefix(other.covering)
+            and self.lo <= other.lo
+            and other.hi <= self.hi
+        )
+
+    def intersect(self, other: "PrefixAtom") -> Optional["PrefixAtom"]:
+        if self.covering.contains_prefix(other.covering):
+            covering = other.covering
+        elif other.covering.contains_prefix(self.covering):
+            covering = self.covering
+        else:
+            return None
+        lo = max(self.lo, other.lo, covering.length)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return PrefixAtom(covering, lo, hi)
+
+    def complement_atoms(self) -> Tuple["PrefixAtom", ...]:
+        """Atoms whose union is exactly the complement of this atom."""
+        out: List[PrefixAtom] = []
+        covering = self.covering
+        # (a) subtrees diverging from the covering prefix at each bit.
+        for depth in range(covering.length):
+            sibling = covering.truncate(depth + 1).sibling()
+            out.append(PrefixAtom(sibling, depth + 1, 32))
+        # (b) strictly shorter prefixes along the path to the covering
+        # prefix (they agree on their own bits but are not "within" it).
+        for length in range(covering.length):
+            out.append(PrefixAtom(covering.truncate(length), length, length))
+        # (c) networks inside the covering prefix with lengths outside
+        # the [lo, hi] window.
+        if self.lo > covering.length:
+            out.append(PrefixAtom(covering, covering.length, self.lo - 1))
+        if self.hi < 32:
+            out.append(PrefixAtom(covering, self.hi + 1, 32))
+        return tuple(out)
+
+    def witness(self) -> Ipv4Prefix:
+        """An arbitrary network in this atom (the all-zero extension)."""
+        return Ipv4Prefix.canonical(self.covering.network, self.lo)
+
+    def __str__(self) -> str:
+        if self.lo == self.hi == self.covering.length:
+            return str(self.covering)
+        return f"{self.covering}:{self.lo}-{self.hi}"
+
+
+def _absorb(atoms: Sequence[PrefixAtom]) -> Tuple[PrefixAtom, ...]:
+    """Drop atoms subsumed by other atoms (keeps the union small)."""
+    kept: List[PrefixAtom] = []
+    for atom in atoms:
+        if any(other.subsumes(atom) for other in kept):
+            continue
+        kept = [other for other in kept if not atom.subsumes(other)]
+        kept.append(atom)
+    return tuple(kept)
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixSpace:
+    """A finite union of :class:`PrefixAtom` (not necessarily disjoint)."""
+
+    atoms: Tuple[PrefixAtom, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "atoms", _absorb(self.atoms))
+
+    @classmethod
+    def empty(cls) -> "PrefixSpace":
+        return cls(())
+
+    @classmethod
+    def universe(cls) -> "PrefixSpace":
+        return cls((PrefixAtom.universe(),))
+
+    @classmethod
+    def of_atom(cls, atom: PrefixAtom) -> "PrefixSpace":
+        return cls((atom,))
+
+    @classmethod
+    def exact(cls, prefix: Ipv4Prefix) -> "PrefixSpace":
+        return cls((PrefixAtom.exact(prefix),))
+
+    def is_empty(self) -> bool:
+        return not self.atoms
+
+    def is_universe(self) -> bool:
+        return any(atom == PrefixAtom.universe() for atom in self.atoms)
+
+    def contains(self, network: Ipv4Prefix) -> bool:
+        return any(atom.contains(network) for atom in self.atoms)
+
+    def union(self, other: "PrefixSpace") -> "PrefixSpace":
+        return PrefixSpace(self.atoms + other.atoms)
+
+    def intersect(self, other: "PrefixSpace") -> "PrefixSpace":
+        out: List[PrefixAtom] = []
+        for a in self.atoms:
+            for b in other.atoms:
+                got = a.intersect(b)
+                if got is not None:
+                    out.append(got)
+        return PrefixSpace(tuple(out))
+
+    def complement(self) -> "PrefixSpace":
+        result = PrefixSpace.universe()
+        for atom in self.atoms:
+            result = result.intersect(PrefixSpace(atom.complement_atoms()))
+            if result.is_empty():
+                break
+        return result
+
+    def subtract(self, other: "PrefixSpace") -> "PrefixSpace":
+        return self.intersect(other.complement())
+
+    def is_subset_of(self, other: "PrefixSpace") -> bool:
+        return self.subtract(other).is_empty()
+
+    def witness(self) -> Optional[Ipv4Prefix]:
+        if self.is_empty():
+            return None
+        return self.atoms[0].witness()
+
+    def __str__(self) -> str:
+        if self.is_empty():
+            return "{}"
+        return " u ".join(str(atom) for atom in self.atoms)
+
+
+__all__ = ["PrefixAtom", "PrefixSpace"]

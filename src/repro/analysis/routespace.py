@@ -1,0 +1,572 @@
+"""Symbolic route spaces: unions of per-field product regions.
+
+A :class:`RouteRegion` constrains every matchable field of a BGP route:
+
+* the network prefix, as a :class:`~repro.analysis.prefixspace.PrefixSpace`;
+* the community set, as *required* regexes (at least one community must
+  match each) and *forbidden* regexes (no community may match any);
+* the AS path, as required/forbidden regexes over the rendered path;
+* local preference, metric, and tag as integer interval sets.
+
+A :class:`RouteSpace` is a finite union of regions.  Stanza guards
+translate into spaces; first-match semantics is captured by subtracting
+earlier guards (:func:`route_map_reachable_spaces`).  Emptiness of the
+regex constraints is decided with the automaton product search in
+:mod:`repro.regexlib`, memoised because guards repeat the same small
+pattern sets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.prefixspace import PrefixAtom, PrefixSpace
+from repro.config.lists import (
+    PERMIT,
+    AsPathAccessList,
+    CommunityList,
+    CommunityListEntry,
+    PrefixList,
+)
+from repro.config.matches import (
+    MatchAsPath,
+    MatchClause,
+    MatchCommunity,
+    MatchLocalPreference,
+    MatchMetric,
+    MatchPrefixList,
+    MatchTag,
+)
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.config.store import ConfigStore
+from repro.netaddr import IntervalSet
+from repro.regexlib.cisco import (
+    as_path_matches,
+    community_matches,
+    find_community,
+    literal_community_pattern,
+)
+from repro.regexlib.nfa import compile_regex, find_word
+from repro.route import BgpRoute
+from repro.route.bgproute import DEFAULT_LOCAL_PREFERENCE, DEFAULT_METRIC
+
+U32 = IntervalSet.closed(0, 0xFFFFFFFF)
+
+#: Fields whose symbolic domain is an interval set, with their universes.
+SCALAR_UNIVERSES: Dict[str, IntervalSet] = {
+    "local_preference": U32,
+    "metric": U32,
+    "tag": U32,
+}
+
+
+class AnalysisError(RuntimeError):
+    """Raised when a constraint is outside the engine's decidable fragment."""
+
+
+# ----------------------------------------------------------- regex caching
+
+
+@functools.lru_cache(maxsize=None)
+def _community_witness(
+    required: Tuple[str, ...], forbidden: Tuple[str, ...]
+) -> Optional[Tuple[str, ...]]:
+    """One community per required pattern, each avoiding all forbidden.
+
+    Returns None when some required pattern is unsatisfiable against the
+    forbidden set.  The union of the returned communities satisfies the
+    whole constraint (each witness individually avoids every forbidden
+    pattern).
+    """
+    witnesses = []
+    for pattern in required:
+        witness = find_community([pattern], list(forbidden))
+        if witness is None:
+            return None
+        witnesses.append(witness)
+    return tuple(witnesses)
+
+
+@functools.lru_cache(maxsize=None)
+def _as_path_word(
+    required: Tuple[str, ...], forbidden: Tuple[str, ...]
+) -> Optional[str]:
+    pos = [compile_regex(p) for p in required]
+    neg = [compile_regex(p) for p in forbidden]
+    return find_word(pos, neg)
+
+
+# ----------------------------------------------------------------- regions
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteRegion:
+    """A conjunctive constraint over every matchable route field."""
+
+    prefix: PrefixSpace = dataclasses.field(default_factory=PrefixSpace.universe)
+    communities_required: FrozenSet[str] = frozenset()
+    communities_forbidden: FrozenSet[str] = frozenset()
+    as_path_required: FrozenSet[str] = frozenset()
+    as_path_forbidden: FrozenSet[str] = frozenset()
+    local_preference: IntervalSet = U32
+    metric: IntervalSet = U32
+    tag: IntervalSet = U32
+
+    # ------------------------------------------------------------ algebra
+
+    def intersect(self, other: "RouteRegion") -> "RouteRegion":
+        return RouteRegion(
+            prefix=self.prefix.intersect(other.prefix),
+            communities_required=self.communities_required
+            | other.communities_required,
+            communities_forbidden=self.communities_forbidden
+            | other.communities_forbidden,
+            as_path_required=self.as_path_required | other.as_path_required,
+            as_path_forbidden=self.as_path_forbidden | other.as_path_forbidden,
+            local_preference=self.local_preference.intersect(
+                other.local_preference
+            ),
+            metric=self.metric.intersect(other.metric),
+            tag=self.tag.intersect(other.tag),
+        )
+
+    def negation_regions(self) -> Tuple["RouteRegion", ...]:
+        """Regions whose union is the complement of this region."""
+        out: List[RouteRegion] = []
+        if not self.prefix.is_universe():
+            out.append(RouteRegion(prefix=self.prefix.complement()))
+        for pattern in sorted(self.communities_required):
+            out.append(RouteRegion(communities_forbidden=frozenset((pattern,))))
+        for pattern in sorted(self.communities_forbidden):
+            out.append(RouteRegion(communities_required=frozenset((pattern,))))
+        for pattern in sorted(self.as_path_required):
+            out.append(RouteRegion(as_path_forbidden=frozenset((pattern,))))
+        for pattern in sorted(self.as_path_forbidden):
+            out.append(RouteRegion(as_path_required=frozenset((pattern,))))
+        for field, universe in SCALAR_UNIVERSES.items():
+            value: IntervalSet = getattr(self, field)
+            if value != universe:
+                out.append(
+                    RouteRegion(**{field: value.complement(universe)})
+                )
+        return tuple(out)
+
+    def obviously_empty(self) -> bool:
+        """Cheap emptiness checks, no automaton search."""
+        if self.prefix.is_empty():
+            return True
+        for field in SCALAR_UNIVERSES:
+            if getattr(self, field).is_empty():
+                return True
+        if self.communities_required & self.communities_forbidden:
+            return True
+        if self.as_path_required & self.as_path_forbidden:
+            return True
+        return False
+
+    def is_empty(self) -> bool:
+        if self.obviously_empty():
+            return True
+        if (
+            _community_witness(
+                tuple(sorted(self.communities_required)),
+                tuple(sorted(self.communities_forbidden)),
+            )
+            is None
+        ):
+            return True
+        word = _as_path_word(
+            tuple(sorted(self.as_path_required)),
+            tuple(sorted(self.as_path_forbidden)),
+        )
+        return word is None
+
+    def subsumes(self, other: "RouteRegion") -> bool:
+        """Sound but incomplete: True implies ``other`` is inside this region."""
+        return (
+            self.communities_required <= other.communities_required
+            and self.communities_forbidden <= other.communities_forbidden
+            and self.as_path_required <= other.as_path_required
+            and self.as_path_forbidden <= other.as_path_forbidden
+            and other.prefix.is_subset_of(self.prefix)
+            and all(
+                getattr(other, f).is_subset_of(getattr(self, f))
+                for f in SCALAR_UNIVERSES
+            )
+        )
+
+    # ----------------------------------------------------------- concrete
+
+    def contains(self, route: BgpRoute) -> bool:
+        if not self.prefix.contains(route.network):
+            return False
+        for pattern in self.communities_required:
+            if not any(community_matches(pattern, c) for c in route.communities):
+                return False
+        for pattern in self.communities_forbidden:
+            if any(community_matches(pattern, c) for c in route.communities):
+                return False
+        asns = route.asns()
+        for pattern in self.as_path_required:
+            if not as_path_matches(pattern, asns):
+                return False
+        for pattern in self.as_path_forbidden:
+            if as_path_matches(pattern, asns):
+                return False
+        return (
+            self.local_preference.contains(route.local_preference)
+            and self.metric.contains(route.metric)
+            and self.tag.contains(route.tag)
+        )
+
+    def witness(self) -> Optional[BgpRoute]:
+        """A concrete route in this region, or None when empty.
+
+        Prefers Batfish-style defaults (local preference 100, metric 0)
+        when they satisfy the constraint, so differential examples look
+        like the ones in the paper.
+        """
+        if self.obviously_empty():
+            return None
+        network = self.prefix.witness()
+        communities = _community_witness(
+            tuple(sorted(self.communities_required)),
+            tuple(sorted(self.communities_forbidden)),
+        )
+        if communities is None:
+            return None
+        word = _as_path_word(
+            tuple(sorted(self.as_path_required)),
+            tuple(sorted(self.as_path_forbidden)),
+        )
+        if word is None:
+            return None
+        as_path = _word_to_as_path(
+            word,
+            tuple(sorted(self.as_path_required)),
+            tuple(sorted(self.as_path_forbidden)),
+        )
+
+        def pick(field: str, preferred: int) -> int:
+            values: IntervalSet = getattr(self, field)
+            if values.contains(preferred):
+                return preferred
+            return values.min()
+
+        return BgpRoute.build(
+            network=str(network),
+            as_path=as_path,
+            communities=communities,
+            local_preference=pick("local_preference", DEFAULT_LOCAL_PREFERENCE),
+            metric=pick("metric", DEFAULT_METRIC),
+            tag=pick("tag", 0),
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        if not self.prefix.is_universe():
+            parts.append(f"prefix in {self.prefix}")
+        for name, value in (
+            ("community", self.communities_required),
+            ("!community", self.communities_forbidden),
+            ("as-path", self.as_path_required),
+            ("!as-path", self.as_path_forbidden),
+        ):
+            for pattern in sorted(value):
+                parts.append(f"{name}~{pattern}")
+        for field, universe in SCALAR_UNIVERSES.items():
+            value = getattr(self, field)
+            if value != universe:
+                parts.append(f"{field} in {value}")
+        return " & ".join(parts) if parts else "true"
+
+
+def _word_to_as_path(
+    word: str, required: Tuple[str, ...], forbidden: Tuple[str, ...]
+) -> List[int]:
+    """Turn an automaton witness word into a concrete AS path."""
+    from repro.regexlib.cisco import parse_as_path_witness, render_as_path
+
+    path = parse_as_path_witness(word)
+    if path is None:
+        raise AnalysisError(
+            f"AS-path witness {word!r} cannot be read as an ASN sequence; "
+            "patterns must constrain digits and delimiters only"
+        )
+    rendered = render_as_path(path)
+    if not all(as_path_matches(p, path) for p in required) or any(
+        as_path_matches(p, path) for p in forbidden
+    ):
+        raise AnalysisError(
+            f"AS-path witness {rendered!r} does not satisfy "
+            f"required={required} forbidden={forbidden}"
+        )
+    return path
+
+
+# ------------------------------------------------------------------ spaces
+
+
+def _dedupe(regions: Sequence[RouteRegion]) -> Tuple[RouteRegion, ...]:
+    kept: List[RouteRegion] = []
+    for region in regions:
+        if region.obviously_empty():
+            continue
+        if any(other.subsumes(region) for other in kept):
+            continue
+        kept = [other for other in kept if not region.subsumes(other)]
+        kept.append(region)
+    return tuple(kept)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteSpace:
+    """A finite union of :class:`RouteRegion`."""
+
+    regions: Tuple[RouteRegion, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "regions", _dedupe(self.regions))
+
+    @classmethod
+    def empty(cls) -> "RouteSpace":
+        return cls(())
+
+    @classmethod
+    def universe(cls) -> "RouteSpace":
+        return cls((RouteRegion(),))
+
+    @classmethod
+    def of(cls, region: RouteRegion) -> "RouteSpace":
+        return cls((region,))
+
+    def union(self, other: "RouteSpace") -> "RouteSpace":
+        return RouteSpace(self.regions + other.regions)
+
+    def intersect(self, other: "RouteSpace") -> "RouteSpace":
+        out = [
+            a.intersect(b) for a in self.regions for b in other.regions
+        ]
+        return RouteSpace(tuple(out))
+
+    def complement(self) -> "RouteSpace":
+        result = RouteSpace.universe()
+        for region in self.regions:
+            negated = RouteSpace(region.negation_regions())
+            result = result.intersect(negated)
+            if result.is_trivially_empty():
+                break
+        return result
+
+    def subtract(self, other: "RouteSpace") -> "RouteSpace":
+        """Region-wise difference with a disjointness fast path.
+
+        Regions that do not intersect the subtrahend are kept untouched
+        (the common case when stanza guards are disjoint), so first-match
+        reachability stays small on wide route-maps.
+        """
+        remaining = list(self.regions)
+        for taken in other.regions:
+            carved: List[RouteRegion] = []
+            for region in remaining:
+                if region.intersect(taken).is_empty():
+                    carved.append(region)
+                    continue
+                carved.extend(
+                    region.intersect(negated)
+                    for negated in taken.negation_regions()
+                )
+            remaining = [r for r in carved if not r.obviously_empty()]
+            if not remaining:
+                break
+        return RouteSpace(tuple(remaining))
+
+    def is_trivially_empty(self) -> bool:
+        return not self.regions
+
+    def is_empty(self) -> bool:
+        return all(region.is_empty() for region in self.regions)
+
+    def is_subset_of(self, other: "RouteSpace") -> bool:
+        return self.subtract(other).is_empty()
+
+    def contains(self, route: BgpRoute) -> bool:
+        return any(region.contains(route) for region in self.regions)
+
+    def witness(self) -> Optional[BgpRoute]:
+        for region in self.regions:
+            route = region.witness()
+            if route is not None:
+                return route
+        return None
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __str__(self) -> str:
+        if not self.regions:
+            return "false"
+        return " | ".join(f"({region})" for region in self.regions)
+
+
+# ----------------------------------------------- guard translation (lists)
+
+
+def prefix_list_space(pl: PrefixList) -> PrefixSpace:
+    """The set of networks a prefix-list permits (first match wins)."""
+    remaining = PrefixSpace.universe()
+    permitted = PrefixSpace.empty()
+    for entry in pl.entries:
+        lo, hi = entry.length_bounds()
+        atom_space = PrefixSpace.of_atom(PrefixAtom(entry.prefix, lo, hi))
+        if entry.action == PERMIT:
+            permitted = permitted.union(atom_space.intersect(remaining))
+        remaining = remaining.subtract(atom_space)
+        if remaining.is_empty():
+            break
+    return permitted
+
+
+#: A DNF community/as-path condition: (required, forbidden) pattern pairs.
+_Dnf = List[Tuple[FrozenSet[str], FrozenSet[str]]]
+
+
+def _entry_condition(entry: CommunityListEntry) -> _Dnf:
+    if entry.regex is not None:
+        return [(frozenset((entry.regex,)), frozenset())]
+    patterns = frozenset(literal_community_pattern(c) for c in entry.communities)
+    return [(patterns, frozenset())]
+
+
+def _entry_negation(entry: CommunityListEntry) -> _Dnf:
+    if entry.regex is not None:
+        return [(frozenset(), frozenset((entry.regex,)))]
+    return [
+        (frozenset(), frozenset((literal_community_pattern(c),)))
+        for c in entry.communities
+    ]
+
+
+def _dnf_product(left: _Dnf, right: _Dnf) -> _Dnf:
+    return [
+        (lr | rr, lf | rf) for (lr, lf) in left for (rr, rf) in right
+    ]
+
+
+def community_list_dnf(cl: CommunityList) -> _Dnf:
+    """DNF of "this community list permits the route"."""
+    permitted: _Dnf = []
+    preceding: _Dnf = [(frozenset(), frozenset())]
+    for entry in cl.entries:
+        if entry.action == PERMIT:
+            permitted.extend(_dnf_product(_entry_condition(entry), preceding))
+        negation = _entry_negation(entry)
+        preceding = _dnf_product(preceding, negation)
+    return permitted
+
+
+def as_path_list_dnf(al: AsPathAccessList) -> _Dnf:
+    """DNF of "this as-path access-list permits the route"."""
+    permitted: _Dnf = []
+    forbidden_so_far: FrozenSet[str] = frozenset()
+    for entry in al.entries:
+        if entry.action == PERMIT:
+            permitted.append((frozenset((entry.regex,)), forbidden_so_far))
+        forbidden_so_far = forbidden_so_far | {entry.regex}
+    return permitted
+
+
+# ---------------------------------------------- guard translation (clauses)
+
+
+def clause_space(clause: MatchClause, store: ConfigStore) -> RouteSpace:
+    """The set of routes a single match clause accepts."""
+    if isinstance(clause, MatchPrefixList):
+        space = PrefixSpace.empty()
+        for name in clause.names:
+            space = space.union(prefix_list_space(store.prefix_list(name)))
+        return RouteSpace.of(RouteRegion(prefix=space))
+    if isinstance(clause, MatchCommunity):
+        regions = []
+        for name in clause.names:
+            for required, forbidden in community_list_dnf(
+                store.community_list(name)
+            ):
+                regions.append(
+                    RouteRegion(
+                        communities_required=required,
+                        communities_forbidden=forbidden,
+                    )
+                )
+        return RouteSpace(tuple(regions))
+    if isinstance(clause, MatchAsPath):
+        regions = []
+        for name in clause.names:
+            for required, forbidden in as_path_list_dnf(
+                store.as_path_list(name)
+            ):
+                regions.append(
+                    RouteRegion(
+                        as_path_required=required,
+                        as_path_forbidden=forbidden,
+                    )
+                )
+        return RouteSpace(tuple(regions))
+    if isinstance(clause, MatchLocalPreference):
+        return RouteSpace.of(
+            RouteRegion(local_preference=IntervalSet.single(clause.value))
+        )
+    if isinstance(clause, MatchMetric):
+        return RouteSpace.of(RouteRegion(metric=IntervalSet.single(clause.value)))
+    if isinstance(clause, MatchTag):
+        return RouteSpace.of(RouteRegion(tag=IntervalSet.single(clause.value)))
+    raise TypeError(f"unknown match clause: {clause!r}")
+
+
+def stanza_guard_space(stanza: RouteMapStanza, store: ConfigStore) -> RouteSpace:
+    """The set of routes a stanza matches (clauses are conjunctive)."""
+    space = RouteSpace.universe()
+    for clause in stanza.matches:
+        space = space.intersect(clause_space(clause, store))
+        if space.is_trivially_empty():
+            break
+    return space
+
+
+def route_map_reachable_spaces(
+    route_map: RouteMap,
+    store: ConfigStore,
+    include_implicit_deny: bool = False,
+) -> List[Tuple[Optional[RouteMapStanza], RouteSpace]]:
+    """Per-stanza spaces of routes that *reach and match* each stanza.
+
+    The returned spaces partition the route universe restricted to matched
+    routes; with ``include_implicit_deny`` a final ``(None, space)`` entry
+    holds the routes falling through to the implicit deny.
+    """
+    remaining = RouteSpace.universe()
+    out: List[Tuple[Optional[RouteMapStanza], RouteSpace]] = []
+    for stanza in route_map.stanzas:
+        guard = stanza_guard_space(stanza, store)
+        out.append((stanza, guard.intersect(remaining)))
+        remaining = remaining.subtract(guard)
+        if remaining.is_trivially_empty():
+            remaining = RouteSpace.empty()
+    if include_implicit_deny:
+        out.append((None, remaining))
+    return out
+
+
+__all__ = [
+    "AnalysisError",
+    "RouteRegion",
+    "RouteSpace",
+    "as_path_list_dnf",
+    "clause_space",
+    "community_list_dnf",
+    "prefix_list_space",
+    "route_map_reachable_spaces",
+    "stanza_guard_space",
+]

@@ -1,0 +1,104 @@
+"""Spec-conformance search (``searchRoutePolicies`` / ``searchFilters``).
+
+These mirror the Batfish questions the paper uses to verify that an
+LLM-synthesised stanza meets its JSON specification: given an input-space
+constraint and an expected action, find a concrete input the policy
+handles with that action — or, for verification, a counterexample
+violating the spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.analysis.evaluate import eval_acl, eval_route_map
+from repro.analysis.headerspace import PacketSpace, acl_reachable_spaces
+from repro.analysis.routespace import RouteSpace, route_map_reachable_spaces
+from repro.config.acl import Acl
+from repro.config.routemap import RouteMap
+from repro.config.store import ConfigStore
+from repro.route import BgpRoute, Packet
+
+PERMIT = "permit"
+DENY = "deny"
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutePolicySearchResult:
+    """Outcome of one route-policy search."""
+
+    route: Optional[BgpRoute]
+
+    def found(self) -> bool:
+        return self.route is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class FilterSearchResult:
+    """Outcome of one ACL search."""
+
+    packet: Optional[Packet]
+
+    def found(self) -> bool:
+        return self.packet is not None
+
+
+def search_route_policies(
+    route_map: RouteMap,
+    store: ConfigStore,
+    input_space: Optional[RouteSpace] = None,
+    action: str = PERMIT,
+) -> RoutePolicySearchResult:
+    """Find a route in ``input_space`` the policy handles with ``action``.
+
+    ``input_space`` defaults to the full route universe.  The returned
+    witness is validated against the concrete evaluator before being
+    reported, so a returned route is guaranteed real.
+    """
+    if action not in (PERMIT, DENY):
+        raise ValueError(f"action must be permit or deny, got {action!r}")
+    space = input_space if input_space is not None else RouteSpace.universe()
+    for stanza, reach in route_map_reachable_spaces(
+        route_map, store, include_implicit_deny=True
+    ):
+        stanza_action = stanza.action if stanza is not None else DENY
+        if stanza_action != action:
+            continue
+        witness = reach.intersect(space).witness()
+        if witness is None:
+            continue
+        result = eval_route_map(route_map, store, witness)
+        if result.action == action:
+            return RoutePolicySearchResult(witness)
+    return RoutePolicySearchResult(None)
+
+
+def search_filters(
+    acl: Acl,
+    input_space: Optional[PacketSpace] = None,
+    action: str = PERMIT,
+) -> FilterSearchResult:
+    """Find a packet in ``input_space`` the ACL handles with ``action``."""
+    if action not in (PERMIT, DENY):
+        raise ValueError(f"action must be permit or deny, got {action!r}")
+    space = input_space if input_space is not None else PacketSpace.universe()
+    for rule, reach in acl_reachable_spaces(acl, include_implicit_deny=True):
+        rule_action = rule.action if rule is not None else DENY
+        if rule_action != action:
+            continue
+        witness = reach.intersect(space).witness()
+        if witness is None:
+            continue
+        result = eval_acl(acl, witness)
+        if result.action == action:
+            return FilterSearchResult(witness)
+    return FilterSearchResult(None)
+
+
+__all__ = [
+    "FilterSearchResult",
+    "RoutePolicySearchResult",
+    "search_filters",
+    "search_route_policies",
+]

@@ -1,0 +1,21 @@
+"""A small BGP propagation simulator.
+
+The paper's §5 evaluation implements five global policies on the
+Figure 3 topology and checks them end-to-end.  This package provides the
+substrate for that check: routers with per-neighbor import/export
+route-map chains (cloud routers "use a sequence of multiple route maps",
+§3.1), eBGP propagation with AS-path loop prevention, and deterministic
+best-path selection.
+"""
+
+from repro.bgp.simulate import ConvergenceError, RibEntry, Ribs, simulate
+from repro.bgp.topology import Network, Router
+
+__all__ = [
+    "ConvergenceError",
+    "Network",
+    "RibEntry",
+    "Ribs",
+    "Router",
+    "simulate",
+]

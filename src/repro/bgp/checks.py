@@ -1,0 +1,41 @@
+"""Reachability queries over simulated RIBs (the global-policy checks)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bgp.simulate import RibEntry, Ribs
+from repro.netaddr import Ipv4Prefix
+
+
+def has_route(ribs: Ribs, router: str, prefix: str) -> bool:
+    """Does ``router`` have any route for ``prefix``?"""
+    return Ipv4Prefix.parse(prefix) in ribs[router]
+
+
+def best_entry(ribs: Ribs, router: str, prefix: str) -> Optional[RibEntry]:
+    return ribs[router].get(Ipv4Prefix.parse(prefix))
+
+
+def learned_from(ribs: Ribs, router: str, prefix: str) -> Optional[str]:
+    """Which neighbor the installed route came from (None if local/absent)."""
+    entry = best_entry(ribs, router, prefix)
+    return entry.learned_from if entry is not None else None
+
+
+def visible_prefixes(ribs: Ribs, router: str) -> List[str]:
+    return sorted(str(p) for p in ribs[router])
+
+
+def as_path_at(ribs: Ribs, router: str, prefix: str) -> Optional[List[int]]:
+    entry = best_entry(ribs, router, prefix)
+    return entry.route.asns() if entry is not None else None
+
+
+__all__ = [
+    "as_path_at",
+    "best_entry",
+    "has_route",
+    "learned_from",
+    "visible_prefixes",
+]

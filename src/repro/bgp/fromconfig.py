@@ -1,0 +1,105 @@
+"""Building a simulatable network from device configuration files.
+
+This closes the loop the paper implies: Clarify edits *configurations*,
+and the behavioural checks run on the *network* those configurations
+define.  :func:`network_from_devices` pairs up BGP neighbors by address
+(a session exists when each device points at an address owned by the
+other and the remote-as values agree), attaches the per-neighbor
+route-map chains, and applies ``network`` originations through their
+optional origination route-maps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.evaluate import eval_route_map
+from repro.bgp.topology import Network
+from repro.config.device import DeviceConfig
+from repro.netaddr import Ipv4Address
+from repro.route import BgpRoute
+
+
+class TopologyError(ValueError):
+    """The device set does not describe a coherent topology."""
+
+
+def network_from_devices(devices: Sequence[DeviceConfig]) -> Network:
+    """Assemble a :class:`Network` from parsed device configurations."""
+    net = Network()
+    owner_of: Dict[Ipv4Address, str] = {}
+    for index, device in enumerate(devices):
+        if device.bgp is None:
+            raise TopologyError(f"device {device.hostname} has no BGP config")
+        router_id = (
+            device.bgp.router_id.value
+            if device.bgp.router_id is not None
+            else index + 1
+        )
+        net.add_router(
+            device.hostname, device.bgp.asn, router_id=router_id, store=device.store
+        )
+        for address in device.interface_addresses():
+            if address in owner_of:
+                raise TopologyError(
+                    f"address {address} assigned to both {owner_of[address]} "
+                    f"and {device.hostname}"
+                )
+            owner_of[address] = device.hostname
+
+    by_name = {device.hostname: device for device in devices}
+
+    # Pair neighbors: A's neighbor address must be one of B's interfaces,
+    # and vice versa, with matching remote-as declarations.
+    for device in devices:
+        for neighbor in device.bgp.neighbors:
+            peer_name = owner_of.get(neighbor.address)
+            if peer_name is None:
+                raise TopologyError(
+                    f"{device.hostname}: neighbor {neighbor.address} matches "
+                    "no device interface"
+                )
+            peer = by_name[peer_name]
+            if peer.bgp.asn != neighbor.remote_as:
+                raise TopologyError(
+                    f"{device.hostname}: neighbor {neighbor.address} declared "
+                    f"remote-as {neighbor.remote_as} but {peer_name} is AS "
+                    f"{peer.bgp.asn}"
+                )
+            if not _points_back(peer, device):
+                raise TopologyError(
+                    f"{peer_name} has no neighbor statement back to "
+                    f"{device.hostname}"
+                )
+            net.connect(device.hostname, peer_name)
+            net.set_import_policy(
+                device.hostname, peer_name, neighbor.import_chain
+            )
+            net.set_export_policy(
+                device.hostname, peer_name, neighbor.export_chain
+            )
+
+    # Originations, through the optional per-network route-map.
+    for device in devices:
+        router = net.router(device.hostname)
+        for statement in device.bgp.networks:
+            route = BgpRoute.build(str(statement.prefix))
+            if statement.route_map is not None:
+                result = eval_route_map(
+                    device.store.route_map(statement.route_map),
+                    device.store,
+                    route,
+                )
+                if not result.permitted():
+                    continue
+                route = result.output
+            router.originated.append(route)
+    return net
+
+
+def _points_back(peer: DeviceConfig, device: DeviceConfig) -> bool:
+    ours = set(device.interface_addresses())
+    return any(n.address in ours for n in peer.bgp.neighbors)
+
+
+__all__ = ["TopologyError", "network_from_devices"]

@@ -1,0 +1,166 @@
+"""eBGP propagation to a fixpoint.
+
+Semantics (deliberately the textbook subset the Figure 3 check needs):
+
+* Each router advertises, per neighbor, its *best* route per prefix plus
+  its own originations, through the per-neighbor export route-map chain
+  (every map in the chain must permit; transforms compose in order).
+* Crossing an eBGP session prepends the sender's ASN; local preference
+  does not cross (reset to the default and then optionally set by the
+  receiver's import policy, the standard eBGP behaviour).
+* The receiver drops routes whose AS path contains its own ASN (loop
+  prevention) and runs its import chain.
+* Best path: highest weight, then highest local preference, then locally
+  originated, then shortest AS path, then lowest metric, then lowest
+  neighbor router-id — a deterministic prefix of the IOS decision
+  process.
+* Synchronous rounds until nothing changes; non-convergence raises.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.evaluate import eval_route_map
+from repro.bgp.topology import Network, Router
+from repro.netaddr import Ipv4Prefix
+from repro.route import BgpRoute
+from repro.route.bgproute import DEFAULT_LOCAL_PREFERENCE
+
+
+class ConvergenceError(RuntimeError):
+    """The network did not reach a fixpoint within the iteration bound."""
+
+
+@dataclasses.dataclass(frozen=True)
+class RibEntry:
+    """One installed best route."""
+
+    route: BgpRoute
+    #: Neighbor the route was learned from; None for local originations.
+    learned_from: Optional[str]
+
+
+#: router name -> prefix -> best entry
+Ribs = Dict[str, Dict[Ipv4Prefix, RibEntry]]
+
+
+def _apply_chain(
+    router: Router, chain: Tuple[str, ...], route: BgpRoute
+) -> Optional[BgpRoute]:
+    """Run a route through an ordered route-map chain; None if denied."""
+    for name in chain:
+        result = eval_route_map(router.store.route_map(name), router.store, route)
+        if not result.permitted():
+            return None
+        route = result.output
+    return route
+
+
+def _preference_key(entry: RibEntry, router: Router) -> Tuple:
+    route = entry.route
+    neighbor_id = (
+        0 if entry.learned_from is None else hash(entry.learned_from) % (1 << 30)
+    )
+    return (
+        -route.weight,
+        -route.local_preference,
+        0 if entry.learned_from is None else 1,
+        len(route.asns()),
+        route.metric,
+        entry.learned_from or "",
+    )
+
+
+def _select_best(
+    router: Router, candidates: List[RibEntry]
+) -> Optional[RibEntry]:
+    if not candidates:
+        return None
+    return min(candidates, key=lambda e: _preference_key(e, router))
+
+
+def simulate(network: Network, max_iterations: int = 64) -> Ribs:
+    """Propagate routes to a fixpoint and return each router's best RIB."""
+    # adj_rib_in[v][prefix][u] = route as accepted by v from u
+    adj_rib_in: Dict[str, Dict[Ipv4Prefix, Dict[str, BgpRoute]]] = {
+        name: {} for name in network.routers
+    }
+
+    def best_rib(name: str) -> Dict[Ipv4Prefix, RibEntry]:
+        router = network.router(name)
+        rib: Dict[Ipv4Prefix, RibEntry] = {}
+        prefixes = set(adj_rib_in[name])
+        prefixes.update(r.network for r in router.originated)
+        for prefix in prefixes:
+            candidates = [
+                RibEntry(route, None)
+                for route in router.originated
+                if route.network == prefix
+            ]
+            for neighbor, route in adj_rib_in[name].get(prefix, {}).items():
+                candidates.append(RibEntry(route, neighbor))
+            best = _select_best(router, candidates)
+            if best is not None:
+                rib[prefix] = best
+        return rib
+
+    previous: Ribs = {name: best_rib(name) for name in network.routers}
+    for _ in range(max_iterations):
+        changed = False
+        for sender_name in sorted(network.routers):
+            sender = network.router(sender_name)
+            for receiver_name in network.neighbors(sender_name):
+                receiver = network.router(receiver_name)
+                offered: Dict[Ipv4Prefix, BgpRoute] = {}
+                for prefix, entry in previous[sender_name].items():
+                    if entry.learned_from == receiver_name:
+                        continue  # split horizon
+                    route = entry.route
+                    exported = _apply_chain(
+                        sender,
+                        sender.export_policies.get(receiver_name, ()),
+                        route,
+                    )
+                    if exported is None:
+                        continue
+                    if sender.asn != receiver.asn:
+                        exported = exported.prepend((sender.asn,))
+                        # Local preference and weight are local attributes
+                        # and do not cross an eBGP boundary.
+                        exported = exported.with_updates(
+                            local_preference=DEFAULT_LOCAL_PREFERENCE, weight=0
+                        )
+                    if receiver.asn in exported.asns():
+                        continue  # loop prevention
+                    imported = _apply_chain(
+                        receiver,
+                        receiver.import_policies.get(sender_name, ()),
+                        exported,
+                    )
+                    if imported is None:
+                        continue
+                    offered[prefix] = imported
+                # Replace the sender's column in the receiver's Adj-RIB-In.
+                for prefix in list(adj_rib_in[receiver_name]):
+                    column = adj_rib_in[receiver_name][prefix]
+                    if sender_name in column and prefix not in offered:
+                        del column[sender_name]
+                        changed = True
+                for prefix, route in offered.items():
+                    column = adj_rib_in[receiver_name].setdefault(prefix, {})
+                    if column.get(sender_name) != route:
+                        column[sender_name] = route
+                        changed = True
+        current: Ribs = {name: best_rib(name) for name in network.routers}
+        if not changed and current == previous:
+            return current
+        previous = current
+    raise ConvergenceError(
+        f"no fixpoint after {max_iterations} iterations; "
+        "the policy set likely oscillates"
+    )
+
+
+__all__ = ["ConvergenceError", "RibEntry", "Ribs", "simulate"]

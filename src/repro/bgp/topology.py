@@ -1,0 +1,114 @@
+"""Routers, sessions, and policy attachments."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config.store import ConfigStore
+from repro.netaddr import Ipv4Prefix
+from repro.route import BgpRoute
+
+
+@dataclasses.dataclass
+class Router:
+    """One BGP speaker: its ASN, configuration store, and originations."""
+
+    name: str
+    asn: int
+    router_id: int
+    store: ConfigStore = dataclasses.field(default_factory=ConfigStore)
+    originated: List[BgpRoute] = dataclasses.field(default_factory=list)
+    #: Per-neighbor route-map chains (applied in order; all must permit).
+    import_policies: Dict[str, Tuple[str, ...]] = dataclasses.field(
+        default_factory=dict
+    )
+    export_policies: Dict[str, Tuple[str, ...]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def originate(
+        self,
+        prefix: str,
+        communities: Tuple[str, ...] = (),
+        metric: int = 0,
+    ) -> None:
+        """Originate a prefix from this router."""
+        self.originated.append(
+            BgpRoute.build(prefix, communities=communities, metric=metric)
+        )
+
+
+class Network:
+    """A topology of routers and bidirectional eBGP sessions."""
+
+    def __init__(self) -> None:
+        self.routers: Dict[str, Router] = {}
+        self.sessions: Set[Tuple[str, str]] = set()
+
+    def add_router(
+        self,
+        name: str,
+        asn: int,
+        router_id: Optional[int] = None,
+        store: Optional[ConfigStore] = None,
+    ) -> Router:
+        if name in self.routers:
+            raise ValueError(f"duplicate router {name!r}")
+        router = Router(
+            name=name,
+            asn=asn,
+            router_id=router_id if router_id is not None else len(self.routers) + 1,
+            store=store if store is not None else ConfigStore(),
+        )
+        self.routers[name] = router
+        return router
+
+    def router(self, name: str) -> Router:
+        try:
+            return self.routers[name]
+        except KeyError:
+            raise KeyError(f"unknown router {name!r}") from None
+
+    def connect(self, a: str, b: str) -> None:
+        """Create a bidirectional BGP session between two routers."""
+        if a == b:
+            raise ValueError("cannot connect a router to itself")
+        self.router(a)
+        self.router(b)
+        self.sessions.add((min(a, b), max(a, b)))
+
+    def neighbors(self, name: str) -> List[str]:
+        out = []
+        for x, y in sorted(self.sessions):
+            if x == name:
+                out.append(y)
+            elif y == name:
+                out.append(x)
+        return out
+
+    def set_import_policy(
+        self, router: str, neighbor: str, chain: Tuple[str, ...]
+    ) -> None:
+        """Attach an ordered route-map chain to routes from ``neighbor``."""
+        self._check_session(router, neighbor)
+        for name in chain:
+            self.router(router).store.route_map(name)  # must exist
+        self.router(router).import_policies[neighbor] = tuple(chain)
+
+    def set_export_policy(
+        self, router: str, neighbor: str, chain: Tuple[str, ...]
+    ) -> None:
+        """Attach an ordered route-map chain to routes sent to ``neighbor``."""
+        self._check_session(router, neighbor)
+        for name in chain:
+            self.router(router).store.route_map(name)
+        self.router(router).export_policies[neighbor] = tuple(chain)
+
+    def _check_session(self, router: str, neighbor: str) -> None:
+        key = (min(router, neighbor), max(router, neighbor))
+        if key not in self.sessions:
+            raise ValueError(f"no session between {router} and {neighbor}")
+
+
+__all__ = ["Network", "Router"]

@@ -1,0 +1,321 @@
+"""The ``clarify`` command-line front end.
+
+Subcommands::
+
+    clarify add        one incremental update (interactive disambiguation)
+    clarify overlaps   the §3 overlap analysis over a config file
+    clarify compare    differential examples between two route-maps
+    clarify eval       the §5 evaluation (Figure 4 + global policies)
+    clarify corpus     generate a §3 synthetic corpus and report stats
+
+``clarify add`` reads an existing IOS configuration, runs the full
+Clarify cycle for an English intent, asks the differential questions on
+stdin, and prints the updated configuration to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import parse_config, render_config
+from repro.core import ClarifySession, DisambiguationMode, ScriptedOracle
+from repro.core.errors import ClarifyError
+from repro.core.oracle import DisambiguationQuestion
+from repro.llm.simulated import SimulatedLLM
+
+
+class StdioOracle:
+    """Asks differential questions on the terminal."""
+
+    def __init__(self, out=sys.stdout, inp=sys.stdin) -> None:
+        self._out = out
+        self._in = inp
+
+    def choose(self, question: DisambiguationQuestion) -> int:
+        self._out.write(question.render() + "\n")
+        self._out.flush()
+        while True:
+            line = self._in.readline()
+            if not line:
+                raise ClarifyError("no answer on stdin")
+            answer = line.strip()
+            if answer in ("1", "2"):
+                return int(answer)
+            self._out.write("Please answer 1 or 2: ")
+            self._out.flush()
+
+
+def _read_config(path: Optional[str]):
+    if path is None:
+        return parse_config("")
+    with open(path) as handle:
+        return parse_config(handle.read())
+
+
+def cmd_add(args: argparse.Namespace) -> int:
+    store = _read_config(args.config)
+    if args.answers:
+        oracle = ScriptedOracle([int(a) for a in args.answers.split(",")])
+    else:
+        oracle = StdioOracle()
+    mode = (
+        DisambiguationMode.TOP_BOTTOM
+        if args.top_bottom
+        else DisambiguationMode.FULL
+    )
+    session = ClarifySession(
+        store=store, llm=SimulatedLLM(), oracle=oracle, mode=mode
+    )
+    try:
+        report = session.request(args.intent, args.target)
+    except (ClarifyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"! inserted at position {report.position} "
+        f"({report.llm_calls} LLM calls, {report.questions} questions)",
+        file=sys.stderr,
+    )
+    if args.diff:
+        print(report.diff)
+    else:
+        print(render_config(session.store))
+    return 0
+
+
+def cmd_overlaps(args: argparse.Namespace) -> int:
+    from repro.overlap import (
+        AclCorpusStats,
+        RouteMapCorpusStats,
+        acl_overlap_report,
+        route_map_overlap_report,
+    )
+
+    store = _read_config(args.config)
+    acl_reports = [
+        acl_overlap_report(acl, with_witnesses=args.verbose)
+        for acl in store.acls()
+    ]
+    rm_reports = [
+        route_map_overlap_report(rm, store, with_witnesses=args.verbose)
+        for rm in store.route_maps()
+    ]
+    if acl_reports:
+        print(AclCorpusStats.collect(acl_reports).render())
+    if rm_reports:
+        print(RouteMapCorpusStats.collect(rm_reports).render())
+    if args.verbose:
+        for report in acl_reports + rm_reports:
+            for pair in report.pairs:
+                kind = "conflict" if pair.conflicting else "overlap"
+                extra = " (subset)" if pair.subset else ""
+                print(f"{report.name}: {pair.seq_a} ~ {pair.seq_b}: {kind}{extra}")
+                if pair.witness is not None:
+                    print(pair.witness.render(indent="    "))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis import compare_route_policies
+
+    store_a = _read_config(args.config_a)
+    store_b = _read_config(args.config_b)
+    differences = compare_route_policies(
+        store_a.route_map(args.name),
+        store_b.route_map(args.name),
+        store_a,
+        store_b,
+        max_differences=args.limit,
+    )
+    if not differences:
+        print("the two route-maps are behaviourally equivalent")
+        return 0
+    for idx, diff in enumerate(differences, start=1):
+        print(f"=== difference {idx} ===")
+        print(diff.render())
+        print()
+    return 2
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    from repro.evalcase import build_figure3, figure4_rows
+
+    if args.from_configs:
+        from repro.evalcase.devices import build_figure3_from_files
+
+        result = build_figure3_from_files()
+        print("(network reassembled from rendered device files)")
+    else:
+        result = build_figure3()
+    print("Figure 4: router statistics")
+    print(f"{'Router':<8}{'#Route-maps':<14}{'#LLM calls':<12}{'#Disambiguation'}")
+    for name, maps, calls, interactions in figure4_rows(result.stats):
+        print(f"{name:<8}{maps:<14}{calls:<12}{interactions}")
+    print()
+    print("Global policies:")
+    ok = True
+    for policy, holds in result.policy_results.items():
+        print(f"  {policy}: {'PASS' if holds else 'FAIL'}")
+        ok = ok and holds
+    return 0 if ok else 1
+
+
+def cmd_list_add(args: argparse.Namespace) -> int:
+    """Disambiguated insertion into a prefix-list (the §7 extension)."""
+    from repro.config.lists import PrefixListEntry
+    from repro.core.listinsert import disambiguate_prefix_list_entry
+    from repro.netaddr import Ipv4Prefix
+
+    store = _read_config(args.config)
+    try:
+        entry = PrefixListEntry(
+            seq=0,
+            action=args.action,
+            prefix=Ipv4Prefix.parse(args.prefix),
+            ge=args.ge,
+            le=args.le,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.answers:
+        oracle = ScriptedOracle([int(a) for a in args.answers.split(",")])
+    else:
+        oracle = StdioOracle()
+    try:
+        result = disambiguate_prefix_list_entry(
+            store, args.target, entry, oracle
+        )
+    except ClarifyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"! inserted at position {result.position} "
+        f"({result.question_count} questions)",
+        file=sys.stderr,
+    )
+    print(render_config(result.store))
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.overlap import (
+        AclCorpusStats,
+        RouteMapCorpusStats,
+        acl_overlap_report,
+        route_map_overlap_report,
+    )
+
+    if args.which == "cloud":
+        from repro.synth import generate_cloud_corpus
+
+        corpus = generate_cloud_corpus(seed=args.seed, scale=args.scale)
+    else:
+        from repro.synth import generate_campus_corpus
+        from repro.synth.campus import TOTAL_ACLS, TOTAL_ROUTE_MAPS
+
+        corpus = generate_campus_corpus(
+            seed=args.seed,
+            total_acls=max(1, round(TOTAL_ACLS * args.scale)),
+            route_maps=max(1, round(TOTAL_ROUTE_MAPS * args.scale)),
+        )
+    acl_stats = AclCorpusStats.collect(
+        acl_overlap_report(acl) for acl in corpus.acls
+    )
+    rm_stats = RouteMapCorpusStats.collect(
+        route_map_overlap_report(rm, corpus.store) for rm in corpus.route_maps
+    )
+    print(acl_stats.render())
+    print()
+    print(rm_stats.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="clarify",
+        description="LLM-based incremental network configuration synthesis "
+        "with intent disambiguation (HotNets '25 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_add = sub.add_parser("add", help="run one incremental update")
+    p_add.add_argument("intent", help="the English intent for the new stanza")
+    p_add.add_argument("--config", help="existing IOS configuration file")
+    p_add.add_argument(
+        "--target", required=True, help="route-map or ACL to update"
+    )
+    p_add.add_argument(
+        "--answers",
+        help="comma-separated scripted answers (1/2) instead of stdin",
+    )
+    p_add.add_argument(
+        "--top-bottom",
+        action="store_true",
+        help="use the prototype's top/bottom-only disambiguation",
+    )
+    p_add.add_argument(
+        "--diff",
+        action="store_true",
+        help="print a unified diff of the change instead of the full config",
+    )
+    p_add.set_defaults(func=cmd_add)
+
+    p_overlaps = sub.add_parser("overlaps", help="run the §3 overlap analysis")
+    p_overlaps.add_argument("--config", required=True)
+    p_overlaps.add_argument("--verbose", action="store_true")
+    p_overlaps.set_defaults(func=cmd_overlaps)
+
+    p_compare = sub.add_parser(
+        "compare", help="differential examples between two route-maps"
+    )
+    p_compare.add_argument("--config-a", required=True)
+    p_compare.add_argument("--config-b", required=True)
+    p_compare.add_argument("--name", required=True, help="route-map name")
+    p_compare.add_argument("--limit", type=int, default=3)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_eval = sub.add_parser("eval", help="run the §5 evaluation (Figure 4)")
+    p_eval.add_argument(
+        "--from-configs",
+        action="store_true",
+        help="re-check the policies on a network reassembled from rendered "
+        "device configuration files",
+    )
+    p_eval.set_defaults(func=cmd_eval)
+
+    p_list = sub.add_parser(
+        "list-add",
+        help="insert a prefix-list entry with disambiguation (§7 extension)",
+    )
+    p_list.add_argument("--config", help="existing IOS configuration file")
+    p_list.add_argument("--target", required=True, help="prefix-list name")
+    p_list.add_argument("--action", choices=("permit", "deny"), required=True)
+    p_list.add_argument("--prefix", required=True, help="e.g. 10.1.2.0/24")
+    p_list.add_argument("--ge", type=int)
+    p_list.add_argument("--le", type=int)
+    p_list.add_argument(
+        "--answers",
+        help="comma-separated scripted answers (1/2) instead of stdin",
+    )
+    p_list.set_defaults(func=cmd_list_add)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="generate a §3 corpus and report overlap statistics"
+    )
+    p_corpus.add_argument("which", choices=("cloud", "campus"))
+    p_corpus.add_argument("--seed", type=int, default=2025)
+    p_corpus.add_argument("--scale", type=float, default=1.0)
+    p_corpus.set_defaults(func=cmd_corpus)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""The Cisco IOS configuration model.
+
+This package models the configuration constructs the paper's pipeline
+manipulates: route-maps with match/set clauses, extended ACLs, and the
+ancillary lists route-maps reference (prefix-lists, community-lists,
+AS-path access-lists).  It includes a parser for the IOS subset used in
+the paper's examples and a renderer back to IOS text, plus the
+name-collision machinery used when an LLM-generated snippet is inserted
+into an existing configuration (Fig. 2: "data structure names are
+automatically updated by the tool during insertion").
+"""
+
+from repro.config.acl import Acl, AclRule, PortSpec, ProtocolSpec
+from repro.config.lists import (
+    AsPathAccessList,
+    AsPathEntry,
+    CommunityList,
+    CommunityListEntry,
+    PrefixList,
+    PrefixListEntry,
+)
+from repro.config.matches import (
+    MatchAsPath,
+    MatchClause,
+    MatchCommunity,
+    MatchLocalPreference,
+    MatchMetric,
+    MatchPrefixList,
+    MatchTag,
+)
+from repro.config.names import rename_snippet_lists
+from repro.config.parser import ConfigParseError, parse_config
+from repro.config.render import render_config
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.config.sets import (
+    SetAsPathPrepend,
+    SetClause,
+    SetCommunity,
+    SetLocalPreference,
+    SetMetric,
+    SetNextHop,
+    SetTag,
+    SetWeight,
+)
+from repro.config.store import ConfigStore
+
+__all__ = [
+    "Acl",
+    "AclRule",
+    "AsPathAccessList",
+    "AsPathEntry",
+    "CommunityList",
+    "CommunityListEntry",
+    "ConfigParseError",
+    "ConfigStore",
+    "MatchAsPath",
+    "MatchClause",
+    "MatchCommunity",
+    "MatchLocalPreference",
+    "MatchMetric",
+    "MatchPrefixList",
+    "MatchTag",
+    "PortSpec",
+    "PrefixList",
+    "PrefixListEntry",
+    "ProtocolSpec",
+    "RouteMap",
+    "RouteMapStanza",
+    "SetAsPathPrepend",
+    "SetClause",
+    "SetCommunity",
+    "SetLocalPreference",
+    "SetMetric",
+    "SetNextHop",
+    "SetTag",
+    "SetWeight",
+    "parse_config",
+    "render_config",
+    "rename_snippet_lists",
+]

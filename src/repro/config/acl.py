@@ -1,0 +1,200 @@
+"""Extended IP access-control lists."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.netaddr import IntervalSet, Ipv4Wildcard
+from repro.route.packet import PORT_PROTOCOLS, PROTOCOL_NUMBERS, Packet
+
+PERMIT = "permit"
+DENY = "deny"
+
+FULL_PORT_RANGE = IntervalSet.closed(0, 65535)
+FULL_PROTOCOL_RANGE = IntervalSet.closed(0, 255)
+
+
+@dataclasses.dataclass(frozen=True)
+class PortSpec:
+    """A port match: ``eq``, ``neq``, ``lt``, ``gt``, ``range``, or any.
+
+    Stored canonically as an :class:`IntervalSet`, with the original
+    operator retained for faithful rendering.
+    """
+
+    op: str = "any"
+    values: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in ("any", "eq", "neq", "lt", "gt", "range"):
+            raise ValueError(f"unknown port operator {self.op!r}")
+        for value in self.values:
+            if not 0 <= value <= 65535:
+                raise ValueError(f"port out of range: {value}")
+        if self.op == "range" and len(self.values) != 2:
+            raise ValueError("range takes exactly two ports")
+        if self.op in ("lt", "gt") and len(self.values) != 1:
+            raise ValueError(f"{self.op} takes exactly one port")
+        if self.op in ("eq", "neq") and not self.values:
+            raise ValueError(f"{self.op} needs at least one port")
+        if self.op == "range" and self.values[0] > self.values[1]:
+            raise ValueError(f"empty port range {self.values}")
+
+    def to_intervals(self) -> IntervalSet:
+        if self.op == "any":
+            return FULL_PORT_RANGE
+        if self.op == "eq":
+            return IntervalSet.of(*self.values)
+        if self.op == "neq":
+            return IntervalSet.of(*self.values).complement(FULL_PORT_RANGE)
+        if self.op == "lt":
+            return IntervalSet.closed(0, self.values[0] - 1) if self.values[0] else IntervalSet.empty()
+        if self.op == "gt":
+            return IntervalSet.closed(self.values[0] + 1, 65535) if self.values[0] < 65535 else IntervalSet.empty()
+        return IntervalSet.closed(self.values[0], self.values[1])
+
+    def matches(self, port: int) -> bool:
+        return self.to_intervals().contains(port)
+
+    def render(self) -> str:
+        if self.op == "any":
+            return ""
+        return f"{self.op} " + " ".join(str(v) for v in self.values)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolSpec:
+    """The protocol field of an ACL rule: ``ip`` (any) or one protocol."""
+
+    name: str = "ip"
+
+    def __post_init__(self) -> None:
+        if self.name != "ip" and self.name not in PROTOCOL_NUMBERS:
+            if not self.name.isdigit() or not 0 <= int(self.name) <= 255:
+                raise ValueError(f"unknown protocol {self.name!r}")
+
+    def to_intervals(self) -> IntervalSet:
+        if self.name == "ip":
+            return FULL_PROTOCOL_RANGE
+        return IntervalSet.single(self.number())
+
+    def number(self) -> Optional[int]:
+        if self.name == "ip":
+            return None
+        if self.name.isdigit():
+            return int(self.name)
+        return PROTOCOL_NUMBERS[self.name]
+
+    def matches(self, protocol: int) -> bool:
+        return self.name == "ip" or self.number() == protocol
+
+    def carries_ports(self) -> bool:
+        number = self.number()
+        return number in PORT_PROTOCOLS if number is not None else False
+
+
+@dataclasses.dataclass(frozen=True)
+class AclRule:
+    """One extended-ACL rule."""
+
+    seq: int
+    action: str
+    protocol: ProtocolSpec
+    src: Ipv4Wildcard
+    dst: Ipv4Wildcard
+    src_ports: PortSpec = PortSpec()
+    dst_ports: PortSpec = PortSpec()
+    established: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in (PERMIT, DENY):
+            raise ValueError(
+                f"action must be 'permit' or 'deny', got {self.action!r}"
+            )
+        if not self.protocol.carries_ports():
+            for spec, what in (
+                (self.src_ports, "source"),
+                (self.dst_ports, "destination"),
+            ):
+                if spec.op != "any":
+                    raise ValueError(
+                        f"{what} ports given for portless protocol "
+                        f"{self.protocol.name} (seq {self.seq})"
+                    )
+        if self.established and self.protocol.number() != PROTOCOL_NUMBERS["tcp"]:
+            raise ValueError(f"'established' requires tcp (seq {self.seq})")
+
+    def matches(self, packet: Packet) -> bool:
+        if not self.protocol.matches(packet.protocol):
+            return False
+        if not self.src.matches(packet.src_ip) or not self.dst.matches(packet.dst_ip):
+            return False
+        if self.protocol.carries_ports() and packet.has_ports():
+            if not self.src_ports.matches(packet.src_port):
+                return False
+            if not self.dst_ports.matches(packet.dst_port):
+                return False
+        if self.established and not packet.tcp_established:
+            return False
+        return True
+
+    def with_seq(self, seq: int) -> "AclRule":
+        return dataclasses.replace(self, seq=seq)
+
+
+@dataclasses.dataclass(frozen=True)
+class Acl:
+    """A named extended ACL; first matching rule wins, implicit deny."""
+
+    name: str
+    rules: Tuple[AclRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        seqs = [r.seq for r in self.rules]
+        if seqs != sorted(seqs) or len(set(seqs)) != len(seqs):
+            raise ValueError(
+                f"ACL {self.name}: rule sequence numbers must be strictly "
+                f"increasing, got {seqs}"
+            )
+
+    def permits(self, packet: Packet) -> bool:
+        for rule in self.rules:
+            if rule.matches(packet):
+                return rule.action == PERMIT
+        return False
+
+    def first_match(self, packet: Packet) -> Optional[AclRule]:
+        for rule in self.rules:
+            if rule.matches(packet):
+                return rule
+        return None
+
+    def insert(self, rule: AclRule, position: int) -> "Acl":
+        """A new ACL with ``rule`` inserted before index ``position``."""
+        if not 0 <= position <= len(self.rules):
+            raise ValueError(
+                f"insertion position {position} out of range "
+                f"(0..{len(self.rules)})"
+            )
+        combined: List[AclRule] = list(self.rules)
+        combined.insert(position, rule)
+        renumbered = tuple(
+            r.with_seq(10 * (idx + 1)) for idx, r in enumerate(combined)
+        )
+        return Acl(self.name, renumbered)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+__all__ = [
+    "PERMIT",
+    "DENY",
+    "Acl",
+    "AclRule",
+    "PortSpec",
+    "ProtocolSpec",
+    "FULL_PORT_RANGE",
+    "FULL_PROTOCOL_RANGE",
+]

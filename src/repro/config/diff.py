@@ -1,0 +1,46 @@
+"""Line-level configuration diffs.
+
+Incremental updates need audit trails: operators review what an update
+actually changed before pushing it.  :func:`config_diff` renders two
+stores and reports added/removed lines in unified style (a deliberate,
+dependency-free subset of ``difflib`` output).
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import List
+
+from repro.config.render import render_config
+from repro.config.store import ConfigStore
+
+
+def config_diff(before: ConfigStore, after: ConfigStore) -> str:
+    """A unified diff of the rendered configurations ('' if identical)."""
+    old = render_config(before).splitlines()
+    new = render_config(after).splitlines()
+    lines: List[str] = list(
+        difflib.unified_diff(old, new, "before", "after", lineterm="")
+    )
+    return "\n".join(lines)
+
+
+def added_lines(before: ConfigStore, after: ConfigStore) -> List[str]:
+    """Just the configuration lines the update introduced."""
+    return [
+        line[1:]
+        for line in config_diff(before, after).splitlines()
+        if line.startswith("+") and not line.startswith("+++")
+    ]
+
+
+def removed_lines(before: ConfigStore, after: ConfigStore) -> List[str]:
+    """Just the configuration lines the update removed."""
+    return [
+        line[1:]
+        for line in config_diff(before, after).splitlines()
+        if line.startswith("-") and not line.startswith("---")
+    ]
+
+
+__all__ = ["added_lines", "config_diff", "removed_lines"]

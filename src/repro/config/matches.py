@@ -1,0 +1,106 @@
+"""Route-map match clauses.
+
+A stanza's clauses are evaluated conjunctively (all must match); multiple
+list names inside one clause are disjunctive, mirroring IOS behaviour of
+``match ip address prefix-list A B`` ("matches A or B").
+
+Concrete evaluation needs the enclosing :class:`~repro.config.store.ConfigStore`
+to resolve list names; dangling references raise ``KeyError`` with the
+offending name so configuration bugs surface loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Tuple
+
+from repro.route import BgpRoute
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.config.store import ConfigStore
+
+
+class MatchClause:
+    """Base class for route-map match clauses."""
+
+    __slots__ = ()
+
+    def matches(self, route: BgpRoute, store: "ConfigStore") -> bool:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchPrefixList(MatchClause):
+    """``match ip address prefix-list <names...>``"""
+
+    names: Tuple[str, ...]
+
+    def matches(self, route: BgpRoute, store: "ConfigStore") -> bool:
+        return any(
+            store.prefix_list(name).permits(route.network) for name in self.names
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchCommunity(MatchClause):
+    """``match community <names...>``"""
+
+    names: Tuple[str, ...]
+
+    def matches(self, route: BgpRoute, store: "ConfigStore") -> bool:
+        return any(
+            store.community_list(name).permits(route) for name in self.names
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchAsPath(MatchClause):
+    """``match as-path <names...>``"""
+
+    names: Tuple[str, ...]
+
+    def matches(self, route: BgpRoute, store: "ConfigStore") -> bool:
+        return any(
+            store.as_path_list(name).permits(route) for name in self.names
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchLocalPreference(MatchClause):
+    """``match local-preference <value>``"""
+
+    value: int
+
+    def matches(self, route: BgpRoute, store: "ConfigStore") -> bool:
+        return route.local_preference == self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchMetric(MatchClause):
+    """``match metric <value>``"""
+
+    value: int
+
+    def matches(self, route: BgpRoute, store: "ConfigStore") -> bool:
+        return route.metric == self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchTag(MatchClause):
+    """``match tag <value>``"""
+
+    value: int
+
+    def matches(self, route: BgpRoute, store: "ConfigStore") -> bool:
+        return route.tag == self.value
+
+
+__all__ = [
+    "MatchClause",
+    "MatchPrefixList",
+    "MatchCommunity",
+    "MatchAsPath",
+    "MatchLocalPreference",
+    "MatchMetric",
+    "MatchTag",
+]

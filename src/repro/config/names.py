@@ -1,0 +1,143 @@
+"""Name-collision resolution for snippet insertion.
+
+The LLM synthesises its snippet in isolation, so the ancillary lists it
+defines (``COM_LIST``, ``PREFIX_100``, ...) may collide with, or simply
+not follow, the naming scheme of the target configuration.  Figure 2 of
+the paper notes that "data structure names are automatically updated by
+the tool during insertion" (e.g. the snippet's lists become ``D2``/``D3``
+next to the existing ``D0``/``D1``).  This module implements that rename.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.config.matches import (
+    MatchAsPath,
+    MatchClause,
+    MatchCommunity,
+    MatchPrefixList,
+)
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.config.store import ConfigStore
+
+_NUMBERED_NAME = re.compile(r"^([A-Za-z_]+?)(\d+)$")
+
+
+def _family_counter(existing: Iterable[str]) -> Optional[Tuple[str, int]]:
+    """Detect a shared ``<stem><number>`` naming family, e.g. D0/D1 -> (D, 2).
+
+    Returns the stem and the next free number, or ``None`` when the
+    existing names do not share one numbered family.
+    """
+    stems: Dict[str, int] = {}
+    total = 0
+    for name in existing:
+        match = _NUMBERED_NAME.match(name)
+        if not match:
+            return None
+        stem, number = match.group(1), int(match.group(2))
+        stems[stem] = max(stems.get(stem, -1), number)
+        total += 1
+    if len(stems) != 1 or total == 0:
+        return None
+    ((stem, highest),) = stems.items()
+    return stem, highest + 1
+
+
+def _fresh_name(base: str, taken: Set[str]) -> str:
+    if base not in taken:
+        return base
+    counter = 2
+    while f"{base}_{counter}" in taken:
+        counter += 1
+    return f"{base}_{counter}"
+
+
+def plan_renames(snippet: ConfigStore, target: ConfigStore) -> Dict[str, str]:
+    """Map each snippet list name to the name it should take in ``target``.
+
+    If the target's lists follow one numbered family (``D0``, ``D1``, ...)
+    the snippet's lists continue that family (``D2``, ``D3``, ...) in
+    definition order, reproducing the paper's Figure 2.  Otherwise names
+    are kept, suffixed only on collision.
+    """
+    target_names = set(target.list_names())
+    snippet_names = [pl.name for pl in snippet.prefix_lists()]
+    snippet_names += [cl.name for cl in snippet.community_lists()]
+    snippet_names += [al.name for al in snippet.as_path_lists()]
+    # Definition order in rename should mirror the listing order the paper
+    # uses: community lists first, then prefix lists, then as-path lists.
+    ordered = (
+        [cl.name for cl in snippet.community_lists()]
+        + [pl.name for pl in snippet.prefix_lists()]
+        + [al.name for al in snippet.as_path_lists()]
+    )
+
+    family = _family_counter(target_names) if target_names else None
+    renames: Dict[str, str] = {}
+    taken = set(target_names)
+    if family is not None:
+        stem, counter = family
+        for name in ordered:
+            new_name = f"{stem}{counter}"
+            counter += 1
+            renames[name] = new_name
+            taken.add(new_name)
+        return renames
+    for name in ordered:
+        new_name = _fresh_name(name, taken)
+        renames[name] = new_name
+        taken.add(new_name)
+    return renames
+
+
+def _rename_match(clause: MatchClause, renames: Dict[str, str]) -> MatchClause:
+    if isinstance(clause, MatchPrefixList):
+        return MatchPrefixList(tuple(renames.get(n, n) for n in clause.names))
+    if isinstance(clause, MatchCommunity):
+        return MatchCommunity(tuple(renames.get(n, n) for n in clause.names))
+    if isinstance(clause, MatchAsPath):
+        return MatchAsPath(tuple(renames.get(n, n) for n in clause.names))
+    return clause
+
+
+def rename_snippet_lists(
+    snippet: ConfigStore, target: ConfigStore
+) -> ConfigStore:
+    """A copy of ``snippet`` with its ancillary lists renamed for ``target``.
+
+    Both the list definitions and every reference from the snippet's
+    route-map stanzas are rewritten consistently.
+    """
+    renames = plan_renames(snippet, target)
+    out = ConfigStore()
+    for pl in snippet.prefix_lists():
+        out.add_prefix_list(dataclasses.replace(pl, name=renames.get(pl.name, pl.name)))
+    for cl in snippet.community_lists():
+        out.add_community_list(
+            dataclasses.replace(cl, name=renames.get(cl.name, cl.name))
+        )
+    for al in snippet.as_path_lists():
+        out.add_as_path_list(
+            dataclasses.replace(al, name=renames.get(al.name, al.name))
+        )
+    for rm in snippet.route_maps():
+        stanzas = tuple(
+            RouteMapStanza(
+                seq=s.seq,
+                action=s.action,
+                matches=tuple(_rename_match(m, renames) for m in s.matches),
+                sets=s.sets,
+            )
+            for s in rm.stanzas
+        )
+        out.add_route_map(RouteMap(rm.name, stanzas))
+    for acl in snippet.acls():
+        out.add_acl(acl)
+    return out
+
+
+__all__ = ["plan_renames", "rename_snippet_lists"]

@@ -1,0 +1,448 @@
+"""Parser for the Cisco IOS configuration subset used in the paper.
+
+Supported constructs::
+
+    ip as-path access-list <name> (permit|deny) <regex>
+    ip community-list (expanded|standard) <name> (permit|deny) <body>
+    ip prefix-list <name> [seq <n>] (permit|deny) <prefix> [ge <n>] [le <n>]
+    route-map <name> (permit|deny) <seq>
+      match ip address prefix-list <names...>
+      match community <names...>
+      match as-path <names...>
+      match (local-preference|metric|tag) <value>
+      set (metric|local-preference|tag|weight) <value>
+      set community <communities...> [additive]
+      set ip next-hop <address>
+      set as-path prepend <asns...>
+    ip access-list extended <name>
+      [<seq>] (permit|deny) <proto> <endpoint> [ports] <endpoint> [ports]
+              [established]
+
+Comment lines (``!``) and blank lines are ignored.  All errors carry the
+offending line number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.acl import Acl, AclRule, PortSpec, ProtocolSpec
+from repro.config.lists import (
+    AsPathAccessList,
+    AsPathEntry,
+    CommunityList,
+    CommunityListEntry,
+    PrefixList,
+    PrefixListEntry,
+)
+from repro.config.matches import (
+    MatchAsPath,
+    MatchClause,
+    MatchCommunity,
+    MatchLocalPreference,
+    MatchMetric,
+    MatchPrefixList,
+    MatchTag,
+)
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.config.sets import (
+    SetAsPathPrepend,
+    SetClause,
+    SetCommunity,
+    SetLocalPreference,
+    SetMetric,
+    SetNextHop,
+    SetTag,
+    SetWeight,
+)
+from repro.config.store import ConfigStore
+from repro.netaddr import Ipv4Address, Ipv4Prefix, Ipv4Wildcard
+
+
+class ConfigParseError(ValueError):
+    """Raised when configuration text cannot be parsed."""
+
+    def __init__(self, line_no: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+class _ConfigParser:
+    """Line-oriented parser building up a :class:`ConfigStore`."""
+
+    def __init__(self, text: str) -> None:
+        self.lines = text.splitlines()
+        self.index = 0
+        # Accumulators: objects are finalised at end-of-parse so entries
+        # for one list may be interleaved with other statements, as they
+        # are in real configs.
+        self.prefix_entries: Dict[str, List[PrefixListEntry]] = {}
+        self.prefix_auto_seq: Dict[str, int] = {}
+        self.community_entries: Dict[str, Tuple[bool, List[CommunityListEntry]]] = {}
+        self.as_path_entries: Dict[str, List[AsPathEntry]] = {}
+        self.route_map_stanzas: Dict[str, List[RouteMapStanza]] = {}
+        self.acl_rules: Dict[str, List[AclRule]] = {}
+        self.acl_order: List[str] = []
+
+    # ------------------------------------------------------------ plumbing
+
+    def _error(self, message: str) -> ConfigParseError:
+        line = self.lines[self.index - 1] if self.index else ""
+        return ConfigParseError(self.index, line, message)
+
+    def _next_line(self) -> Optional[str]:
+        while self.index < len(self.lines):
+            raw = self.lines[self.index]
+            self.index += 1
+            stripped = raw.strip()
+            if stripped and not stripped.startswith("!"):
+                return raw
+        return None
+
+    def _peek_line(self) -> Optional[str]:
+        save = self.index
+        line = self._next_line()
+        self.index = save
+        return line
+
+    # --------------------------------------------------------------- parse
+
+    def parse(self) -> ConfigStore:
+        while True:
+            raw = self._next_line()
+            if raw is None:
+                break
+            tokens = raw.split()
+            head = tokens[0]
+            if head == "ip":
+                self._parse_ip_statement(tokens)
+            elif head == "route-map":
+                self._parse_route_map(tokens)
+            else:
+                raise self._error(f"unknown statement {head!r}")
+        return self._finalise()
+
+    def _parse_ip_statement(self, tokens: List[str]) -> None:
+        if len(tokens) < 2:
+            raise self._error("truncated 'ip' statement")
+        kind = tokens[1]
+        if kind == "prefix-list":
+            self._parse_prefix_list(tokens)
+        elif kind == "community-list":
+            self._parse_community_list(tokens)
+        elif kind == "as-path" and len(tokens) > 2 and tokens[2] == "access-list":
+            self._parse_as_path_list(tokens)
+        elif kind == "access-list":
+            self._parse_acl(tokens)
+        else:
+            raise self._error(f"unknown 'ip {kind}' statement")
+
+    # ------------------------------------------------------- ancillary lists
+
+    def _parse_prefix_list(self, tokens: List[str]) -> None:
+        # ip prefix-list NAME [seq N] ACTION PREFIX [ge N] [le N]
+        it = iter(tokens[2:])
+        try:
+            name = next(it)
+            word = next(it)
+            if word == "seq":
+                seq = self._int(next(it), "sequence number")
+                action = next(it)
+            else:
+                seq = self.prefix_auto_seq.get(name, 0) + 5
+                action = word
+            prefix_text = next(it)
+        except StopIteration:
+            raise self._error("truncated prefix-list entry") from None
+        ge = le = None
+        rest = list(it)
+        while rest:
+            key = rest.pop(0)
+            if not rest:
+                raise self._error(f"missing value after {key!r}")
+            value = self._int(rest.pop(0), key)
+            if key == "ge":
+                ge = value
+            elif key == "le":
+                le = value
+            else:
+                raise self._error(f"unexpected token {key!r}")
+        try:
+            entry = PrefixListEntry(
+                seq=seq,
+                action=action,
+                prefix=Ipv4Prefix.parse(prefix_text),
+                ge=ge,
+                le=le,
+            )
+        except ValueError as exc:
+            raise self._error(str(exc)) from None
+        self.prefix_auto_seq[name] = max(self.prefix_auto_seq.get(name, 0), seq)
+        self.prefix_entries.setdefault(name, []).append(entry)
+
+    def _parse_community_list(self, tokens: List[str]) -> None:
+        # ip community-list (expanded|standard) NAME ACTION BODY...
+        if len(tokens) < 6:
+            raise self._error("truncated community-list entry")
+        kind, name, action = tokens[2], tokens[3], tokens[4]
+        body = tokens[5:]
+        if kind not in ("expanded", "standard"):
+            raise self._error(f"community-list kind must be expanded/standard, got {kind!r}")
+        expanded = kind == "expanded"
+        try:
+            if expanded:
+                entry = CommunityListEntry(action=action, regex=" ".join(body))
+            else:
+                entry = CommunityListEntry(action=action, communities=tuple(body))
+        except ValueError as exc:
+            raise self._error(str(exc)) from None
+        known = self.community_entries.setdefault(name, (expanded, []))
+        if known[0] != expanded:
+            raise self._error(
+                f"community-list {name!r} mixes expanded and standard entries"
+            )
+        known[1].append(entry)
+
+    def _parse_as_path_list(self, tokens: List[str]) -> None:
+        # ip as-path access-list NAME ACTION REGEX
+        if len(tokens) < 6:
+            raise self._error("truncated as-path access-list entry")
+        name, action = tokens[3], tokens[4]
+        regex = " ".join(tokens[5:])
+        try:
+            entry = AsPathEntry(action=action, regex=regex)
+        except ValueError as exc:
+            raise self._error(str(exc)) from None
+        self.as_path_entries.setdefault(name, []).append(entry)
+
+    # ------------------------------------------------------------ route-maps
+
+    def _parse_route_map(self, tokens: List[str]) -> None:
+        if len(tokens) != 4:
+            raise self._error("expected 'route-map NAME ACTION SEQ'")
+        name, action = tokens[1], tokens[2]
+        seq = self._int(tokens[3], "stanza sequence")
+        matches: List[MatchClause] = []
+        sets: List[SetClause] = []
+        while True:
+            peeked = self._peek_line()
+            if peeked is None:
+                break
+            words = peeked.split()
+            if words[0] == "match":
+                self._next_line()
+                matches.append(self._parse_match(words))
+            elif words[0] == "set":
+                self._next_line()
+                sets.append(self._parse_set(words))
+            else:
+                break
+        try:
+            stanza = RouteMapStanza(
+                seq=seq, action=action, matches=tuple(matches), sets=tuple(sets)
+            )
+        except ValueError as exc:
+            raise self._error(str(exc)) from None
+        self.route_map_stanzas.setdefault(name, []).append(stanza)
+
+    def _parse_match(self, words: List[str]) -> MatchClause:
+        if len(words) < 2:
+            raise self._error("truncated match clause")
+        kind = words[1]
+        if kind == "ip":
+            if words[1:4] != ["ip", "address", "prefix-list"] or len(words) < 5:
+                raise self._error("expected 'match ip address prefix-list NAMES'")
+            return MatchPrefixList(tuple(words[4:]))
+        if kind == "community":
+            if len(words) < 3:
+                raise self._error("match community needs at least one list name")
+            return MatchCommunity(tuple(words[2:]))
+        if kind == "as-path":
+            if len(words) < 3:
+                raise self._error("match as-path needs at least one list name")
+            return MatchAsPath(tuple(words[2:]))
+        if kind in ("local-preference", "metric", "tag"):
+            if len(words) != 3:
+                raise self._error(f"match {kind} takes one value")
+            value = self._int(words[2], kind)
+            if kind == "local-preference":
+                return MatchLocalPreference(value)
+            if kind == "metric":
+                return MatchMetric(value)
+            return MatchTag(value)
+        raise self._error(f"unknown match clause {kind!r}")
+
+    def _parse_set(self, words: List[str]) -> SetClause:
+        if len(words) < 2:
+            raise self._error("truncated set clause")
+        kind = words[1]
+        if kind in ("metric", "local-preference", "tag", "weight"):
+            if len(words) != 3:
+                raise self._error(f"set {kind} takes one value")
+            value = self._int(words[2], kind)
+            mapping = {
+                "metric": SetMetric,
+                "local-preference": SetLocalPreference,
+                "tag": SetTag,
+                "weight": SetWeight,
+            }
+            return mapping[kind](value)
+        if kind == "community":
+            values = words[2:]
+            additive = False
+            if values and values[-1] == "additive":
+                additive = True
+                values = values[:-1]
+            if not values:
+                raise self._error("set community needs at least one community")
+            return SetCommunity(tuple(values), additive=additive)
+        if kind == "ip":
+            if words[1:3] != ["ip", "next-hop"] or len(words) != 4:
+                raise self._error("expected 'set ip next-hop ADDRESS'")
+            try:
+                return SetNextHop(Ipv4Address.parse(words[3]))
+            except ValueError as exc:
+                raise self._error(str(exc)) from None
+        if kind == "as-path":
+            if words[1:3] != ["as-path", "prepend"] or len(words) < 4:
+                raise self._error("expected 'set as-path prepend ASNS'")
+            return SetAsPathPrepend(
+                tuple(self._int(w, "ASN") for w in words[3:])
+            )
+        raise self._error(f"unknown set clause {kind!r}")
+
+    # ------------------------------------------------------------------ ACLs
+
+    def _parse_acl(self, tokens: List[str]) -> None:
+        # ip access-list extended NAME
+        if len(tokens) != 4 or tokens[2] != "extended":
+            raise self._error("expected 'ip access-list extended NAME'")
+        name = tokens[3]
+        if name not in self.acl_rules:
+            self.acl_rules[name] = []
+            self.acl_order.append(name)
+        rules = self.acl_rules[name]
+        auto_seq = rules[-1].seq if rules else 0
+        while True:
+            peeked = self._peek_line()
+            if peeked is None:
+                break
+            words = peeked.split()
+            if words[0] not in ("permit", "deny") and not words[0].isdigit():
+                break
+            self._next_line()
+            rules.append(self._parse_acl_rule(words, auto_seq))
+            auto_seq = rules[-1].seq
+
+    def _parse_acl_rule(self, words: List[str], auto_seq: int) -> AclRule:
+        queue = list(words)
+        if queue[0].isdigit():
+            seq = int(queue.pop(0))
+        else:
+            seq = auto_seq + 10
+        if not queue:
+            raise self._error("truncated ACL rule")
+        action = queue.pop(0)
+        if not queue:
+            raise self._error("ACL rule missing protocol")
+        try:
+            protocol = ProtocolSpec(queue.pop(0))
+        except ValueError as exc:
+            raise self._error(str(exc)) from None
+        src = self._parse_endpoint(queue)
+        src_ports = self._parse_ports(queue)
+        dst = self._parse_endpoint(queue)
+        dst_ports = self._parse_ports(queue)
+        established = False
+        if queue and queue[0] == "established":
+            queue.pop(0)
+            established = True
+        if queue:
+            raise self._error(f"trailing tokens in ACL rule: {queue}")
+        try:
+            return AclRule(
+                seq=seq,
+                action=action,
+                protocol=protocol,
+                src=src,
+                dst=dst,
+                src_ports=src_ports,
+                dst_ports=dst_ports,
+                established=established,
+            )
+        except ValueError as exc:
+            raise self._error(str(exc)) from None
+
+    def _parse_endpoint(self, queue: List[str]) -> Ipv4Wildcard:
+        if not queue:
+            raise self._error("ACL rule missing an address endpoint")
+        word = queue.pop(0)
+        try:
+            if word == "any":
+                return Ipv4Wildcard.any()
+            if word == "host":
+                if not queue:
+                    raise self._error("'host' missing its address")
+                return Ipv4Wildcard.host(Ipv4Address.parse(queue.pop(0)))
+            if not queue:
+                raise self._error(f"endpoint {word!r} missing its wildcard mask")
+            return Ipv4Wildcard(
+                Ipv4Address.parse(word), Ipv4Address.parse(queue.pop(0))
+            )
+        except ValueError as exc:
+            raise self._error(str(exc)) from None
+
+    def _parse_ports(self, queue: List[str]) -> PortSpec:
+        if not queue or queue[0] not in ("eq", "neq", "lt", "gt", "range"):
+            return PortSpec()
+        op = queue.pop(0)
+        values: List[int] = []
+        expected = 2 if op == "range" else 1
+        while queue and queue[0].isdigit():
+            values.append(int(queue.pop(0)))
+            if op in ("lt", "gt", "range") and len(values) == expected:
+                break
+        try:
+            return PortSpec(op, tuple(values))
+        except ValueError as exc:
+            raise self._error(str(exc)) from None
+
+    # -------------------------------------------------------------- finalise
+
+    def _int(self, text: str, what: str) -> int:
+        if not text.lstrip("-").isdigit():
+            raise self._error(f"expected integer {what}, got {text!r}")
+        return int(text)
+
+    def _finalise(self) -> ConfigStore:
+        store = ConfigStore()
+        for name, entries in self.prefix_entries.items():
+            ordered = tuple(sorted(entries, key=lambda e: e.seq))
+            store.add_prefix_list(PrefixList(name, ordered))
+        for name, (expanded, entries) in self.community_entries.items():
+            store.add_community_list(
+                CommunityList(name, tuple(entries), expanded=expanded)
+            )
+        for name, entries in self.as_path_entries.items():
+            store.add_as_path_list(AsPathAccessList(name, tuple(entries)))
+        for name, stanzas in self.route_map_stanzas.items():
+            ordered = tuple(sorted(stanzas, key=lambda s: s.seq))
+            try:
+                store.add_route_map(RouteMap(name, ordered))
+            except ValueError as exc:
+                raise ConfigParseError(0, name, str(exc)) from None
+        for name in self.acl_order:
+            try:
+                store.add_acl(Acl(name, tuple(self.acl_rules[name])))
+            except ValueError as exc:
+                raise ConfigParseError(0, name, str(exc)) from None
+        return store
+
+
+def parse_config(text: str) -> ConfigStore:
+    """Parse IOS configuration text into a :class:`ConfigStore`."""
+    return _ConfigParser(text).parse()
+
+
+__all__ = ["ConfigParseError", "parse_config"]

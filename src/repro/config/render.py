@@ -1,0 +1,190 @@
+"""Rendering configuration objects back to Cisco IOS text.
+
+The output uses the exact syntax the paper's examples use, so parsing and
+rendering round-trip (the property tests in ``tests/config`` check this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.config.acl import Acl, AclRule
+from repro.config.lists import (
+    AsPathAccessList,
+    CommunityList,
+    PrefixList,
+    PrefixListEntry,
+)
+from repro.config.matches import (
+    MatchAsPath,
+    MatchClause,
+    MatchCommunity,
+    MatchLocalPreference,
+    MatchMetric,
+    MatchPrefixList,
+    MatchTag,
+)
+from repro.config.routemap import RouteMap
+from repro.config.sets import (
+    SetAsPathPrepend,
+    SetClause,
+    SetCommunity,
+    SetLocalPreference,
+    SetMetric,
+    SetNextHop,
+    SetTag,
+    SetWeight,
+)
+from repro.config.store import ConfigStore
+from repro.netaddr import Ipv4Wildcard
+
+
+def render_prefix_list(pl: PrefixList) -> str:
+    lines = [render_prefix_list_entry(pl.name, e) for e in pl.entries]
+    return "\n".join(lines)
+
+
+def render_prefix_list_entry(name: str, entry: PrefixListEntry) -> str:
+    line = f"ip prefix-list {name} seq {entry.seq} {entry.action} {entry.prefix}"
+    if entry.ge is not None:
+        line += f" ge {entry.ge}"
+    if entry.le is not None:
+        line += f" le {entry.le}"
+    return line
+
+
+def render_community_list(cl: CommunityList) -> str:
+    kind = "expanded" if cl.expanded else "standard"
+    lines = []
+    for entry in cl.entries:
+        body = entry.regex if entry.regex is not None else " ".join(entry.communities)
+        lines.append(f"ip community-list {kind} {cl.name} {entry.action} {body}")
+    return "\n".join(lines)
+
+
+def render_as_path_list(al: AsPathAccessList) -> str:
+    return "\n".join(
+        f"ip as-path access-list {al.name} {e.action} {e.regex}"
+        for e in al.entries
+    )
+
+
+def render_match(clause: MatchClause) -> str:
+    if isinstance(clause, MatchPrefixList):
+        return "match ip address prefix-list " + " ".join(clause.names)
+    if isinstance(clause, MatchCommunity):
+        return "match community " + " ".join(clause.names)
+    if isinstance(clause, MatchAsPath):
+        return "match as-path " + " ".join(clause.names)
+    if isinstance(clause, MatchLocalPreference):
+        return f"match local-preference {clause.value}"
+    if isinstance(clause, MatchMetric):
+        return f"match metric {clause.value}"
+    if isinstance(clause, MatchTag):
+        return f"match tag {clause.value}"
+    raise TypeError(f"unknown match clause: {clause!r}")
+
+
+def render_set(clause: SetClause) -> str:
+    if isinstance(clause, SetMetric):
+        return f"set metric {clause.value}"
+    if isinstance(clause, SetLocalPreference):
+        return f"set local-preference {clause.value}"
+    if isinstance(clause, SetCommunity):
+        suffix = " additive" if clause.additive else ""
+        return "set community " + " ".join(clause.communities) + suffix
+    if isinstance(clause, SetNextHop):
+        return f"set ip next-hop {clause.address}"
+    if isinstance(clause, SetTag):
+        return f"set tag {clause.value}"
+    if isinstance(clause, SetWeight):
+        return f"set weight {clause.value}"
+    if isinstance(clause, SetAsPathPrepend):
+        return "set as-path prepend " + " ".join(str(a) for a in clause.asns)
+    raise TypeError(f"unknown set clause: {clause!r}")
+
+
+def render_route_map(rm: RouteMap) -> str:
+    lines: List[str] = []
+    for stanza in rm.stanzas:
+        lines.append(f"route-map {rm.name} {stanza.action} {stanza.seq}")
+        for clause in stanza.matches:
+            lines.append(" " + render_match(clause))
+        for clause in stanza.sets:
+            lines.append(" " + render_set(clause))
+    return "\n".join(lines)
+
+
+def _render_endpoint(wc: Ipv4Wildcard) -> str:
+    if wc == Ipv4Wildcard.any():
+        return "any"
+    if wc.wildcard.value == 0:
+        return f"host {wc.address}"
+    return f"{wc.address} {wc.wildcard}"
+
+
+def render_acl_rule(rule: AclRule) -> str:
+    parts = [str(rule.seq), rule.action, rule.protocol.name, _render_endpoint(rule.src)]
+    src_ports = rule.src_ports.render()
+    if src_ports:
+        parts.append(src_ports)
+    parts.append(_render_endpoint(rule.dst))
+    dst_ports = rule.dst_ports.render()
+    if dst_ports:
+        parts.append(dst_ports)
+    if rule.established:
+        parts.append("established")
+    return " ".join(parts)
+
+
+def render_acl(acl: Acl) -> str:
+    lines = [f"ip access-list extended {acl.name}"]
+    lines.extend(" " + render_acl_rule(rule) for rule in acl.rules)
+    return "\n".join(lines)
+
+
+Renderable = Union[PrefixList, CommunityList, AsPathAccessList, RouteMap, Acl]
+
+
+def render_object(obj: Renderable) -> str:
+    if isinstance(obj, PrefixList):
+        return render_prefix_list(obj)
+    if isinstance(obj, CommunityList):
+        return render_community_list(obj)
+    if isinstance(obj, AsPathAccessList):
+        return render_as_path_list(obj)
+    if isinstance(obj, RouteMap):
+        return render_route_map(obj)
+    if isinstance(obj, Acl):
+        return render_acl(obj)
+    raise TypeError(f"cannot render {obj!r}")
+
+
+def render_config(store: ConfigStore) -> str:
+    """Render a whole store in the order the paper's listings use."""
+    blocks: List[str] = []
+    for al in store.as_path_lists():
+        blocks.append(render_as_path_list(al))
+    for cl in store.community_lists():
+        blocks.append(render_community_list(cl))
+    for pl in store.prefix_lists():
+        blocks.append(render_prefix_list(pl))
+    for acl in store.acls():
+        blocks.append(render_acl(acl))
+    for rm in store.route_maps():
+        blocks.append(render_route_map(rm))
+    return "\n\n".join(block for block in blocks if block)
+
+
+__all__ = [
+    "render_acl",
+    "render_acl_rule",
+    "render_as_path_list",
+    "render_community_list",
+    "render_config",
+    "render_match",
+    "render_object",
+    "render_prefix_list",
+    "render_route_map",
+    "render_set",
+]

@@ -1,0 +1,109 @@
+"""Route-map set clauses (the transforms a permitting stanza applies)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.netaddr import Ipv4Address
+from repro.route import BgpRoute
+
+
+class SetClause:
+    """Base class for route-map set clauses."""
+
+    __slots__ = ()
+
+    def apply(self, route: BgpRoute) -> BgpRoute:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class SetMetric(SetClause):
+    """``set metric <value>`` (MED)."""
+
+    value: int
+
+    def apply(self, route: BgpRoute) -> BgpRoute:
+        return route.with_updates(metric=self.value)
+
+
+@dataclasses.dataclass(frozen=True)
+class SetLocalPreference(SetClause):
+    """``set local-preference <value>``"""
+
+    value: int
+
+    def apply(self, route: BgpRoute) -> BgpRoute:
+        return route.with_updates(local_preference=self.value)
+
+
+@dataclasses.dataclass(frozen=True)
+class SetCommunity(SetClause):
+    """``set community <communities...> [additive]``
+
+    Without ``additive`` the route's communities are replaced; with it the
+    listed communities are added.
+    """
+
+    communities: Tuple[str, ...]
+    additive: bool = False
+
+    def apply(self, route: BgpRoute) -> BgpRoute:
+        if self.additive:
+            merged = frozenset(route.communities) | frozenset(self.communities)
+        else:
+            merged = frozenset(self.communities)
+        return route.with_updates(communities=merged)
+
+
+@dataclasses.dataclass(frozen=True)
+class SetNextHop(SetClause):
+    """``set ip next-hop <address>``"""
+
+    address: Ipv4Address
+
+    def apply(self, route: BgpRoute) -> BgpRoute:
+        return route.with_updates(next_hop=self.address)
+
+
+@dataclasses.dataclass(frozen=True)
+class SetTag(SetClause):
+    """``set tag <value>``"""
+
+    value: int
+
+    def apply(self, route: BgpRoute) -> BgpRoute:
+        return route.with_updates(tag=self.value)
+
+
+@dataclasses.dataclass(frozen=True)
+class SetWeight(SetClause):
+    """``set weight <value>``"""
+
+    value: int
+
+    def apply(self, route: BgpRoute) -> BgpRoute:
+        return route.with_updates(weight=self.value)
+
+
+@dataclasses.dataclass(frozen=True)
+class SetAsPathPrepend(SetClause):
+    """``set as-path prepend <asns...>``"""
+
+    asns: Tuple[int, ...]
+
+    def apply(self, route: BgpRoute) -> BgpRoute:
+        return route.prepend(self.asns)
+
+
+__all__ = [
+    "SetClause",
+    "SetMetric",
+    "SetLocalPreference",
+    "SetCommunity",
+    "SetNextHop",
+    "SetTag",
+    "SetWeight",
+    "SetAsPathPrepend",
+]

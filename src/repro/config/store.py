@@ -1,0 +1,188 @@
+"""The configuration store: every named object on one device.
+
+Route-maps reference prefix/community/AS-path lists by name, so analysis
+and evaluation always operate on a (route-map, store) or (ACL, store)
+pair.  The store is an ordinary mutable container with loud failures on
+dangling references and duplicate definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.config.acl import Acl
+from repro.config.lists import AsPathAccessList, CommunityList, PrefixList
+from repro.config.routemap import RouteMap
+
+
+class ConfigStore:
+    """All named configuration objects of one device."""
+
+    def __init__(self) -> None:
+        self._prefix_lists: Dict[str, PrefixList] = {}
+        self._community_lists: Dict[str, CommunityList] = {}
+        self._as_path_lists: Dict[str, AsPathAccessList] = {}
+        self._route_maps: Dict[str, RouteMap] = {}
+        self._acls: Dict[str, Acl] = {}
+
+    # ------------------------------------------------------------- lookups
+
+    def prefix_list(self, name: str) -> PrefixList:
+        try:
+            return self._prefix_lists[name]
+        except KeyError:
+            raise KeyError(f"undefined prefix-list {name!r}") from None
+
+    def community_list(self, name: str) -> CommunityList:
+        try:
+            return self._community_lists[name]
+        except KeyError:
+            raise KeyError(f"undefined community-list {name!r}") from None
+
+    def as_path_list(self, name: str) -> AsPathAccessList:
+        try:
+            return self._as_path_lists[name]
+        except KeyError:
+            raise KeyError(f"undefined as-path access-list {name!r}") from None
+
+    def route_map(self, name: str) -> RouteMap:
+        try:
+            return self._route_maps[name]
+        except KeyError:
+            raise KeyError(f"undefined route-map {name!r}") from None
+
+    def acl(self, name: str) -> Acl:
+        try:
+            return self._acls[name]
+        except KeyError:
+            raise KeyError(f"undefined access-list {name!r}") from None
+
+    def has_prefix_list(self, name: str) -> bool:
+        return name in self._prefix_lists
+
+    def has_community_list(self, name: str) -> bool:
+        return name in self._community_lists
+
+    def has_as_path_list(self, name: str) -> bool:
+        return name in self._as_path_lists
+
+    def has_route_map(self, name: str) -> bool:
+        return name in self._route_maps
+
+    def has_acl(self, name: str) -> bool:
+        return name in self._acls
+
+    def list_names(self) -> List[str]:
+        """Every ancillary-list name in use (for collision avoidance)."""
+        return (
+            list(self._prefix_lists)
+            + list(self._community_lists)
+            + list(self._as_path_lists)
+        )
+
+    # ----------------------------------------------------------- iteration
+
+    def prefix_lists(self) -> Iterable[PrefixList]:
+        return self._prefix_lists.values()
+
+    def community_lists(self) -> Iterable[CommunityList]:
+        return self._community_lists.values()
+
+    def as_path_lists(self) -> Iterable[AsPathAccessList]:
+        return self._as_path_lists.values()
+
+    def route_maps(self) -> Iterable[RouteMap]:
+        return self._route_maps.values()
+
+    def acls(self) -> Iterable[Acl]:
+        return self._acls.values()
+
+    # ------------------------------------------------------------- updates
+
+    def add_prefix_list(self, obj: PrefixList, replace: bool = False) -> None:
+        self._add(self._prefix_lists, obj.name, obj, "prefix-list", replace)
+
+    def add_community_list(self, obj: CommunityList, replace: bool = False) -> None:
+        self._add(self._community_lists, obj.name, obj, "community-list", replace)
+
+    def add_as_path_list(
+        self, obj: AsPathAccessList, replace: bool = False
+    ) -> None:
+        self._add(self._as_path_lists, obj.name, obj, "as-path list", replace)
+
+    def add_route_map(self, obj: RouteMap, replace: bool = False) -> None:
+        self._add(self._route_maps, obj.name, obj, "route-map", replace)
+
+    def add_acl(self, obj: Acl, replace: bool = False) -> None:
+        self._add(self._acls, obj.name, obj, "access-list", replace)
+
+    @staticmethod
+    def _add(table: Dict, name: str, obj, kind: str, replace: bool) -> None:
+        if not replace and name in table:
+            raise ValueError(f"duplicate {kind} {name!r}")
+        table[name] = obj
+
+    # -------------------------------------------------------------- merging
+
+    def merged_with(self, other: "ConfigStore") -> "ConfigStore":
+        """A new store containing both stores' objects.
+
+        Name collisions raise; callers resolve collisions first via
+        :func:`repro.config.names.rename_snippet_lists`.
+        """
+        merged = ConfigStore()
+        for source in (self, other):
+            for pl in source.prefix_lists():
+                merged.add_prefix_list(pl)
+            for cl in source.community_lists():
+                merged.add_community_list(cl)
+            for al in source.as_path_lists():
+                merged.add_as_path_list(al)
+            for rm in source.route_maps():
+                merged.add_route_map(rm)
+            for acl in source.acls():
+                merged.add_acl(acl)
+        return merged
+
+    def copy(self) -> "ConfigStore":
+        clone = ConfigStore()
+        clone._prefix_lists = dict(self._prefix_lists)
+        clone._community_lists = dict(self._community_lists)
+        clone._as_path_lists = dict(self._as_path_lists)
+        clone._route_maps = dict(self._route_maps)
+        clone._acls = dict(self._acls)
+        return clone
+
+
+def copy_route_map_closure(
+    source: "ConfigStore", target: "ConfigStore", route_map: RouteMap
+) -> None:
+    """Copy ``route_map`` and every list it references into ``target``.
+
+    Lists already present in ``target`` (by name) are assumed identical
+    (the caller distributes one corpus across devices).
+    """
+    from repro.config.matches import (
+        MatchAsPath,
+        MatchCommunity,
+        MatchPrefixList,
+    )
+
+    for stanza in route_map.stanzas:
+        for clause in stanza.matches:
+            if isinstance(clause, MatchPrefixList):
+                for name in clause.names:
+                    if not target.has_prefix_list(name):
+                        target.add_prefix_list(source.prefix_list(name))
+            elif isinstance(clause, MatchCommunity):
+                for name in clause.names:
+                    if not target.has_community_list(name):
+                        target.add_community_list(source.community_list(name))
+            elif isinstance(clause, MatchAsPath):
+                for name in clause.names:
+                    if not target.has_as_path_list(name):
+                        target.add_as_path_list(source.as_path_list(name))
+    target.add_route_map(route_map)
+
+
+__all__ = ["ConfigStore", "copy_route_map_closure"]

@@ -1,0 +1,319 @@
+"""The disambiguator (§4): where does the new rule go?
+
+Algorithm, following the paper:
+
+1. Collect the existing rules whose match space *overlaps* the new
+   rule's (there exists an input matching both) — only relative order
+   with these rules can change behaviour.
+2. Binary-search the insertion slot: pick the middle overlapping rule,
+   build the two candidate policies with the new rule immediately before
+   vs immediately after it, and ask the user to choose between the
+   behaviours on a differential example.  Each answer halves the
+   candidate range, so the user is queried a logarithmic number of
+   times.
+3. If the before/after candidates for some overlapping rule are
+   behaviourally equivalent (an overlap in match space with no observable
+   consequence), that rule is dropped from the candidate set without
+   consuming a user question.
+
+Two modes are provided: ``FULL`` implements the paper's §4 algorithm over
+every insertion point; ``TOP_BOTTOM`` reproduces the prototype's
+restriction to inserting at the top or the bottom (§2.2), asking at most
+one question.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.compare import (
+    BehaviorDifference,
+    PacketDifference,
+    compare_filters,
+    compare_route_policies,
+)
+from repro.analysis.headerspace import acl_guard_space
+from repro.analysis.routespace import stanza_guard_space
+from repro.config.acl import Acl
+from repro.config.routemap import RouteMap
+from repro.config.store import ConfigStore
+from repro.core.insertion import (
+    insert_rule_into_acl,
+    insert_stanza_into_store,
+    merge_snippet_lists,
+    snippet_rule,
+    snippet_stanza,
+)
+from repro.core.oracle import DisambiguationQuestion, UserOracle
+
+
+class DisambiguationMode(enum.Enum):
+    """Which insertion points the disambiguator considers and how.
+
+    ``FULL`` is the §4 algorithm (binary search over every insertion
+    point); ``TOP_BOTTOM`` is the paper's prototype restriction (§2.2);
+    ``LINEAR`` is an ablation baseline that scans the overlapping rules
+    top-down with one question each.
+    """
+
+    FULL = "full"
+    TOP_BOTTOM = "top-bottom"
+    LINEAR = "linear"
+
+
+@dataclasses.dataclass(frozen=True)
+class DisambiguationResult:
+    """The outcome of one disambiguation run."""
+
+    #: Final insertion position (index into the stanza/rule list).
+    position: int
+    #: The questions the user was asked, in order.
+    questions: Tuple[DisambiguationQuestion, ...]
+    #: Indices of existing stanzas/rules overlapping the new one.
+    overlaps: Tuple[int, ...]
+    #: The updated store after insertion.
+    store: ConfigStore
+
+    @property
+    def question_count(self) -> int:
+        return len(self.questions)
+
+
+# --------------------------------------------------------------- generic
+
+
+def _binary_search_slot(
+    overlaps: Sequence[int],
+    slot_to_position: Callable[[List[int], int], int],
+    build_candidate: Callable[[int], object],
+    diff: Callable[[object, object], Optional[object]],
+    oracle: UserOracle,
+) -> Tuple[int, List[DisambiguationQuestion]]:
+    """Binary search over insertion slots; returns (position, questions).
+
+    ``overlaps`` are indices of overlapping rules in the original policy;
+    the slots are 0..len(active) where slot j means "immediately before
+    active[j]" (and the last slot means "after the last active overlap").
+    """
+    active = list(overlaps)
+    questions: List[DisambiguationQuestion] = []
+    lo, hi = 0, len(active)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        before = build_candidate(slot_to_position(active, mid))
+        after = build_candidate(slot_to_position(active, mid + 1))
+        difference = diff(before, after)
+        if difference is None:
+            # Relative order with active[mid] is unobservable: discard it.
+            del active[mid]
+            hi -= 1
+            continue
+        question = DisambiguationQuestion(difference)
+        choice = oracle.choose(question)
+        questions.append(question)
+        if choice == 1:
+            hi = mid
+        else:
+            lo = mid + 1
+    return slot_to_position(active, lo), questions
+
+
+def _linear_scan_slot(
+    overlaps: Sequence[int],
+    slot_to_position: Callable[[List[int], int], int],
+    build_candidate: Callable[[int], object],
+    diff: Callable[[object, object], Optional[object]],
+    oracle: UserOracle,
+) -> Tuple[int, List[DisambiguationQuestion]]:
+    """Ablation baseline: walk the overlaps top-down, one question each.
+
+    Asks, for each overlapping rule in order, whether the new rule should
+    go before it; stops at the first "before".  Worst case ``k`` questions
+    versus binary search's ``ceil(log2(k+1))``.
+    """
+    active = list(overlaps)
+    questions: List[DisambiguationQuestion] = []
+    slot = 0
+    while slot < len(active):
+        before = build_candidate(slot_to_position(active, slot))
+        after = build_candidate(slot_to_position(active, slot + 1))
+        difference = diff(before, after)
+        if difference is None:
+            del active[slot]
+            continue
+        question = DisambiguationQuestion(difference)
+        choice = oracle.choose(question)
+        questions.append(question)
+        if choice == 1:
+            return slot_to_position(active, slot), questions
+        slot += 1
+    return slot_to_position(active, slot), questions
+
+
+def _slot_to_position(active: List[int], slot: int) -> int:
+    if not active:
+        # No (remaining) overlaps: every position is equivalent; the tool
+        # appends at the bottom, leaving existing behaviour untouched.
+        return -1  # sentinel; caller replaces with len(policy)
+    if slot < len(active):
+        return active[slot]
+    return active[-1] + 1
+
+
+# ------------------------------------------------------------ route maps
+
+
+def route_map_overlaps(
+    route_map: RouteMap, store: ConfigStore, snippet: ConfigStore
+) -> List[int]:
+    """Indices of stanzas whose match space overlaps the new stanza's."""
+    merged = merge_snippet_lists(store, snippet)
+    new_guard = stanza_guard_space(snippet_stanza(snippet), merged)
+    overlaps = []
+    for idx, stanza in enumerate(route_map.stanzas):
+        guard = stanza_guard_space(stanza, merged)
+        if not guard.intersect(new_guard).is_empty():
+            overlaps.append(idx)
+    return overlaps
+
+
+def disambiguate_stanza(
+    store: ConfigStore,
+    route_map_name: str,
+    snippet: ConfigStore,
+    oracle: UserOracle,
+    mode: DisambiguationMode = DisambiguationMode.FULL,
+) -> DisambiguationResult:
+    """Determine where the snippet's stanza belongs and insert it.
+
+    The snippet's ancillary lists must already be renamed to avoid
+    collisions (see :func:`repro.config.names.rename_snippet_lists`);
+    :class:`repro.core.workflow.ClarifySession` does this automatically.
+    """
+    target = (
+        store.route_map(route_map_name)
+        if store.has_route_map(route_map_name)
+        else RouteMap(route_map_name, ())
+    )
+
+    def build(position: int) -> Tuple[ConfigStore, RouteMap]:
+        real = len(target.stanzas) if position == -1 else position
+        return insert_stanza_into_store(store, route_map_name, snippet, real)
+
+    def diff(
+        a: Tuple[ConfigStore, RouteMap], b: Tuple[ConfigStore, RouteMap]
+    ) -> Optional[BehaviorDifference]:
+        differences = compare_route_policies(
+            a[1], b[1], a[0], b[0], max_differences=1
+        )
+        return differences[0] if differences else None
+
+    overlaps = route_map_overlaps(target, store, snippet)
+    if mode is DisambiguationMode.TOP_BOTTOM:
+        position, questions = _top_bottom(len(target.stanzas), build, diff, oracle)
+    else:
+        search = (
+            _linear_scan_slot
+            if mode is DisambiguationMode.LINEAR
+            else _binary_search_slot
+        )
+        position, questions = search(
+            overlaps, _slot_to_position, build, diff, oracle
+        )
+        if position == -1:
+            position = len(target.stanzas)
+    final_store, _updated = build(position)
+    return DisambiguationResult(
+        position=position,
+        questions=tuple(questions),
+        overlaps=tuple(overlaps),
+        store=final_store,
+    )
+
+
+def _top_bottom(
+    bottom: int,
+    build_candidate: Callable[[int], object],
+    diff: Callable[[object, object], Optional[object]],
+    oracle: UserOracle,
+) -> Tuple[int, List[DisambiguationQuestion]]:
+    """The prototype's two-candidate mode (§2.2): top or bottom only."""
+    if bottom == 0:
+        return 0, []
+    top_candidate = build_candidate(0)
+    bottom_candidate = build_candidate(bottom)
+    difference = diff(top_candidate, bottom_candidate)
+    if difference is None:
+        return bottom, []
+    question = DisambiguationQuestion(difference)
+    choice = oracle.choose(question)
+    return (0 if choice == 1 else bottom), [question]
+
+
+# ------------------------------------------------------------------ ACLs
+
+
+def acl_overlaps(acl: Acl, snippet: ConfigStore) -> List[int]:
+    """Indices of ACL rules whose match space overlaps the new rule's."""
+    new_guard = acl_guard_space(snippet_rule(snippet))
+    overlaps = []
+    for idx, rule in enumerate(acl.rules):
+        if not acl_guard_space(rule).intersect(new_guard).is_empty():
+            overlaps.append(idx)
+    return overlaps
+
+
+def disambiguate_acl_rule(
+    store: ConfigStore,
+    acl_name: str,
+    snippet: ConfigStore,
+    oracle: UserOracle,
+    mode: DisambiguationMode = DisambiguationMode.FULL,
+) -> DisambiguationResult:
+    """Determine where the snippet's ACL rule belongs and insert it."""
+    target = store.acl(acl_name) if store.has_acl(acl_name) else Acl(acl_name, ())
+
+    def build(position: int) -> Tuple[ConfigStore, Acl]:
+        real = len(target.rules) if position == -1 else position
+        return insert_rule_into_acl(store, acl_name, snippet, real)
+
+    def diff(
+        a: Tuple[ConfigStore, Acl], b: Tuple[ConfigStore, Acl]
+    ) -> Optional[PacketDifference]:
+        differences = compare_filters(a[1], b[1], max_differences=1)
+        return differences[0] if differences else None
+
+    overlaps = acl_overlaps(target, snippet)
+    if mode is DisambiguationMode.TOP_BOTTOM:
+        position, questions = _top_bottom(len(target.rules), build, diff, oracle)
+    else:
+        search = (
+            _linear_scan_slot
+            if mode is DisambiguationMode.LINEAR
+            else _binary_search_slot
+        )
+        position, questions = search(
+            overlaps, _slot_to_position, build, diff, oracle
+        )
+        if position == -1:
+            position = len(target.rules)
+    final_store, _updated = build(position)
+    return DisambiguationResult(
+        position=position,
+        questions=tuple(questions),
+        overlaps=tuple(overlaps),
+        store=final_store,
+    )
+
+
+__all__ = [
+    "DisambiguationMode",
+    "DisambiguationQuestion",
+    "DisambiguationResult",
+    "acl_overlaps",
+    "disambiguate_acl_rule",
+    "disambiguate_stanza",
+    "route_map_overlaps",
+]

@@ -1,0 +1,41 @@
+"""Exception types for the Clarify pipeline."""
+
+from __future__ import annotations
+
+
+class ClarifyError(RuntimeError):
+    """Base class for pipeline failures."""
+
+
+class SpecError(ClarifyError):
+    """The JSON specification is malformed or unsupported."""
+
+
+class SynthesisPunt(ClarifyError):
+    """Synthesis kept failing verification and the retry threshold was hit.
+
+    This is the paper's "punt to the user" outcome (§2.1): the caller
+    should surface the accumulated failures and let the user rephrase or
+    supply more information.
+    """
+
+    def __init__(self, attempts: int, failures: list) -> None:
+        summary = "; ".join(str(f) for f in failures[-3:])
+        super().__init__(
+            f"synthesis failed verification {attempts} times; last failures: "
+            f"{summary}"
+        )
+        self.attempts = attempts
+        self.failures = failures
+
+
+class DisambiguationError(ClarifyError):
+    """The disambiguator could not complete (e.g. oracle misbehaviour)."""
+
+
+__all__ = [
+    "ClarifyError",
+    "DisambiguationError",
+    "SpecError",
+    "SynthesisPunt",
+]

@@ -1,0 +1,487 @@
+"""Disambiguated insertion into ancillary lists (the paper's §7 extension).
+
+The paper's future work: "the tool needs support for inserting entries
+into other data structures that can have conflicts like prefix lists,
+community-lists and AS-path lists."  These lists are first-match-wins
+policies over their own input domains (networks, community sets, AS
+paths), so the §4 algorithm applies unchanged: find the existing entries
+whose match space overlaps the new entry's, binary-search the insertion
+slot, and ask the user differential questions — here a concrete network,
+community set, or AS path that the candidate positions treat
+differently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.prefixspace import PrefixAtom, PrefixSpace
+from repro.config.lists import (
+    PERMIT,
+    AsPathAccessList,
+    AsPathEntry,
+    CommunityList,
+    CommunityListEntry,
+    PrefixList,
+    PrefixListEntry,
+)
+from repro.config.store import ConfigStore
+from repro.core.disambiguator import (
+    DisambiguationMode,
+    _binary_search_slot,
+    _linear_scan_slot,
+    _slot_to_position,
+    _top_bottom,
+)
+from repro.core.oracle import DisambiguationQuestion, UserOracle
+from repro.netaddr import Ipv4Prefix
+from repro.regexlib.cisco import (
+    find_as_path,
+    find_community,
+    literal_community_pattern,
+    render_as_path,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ListEntryResult:
+    """The outcome of matching one input against a list."""
+
+    action: str
+
+    def behaviour_key(self) -> tuple:
+        return (self.action,)
+
+    def render(self, indent: str = "") -> str:
+        return f"{indent}ACTION: {self.action}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ListEntryDifference:
+    """One concrete input on which two candidate lists disagree."""
+
+    #: A human-readable label for the input kind ("Network", "AS Path",
+    #: "Communities").
+    label: str
+    subject: object
+    result_a: ListEntryResult
+    result_b: ListEntryResult
+
+    def render(self) -> str:
+        return (
+            f"{self.label}: {self._subject_text()}"
+            + "\n\nOPTION 1:\n\n"
+            + self.result_a.render()
+            + "\n\nOPTION 2:\n\n"
+            + self.result_b.render()
+        )
+
+    def _subject_text(self) -> str:
+        if isinstance(self.subject, (list, tuple)):
+            return render_as_path(self.subject) or "(empty)"
+        if isinstance(self.subject, frozenset):
+            return ", ".join(sorted(self.subject)) or "(none)"
+        return str(self.subject)
+
+
+@dataclasses.dataclass(frozen=True)
+class ListInsertionResult:
+    """Outcome of one disambiguated list insertion."""
+
+    position: int
+    questions: Tuple[DisambiguationQuestion, ...]
+    overlaps: Tuple[int, ...]
+    store: ConfigStore
+
+    @property
+    def question_count(self) -> int:
+        return len(self.questions)
+
+
+def _search(mode: DisambiguationMode):
+    if mode is DisambiguationMode.LINEAR:
+        return _linear_scan_slot
+    return _binary_search_slot
+
+
+# ------------------------------------------------------------ prefix lists
+
+
+def _prefix_entry_atom(entry: PrefixListEntry) -> PrefixAtom:
+    lo, hi = entry.length_bounds()
+    return PrefixAtom(entry.prefix, lo, hi)
+
+
+def _prefix_list_cells(
+    pl: PrefixList,
+) -> List[Tuple[str, PrefixSpace]]:
+    """(action, reachable space) per entry, plus the implicit deny."""
+    remaining = PrefixSpace.universe()
+    cells: List[Tuple[str, PrefixSpace]] = []
+    for entry in pl.entries:
+        atom_space = PrefixSpace.of_atom(_prefix_entry_atom(entry))
+        cells.append((entry.action, atom_space.intersect(remaining)))
+        remaining = remaining.subtract(atom_space)
+    cells.append(("deny", remaining))
+    return cells
+
+
+def compare_prefix_lists(
+    list_a: PrefixList, list_b: PrefixList
+) -> Optional[ListEntryDifference]:
+    """A network the two lists treat differently, or None if equivalent."""
+    for action_a, space_a in _prefix_list_cells(list_a):
+        for action_b, space_b in _prefix_list_cells(list_b):
+            if action_a == action_b:
+                continue
+            witness = space_a.intersect(space_b).witness()
+            if witness is None:
+                continue
+            # Validate against the concrete semantics before reporting.
+            real_a = PERMIT if list_a.permits(witness) else "deny"
+            real_b = PERMIT if list_b.permits(witness) else "deny"
+            if real_a == real_b:
+                continue
+            return ListEntryDifference(
+                "Network",
+                witness,
+                ListEntryResult(real_a),
+                ListEntryResult(real_b),
+            )
+    return None
+
+
+def prefix_list_entry_overlaps(
+    pl: PrefixList, entry: PrefixListEntry
+) -> List[int]:
+    new_atom = _prefix_entry_atom(entry)
+    return [
+        idx
+        for idx, existing in enumerate(pl.entries)
+        if _prefix_entry_atom(existing).intersect(new_atom) is not None
+    ]
+
+
+def insert_prefix_list_entry(
+    pl: PrefixList, entry: PrefixListEntry, position: int
+) -> PrefixList:
+    """Insert ``entry`` before index ``position``, resequencing by 10s."""
+    entries = list(pl.entries)
+    entries.insert(position, entry)
+    resequenced = tuple(
+        dataclasses.replace(e, seq=10 * (idx + 1))
+        for idx, e in enumerate(entries)
+    )
+    return PrefixList(pl.name, resequenced)
+
+
+def disambiguate_prefix_list_entry(
+    store: ConfigStore,
+    list_name: str,
+    entry: PrefixListEntry,
+    oracle: UserOracle,
+    mode: DisambiguationMode = DisambiguationMode.FULL,
+) -> ListInsertionResult:
+    """Insert a prefix-list entry, disambiguating its position (§7)."""
+    target = (
+        store.prefix_list(list_name)
+        if store.has_prefix_list(list_name)
+        else PrefixList(list_name, ())
+    )
+
+    def build(position: int) -> PrefixList:
+        real = len(target.entries) if position == -1 else position
+        return insert_prefix_list_entry(target, entry, real)
+
+    def diff(a: PrefixList, b: PrefixList) -> Optional[ListEntryDifference]:
+        return compare_prefix_lists(a, b)
+
+    overlaps = prefix_list_entry_overlaps(target, entry)
+    if mode is DisambiguationMode.TOP_BOTTOM:
+        position, questions = _top_bottom(len(target.entries), build, diff, oracle)
+    else:
+        position, questions = _search(mode)(
+            overlaps, _slot_to_position, build, diff, oracle
+        )
+        if position == -1:
+            position = len(target.entries)
+    updated_store = store.copy()
+    updated_store.add_prefix_list(build(position), replace=True)
+    return ListInsertionResult(
+        position=position,
+        questions=tuple(questions),
+        overlaps=tuple(overlaps),
+        store=updated_store,
+    )
+
+
+# ----------------------------------------------------------- as-path lists
+
+
+def _as_path_cells(
+    al: AsPathAccessList,
+) -> List[Tuple[str, FrozenSet[str], FrozenSet[str]]]:
+    """(action, required, forbidden) per entry, plus the implicit deny."""
+    cells: List[Tuple[str, FrozenSet[str], FrozenSet[str]]] = []
+    forbidden: FrozenSet[str] = frozenset()
+    for entry in al.entries:
+        cells.append((entry.action, frozenset((entry.regex,)), forbidden))
+        forbidden = forbidden | {entry.regex}
+    cells.append(("deny", frozenset(), forbidden))
+    return cells
+
+
+def compare_as_path_lists(
+    list_a: AsPathAccessList, list_b: AsPathAccessList
+) -> Optional[ListEntryDifference]:
+    """An AS path the two lists treat differently, or None."""
+    for action_a, req_a, forb_a in _as_path_cells(list_a):
+        for action_b, req_b, forb_b in _as_path_cells(list_b):
+            if action_a == action_b:
+                continue
+            path = find_as_path(
+                sorted(req_a | req_b), sorted(forb_a | forb_b)
+            )
+            if path is None:
+                continue
+            real_a = PERMIT if _as_path_permits(list_a, path) else "deny"
+            real_b = PERMIT if _as_path_permits(list_b, path) else "deny"
+            if real_a == real_b:
+                continue
+            return ListEntryDifference(
+                "AS Path",
+                path,
+                ListEntryResult(real_a),
+                ListEntryResult(real_b),
+            )
+    return None
+
+
+def _as_path_permits(al: AsPathAccessList, path: Sequence[int]) -> bool:
+    from repro.route import BgpRoute
+
+    return al.permits(BgpRoute.build("0.0.0.0/0", as_path=path))
+
+
+def as_path_entry_overlaps(al: AsPathAccessList, entry: AsPathEntry) -> List[int]:
+    return [
+        idx
+        for idx, existing in enumerate(al.entries)
+        if find_as_path([existing.regex, entry.regex], []) is not None
+    ]
+
+
+def insert_as_path_entry(
+    al: AsPathAccessList, entry: AsPathEntry, position: int
+) -> AsPathAccessList:
+    entries = list(al.entries)
+    entries.insert(position, entry)
+    return AsPathAccessList(al.name, tuple(entries))
+
+
+def disambiguate_as_path_entry(
+    store: ConfigStore,
+    list_name: str,
+    entry: AsPathEntry,
+    oracle: UserOracle,
+    mode: DisambiguationMode = DisambiguationMode.FULL,
+) -> ListInsertionResult:
+    """Insert an as-path access-list entry, disambiguating its position."""
+    target = (
+        store.as_path_list(list_name)
+        if store.has_as_path_list(list_name)
+        else AsPathAccessList(list_name, ())
+    )
+
+    def build(position: int) -> AsPathAccessList:
+        real = len(target.entries) if position == -1 else position
+        return insert_as_path_entry(target, entry, real)
+
+    overlaps = as_path_entry_overlaps(target, entry)
+    if mode is DisambiguationMode.TOP_BOTTOM:
+        position, questions = _top_bottom(
+            len(target.entries), build, compare_as_path_lists, oracle
+        )
+    else:
+        position, questions = _search(mode)(
+            overlaps, _slot_to_position, build, compare_as_path_lists, oracle
+        )
+        if position == -1:
+            position = len(target.entries)
+    updated_store = store.copy()
+    updated_store.add_as_path_list(build(position), replace=True)
+    return ListInsertionResult(
+        position=position,
+        questions=tuple(questions),
+        overlaps=tuple(overlaps),
+        store=updated_store,
+    )
+
+
+# --------------------------------------------------------- community lists
+
+
+#: DNF of (required, forbidden) community-pattern sets.
+_Dnf = List[Tuple[FrozenSet[str], FrozenSet[str]]]
+
+
+def _entry_condition(entry: CommunityListEntry) -> _Dnf:
+    if entry.regex is not None:
+        return [(frozenset((entry.regex,)), frozenset())]
+    return [
+        (
+            frozenset(literal_community_pattern(c) for c in entry.communities),
+            frozenset(),
+        )
+    ]
+
+
+def _entry_negation(entry: CommunityListEntry) -> _Dnf:
+    if entry.regex is not None:
+        return [(frozenset(), frozenset((entry.regex,)))]
+    return [
+        (frozenset(), frozenset((literal_community_pattern(c),)))
+        for c in entry.communities
+    ]
+
+
+def _dnf_product(left: _Dnf, right: _Dnf) -> _Dnf:
+    return [(lr | rr, lf | rf) for (lr, lf) in left for (rr, rf) in right]
+
+
+def _community_cells(cl: CommunityList) -> List[Tuple[str, _Dnf]]:
+    cells: List[Tuple[str, _Dnf]] = []
+    preceding: _Dnf = [(frozenset(), frozenset())]
+    for entry in cl.entries:
+        cells.append(
+            (entry.action, _dnf_product(_entry_condition(entry), preceding))
+        )
+        preceding = _dnf_product(preceding, _entry_negation(entry))
+    cells.append(("deny", preceding))
+    return cells
+
+
+def _community_witness_set(
+    required: FrozenSet[str], forbidden: FrozenSet[str]
+) -> Optional[FrozenSet[str]]:
+    witnesses = []
+    for pattern in sorted(required):
+        witness = find_community([pattern], sorted(forbidden))
+        if witness is None:
+            return None
+        witnesses.append(witness)
+    return frozenset(witnesses)
+
+
+def compare_community_lists(
+    list_a: CommunityList, list_b: CommunityList
+) -> Optional[ListEntryDifference]:
+    """A community set the two lists treat differently, or None."""
+    from repro.route import BgpRoute
+
+    for action_a, dnf_a in _community_cells(list_a):
+        for action_b, dnf_b in _community_cells(list_b):
+            if action_a == action_b:
+                continue
+            for required, forbidden in _dnf_product(dnf_a, dnf_b):
+                witness = _community_witness_set(required, forbidden)
+                if witness is None:
+                    continue
+                route = BgpRoute.build("0.0.0.0/0", communities=witness)
+                real_a = PERMIT if list_a.permits(route) else "deny"
+                real_b = PERMIT if list_b.permits(route) else "deny"
+                if real_a == real_b:
+                    continue
+                return ListEntryDifference(
+                    "Communities",
+                    witness,
+                    ListEntryResult(real_a),
+                    ListEntryResult(real_b),
+                )
+    return None
+
+
+def community_entry_overlaps(
+    cl: CommunityList, entry: CommunityListEntry
+) -> List[int]:
+    out = []
+    for idx, existing in enumerate(cl.entries):
+        joint = _dnf_product(_entry_condition(existing), _entry_condition(entry))
+        if any(
+            _community_witness_set(required, forbidden) is not None
+            for required, forbidden in joint
+        ):
+            out.append(idx)
+    return out
+
+
+def insert_community_entry(
+    cl: CommunityList, entry: CommunityListEntry, position: int
+) -> CommunityList:
+    if (entry.regex is not None) != cl.expanded and cl.entries:
+        raise ValueError(
+            f"entry kind does not match {('expanded' if cl.expanded else 'standard')} "
+            f"community-list {cl.name}"
+        )
+    entries = list(cl.entries)
+    entries.insert(position, entry)
+    return CommunityList(cl.name, tuple(entries), expanded=cl.expanded)
+
+
+def disambiguate_community_entry(
+    store: ConfigStore,
+    list_name: str,
+    entry: CommunityListEntry,
+    oracle: UserOracle,
+    mode: DisambiguationMode = DisambiguationMode.FULL,
+) -> ListInsertionResult:
+    """Insert a community-list entry, disambiguating its position."""
+    target = (
+        store.community_list(list_name)
+        if store.has_community_list(list_name)
+        else CommunityList(list_name, (), expanded=entry.regex is not None)
+    )
+
+    def build(position: int) -> CommunityList:
+        real = len(target.entries) if position == -1 else position
+        return insert_community_entry(target, entry, real)
+
+    overlaps = community_entry_overlaps(target, entry)
+    if mode is DisambiguationMode.TOP_BOTTOM:
+        position, questions = _top_bottom(
+            len(target.entries), build, compare_community_lists, oracle
+        )
+    else:
+        position, questions = _search(mode)(
+            overlaps, _slot_to_position, build, compare_community_lists, oracle
+        )
+        if position == -1:
+            position = len(target.entries)
+    updated_store = store.copy()
+    updated_store.add_community_list(build(position), replace=True)
+    return ListInsertionResult(
+        position=position,
+        questions=tuple(questions),
+        overlaps=tuple(overlaps),
+        store=updated_store,
+    )
+
+
+__all__ = [
+    "ListEntryDifference",
+    "ListEntryResult",
+    "ListInsertionResult",
+    "as_path_entry_overlaps",
+    "community_entry_overlaps",
+    "compare_as_path_lists",
+    "compare_community_lists",
+    "compare_prefix_lists",
+    "disambiguate_as_path_entry",
+    "disambiguate_community_entry",
+    "disambiguate_prefix_list_entry",
+    "insert_as_path_entry",
+    "insert_community_entry",
+    "insert_prefix_list_entry",
+    "prefix_list_entry_overlaps",
+]

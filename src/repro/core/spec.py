@@ -1,0 +1,293 @@
+"""The JSON specification model (Fig. 1, step 3).
+
+The LLM extracts a JSON specification from the user's prompt; the user
+eyeballs it ("which for one stanza is easy to cross-check", §2.1); the
+verifier then checks the synthesised stanza against it symbolically.
+The format follows the paper's example::
+
+    {"permit": true,
+     "prefix": ["100.0.0.0/16:16-23"],
+     "community": "/_300:3_/",
+     "set": {"metric": 55}}
+
+plus the analogous ACL form (see :class:`AclSpec`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.headerspace import PacketRegion, PacketSpace
+from repro.analysis.prefixspace import PrefixAtom, PrefixSpace
+from repro.analysis.routespace import RouteRegion, RouteSpace
+from repro.config.acl import FULL_PORT_RANGE
+from repro.core.errors import SpecError
+from repro.netaddr import IntervalSet, Ipv4Prefix
+from repro.route.packet import PROTOCOL_NUMBERS
+
+_PREFIX_RANGE = re.compile(r"^(\d+\.\d+\.\d+\.\d+/\d+):(\d+)-(\d+)$")
+_REGEX_FORM = re.compile(r"^/(.*)/$")
+_PORT_RANGE = re.compile(r"^(\d+)-(\d+)$")
+
+#: Transform keys allowed in a spec's "set" object.
+_SET_KEYS = frozenset(
+    {
+        "metric",
+        "local_preference",
+        "community",
+        "community_additive",
+        "next_hop",
+        "prepend",
+        "tag",
+        "weight",
+    }
+)
+
+
+def _parse_regex_form(value: object, what: str) -> str:
+    if not isinstance(value, str):
+        raise SpecError(f"{what} must be a /regex/ string, got {value!r}")
+    match = _REGEX_FORM.match(value)
+    if match is None:
+        raise SpecError(f"{what} must be wrapped in slashes, got {value!r}")
+    return match.group(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteMapSpec:
+    """A parsed route-map stanza specification."""
+
+    permit: bool
+    #: (prefix, lo, hi) constraints; any one may match (disjunctive).
+    prefixes: Tuple[Tuple[Ipv4Prefix, int, int], ...] = ()
+    #: Community regexes that must all be carried (conjunctive).
+    communities: Tuple[str, ...] = ()
+    as_path: Optional[str] = None
+    local_preference: Optional[int] = None
+    metric: Optional[int] = None
+    tag: Optional[int] = None
+    #: Canonical transform mapping (same shape the verifier derives from
+    #: set clauses).
+    sets: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RouteMapSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"specification is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise SpecError("specification must be a JSON object")
+        known = {
+            "permit",
+            "prefix",
+            "community",
+            "as_path",
+            "local_preference",
+            "metric",
+            "tag",
+            "set",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown specification keys: {sorted(unknown)}")
+        if "permit" not in data or not isinstance(data["permit"], bool):
+            raise SpecError('specification needs a boolean "permit" key')
+
+        prefixes: List[Tuple[Ipv4Prefix, int, int]] = []
+        for item in data.get("prefix", []):
+            match = _PREFIX_RANGE.match(item) if isinstance(item, str) else None
+            if match is None:
+                raise SpecError(
+                    f'prefix entries must look like "P/len:lo-hi", got {item!r}'
+                )
+            try:
+                prefix = Ipv4Prefix.parse(match.group(1))
+            except ValueError as exc:
+                raise SpecError(str(exc)) from None
+            lo, hi = int(match.group(2)), int(match.group(3))
+            if not prefix.length <= lo <= hi <= 32:
+                raise SpecError(f"bad length window in {item!r}")
+            prefixes.append((prefix, lo, hi))
+
+        communities: List[str] = []
+        raw_community = data.get("community")
+        if raw_community is not None:
+            items = raw_community if isinstance(raw_community, list) else [raw_community]
+            communities = [
+                _parse_regex_form(item, "community") for item in items
+            ]
+
+        as_path = None
+        if data.get("as_path") is not None:
+            as_path = _parse_regex_form(data["as_path"], "as_path")
+
+        for scalar in ("local_preference", "metric", "tag"):
+            value = data.get(scalar)
+            if value is not None and not isinstance(value, int):
+                raise SpecError(f"{scalar} must be an integer")
+        local_preference = data.get("local_preference")
+
+        sets = dict(data.get("set", {}))
+        unknown_sets = set(sets) - _SET_KEYS
+        if unknown_sets:
+            raise SpecError(f"unknown set keys: {sorted(unknown_sets)}")
+        if "community" in sets:
+            if not isinstance(sets["community"], list):
+                raise SpecError('set "community" must be a list')
+            sets["community"] = tuple(sorted(sets["community"]))
+            sets["community_additive"] = bool(sets.get("community_additive", False))
+        if "prepend" in sets:
+            if not isinstance(sets["prepend"], list):
+                raise SpecError('set "prepend" must be a list of ASNs')
+            sets["prepend"] = tuple(int(a) for a in sets["prepend"])
+
+        return cls(
+            permit=data["permit"],
+            prefixes=tuple(prefixes),
+            communities=tuple(communities),
+            as_path=as_path,
+            local_preference=local_preference,
+            metric=data.get("metric"),
+            tag=data.get("tag"),
+            sets=sets,
+        )
+
+    def action(self) -> str:
+        return "permit" if self.permit else "deny"
+
+    def match_space(self) -> RouteSpace:
+        """The symbolic set of routes the spec's match conditions accept."""
+        def scalar(value: Optional[int]) -> IntervalSet:
+            if value is None:
+                return IntervalSet.closed(0, 0xFFFFFFFF)
+            return IntervalSet.single(value)
+
+        base = RouteRegion(
+            communities_required=frozenset(self.communities),
+            as_path_required=(
+                frozenset((self.as_path,)) if self.as_path else frozenset()
+            ),
+            local_preference=scalar(self.local_preference),
+            metric=scalar(self.metric),
+            tag=scalar(self.tag),
+        )
+        if not self.prefixes:
+            return RouteSpace.of(base)
+        regions = []
+        for prefix, lo, hi in self.prefixes:
+            space = PrefixSpace.of_atom(PrefixAtom(prefix, lo, hi))
+            regions.append(dataclasses.replace(base, prefix=space))
+        return RouteSpace(tuple(regions))
+
+
+@dataclasses.dataclass(frozen=True)
+class AclSpec:
+    """A parsed ACL rule specification."""
+
+    permit: bool
+    protocol: Optional[str] = None
+    src: Optional[Ipv4Prefix] = None
+    dst: Optional[Ipv4Prefix] = None
+    src_ports: Tuple[Tuple[int, int], ...] = ()
+    dst_ports: Tuple[Tuple[int, int], ...] = ()
+    established: bool = False
+
+    @classmethod
+    def from_json(cls, text: str) -> "AclSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"specification is not valid JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise SpecError("specification must be a JSON object")
+        known = {
+            "permit",
+            "protocol",
+            "src",
+            "dst",
+            "src_ports",
+            "dst_ports",
+            "established",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown specification keys: {sorted(unknown)}")
+        if "permit" not in data or not isinstance(data["permit"], bool):
+            raise SpecError('specification needs a boolean "permit" key')
+
+        protocol = data.get("protocol")
+        if protocol is not None and protocol not in PROTOCOL_NUMBERS:
+            raise SpecError(f"unknown protocol {protocol!r}")
+
+        def endpoint(key: str) -> Optional[Ipv4Prefix]:
+            value = data.get(key)
+            if value in (None, "any"):
+                return None
+            try:
+                return Ipv4Prefix.parse(value)
+            except (TypeError, ValueError) as exc:
+                raise SpecError(f"bad {key}: {exc}") from None
+
+        def ports(key: str) -> Tuple[Tuple[int, int], ...]:
+            out = []
+            for item in data.get(key, []):
+                match = _PORT_RANGE.match(item) if isinstance(item, str) else None
+                if match is None:
+                    raise SpecError(f'{key} entries must look like "lo-hi"')
+                lo, hi = int(match.group(1)), int(match.group(2))
+                if not 0 <= lo <= hi <= 65535:
+                    raise SpecError(f"bad port range {item!r}")
+                out.append((lo, hi))
+            return tuple(out)
+
+        return cls(
+            permit=data["permit"],
+            protocol=protocol,
+            src=endpoint("src"),
+            dst=endpoint("dst"),
+            src_ports=ports("src_ports"),
+            dst_ports=ports("dst_ports"),
+            established=bool(data.get("established", False)),
+        )
+
+    def action(self) -> str:
+        return "permit" if self.permit else "deny"
+
+    def match_space(self) -> PacketSpace:
+        """The symbolic set of packets the spec's match conditions accept."""
+
+        def addr_intervals(prefix: Optional[Ipv4Prefix]) -> IntervalSet:
+            if prefix is None:
+                return IntervalSet.closed(0, 0xFFFFFFFF)
+            return IntervalSet.closed(
+                prefix.first_address().value, prefix.last_address().value
+            )
+
+        def port_intervals(ranges: Tuple[Tuple[int, int], ...]) -> IntervalSet:
+            if not ranges:
+                return FULL_PORT_RANGE
+            return IntervalSet.from_pairs(list(ranges))
+
+        protocol = (
+            IntervalSet.single(PROTOCOL_NUMBERS[self.protocol])
+            if self.protocol is not None
+            else IntervalSet.closed(0, 255)
+        )
+        region = PacketRegion(
+            src=addr_intervals(self.src),
+            dst=addr_intervals(self.dst),
+            protocol=protocol,
+            src_ports=port_intervals(self.src_ports),
+            dst_ports=port_intervals(self.dst_ports),
+            established=(
+                frozenset((True,)) if self.established else frozenset((True, False))
+            ),
+        )
+        return PacketSpace.of(region)
+
+
+__all__ = ["AclSpec", "RouteMapSpec"]

@@ -1,0 +1,132 @@
+"""The synthesis pipeline: classify, retrieve, generate, verify, retry.
+
+Steps 1-5 of Fig. 1.  Each user query costs one classification call and
+one spec-extraction call, plus one synthesis call per attempt; the
+verification loop re-invokes synthesis until the snippet passes or the
+retry threshold punts to the user (:class:`~repro.core.errors.SynthesisPunt`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Union
+
+from repro.config import ConfigParseError, parse_config
+from repro.config.store import ConfigStore
+from repro.core.errors import SpecError, SynthesisPunt
+from repro.core.spec import AclSpec, RouteMapSpec
+from repro.core.verify import (
+    VerificationResult,
+    verify_acl_snippet,
+    verify_route_map_snippet,
+)
+from repro.llm.client import LLMClient
+from repro.llm.prompts import PromptDatabase, TaskKind
+
+ROUTE_MAP = "route-map"
+ACL = "acl"
+
+#: Default verification-failure threshold before punting to the user.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class SynthesisResult:
+    """A verified snippet plus bookkeeping for the evaluation harness."""
+
+    kind: str
+    snippet: ConfigStore
+    spec: Union[RouteMapSpec, AclSpec]
+    attempts: int
+    failures: List[str]
+
+
+class SynthesisPipeline:
+    """Classify a query, synthesise a snippet, and verify it in a loop."""
+
+    def __init__(
+        self,
+        llm: LLMClient,
+        prompts: Optional[PromptDatabase] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        retriever=None,
+    ) -> None:
+        """``retriever`` is an optional
+        :class:`repro.llm.strategies.ExampleRetriever`; when given, the
+        few-shot examples in each system prompt are selected per query
+        instead of being fixed (retrieval-augmented prompting, §7).
+        """
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self._llm = llm
+        self._prompts = prompts if prompts is not None else PromptDatabase()
+        self._max_attempts = max_attempts
+        self._retriever = retriever
+
+    def _system_prompt(self, kind: TaskKind, prompt: str) -> str:
+        template = self._prompts.template(kind)
+        if self._retriever is not None and template.examples:
+            template = self._retriever.augment(template, prompt)
+        return template.render_system()
+
+    # ------------------------------------------------------------ pieces
+
+    def classify(self, prompt: str) -> str:
+        """Step 1: is this a route-map or an ACL query?"""
+        answer = self._llm.complete(
+            self._system_prompt(TaskKind.CLASSIFY, prompt), prompt
+        ).strip().lower()
+        if answer not in (ROUTE_MAP, ACL):
+            raise SpecError(f"classifier answered {answer!r}")
+        return answer
+
+    def extract_spec(self, prompt: str, kind: str) -> Union[RouteMapSpec, AclSpec]:
+        """Step 3: the JSON specification the user cross-checks."""
+        if kind == ROUTE_MAP:
+            text = self._llm.complete(
+                self._system_prompt(TaskKind.ROUTE_MAP_SPEC, prompt), prompt
+            )
+            return RouteMapSpec.from_json(text)
+        text = self._llm.complete(
+            self._system_prompt(TaskKind.ACL_SPEC, prompt), prompt
+        )
+        return AclSpec.from_json(text)
+
+    def generate_snippet(self, prompt: str, kind: str) -> str:
+        """Step 3: one stanza/rule in IOS syntax (raw LLM text)."""
+        task = TaskKind.ROUTE_MAP_SYNTH if kind == ROUTE_MAP else TaskKind.ACL_SYNTH
+        return self._llm.complete(self._system_prompt(task, prompt), prompt)
+
+    # ------------------------------------------------------------- runner
+
+    def synthesize(self, prompt: str) -> SynthesisResult:
+        """The full classify → spec → generate → verify → retry loop."""
+        kind = self.classify(prompt)
+        spec = self.extract_spec(prompt, kind)
+        failures: List[str] = []
+        for attempt in range(1, self._max_attempts + 1):
+            raw = self.generate_snippet(prompt, kind)
+            try:
+                snippet = parse_config(raw)
+            except ConfigParseError as exc:
+                failures.append(f"attempt {attempt}: snippet does not parse: {exc}")
+                continue
+            if kind == ROUTE_MAP:
+                verdict: VerificationResult = verify_route_map_snippet(
+                    snippet, spec
+                )
+            else:
+                verdict = verify_acl_snippet(snippet, spec)
+            if verdict.ok:
+                return SynthesisResult(
+                    kind=kind,
+                    snippet=snippet,
+                    spec=spec,
+                    attempts=attempt,
+                    failures=failures,
+                )
+            failures.append(f"attempt {attempt}: {verdict}")
+        raise SynthesisPunt(self._max_attempts, failures)
+
+
+__all__ = ["ACL", "ROUTE_MAP", "SynthesisPipeline", "SynthesisResult"]

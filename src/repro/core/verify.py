@@ -1,0 +1,159 @@
+"""Verification of synthesised snippets against their specifications.
+
+This is step 4 of Fig. 1: the stanza the LLM produced (parsed back into
+configuration objects) is checked symbolically against the JSON spec
+using the search machinery of :mod:`repro.analysis` — the reproduction's
+equivalent of Batfish's ``searchFilters``/``searchRoutePolicies``.
+
+Checked properties for a route-map snippet:
+
+1. the snippet contains exactly one route-map with exactly one stanza;
+2. the stanza's action equals the spec's;
+3. the stanza's guard matches exactly the spec's match space — a
+   counterexample route is produced for either direction of disagreement;
+4. the stanza's set clauses implement exactly the spec's ``set`` object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.compare import transform_summary
+from repro.analysis.headerspace import acl_guard_space
+from repro.analysis.routespace import stanza_guard_space
+from repro.config.store import ConfigStore
+from repro.core.spec import AclSpec, RouteMapSpec
+from repro.route import BgpRoute, Packet
+
+
+@dataclasses.dataclass(frozen=True)
+class VerificationResult:
+    """The outcome of checking one snippet against one spec."""
+
+    ok: bool
+    problems: List[str] = dataclasses.field(default_factory=list)
+    counterexample: Optional[Union[BgpRoute, Packet]] = None
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "verified"
+        text = "; ".join(self.problems)
+        if self.counterexample is not None:
+            text += f" (counterexample: {self.counterexample})"
+        return text
+
+
+def _spec_sets_canonical(spec_sets: Dict[str, object]) -> Dict[str, object]:
+    """The spec's ``set`` object in the transform-summary shape."""
+    canonical: Dict[str, object] = {}
+    for key, value in spec_sets.items():
+        if key == "community":
+            canonical["community"] = (
+                tuple(sorted(value)),
+                bool(spec_sets.get("community_additive", False)),
+            )
+        elif key == "community_additive":
+            continue
+        elif key == "prepend":
+            canonical["prepend"] = tuple(value)
+        elif key == "next_hop":
+            canonical["next_hop"] = str(value)
+        else:
+            canonical[key] = value
+    return canonical
+
+
+def verify_route_map_snippet(
+    snippet: ConfigStore, spec: RouteMapSpec
+) -> VerificationResult:
+    """Verify a synthesised route-map snippet against its specification."""
+    route_maps = list(snippet.route_maps())
+    if len(route_maps) != 1:
+        return VerificationResult(
+            False, [f"snippet must define exactly one route-map, found {len(route_maps)}"]
+        )
+    route_map = route_maps[0]
+    if len(route_map.stanzas) != 1:
+        return VerificationResult(
+            False,
+            [
+                f"snippet route-map {route_map.name} must have exactly one "
+                f"stanza, found {len(route_map.stanzas)}"
+            ],
+        )
+    stanza = route_map.stanzas[0]
+
+    problems: List[str] = []
+    if stanza.action != spec.action():
+        problems.append(
+            f"stanza action is {stanza.action}, spec wants {spec.action()}"
+        )
+
+    try:
+        guard = stanza_guard_space(stanza, snippet)
+    except KeyError as exc:
+        return VerificationResult(False, [f"dangling list reference: {exc}"])
+    spec_space = spec.match_space()
+
+    missed = spec_space.subtract(guard).witness()
+    if missed is not None:
+        problems.append("stanza fails to match a route the spec covers")
+        return VerificationResult(False, problems, missed)
+    extra = guard.subtract(spec_space).witness()
+    if extra is not None:
+        problems.append("stanza matches a route outside the spec")
+        return VerificationResult(False, problems, extra)
+
+    actual_sets = transform_summary(stanza)
+    expected_sets = _spec_sets_canonical(spec.sets)
+    if spec.permit and actual_sets != expected_sets:
+        problems.append(
+            f"set clauses {actual_sets} do not implement spec sets "
+            f"{expected_sets}"
+        )
+    if problems:
+        return VerificationResult(False, problems)
+    return VerificationResult(True)
+
+
+def verify_acl_snippet(snippet: ConfigStore, spec: AclSpec) -> VerificationResult:
+    """Verify a synthesised ACL snippet against its specification."""
+    acls = list(snippet.acls())
+    if len(acls) != 1:
+        return VerificationResult(
+            False, [f"snippet must define exactly one ACL, found {len(acls)}"]
+        )
+    acl = acls[0]
+    if len(acl.rules) != 1:
+        return VerificationResult(
+            False,
+            [f"snippet ACL {acl.name} must have exactly one rule, found {len(acl.rules)}"],
+        )
+    rule = acl.rules[0]
+
+    problems: List[str] = []
+    if rule.action != spec.action():
+        problems.append(f"rule action is {rule.action}, spec wants {spec.action()}")
+
+    guard = acl_guard_space(rule)
+    spec_space = spec.match_space()
+    missed = spec_space.subtract(guard).witness()
+    if missed is not None:
+        problems.append("rule fails to match a packet the spec covers")
+        return VerificationResult(False, problems, missed)
+    extra = guard.subtract(spec_space).witness()
+    if extra is not None:
+        problems.append("rule matches a packet outside the spec")
+        return VerificationResult(False, problems, extra)
+
+    if problems:
+        return VerificationResult(False, problems)
+    return VerificationResult(True)
+
+
+__all__ = [
+    "VerificationResult",
+    "verify_acl_snippet",
+    "verify_route_map_snippet",
+]

@@ -1,0 +1,181 @@
+"""The Clarify session: the full cyclic workflow of Fig. 1.
+
+A :class:`ClarifySession` owns a device's configuration store, an LLM
+client (wrapped for transcripting), and a user oracle (wrapped for
+question counting).  Each :meth:`ClarifySession.request` runs one cycle:
+classify → retrieve prompts → synthesise+verify (with a user spec
+confirmation, §2.1) → rename lists → disambiguate → insert, and returns
+an :class:`UpdateReport` with the bookkeeping Figure 4 aggregates.
+
+:meth:`ClarifySession.reuse` inserts an already-synthesised snippet into
+another route-map or ACL without new LLM calls — the paper's
+"some route-maps were reused because similar policies were applied on
+interfaces, reducing the number of LLM calls" (§5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.config.diff import config_diff
+from repro.config.names import rename_snippet_lists
+from repro.config.store import ConfigStore
+from repro.core.disambiguator import (
+    DisambiguationMode,
+    disambiguate_acl_rule,
+    disambiguate_stanza,
+)
+from repro.core.oracle import CountingOracle, FirstOptionOracle, UserOracle
+from repro.core.synthesis import ACL, ROUTE_MAP, SynthesisPipeline
+from repro.llm.client import LLMClient
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.transcript import TranscribingClient
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateReport:
+    """What one Clarify cycle did."""
+
+    kind: str
+    target: str
+    position: int
+    llm_calls: int
+    questions: int
+    attempts: int
+    overlaps: Tuple[int, ...]
+    #: The verified, pre-rename snippet (reusable via ``reuse``).
+    snippet: ConfigStore
+    #: Unified diff of the device configuration this update applied.
+    diff: str = ""
+
+
+class ClarifySession:
+    """One interactive Clarify session over one device configuration."""
+
+    def __init__(
+        self,
+        store: Optional[ConfigStore] = None,
+        llm: Optional[LLMClient] = None,
+        oracle: Optional[UserOracle] = None,
+        mode: DisambiguationMode = DisambiguationMode.FULL,
+        max_attempts: int = 3,
+    ) -> None:
+        self.store = store if store is not None else ConfigStore()
+        self.llm = TranscribingClient(llm if llm is not None else SimulatedLLM())
+        self.oracle = CountingOracle(
+            oracle if oracle is not None else FirstOptionOracle()
+        )
+        self.mode = mode
+        self.pipeline = SynthesisPipeline(self.llm, max_attempts=max_attempts)
+        #: Specs shown to the user for manual confirmation (§2.1).
+        self.spec_reviews = 0
+        #: Audit trail: one :class:`UpdateReport` per applied update.
+        self.history: list = []
+
+    # ------------------------------------------------------------- cycles
+
+    def request(
+        self,
+        intent_text: str,
+        target: str,
+        oracle: Optional[UserOracle] = None,
+    ) -> UpdateReport:
+        """Run one full Clarify cycle for an English intent.
+
+        ``target`` names the route-map or ACL the new stanza/rule should
+        be added to (created on first use).  ``oracle`` overrides the
+        session oracle for this request's disambiguation questions (the
+        question count still accumulates on the session).  The session's
+        store is updated in place on success.
+        """
+        calls_before = self.llm.call_count()
+        result = self.pipeline.synthesize(intent_text)
+        self.spec_reviews += 1
+        report = self._insert(
+            result.kind,
+            result.snippet,
+            target,
+            oracle,
+            llm_calls=self.llm.call_count() - calls_before,
+            attempts=result.attempts,
+        )
+        return report
+
+    def reuse(
+        self,
+        snippet: ConfigStore,
+        target: str,
+        oracle: Optional[UserOracle] = None,
+        kind: str = ROUTE_MAP,
+    ) -> UpdateReport:
+        """Insert an already-synthesised snippet into another target."""
+        return self._insert(kind, snippet, target, oracle, llm_calls=0, attempts=0)
+
+    def _insert(
+        self,
+        kind: str,
+        snippet: ConfigStore,
+        target: str,
+        oracle: Optional[UserOracle],
+        llm_calls: int,
+        attempts: int,
+    ) -> UpdateReport:
+        questions_before = self.oracle.question_count
+        answering = self.oracle if oracle is None else _CountInto(self.oracle, oracle)
+        renamed = rename_snippet_lists(snippet, self.store)
+        before = self.store
+        if kind == ROUTE_MAP:
+            outcome = disambiguate_stanza(
+                self.store, target, renamed, answering, self.mode
+            )
+        else:
+            outcome = disambiguate_acl_rule(
+                self.store, target, renamed, answering, self.mode
+            )
+        self.store = outcome.store
+        report = UpdateReport(
+            kind=kind,
+            target=target,
+            position=outcome.position,
+            llm_calls=llm_calls,
+            questions=self.oracle.question_count - questions_before,
+            attempts=attempts,
+            overlaps=outcome.overlaps,
+            snippet=snippet,
+            diff=config_diff(before, self.store),
+        )
+        self.history.append(report)
+        return report
+
+    # -------------------------------------------------------------- stats
+
+    @property
+    def total_llm_calls(self) -> int:
+        return self.llm.call_count()
+
+    @property
+    def total_questions(self) -> int:
+        return self.oracle.question_count
+
+    @property
+    def total_interactions(self) -> int:
+        """Spec confirmations plus disambiguation questions (Fig. 4)."""
+        return self.spec_reviews + self.oracle.question_count
+
+
+class _CountInto:
+    """Answer with ``answerer`` but record on the session's counter."""
+
+    def __init__(self, counter: CountingOracle, answerer: UserOracle) -> None:
+        self._counter = counter
+        self._answerer = answerer
+
+    def choose(self, question):
+        answer = self._answerer.choose(question)
+        self._counter.questions.append(question)
+        self._counter.answers.append(answer)
+        return answer
+
+
+__all__ = ["ClarifySession", "UpdateReport"]

@@ -1,0 +1,17 @@
+"""The §5 evaluation scenario (Figure 3 topology, Figure 4 table)."""
+
+from repro.evalcase.figure3 import (
+    Figure3Result,
+    RouterBuildStats,
+    build_figure3,
+    check_global_policies,
+    figure4_rows,
+)
+
+__all__ = [
+    "Figure3Result",
+    "RouterBuildStats",
+    "build_figure3",
+    "check_global_policies",
+    "figure4_rows",
+]

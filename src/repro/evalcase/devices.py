@@ -1,0 +1,145 @@
+"""Rendering the Figure 3 scenario as device configuration files.
+
+Clarify's output is configuration text, so the end-to-end fidelity check
+is: render every router of the synthesised Figure 3 network as a full
+IOS device file, parse the files back, reassemble the network from
+nothing but those files, re-simulate, and re-check the five global
+policies.  Link addressing uses one /30 per session; originations that
+carry site communities are expressed with ``network ... route-map``
+origination maps, the way an operator would tag them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp import Network, simulate
+from repro.bgp.fromconfig import network_from_devices
+from repro.config.device import (
+    BgpConfig,
+    BgpNeighbor,
+    DeviceConfig,
+    Interface,
+    NetworkStatement,
+    parse_device,
+    render_device,
+)
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.config.sets import SetCommunity
+from repro.evalcase.figure3 import Figure3Result, build_figure3, check_global_policies
+from repro.llm.client import LLMClient
+from repro.netaddr import Ipv4Address, Ipv4Prefix
+
+#: Link subnets are carved from this block, one /30 per BGP session.
+LINK_BLOCK = Ipv4Prefix.parse("172.16.0.0/16")
+
+
+def _link_addresses(index: int) -> Tuple[Ipv4Address, Ipv4Address]:
+    base = LINK_BLOCK.network.value + 4 * index
+    return Ipv4Address(base + 1), Ipv4Address(base + 2)
+
+
+def devices_from_network(network: Network) -> List[DeviceConfig]:
+    """Express a simulator :class:`Network` as device configurations."""
+    devices: Dict[str, DeviceConfig] = {}
+    for name, router in network.routers.items():
+        device = DeviceConfig(hostname=name, store=router.store.copy())
+        device.bgp = BgpConfig(
+            asn=router.asn,
+            router_id=Ipv4Address(router.router_id),
+        )
+        devices[name] = device
+
+    neighbor_rows: Dict[str, List[BgpNeighbor]] = {n: [] for n in devices}
+    for index, (a, b) in enumerate(sorted(network.sessions)):
+        addr_a, addr_b = _link_addresses(index)
+        for side, addr, peer, peer_addr in (
+            (a, addr_a, b, addr_b),
+            (b, addr_b, a, addr_a),
+        ):
+            router = network.router(side)
+            devices[side].interfaces.append(
+                Interface(name=f"Link{index}", address=addr, prefix_length=30)
+            )
+            neighbor_rows[side].append(
+                BgpNeighbor(
+                    address=peer_addr,
+                    remote_as=network.router(peer).asn,
+                    import_chain=router.import_policies.get(peer, ()),
+                    export_chain=router.export_policies.get(peer, ()),
+                )
+            )
+
+    for name, router in network.routers.items():
+        device = devices[name]
+        statements = []
+        for origin_index, route in enumerate(router.originated):
+            route_map_name: Optional[str] = None
+            if route.communities:
+                route_map_name = f"ORIGINATE_{origin_index}"
+                device.store.add_route_map(
+                    RouteMap(
+                        route_map_name,
+                        (
+                            RouteMapStanza(
+                                10,
+                                "permit",
+                                sets=(
+                                    SetCommunity(
+                                        tuple(sorted(route.communities)),
+                                        additive=True,
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                    replace=True,
+                )
+            statements.append(NetworkStatement(route.network, route_map_name))
+        device.bgp = BgpConfig(
+            asn=device.bgp.asn,
+            router_id=device.bgp.router_id,
+            networks=tuple(statements),
+            neighbors=tuple(
+                sorted(neighbor_rows[name], key=lambda n: n.address)
+            ),
+        )
+        device.validate()
+    return list(devices.values())
+
+
+def figure3_device_files(llm: Optional[LLMClient] = None) -> Dict[str, str]:
+    """Synthesise Figure 3 and render every router as a device file."""
+    result = build_figure3(llm)
+    return {
+        device.hostname: render_device(device)
+        for device in devices_from_network(result.network)
+    }
+
+
+def build_figure3_from_files(
+    llm: Optional[LLMClient] = None,
+) -> Figure3Result:
+    """The end-to-end fidelity check: synthesise → render → parse →
+    reassemble → simulate → recheck the global policies."""
+    result = build_figure3(llm)
+    files = {
+        device.hostname: render_device(device)
+        for device in devices_from_network(result.network)
+    }
+    reparsed = [parse_device(text) for text in files.values()]
+    network = network_from_devices(reparsed)
+    ribs = simulate(network)
+    return Figure3Result(
+        network=network,
+        ribs=ribs,
+        stats=result.stats,
+        policy_results=check_global_policies(ribs),
+    )
+
+
+__all__ = [
+    "build_figure3_from_files",
+    "devices_from_network",
+    "figure3_device_files",
+]

@@ -1,0 +1,332 @@
+"""The Figure 3 evaluation: incremental synthesis of a small WAN.
+
+The paper implements five global policies on a synthetic topology
+inspired by Lightyear's running example:
+
+1. reused prefixes within the datacenter and management should be
+   mutually invisible;
+2. the special prefix 10.1.0.0/16 (a datacenter service) should be
+   visible to M;
+3. M should prefer the path through R1 to reach 10.1.0.0/16;
+4. no bogon prefixes should be advertised (to the ISPs);
+5. ISP1 and ISP2 should be mutually unreachable via our network.
+
+Following Lightyear, the global policies are decomposed into local
+per-router policies, and the route-maps of M, R1, and R2 are synthesised
+incrementally with Clarify.  The address plan:
+
+* DC (AS 65100) originates 10.0.0.0/16 (a *reused* private prefix, also
+  used inside management) and the service prefix 10.1.0.0/16;
+* MGMT (AS 65200) originates the same reused 10.0.0.0/16 plus
+  10.2.0.0/16; both sites tag their routes with a site community;
+* R1/R2 (AS 65010/65020) originate the company's public block
+  200.0.0.0/16 and peer with ISP1 (AS 100) / ISP2 (AS 200);
+* ISP1 originates 8.8.0.0/16, ISP2 originates 9.9.0.0/16.
+
+Figure 4 accounting (documented in EXPERIMENTS.md): each synthesised
+stanza costs 3 LLM calls (classification, spec extraction, synthesis —
+single-pass, as the paper observed); the #Disambiguation column counts
+*user interactions*: one manual spec confirmation per synthesised stanza
+(§2.1) plus every differential question the disambiguator asks.
+Route-map and stanza reuse across interfaces reduces LLM calls, exactly
+as the paper notes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bgp import Network, Ribs, simulate
+from repro.bgp.checks import has_route, learned_from, visible_prefixes
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.core.oracle import IntentOracle
+from repro.core.workflow import ClarifySession
+from repro.llm.client import LLMClient
+from repro.netaddr import Ipv4Prefix
+from repro.regexlib.cisco import community_matches
+from repro.route import BgpRoute
+
+REUSED_PREFIX = Ipv4Prefix.parse("10.0.0.0/16")
+SERVICE_PREFIX = Ipv4Prefix.parse("10.1.0.0/16")
+PRIVATE_SPACE = Ipv4Prefix.parse("10.0.0.0/8")
+PUBLIC_PREFIX = Ipv4Prefix.parse("200.0.0.0/16")
+
+MGMT_TAG = "65200:1"
+DC_TAG = "65100:1"
+
+# ------------------------------------------------------ English intents
+
+INTENT_PERMIT_ALL = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "0.0.0.0/0 and all its more-specific prefixes."
+)
+INTENT_DENY_REUSED = (
+    "Write a route-map stanza that denies routes containing the prefix "
+    "10.0.0.0/16."
+)
+INTENT_DENY_BOGONS = (
+    "Write a route-map stanza that denies routes containing the prefix "
+    "10.0.0.0/8 and all its more-specific prefixes."
+)
+INTENT_PERMIT_PUBLIC = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "200.0.0.0/16."
+)
+INTENT_DENY_MGMT_TAG = (
+    "Write a route-map stanza that denies routes tagged with the "
+    "community 65200:1."
+)
+INTENT_PERMIT_SERVICE_PREFERRED = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "10.1.0.0/16. Their local preference should be set to 200."
+)
+INTENT_PERMIT_SERVICE = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "10.1.0.0/16."
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterBuildStats:
+    """One row of Figure 4."""
+
+    name: str
+    route_maps: int
+    llm_calls: int
+    interactions: int
+    questions: int
+    stanzas: int
+
+
+@dataclasses.dataclass
+class Figure3Result:
+    """Everything the §5 evaluation produces."""
+
+    network: Network
+    ribs: Ribs
+    stats: List[RouterBuildStats]
+    policy_results: Dict[str, bool]
+
+
+# ------------------------------------------------- local-policy oracles
+
+
+def _m_import_intent(preferred: bool) -> Callable[[BgpRoute], tuple]:
+    """M's local policy for an import map: drop management-tagged routes,
+    accept the service prefix (preferring R1 via local preference)."""
+
+    def intended(route: BgpRoute) -> tuple:
+        if any(community_matches(f"_{MGMT_TAG}_", c) for c in route.communities):
+            return ("deny", None)
+        if route.network == SERVICE_PREFIX:
+            if preferred:
+                return ("permit", route.with_updates(local_preference=200))
+            return ("permit", route)
+        return ("deny", None)
+
+    return intended
+
+
+def _edge_import_intent(route: BgpRoute) -> tuple:
+    """R1/R2's local policy for site imports: drop the reused prefix."""
+    if route.network == REUSED_PREFIX:
+        return ("deny", None)
+    return ("permit", route)
+
+
+def _isp_import_intent(route: BgpRoute) -> tuple:
+    """R1/R2's local policy for ISP imports: drop bogons."""
+    if PRIVATE_SPACE.contains_prefix(route.network):
+        return ("deny", None)
+    return ("permit", route)
+
+
+# ----------------------------------------------------- router builders
+
+
+def build_m(llm: Optional[LLMClient] = None) -> Tuple[ClarifySession, RouterBuildStats]:
+    """Incrementally synthesise M's route-maps."""
+    session = ClarifySession(llm=llm)
+    deny_tag = session.request(INTENT_DENY_MGMT_TAG, "FROM_R1")
+    session.request(
+        INTENT_PERMIT_SERVICE_PREFERRED,
+        "FROM_R1",
+        oracle=IntentOracle(_m_import_intent(preferred=True)),
+    )
+    session.reuse(deny_tag.snippet, "FROM_R2")
+    session.request(
+        INTENT_PERMIT_SERVICE,
+        "FROM_R2",
+        oracle=IntentOracle(_m_import_intent(preferred=False)),
+    )
+    # M advertises nothing: deny-all export maps are operator boilerplate,
+    # not synthesised stanzas (a match-nothing deny stanza denies all).
+    session.store.add_route_map(RouteMap("TO_R1", (RouteMapStanza(10, "deny"),)))
+    session.store.add_route_map(RouteMap("TO_R2", (RouteMapStanza(10, "deny"),)))
+    stats = RouterBuildStats(
+        name="M",
+        route_maps=len(list(session.store.route_maps())),
+        llm_calls=session.total_llm_calls,
+        interactions=session.total_interactions,
+        questions=session.total_questions,
+        stanzas=session.spec_reviews,
+    )
+    return session, stats
+
+
+def build_edge(
+    name: str, llm: Optional[LLMClient] = None
+) -> Tuple[ClarifySession, RouterBuildStats]:
+    """Incrementally synthesise R1's (or R2's) route-maps.
+
+    Five route-maps: FROM_EDGE (imports from DC and MGMT — one map reused
+    on both interfaces), FROM_ISP, TO_ISP, TO_EDGE, TO_M.
+    """
+    session = ClarifySession(llm=llm)
+    session.request(INTENT_DENY_REUSED, "FROM_EDGE")
+    permit_all = session.request(
+        INTENT_PERMIT_ALL,
+        "FROM_EDGE",
+        oracle=IntentOracle(_edge_import_intent),
+    )
+    session.reuse(permit_all.snippet, "TO_EDGE")
+    session.reuse(permit_all.snippet, "TO_M")
+    session.request(INTENT_DENY_BOGONS, "FROM_ISP")
+    session.reuse(
+        permit_all.snippet, "FROM_ISP", oracle=IntentOracle(_isp_import_intent)
+    )
+    session.request(INTENT_PERMIT_PUBLIC, "TO_ISP")
+    stats = RouterBuildStats(
+        name=name,
+        route_maps=len(list(session.store.route_maps())),
+        llm_calls=session.total_llm_calls,
+        interactions=session.total_interactions,
+        questions=session.total_questions,
+        stanzas=session.spec_reviews,
+    )
+    return session, stats
+
+
+# ----------------------------------------------------------- the network
+
+
+def build_figure3(llm: Optional[LLMClient] = None) -> Figure3Result:
+    """Build the whole scenario, simulate it, and check the policies."""
+    m_session, m_stats = build_m(llm)
+    r1_session, r1_stats = build_edge("R1", llm)
+    r2_session, r2_stats = build_edge("R2", llm)
+
+    net = Network()
+    net.add_router("M", 65000, store=m_session.store)
+    net.add_router("R1", 65010, store=r1_session.store)
+    net.add_router("R2", 65020, store=r2_session.store)
+    net.add_router("DC", 65100)
+    net.add_router("MGMT", 65200)
+    net.add_router("ISP1", 100)
+    net.add_router("ISP2", 200)
+
+    for a, b in (
+        ("M", "R1"),
+        ("M", "R2"),
+        ("R1", "DC"),
+        ("R1", "MGMT"),
+        ("R2", "DC"),
+        ("R2", "MGMT"),
+        ("R1", "ISP1"),
+        ("R2", "ISP2"),
+    ):
+        net.connect(a, b)
+
+    net.router("DC").originate(str(REUSED_PREFIX), communities=(DC_TAG,))
+    net.router("DC").originate(str(SERVICE_PREFIX), communities=(DC_TAG,))
+    net.router("MGMT").originate(str(REUSED_PREFIX), communities=(MGMT_TAG,))
+    net.router("MGMT").originate("10.2.0.0/16", communities=(MGMT_TAG,))
+    net.router("R1").originate(str(PUBLIC_PREFIX))
+    net.router("R2").originate(str(PUBLIC_PREFIX))
+    net.router("ISP1").originate("8.8.0.0/16")
+    net.router("ISP2").originate("9.9.0.0/16")
+
+    net.set_import_policy("M", "R1", ("FROM_R1",))
+    net.set_import_policy("M", "R2", ("FROM_R2",))
+    net.set_export_policy("M", "R1", ("TO_R1",))
+    net.set_export_policy("M", "R2", ("TO_R2",))
+    for edge, isp in (("R1", "ISP1"), ("R2", "ISP2")):
+        net.set_import_policy(edge, "DC", ("FROM_EDGE",))
+        net.set_import_policy(edge, "MGMT", ("FROM_EDGE",))
+        net.set_export_policy(edge, "DC", ("TO_EDGE",))
+        net.set_export_policy(edge, "MGMT", ("TO_EDGE",))
+        net.set_export_policy(edge, "M", ("TO_M",))
+        net.set_import_policy(edge, isp, ("FROM_ISP",))
+        net.set_export_policy(edge, isp, ("TO_ISP",))
+
+    ribs = simulate(net)
+    return Figure3Result(
+        network=net,
+        ribs=ribs,
+        stats=[m_stats, r1_stats, r2_stats],
+        policy_results=check_global_policies(ribs),
+    )
+
+
+# ------------------------------------------------------- policy checks
+
+
+def check_global_policies(ribs: Ribs) -> Dict[str, bool]:
+    """Evaluate the five §5 global policies on the simulated RIBs."""
+    reused = str(REUSED_PREFIX)
+    service = str(SERVICE_PREFIX)
+
+    # 1. The reused prefix never travels: the core never carries it, and
+    #    each site only knows its own origination.
+    invisible = (
+        not has_route(ribs, "R1", reused)
+        and not has_route(ribs, "R2", reused)
+        and not has_route(ribs, "M", reused)
+        and learned_from(ribs, "DC", reused) is None
+        and learned_from(ribs, "MGMT", reused) is None
+    )
+
+    # 2. The service prefix is visible at M.
+    service_visible = has_route(ribs, "M", service)
+
+    # 3. M prefers the path through R1.
+    prefers_r1 = learned_from(ribs, "M", service) == "R1"
+
+    # 4. No bogons at the ISPs: everything they learn from us is public.
+    def no_bogons(isp: str) -> bool:
+        return all(
+            not PRIVATE_SPACE.contains_prefix(Ipv4Prefix.parse(p))
+            for p in visible_prefixes(ribs, isp)
+        )
+
+    bogon_free = no_bogons("ISP1") and no_bogons("ISP2")
+
+    # 5. The ISPs cannot reach each other via our network.
+    isolated = not has_route(ribs, "ISP1", "9.9.0.0/16") and not has_route(
+        ribs, "ISP2", "8.8.0.0/16"
+    )
+
+    return {
+        "reused-prefixes-invisible": invisible,
+        "service-visible-at-m": service_visible,
+        "m-prefers-r1": prefers_r1,
+        "no-bogons-at-isps": bogon_free,
+        "isps-isolated": isolated,
+    }
+
+
+def figure4_rows(stats: List[RouterBuildStats]) -> List[Tuple[str, int, int, int]]:
+    """The Figure 4 table: (router, #route-maps, #LLM calls, #disambiguation)."""
+    return [(s.name, s.route_maps, s.llm_calls, s.interactions) for s in stats]
+
+
+__all__ = [
+    "Figure3Result",
+    "RouterBuildStats",
+    "build_edge",
+    "build_figure3",
+    "build_m",
+    "check_global_policies",
+    "figure4_rows",
+]

@@ -1,0 +1,46 @@
+"""The LLM substrate.
+
+The paper uses GPT-4 for three tasks: classifying a user query as ACL or
+route-map synthesis, translating the English intent into one Cisco IOS
+stanza, and extracting a JSON specification from the intent.  This
+package provides:
+
+* :class:`~repro.llm.client.LLMClient` — the provider-agnostic interface
+  (swap in a real API client by implementing ``complete``);
+* :mod:`~repro.llm.prompts` — the system prompts and few-shot example
+  database the paper retrieves per query type (Fig. 1, step 2);
+* :class:`~repro.llm.simulated.SimulatedLLM` — a deterministic rule-based
+  stand-in for GPT-4 (see DESIGN.md, substitution table);
+* :class:`~repro.llm.faulty.FaultyLLM` — a fault-injection wrapper used to
+  exercise the verification/retry loop;
+* :class:`~repro.llm.transcript.TranscribingClient` — call logging and the
+  per-task statistics behind Figure 4's "#LLM calls" column.
+"""
+
+from repro.llm.client import LLMClient
+from repro.llm.faulty import FaultyLLM
+from repro.llm.intents import (
+    AclIntent,
+    IntentParseError,
+    RouteMapIntent,
+    parse_acl_intent,
+    parse_route_map_intent,
+)
+from repro.llm.prompts import PromptDatabase, TaskKind
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.transcript import CallRecord, TranscribingClient
+
+__all__ = [
+    "AclIntent",
+    "CallRecord",
+    "FaultyLLM",
+    "IntentParseError",
+    "LLMClient",
+    "PromptDatabase",
+    "RouteMapIntent",
+    "SimulatedLLM",
+    "TaskKind",
+    "TranscribingClient",
+    "parse_acl_intent",
+    "parse_route_map_intent",
+]

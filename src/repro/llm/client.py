@@ -1,0 +1,23 @@
+"""The provider-agnostic LLM interface."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Anything that can complete a (system, user) prompt pair.
+
+    The pipeline only ever consumes the returned text — synthesised
+    configuration is re-parsed and verified, never trusted — so any
+    text-in/text-out model fits behind this interface, including real
+    LLM API clients.
+    """
+
+    def complete(self, system: str, prompt: str) -> str:
+        """Return the model's completion for the given prompts."""
+        ...
+
+
+__all__ = ["LLMClient"]

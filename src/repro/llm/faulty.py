@@ -1,0 +1,95 @@
+"""Fault injection for exercising the verification loop.
+
+The paper's pipeline iterates synthesis with verification "until the LLM
+finally produces the correct output or we reach a threshold and punt to
+the user" (§2.1).  With the deterministic simulated LLM that loop never
+triggers, so :class:`FaultyLLM` corrupts synthesis outputs at a
+configurable rate with realistic LLM error modes: wrong numeric values,
+flipped actions, and malformed syntax.  Spec-extraction outputs are left
+intact — in the paper's workflow the user manually validates the spec,
+so the spec is the trusted side of the check.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Optional
+
+from repro.llm.client import LLMClient
+from repro.llm.prompts import TaskKind, task_kind_of
+
+_SYNTH_TASKS = (TaskKind.ROUTE_MAP_SYNTH, TaskKind.ACL_SYNTH)
+
+
+class FaultyLLM:
+    """Wraps a client, corrupting synthesis outputs with probability ``error_rate``."""
+
+    def __init__(
+        self, inner: LLMClient, error_rate: float, seed: int = 0
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+        self._inner = inner
+        self._error_rate = error_rate
+        self._rng = random.Random(seed)
+        self.injected_faults = 0
+
+    def complete(self, system: str, prompt: str) -> str:
+        response = self._inner.complete(system, prompt)
+        if task_kind_of(system) not in _SYNTH_TASKS:
+            return response
+        if self._rng.random() >= self._error_rate:
+            return response
+        corrupted = self._corrupt(response)
+        if corrupted != response:
+            self.injected_faults += 1
+        return corrupted
+
+    def _corrupt(self, text: str) -> str:
+        mutation = self._rng.choice(
+            (self._wrong_number, self._flip_action, self._break_syntax)
+        )
+        corrupted = mutation(text)
+        if corrupted == text:
+            # The chosen mutation had nothing to bite on; try the others.
+            for fallback in (self._wrong_number, self._flip_action, self._break_syntax):
+                corrupted = fallback(text)
+                if corrupted != text:
+                    return corrupted
+        return corrupted
+
+    def _wrong_number(self, text: str) -> str:
+        """Perturb the numeric argument of a set clause or port match."""
+        pattern = re.compile(
+            r"(set (?:metric|local-preference|tag|weight) |eq |range )(\d+)"
+        )
+        match = pattern.search(text)
+        if match is None:
+            return text
+        value = int(match.group(2))
+        nudge = self._rng.choice((1, 10, 100))
+        return text[: match.start(2)] + str(value + nudge) + text[match.end(2):]
+
+    def _flip_action(self, text: str) -> str:
+        """Flip the stanza/rule action."""
+        if re.search(r"^(route-map \S+ )permit", text, flags=re.M):
+            return re.sub(
+                r"^(route-map \S+ )permit", r"\1deny", text, count=1, flags=re.M
+            )
+        if re.search(r"^(route-map \S+ )deny", text, flags=re.M):
+            return re.sub(
+                r"^(route-map \S+ )deny", r"\1permit", text, count=1, flags=re.M
+            )
+        if re.search(r"permit", text):
+            return text.replace("permit", "deny", 1)
+        return text.replace("deny", "permit", 1)
+
+    def _break_syntax(self, text: str) -> str:
+        """Introduce a parse error (a hallucinated keyword)."""
+        return text.replace("match ", "match the ", 1).replace(
+            "set ", "apply ", 1
+        )
+
+
+__all__ = ["FaultyLLM"]

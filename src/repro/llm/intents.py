@@ -1,0 +1,423 @@
+"""The structured English intent grammar the simulated LLM understands.
+
+The paper's users write intents in "simple English language" (§2.1).
+The simulated LLM parses a practical fragment of that language with
+rules; the result is a structured intent that both the synthesiser and
+the spec extractor consume, guaranteeing — as the paper observed of
+GPT-4 on its workload — that the two stay consistent.
+
+Supported route-map phrasing (examples)::
+
+    Write a route-map stanza that permits routes containing the prefix
+    100.0.0.0/16 with mask length less than or equal to 23 and tagged
+    with the community 300:3. Their MED value should be set to 55.
+
+    Write a route-map stanza that denies routes originating from AS 32.
+
+    Write a route-map stanza that permits routes with local-preference
+    300.
+
+Supported ACL phrasing::
+
+    Add a rule that denies tcp traffic from 10.0.0.0/8 to host 2.2.2.2
+    on destination port 22.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import List, Optional, Tuple
+
+from repro.netaddr import Ipv4Address, Ipv4Prefix
+
+
+class IntentParseError(ValueError):
+    """Raised when an English intent cannot be understood."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PrefixConstraint:
+    """A prefix with an optional mask-length window."""
+
+    prefix: Ipv4Prefix
+    ge: Optional[int] = None
+    le: Optional[int] = None
+
+    def bounds(self) -> Tuple[int, int]:
+        if self.ge is None and self.le is None:
+            return (self.prefix.length, self.prefix.length)
+        lo = self.ge if self.ge is not None else self.prefix.length
+        hi = self.le if self.le is not None else 32
+        return (lo, hi)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteMapIntent:
+    """A parsed route-map stanza intent."""
+
+    action: str
+    prefixes: Tuple[PrefixConstraint, ...] = ()
+    communities: Tuple[str, ...] = ()
+    as_path_regex: Optional[str] = None
+    local_preference: Optional[int] = None
+    metric: Optional[int] = None
+    tag: Optional[int] = None
+    set_metric: Optional[int] = None
+    set_local_preference: Optional[int] = None
+    set_communities: Tuple[str, ...] = ()
+    set_community_additive: bool = True
+    set_next_hop: Optional[str] = None
+    set_prepend: Tuple[int, ...] = ()
+    set_tag: Optional[int] = None
+    set_weight: Optional[int] = None
+
+    def name_hint(self) -> str:
+        """A route-map name in the style of the paper's examples."""
+        if self.set_metric is not None:
+            return "SET_METRIC"
+        if self.set_local_preference is not None:
+            return "SET_LOCAL_PREF"
+        if self.set_communities:
+            return "SET_COMMUNITY"
+        if self.set_prepend:
+            return "PREPEND_AS"
+        if self.as_path_regex is not None:
+            return "MATCH_AS" if self.action == "permit" else "DENY_AS"
+        if self.prefixes:
+            return "MATCH_PREFIX" if self.action == "permit" else "DENY_PREFIX"
+        return "NEW_STANZA"
+
+
+@dataclasses.dataclass(frozen=True)
+class AclIntent:
+    """A parsed ACL rule intent."""
+
+    action: str
+    protocol: str = "ip"
+    src: Optional[Ipv4Prefix] = None
+    dst: Optional[Ipv4Prefix] = None
+    src_port_lo: Optional[int] = None
+    src_port_hi: Optional[int] = None
+    dst_port_lo: Optional[int] = None
+    dst_port_hi: Optional[int] = None
+    established: bool = False
+
+
+_PREFIX_RE = re.compile(r"(\d+\.\d+\.\d+\.\d+/\d+)")
+_HOST_RE = re.compile(r"host (\d+\.\d+\.\d+\.\d+)")
+
+
+def _find_action(text: str) -> str:
+    lowered = text.lower()
+    permit_idx = min(
+        (
+            lowered.find(w)
+            for w in ("permit", "allow", "accept")
+            if w in lowered
+        ),
+        default=-1,
+    )
+    deny_idx = min(
+        (lowered.find(w) for w in ("denies", "deny", "block", "drop", "reject") if w in lowered),
+        default=-1,
+    )
+    if permit_idx == -1 and deny_idx == -1:
+        raise IntentParseError(
+            "intent must say whether to permit/allow or deny/block"
+        )
+    if deny_idx == -1:
+        return "permit"
+    if permit_idx == -1:
+        return "deny"
+    return "permit" if permit_idx < deny_idx else "deny"
+
+
+def _mask_window(segment: str, prefix: Ipv4Prefix) -> Tuple[Optional[int], Optional[int]]:
+    """Mask-length qualifiers following a prefix mention."""
+    lowered = segment.lower()
+    match = re.search(
+        r"mask length (?:of )?between (\d+) and (\d+)", lowered
+    )
+    if match:
+        return int(match.group(1)), int(match.group(2))
+    match = re.search(
+        r"mask length (?:of )?(?:less than or equal to|at most|up to|no more than) (\d+)",
+        lowered,
+    )
+    if match:
+        return None, int(match.group(1))
+    match = re.search(
+        r"mask length (?:of )?(?:greater than or equal to|at least|no less than) (\d+)",
+        lowered,
+    )
+    if match:
+        return int(match.group(1)), None
+    match = re.search(r"mask length (?:of )?exactly (\d+)", lowered)
+    if match:
+        exact = int(match.group(1))
+        if exact != prefix.length:
+            return exact, exact
+        return None, None
+    if re.search(r"or longer", lowered):
+        return prefix.length, 32
+    if re.search(
+        r"and (?:all )?(?:its |their )?(?:more[- ]specific |sub)prefixes", lowered
+    ):
+        return None, 32
+    return None, None
+
+
+def parse_route_map_intent(text: str) -> RouteMapIntent:
+    """Parse an English route-map intent; raises on unparseable text."""
+    action = _find_action(text)
+    lowered = text.lower()
+
+    # ------------------------------------------------------------ matches
+    prefixes: List[PrefixConstraint] = []
+    for match in _PREFIX_RE.finditer(text):
+        try:
+            prefix = Ipv4Prefix.parse(match.group(1))
+        except ValueError as exc:
+            raise IntentParseError(str(exc)) from None
+        # Ignore prefixes that belong to a "next hop" clause.
+        preceding = lowered[max(0, match.start() - 40) : match.start()]
+        if "next hop" in preceding or "next-hop" in preceding:
+            continue
+        trailing = text[match.end() : match.end() + 80]
+        ge, le = _mask_window(trailing, prefix)
+        prefixes.append(PrefixConstraint(prefix, ge=ge, le=le))
+
+    communities: List[str] = []
+    for match in re.finditer(
+        r"(?:tagged with|carrying|with|having) (?:the )?communit(?:y|ies) ([\d:]+(?:(?:,| and) [\d:]+)*)",
+        lowered,
+    ):
+        for token in re.findall(r"\d+:\d+", match.group(1)):
+            communities.append(token)
+
+    as_path_regex: Optional[str] = None
+    match = re.search(r"originating from as\s?(\d+)", lowered)
+    if match:
+        as_path_regex = f"_{match.group(1)}$"
+    match = re.search(r"passing through as\s?(\d+)", lowered)
+    if match:
+        as_path_regex = f"_{match.group(1)}_"
+    match = re.search(r"received from as\s?(\d+)|learned from as\s?(\d+)", lowered)
+    if match:
+        asn = match.group(1) or match.group(2)
+        as_path_regex = f"^{asn}_"
+    match = re.search(r"as-path matching /([^/]+)/", text)
+    if match:
+        as_path_regex = match.group(1)
+    if re.search(r"with (?:an )?empty as-path", lowered):
+        as_path_regex = "^$"
+
+    local_preference: Optional[int] = None
+    match = re.search(
+        r"with (?:a )?local[- ]preference (?:of )?(\d+)", lowered
+    )
+    if match:
+        local_preference = int(match.group(1))
+
+    metric: Optional[int] = None
+    match = re.search(r"with (?:a )?(?:metric|med) (?:of )?(\d+)", lowered)
+    if match:
+        metric = int(match.group(1))
+
+    tag: Optional[int] = None
+    match = re.search(r"with (?:a )?tag (?:of )?(\d+)", lowered)
+    if match:
+        tag = int(match.group(1))
+
+    # --------------------------------------------------------------- sets
+    set_metric = _set_value(lowered, r"(?:med|metric)")
+    set_local_preference = _set_value(lowered, r"local[- ]preference")
+    set_tag = _set_value(lowered, r"tag")
+    set_weight = _set_value(lowered, r"weight")
+
+    set_communities: List[str] = []
+    additive = True
+    match = re.search(
+        r"(?:adding|add|attach(?:ing)?) (?:the )?communit(?:y|ies) ([\d:]+(?:(?:,| and) [\d:]+)*)",
+        lowered,
+    )
+    if match:
+        set_communities = re.findall(r"\d+:\d+", match.group(1))
+    match = re.search(
+        r"replac(?:e|ing) (?:the |their )?communit(?:y|ies) with ([\d:]+(?:(?:,| and) [\d:]+)*)",
+        lowered,
+    )
+    if match:
+        set_communities = re.findall(r"\d+:\d+", match.group(1))
+        additive = False
+
+    set_next_hop: Optional[str] = None
+    match = re.search(
+        r"next[- ]hop (?:should be |is )?(?:set )?to (\d+\.\d+\.\d+\.\d+)", lowered
+    )
+    if match:
+        set_next_hop = match.group(1)
+
+    set_prepend: Tuple[int, ...] = ()
+    match = re.search(
+        r"prepend(?:ing)? as\s?(\d+)(?: (\w+) times)?", lowered
+    )
+    if match:
+        count = _word_number(match.group(2)) if match.group(2) else 1
+        set_prepend = (int(match.group(1)),) * count
+
+    intent = RouteMapIntent(
+        action=action,
+        prefixes=tuple(prefixes),
+        communities=tuple(communities),
+        as_path_regex=as_path_regex,
+        local_preference=local_preference,
+        metric=metric,
+        tag=tag,
+        set_metric=set_metric,
+        set_local_preference=set_local_preference,
+        set_communities=tuple(set_communities),
+        set_community_additive=additive,
+        set_next_hop=set_next_hop,
+        set_prepend=set_prepend,
+        set_tag=set_tag,
+        set_weight=set_weight,
+    )
+    if not _has_any_content(intent):
+        raise IntentParseError(
+            "intent constrains nothing: no prefix, community, as-path, "
+            "local-preference, or set action found"
+        )
+    return intent
+
+
+def _set_value(lowered: str, noun: str) -> Optional[int]:
+    patterns = [
+        noun + r"(?: value)? (?:should be |is )?set to (\d+)",
+        r"set(?:ting)? (?:the |their )?" + noun + r"(?: value)? to (\d+)",
+    ]
+    for pattern in patterns:
+        match = re.search(pattern, lowered)
+        if match:
+            return int(match.group(1))
+    return None
+
+
+_WORD_NUMBERS = {
+    "one": 1,
+    "once": 1,
+    "two": 2,
+    "twice": 2,
+    "three": 3,
+    "thrice": 3,
+    "four": 4,
+    "five": 5,
+}
+
+
+def _word_number(word: str) -> int:
+    word = word.lower()
+    if word.isdigit():
+        return int(word)
+    if word in _WORD_NUMBERS:
+        return _WORD_NUMBERS[word]
+    raise IntentParseError(f"cannot read {word!r} as a count")
+
+
+def _has_any_content(intent: RouteMapIntent) -> bool:
+    return bool(
+        intent.prefixes
+        or intent.communities
+        or intent.as_path_regex
+        or intent.local_preference is not None
+        or intent.metric is not None
+        or intent.tag is not None
+        or intent.set_metric is not None
+        or intent.set_local_preference is not None
+        or intent.set_communities
+        or intent.set_next_hop
+        or intent.set_prepend
+        or intent.set_tag is not None
+        or intent.set_weight is not None
+    )
+
+
+# ----------------------------------------------------------------- ACLs
+
+_PROTOCOLS = ("tcp", "udp", "icmp", "gre", "ospf", "esp", "igmp")
+
+
+def parse_acl_intent(text: str) -> AclIntent:
+    """Parse an English ACL rule intent; raises on unparseable text."""
+    action = _find_action(text)
+    lowered = text.lower()
+
+    protocol = "ip"
+    for name in _PROTOCOLS:
+        if re.search(rf"\b{name}\b", lowered):
+            protocol = name
+            break
+
+    src = _endpoint(text, lowered, "from")
+    dst = _endpoint(text, lowered, "to")
+
+    src_lo = src_hi = dst_lo = dst_hi = None
+    for match in re.finditer(
+        r"on (source |destination )?ports? (\d+)(?:\s*(?:-|to|through)\s*(\d+))?",
+        lowered,
+    ):
+        which = (match.group(1) or "destination ").strip()
+        lo = int(match.group(2))
+        hi = int(match.group(3)) if match.group(3) else lo
+        if which == "source":
+            src_lo, src_hi = lo, hi
+        else:
+            dst_lo, dst_hi = lo, hi
+    match = re.search(r"from port (\d+)(?:\s*(?:-|to|through)\s*(\d+))?", lowered)
+    if match:
+        src_lo = int(match.group(1))
+        src_hi = int(match.group(2)) if match.group(2) else src_lo
+
+    established = bool(re.search(r"established", lowered))
+    return AclIntent(
+        action=action,
+        protocol=protocol,
+        src=src,
+        dst=dst,
+        src_port_lo=src_lo,
+        src_port_hi=src_hi,
+        dst_port_lo=dst_lo,
+        dst_port_hi=dst_hi,
+        established=established,
+    )
+
+
+def _endpoint(text: str, lowered: str, word: str) -> Optional[Ipv4Prefix]:
+    match = re.search(
+        rf"\b{word} (any(?:where)?|host \d+\.\d+\.\d+\.\d+|\d+\.\d+\.\d+\.\d+(?:/\d+)?)",
+        lowered,
+    )
+    if match is None:
+        return None
+    token = match.group(1)
+    if token.startswith("any"):
+        return None
+    try:
+        if token.startswith("host "):
+            return Ipv4Prefix.host(Ipv4Address.parse(token[len("host "):]))
+        if "/" in token:
+            return Ipv4Prefix.parse(token)
+        return Ipv4Prefix.host(Ipv4Address.parse(token))
+    except ValueError as exc:
+        raise IntentParseError(str(exc)) from None
+
+
+__all__ = [
+    "AclIntent",
+    "IntentParseError",
+    "PrefixConstraint",
+    "RouteMapIntent",
+    "parse_acl_intent",
+    "parse_route_map_intent",
+]

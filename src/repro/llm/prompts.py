@@ -1,0 +1,232 @@
+"""The system-prompt and few-shot example database (Fig. 1, step 2).
+
+The paper stores, per query type, a task description and few-shot
+examples that are retrieved after classification and prepended to the
+LLM call.  The examples below are modelled on the paper's §2.1 prompt
+and output pair.  Each system prompt carries a machine-readable task
+marker (``TASK: ...``) that the simulated LLM dispatches on; a real LLM
+simply reads the same text as instructions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Tuple
+
+
+class TaskKind(enum.Enum):
+    """The LLM tasks of the Clarify pipeline."""
+
+    CLASSIFY = "classify"
+    ROUTE_MAP_SYNTH = "route-map-synth"
+    ACL_SYNTH = "acl-synth"
+    ROUTE_MAP_SPEC = "route-map-spec"
+    ACL_SPEC = "acl-spec"
+
+
+@dataclasses.dataclass(frozen=True)
+class FewShotExample:
+    """One (user prompt, ideal completion) pair."""
+
+    prompt: str
+    completion: str
+
+
+@dataclasses.dataclass(frozen=True)
+class PromptTemplate:
+    """A system prompt plus its few-shot examples."""
+
+    kind: TaskKind
+    system: str
+    examples: Tuple[FewShotExample, ...]
+
+    def render_system(self) -> str:
+        """The full system prompt: marker, instructions, few-shot block."""
+        parts = [f"TASK: {self.kind.value}", self.system.strip()]
+        for idx, example in enumerate(self.examples, start=1):
+            parts.append(
+                f"EXAMPLE {idx} PROMPT:\n{example.prompt.strip()}\n"
+                f"EXAMPLE {idx} OUTPUT:\n{example.completion.strip()}"
+            )
+        return "\n\n".join(parts)
+
+
+_CLASSIFY = PromptTemplate(
+    kind=TaskKind.CLASSIFY,
+    system=(
+        "You are a network-configuration assistant. Classify the user's "
+        "request as either a route-map synthesis query or an ACL synthesis "
+        "query. Answer with exactly one word: 'route-map' or 'acl'."
+    ),
+    examples=(
+        FewShotExample(
+            prompt=(
+                "Write a route-map stanza that permits routes containing "
+                "the prefix 100.0.0.0/16 with mask length less than or "
+                "equal to 23 and tagged with the community 300:3. Their "
+                "MED value should be set to 55."
+            ),
+            completion="route-map",
+        ),
+        FewShotExample(
+            prompt=(
+                "Add a rule that denies tcp traffic from 10.0.0.0/8 to "
+                "host 2.2.2.2 on destination port 22."
+            ),
+            completion="acl",
+        ),
+    ),
+)
+
+_ROUTE_MAP_SYNTH = PromptTemplate(
+    kind=TaskKind.ROUTE_MAP_SYNTH,
+    system=(
+        "Generate exactly one route-map stanza in Cisco IOS syntax for the "
+        "user's intent, together with any prefix-lists, community-lists, "
+        "or as-path access-lists the stanza references. Do not reference "
+        "or modify any existing configuration; synthesise the stanza in "
+        "isolation under a fresh route-map name."
+    ),
+    examples=(
+        FewShotExample(
+            prompt=(
+                "Write a route-map stanza that permits routes containing "
+                "the prefix 100.0.0.0/16 with mask length less than or "
+                "equal to 23 and tagged with the community 300:3. Their "
+                "MED value should be set to 55."
+            ),
+            completion=(
+                "ip community-list expanded COM_LIST permit _300:3_\n"
+                "ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23\n"
+                "route-map SET_METRIC permit 10\n"
+                " match community COM_LIST\n"
+                " match ip address prefix-list PREFIX_100\n"
+                " set metric 55"
+            ),
+        ),
+        FewShotExample(
+            prompt=(
+                "Write a route-map stanza that denies routes originating "
+                "from AS 65001."
+            ),
+            completion=(
+                "ip as-path access-list AS_LIST permit _65001$\n"
+                "route-map DENY_AS deny 10\n"
+                " match as-path AS_LIST"
+            ),
+        ),
+    ),
+)
+
+_ACL_SYNTH = PromptTemplate(
+    kind=TaskKind.ACL_SYNTH,
+    system=(
+        "Generate exactly one extended access-list rule in Cisco IOS "
+        "syntax for the user's intent, wrapped in a fresh ACL name. Do "
+        "not reference any existing configuration."
+    ),
+    examples=(
+        FewShotExample(
+            prompt=(
+                "Add a rule that denies tcp traffic from 10.0.0.0/8 to "
+                "host 2.2.2.2 on destination port 22."
+            ),
+            completion=(
+                "ip access-list extended NEW_RULE\n"
+                " 10 deny tcp 10.0.0.0 0.255.255.255 host 2.2.2.2 eq 22"
+            ),
+        ),
+    ),
+)
+
+_ROUTE_MAP_SPEC = PromptTemplate(
+    kind=TaskKind.ROUTE_MAP_SPEC,
+    system=(
+        "Produce a JSON specification of the user's route-map intent. Use "
+        'the keys "permit" (boolean), "prefix" (a list of '
+        '"P/len:lo-hi" strings), "community" (a "/regex/" string), '
+        '"as_path" (a "/regex/" string), "local_preference" (integer), '
+        'and "set" (an object of attribute assignments). Include only the '
+        "keys the intent constrains."
+    ),
+    examples=(
+        FewShotExample(
+            prompt=(
+                "Write a route-map stanza that permits routes containing "
+                "the prefix 100.0.0.0/16 with mask length less than or "
+                "equal to 23 and tagged with the community 300:3. Their "
+                "MED value should be set to 55."
+            ),
+            completion=(
+                '{"permit": true, "prefix": ["100.0.0.0/16:16-23"], '
+                '"community": "/_300:3_/", "set": {"metric": 55}}'
+            ),
+        ),
+    ),
+)
+
+_ACL_SPEC = PromptTemplate(
+    kind=TaskKind.ACL_SPEC,
+    system=(
+        "Produce a JSON specification of the user's ACL intent. Use the "
+        'keys "permit" (boolean), "protocol", "src", "dst" (prefix '
+        'strings or "any"), "src_ports", "dst_ports" (lists of '
+        '"lo-hi" strings), and "established" (boolean). Include only '
+        "the keys the intent constrains."
+    ),
+    examples=(
+        FewShotExample(
+            prompt=(
+                "Add a rule that denies tcp traffic from 10.0.0.0/8 to "
+                "host 2.2.2.2 on destination port 22."
+            ),
+            completion=(
+                '{"permit": false, "protocol": "tcp", "src": "10.0.0.0/8", '
+                '"dst": "2.2.2.2/32", "dst_ports": ["22-22"]}'
+            ),
+        ),
+    ),
+)
+
+
+class PromptDatabase:
+    """Retrieval of system prompts and examples by task (Fig. 1, step 2)."""
+
+    def __init__(self) -> None:
+        self._templates: Dict[TaskKind, PromptTemplate] = {
+            t.kind: t
+            for t in (
+                _CLASSIFY,
+                _ROUTE_MAP_SYNTH,
+                _ACL_SYNTH,
+                _ROUTE_MAP_SPEC,
+                _ACL_SPEC,
+            )
+        }
+
+    def template(self, kind: TaskKind) -> PromptTemplate:
+        return self._templates[kind]
+
+    def system_prompt(self, kind: TaskKind) -> str:
+        return self._templates[kind].render_system()
+
+    def kinds(self) -> List[TaskKind]:
+        return list(self._templates)
+
+
+def task_kind_of(system: str) -> TaskKind:
+    """Recover the task marker from a rendered system prompt."""
+    first_line = system.strip().splitlines()[0] if system.strip() else ""
+    if first_line.startswith("TASK: "):
+        return TaskKind(first_line[len("TASK: "):].strip())
+    raise ValueError("system prompt carries no TASK marker")
+
+
+__all__ = [
+    "FewShotExample",
+    "PromptDatabase",
+    "PromptTemplate",
+    "TaskKind",
+    "task_kind_of",
+]

@@ -1,0 +1,251 @@
+"""A deterministic, rule-based stand-in for GPT-4.
+
+See the substitution table in DESIGN.md: the Clarify pipeline treats the
+LLM as a black box that classifies queries, emits one IOS stanza, and
+emits a JSON spec; everything it produces is re-parsed and verified.
+:class:`SimulatedLLM` implements those three tasks with the rule-based
+intent grammar of :mod:`repro.llm.intents`, dispatching on the ``TASK:``
+marker the prompt database embeds in each system prompt.  A real LLM
+client can be slotted into the same pipeline by implementing
+:class:`~repro.llm.client.LLMClient`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.llm.intents import (
+    AclIntent,
+    RouteMapIntent,
+    parse_acl_intent,
+    parse_route_map_intent,
+)
+from repro.llm.prompts import TaskKind, task_kind_of
+
+_ACL_HINTS = (
+    "traffic",
+    "packet",
+    "acl",
+    "access-list",
+    "access list",
+    "port",
+    "tcp",
+    "udp",
+    "icmp",
+    "firewall",
+)
+_ROUTE_MAP_HINTS = (
+    "route-map",
+    "route map",
+    "routes",
+    "route",
+    "advertis",
+    "bgp",
+    "med",
+    "metric",
+    "local-preference",
+    "local preference",
+    "community",
+    "as-path",
+    "as ",
+)
+
+
+class SimulatedLLM:
+    """Deterministic English → Cisco IOS translator behind the LLM API."""
+
+    def complete(self, system: str, prompt: str) -> str:
+        kind = task_kind_of(system)
+        if kind is TaskKind.CLASSIFY:
+            return self._classify(prompt)
+        if kind is TaskKind.ROUTE_MAP_SYNTH:
+            return render_route_map_snippet(parse_route_map_intent(prompt))
+        if kind is TaskKind.ACL_SYNTH:
+            return render_acl_snippet(parse_acl_intent(prompt))
+        if kind is TaskKind.ROUTE_MAP_SPEC:
+            return render_route_map_spec(parse_route_map_intent(prompt))
+        if kind is TaskKind.ACL_SPEC:
+            return render_acl_spec(parse_acl_intent(prompt))
+        raise ValueError(f"unsupported task {kind}")  # pragma: no cover
+
+    @staticmethod
+    def _classify(prompt: str) -> str:
+        lowered = prompt.lower()
+        acl_score = sum(lowered.count(hint) for hint in _ACL_HINTS)
+        rm_score = sum(lowered.count(hint) for hint in _ROUTE_MAP_HINTS)
+        return "acl" if acl_score > rm_score else "route-map"
+
+
+# ------------------------------------------------------ snippet rendering
+
+
+def render_route_map_snippet(intent: RouteMapIntent) -> str:
+    """One stanza plus its ancillary lists, in the paper's §2.1 style."""
+    lines: List[str] = []
+    matches: List[str] = []
+
+    if intent.communities:
+        if len(intent.communities) == 1:
+            lines.append(
+                "ip community-list expanded COM_LIST permit "
+                f"_{intent.communities[0]}_"
+            )
+        else:
+            # All communities must be present: one standard-list entry.
+            lines.append(
+                "ip community-list standard COM_LIST permit "
+                + " ".join(intent.communities)
+            )
+        matches.append("match community COM_LIST")
+
+    if intent.prefixes:
+        list_name = f"PREFIX_{intent.prefixes[0].prefix.network.value >> 24}"
+        for idx, constraint in enumerate(intent.prefixes):
+            entry = (
+                f"ip prefix-list {list_name} seq {10 * (idx + 1)} permit "
+                f"{constraint.prefix}"
+            )
+            if constraint.ge is not None:
+                entry += f" ge {constraint.ge}"
+            if constraint.le is not None:
+                entry += f" le {constraint.le}"
+            lines.append(entry)
+        matches.append(f"match ip address prefix-list {list_name}")
+
+    if intent.as_path_regex is not None:
+        lines.append(
+            f"ip as-path access-list AS_LIST permit {intent.as_path_regex}"
+        )
+        matches.append("match as-path AS_LIST")
+
+    if intent.local_preference is not None:
+        matches.append(f"match local-preference {intent.local_preference}")
+
+    if intent.metric is not None:
+        matches.append(f"match metric {intent.metric}")
+
+    if intent.tag is not None:
+        matches.append(f"match tag {intent.tag}")
+
+    lines.append(f"route-map {intent.name_hint()} {intent.action} 10")
+    lines.extend(" " + m for m in matches)
+    lines.extend(" " + s for s in _set_lines(intent))
+    return "\n".join(lines)
+
+
+def _set_lines(intent: RouteMapIntent) -> List[str]:
+    out: List[str] = []
+    if intent.set_metric is not None:
+        out.append(f"set metric {intent.set_metric}")
+    if intent.set_local_preference is not None:
+        out.append(f"set local-preference {intent.set_local_preference}")
+    if intent.set_communities:
+        suffix = " additive" if intent.set_community_additive else ""
+        out.append("set community " + " ".join(intent.set_communities) + suffix)
+    if intent.set_next_hop is not None:
+        out.append(f"set ip next-hop {intent.set_next_hop}")
+    if intent.set_prepend:
+        out.append(
+            "set as-path prepend " + " ".join(str(a) for a in intent.set_prepend)
+        )
+    if intent.set_tag is not None:
+        out.append(f"set tag {intent.set_tag}")
+    if intent.set_weight is not None:
+        out.append(f"set weight {intent.set_weight}")
+    return out
+
+
+def render_acl_snippet(intent: AclIntent) -> str:
+    """One extended-ACL rule under a fresh name."""
+
+    def endpoint(prefix) -> str:
+        if prefix is None:
+            return "any"
+        if prefix.length == 32:
+            return f"host {prefix.network}"
+        from repro.netaddr import Ipv4Wildcard
+
+        return str(Ipv4Wildcard.from_prefix(prefix))
+
+    parts = ["10", intent.action, intent.protocol, endpoint(intent.src)]
+    if intent.src_port_lo is not None:
+        parts.append(_port_tokens(intent.src_port_lo, intent.src_port_hi))
+    parts.append(endpoint(intent.dst))
+    if intent.dst_port_lo is not None:
+        parts.append(_port_tokens(intent.dst_port_lo, intent.dst_port_hi))
+    if intent.established:
+        parts.append("established")
+    return "ip access-list extended NEW_RULE\n " + " ".join(parts)
+
+
+def _port_tokens(lo: int, hi: int) -> str:
+    if lo == hi:
+        return f"eq {lo}"
+    return f"range {lo} {hi}"
+
+
+# --------------------------------------------------------- spec rendering
+
+
+def render_route_map_spec(intent: RouteMapIntent) -> str:
+    """The JSON specification in the paper's §2.1 format."""
+    spec: Dict[str, object] = {"permit": intent.action == "permit"}
+    if intent.prefixes:
+        spec["prefix"] = [
+            f"{c.prefix}:{c.bounds()[0]}-{c.bounds()[1]}" for c in intent.prefixes
+        ]
+    if intent.communities:
+        patterns = [f"/_{c}_/" for c in intent.communities]
+        spec["community"] = patterns[0] if len(patterns) == 1 else patterns
+    if intent.as_path_regex is not None:
+        spec["as_path"] = f"/{intent.as_path_regex}/"
+    if intent.local_preference is not None:
+        spec["local_preference"] = intent.local_preference
+    if intent.metric is not None:
+        spec["metric"] = intent.metric
+    if intent.tag is not None:
+        spec["tag"] = intent.tag
+    sets: Dict[str, object] = {}
+    if intent.set_metric is not None:
+        sets["metric"] = intent.set_metric
+    if intent.set_local_preference is not None:
+        sets["local_preference"] = intent.set_local_preference
+    if intent.set_communities:
+        sets["community"] = list(intent.set_communities)
+        sets["community_additive"] = intent.set_community_additive
+    if intent.set_next_hop is not None:
+        sets["next_hop"] = intent.set_next_hop
+    if intent.set_prepend:
+        sets["prepend"] = list(intent.set_prepend)
+    if intent.set_tag is not None:
+        sets["tag"] = intent.set_tag
+    if intent.set_weight is not None:
+        sets["weight"] = intent.set_weight
+    if sets:
+        spec["set"] = sets
+    return json.dumps(spec)
+
+
+def render_acl_spec(intent: AclIntent) -> str:
+    spec: Dict[str, object] = {"permit": intent.action == "permit"}
+    if intent.protocol != "ip":
+        spec["protocol"] = intent.protocol
+    spec["src"] = str(intent.src) if intent.src is not None else "any"
+    spec["dst"] = str(intent.dst) if intent.dst is not None else "any"
+    if intent.src_port_lo is not None:
+        spec["src_ports"] = [f"{intent.src_port_lo}-{intent.src_port_hi}"]
+    if intent.dst_port_lo is not None:
+        spec["dst_ports"] = [f"{intent.dst_port_lo}-{intent.dst_port_hi}"]
+    if intent.established:
+        spec["established"] = True
+    return json.dumps(spec)
+
+
+__all__ = [
+    "SimulatedLLM",
+    "render_acl_snippet",
+    "render_acl_spec",
+    "render_route_map_snippet",
+    "render_route_map_spec",
+]

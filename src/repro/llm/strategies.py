@@ -1,0 +1,116 @@
+"""LLM-augmentation strategies (the paper's §7 question).
+
+"Third, we have only used one form of LLM augmentation (few-shot
+examples).  Can chain-of-thought, retrieval-augmented generation, graph
+RAG or agentic AI do better?"  This module implements two augmentation
+strategies that compose with any :class:`~repro.llm.client.LLMClient`:
+
+* :class:`ExampleRetriever` — retrieval-augmented few-shot selection:
+  instead of a fixed example block, the k most relevant examples from a
+  library are selected per query by token-overlap similarity and spliced
+  into the system prompt.  (The simulated LLM is insensitive to the
+  examples, but the component is exercised and tested so a real LLM can
+  use it directly.)
+* :class:`MajorityVoteLLM` — self-consistency: sample the model several
+  times and return the most common completion.  Under independent
+  transient faults with rate p < 0.5 this recovers the clean completion
+  with high probability, reducing retry-loop pressure — measured by
+  ``benchmarks/test_bench_llm_strategies.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from repro.llm.client import LLMClient
+from repro.llm.prompts import FewShotExample, PromptTemplate, TaskKind
+
+_TOKEN = re.compile(r"[a-z0-9.:/]+")
+
+
+def _tokens(text: str) -> frozenset:
+    return frozenset(_TOKEN.findall(text.lower()))
+
+
+def _similarity(a: frozenset, b: frozenset) -> float:
+    """Jaccard similarity over lowercase tokens."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExampleRetriever:
+    """Selects the most relevant few-shot examples for a query."""
+
+    library: Tuple[FewShotExample, ...]
+    k: int = 2
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+
+    def select(self, prompt: str) -> List[FewShotExample]:
+        """The top-k examples by token-overlap similarity, most similar
+        first; ties broken by library order for determinism."""
+        query = _tokens(prompt)
+        scored = [
+            (_similarity(query, _tokens(example.prompt)), idx, example)
+            for idx, example in enumerate(self.library)
+        ]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [example for _score, _idx, example in scored[: self.k]]
+
+    def augment(self, template: PromptTemplate, prompt: str) -> PromptTemplate:
+        """A copy of ``template`` carrying the retrieved examples."""
+        return PromptTemplate(
+            kind=template.kind,
+            system=template.system,
+            examples=tuple(self.select(prompt)),
+        )
+
+
+class MajorityVoteLLM:
+    """Self-consistency wrapper: sample ``k`` completions, return the mode.
+
+    Ties are broken toward the earliest completion, keeping the wrapper
+    deterministic given a deterministic (or seeded) inner client.
+    """
+
+    def __init__(self, inner: LLMClient, k: int = 3) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self._inner = inner
+        self._k = k
+        #: Total inner-model calls made (for cost accounting in benches).
+        self.inner_calls = 0
+
+    def complete(self, system: str, prompt: str) -> str:
+        completions = []
+        for _ in range(self._k):
+            completions.append(self._inner.complete(system, prompt))
+            self.inner_calls += 1
+        counts = Counter(completions)
+        best_count = max(counts.values())
+        for completion in completions:
+            if counts[completion] == best_count:
+                return completion
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def build_library(templates: Sequence[PromptTemplate]) -> Tuple[FewShotExample, ...]:
+    """Pool the few-shot examples of several templates into one library."""
+    pooled: List[FewShotExample] = []
+    for template in templates:
+        pooled.extend(template.examples)
+    return tuple(pooled)
+
+
+__all__ = [
+    "ExampleRetriever",
+    "MajorityVoteLLM",
+    "build_library",
+]

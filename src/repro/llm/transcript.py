@@ -1,0 +1,62 @@
+"""Call transcripts and per-task statistics.
+
+Figure 4 of the paper reports the number of LLM calls per router during
+incremental synthesis; :class:`TranscribingClient` wraps any
+:class:`~repro.llm.client.LLMClient` and records every call so the
+evaluation harness can reproduce those counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List, Optional
+
+from repro.llm.client import LLMClient
+from repro.llm.prompts import TaskKind, task_kind_of
+
+
+@dataclasses.dataclass(frozen=True)
+class CallRecord:
+    """One LLM invocation."""
+
+    task: TaskKind
+    system: str
+    prompt: str
+    response: str
+
+
+class TranscribingClient:
+    """An :class:`LLMClient` wrapper that logs every call."""
+
+    def __init__(self, inner: LLMClient) -> None:
+        self._inner = inner
+        self.records: List[CallRecord] = []
+
+    def complete(self, system: str, prompt: str) -> str:
+        response = self._inner.complete(system, prompt)
+        self.records.append(
+            CallRecord(
+                task=task_kind_of(system),
+                system=system,
+                prompt=prompt,
+                response=response,
+            )
+        )
+        return response
+
+    # ------------------------------------------------------------- stats
+
+    def call_count(self, task: Optional[TaskKind] = None) -> int:
+        if task is None:
+            return len(self.records)
+        return sum(1 for record in self.records if record.task is task)
+
+    def counts_by_task(self) -> Dict[TaskKind, int]:
+        return dict(Counter(record.task for record in self.records))
+
+    def reset(self) -> None:
+        self.records.clear()
+
+
+__all__ = ["CallRecord", "TranscribingClient"]

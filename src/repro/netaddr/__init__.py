@@ -1,0 +1,21 @@
+"""IPv4 addressing primitives and integer interval sets.
+
+This package provides the lowest-level value types used throughout the
+reproduction: :class:`~repro.netaddr.ip.Ipv4Address`,
+:class:`~repro.netaddr.ip.Ipv4Prefix`, and
+:class:`~repro.netaddr.ip.Ipv4Wildcard` for configuration matching, and
+:class:`~repro.netaddr.intervals.IntervalSet` as the symbolic domain for
+scalar route and packet fields (ports, protocol numbers, local preference,
+metric, and so on).
+"""
+
+from repro.netaddr.intervals import Interval, IntervalSet
+from repro.netaddr.ip import Ipv4Address, Ipv4Prefix, Ipv4Wildcard
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "Ipv4Address",
+    "Ipv4Prefix",
+    "Ipv4Wildcard",
+]

@@ -1,0 +1,183 @@
+"""Closed integer intervals and canonical unions of them.
+
+:class:`IntervalSet` is the symbolic domain for every scalar field in the
+analysis engine: TCP/UDP ports, IP protocol numbers, BGP local preference,
+MED, tag, weight, and (as 32-bit integers) address ranges.  It supports the
+operations the route-space and header-space algebras need: intersection,
+union, complement within a bounded universe, emptiness, and picking a
+concrete witness value.
+
+The representation is canonical (sorted, disjoint, non-adjacent intervals),
+so structural equality coincides with set equality — a property the tests
+and hypothesis properties rely on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` over the integers; empty if lo > hi."""
+
+    lo: int
+    hi: int
+
+    def is_empty(self) -> bool:
+        return self.lo > self.hi
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def intersect(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def __str__(self) -> str:
+        if self.is_empty():
+            return "[]"
+        if self.lo == self.hi:
+            return f"[{self.lo}]"
+        return f"[{self.lo}, {self.hi}]"
+
+
+def _normalise(intervals: Iterable[Interval]) -> Tuple[Interval, ...]:
+    """Sort, drop empties, and merge overlapping/adjacent intervals."""
+    pending = sorted(iv for iv in intervals if not iv.is_empty())
+    merged: List[Interval] = []
+    for iv in pending:
+        if merged and iv.lo <= merged[-1].hi + 1:
+            last = merged[-1]
+            if iv.hi > last.hi:
+                merged[-1] = Interval(last.lo, iv.hi)
+        else:
+            merged.append(iv)
+    return tuple(merged)
+
+
+@dataclasses.dataclass(frozen=True)
+class IntervalSet:
+    """A canonical, immutable union of closed integer intervals."""
+
+    intervals: Tuple[Interval, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "intervals", _normalise(self.intervals))
+
+    # ---------------------------------------------------------------- build
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls(())
+
+    @classmethod
+    def single(cls, value: int) -> "IntervalSet":
+        return cls((Interval(value, value),))
+
+    @classmethod
+    def closed(cls, lo: int, hi: int) -> "IntervalSet":
+        return cls((Interval(lo, hi),))
+
+    @classmethod
+    def of(cls, *values: int) -> "IntervalSet":
+        return cls(tuple(Interval(v, v) for v in values))
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[Tuple[int, int]]) -> "IntervalSet":
+        return cls(tuple(Interval(lo, hi) for lo, hi in pairs))
+
+    # ---------------------------------------------------------------- query
+
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    def contains(self, value: int) -> bool:
+        # Intervals are sorted; binary search keeps large sets fast.
+        lo, hi = 0, len(self.intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            iv = self.intervals[mid]
+            if value < iv.lo:
+                hi = mid - 1
+            elif value > iv.hi:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def min(self) -> int:
+        if self.is_empty():
+            raise ValueError("empty interval set has no minimum")
+        return self.intervals[0].lo
+
+    def max(self) -> int:
+        if self.is_empty():
+            raise ValueError("empty interval set has no maximum")
+        return self.intervals[-1].hi
+
+    def size(self) -> int:
+        """Number of integers in the set."""
+        return sum(iv.hi - iv.lo + 1 for iv in self.intervals)
+
+    def witness(self) -> Optional[int]:
+        """An arbitrary member, or None if empty."""
+        if self.is_empty():
+            return None
+        return self.intervals[0].lo
+
+    def __iter__(self) -> Iterator[int]:
+        for iv in self.intervals:
+            yield from range(iv.lo, iv.hi + 1)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    # ------------------------------------------------------------- algebra
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        result: List[Interval] = []
+        i = j = 0
+        a, b = self.intervals, other.intervals
+        while i < len(a) and j < len(b):
+            overlap = a[i].intersect(b[j])
+            if not overlap.is_empty():
+                result.append(overlap)
+            if a[i].hi < b[j].hi:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(tuple(result))
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self.intervals + other.intervals)
+
+    def complement(self, universe: "IntervalSet") -> "IntervalSet":
+        """The members of ``universe`` not in this set."""
+        gaps: List[Interval] = []
+        for uiv in universe.intervals:
+            cursor = uiv.lo
+            for iv in self.intervals:
+                if iv.hi < cursor:
+                    continue
+                if iv.lo > uiv.hi:
+                    break
+                if iv.lo > cursor:
+                    gaps.append(Interval(cursor, iv.lo - 1))
+                cursor = max(cursor, iv.hi + 1)
+                if cursor > uiv.hi:
+                    break
+            if cursor <= uiv.hi:
+                gaps.append(Interval(cursor, uiv.hi))
+        return IntervalSet(tuple(gaps))
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        return other.complement(self)
+
+    def is_subset_of(self, other: "IntervalSet") -> bool:
+        return self.subtract(other).is_empty()
+
+    def __str__(self) -> str:
+        if self.is_empty():
+            return "{}"
+        return " u ".join(str(iv) for iv in self.intervals)

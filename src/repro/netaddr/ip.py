@@ -1,0 +1,211 @@
+"""IPv4 addresses, prefixes, and wildcard masks.
+
+These are deliberately small immutable value types.  The standard library's
+:mod:`ipaddress` module could cover part of this, but the configuration
+model needs a few operations it does not offer directly (wildcard-mask
+matching, prefix truncation/extension by bit, sibling computation for
+prefix-space complements), so we implement exactly what the analysis engine
+needs on top of plain integers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+_MAX_IPV4 = 0xFFFFFFFF
+
+
+def _check_u32(value: int, what: str) -> None:
+    if not 0 <= value <= _MAX_IPV4:
+        raise ValueError(f"{what} out of range: {value!r}")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Ipv4Address:
+    """A single IPv4 address stored as an unsigned 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        _check_u32(self.value, "IPv4 address")
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Address":
+        """Parse dotted-quad notation, e.g. ``"10.0.0.1"``."""
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise ValueError(f"invalid IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise ValueError(f"invalid IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValueError(f"invalid IPv4 address: {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def bit(self, index: int) -> int:
+        """Return bit ``index`` counted from the most significant bit (0..31)."""
+        if not 0 <= index <= 31:
+            raise ValueError(f"bit index out of range: {index}")
+        return (self.value >> (31 - index)) & 1
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Ipv4Prefix:
+    """An IPv4 prefix: a network address and a prefix length.
+
+    The network address is stored canonically (host bits zeroed); the
+    constructor rejects prefixes with host bits set so that configuration
+    parsing surfaces typos instead of silently truncating them.  Use
+    :meth:`canonical` when truncation is intended.
+    """
+
+    network: Ipv4Address
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        if self.network.value & ~self.mask_int() & _MAX_IPV4:
+            raise ValueError(
+                f"host bits set in prefix {self.network}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Ipv4Prefix":
+        """Parse CIDR notation, e.g. ``"10.0.0.0/8"``."""
+        addr_text, sep, len_text = text.strip().partition("/")
+        if not sep or not len_text.isdigit():
+            raise ValueError(f"invalid IPv4 prefix: {text!r}")
+        return cls(Ipv4Address.parse(addr_text), int(len_text))
+
+    @classmethod
+    def canonical(cls, address: Ipv4Address, length: int) -> "Ipv4Prefix":
+        """Build a prefix, zeroing any host bits in ``address``."""
+        if not 0 <= length <= 32:
+            raise ValueError(f"prefix length out of range: {length}")
+        mask = (_MAX_IPV4 << (32 - length)) & _MAX_IPV4 if length else 0
+        return cls(Ipv4Address(address.value & mask), length)
+
+    @classmethod
+    def host(cls, address: Ipv4Address) -> "Ipv4Prefix":
+        """The /32 prefix for a single host."""
+        return cls(address, 32)
+
+    def mask_int(self) -> int:
+        """The netmask as an integer (e.g. ``/8`` -> ``0xFF000000``)."""
+        if self.length == 0:
+            return 0
+        return (_MAX_IPV4 << (32 - self.length)) & _MAX_IPV4
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+    def contains_address(self, address: Ipv4Address) -> bool:
+        """True if ``address`` falls inside this prefix's address range."""
+        return (address.value & self.mask_int()) == self.network.value
+
+    def contains_prefix(self, other: "Ipv4Prefix") -> bool:
+        """True if ``other`` is this prefix or a more-specific prefix of it."""
+        return other.length >= self.length and self.contains_address(other.network)
+
+    def overlaps(self, other: "Ipv4Prefix") -> bool:
+        """True if the two prefixes share any address."""
+        return self.contains_prefix(other) or other.contains_prefix(self)
+
+    def first_address(self) -> Ipv4Address:
+        return self.network
+
+    def last_address(self) -> Ipv4Address:
+        return Ipv4Address(self.network.value | (~self.mask_int() & _MAX_IPV4))
+
+    def truncate(self, length: int) -> "Ipv4Prefix":
+        """This prefix shortened to ``length`` bits (length <= self.length)."""
+        if length > self.length:
+            raise ValueError(
+                f"cannot truncate /{self.length} prefix to longer /{length}"
+            )
+        return Ipv4Prefix.canonical(self.network, length)
+
+    def child(self, bit: int) -> "Ipv4Prefix":
+        """The length+1 prefix extending this one with ``bit`` (0 or 1)."""
+        if self.length >= 32:
+            raise ValueError("cannot extend a /32 prefix")
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        value = self.network.value | (bit << (31 - self.length))
+        return Ipv4Prefix(Ipv4Address(value), self.length + 1)
+
+    def sibling(self) -> "Ipv4Prefix":
+        """The prefix differing from this one only in its last bit."""
+        if self.length == 0:
+            raise ValueError("the zero-length prefix has no sibling")
+        flipped = self.network.value ^ (1 << (32 - self.length))
+        return Ipv4Prefix(Ipv4Address(flipped), self.length)
+
+    def ancestors(self) -> Iterator["Ipv4Prefix"]:
+        """Yield the strict ancestors of this prefix, shortest first."""
+        for length in range(self.length):
+            yield self.truncate(length)
+
+
+@dataclasses.dataclass(frozen=True)
+class Ipv4Wildcard:
+    """An address plus a Cisco wildcard mask (1-bits are "don't care").
+
+    Extended ACLs express source/destination matches this way, e.g.
+    ``10.0.0.0 0.0.255.255``.  A wildcard whose care bits are contiguous
+    from the top is equivalent to a prefix; ACL analysis relies on that
+    common case but this type supports arbitrary masks for completeness.
+    """
+
+    address: Ipv4Address
+    wildcard: Ipv4Address
+
+    def __post_init__(self) -> None:
+        # Canonicalise: don't-care bits in the address are forced to zero so
+        # equal wildcard matchers compare equal.
+        care = ~self.wildcard.value & _MAX_IPV4
+        canonical = self.address.value & care
+        if canonical != self.address.value:
+            object.__setattr__(self, "address", Ipv4Address(canonical))
+
+    @classmethod
+    def from_prefix(cls, prefix: Ipv4Prefix) -> "Ipv4Wildcard":
+        inverse = ~prefix.mask_int() & _MAX_IPV4
+        return cls(prefix.network, Ipv4Address(inverse))
+
+    @classmethod
+    def any(cls) -> "Ipv4Wildcard":
+        return cls(Ipv4Address(0), Ipv4Address(_MAX_IPV4))
+
+    @classmethod
+    def host(cls, address: Ipv4Address) -> "Ipv4Wildcard":
+        return cls(address, Ipv4Address(0))
+
+    def matches(self, address: Ipv4Address) -> bool:
+        care = ~self.wildcard.value & _MAX_IPV4
+        return (address.value & care) == self.address.value
+
+    def is_prefix_like(self) -> bool:
+        """True if the wildcard is an inverted netmask (contiguous care bits)."""
+        # The wildcard must be a contiguous run of ones at the bottom, i.e.
+        # one less than a power of two.
+        return self.wildcard.value & (self.wildcard.value + 1) == 0
+
+    def to_prefix(self) -> Ipv4Prefix:
+        """Convert to a prefix; raises if the mask is non-contiguous."""
+        if not self.is_prefix_like():
+            raise ValueError(f"wildcard {self} is not prefix-like")
+        length = bin(~self.wildcard.value & _MAX_IPV4).count("1")
+        return Ipv4Prefix.canonical(self.address, length)
+
+    def __str__(self) -> str:
+        return f"{self.address} {self.wildcard}"

@@ -1,0 +1,40 @@
+"""The overlap measurement study (§3 of the paper).
+
+"Two ACL rules are said to have a conflicting overlap if they perform
+different actions on a packet containing a header that is successfully
+matched by both.  For route-maps, we define two stanzas to have an
+overlap if there is at least one route advertisement that successfully
+matches both" (actions ignored, because stanzas may chain to other
+route-maps).
+
+:mod:`repro.overlap.detector` classifies every rule/stanza pair of one
+policy; :mod:`repro.overlap.stats` aggregates per-corpus statistics in
+the exact shape §3.1 and §3.2 report.
+"""
+
+from repro.overlap.chains import (
+    ChainOverlapReport,
+    CrossMapPair,
+    chain_overlap_report,
+)
+from repro.overlap.detector import (
+    AclOverlapReport,
+    OverlapPair,
+    RouteMapOverlapReport,
+    acl_overlap_report,
+    route_map_overlap_report,
+)
+from repro.overlap.stats import AclCorpusStats, RouteMapCorpusStats
+
+__all__ = [
+    "AclCorpusStats",
+    "ChainOverlapReport",
+    "CrossMapPair",
+    "chain_overlap_report",
+    "AclOverlapReport",
+    "OverlapPair",
+    "RouteMapCorpusStats",
+    "RouteMapOverlapReport",
+    "acl_overlap_report",
+    "route_map_overlap_report",
+]

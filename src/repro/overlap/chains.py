@@ -1,0 +1,85 @@
+"""Cross-map overlap analysis for route-map chains (§3.1).
+
+In the cloud WAN "it was more common to use a sequence of multiple route
+maps [per neighbor].  Hence, there can be overlaps not just between
+different stanzas within a single route map, but also between different
+route maps applied to the same neighbor."  This module measures exactly
+that: for a chain of route-maps, it classifies every stanza pair drawn
+from *different* maps in the chain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from repro.analysis.routespace import stanza_guard_space
+from repro.config.routemap import RouteMap
+from repro.config.store import ConfigStore
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossMapPair:
+    """One overlapping stanza pair drawn from two maps of a chain."""
+
+    map_a: str
+    seq_a: int
+    map_b: str
+    seq_b: int
+    conflicting: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainOverlapReport:
+    """Overlap classification across one neighbor's route-map chain."""
+
+    maps: Tuple[str, ...]
+    pairs: Tuple[CrossMapPair, ...]
+
+    @property
+    def overlap_count(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def conflict_count(self) -> int:
+        return sum(1 for p in self.pairs if p.conflicting)
+
+    def has_overlap(self) -> bool:
+        return bool(self.pairs)
+
+
+def chain_overlap_report(
+    chain: Sequence[RouteMap], store: ConfigStore
+) -> ChainOverlapReport:
+    """Classify stanza pairs across the maps of one neighbor chain.
+
+    Like the single-map §3 analysis, actions are recorded but the
+    headline count ignores them (a stanza may chain onward), so the
+    overlap count is an upper bound on behavioural conflicts.
+    """
+    guards = [
+        [(stanza, stanza_guard_space(stanza, store)) for stanza in rm.stanzas]
+        for rm in chain
+    ]
+    pairs: List[CrossMapPair] = []
+    for i in range(len(chain)):
+        for j in range(i + 1, len(chain)):
+            for stanza_a, guard_a in guards[i]:
+                for stanza_b, guard_b in guards[j]:
+                    if guard_a.intersect(guard_b).is_empty():
+                        continue
+                    pairs.append(
+                        CrossMapPair(
+                            map_a=chain[i].name,
+                            seq_a=stanza_a.seq,
+                            map_b=chain[j].name,
+                            seq_b=stanza_b.seq,
+                            conflicting=stanza_a.action != stanza_b.action,
+                        )
+                    )
+    return ChainOverlapReport(
+        maps=tuple(rm.name for rm in chain), pairs=tuple(pairs)
+    )
+
+
+__all__ = ["ChainOverlapReport", "CrossMapPair", "chain_overlap_report"]

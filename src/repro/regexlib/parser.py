@@ -1,0 +1,219 @@
+"""Recursive-descent parser for the supported regex subset.
+
+Supported syntax (a practical POSIX-ERE subset plus Cisco's ``_``):
+
+* literals, ``\\`` escapes
+* ``.`` (any character except the string-boundary sentinels)
+* ``[...]`` and ``[^...]`` character classes with ranges
+* ``*``, ``+``, ``?`` and bounded repetition ``{m}``, ``{m,}``, ``{m,n}``
+* alternation ``|`` and grouping ``(...)``
+* anchors ``^`` and ``$`` (compiled to sentinel literals)
+* ``_`` — Cisco delimiter: start/end of string, space, comma, braces,
+  parentheses
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.regexlib.ast import (
+    EOS,
+    SOS,
+    Alt,
+    CharClass,
+    Empty,
+    Lit,
+    Node,
+    Opt,
+    Plus,
+    Seq,
+    Star,
+)
+
+#: Upper bound on ``{m,n}`` expansion, to keep pathological patterns from
+#: exploding the automaton.
+MAX_BOUNDED_REPEAT = 64
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when a pattern cannot be parsed."""
+
+    def __init__(self, pattern: str, position: int, message: str) -> None:
+        super().__init__(f"{message} at position {position} in {pattern!r}")
+        self.pattern = pattern
+        self.position = position
+
+
+class _Parser:
+    def __init__(self, pattern: str) -> None:
+        self.pattern = pattern
+        self.pos = 0
+
+    # ------------------------------------------------------------ helpers
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(self.pattern, self.pos, message)
+
+    def _peek(self) -> str:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return ""
+
+    def _next(self) -> str:
+        ch = self._peek()
+        if not ch:
+            raise self._error("unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    # ------------------------------------------------------------ grammar
+
+    def parse(self) -> Node:
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise self._error(f"unexpected {self._peek()!r}")
+        return node
+
+    def _alternation(self) -> Node:
+        options = [self._sequence()]
+        while self._peek() == "|":
+            self.pos += 1
+            options.append(self._sequence())
+        if len(options) == 1:
+            return options[0]
+        return Alt(tuple(options))
+
+    def _sequence(self) -> Node:
+        parts: List[Node] = []
+        while self._peek() and self._peek() not in "|)":
+            parts.append(self._repeat())
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Seq(tuple(parts))
+
+    def _repeat(self) -> Node:
+        atom = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self.pos += 1
+                atom = Star(atom)
+            elif ch == "+":
+                self.pos += 1
+                atom = Plus(atom)
+            elif ch == "?":
+                self.pos += 1
+                atom = Opt(atom)
+            elif ch == "{":
+                atom = self._bounded(atom)
+            else:
+                return atom
+
+    def _bounded(self, atom: Node) -> Node:
+        # Parse {m}, {m,} or {m,n}.  A '{' not followed by a digit is a
+        # literal brace in POSIX practice, but we reject it to keep the
+        # grammar unambiguous; escape it instead.
+        start = self.pos
+        self.pos += 1  # consume '{'
+        digits = self._digits()
+        if digits is None:
+            self.pos = start
+            raise self._error("expected digits after '{' (escape literal braces)")
+        low = int(digits)
+        high = low
+        if self._peek() == ",":
+            self.pos += 1
+            digits = self._digits()
+            high = int(digits) if digits is not None else MAX_BOUNDED_REPEAT
+        if self._next() != "}":
+            raise self._error("expected '}' in bounded repeat")
+        if low > high:
+            raise self._error(f"bad repeat bounds {{{low},{high}}}")
+        if high > MAX_BOUNDED_REPEAT:
+            raise self._error(
+                f"repeat bound {high} exceeds the supported maximum "
+                f"{MAX_BOUNDED_REPEAT}"
+            )
+        parts: List[Node] = [atom] * low
+        parts.extend([Opt(atom)] * (high - low))
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Seq(tuple(parts))
+
+    def _digits(self) -> str:
+        out = []
+        while self._peek().isdigit():
+            out.append(self._next())
+        return "".join(out) if out else None
+
+    def _atom(self) -> Node:
+        ch = self._next()
+        if ch == "(":
+            inner = self._alternation()
+            if self._next() != ")":
+                raise self._error("unbalanced parenthesis")
+            return inner
+        if ch == "[":
+            return Lit(self._char_class())
+        if ch == ".":
+            return Lit(CharClass.dot())
+        if ch == "^":
+            return Lit(CharClass.single(SOS))
+        if ch == "$":
+            return Lit(CharClass.single(EOS))
+        if ch == "_":
+            return Lit(CharClass.underscore())
+        if ch == "\\":
+            return Lit(CharClass.single(self._escape()))
+        if ch in "*+?{":
+            raise self._error(f"nothing to repeat before {ch!r}")
+        return Lit(CharClass.single(ch))
+
+    def _escape(self) -> str:
+        ch = self._next()
+        mapping = {"n": "\n", "t": "\t", "r": "\r"}
+        return mapping.get(ch, ch)
+
+    def _char_class(self) -> CharClass:
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self.pos += 1
+        members = set()
+        first = True
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self._error("unterminated character class")
+            if ch == "]" and not first:
+                self.pos += 1
+                break
+            self.pos += 1
+            if ch == "\\":
+                ch = self._escape()
+            if self._peek() == "-" and self.pos + 1 < len(self.pattern) and (
+                self.pattern[self.pos + 1] != "]"
+            ):
+                self.pos += 1  # consume '-'
+                hi = self._next()
+                if hi == "\\":
+                    hi = self._escape()
+                if ord(hi) < ord(ch):
+                    raise self._error(f"reversed range {ch}-{hi}")
+                members.update(chr(c) for c in range(ord(ch), ord(hi) + 1))
+            else:
+                members.add(ch)
+            first = False
+        return CharClass(frozenset(members), negated=negated)
+
+
+def parse_regex(pattern: str) -> Node:
+    """Parse ``pattern`` into a regex AST.
+
+    Raises :class:`RegexSyntaxError` on malformed input.
+    """
+    return _Parser(pattern).parse()

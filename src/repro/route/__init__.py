@@ -1,0 +1,11 @@
+"""Concrete route advertisements and packets.
+
+These are the values the analysis engine evaluates configurations on and
+the values shown to users as differential examples (the paper's §2.2
+"Network / AS Path / Communities / ..." display format).
+"""
+
+from repro.route.bgproute import AsPathSegment, BgpRoute
+from repro.route.packet import Packet
+
+__all__ = ["AsPathSegment", "BgpRoute", "Packet"]

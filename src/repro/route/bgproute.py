@@ -1,0 +1,128 @@
+"""BGP route advertisements.
+
+The field set mirrors what the paper's differential examples print
+(§2.2): network, AS path, communities, local preference, metric (MED),
+next-hop IP, tag, and weight.  AS paths are stored as segments so that
+confederation segments render the way Batfish prints them
+(``{"asns": [...], "confederation": false}``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.netaddr import Ipv4Address, Ipv4Prefix
+
+#: Default values a fresh route advertisement carries, matching the
+#: defaults Batfish uses when materialising counterexample routes.
+DEFAULT_LOCAL_PREFERENCE = 100
+DEFAULT_METRIC = 0
+DEFAULT_NEXT_HOP = "0.0.0.1"
+DEFAULT_TAG = 0
+DEFAULT_WEIGHT = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class AsPathSegment:
+    """One AS-path segment: an ASN sequence, optionally a confederation."""
+
+    asns: Tuple[int, ...]
+    confederation: bool = False
+
+    def __post_init__(self) -> None:
+        for asn in self.asns:
+            if not 0 <= asn <= 0xFFFFFFFF:
+                raise ValueError(f"ASN out of range: {asn}")
+
+    def to_dict(self) -> dict:
+        return {"asns": list(self.asns), "confederation": self.confederation}
+
+
+@dataclasses.dataclass(frozen=True)
+class BgpRoute:
+    """An immutable BGP route advertisement."""
+
+    network: Ipv4Prefix
+    as_path: Tuple[AsPathSegment, ...] = ()
+    communities: FrozenSet[str] = frozenset()
+    local_preference: int = DEFAULT_LOCAL_PREFERENCE
+    metric: int = DEFAULT_METRIC
+    next_hop: Ipv4Address = dataclasses.field(
+        default_factory=lambda: Ipv4Address.parse(DEFAULT_NEXT_HOP)
+    )
+    tag: int = DEFAULT_TAG
+    weight: int = DEFAULT_WEIGHT
+
+    @classmethod
+    def build(
+        cls,
+        network: str,
+        as_path: Sequence[int] = (),
+        communities: Iterable[str] = (),
+        local_preference: int = DEFAULT_LOCAL_PREFERENCE,
+        metric: int = DEFAULT_METRIC,
+        next_hop: str = DEFAULT_NEXT_HOP,
+        tag: int = DEFAULT_TAG,
+        weight: int = DEFAULT_WEIGHT,
+    ) -> "BgpRoute":
+        """Convenience constructor from plain Python values."""
+        segments: Tuple[AsPathSegment, ...] = ()
+        if as_path:
+            segments = (AsPathSegment(tuple(as_path)),)
+        return cls(
+            network=Ipv4Prefix.parse(network),
+            as_path=segments,
+            communities=frozenset(communities),
+            local_preference=local_preference,
+            metric=metric,
+            next_hop=Ipv4Address.parse(next_hop),
+            tag=tag,
+            weight=weight,
+        )
+
+    def asns(self) -> List[int]:
+        """The flat ASN sequence across all segments (regex-matching view)."""
+        flat: List[int] = []
+        for segment in self.as_path:
+            flat.extend(segment.asns)
+        return flat
+
+    def with_updates(self, **changes) -> "BgpRoute":
+        """A copy with some fields replaced (used by set-clause application)."""
+        return dataclasses.replace(self, **changes)
+
+    def prepend(self, asns: Sequence[int]) -> "BgpRoute":
+        """A copy with ``asns`` prepended as a fresh leading segment."""
+        if not asns:
+            return self
+        segment = AsPathSegment(tuple(asns))
+        return dataclasses.replace(self, as_path=(segment,) + self.as_path)
+
+    def render(self, indent: str = "") -> str:
+        """Render in the paper's differential-example display format."""
+        path = ", ".join(
+            "{"
+            + f' "asns": {list(seg.asns)}, "confederation": '
+            + ("true" if seg.confederation else "false")
+            + " }"
+            for seg in self.as_path
+        )
+        communities = ", ".join(f'"{c}"' for c in sorted(self.communities))
+        lines = [
+            f"Network: {self.network}",
+            f"AS Path: [{path}]",
+            f"Communities: [{communities}]",
+            f"Local Preference: {self.local_preference}",
+            f"Metric: {self.metric}",
+            f"Next Hop IP: {self.next_hop}",
+            f"Tag: {self.tag}",
+            f"Weight: {self.weight}",
+        ]
+        return "\n".join(indent + line for line in lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+__all__ = ["AsPathSegment", "BgpRoute"]

@@ -1,0 +1,102 @@
+"""IPv4 packet headers, the inputs ACLs filter."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.netaddr import Ipv4Address
+
+#: IP protocol numbers the configuration language names directly.
+PROTOCOL_NUMBERS = {
+    "icmp": 1,
+    "igmp": 2,
+    "tcp": 6,
+    "udp": 17,
+    "gre": 47,
+    "esp": 50,
+    "ahp": 51,
+    "eigrp": 88,
+    "ospf": 89,
+    "pim": 103,
+}
+PROTOCOL_NAMES = {number: name for name, number in PROTOCOL_NUMBERS.items()}
+
+#: Protocols that carry port numbers.
+PORT_PROTOCOLS = frozenset({PROTOCOL_NUMBERS["tcp"], PROTOCOL_NUMBERS["udp"]})
+
+
+@dataclasses.dataclass(frozen=True)
+class Packet:
+    """An immutable IPv4 packet header (the fields extended ACLs inspect)."""
+
+    src_ip: Ipv4Address
+    dst_ip: Ipv4Address
+    protocol: int = PROTOCOL_NUMBERS["tcp"]
+    src_port: int = 0
+    dst_port: int = 0
+    dscp: int = 0
+    tcp_established: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.protocol <= 255:
+            raise ValueError(f"protocol out of range: {self.protocol}")
+        for port, what in ((self.src_port, "src_port"), (self.dst_port, "dst_port")):
+            if not 0 <= port <= 65535:
+                raise ValueError(f"{what} out of range: {port}")
+        if not 0 <= self.dscp <= 63:
+            raise ValueError(f"dscp out of range: {self.dscp}")
+        if self.tcp_established and self.protocol != PROTOCOL_NUMBERS["tcp"]:
+            raise ValueError("tcp_established requires protocol tcp")
+
+    @classmethod
+    def build(
+        cls,
+        src_ip: str,
+        dst_ip: str,
+        protocol: int = PROTOCOL_NUMBERS["tcp"],
+        src_port: int = 0,
+        dst_port: int = 0,
+        dscp: int = 0,
+        tcp_established: bool = False,
+    ) -> "Packet":
+        return cls(
+            src_ip=Ipv4Address.parse(src_ip),
+            dst_ip=Ipv4Address.parse(dst_ip),
+            protocol=protocol,
+            src_port=src_port,
+            dst_port=dst_port,
+            dscp=dscp,
+            tcp_established=tcp_established,
+        )
+
+    def protocol_name(self) -> str:
+        return PROTOCOL_NAMES.get(self.protocol, str(self.protocol))
+
+    def has_ports(self) -> bool:
+        return self.protocol in PORT_PROTOCOLS
+
+    def render(self, indent: str = "") -> str:
+        """Render for differential-example display."""
+        lines = [
+            f"Source IP: {self.src_ip}",
+            f"Destination IP: {self.dst_ip}",
+            f"Protocol: {self.protocol_name()}",
+        ]
+        if self.has_ports():
+            lines.append(f"Source Port: {self.src_port}")
+            lines.append(f"Destination Port: {self.dst_port}")
+            if self.protocol == PROTOCOL_NUMBERS["tcp"]:
+                lines.append(
+                    "TCP Established: "
+                    + ("true" if self.tcp_established else "false")
+                )
+        if self.dscp:
+            lines.append(f"DSCP: {self.dscp}")
+        return "\n".join(indent + line for line in lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+__all__ = ["Packet", "PROTOCOL_NUMBERS", "PROTOCOL_NAMES", "PORT_PROTOCOLS"]

@@ -1,0 +1,21 @@
+"""Seeded synthetic configuration corpora for the §3 measurement study.
+
+The paper measured overlap frequency in a major cloud provider's WAN and
+in a university campus network; those configurations are proprietary, so
+this package generates corpora with the same *structure* (templated
+ACLs, catch-all rules, reused prefix pools, import/export route-maps
+with community/prefix/as-path logic), calibrated so the §3 statistics
+land where the paper reports them.  Archetype counts are exact by
+construction; a seeded RNG only controls the incidental content
+(prefixes, ports, ordering), so every run reproduces the same numbers.
+"""
+
+from repro.synth.campus import CampusCorpus, generate_campus_corpus
+from repro.synth.cloud import CloudCorpus, generate_cloud_corpus
+
+__all__ = [
+    "CampusCorpus",
+    "CloudCorpus",
+    "generate_campus_corpus",
+    "generate_cloud_corpus",
+]

@@ -1,0 +1,272 @@
+"""Shared archetype builders for synthetic ACLs and route-maps.
+
+Each builder produces one policy shaped like a configuration idiom the
+paper's §3 study encountered:
+
+* **clean ACLs** — permit rules over disjoint destinations, no catch-all:
+  no overlapping pairs;
+* **shadowed ACLs** — specific permits followed by ``deny ip any any``:
+  every (permit, catch-all) pair is a *conflicting subset* overlap, the
+  "trivial" kind §3.2's refined count excludes;
+* **crossing ACLs** — source-constrained permits against
+  destination-constrained denies: every (permit, deny) pair is a
+  *non-trivial* conflicting overlap (neither rule contains the other);
+* **clean route-maps** — stanzas over disjoint prefix-lists;
+* **tagged route-maps** — prefix stanzas plus community/as-path stanzas
+  whose match spaces cut across them, producing stanza overlaps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.config.acl import Acl, AclRule, PortSpec, ProtocolSpec
+from repro.config.lists import (
+    AsPathAccessList,
+    AsPathEntry,
+    CommunityList,
+    CommunityListEntry,
+    PrefixList,
+    PrefixListEntry,
+)
+from repro.config.matches import MatchAsPath, MatchCommunity, MatchPrefixList
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.config.store import ConfigStore
+from repro.netaddr import Ipv4Address, Ipv4Prefix, Ipv4Wildcard
+
+_COMMON_PORTS = (22, 25, 53, 80, 123, 179, 443, 8080)
+
+
+class PrefixPool:
+    """Disjoint /16 and /24 blocks handed out deterministically."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._next16 = 0
+        self._next24 = 0
+
+    # /16 blocks walk bases 11.0.0.0/8 .. 126.0.0.0/8 (256 blocks each);
+    # the pool wraps after ~29k blocks, far beyond any single policy's
+    # rule count, so blocks within one policy are always disjoint.
+    _BASES16 = tuple(range(11, 127))
+
+    def block16(self) -> Ipv4Prefix:
+        index = self._next16
+        self._next16 += 1
+        index %= len(self._BASES16) * 256
+        base = self._BASES16[index // 256]
+        value = (base << 24) | ((index % 256) << 16)
+        return Ipv4Prefix(Ipv4Address(value), 16)
+
+    # /24 blocks walk 192.0.0.0/8 (65536 blocks), wrapping similarly.
+    def block24(self) -> Ipv4Prefix:
+        index = self._next24
+        self._next24 += 1
+        value = (192 << 24) | (((index >> 8) % 256) << 16) | ((index % 256) << 8)
+        return Ipv4Prefix(Ipv4Address(value), 24)
+
+
+def _wc(prefix: Optional[Ipv4Prefix]) -> Ipv4Wildcard:
+    if prefix is None:
+        return Ipv4Wildcard.any()
+    return Ipv4Wildcard.from_prefix(prefix)
+
+
+def _port_spec(rng: random.Random) -> PortSpec:
+    if rng.random() < 0.5:
+        return PortSpec()
+    return PortSpec("eq", (rng.choice(_COMMON_PORTS),))
+
+
+# ------------------------------------------------------------------ ACLs
+
+
+def clean_acl(name: str, rng: random.Random, pool: PrefixPool, rules: int) -> Acl:
+    """Permit-only rules over disjoint destinations: zero overlaps."""
+    out: List[AclRule] = []
+    for idx in range(rules):
+        dst = pool.block24()
+        out.append(
+            AclRule(
+                seq=10 * (idx + 1),
+                action="permit",
+                protocol=ProtocolSpec(rng.choice(("tcp", "udp"))),
+                src=Ipv4Wildcard.any(),
+                dst=_wc(dst),
+                dst_ports=_port_spec(rng),
+            )
+        )
+    return Acl(name, tuple(out))
+
+
+def shadowed_acl(
+    name: str, rng: random.Random, pool: PrefixPool, permits: int
+) -> Acl:
+    """Disjoint permits plus a catch-all deny: ``permits`` subset conflicts."""
+    out: List[AclRule] = []
+    for idx in range(permits):
+        dst = pool.block24()
+        out.append(
+            AclRule(
+                seq=10 * (idx + 1),
+                action="permit",
+                protocol=ProtocolSpec("tcp"),
+                src=Ipv4Wildcard.any(),
+                dst=_wc(dst),
+                dst_ports=_port_spec(rng),
+            )
+        )
+    out.append(
+        AclRule(
+            seq=10 * (permits + 1),
+            action="deny",
+            protocol=ProtocolSpec("ip"),
+            src=Ipv4Wildcard.any(),
+            dst=Ipv4Wildcard.any(),
+        )
+    )
+    return Acl(name, tuple(out))
+
+
+def crossing_acl(
+    name: str,
+    rng: random.Random,
+    pool: PrefixPool,
+    permits: int,
+    denies: int,
+) -> Acl:
+    """Source-permits against destination-denies: ``permits*denies``
+    non-trivial conflicting pairs (and no others)."""
+    out: List[AclRule] = []
+    seq = 0
+    for _ in range(permits):
+        seq += 10
+        out.append(
+            AclRule(
+                seq=seq,
+                action="permit",
+                protocol=ProtocolSpec("tcp"),
+                src=_wc(pool.block16()),
+                dst=Ipv4Wildcard.any(),
+            )
+        )
+    for _ in range(denies):
+        seq += 10
+        out.append(
+            AclRule(
+                seq=seq,
+                action="deny",
+                protocol=ProtocolSpec("tcp"),
+                src=Ipv4Wildcard.any(),
+                dst=_wc(pool.block16()),
+            )
+        )
+    return Acl(name, tuple(out))
+
+
+# ------------------------------------------------------------ route maps
+
+
+def clean_route_map(
+    name: str,
+    rng: random.Random,
+    pool: PrefixPool,
+    store: ConfigStore,
+    stanzas: int,
+) -> RouteMap:
+    """Stanzas over disjoint prefix-lists: zero stanza overlaps."""
+    out: List[RouteMapStanza] = []
+    for idx in range(stanzas):
+        list_name = f"{name}_PL{idx}"
+        store.add_prefix_list(
+            PrefixList(
+                list_name,
+                (
+                    PrefixListEntry(
+                        5, "permit", pool.block16(), le=24
+                    ),
+                ),
+            )
+        )
+        out.append(
+            RouteMapStanza(
+                seq=10 * (idx + 1),
+                action=rng.choice(("permit", "deny")),
+                matches=(MatchPrefixList((list_name,)),),
+            )
+        )
+    return RouteMap(name, tuple(out))
+
+
+def tagged_route_map(
+    name: str,
+    rng: random.Random,
+    pool: PrefixPool,
+    store: ConfigStore,
+    prefix_stanzas: int,
+    tag_stanzas: int,
+    conflicting_tags: bool = True,
+) -> RouteMap:
+    """Prefix stanzas plus community/as-path stanzas that overlap them.
+
+    A community (or as-path) stanza leaves the prefix dimension
+    unconstrained, so it overlaps every prefix stanza and every other tag
+    stanza: the overlap count is
+    ``tag_stanzas * prefix_stanzas + C(tag_stanzas, 2)``.
+    """
+    out: List[RouteMapStanza] = []
+    seq = 0
+    for idx in range(prefix_stanzas):
+        list_name = f"{name}_PL{idx}"
+        store.add_prefix_list(
+            PrefixList(
+                list_name,
+                (PrefixListEntry(5, "permit", pool.block16(), le=24),),
+            )
+        )
+        seq += 10
+        out.append(
+            RouteMapStanza(
+                seq=seq,
+                action="permit",
+                matches=(MatchPrefixList((list_name,)),),
+            )
+        )
+    for idx in range(tag_stanzas):
+        seq += 10
+        if idx % 2 == 0:
+            list_name = f"{name}_CL{idx}"
+            store.add_community_list(
+                CommunityList(
+                    list_name,
+                    (
+                        CommunityListEntry(
+                            "permit", regex=f"_6500{idx % 10}:{idx}_"
+                        ),
+                    ),
+                )
+            )
+            matches: Tuple = (MatchCommunity((list_name,)),)
+        else:
+            list_name = f"{name}_AL{idx}"
+            store.add_as_path_list(
+                AsPathAccessList(
+                    list_name,
+                    (AsPathEntry("permit", f"_{64512 + idx}$"),),
+                )
+            )
+            matches = (MatchAsPath((list_name,)),)
+        action = "deny" if conflicting_tags else "permit"
+        out.append(RouteMapStanza(seq=seq, action=action, matches=matches))
+    return RouteMap(name, tuple(out))
+
+
+__all__ = [
+    "PrefixPool",
+    "clean_acl",
+    "clean_route_map",
+    "crossing_acl",
+    "shadowed_acl",
+    "tagged_route_map",
+]

@@ -1,0 +1,297 @@
+"""The synthetic campus corpus (§3.2).
+
+Targets, from the paper (1421 devices, 11,088 ACLs, 169 route-maps):
+
+* 37.7% of ACLs have conflicting rule overlaps; 27% of those have more
+  than 20 conflicts;
+* excluding proper-subset pairs (e.g. ``permit tcp host 1.1.1.1 host
+  2.2.2.2`` vs ``deny ip any any``), 18.6% have non-trivial overlaps;
+  16.3% of those exceed 20;
+* 2 of 169 route-maps have overlapping stanzas; one has three
+  overlapping stanza pairs, of which two are conflicting.
+
+The archetype counts are derived from the percentages and exact by
+construction:
+
+=====================  =========================================  ======
+archetype              overlap signature                           share
+=====================  =========================================  ======
+clean                  none                                        62.3%
+shadowed, light        1-20 subset conflicts (catch-all deny)      11.9%
+shadowed, heavy        >20 subset conflicts                         7.2%
+crossing, light        1-20 non-trivial conflicts                  15.6%
+crossing, heavy        >20 non-trivial conflicts                    3.0%
+=====================  =========================================  ======
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List
+
+from repro.config.acl import Acl
+from repro.config.lists import (
+    CommunityList,
+    CommunityListEntry,
+    PrefixList,
+    PrefixListEntry,
+)
+from repro.config.matches import MatchCommunity, MatchPrefixList
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.config.store import ConfigStore
+from repro.synth.builders import (
+    PrefixPool,
+    clean_acl,
+    clean_route_map,
+    crossing_acl,
+    shadowed_acl,
+)
+
+#: The paper's §3.2 corpus shape.
+TOTAL_DEVICES = 1421
+TOTAL_ACLS = 11088
+CONFLICT_FRACTION = 0.377
+HEAVY_CONFLICT_FRACTION = 0.27  # of the conflicting ones
+NONTRIVIAL_FRACTION = 0.186
+HEAVY_NONTRIVIAL_FRACTION = 0.163  # of the non-trivial ones
+TOTAL_ROUTE_MAPS = 169
+
+
+@dataclasses.dataclass
+class CampusCorpus:
+    """One generated campus configuration corpus."""
+
+    acls: List[Acl]
+    route_maps: List[RouteMap]
+    store: ConfigStore
+
+    def devices(self, device_count: int = TOTAL_DEVICES):
+        """Group the corpus into device configurations (§3.2's framing:
+        "the campus network consisting of 1421 device configurations").
+
+        ACLs are distributed round-robin across access devices and
+        attached to per-ACL interfaces; route-maps live on the first few
+        core devices.  Returns a list of
+        :class:`repro.config.device.DeviceConfig`.
+        """
+        from repro.config.device import DeviceConfig, Interface
+        from repro.config.store import ConfigStore as Store
+        from repro.netaddr import Ipv4Address
+
+        device_count = max(1, device_count)
+        devices = [
+            DeviceConfig(hostname=f"campus-sw-{idx:04d}", store=Store())
+            for idx in range(device_count)
+        ]
+        for index, acl in enumerate(self.acls):
+            device = devices[index % device_count]
+            device.store.add_acl(acl)
+            address = Ipv4Address((10 << 24) | (index & 0xFFFFFF) << 2 | 1)
+            device.interfaces.append(
+                Interface(
+                    name=f"Vlan{100 + len(device.interfaces)}",
+                    address=address,
+                    prefix_length=30,
+                    acl_in=acl.name,
+                )
+            )
+        from repro.config.store import copy_route_map_closure
+
+        core_count = max(1, device_count // 100)
+        for index, rm in enumerate(self.route_maps):
+            device = devices[index % core_count]
+            copy_route_map_closure(self.store, device.store, rm)
+        for device in devices:
+            device.validate()
+        return devices
+
+
+@dataclasses.dataclass(frozen=True)
+class ArchetypeCounts:
+    """How many ACLs of each archetype a corpus of ``total`` needs."""
+
+    clean: int
+    shadowed_light: int
+    shadowed_heavy: int
+    crossing_light: int
+    crossing_heavy: int
+
+    @classmethod
+    def for_total(cls, total: int) -> "ArchetypeCounts":
+        conflicting = round(CONFLICT_FRACTION * total)
+        heavy_conflicting = round(HEAVY_CONFLICT_FRACTION * conflicting)
+        nontrivial = round(NONTRIVIAL_FRACTION * total)
+        heavy_nontrivial = round(HEAVY_NONTRIVIAL_FRACTION * nontrivial)
+        crossing_heavy = heavy_nontrivial
+        crossing_light = max(0, nontrivial - heavy_nontrivial)
+        shadowed_heavy = max(0, heavy_conflicting - heavy_nontrivial)
+        shadowed_light = max(
+            0, conflicting - nontrivial - shadowed_heavy
+        )
+        clean = max(
+            0,
+            total
+            - crossing_heavy
+            - crossing_light
+            - shadowed_heavy
+            - shadowed_light,
+        )
+        return cls(
+            clean=clean,
+            shadowed_light=shadowed_light,
+            shadowed_heavy=shadowed_heavy,
+            crossing_light=crossing_light,
+            crossing_heavy=crossing_heavy,
+        )
+
+    @property
+    def total(self) -> int:
+        return (
+            self.clean
+            + self.shadowed_light
+            + self.shadowed_heavy
+            + self.crossing_light
+            + self.crossing_heavy
+        )
+
+
+def generate_campus_corpus(
+    seed: int = 1421, total_acls: int = TOTAL_ACLS, route_maps: int = TOTAL_ROUTE_MAPS
+) -> CampusCorpus:
+    """Generate the campus corpus (``total_acls`` scales it for tests)."""
+    rng = random.Random(seed)
+    pool = PrefixPool(rng)
+    counts = ArchetypeCounts.for_total(total_acls)
+
+    acls: List[Acl] = []
+    for idx in range(counts.clean):
+        acls.append(
+            clean_acl(f"CAMPUS_CLEAN_{idx}", rng, pool, rules=rng.randint(3, 10))
+        )
+    for idx in range(counts.shadowed_light):
+        acls.append(
+            shadowed_acl(
+                f"CAMPUS_SHAD_L_{idx}", rng, pool, permits=rng.randint(2, 19)
+            )
+        )
+    for idx in range(counts.shadowed_heavy):
+        acls.append(
+            shadowed_acl(
+                f"CAMPUS_SHAD_H_{idx}", rng, pool, permits=rng.randint(21, 35)
+            )
+        )
+    for idx in range(counts.crossing_light):
+        acls.append(
+            crossing_acl(
+                f"CAMPUS_CROSS_L_{idx}",
+                rng,
+                pool,
+                permits=rng.randint(1, 4),
+                denies=rng.randint(1, 4),
+            )
+        )
+    for idx in range(counts.crossing_heavy):
+        acls.append(
+            crossing_acl(
+                f"CAMPUS_CROSS_H_{idx}",
+                rng,
+                pool,
+                permits=rng.randint(6, 8),
+                denies=rng.randint(4, 5),
+            )
+        )
+    rng.shuffle(acls)
+
+    store = ConfigStore()
+    maps: List[RouteMap] = []
+    special = min(2, route_maps)
+    for idx in range(max(0, route_maps - special)):
+        maps.append(
+            clean_route_map(
+                f"CAMPUS_RM_{idx}", rng, pool, store, stanzas=rng.randint(2, 5)
+            )
+        )
+    if special >= 1:
+        maps.append(_single_overlap_map(store, pool))
+    if special >= 2:
+        maps.append(_three_pair_map(store, pool))
+    rng.shuffle(maps)
+
+    for acl in acls:
+        store.add_acl(acl)
+    for rm in maps:
+        store.add_route_map(rm)
+    return CampusCorpus(acls=acls, route_maps=maps, store=store)
+
+
+def _single_overlap_map(store: ConfigStore, pool: PrefixPool) -> RouteMap:
+    """One overlapping (non-conflicting) stanza pair: nested prefix lists."""
+    outer = pool.block16()
+    store.add_prefix_list(
+        PrefixList(
+            "CAMPUS_SPECIAL1_WIDE",
+            (PrefixListEntry(5, "permit", outer, le=32),),
+        )
+    )
+    store.add_prefix_list(
+        PrefixList(
+            "CAMPUS_SPECIAL1_NARROW",
+            (PrefixListEntry(5, "permit", outer, ge=24, le=24),),
+        )
+    )
+    return RouteMap(
+        "CAMPUS_SPECIAL_SINGLE",
+        (
+            RouteMapStanza(
+                10, "permit", (MatchPrefixList(("CAMPUS_SPECIAL1_NARROW",)),)
+            ),
+            RouteMapStanza(
+                20, "permit", (MatchPrefixList(("CAMPUS_SPECIAL1_WIDE",)),)
+            ),
+        ),
+    )
+
+
+def _three_pair_map(store: ConfigStore, pool: PrefixPool) -> RouteMap:
+    """Three overlapping stanza pairs, two of them conflicting (§3.2).
+
+    Stanzas: A = permit prefix-list, B = deny community, C = permit
+    community.  Pairs: (A,B) conflicting, (B,C) conflicting, (A,C)
+    overlapping but same action.
+    """
+    store.add_prefix_list(
+        PrefixList(
+            "CAMPUS_SPECIAL2_PL",
+            (PrefixListEntry(5, "permit", pool.block16(), le=24),),
+        )
+    )
+    store.add_community_list(
+        CommunityList(
+            "CAMPUS_SPECIAL2_C1",
+            (CommunityListEntry("permit", regex="_65100:1_"),),
+        )
+    )
+    store.add_community_list(
+        CommunityList(
+            "CAMPUS_SPECIAL2_C2",
+            (CommunityListEntry("permit", regex="_65100:2_"),),
+        )
+    )
+    return RouteMap(
+        "CAMPUS_SPECIAL_TRIPLE",
+        (
+            RouteMapStanza(
+                10, "permit", (MatchPrefixList(("CAMPUS_SPECIAL2_PL",)),)
+            ),
+            RouteMapStanza(
+                20, "deny", (MatchCommunity(("CAMPUS_SPECIAL2_C1",)),)
+            ),
+            RouteMapStanza(
+                30, "permit", (MatchCommunity(("CAMPUS_SPECIAL2_C2",)),)
+            ),
+        ),
+    )
+
+
+__all__ = ["ArchetypeCounts", "CampusCorpus", "generate_campus_corpus"]

@@ -1,0 +1,183 @@
+"""The synthetic cloud-WAN corpus (§3.1).
+
+Targets, from the paper:
+
+* 237 non-identical ACLs; 69 with at least one (conflicting) overlap;
+  48 of those with an overlap count above 20; one border ACL — "dozens
+  of rules permitting and denying combinations of source prefixes,
+  destination prefixes, and protocols" — with over 100 overlapping
+  pairs.
+* 800 routing policies; 140 with stanza overlaps; 3 with more than 20
+  overlaps each.
+
+Archetype counts are exact by construction and survive scaling; the
+seeded RNG controls only rule contents and corpus ordering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List
+
+from repro.config.acl import Acl
+from repro.config.routemap import RouteMap
+from repro.config.store import ConfigStore
+from repro.synth.builders import (
+    PrefixPool,
+    clean_acl,
+    clean_route_map,
+    crossing_acl,
+    shadowed_acl,
+    tagged_route_map,
+)
+
+#: The paper's §3.1 corpus shape.
+TOTAL_ACLS = 237
+OVERLAPPING_ACLS = 69
+HEAVY_ACLS = 48  # of the 69, overlap count > 20
+TOTAL_ROUTE_MAPS = 800
+OVERLAPPING_ROUTE_MAPS = 140
+HEAVY_ROUTE_MAPS = 3
+
+
+@dataclasses.dataclass
+class CloudCorpus:
+    """One generated cloud-WAN configuration corpus."""
+
+    acls: List[Acl]
+    route_maps: List[RouteMap]
+    store: ConfigStore
+    #: Route-map chains applied per neighbor (§3.1: "a sequence of
+    #: multiple route maps"), each a tuple of map names.
+    neighbor_chains: List[tuple] = dataclasses.field(default_factory=list)
+
+    def devices(self, device_count: int = 24):
+        """Group the corpus into WAN router configurations.
+
+        ACLs and route-maps are distributed round-robin; each device's
+        ACLs are attached to interfaces, mirroring how the §3.1 study
+        walked per-device configs.
+        """
+        from repro.config.device import DeviceConfig, Interface
+        from repro.config.store import ConfigStore as Store
+        from repro.config.store import copy_route_map_closure
+        from repro.netaddr import Ipv4Address
+
+        device_count = max(1, device_count)
+        devices = [
+            DeviceConfig(hostname=f"cloud-wan-{idx:03d}", store=Store())
+            for idx in range(device_count)
+        ]
+        for index, acl in enumerate(self.acls):
+            device = devices[index % device_count]
+            device.store.add_acl(acl)
+            address = Ipv4Address((100 << 24) | ((index & 0xFFFF) << 8) | 1)
+            device.interfaces.append(
+                Interface(
+                    name=f"HundredGigE0/{len(device.interfaces)}",
+                    address=address,
+                    prefix_length=31,
+                    acl_in=acl.name,
+                )
+            )
+        for index, rm in enumerate(self.route_maps):
+            device = devices[index % device_count]
+            copy_route_map_closure(self.store, device.store, rm)
+        for device in devices:
+            device.validate()
+        return devices
+
+
+def _scaled(count: int, scale: float, minimum: int = 0) -> int:
+    return max(minimum, round(count * scale))
+
+
+def generate_cloud_corpus(seed: int = 2025, scale: float = 1.0) -> CloudCorpus:
+    """Generate the corpus; ``scale`` shrinks it proportionally for tests."""
+    rng = random.Random(seed)
+    pool = PrefixPool(rng)
+    store = ConfigStore()
+
+    heavy = _scaled(HEAVY_ACLS, scale, minimum=2)
+    light = _scaled(OVERLAPPING_ACLS - HEAVY_ACLS, scale, minimum=1)
+    clean = _scaled(TOTAL_ACLS - OVERLAPPING_ACLS, scale, minimum=1)
+
+    acls: List[Acl] = []
+    # The border ACL with >100 overlapping pairs (12 x 9 crossing rules).
+    acls.append(crossing_acl("CLOUD_BORDER_IN", rng, pool, permits=12, denies=9))
+    for idx in range(heavy - 1):
+        acls.append(
+            shadowed_acl(
+                f"CLOUD_HEAVY_{idx}", rng, pool, permits=rng.randint(21, 40)
+            )
+        )
+    for idx in range(light):
+        acls.append(
+            shadowed_acl(
+                f"CLOUD_LIGHT_{idx}", rng, pool, permits=rng.randint(3, 20)
+            )
+        )
+    for idx in range(clean):
+        acls.append(
+            clean_acl(f"CLOUD_CLEAN_{idx}", rng, pool, rules=rng.randint(4, 12))
+        )
+    rng.shuffle(acls)
+
+    heavy_rm = _scaled(HEAVY_ROUTE_MAPS, scale, minimum=1)
+    light_rm = _scaled(OVERLAPPING_ROUTE_MAPS - HEAVY_ROUTE_MAPS, scale, minimum=1)
+    clean_rm = _scaled(TOTAL_ROUTE_MAPS - OVERLAPPING_ROUTE_MAPS, scale, minimum=1)
+
+    route_maps: List[RouteMap] = []
+    for idx in range(heavy_rm):
+        route_maps.append(
+            tagged_route_map(
+                f"CLOUD_RM_HEAVY_{idx}",
+                rng,
+                pool,
+                store,
+                prefix_stanzas=rng.randint(21, 24),
+                tag_stanzas=1,
+            )
+        )
+    for idx in range(light_rm):
+        route_maps.append(
+            tagged_route_map(
+                f"CLOUD_RM_LIGHT_{idx}",
+                rng,
+                pool,
+                store,
+                prefix_stanzas=rng.randint(2, 10),
+                tag_stanzas=1,
+            )
+        )
+    for idx in range(clean_rm):
+        route_maps.append(
+            clean_route_map(
+                f"CLOUD_RM_CLEAN_{idx}", rng, pool, store, stanzas=rng.randint(2, 6)
+            )
+        )
+    rng.shuffle(route_maps)
+
+    for acl in acls:
+        store.add_acl(acl)
+    for rm in route_maps:
+        store.add_route_map(rm)
+
+    # Cloud routers commonly apply a *sequence* of route-maps per
+    # neighbor (§3.1); pair up some of the generated maps into chains.
+    chain_count = max(1, len(route_maps) // 20)
+    neighbor_chains = [
+        (route_maps[2 * i].name, route_maps[2 * i + 1].name)
+        for i in range(chain_count)
+        if 2 * i + 1 < len(route_maps)
+    ]
+    return CloudCorpus(
+        acls=acls,
+        route_maps=route_maps,
+        store=store,
+        neighbor_chains=neighbor_chains,
+    )
+
+
+__all__ = ["CloudCorpus", "generate_cloud_corpus"]

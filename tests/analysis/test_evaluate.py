@@ -1,0 +1,138 @@
+"""Tests for concrete route-map and ACL evaluation."""
+
+from repro.analysis import eval_acl, eval_route_map
+from repro.config import parse_config
+from repro.route import BgpRoute, Packet
+
+ISP_OUT = """
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+"""
+
+
+class TestRouteMapEvaluation:
+    def setup_method(self):
+        self.store = parse_config(ISP_OUT)
+        self.rm = self.store.route_map("ISP_OUT")
+
+    def test_stanza_10_denies_asn_32_origin(self):
+        route = BgpRoute.build("50.0.0.0/8", as_path=[100, 32], local_preference=300)
+        result = eval_route_map(self.rm, self.store, route)
+        assert result.action == "deny"
+        assert result.stanza_seq == 10
+        assert result.output is None
+
+    def test_stanza_20_denies_d1_prefixes(self):
+        route = BgpRoute.build("10.5.0.0/24", local_preference=300)
+        result = eval_route_map(self.rm, self.store, route)
+        assert result.action == "deny"
+        assert result.stanza_seq == 20
+
+    def test_stanza_30_permits_lp_300(self):
+        route = BgpRoute.build("50.0.0.0/8", local_preference=300)
+        result = eval_route_map(self.rm, self.store, route)
+        assert result.action == "permit"
+        assert result.stanza_seq == 30
+        assert result.output == route
+
+    def test_implicit_deny(self):
+        route = BgpRoute.build("50.0.0.0/8", local_preference=100)
+        result = eval_route_map(self.rm, self.store, route)
+        assert result.action == "deny"
+        assert result.stanza_seq is None
+
+    def test_set_clauses_applied(self):
+        text = ISP_OUT + """
+route-map TRANSFORM permit 10
+ set metric 55
+ set community 300:3 additive
+ set as-path prepend 65000
+"""
+        store = parse_config(text)
+        rm = store.route_map("TRANSFORM")
+        route = BgpRoute.build("50.0.0.0/8", as_path=[7], communities=["1:1"])
+        result = eval_route_map(rm, store, route)
+        assert result.permitted()
+        assert result.output.metric == 55
+        assert result.output.communities == frozenset({"1:1", "300:3"})
+        assert result.output.asns() == [65000, 7]
+
+    def test_set_community_replace(self):
+        text = """
+route-map R permit 10
+ set community 9:9
+"""
+        store = parse_config(text)
+        route = BgpRoute.build("50.0.0.0/8", communities=["1:1", "2:2"])
+        result = eval_route_map(store.route_map("R"), store, route)
+        assert result.output.communities == frozenset({"9:9"})
+
+    def test_empty_stanza_matches_everything(self):
+        store = parse_config("route-map ANY permit 10")
+        result = eval_route_map(
+            store.route_map("ANY"), store, BgpRoute.build("1.2.3.0/24")
+        )
+        assert result.permitted()
+
+    def test_render_matches_paper_format(self):
+        route = BgpRoute.build(
+            "100.0.0.0/16",
+            as_path=[32],
+            communities=["300:3"],
+            metric=55,
+        )
+        store = parse_config("route-map ANY permit 10")
+        result = eval_route_map(store.route_map("ANY"), store, route)
+        text = result.render()
+        assert "ACTION: permit" in text
+        assert "Network: 100.0.0.0/16" in text
+        assert '"asns": [32]' in text
+        assert 'Communities: ["300:3"]' in text
+        assert "Metric: 55" in text
+
+    def test_deny_render(self):
+        store = parse_config("route-map NOPE deny 10")
+        result = eval_route_map(
+            store.route_map("NOPE"), store, BgpRoute.build("1.2.3.0/24")
+        )
+        assert result.render() == "ACTION: deny"
+
+
+class TestAclEvaluation:
+    ACL = """
+ip access-list extended FILTER
+ 10 deny tcp 10.0.0.0 0.255.255.255 any eq 22
+ 20 permit tcp 10.0.0.0 0.255.255.255 any
+ 30 permit udp any any range 5000 6000
+"""
+
+    def setup_method(self):
+        self.acl = parse_config(self.ACL).acl("FILTER")
+
+    def test_first_match_wins(self):
+        denied = Packet.build("10.1.1.1", "8.8.8.8", dst_port=22)
+        assert eval_acl(self.acl, denied).action == "deny"
+        assert eval_acl(self.acl, denied).rule_seq == 10
+        permitted = Packet.build("10.1.1.1", "8.8.8.8", dst_port=80)
+        assert eval_acl(self.acl, permitted).action == "permit"
+        assert eval_acl(self.acl, permitted).rule_seq == 20
+
+    def test_implicit_deny(self):
+        packet = Packet.build("11.1.1.1", "8.8.8.8", dst_port=80)
+        result = eval_acl(self.acl, packet)
+        assert result.action == "deny"
+        assert result.rule_seq is None
+
+    def test_udp_range(self):
+        inside = Packet.build("9.9.9.9", "8.8.8.8", protocol=17, dst_port=5500)
+        outside = Packet.build("9.9.9.9", "8.8.8.8", protocol=17, dst_port=4999)
+        assert eval_acl(self.acl, inside).permitted()
+        assert not eval_acl(self.acl, outside).permitted()

@@ -1,0 +1,145 @@
+"""Unit and property tests for the prefix-space algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.prefixspace import PrefixAtom, PrefixSpace
+from repro.netaddr import Ipv4Address, Ipv4Prefix
+
+
+def atom(prefix, lo=None, hi=None):
+    p = Ipv4Prefix.parse(prefix)
+    return PrefixAtom(p, lo if lo is not None else p.length, hi if hi is not None else 32)
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(st.integers(0, 8))
+    # Keep networks inside a small universe so brute-force checks are cheap.
+    bits = draw(st.integers(0, (1 << length) - 1)) if length else 0
+    value = bits << (32 - length) if length else 0
+    return Ipv4Prefix(Ipv4Address(value), length)
+
+
+@st.composite
+def atoms(draw):
+    covering = draw(prefixes())
+    lo = draw(st.integers(covering.length, 8))
+    hi = draw(st.integers(lo, 8))
+    return PrefixAtom(covering, lo, hi)
+
+
+def all_test_networks():
+    """Every prefix of length <= 8 inside the top 256 /8 blocks... kept tiny."""
+    out = []
+    for length in range(0, 9):
+        step = 1 << (32 - length) if length else 1 << 32
+        count = 1 << length
+        for i in range(count):
+            out.append(Ipv4Prefix(Ipv4Address(i * (1 << (32 - length))), length))
+    return out
+
+
+TEST_NETWORKS = all_test_networks()
+
+
+class TestPrefixAtom:
+    def test_contains_respects_length_window(self):
+        a = atom("10.0.0.0/8", 8, 24)
+        assert a.contains(Ipv4Prefix.parse("10.0.0.0/8"))
+        assert a.contains(Ipv4Prefix.parse("10.1.0.0/16"))
+        assert not a.contains(Ipv4Prefix.parse("10.1.2.128/25"))
+        assert not a.contains(Ipv4Prefix.parse("11.0.0.0/8"))
+        assert not a.contains(Ipv4Prefix.parse("0.0.0.0/0"))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            atom("10.0.0.0/8", 4, 24)
+        with pytest.raises(ValueError):
+            atom("10.0.0.0/8", 24, 16)
+
+    def test_intersect_nested(self):
+        outer = atom("10.0.0.0/8", 8, 24)
+        inner = atom("10.1.0.0/16", 16, 32)
+        got = outer.intersect(inner)
+        assert got == PrefixAtom(Ipv4Prefix.parse("10.1.0.0/16"), 16, 24)
+
+    def test_intersect_disjoint(self):
+        assert atom("10.0.0.0/8").intersect(atom("11.0.0.0/8")) is None
+
+    def test_intersect_window_miss(self):
+        a = atom("10.0.0.0/8", 8, 15)
+        b = atom("10.1.0.0/16", 16, 32)
+        assert a.intersect(b) is None
+
+    def test_witness_in_atom(self):
+        a = atom("10.0.0.0/8", 12, 24)
+        assert a.contains(a.witness())
+
+    def test_universe_contains_everything(self):
+        for network in ["0.0.0.0/0", "10.0.0.0/8", "255.255.255.255/32"]:
+            assert PrefixAtom.universe().contains(Ipv4Prefix.parse(network))
+
+    @given(atoms())
+    @settings(max_examples=50)
+    def test_complement_is_exact(self, a):
+        complement = a.complement_atoms()
+        for network in TEST_NETWORKS:
+            in_atom = a.contains(network)
+            in_complement = any(c.contains(network) for c in complement)
+            assert in_atom != in_complement, (a, network)
+
+
+class TestPrefixSpace:
+    def test_empty_and_universe(self):
+        assert PrefixSpace.empty().is_empty()
+        assert PrefixSpace.universe().is_universe()
+        assert PrefixSpace.universe().complement().is_empty()
+
+    def test_absorption(self):
+        space = PrefixSpace((atom("10.0.0.0/8", 8, 32), atom("10.1.0.0/16", 16, 24)))
+        assert len(space.atoms) == 1
+
+    def test_subtract(self):
+        space = PrefixSpace.of_atom(atom("10.0.0.0/8", 8, 32))
+        space = space.subtract(PrefixSpace.of_atom(atom("10.1.0.0/16", 16, 32)))
+        assert space.contains(Ipv4Prefix.parse("10.0.0.0/8"))
+        assert space.contains(Ipv4Prefix.parse("10.2.0.0/16"))
+        assert not space.contains(Ipv4Prefix.parse("10.1.0.0/16"))
+        assert not space.contains(Ipv4Prefix.parse("10.1.2.0/24"))
+
+    def test_subset(self):
+        inner = PrefixSpace.of_atom(atom("10.1.0.0/16", 16, 24))
+        outer = PrefixSpace.of_atom(atom("10.0.0.0/8", 8, 32))
+        assert inner.is_subset_of(outer)
+        assert not outer.is_subset_of(inner)
+
+    def test_witness(self):
+        assert PrefixSpace.empty().witness() is None
+        space = PrefixSpace.of_atom(atom("10.0.0.0/8", 12, 24))
+        assert space.contains(space.witness())
+
+    @given(atoms(), atoms())
+    @settings(max_examples=50)
+    def test_intersection_semantics(self, a, b):
+        space = PrefixSpace.of_atom(a).intersect(PrefixSpace.of_atom(b))
+        for network in TEST_NETWORKS:
+            expected = a.contains(network) and b.contains(network)
+            assert space.contains(network) == expected
+
+    @given(atoms(), atoms())
+    @settings(max_examples=50)
+    def test_union_semantics(self, a, b):
+        space = PrefixSpace.of_atom(a).union(PrefixSpace.of_atom(b))
+        for network in TEST_NETWORKS:
+            expected = a.contains(network) or b.contains(network)
+            assert space.contains(network) == expected
+
+    @given(atoms(), atoms())
+    @settings(max_examples=30)
+    def test_subtraction_semantics(self, a, b):
+        space = PrefixSpace.of_atom(a).subtract(PrefixSpace.of_atom(b))
+        for network in TEST_NETWORKS:
+            expected = a.contains(network) and not b.contains(network)
+            assert space.contains(network) == expected

@@ -1,0 +1,168 @@
+"""Property tests: symbolic route-space algebra vs concrete evaluation.
+
+Guards are generated over a finite probe domain that covers every field
+kind (prefixes, communities, AS paths, scalars); each symbolic operation
+(intersection, negation, subtraction, reachability) is checked against
+exhaustive concrete probing.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.evaluate import eval_route_map, stanza_matches
+from repro.analysis.routespace import (
+    RouteSpace,
+    route_map_reachable_spaces,
+    stanza_guard_space,
+)
+from repro.config import parse_config
+from repro.route import BgpRoute
+
+LISTS_TEXT = """
+ip prefix-list PL_A seq 5 permit 10.0.0.0/8 le 16
+ip prefix-list PL_B seq 5 deny 10.1.0.0/16
+ip prefix-list PL_B seq 10 permit 10.0.0.0/8 le 24
+ip community-list expanded CL_X permit _65000:1_
+ip community-list expanded CL_Y deny ^65000:2$
+ip community-list expanded CL_Y permit ^65000:
+ip as-path access-list AL_P permit _100$
+ip as-path access-list AL_Q deny _666_
+ip as-path access-list AL_Q permit .*
+"""
+
+MATCH_CLAUSES = [
+    " match ip address prefix-list PL_A",
+    " match ip address prefix-list PL_B",
+    " match community CL_X",
+    " match community CL_Y",
+    " match as-path AL_P",
+    " match as-path AL_Q",
+    " match local-preference 300",
+    " match metric 5",
+]
+
+
+def probe_routes():
+    networks = ["10.0.0.0/8", "10.1.0.0/16", "10.2.0.0/16", "10.1.2.0/24", "99.0.0.0/8"]
+    community_sets = [(), ("65000:1",), ("65000:2",), ("65000:1", "65000:3")]
+    paths = [(), (100,), (7, 100), (100, 7), (666, 100)]
+    lps = [100, 300]
+    routes = []
+    for network, communities, path in itertools.product(
+        networks, community_sets, paths
+    ):
+        routes.append(
+            BgpRoute.build(
+                network,
+                as_path=path,
+                communities=communities,
+                local_preference=100,
+            )
+        )
+    routes.append(BgpRoute.build("10.0.0.0/8", local_preference=300))
+    routes.append(BgpRoute.build("10.0.0.0/8", metric=5))
+    return routes
+
+
+PROBES = probe_routes()
+
+
+@st.composite
+def stanzas(draw):
+    clauses = draw(st.lists(st.sampled_from(MATCH_CLAUSES), max_size=2, unique=True))
+    action = draw(st.sampled_from(["permit", "deny"]))
+    text = LISTS_TEXT + f"route-map RM {action} 10\n" + "\n".join(clauses)
+    store = parse_config(text)
+    return store, store.route_map("RM").stanzas[0]
+
+
+class TestGuardSemantics:
+    @given(stanzas())
+    @settings(max_examples=80, deadline=None)
+    def test_guard_space_matches_concrete(self, case):
+        store, stanza = case
+        guard = stanza_guard_space(stanza, store)
+        for route in PROBES:
+            assert guard.contains(route) == stanza_matches(stanza, route, store)
+
+    @given(stanzas())
+    @settings(max_examples=60, deadline=None)
+    def test_complement_partitions_probes(self, case):
+        store, stanza = case
+        guard = stanza_guard_space(stanza, store)
+        complement = guard.complement()
+        for route in PROBES:
+            assert guard.contains(route) != complement.contains(route)
+
+    @given(stanzas(), stanzas())
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_matches_conjunction(self, case_a, case_b):
+        store_a, stanza_a = case_a
+        store_b, stanza_b = case_b
+        guard_a = stanza_guard_space(stanza_a, store_a)
+        guard_b = stanza_guard_space(stanza_b, store_b)
+        both = guard_a.intersect(guard_b)
+        for route in PROBES:
+            expected = guard_a.contains(route) and guard_b.contains(route)
+            assert both.contains(route) == expected
+
+    @given(stanzas(), stanzas())
+    @settings(max_examples=40, deadline=None)
+    def test_emptiness_agrees_with_probing_one_way(self, case_a, case_b):
+        # Symbolic emptiness is exact, probing is not exhaustive over the
+        # infinite domain: empty => no probe inside.
+        store_a, stanza_a = case_a
+        store_b, stanza_b = case_b
+        both = stanza_guard_space(stanza_a, store_a).intersect(
+            stanza_guard_space(stanza_b, store_b)
+        )
+        if both.is_empty():
+            for route in PROBES:
+                assert not both.contains(route)
+
+    @given(stanzas(), stanzas())
+    @settings(max_examples=40, deadline=None)
+    def test_nonempty_witness_is_contained(self, case_a, case_b):
+        store_a, stanza_a = case_a
+        store_b, stanza_b = case_b
+        both = stanza_guard_space(stanza_a, store_a).intersect(
+            stanza_guard_space(stanza_b, store_b)
+        )
+        witness = both.witness()
+        if witness is not None:
+            assert both.contains(witness)
+            assert stanza_matches(stanza_a, witness, store_a)
+            assert stanza_matches(stanza_b, witness, store_b)
+
+
+@st.composite
+def multi_stanza_maps(draw):
+    count = draw(st.integers(1, 4))
+    lines = [LISTS_TEXT]
+    for idx in range(count):
+        action = draw(st.sampled_from(["permit", "deny"]))
+        lines.append(f"route-map RM {action} {10 * (idx + 1)}")
+        clauses = draw(
+            st.lists(st.sampled_from(MATCH_CLAUSES), max_size=2, unique=True)
+        )
+        lines.extend(clauses)
+    store = parse_config("\n".join(lines))
+    return store, store.route_map("RM")
+
+
+class TestReachabilitySemantics:
+    @given(multi_stanza_maps())
+    @settings(max_examples=40, deadline=None)
+    def test_reaches_partition_probe_routes(self, case):
+        store, rm = case
+        reaches = route_map_reachable_spaces(rm, store, include_implicit_deny=True)
+        for route in PROBES:
+            containing = [
+                (stanza.seq if stanza else None)
+                for stanza, space in reaches
+                if space.contains(route)
+            ]
+            assert len(containing) == 1, (route, containing)
+            assert containing[0] == eval_route_map(rm, store, route).stanza_seq

@@ -1,0 +1,111 @@
+"""Property tests for the exact rectangle-carving subtraction.
+
+``PacketRegion.subtract_region`` is the workhorse keeping first-match
+reachability linear on corpus-size ACLs; its contract: the returned
+pieces are pairwise disjoint, disjoint from the subtrahend, and their
+union is exactly ``self minus other``.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.headerspace import PacketRegion, PacketSpace
+from repro.netaddr import IntervalSet, Ipv4Address
+from repro.route import Packet
+
+
+@st.composite
+def small_regions(draw):
+    def interval(lo_max, hi_max):
+        lo = draw(st.integers(0, lo_max))
+        hi = draw(st.integers(lo, hi_max))
+        return IntervalSet.closed(lo, hi)
+
+    return PacketRegion(
+        src=interval(6, 6),
+        dst=interval(6, 6),
+        protocol=draw(
+            st.sampled_from([IntervalSet.closed(0, 255), IntervalSet.single(6)])
+        ),
+        dst_ports=interval(6, 6),
+        established=draw(
+            st.sampled_from(
+                [
+                    frozenset((True, False)),
+                    frozenset((False,)),
+                ]
+            )
+        ),
+    )
+
+
+def probe_packets():
+    packets = []
+    for src, dst, port in itertools.product(range(0, 8), repeat=3):
+        packets.append(
+            Packet(
+                src_ip=Ipv4Address(src),
+                dst_ip=Ipv4Address(dst),
+                protocol=6,
+                dst_port=port,
+            )
+        )
+    return packets
+
+
+PROBES = probe_packets()
+
+
+class TestSubtractRegion:
+    @given(small_regions(), small_regions())
+    @settings(max_examples=80, deadline=None)
+    def test_semantics(self, a, b):
+        pieces = a.subtract_region(b)
+        for packet in PROBES:
+            expected = a.contains(packet) and not b.contains(packet)
+            got = any(piece.contains(packet) for piece in pieces)
+            assert got == expected
+
+    @given(small_regions(), small_regions())
+    @settings(max_examples=80, deadline=None)
+    def test_pieces_are_disjoint(self, a, b):
+        pieces = a.subtract_region(b)
+        for i in range(len(pieces)):
+            for j in range(i + 1, len(pieces)):
+                assert pieces[i].intersect(pieces[j]).is_empty()
+
+    @given(small_regions(), small_regions())
+    @settings(max_examples=80, deadline=None)
+    def test_disjoint_regions_untouched(self, a, b):
+        if a.intersect(b).is_empty():
+            assert a.subtract_region(b) == (a,)
+
+    @given(small_regions())
+    @settings(max_examples=40, deadline=None)
+    def test_self_subtraction_is_empty(self, a):
+        assert a.subtract_region(a) == ()
+
+
+class TestSpaceSubtract:
+    @given(
+        st.lists(small_regions(), max_size=3),
+        st.lists(small_regions(), max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_space_subtract_semantics(self, regions_a, regions_b):
+        space_a = PacketSpace(tuple(regions_a))
+        space_b = PacketSpace(tuple(regions_b))
+        difference = space_a.subtract(space_b)
+        for packet in PROBES:
+            expected = space_a.contains(packet) and not space_b.contains(packet)
+            assert difference.contains(packet) == expected
+
+    @given(st.lists(small_regions(), max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_complement_round_trip(self, regions):
+        space = PacketSpace(tuple(regions))
+        double = space.complement().complement()
+        for packet in PROBES:
+            assert double.contains(packet) == space.contains(packet)

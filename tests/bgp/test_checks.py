@@ -1,0 +1,46 @@
+"""Tests for the RIB query helpers."""
+
+from repro.bgp import Network, simulate
+from repro.bgp.checks import (
+    as_path_at,
+    best_entry,
+    has_route,
+    learned_from,
+    visible_prefixes,
+)
+
+
+def simple_ribs():
+    net = Network()
+    net.add_router("A", 65001)
+    net.add_router("B", 65002)
+    net.connect("A", "B")
+    net.router("A").originate("10.0.0.0/8")
+    net.router("A").originate("20.0.0.0/8")
+    return simulate(net)
+
+
+class TestChecks:
+    def test_has_route(self):
+        ribs = simple_ribs()
+        assert has_route(ribs, "B", "10.0.0.0/8")
+        assert not has_route(ribs, "B", "30.0.0.0/8")
+
+    def test_best_entry_and_learned_from(self):
+        ribs = simple_ribs()
+        entry = best_entry(ribs, "B", "10.0.0.0/8")
+        assert entry is not None
+        assert entry.learned_from == "A"
+        assert learned_from(ribs, "B", "10.0.0.0/8") == "A"
+        assert learned_from(ribs, "B", "30.0.0.0/8") is None
+        assert best_entry(ribs, "B", "30.0.0.0/8") is None
+
+    def test_visible_prefixes_sorted(self):
+        ribs = simple_ribs()
+        assert visible_prefixes(ribs, "B") == ["10.0.0.0/8", "20.0.0.0/8"]
+
+    def test_as_path_at(self):
+        ribs = simple_ribs()
+        assert as_path_at(ribs, "B", "10.0.0.0/8") == [65001]
+        assert as_path_at(ribs, "A", "10.0.0.0/8") == []
+        assert as_path_at(ribs, "A", "30.0.0.0/8") is None

@@ -1,0 +1,116 @@
+"""Convergence behaviour of the BGP simulator, including oscillation."""
+
+import pytest
+
+from repro.bgp import ConvergenceError, Network, simulate
+from repro.bgp.checks import has_route, learned_from
+from repro.config import parse_config
+
+
+def test_bad_gadget_raises_convergence_error():
+    """The classic BAD GADGET dispute wheel oscillates forever.
+
+    Three routers around an origin each prefer the route through their
+    clockwise neighbour (via local-preference) over their direct route;
+    no stable assignment exists and the simulator must say so rather
+    than loop.
+    """
+    net = Network()
+    net.add_router("O", 65000)
+    spokes = ["A", "B", "C"]
+    for idx, name in enumerate(spokes):
+        net.add_router(name, 65001 + idx)
+        net.connect("O", name)
+    for idx, name in enumerate(spokes):
+        net.connect(name, spokes[(idx + 1) % 3])
+    net.router("O").originate("10.0.0.0/8")
+
+    for idx, name in enumerate(spokes):
+        clockwise = spokes[(idx + 1) % 3]
+        router = net.router(name)
+        router.store = parse_config(
+            "route-map PREFER permit 10\n set local-preference 200"
+        )
+        net.set_import_policy(name, clockwise, ("PREFER",))
+
+    with pytest.raises(ConvergenceError):
+        simulate(net, max_iterations=32)
+
+
+def test_good_gadget_converges():
+    """Same wheel without the perverse preferences converges fine."""
+    net = Network()
+    net.add_router("O", 65000)
+    spokes = ["A", "B", "C"]
+    for idx, name in enumerate(spokes):
+        net.add_router(name, 65001 + idx)
+        net.connect("O", name)
+    for idx, name in enumerate(spokes):
+        net.connect(name, spokes[(idx + 1) % 3])
+    net.router("O").originate("10.0.0.0/8")
+
+    ribs = simulate(net)
+    for name in spokes:
+        assert learned_from(ribs, name, "10.0.0.0/8") == "O"
+
+
+def test_deep_chain_converges_within_bound():
+    net = Network()
+    hops = [f"R{i}" for i in range(12)]
+    for idx, name in enumerate(hops):
+        net.add_router(name, 65001 + idx)
+        if idx:
+            net.connect(hops[idx - 1], name)
+    net.router("R0").originate("10.0.0.0/8")
+    ribs = simulate(net)
+    assert has_route(ribs, "R11", "10.0.0.0/8")
+    entry = ribs["R11"][list(ribs["R11"])[0]]
+    assert len(entry.route.asns()) == 11
+
+
+def test_multiple_prefixes_propagate_independently():
+    net = Network()
+    net.add_router("A", 65001)
+    net.add_router("B", 65002)
+    net.connect("A", "B")
+    for prefix in ("10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"):
+        net.router("A").originate(prefix)
+    ribs = simulate(net)
+    for prefix in ("10.0.0.0/8", "20.0.0.0/8", "30.0.0.0/8"):
+        assert has_route(ribs, "B", prefix)
+
+
+def test_prepend_makes_path_less_preferred():
+    net = Network()
+    for name, asn in (
+        ("A", 65001),
+        ("B", 65002),
+        ("C", 65003),
+        ("D", 65005),
+    ):
+        net.add_router(name, asn)
+    net.connect("A", "B")
+    net.connect("A", "C")
+    net.connect("B", "D")
+    net.connect("C", "D")
+    net.router("A").originate("10.0.0.0/8")
+    # A prepends twice toward B; D then prefers the C side.
+    a = net.router("A")
+    a.store = parse_config(
+        "route-map TO_B permit 10\n set as-path prepend 65001 65001"
+    )
+    net.set_export_policy("A", "B", ("TO_B",))
+    ribs = simulate(net)
+    assert learned_from(ribs, "D", "10.0.0.0/8") == "C"
+
+
+def test_originated_route_preferred_over_learned():
+    net = Network()
+    net.add_router("A", 65001)
+    net.add_router("B", 65002)
+    net.connect("A", "B")
+    net.router("A").originate("10.0.0.0/8")
+    net.router("B").originate("10.0.0.0/8")
+    ribs = simulate(net)
+    assert learned_from(ribs, "B", "10.0.0.0/8") is None
+    assert learned_from(ribs, "A", "10.0.0.0/8") is None

@@ -1,0 +1,101 @@
+"""Tests for assembling networks from device configuration files."""
+
+import pytest
+
+from repro.bgp import simulate
+from repro.bgp.checks import has_route, learned_from
+from repro.bgp.fromconfig import TopologyError, network_from_devices
+from repro.config.device import parse_device
+
+A_TEXT = """\
+hostname A
+interface Link0
+ ip address 10.99.0.1 255.255.255.252
+ip prefix-list MINE seq 5 permit 10.1.0.0/16
+route-map TAG permit 10
+ set community 65001:7 additive
+router bgp 65001
+ network 10.1.0.0 mask 255.255.0.0 route-map TAG
+ neighbor 10.99.0.2 remote-as 65002
+"""
+
+B_TEXT = """\
+hostname B
+interface Link0
+ ip address 10.99.0.2 255.255.255.252
+router bgp 65002
+ neighbor 10.99.0.1 remote-as 65001
+"""
+
+
+class TestNetworkFromDevices:
+    def test_two_device_network(self):
+        devices = [parse_device(A_TEXT), parse_device(B_TEXT)]
+        net = network_from_devices(devices)
+        ribs = simulate(net)
+        assert has_route(ribs, "B", "10.1.0.0/16")
+        assert learned_from(ribs, "B", "10.1.0.0/16") == "A"
+        entry = ribs["B"][list(ribs["B"])[0]]
+        # The origination route-map tagged the route.
+        assert "65001:7" in entry.route.communities
+        assert entry.route.asns() == [65001]
+
+    def test_denied_origination_map_suppresses_network(self):
+        text = A_TEXT.replace(
+            "route-map TAG permit 10\n set community 65001:7 additive",
+            "route-map TAG deny 10",
+        )
+        devices = [parse_device(text), parse_device(B_TEXT)]
+        ribs = simulate(network_from_devices(devices))
+        assert not has_route(ribs, "B", "10.1.0.0/16")
+        assert not has_route(ribs, "A", "10.1.0.0/16")
+
+    def test_unknown_neighbor_address(self):
+        bad = B_TEXT.replace("10.99.0.1", "10.99.9.9")
+        with pytest.raises(TopologyError):
+            network_from_devices([parse_device(A_TEXT), parse_device(bad)])
+
+    def test_remote_as_mismatch(self):
+        bad = B_TEXT.replace("remote-as 65001", "remote-as 65999")
+        with pytest.raises(TopologyError, match="remote-as"):
+            network_from_devices([parse_device(A_TEXT), parse_device(bad)])
+
+    def test_one_sided_session(self):
+        silent = "hostname B\ninterface Link0\n ip address 10.99.0.2 255.255.255.252\nrouter bgp 65002\n neighbor 10.99.0.5 remote-as 65003\n"
+        c_text = "hostname C\ninterface Link1\n ip address 10.99.0.5 255.255.255.252\nrouter bgp 65003\n"
+        with pytest.raises(TopologyError, match="no neighbor statement back"):
+            network_from_devices(
+                [
+                    parse_device(A_TEXT),
+                    parse_device(silent),
+                    parse_device(c_text),
+                ]
+            )
+
+    def test_duplicate_interface_address(self):
+        dup = B_TEXT.replace("10.99.0.2", "10.99.0.1")
+        with pytest.raises(TopologyError, match="assigned to both"):
+            network_from_devices([parse_device(A_TEXT), parse_device(dup)])
+
+    def test_device_without_bgp_rejected(self):
+        lonely = parse_device("hostname L\ninterface X\n ip address 1.1.1.1 255.255.255.0\n")
+        with pytest.raises(TopologyError, match="no BGP config"):
+            network_from_devices([lonely])
+
+
+class TestFigure3EndToEnd:
+    def test_policies_survive_config_round_trip(self):
+        from repro.evalcase.devices import build_figure3_from_files
+
+        result = build_figure3_from_files()
+        assert all(result.policy_results.values()), result.policy_results
+
+    def test_device_files_parse_standalone(self):
+        from repro.evalcase.devices import figure3_device_files
+
+        files = figure3_device_files()
+        assert set(files) == {"M", "R1", "R2", "DC", "MGMT", "ISP1", "ISP2"}
+        for name, text in files.items():
+            device = parse_device(text)
+            assert device.hostname == name
+            assert device.bgp is not None

@@ -1,0 +1,186 @@
+"""Tests for the BGP propagation simulator."""
+
+import pytest
+
+from repro.bgp import ConvergenceError, Network, simulate
+from repro.bgp.checks import as_path_at, has_route, learned_from
+from repro.config import parse_config
+
+
+def line_network():
+    """A - B - C, no policies."""
+    net = Network()
+    net.add_router("A", 65001)
+    net.add_router("B", 65002)
+    net.add_router("C", 65003)
+    net.connect("A", "B")
+    net.connect("B", "C")
+    net.router("A").originate("10.1.0.0/16")
+    return net
+
+
+class TestBasicPropagation:
+    def test_route_propagates_with_as_path(self):
+        ribs = simulate(line_network())
+        assert has_route(ribs, "A", "10.1.0.0/16")
+        assert has_route(ribs, "B", "10.1.0.0/16")
+        assert has_route(ribs, "C", "10.1.0.0/16")
+        assert as_path_at(ribs, "C", "10.1.0.0/16") == [65002, 65001]
+        assert learned_from(ribs, "C", "10.1.0.0/16") == "B"
+        assert learned_from(ribs, "A", "10.1.0.0/16") is None
+
+    def test_loop_prevention_in_cycle(self):
+        net = Network()
+        for name, asn in (("A", 65001), ("B", 65002), ("C", 65003)):
+            net.add_router(name, asn)
+        net.connect("A", "B")
+        net.connect("B", "C")
+        net.connect("A", "C")
+        net.router("A").originate("10.1.0.0/16")
+        ribs = simulate(net)
+        # C hears the route both directly (path [A]) and via B; prefers
+        # the shorter path.
+        assert as_path_at(ribs, "C", "10.1.0.0/16") == [65001]
+
+    def test_unknown_router_rejected(self):
+        net = Network()
+        net.add_router("A", 65001)
+        with pytest.raises(KeyError):
+            net.router("B")
+        with pytest.raises(KeyError):
+            net.connect("A", "B")
+        with pytest.raises(ValueError):
+            net.connect("A", "A")
+
+
+class TestPolicies:
+    def test_export_filter_blocks_prefix(self):
+        net = line_network()
+        b = net.router("B")
+        b.store = parse_config(
+            """
+ip prefix-list BLOCK seq 5 deny 10.1.0.0/16
+ip prefix-list BLOCK seq 10 permit 0.0.0.0/0 le 32
+route-map TO_C permit 10
+ match ip address prefix-list BLOCK
+"""
+        )
+        net.set_export_policy("B", "C", ("TO_C",))
+        ribs = simulate(net)
+        assert has_route(ribs, "B", "10.1.0.0/16")
+        assert not has_route(ribs, "C", "10.1.0.0/16")
+
+    def test_import_policy_sets_local_preference(self):
+        # Diamond: D learns A's prefix via B and via C; import policy
+        # prefers the longer-AS-path side via local-preference.
+        net = Network()
+        for name, asn in (
+            ("A", 65001),
+            ("B", 65002),
+            ("C", 65003),
+            ("X", 65004),
+            ("D", 65005),
+        ):
+            net.add_router(name, asn)
+        net.connect("A", "B")
+        net.connect("A", "C")
+        net.connect("C", "X")
+        net.connect("B", "D")
+        net.connect("X", "D")
+        net.router("A").originate("10.1.0.0/16")
+        d = net.router("D")
+        d.store = parse_config(
+            """
+route-map FROM_X permit 10
+ set local-preference 200
+"""
+        )
+        net.set_import_policy("D", "X", ("FROM_X",))
+        ribs = simulate(net)
+        # Without policy D would pick B (shorter path); local-pref wins.
+        assert learned_from(ribs, "D", "10.1.0.0/16") == "X"
+        entry = ribs["D"][list(ribs["D"])[0]]
+        assert entry.route.local_preference == 200
+
+    def test_local_preference_does_not_cross_ebgp(self):
+        net = line_network()
+        b = net.router("B")
+        b.store = parse_config(
+            "route-map FROM_A permit 10\n set local-preference 400"
+        )
+        net.set_import_policy("B", "A", ("FROM_A",))
+        ribs = simulate(net)
+        assert ribs["B"][list(ribs["B"])[0]].route.local_preference == 400
+        c_entry = ribs["C"][list(ribs["C"])[0]]
+        assert c_entry.route.local_preference == 100
+
+    def test_community_tag_and_filter_chain(self):
+        # B tags on import from A and filters on export to C: the chain
+        # of two maps on export is applied in order.
+        net = line_network()
+        b = net.router("B")
+        b.store = parse_config(
+            """
+ip community-list expanded TAGGED permit _65001:1_
+route-map FROM_A permit 10
+ set community 65001:1 additive
+route-map STRIP permit 10
+route-map TO_C deny 10
+ match community TAGGED
+route-map TO_C permit 20
+"""
+        )
+        net.set_import_policy("B", "A", ("FROM_A",))
+        net.set_export_policy("B", "C", ("STRIP", "TO_C"))
+        ribs = simulate(net)
+        assert has_route(ribs, "B", "10.1.0.0/16")
+        assert not has_route(ribs, "C", "10.1.0.0/16")
+
+    def test_shorter_as_path_wins_by_default(self):
+        net = Network()
+        for name, asn in (
+            ("A", 65001),
+            ("B", 65002),
+            ("C", 65003),
+            ("X", 65004),
+            ("D", 65005),
+        ):
+            net.add_router(name, asn)
+        net.connect("A", "B")
+        net.connect("A", "C")
+        net.connect("C", "X")
+        net.connect("B", "D")
+        net.connect("X", "D")
+        net.router("A").originate("10.1.0.0/16")
+        ribs = simulate(net)
+        assert learned_from(ribs, "D", "10.1.0.0/16") == "B"
+
+    def test_withdrawal_on_policy_is_stable(self):
+        # A route denied at import simply never appears; simulation
+        # converges without oscillation.
+        net = line_network()
+        c = net.router("C")
+        c.store = parse_config("route-map NOTHING deny 10")
+        net.set_import_policy("C", "B", ("NOTHING",))
+        ribs = simulate(net)
+        assert not has_route(ribs, "C", "10.1.0.0/16")
+
+    def test_metric_breaks_ties(self):
+        # Equal AS-path lengths: lower MED wins.
+        net = Network()
+        for name, asn in (("A", 65001), ("B", 65002), ("C", 65003), ("D", 65005)):
+            net.add_router(name, asn)
+        net.connect("A", "B")
+        net.connect("A", "C")
+        net.connect("B", "D")
+        net.connect("C", "D")
+        net.router("A").originate("10.1.0.0/16")
+        d = net.router("D")
+        d.store = parse_config(
+            "route-map FROM_B permit 10\n set metric 50\n"
+            "route-map FROM_C permit 10\n set metric 10\n"
+        )
+        net.set_import_policy("D", "B", ("FROM_B",))
+        net.set_import_policy("D", "C", ("FROM_C",))
+        ribs = simulate(net)
+        assert learned_from(ribs, "D", "10.1.0.0/16") == "C"

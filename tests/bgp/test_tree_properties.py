@@ -1,0 +1,82 @@
+"""Property tests: BGP propagation on random trees.
+
+On a tree with no policies, every router must learn every origination,
+via the unique tree path, with the AS path mirroring that path — an
+exhaustive sanity net for the propagation/selection machinery.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import Network, simulate
+from repro.bgp.checks import as_path_at, has_route, learned_from
+
+
+@st.composite
+def random_trees(draw):
+    """A random tree: each node's parent is a lower-numbered node."""
+    size = draw(st.integers(2, 9))
+    parents = [draw(st.integers(0, i - 1)) for i in range(1, size)]
+    origin = draw(st.integers(0, size - 1))
+    return size, parents, origin
+
+
+def build_tree(size, parents):
+    net = Network()
+    for idx in range(size):
+        net.add_router(f"N{idx}", 65001 + idx)
+    for child, parent in enumerate(parents, start=1):
+        net.connect(f"N{child}", f"N{parent}")
+    return net
+
+
+def tree_paths(size, parents, origin):
+    """Hop count and first-hop toward ``origin`` for every node."""
+    adjacency = {i: [] for i in range(size)}
+    for child, parent in enumerate(parents, start=1):
+        adjacency[child].append(parent)
+        adjacency[parent].append(child)
+    depth = {origin: 0}
+    next_hop = {}
+    frontier = [origin]
+    while frontier:
+        node = frontier.pop(0)
+        for neighbor in adjacency[node]:
+            if neighbor not in depth:
+                depth[neighbor] = depth[node] + 1
+                next_hop[neighbor] = node
+                frontier.append(neighbor)
+    return depth, next_hop
+
+
+class TestTreePropagation:
+    @given(random_trees())
+    @settings(max_examples=50, deadline=None)
+    def test_everyone_learns_via_the_tree_path(self, case):
+        size, parents, origin = case
+        net = build_tree(size, parents)
+        net.router(f"N{origin}").originate("10.0.0.0/8")
+        ribs = simulate(net)
+        depth, next_hop = tree_paths(size, parents, origin)
+        for idx in range(size):
+            name = f"N{idx}"
+            assert has_route(ribs, name, "10.0.0.0/8")
+            path = as_path_at(ribs, name, "10.0.0.0/8")
+            assert len(path) == depth[idx]
+            if idx == origin:
+                assert learned_from(ribs, name, "10.0.0.0/8") is None
+            else:
+                assert learned_from(ribs, name, "10.0.0.0/8") == f"N{next_hop[idx]}"
+                # The path ends at the origin's ASN.
+                assert path[-1] == 65001 + origin
+
+    @given(random_trees())
+    @settings(max_examples=25, deadline=None)
+    def test_simulation_is_deterministic(self, case):
+        size, parents, origin = case
+        ribs = []
+        for _ in range(2):
+            net = build_tree(size, parents)
+            net.router(f"N{origin}").originate("10.0.0.0/8")
+            ribs.append(simulate(net))
+        assert ribs[0] == ribs[1]

@@ -1,0 +1,157 @@
+"""Tests for prefix-lists, community-lists, and AS-path lists."""
+
+import pytest
+
+from repro.config import (
+    AsPathAccessList,
+    AsPathEntry,
+    CommunityList,
+    CommunityListEntry,
+    PrefixList,
+    PrefixListEntry,
+)
+from repro.netaddr import Ipv4Prefix
+from repro.route import BgpRoute
+
+
+def entry(seq, action, prefix, ge=None, le=None):
+    return PrefixListEntry(seq, action, Ipv4Prefix.parse(prefix), ge=ge, le=le)
+
+
+class TestPrefixListEntry:
+    def test_exact_match_without_ge_le(self):
+        e = entry(10, "permit", "10.0.0.0/8")
+        assert e.matches(Ipv4Prefix.parse("10.0.0.0/8"))
+        assert not e.matches(Ipv4Prefix.parse("10.1.0.0/16"))
+        assert not e.matches(Ipv4Prefix.parse("11.0.0.0/8"))
+
+    def test_le_allows_longer(self):
+        e = entry(10, "permit", "10.0.0.0/8", le=24)
+        assert e.matches(Ipv4Prefix.parse("10.0.0.0/8"))
+        assert e.matches(Ipv4Prefix.parse("10.1.0.0/16"))
+        assert e.matches(Ipv4Prefix.parse("10.1.2.0/24"))
+        assert not e.matches(Ipv4Prefix.parse("10.1.2.128/25"))
+
+    def test_ge_requires_longer(self):
+        e = entry(30, "permit", "1.0.0.0/20", ge=24)
+        assert not e.matches(Ipv4Prefix.parse("1.0.0.0/20"))
+        assert e.matches(Ipv4Prefix.parse("1.0.0.0/24"))
+        assert e.matches(Ipv4Prefix.parse("1.0.1.128/32"))
+        assert not e.matches(Ipv4Prefix.parse("2.0.0.0/24"))
+
+    def test_ge_and_le_window(self):
+        e = entry(10, "permit", "10.0.0.0/8", ge=16, le=24)
+        assert not e.matches(Ipv4Prefix.parse("10.0.0.0/8"))
+        assert e.matches(Ipv4Prefix.parse("10.1.0.0/16"))
+        assert e.matches(Ipv4Prefix.parse("10.1.2.0/24"))
+        assert not e.matches(Ipv4Prefix.parse("10.1.2.192/26"))
+
+    def test_rejects_ge_below_prefix_length(self):
+        with pytest.raises(ValueError):
+            entry(10, "permit", "10.0.0.0/16", ge=8)
+
+    def test_rejects_ge_above_le(self):
+        with pytest.raises(ValueError):
+            entry(10, "permit", "10.0.0.0/8", ge=24, le=16)
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError):
+            entry(10, "allow", "10.0.0.0/8")
+
+    def test_length_bounds(self):
+        assert entry(1, "permit", "10.0.0.0/8").length_bounds() == (8, 8)
+        assert entry(1, "permit", "10.0.0.0/8", le=24).length_bounds() == (8, 24)
+        assert entry(1, "permit", "10.0.0.0/8", ge=16).length_bounds() == (16, 32)
+        assert entry(1, "permit", "10.0.0.0/8", ge=9, le=10).length_bounds() == (9, 10)
+
+
+class TestPrefixList:
+    def test_first_match_wins(self):
+        pl = PrefixList(
+            "L",
+            (
+                entry(10, "deny", "10.1.0.0/16", le=32),
+                entry(20, "permit", "10.0.0.0/8", le=32),
+            ),
+        )
+        assert not pl.permits(Ipv4Prefix.parse("10.1.0.0/24"))
+        assert pl.permits(Ipv4Prefix.parse("10.2.0.0/24"))
+
+    def test_implicit_deny(self):
+        pl = PrefixList("L", (entry(10, "permit", "10.0.0.0/8"),))
+        assert not pl.permits(Ipv4Prefix.parse("11.0.0.0/8"))
+
+    def test_paper_d1_list(self):
+        # The D1 list from the paper's Section 2.1.
+        pl = PrefixList(
+            "D1",
+            (
+                entry(10, "permit", "10.0.0.0/8", le=24),
+                entry(20, "permit", "20.0.0.0/16", le=32),
+                entry(30, "permit", "1.0.0.0/20", ge=24),
+            ),
+        )
+        assert pl.permits(Ipv4Prefix.parse("10.5.0.0/24"))
+        assert not pl.permits(Ipv4Prefix.parse("10.5.0.0/25"))
+        assert pl.permits(Ipv4Prefix.parse("20.0.5.0/30"))
+        assert pl.permits(Ipv4Prefix.parse("1.0.8.0/26"))
+        assert not pl.permits(Ipv4Prefix.parse("1.0.0.0/20"))
+
+
+class TestCommunityList:
+    def test_expanded_matches_any_community(self):
+        cl = CommunityList(
+            "C", (CommunityListEntry("permit", regex="_300:3_"),), expanded=True
+        )
+        assert cl.permits(BgpRoute.build("10.0.0.0/8", communities=["300:3"]))
+        assert cl.permits(
+            BgpRoute.build("10.0.0.0/8", communities=["1:1", "300:3"])
+        )
+        assert not cl.permits(BgpRoute.build("10.0.0.0/8", communities=["1300:3"]))
+        assert not cl.permits(BgpRoute.build("10.0.0.0/8"))
+
+    def test_expanded_deny_shadows_later_permit(self):
+        cl = CommunityList(
+            "C",
+            (
+                CommunityListEntry("deny", regex="^300:1$"),
+                CommunityListEntry("permit", regex="^300:"),
+            ),
+            expanded=True,
+        )
+        assert not cl.permits(BgpRoute.build("10.0.0.0/8", communities=["300:1"]))
+        assert cl.permits(BgpRoute.build("10.0.0.0/8", communities=["300:2"]))
+
+    def test_standard_requires_all_listed(self):
+        cl = CommunityList(
+            "C",
+            (CommunityListEntry("permit", communities=("100:1", "100:2")),),
+            expanded=False,
+        )
+        assert cl.permits(
+            BgpRoute.build("10.0.0.0/8", communities=["100:1", "100:2", "9:9"])
+        )
+        assert not cl.permits(BgpRoute.build("10.0.0.0/8", communities=["100:1"]))
+
+    def test_entry_requires_exactly_one_body(self):
+        with pytest.raises(ValueError):
+            CommunityListEntry("permit")
+        with pytest.raises(ValueError):
+            CommunityListEntry("permit", regex="x", communities=("1:1",))
+
+
+class TestAsPathAccessList:
+    def test_paper_d0_list(self):
+        al = AsPathAccessList("D0", (AsPathEntry("permit", "_32$"),))
+        assert al.permits(BgpRoute.build("5.0.0.0/8", as_path=[100, 32]))
+        assert al.permits(BgpRoute.build("5.0.0.0/8", as_path=[32]))
+        assert not al.permits(BgpRoute.build("5.0.0.0/8", as_path=[32, 100]))
+        assert not al.permits(BgpRoute.build("5.0.0.0/8"))
+
+    def test_first_match_wins(self):
+        al = AsPathAccessList(
+            "A",
+            (AsPathEntry("deny", "_100_"), AsPathEntry("permit", ".*")),
+        )
+        assert not al.permits(BgpRoute.build("5.0.0.0/8", as_path=[100]))
+        assert al.permits(BgpRoute.build("5.0.0.0/8", as_path=[200]))

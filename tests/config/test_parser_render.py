@@ -1,0 +1,199 @@
+"""Parser and renderer tests, including the paper's exact listings."""
+
+import pytest
+
+from repro.config import (
+    ConfigParseError,
+    MatchAsPath,
+    MatchCommunity,
+    MatchLocalPreference,
+    MatchPrefixList,
+    SetMetric,
+    parse_config,
+    render_config,
+)
+from repro.config.render import render_route_map
+from repro.netaddr import Ipv4Prefix
+from repro.route import BgpRoute, Packet
+
+ISP_OUT_TEXT = """
+ip as-path access-list D0 permit _32$
+
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+"""
+
+SNIPPET_TEXT = """
+ip community-list expanded COM_LIST permit _300:3_
+ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23
+route-map SET_METRIC permit 10
+ match community COM_LIST
+ match ip address prefix-list PREFIX_100
+ set metric 55
+"""
+
+
+class TestPaperListings:
+    def test_parse_isp_out(self):
+        store = parse_config(ISP_OUT_TEXT)
+        rm = store.route_map("ISP_OUT")
+        assert [s.seq for s in rm.stanzas] == [10, 20, 30]
+        assert [s.action for s in rm.stanzas] == ["deny", "deny", "permit"]
+        assert rm.stanzas[0].matches == (MatchAsPath(("D0",)),)
+        assert rm.stanzas[1].matches == (MatchPrefixList(("D1",)),)
+        assert rm.stanzas[2].matches == (MatchLocalPreference(300),)
+        d1 = store.prefix_list("D1")
+        assert len(d1.entries) == 3
+        assert d1.entries[2].ge == 24
+
+    def test_parse_snippet(self):
+        store = parse_config(SNIPPET_TEXT)
+        rm = store.route_map("SET_METRIC")
+        stanza = rm.stanzas[0]
+        assert stanza.action == "permit"
+        assert MatchCommunity(("COM_LIST",)) in stanza.matches
+        assert stanza.sets == (SetMetric(55),)
+        pl = store.prefix_list("PREFIX_100")
+        assert pl.entries[0].le == 23
+        assert pl.entries[0].seq == 5  # auto-assigned
+
+    def test_round_trip(self):
+        store = parse_config(ISP_OUT_TEXT)
+        rendered = render_config(store)
+        reparsed = parse_config(rendered)
+        assert render_config(reparsed) == rendered
+        # Semantics preserved: same behaviour on a probe route.
+        probe = BgpRoute.build("10.5.0.0/24", as_path=[7, 32])
+        rm1 = store.route_map("ISP_OUT")
+        rm2 = reparsed.route_map("ISP_OUT")
+        assert rm1 == rm2
+
+
+class TestAclParsing:
+    ACL_TEXT = """
+ip access-list extended EDGE_IN
+ 10 deny ip 10.0.0.0 0.255.255.255 any
+ 20 permit tcp any host 192.0.2.1 eq 443
+ 30 permit udp 172.16.0.0 0.15.255.255 range 1000 2000 any
+ 40 permit tcp any any established
+"""
+
+    def test_parse_acl(self):
+        store = parse_config(self.ACL_TEXT)
+        acl = store.acl("EDGE_IN")
+        assert len(acl.rules) == 4
+        assert acl.rules[0].action == "deny"
+        assert acl.rules[1].dst_ports.op == "eq"
+        assert acl.rules[1].dst_ports.values == (443,)
+        assert acl.rules[2].src_ports.op == "range"
+        assert acl.rules[3].established
+
+    def test_acl_semantics(self):
+        acl = parse_config(self.ACL_TEXT).acl("EDGE_IN")
+        assert not acl.permits(Packet.build("10.1.1.1", "192.0.2.1", dst_port=443))
+        assert acl.permits(Packet.build("11.1.1.1", "192.0.2.1", dst_port=443))
+        assert not acl.permits(Packet.build("11.1.1.1", "192.0.2.2", dst_port=443))
+        assert acl.permits(
+            Packet.build("11.1.1.1", "192.0.2.2", tcp_established=True)
+        )
+        assert acl.permits(
+            Packet.build("172.16.9.9", "8.8.8.8", protocol=17, src_port=1500)
+        )
+        assert not acl.permits(
+            Packet.build("172.16.9.9", "8.8.8.8", protocol=17, src_port=999)
+        )
+
+    def test_acl_round_trip(self):
+        store = parse_config(self.ACL_TEXT)
+        rendered = render_config(store)
+        assert parse_config(rendered).acl("EDGE_IN") == store.acl("EDGE_IN")
+
+    def test_auto_sequence_numbers(self):
+        text = """
+ip access-list extended A
+ permit tcp any any
+ deny ip any any
+"""
+        acl = parse_config(text).acl("A")
+        assert [r.seq for r in acl.rules] == [10, 20]
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "frobnicate",
+            "ip wibble FOO",
+            "route-map X permit",
+            "route-map X allow 10",
+            "ip prefix-list L permit 10.0.0.1/8",
+            "ip prefix-list L permit 10.0.0.0/8 ge",
+            "ip community-list sideways C permit x",
+            "ip access-list extended A\n permit banana any any",
+            "ip access-list extended A\n permit tcp any any eq",
+            "route-map X permit 10\n match ip address D1",
+            "route-map X permit 10\n set flavor vanilla",
+            "route-map X permit 10\n match colour blue",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ConfigParseError):
+            parse_config(text)
+
+    def test_rejects_duplicate_stanza_seq(self):
+        text = """
+route-map X permit 10
+route-map X deny 10
+"""
+        with pytest.raises(ConfigParseError):
+            parse_config(text)
+
+    def test_established_on_udp_rejected(self):
+        with pytest.raises(ConfigParseError):
+            parse_config("ip access-list extended A\n permit udp any any established")
+
+    def test_ports_on_icmp_rejected(self):
+        with pytest.raises(ConfigParseError):
+            parse_config("ip access-list extended A\n permit icmp any any eq 80")
+
+
+class TestRenderDetails:
+    def test_route_map_render_matches_paper_shape(self):
+        store = parse_config(ISP_OUT_TEXT)
+        text = render_route_map(store.route_map("ISP_OUT"))
+        assert "route-map ISP_OUT deny 10" in text
+        assert " match as-path D0" in text
+        assert " match local-preference 300" in text
+
+    def test_set_clauses_render(self):
+        text = """
+route-map RM permit 10
+ set metric 55
+ set local-preference 200
+ set community 300:3 65000:1 additive
+ set ip next-hop 10.0.0.1
+ set as-path prepend 65000 65000
+ set tag 7
+ set weight 100
+"""
+        store = parse_config(text)
+        rendered = render_route_map(store.route_map("RM"))
+        for needle in [
+            "set metric 55",
+            "set local-preference 200",
+            "set community 300:3 65000:1 additive",
+            "set ip next-hop 10.0.0.1",
+            "set as-path prepend 65000 65000",
+            "set tag 7",
+            "set weight 100",
+        ]:
+            assert needle in rendered
+        assert store.route_map("RM") == parse_config(rendered).route_map("RM")

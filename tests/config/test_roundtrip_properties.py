@@ -1,0 +1,241 @@
+"""Property tests: render -> parse round-trips for every config object."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    Acl,
+    AclRule,
+    AsPathAccessList,
+    AsPathEntry,
+    CommunityList,
+    CommunityListEntry,
+    PortSpec,
+    PrefixList,
+    PrefixListEntry,
+    ProtocolSpec,
+    RouteMap,
+    RouteMapStanza,
+    parse_config,
+)
+from repro.config.matches import (
+    MatchAsPath,
+    MatchCommunity,
+    MatchLocalPreference,
+    MatchMetric,
+    MatchPrefixList,
+    MatchTag,
+)
+from repro.config.render import render_object
+from repro.config.sets import (
+    SetAsPathPrepend,
+    SetCommunity,
+    SetLocalPreference,
+    SetMetric,
+    SetNextHop,
+    SetTag,
+    SetWeight,
+)
+from repro.netaddr import Ipv4Address, Ipv4Prefix, Ipv4Wildcard
+
+names = st.from_regex(r"[A-Z][A-Z0-9_]{0,8}", fullmatch=True)
+actions = st.sampled_from(["permit", "deny"])
+communities = st.tuples(st.integers(0, 65535), st.integers(0, 65535)).map(
+    lambda t: f"{t[0]}:{t[1]}"
+)
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(st.integers(0, 32))
+    raw = draw(st.integers(0, 0xFFFFFFFF))
+    return Ipv4Prefix.canonical(Ipv4Address(raw), length)
+
+
+@st.composite
+def prefix_list_entries(draw, seq):
+    prefix = draw(prefixes())
+    ge = le = None
+    kind = draw(st.integers(0, 3))
+    if kind == 1:
+        ge = draw(st.integers(prefix.length, 32))
+    elif kind == 2:
+        le = draw(st.integers(prefix.length, 32))
+    elif kind == 3:
+        ge = draw(st.integers(prefix.length, 32))
+        le = draw(st.integers(ge, 32))
+    return PrefixListEntry(seq, draw(actions), prefix, ge=ge, le=le)
+
+
+@st.composite
+def prefix_lists(draw):
+    count = draw(st.integers(1, 4))
+    entries = tuple(
+        draw(prefix_list_entries(seq=10 * (i + 1))) for i in range(count)
+    )
+    return PrefixList(draw(names), entries)
+
+
+@st.composite
+def community_lists(draw):
+    expanded = draw(st.booleans())
+    count = draw(st.integers(1, 3))
+    entries = []
+    for _ in range(count):
+        if expanded:
+            body = draw(communities)
+            entries.append(CommunityListEntry(draw(actions), regex=f"_{body}_"))
+        else:
+            members = tuple(
+                draw(st.lists(communities, min_size=1, max_size=3, unique=True))
+            )
+            entries.append(CommunityListEntry(draw(actions), communities=members))
+    return CommunityList(draw(names), tuple(entries), expanded=expanded)
+
+
+@st.composite
+def as_path_lists(draw):
+    count = draw(st.integers(1, 3))
+    entries = tuple(
+        AsPathEntry(draw(actions), f"_{draw(st.integers(1, 65535))}$")
+        for _ in range(count)
+    )
+    return AsPathAccessList(draw(names), entries)
+
+
+@st.composite
+def match_clauses(draw):
+    kind = draw(st.integers(0, 5))
+    if kind == 0:
+        return MatchPrefixList(tuple(draw(st.lists(names, min_size=1, max_size=2))))
+    if kind == 1:
+        return MatchCommunity(tuple(draw(st.lists(names, min_size=1, max_size=2))))
+    if kind == 2:
+        return MatchAsPath(tuple(draw(st.lists(names, min_size=1, max_size=2))))
+    if kind == 3:
+        return MatchLocalPreference(draw(st.integers(0, 4294967295)))
+    if kind == 4:
+        return MatchMetric(draw(st.integers(0, 4294967295)))
+    return MatchTag(draw(st.integers(0, 4294967295)))
+
+
+@st.composite
+def set_clauses(draw):
+    kind = draw(st.integers(0, 6))
+    if kind == 0:
+        return SetMetric(draw(st.integers(0, 4294967295)))
+    if kind == 1:
+        return SetLocalPreference(draw(st.integers(0, 4294967295)))
+    if kind == 2:
+        return SetCommunity(
+            tuple(draw(st.lists(communities, min_size=1, max_size=3))),
+            additive=draw(st.booleans()),
+        )
+    if kind == 3:
+        return SetNextHop(Ipv4Address(draw(st.integers(0, 0xFFFFFFFF))))
+    if kind == 4:
+        return SetTag(draw(st.integers(0, 4294967295)))
+    if kind == 5:
+        return SetWeight(draw(st.integers(0, 65535)))
+    return SetAsPathPrepend(
+        tuple(draw(st.lists(st.integers(1, 65535), min_size=1, max_size=3)))
+    )
+
+
+@st.composite
+def route_map_objects(draw):
+    count = draw(st.integers(1, 4))
+    stanzas = []
+    for idx in range(count):
+        action = draw(actions)
+        matches = tuple(draw(st.lists(match_clauses(), max_size=2)))
+        sets = (
+            tuple(draw(st.lists(set_clauses(), max_size=2, unique_by=type)))
+            if action == "permit"
+            else ()
+        )
+        stanzas.append(
+            RouteMapStanza(10 * (idx + 1), action, matches=matches, sets=sets)
+        )
+    return RouteMap(draw(names), tuple(stanzas))
+
+
+@st.composite
+def port_specs(draw):
+    op = draw(st.sampled_from(["any", "eq", "neq", "lt", "gt", "range"]))
+    if op == "any":
+        return PortSpec()
+    if op in ("lt", "gt"):
+        return PortSpec(op, (draw(st.integers(0, 65535)),))
+    if op == "range":
+        lo = draw(st.integers(0, 65535))
+        hi = draw(st.integers(lo, 65535))
+        return PortSpec("range", (lo, hi))
+    values = tuple(draw(st.lists(st.integers(0, 65535), min_size=1, max_size=3)))
+    return PortSpec(op, values)
+
+
+@st.composite
+def endpoints(draw):
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return Ipv4Wildcard.any()
+    if kind == 1:
+        return Ipv4Wildcard.host(Ipv4Address(draw(st.integers(0, 0xFFFFFFFF))))
+    return Ipv4Wildcard.from_prefix(draw(prefixes()))
+
+
+@st.composite
+def acl_objects(draw):
+    count = draw(st.integers(1, 4))
+    rules = []
+    for idx in range(count):
+        protocol = ProtocolSpec(draw(st.sampled_from(["ip", "tcp", "udp", "icmp"])))
+        ports = protocol.carries_ports()
+        rules.append(
+            AclRule(
+                seq=10 * (idx + 1),
+                action=draw(actions),
+                protocol=protocol,
+                src=draw(endpoints()),
+                dst=draw(endpoints()),
+                src_ports=draw(port_specs()) if ports else PortSpec(),
+                dst_ports=draw(port_specs()) if ports else PortSpec(),
+                established=(
+                    draw(st.booleans()) if protocol.name == "tcp" else False
+                ),
+            )
+        )
+    return Acl(draw(names), tuple(rules))
+
+
+class TestRoundTrips:
+    @given(prefix_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_prefix_list_round_trip(self, pl):
+        store = parse_config(render_object(pl))
+        assert store.prefix_list(pl.name) == pl
+
+    @given(community_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_community_list_round_trip(self, cl):
+        store = parse_config(render_object(cl))
+        assert store.community_list(cl.name) == cl
+
+    @given(as_path_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_as_path_list_round_trip(self, al):
+        store = parse_config(render_object(al))
+        assert store.as_path_list(al.name) == al
+
+    @given(route_map_objects())
+    @settings(max_examples=80, deadline=None)
+    def test_route_map_round_trip(self, rm):
+        store = parse_config(render_object(rm))
+        assert store.route_map(rm.name) == rm
+
+    @given(acl_objects())
+    @settings(max_examples=80, deadline=None)
+    def test_acl_round_trip(self, acl):
+        store = parse_config(render_object(acl))
+        assert store.acl(acl.name) == acl

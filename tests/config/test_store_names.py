@@ -1,0 +1,135 @@
+"""Tests for the config store and insertion-time list renaming."""
+
+import pytest
+
+from repro.config import ConfigStore, parse_config
+from repro.config.names import plan_renames, rename_snippet_lists
+from repro.config.routemap import RouteMap
+from repro.route import BgpRoute
+
+
+class TestConfigStore:
+    def test_duplicate_definitions_rejected(self):
+        store = parse_config("route-map RM permit 10")
+        with pytest.raises(ValueError):
+            store.add_route_map(RouteMap("RM", ()))
+        store.add_route_map(RouteMap("RM", ()), replace=True)
+        assert len(store.route_map("RM")) == 0
+
+    def test_dangling_lookups_raise_with_name(self):
+        store = ConfigStore()
+        for lookup in (
+            lambda: store.prefix_list("NOPE"),
+            lambda: store.community_list("NOPE"),
+            lambda: store.as_path_list("NOPE"),
+            lambda: store.route_map("NOPE"),
+            lambda: store.acl("NOPE"),
+        ):
+            with pytest.raises(KeyError, match="NOPE"):
+                lookup()
+
+    def test_copy_is_independent(self):
+        store = parse_config("route-map RM permit 10")
+        clone = store.copy()
+        clone.add_route_map(RouteMap("OTHER", ()))
+        assert not store.has_route_map("OTHER")
+        assert clone.has_route_map("RM")
+
+    def test_merged_with(self):
+        a = parse_config("route-map A permit 10")
+        b = parse_config("ip prefix-list P seq 5 permit 10.0.0.0/8")
+        merged = a.merged_with(b)
+        assert merged.has_route_map("A")
+        assert merged.has_prefix_list("P")
+
+    def test_merged_with_collision_raises(self):
+        a = parse_config("route-map A permit 10")
+        b = parse_config("route-map A deny 10")
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_list_names(self):
+        store = parse_config(
+            "ip prefix-list P seq 5 permit 10.0.0.0/8\n"
+            "ip community-list expanded C permit _1:1_\n"
+            "ip as-path access-list A permit _1_\n"
+        )
+        assert set(store.list_names()) == {"P", "C", "A"}
+
+
+SNIPPET = """
+ip community-list expanded COM_LIST permit _300:3_
+ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23
+route-map SET_METRIC permit 10
+ match community COM_LIST
+ match ip address prefix-list PREFIX_100
+ set metric 55
+"""
+
+
+class TestRenaming:
+    def test_numbered_family_continued(self):
+        target = parse_config(
+            "ip as-path access-list D0 permit _32$\n"
+            "ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24\n"
+        )
+        renames = plan_renames(parse_config(SNIPPET), target)
+        assert renames == {"COM_LIST": "D2", "PREFIX_100": "D3"}
+
+    def test_no_family_keeps_names(self):
+        target = parse_config(
+            "ip prefix-list CORP_NETS seq 10 permit 10.0.0.0/8 le 24"
+        )
+        renames = plan_renames(parse_config(SNIPPET), target)
+        assert renames == {"COM_LIST": "COM_LIST", "PREFIX_100": "PREFIX_100"}
+
+    def test_single_numbered_name_treated_as_family(self):
+        # "PREFIX_100" is itself a numbered family; snippet lists continue
+        # it (the Fig. 2 behaviour generalised).
+        target = parse_config(
+            "ip prefix-list PREFIX_100 seq 10 permit 99.0.0.0/8"
+        )
+        renames = plan_renames(parse_config(SNIPPET), target)
+        assert renames == {"COM_LIST": "PREFIX_101", "PREFIX_100": "PREFIX_102"}
+
+    def test_collisions_suffixed_without_family(self):
+        target = parse_config(
+            "ip prefix-list PREFIX_100 seq 10 permit 99.0.0.0/8\n"
+            "ip prefix-list EDGE seq 10 permit 98.0.0.0/8\n"
+        )
+        renames = plan_renames(parse_config(SNIPPET), target)
+        assert renames["PREFIX_100"] == "PREFIX_100_2"
+        assert renames["COM_LIST"] == "COM_LIST"
+
+    def test_empty_target_keeps_names(self):
+        renames = plan_renames(parse_config(SNIPPET), ConfigStore())
+        assert renames["COM_LIST"] == "COM_LIST"
+
+    def test_references_rewritten_consistently(self):
+        target = parse_config(
+            "ip as-path access-list D0 permit _32$\n"
+            "ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24\n"
+        )
+        renamed = rename_snippet_lists(parse_config(SNIPPET), target)
+        rm = list(renamed.route_maps())[0]
+        referenced = set()
+        for clause in rm.stanzas[0].matches:
+            referenced.update(clause.names)
+        assert referenced == {"D2", "D3"}
+        # Semantics preserved after rename + merge.
+        merged = target.merged_with(renamed)
+        from repro.analysis import eval_route_map
+
+        route = BgpRoute.build("100.0.0.0/16", communities=["300:3"])
+        result = eval_route_map(rm, merged, route)
+        assert result.permitted()
+        assert result.output.metric == 55
+
+    def test_mixed_family_not_continued(self):
+        target = parse_config(
+            "ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24\n"
+            "ip prefix-list OTHER seq 10 permit 99.0.0.0/8\n"
+        )
+        renames = plan_renames(parse_config(SNIPPET), target)
+        # Two different stems -> no single family -> keep names.
+        assert renames["COM_LIST"] == "COM_LIST"

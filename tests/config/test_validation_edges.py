@@ -1,0 +1,122 @@
+"""Edge-case validation tests across the configuration model."""
+
+import pytest
+
+from repro.config import (
+    Acl,
+    AclRule,
+    PortSpec,
+    ProtocolSpec,
+    RouteMap,
+    RouteMapStanza,
+)
+from repro.config.render import render_object
+from repro.netaddr import Ipv4Wildcard
+
+
+class TestPortSpec:
+    def test_any_matches_everything(self):
+        spec = PortSpec()
+        assert spec.matches(0) and spec.matches(65535)
+        assert spec.render() == ""
+
+    def test_eq_multiple_values(self):
+        spec = PortSpec("eq", (80, 443))
+        assert spec.matches(80) and spec.matches(443)
+        assert not spec.matches(8080)
+        assert spec.render() == "eq 80 443"
+
+    def test_neq(self):
+        spec = PortSpec("neq", (80,))
+        assert not spec.matches(80)
+        assert spec.matches(81)
+        assert spec.to_intervals().size() == 65535
+
+    def test_lt_gt_boundaries(self):
+        assert PortSpec("lt", (1,)).matches(0)
+        assert not PortSpec("lt", (1,)).matches(1)
+        assert PortSpec("lt", (0,)).to_intervals().is_empty()
+        assert PortSpec("gt", (65534,)).matches(65535)
+        assert PortSpec("gt", (65535,)).to_intervals().is_empty()
+
+    @pytest.mark.parametrize(
+        "op,values",
+        [
+            ("wibble", (1,)),
+            ("eq", ()),
+            ("range", (1,)),
+            ("range", (5, 3)),
+            ("lt", (1, 2)),
+            ("eq", (70000,)),
+        ],
+    )
+    def test_rejects_malformed(self, op, values):
+        with pytest.raises(ValueError):
+            PortSpec(op, values)
+
+
+class TestProtocolSpec:
+    def test_named(self):
+        spec = ProtocolSpec("tcp")
+        assert spec.number() == 6
+        assert spec.carries_ports()
+        assert spec.matches(6) and not spec.matches(17)
+
+    def test_numeric(self):
+        spec = ProtocolSpec("89")
+        assert spec.number() == 89
+        assert not spec.carries_ports()
+
+    def test_ip_matches_all(self):
+        spec = ProtocolSpec("ip")
+        assert spec.number() is None
+        assert spec.matches(0) and spec.matches(255)
+        assert spec.to_intervals().size() == 256
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ProtocolSpec("carrier-pigeon")
+        with pytest.raises(ValueError):
+            ProtocolSpec("300")
+
+
+class TestSequencingValidation:
+    def test_acl_rejects_unsorted_rules(self):
+        rule = AclRule(
+            seq=20,
+            action="permit",
+            protocol=ProtocolSpec("ip"),
+            src=Ipv4Wildcard.any(),
+            dst=Ipv4Wildcard.any(),
+        )
+        with pytest.raises(ValueError):
+            Acl("A", (rule, rule.with_seq(10)))
+        with pytest.raises(ValueError):
+            Acl("A", (rule, rule))
+
+    def test_route_map_rejects_unsorted_stanzas(self):
+        with pytest.raises(ValueError):
+            RouteMap("R", (RouteMapStanza(20, "permit"), RouteMapStanza(10, "deny")))
+
+    def test_route_map_lookup_helpers(self):
+        rm = RouteMap("R", (RouteMapStanza(10, "permit"), RouteMapStanza(20, "deny")))
+        assert rm.stanza_at(20).action == "deny"
+        assert rm.index_of(10) == 0
+        with pytest.raises(KeyError):
+            rm.stanza_at(99)
+        with pytest.raises(KeyError):
+            rm.index_of(99)
+        assert len(rm) == 2
+
+    def test_insert_bounds(self):
+        rm = RouteMap("R", (RouteMapStanza(10, "permit"),))
+        with pytest.raises(ValueError):
+            rm.insert(RouteMapStanza(10, "deny"), 5)
+        with pytest.raises(ValueError):
+            rm.insert(RouteMapStanza(10, "deny"), -1)
+
+
+class TestRenderObjectErrors:
+    def test_unknown_object_rejected(self):
+        with pytest.raises(TypeError):
+            render_object(42)

@@ -1,0 +1,152 @@
+"""End-to-end property tests for the disambiguation algorithm (§4).
+
+The main theorem behind the paper's algorithm: if the user's intended
+semantics ``M'`` satisfies the §4 conditions (every input is handled as
+before or by the new rule, and the intent is realisable by a single
+insertion), then binary search over the overlapping rules finds an
+insertion point implementing ``M'``, asking at most
+``ceil(log2(overlaps+1))`` questions.
+
+We generate random policies over a probeable scalar domain, pick a
+random intended insertion position, drive disambiguation with an oracle
+answering from the reference policy, and check that the produced policy
+is *behaviourally equivalent* to the reference (the found position may
+legitimately differ when several positions are equivalent).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import eval_acl, eval_route_map
+from repro.config import parse_config
+from repro.config.acl import Acl
+from repro.config.names import rename_snippet_lists
+from repro.config.routemap import RouteMap
+from repro.core import CountingOracle, IntentOracle, disambiguate_acl_rule, disambiguate_stanza
+from repro.core.disambiguator import DisambiguationMode
+from repro.route import BgpRoute, Packet
+
+MODES = [DisambiguationMode.FULL, DisambiguationMode.LINEAR]
+
+
+@st.composite
+def scalar_route_map_case(draw):
+    """(store, snippet, intended position) over metric-match guards."""
+    n = draw(st.integers(1, 6))
+    lines = []
+    metrics = draw(
+        st.lists(st.integers(0, 7), min_size=n, max_size=n, unique=True)
+    )
+    for idx, metric in enumerate(metrics):
+        action = draw(st.sampled_from(["permit", "deny"]))
+        lines.append(f"route-map RM {action} {10 * (idx + 1)}")
+        lines.append(f" match metric {metric}")
+        if action == "permit" and draw(st.booleans()):
+            lines.append(f" set tag {idx + 1}")
+    store = parse_config("\n".join(lines))
+    # The new stanza matches everything (overlaps every stanza).
+    snippet_action = draw(st.sampled_from(["permit", "deny"]))
+    snippet_lines = [f"route-map NEW {snippet_action} 10"]
+    if snippet_action == "permit":
+        snippet_lines.append(" set local-preference 777")
+    snippet = parse_config("\n".join(snippet_lines))
+    position = draw(st.integers(0, n))
+    return store, snippet, position
+
+
+def probe_routes():
+    return [BgpRoute.build("1.0.0.0/8", metric=m) for m in range(0, 9)]
+
+
+class TestRouteMapPlacement:
+    @given(scalar_route_map_case(), st.sampled_from(MODES))
+    @settings(max_examples=60, deadline=None)
+    def test_found_placement_is_behaviourally_correct(self, case, mode):
+        store, snippet, position = case
+        target = store.route_map("RM")
+        renamed = rename_snippet_lists(snippet, store)
+        new_stanza = list(renamed.route_maps())[0].stanzas[0]
+
+        reference = target.insert(new_stanza, position)
+
+        def intended(route):
+            return eval_route_map(reference, store, route).behaviour_key()
+
+        oracle = CountingOracle(IntentOracle(intended))
+        result = disambiguate_stanza(store, "RM", renamed, oracle, mode)
+        produced = result.store.route_map("RM")
+
+        for route in probe_routes():
+            got = eval_route_map(produced, result.store, route).behaviour_key()
+            want = eval_route_map(reference, store, route).behaviour_key()
+            assert got == want, (route.metric, result.position, position)
+
+    @given(scalar_route_map_case())
+    @settings(max_examples=60, deadline=None)
+    def test_question_count_is_logarithmic(self, case):
+        store, snippet, position = case
+        target = store.route_map("RM")
+        renamed = rename_snippet_lists(snippet, store)
+        new_stanza = list(renamed.route_maps())[0].stanzas[0]
+        reference = target.insert(new_stanza, position)
+
+        def intended(route):
+            return eval_route_map(reference, store, route).behaviour_key()
+
+        oracle = CountingOracle(IntentOracle(intended))
+        result = disambiguate_stanza(store, "RM", renamed, oracle)
+        k = len(result.overlaps)
+        assert result.question_count <= math.ceil(math.log2(k + 1)) if k else (
+            result.question_count == 0
+        )
+
+
+@st.composite
+def acl_case(draw):
+    """(store, snippet, intended position) over dst-port guards."""
+    n = draw(st.integers(1, 5))
+    ports = draw(
+        st.lists(st.integers(1, 9), min_size=n, max_size=n, unique=True)
+    )
+    lines = ["ip access-list extended FW"]
+    for idx, port in enumerate(ports):
+        action = draw(st.sampled_from(["permit", "deny"]))
+        lines.append(f" {10 * (idx + 1)} {action} tcp any any eq {port}")
+    store = parse_config("\n".join(lines))
+    snippet_action = draw(st.sampled_from(["permit", "deny"]))
+    snippet = parse_config(
+        f"ip access-list extended NEW\n 10 {snippet_action} tcp any any"
+    )
+    position = draw(st.integers(0, n))
+    return store, snippet, position
+
+
+def probe_packets():
+    return [
+        Packet.build("1.1.1.1", "2.2.2.2", dst_port=port) for port in range(0, 11)
+    ]
+
+
+class TestAclPlacement:
+    @given(acl_case(), st.sampled_from(MODES))
+    @settings(max_examples=50, deadline=None)
+    def test_found_placement_is_behaviourally_correct(self, case, mode):
+        store, snippet, position = case
+        target = store.acl("FW")
+        new_rule = list(snippet.acls())[0].rules[0]
+        reference = target.insert(new_rule, position)
+
+        def intended(packet):
+            return eval_acl(reference, packet).behaviour_key()
+
+        oracle = CountingOracle(IntentOracle(intended))
+        result = disambiguate_acl_rule(store, "FW", snippet, oracle, mode)
+        produced = result.store.acl("FW")
+
+        for packet in probe_packets():
+            assert (
+                eval_acl(produced, packet).behaviour_key()
+                == eval_acl(reference, packet).behaviour_key()
+            ), (packet.dst_port, result.position, position)

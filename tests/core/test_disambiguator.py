@@ -1,0 +1,281 @@
+"""Tests for the disambiguation algorithm (§4)."""
+
+import math
+
+import pytest
+
+from repro.analysis import eval_route_map
+from repro.config import parse_config
+from repro.config.names import rename_snippet_lists
+from repro.core import (
+    CountingOracle,
+    DisambiguationMode,
+    IntentOracle,
+    ScriptedOracle,
+    disambiguate_acl_rule,
+    disambiguate_stanza,
+)
+from repro.core.disambiguator import acl_overlaps, route_map_overlaps
+from repro.core.errors import DisambiguationError
+from repro.route import BgpRoute
+
+ISP_OUT = """
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+"""
+
+SNIPPET = """
+ip community-list expanded COM_LIST permit _300:3_
+ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23
+route-map SET_METRIC permit 10
+ match community COM_LIST
+ match ip address prefix-list PREFIX_100
+ set metric 55
+"""
+
+
+def paper_setup():
+    store = parse_config(ISP_OUT)
+    snippet = rename_snippet_lists(parse_config(SNIPPET), store)
+    return store, snippet
+
+
+class TestOverlaps:
+    def test_paper_snippet_overlaps_all_three_stanzas(self):
+        store, snippet = paper_setup()
+        # The new stanza's space (prefix 100.0.0.0/16..23 + community
+        # 300:3) intersects: stanza 10 (a route can also have AS path
+        # ending in 32), stanza 20 (no: 100.0.0.0/16 is outside D1...)
+        overlaps = route_map_overlaps(store.route_map("ISP_OUT"), store, snippet)
+        # Stanza 10 matches on as-path (independent field) -> overlap.
+        # Stanza 20 matches D1 prefixes only, disjoint from 100.0.0.0/16.
+        # Stanza 30 matches local-preference 300 (independent) -> overlap.
+        assert overlaps == [0, 2]
+
+    def test_renamed_lists_follow_family(self):
+        store, snippet = paper_setup()
+        # D0/D1 exist; snippet lists continue the family as in Fig. 2.
+        names = set(snippet.list_names())
+        assert names == {"D2", "D3"}
+
+
+class TestTopBottomMode:
+    def test_paper_walkthrough_option1(self):
+        store, snippet = paper_setup()
+        oracle = CountingOracle(ScriptedOracle([1]))
+        result = disambiguate_stanza(
+            store, "ISP_OUT", snippet, oracle, DisambiguationMode.TOP_BOTTOM
+        )
+        assert result.question_count == 1
+        assert result.position == 0  # Figure 2(a)
+        rm = result.store.route_map("ISP_OUT")
+        assert rm.stanzas[0].action == "permit"
+        # The paper's differential route behaviour: permitted with metric 55.
+        route = BgpRoute.build(
+            "100.0.0.0/16", as_path=[32], communities=["300:3"]
+        )
+        outcome = eval_route_map(rm, result.store, route)
+        assert outcome.permitted()
+        assert outcome.output.metric == 55
+
+    def test_paper_walkthrough_option2(self):
+        store, snippet = paper_setup()
+        oracle = CountingOracle(ScriptedOracle([2]))
+        result = disambiguate_stanza(
+            store, "ISP_OUT", snippet, oracle, DisambiguationMode.TOP_BOTTOM
+        )
+        assert result.position == 3  # Figure 2(b): bottom
+        rm = result.store.route_map("ISP_OUT")
+        route = BgpRoute.build(
+            "100.0.0.0/16", as_path=[32], communities=["300:3"]
+        )
+        assert not eval_route_map(rm, result.store, route).permitted()
+
+    def test_question_shows_both_options(self):
+        store, snippet = paper_setup()
+        oracle = CountingOracle(ScriptedOracle([1]))
+        result = disambiguate_stanza(
+            store, "ISP_OUT", snippet, oracle, DisambiguationMode.TOP_BOTTOM
+        )
+        text = result.questions[0].render()
+        assert "OPTION 1:" in text and "OPTION 2:" in text
+        assert "Which behaviour do you want?" in text
+
+    def test_empty_map_needs_no_questions(self):
+        store, snippet = paper_setup()
+        oracle = CountingOracle(ScriptedOracle([]))
+        result = disambiguate_stanza(
+            store, "FRESH", snippet, oracle, DisambiguationMode.TOP_BOTTOM
+        )
+        assert result.question_count == 0
+        assert result.position == 0
+        assert len(result.store.route_map("FRESH").stanzas) == 1
+
+
+class TestFullMode:
+    def test_full_mode_places_between_stanzas(self):
+        # Intent: deny a subset before the broad permit but after the
+        # narrow deny -- only a middle insertion implements it.
+        store, snippet = paper_setup()
+
+        def intended(route):
+            # Want the new stanza's behaviour (permit + metric) except for
+            # routes from AS 32, which must stay denied: i.e. insert after
+            # stanza 10 (deny as-path) but before stanza 30.
+            from repro.regexlib.cisco import as_path_matches
+
+            if as_path_matches("_32$", route.asns()):
+                return ("deny", None)
+            result = eval_route_map(
+                snippet_route_map(), snippet_merged(store, snippet), route
+            )
+            return result.behaviour_key()
+
+        def snippet_route_map():
+            return list(snippet.route_maps())[0]
+
+        def snippet_merged(base, snip):
+            from repro.core.insertion import merge_snippet_lists
+
+            return merge_snippet_lists(base, snip)
+
+        oracle = CountingOracle(IntentOracle(intended))
+        result = disambiguate_stanza(
+            store, "ISP_OUT", snippet, oracle, DisambiguationMode.FULL
+        )
+        # Inserted between stanza 10 and stanza 30 (position 1 or 2).
+        assert result.position in (1, 2)
+        rm = result.store.route_map("ISP_OUT")
+        denied = BgpRoute.build(
+            "100.0.0.0/16", as_path=[32], communities=["300:3"]
+        )
+        assert not eval_route_map(rm, result.store, denied).permitted()
+        permitted = BgpRoute.build(
+            "100.0.0.0/16", as_path=[174], communities=["300:3"]
+        )
+        outcome = eval_route_map(rm, result.store, permitted)
+        assert outcome.permitted() and outcome.output.metric == 55
+
+    def test_no_overlap_appends_without_questions(self):
+        store = parse_config(
+            """
+ip prefix-list ONLY seq 10 permit 42.0.0.0/8
+route-map RM deny 10
+ match ip address prefix-list ONLY
+"""
+        )
+        snippet = rename_snippet_lists(parse_config(SNIPPET), store)
+        oracle = CountingOracle(ScriptedOracle([]))
+        result = disambiguate_stanza(store, "RM", snippet, oracle)
+        assert result.overlaps == ()
+        assert result.question_count == 0
+        assert result.position == 1  # appended after the only stanza
+
+    def test_question_count_is_logarithmic(self):
+        # n overlapping deny stanzas with distinct metrics; new permit
+        # stanza overlaps all of them.  Binary search asks ceil(log2(n+1)).
+        for n in (2, 4, 8, 15):
+            lines = []
+            for i in range(n):
+                lines.append(f"route-map RM deny {10 * (i + 1)}")
+                lines.append(f" match metric {i}")
+            store = parse_config("\n".join(lines))
+            snippet = parse_config(
+                "route-map NEW permit 10\n set local-preference 200"
+            )
+            snippet = rename_snippet_lists(snippet, store)
+
+            def intended(route, n=n):
+                # Insert in the middle: metrics below n//2 keep denying.
+                if route.metric < n // 2:
+                    return ("deny", None)
+                return (
+                    "permit",
+                    route.with_updates(local_preference=200),
+                )
+
+            oracle = CountingOracle(IntentOracle(intended))
+            result = disambiguate_stanza(store, "RM", snippet, oracle)
+            assert result.question_count <= math.ceil(math.log2(n + 1)), n
+            # Placement is correct: stanza sits at index n//2.
+            assert result.position == n // 2
+
+    def test_equivalent_overlaps_skipped_without_questions(self):
+        # New deny stanza overlaps existing deny stanzas: order never
+        # matters, so no questions should be asked.
+        store = parse_config(
+            "route-map RM deny 10\n match metric 1\n"
+            "route-map RM deny 20\n match metric 2\n"
+        )
+        snippet = parse_config("route-map NEW deny 10\n match tag 7")
+        snippet = rename_snippet_lists(snippet, store)
+        oracle = CountingOracle(ScriptedOracle([]))
+        result = disambiguate_stanza(store, "RM", snippet, oracle)
+        assert result.question_count == 0
+        assert len(result.overlaps) == 2
+
+    def test_intent_oracle_rejects_impossible_intent(self):
+        store, snippet = paper_setup()
+        oracle = IntentOracle(lambda route: ("flarp",))
+        with pytest.raises(DisambiguationError):
+            disambiguate_stanza(store, "ISP_OUT", snippet, oracle)
+
+
+class TestAclDisambiguation:
+    TARGET = """
+ip access-list extended EDGE
+ 10 permit tcp 10.0.0.0 0.255.255.255 any
+ 20 deny ip any any
+"""
+    NEW_RULE = """
+ip access-list extended NEW_RULE
+ 10 deny tcp 10.1.0.0 0.0.255.255 any eq 22
+"""
+
+    def test_overlaps_found(self):
+        store = parse_config(self.TARGET)
+        snippet = parse_config(self.NEW_RULE)
+        assert acl_overlaps(store.acl("EDGE"), snippet) == [0, 1]
+
+    def test_binary_search_over_acl(self):
+        from repro.analysis import eval_acl
+
+        store = parse_config(self.TARGET)
+        snippet = parse_config(self.NEW_RULE)
+
+        def intended(packet):
+            # The new deny should take precedence over rule 10.
+            if (
+                packet.protocol == 6
+                and packet.dst_port == 22
+                and str(packet.src_ip).startswith("10.1.")
+            ):
+                return ("deny",)
+            return eval_acl(store.acl("EDGE"), packet).behaviour_key()
+
+        oracle = CountingOracle(IntentOracle(intended))
+        result = disambiguate_acl_rule(store, "EDGE", snippet, oracle)
+        assert result.position == 0
+        acl = result.store.acl("EDGE")
+        from repro.route import Packet
+
+        assert not eval_acl(
+            acl, Packet.build("10.1.5.5", "8.8.8.8", dst_port=22)
+        ).permitted()
+        assert eval_acl(
+            acl, Packet.build("10.1.5.5", "8.8.8.8", dst_port=80)
+        ).permitted()
+
+    def test_scripted_out_of_answers(self):
+        store = parse_config(self.TARGET)
+        snippet = parse_config(self.NEW_RULE)
+        with pytest.raises(DisambiguationError):
+            disambiguate_acl_rule(store, "EDGE", snippet, ScriptedOracle([]))

@@ -1,0 +1,97 @@
+"""Robustness tests: every pipeline failure mode surfaces loudly."""
+
+import pytest
+
+from repro.core import SpecError, SynthesisPunt
+from repro.core.synthesis import SynthesisPipeline
+from repro.llm import PromptDatabase, TaskKind
+from repro.llm.prompts import task_kind_of
+from repro.llm.simulated import SimulatedLLM
+
+PAPER_PROMPT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+
+class ScriptedLLM:
+    """Returns canned responses per task kind (for failure injection)."""
+
+    def __init__(self, overrides):
+        self._overrides = overrides
+        self._fallback = SimulatedLLM()
+
+    def complete(self, system: str, prompt: str) -> str:
+        kind = task_kind_of(system)
+        if kind in self._overrides:
+            value = self._overrides[kind]
+            if isinstance(value, list):
+                return value.pop(0) if value else self._fallback.complete(system, prompt)
+            return value
+        return self._fallback.complete(system, prompt)
+
+
+class TestClassifierFailures:
+    def test_garbage_classification_raises(self):
+        llm = ScriptedLLM({TaskKind.CLASSIFY: "potato"})
+        pipeline = SynthesisPipeline(llm)
+        with pytest.raises(SpecError, match="potato"):
+            pipeline.synthesize(PAPER_PROMPT)
+
+    def test_classifier_answer_is_normalised(self):
+        llm = ScriptedLLM({TaskKind.CLASSIFY: "  Route-Map \n"})
+        pipeline = SynthesisPipeline(llm)
+        assert pipeline.classify(PAPER_PROMPT) == "route-map"
+
+
+class TestSpecFailures:
+    def test_malformed_spec_raises(self):
+        llm = ScriptedLLM({TaskKind.ROUTE_MAP_SPEC: "not json at all"})
+        pipeline = SynthesisPipeline(llm)
+        with pytest.raises(SpecError):
+            pipeline.synthesize(PAPER_PROMPT)
+
+    def test_spec_with_unknown_keys_raises(self):
+        llm = ScriptedLLM(
+            {TaskKind.ROUTE_MAP_SPEC: '{"permit": true, "frobnicate": 1}'}
+        )
+        pipeline = SynthesisPipeline(llm)
+        with pytest.raises(SpecError, match="frobnicate"):
+            pipeline.synthesize(PAPER_PROMPT)
+
+
+class TestSynthesisFailures:
+    def test_unparseable_snippet_retries_then_punts(self):
+        llm = ScriptedLLM({TaskKind.ROUTE_MAP_SYNTH: "%% garbage %%"})
+        pipeline = SynthesisPipeline(llm, max_attempts=2)
+        with pytest.raises(SynthesisPunt) as info:
+            pipeline.synthesize(PAPER_PROMPT)
+        assert info.value.attempts == 2
+        assert all("does not parse" in f for f in info.value.failures)
+
+    def test_wrong_snippet_retries_and_recovers(self):
+        wrong = (
+            "ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23\n"
+            "route-map SET_METRIC permit 10\n"
+            " match ip address prefix-list PREFIX_100\n"
+            " set metric 55"
+        )  # missing the community match
+        llm = ScriptedLLM({TaskKind.ROUTE_MAP_SYNTH: [wrong]})
+        pipeline = SynthesisPipeline(llm, max_attempts=3)
+        result = pipeline.synthesize(PAPER_PROMPT)
+        assert result.attempts == 2
+        assert len(result.failures) == 1
+        assert "outside the spec" in result.failures[0]
+
+    def test_punt_message_summarises_failures(self):
+        llm = ScriptedLLM({TaskKind.ROUTE_MAP_SYNTH: "%% garbage %%"})
+        pipeline = SynthesisPipeline(llm, max_attempts=3)
+        with pytest.raises(SynthesisPunt) as info:
+            pipeline.synthesize(PAPER_PROMPT)
+        message = str(info.value)
+        assert "3 times" in message
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            SynthesisPipeline(SimulatedLLM(), max_attempts=0)

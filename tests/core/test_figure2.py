@@ -1,0 +1,118 @@
+"""Figure 2 fidelity: the four insertion points and their behaviour classes.
+
+Figure 2 shows the synthesised stanza inserted at four positions in
+ISP_OUT: (a) the top, (b) the bottom, (c) between the as-path deny and
+the prefix deny, (d) between the prefix deny and the local-pref permit.
+
+The new stanza's match space overlaps stanza 10 (as-path is an
+independent dimension) and stanza 30 (local-preference is independent),
+but NOT stanza 20 (the D1 prefixes are disjoint from 100.0.0.0/16).
+Hence (c) and (d) are behaviourally equivalent — only the order relative
+to stanzas 10 and 30 matters — and the disambiguator's three candidate
+slots correspond exactly to the classes {a}, {c, d}, {b}.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis import compare_route_policies, eval_route_map
+from repro.config import parse_config
+from repro.config.names import rename_snippet_lists
+from repro.core.insertion import insert_stanza_into_store
+from repro.core.disambiguator import route_map_overlaps
+from repro.route import BgpRoute
+
+ISP_OUT = """
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+"""
+
+SNIPPET = """
+ip community-list expanded COM_LIST permit _300:3_
+ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23
+route-map SET_METRIC permit 10
+ match community COM_LIST
+ match ip address prefix-list PREFIX_100
+ set metric 55
+"""
+
+
+@pytest.fixture(scope="module")
+def candidates():
+    store = parse_config(ISP_OUT)
+    snippet = rename_snippet_lists(parse_config(SNIPPET), store)
+    built = {}
+    for label, position in (("a", 0), ("c", 1), ("d", 2), ("b", 3)):
+        built[label] = insert_stanza_into_store(
+            store, "ISP_OUT", snippet, position
+        )
+    return store, snippet, built
+
+
+class TestFigure2:
+    def test_overlaps_are_stanzas_10_and_30(self, candidates):
+        store, snippet, _built = candidates
+        overlaps = route_map_overlaps(store.route_map("ISP_OUT"), store, snippet)
+        assert overlaps == [0, 2]  # stanza 10 and stanza 30, not 20
+
+    def test_c_and_d_are_equivalent(self, candidates):
+        _store, _snippet, built = candidates
+        store_c, map_c = built["c"]
+        store_d, map_d = built["d"]
+        assert compare_route_policies(map_c, map_d, store_c, store_d) == []
+
+    @pytest.mark.parametrize("pair", [("a", "b"), ("a", "c"), ("c", "b")])
+    def test_distinct_classes_differ(self, candidates, pair):
+        _store, _snippet, built = candidates
+        store_x, map_x = built[pair[0]]
+        store_y, map_y = built[pair[1]]
+        diffs = compare_route_policies(map_x, map_y, store_x, store_y)
+        assert diffs, pair
+
+    def test_paper_route_distinguishes_a_from_b(self, candidates):
+        _store, _snippet, built = candidates
+        route = BgpRoute.build(
+            "100.0.0.0/16", as_path=[32], communities=["300:3"]
+        )
+        store_a, map_a = built["a"]
+        store_b, map_b = built["b"]
+        result_a = eval_route_map(map_a, store_a, route)
+        result_b = eval_route_map(map_b, store_b, route)
+        assert result_a.permitted() and result_a.output.metric == 55
+        assert not result_b.permitted()
+
+    def test_a_vs_c_differs_exactly_on_as_path_overlap(self, candidates):
+        # Routes matching both the new stanza and the as-path deny are the
+        # only ones (a) and (c) disagree on.
+        _store, _snippet, built = candidates
+        store_a, map_a = built["a"]
+        store_c, map_c = built["c"]
+        for diff in compare_route_policies(map_a, map_c, store_a, store_c):
+            assert diff.route.asns()[-1:] == [32]
+            assert "300:3" in diff.route.communities
+
+    def test_all_four_positions_keep_non_overlap_behaviour(self, candidates):
+        # Routes untouched by the new stanza behave identically at every
+        # insertion point (the §4 incremental-update condition).
+        store, _snippet, built = candidates
+        base = store.route_map("ISP_OUT")
+        probes = [
+            BgpRoute.build("10.5.0.0/24"),
+            BgpRoute.build("50.0.0.0/8", as_path=[100, 32]),
+            BgpRoute.build("50.0.0.0/8", local_preference=300),
+            BgpRoute.build("50.0.0.0/8"),
+        ]
+        for route in probes:
+            baseline = eval_route_map(base, store, route).behaviour_key()
+            for label, (cand_store, cand_map) in built.items():
+                got = eval_route_map(cand_map, cand_store, route).behaviour_key()
+                assert got == baseline, (label, route.network)

@@ -1,0 +1,63 @@
+"""Tests for the session audit history and configuration diffs."""
+
+from repro.config import parse_config
+from repro.config.diff import added_lines, config_diff, removed_lines
+from repro.core import ClarifySession, ScriptedOracle
+
+
+class TestConfigDiff:
+    def test_identical_stores_diff_empty(self):
+        store = parse_config("route-map RM permit 10")
+        assert config_diff(store, store) == ""
+
+    def test_added_lines_reported(self):
+        before = parse_config("route-map RM permit 10")
+        after = parse_config(
+            "route-map RM permit 10\nroute-map RM deny 20\n match metric 5"
+        )
+        added = added_lines(before, after)
+        assert "route-map RM deny 20" in added
+        assert " match metric 5" in added
+        assert removed_lines(before, after) == []
+
+    def test_removed_lines_reported(self):
+        before = parse_config("route-map RM permit 10\nroute-map RM deny 20")
+        after = parse_config("route-map RM permit 10")
+        assert "route-map RM deny 20" in removed_lines(before, after)
+
+    def test_unified_format(self):
+        before = parse_config("route-map RM permit 10")
+        after = parse_config("route-map RM deny 10")
+        diff = config_diff(before, after)
+        assert diff.startswith("--- before")
+        assert "+route-map RM deny 10" in diff
+        assert "-route-map RM permit 10" in diff
+
+
+class TestSessionHistory:
+    def test_history_records_each_update(self):
+        session = ClarifySession(oracle=ScriptedOracle([2, 2]))
+        session.request(
+            "Write a route-map stanza that denies routes originating from AS 32.",
+            "OUT",
+        )
+        session.request(
+            "Write a route-map stanza that permits routes with local-preference 300.",
+            "OUT",
+        )
+        assert len(session.history) == 2
+        first, second = session.history
+        assert "route-map OUT deny 10" in first.diff
+        assert "match local-preference 300" in second.diff
+        # Resequencing shows up in the diff as well.
+        assert first.diff.startswith("--- before")
+
+    def test_reuse_recorded_too(self):
+        session = ClarifySession(oracle=ScriptedOracle([1, 1]))
+        report = session.request(
+            "Write a route-map stanza that denies routes originating from AS 32.",
+            "MAP_A",
+        )
+        session.reuse(report.snippet, "MAP_B")
+        assert len(session.history) == 2
+        assert "route-map MAP_B deny 10" in session.history[1].diff

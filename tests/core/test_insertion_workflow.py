@@ -1,0 +1,117 @@
+"""Tests for snippet insertion plumbing and session-level reuse."""
+
+import pytest
+
+from repro.analysis import eval_route_map
+from repro.config import parse_config
+from repro.core import ClarifySession, ScriptedOracle, insert_stanza_into_store
+from repro.core.insertion import (
+    insert_rule_into_acl,
+    merge_snippet_lists,
+    snippet_rule,
+    snippet_stanza,
+)
+from repro.route import BgpRoute
+
+SNIPPET = """
+ip prefix-list PL permit 100.0.0.0/16 le 23
+route-map NEW permit 10
+ match ip address prefix-list PL
+ set metric 55
+"""
+
+
+class TestInsertionPlumbing:
+    def test_snippet_stanza_extraction(self):
+        stanza = snippet_stanza(parse_config(SNIPPET))
+        assert stanza.action == "permit"
+
+    def test_snippet_stanza_rejects_multi(self):
+        with pytest.raises(ValueError):
+            snippet_stanza(parse_config("route-map A permit 10\nroute-map A deny 20"))
+        with pytest.raises(ValueError):
+            snippet_rule(parse_config("ip access-list extended A\n permit tcp any any\n deny ip any any"))
+
+    def test_insert_creates_missing_route_map(self):
+        store, updated = insert_stanza_into_store(
+            parse_config(""), "FRESH", parse_config(SNIPPET), 0
+        )
+        assert store.has_route_map("FRESH")
+        assert [s.seq for s in updated.stanzas] == [10]
+
+    def test_insert_renumbers(self):
+        base = parse_config(
+            "route-map RM deny 10\nroute-map RM deny 23\nroute-map RM permit 99"
+        )
+        store, updated = insert_stanza_into_store(
+            base, "RM", parse_config(SNIPPET), 1
+        )
+        assert [s.seq for s in updated.stanzas] == [10, 20, 30, 40]
+        assert updated.stanzas[1].action == "permit"
+
+    def test_insert_position_bounds_checked(self):
+        base = parse_config("route-map RM deny 10")
+        with pytest.raises(ValueError):
+            insert_stanza_into_store(base, "RM", parse_config(SNIPPET), 5)
+
+    def test_acl_insert_creates_missing(self):
+        snippet = parse_config(
+            "ip access-list extended NEW\n 10 deny tcp any any eq 22"
+        )
+        store, updated = insert_rule_into_acl(parse_config(""), "FW", snippet, 0)
+        assert store.has_acl("FW")
+        assert len(updated.rules) == 1
+
+    def test_merge_collision_raises(self):
+        base = parse_config("ip prefix-list PL seq 5 permit 1.0.0.0/8")
+        with pytest.raises(ValueError):
+            merge_snippet_lists(base, parse_config(SNIPPET))
+
+
+class TestSessionReuse:
+    def test_reuse_costs_no_llm_calls(self):
+        session = ClarifySession(oracle=ScriptedOracle([1] * 4))
+        first = session.request(
+            "Write a route-map stanza that denies routes originating from AS 32.",
+            "MAP_A",
+        )
+        assert first.llm_calls == 3
+        reused = session.reuse(first.snippet, "MAP_B")
+        assert reused.llm_calls == 0
+        assert session.total_llm_calls == 3
+        assert session.spec_reviews == 1
+        assert session.store.has_route_map("MAP_A")
+        assert session.store.has_route_map("MAP_B")
+        # Both maps behave identically.
+        route = BgpRoute.build("1.0.0.0/8", as_path=[32])
+        for name in ("MAP_A", "MAP_B"):
+            result = eval_route_map(
+                session.store.route_map(name), session.store, route
+            )
+            assert result.action == "deny"
+
+    def test_reused_lists_get_fresh_names(self):
+        session = ClarifySession(oracle=ScriptedOracle([1] * 4))
+        first = session.request(
+            "Write a route-map stanza that denies routes originating from AS 32.",
+            "MAP_A",
+        )
+        session.reuse(first.snippet, "MAP_B")
+        names = session.store.list_names()
+        assert len(names) == 2
+        assert len(set(names)) == 2
+
+    def test_per_request_oracle_counts_on_session(self):
+        session = ClarifySession(oracle=ScriptedOracle([]))
+        session.request(
+            "Write a route-map stanza that denies routes originating from AS 32.",
+            "OUT",
+        )
+        report = session.request(
+            "Write a route-map stanza that permits routes with local-preference 300.",
+            "OUT",
+            oracle=ScriptedOracle([2]),
+        )
+        assert report.questions == 1
+        assert session.total_questions == 1
+        assert session.total_interactions == 3  # 2 specs + 1 question

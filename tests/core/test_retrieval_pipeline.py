@@ -1,0 +1,60 @@
+"""Tests for retrieval-augmented prompting in the synthesis pipeline."""
+
+from repro.core.synthesis import SynthesisPipeline
+from repro.llm import PromptDatabase, SimulatedLLM, TaskKind, TranscribingClient
+from repro.llm.strategies import ExampleRetriever, build_library
+
+PAPER_PROMPT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+
+def make_pipeline():
+    db = PromptDatabase()
+    library = build_library([db.template(k) for k in TaskKind])
+    llm = TranscribingClient(SimulatedLLM())
+    pipeline = SynthesisPipeline(
+        llm, prompts=db, retriever=ExampleRetriever(library, k=1)
+    )
+    return pipeline, llm
+
+
+class TestRetrievalAugmentedPipeline:
+    def test_synthesis_still_verifies(self):
+        pipeline, _llm = make_pipeline()
+        result = pipeline.synthesize(PAPER_PROMPT)
+        assert result.attempts == 1
+        assert result.kind == "route-map"
+
+    def test_retrieved_example_is_relevant(self):
+        pipeline, llm = make_pipeline()
+        pipeline.synthesize(PAPER_PROMPT)
+        synth_calls = [
+            r for r in llm.records if r.task is TaskKind.ROUTE_MAP_SYNTH
+        ]
+        assert synth_calls
+        system = synth_calls[0].system
+        # Exactly one example (k=1), and it is the most relevant one.
+        assert system.count("EXAMPLE 1 PROMPT:") == 1
+        assert "EXAMPLE 2 PROMPT:" not in system
+        assert "100.0.0.0/16" in system
+
+    def test_acl_query_pulls_acl_example(self):
+        pipeline, llm = make_pipeline()
+        pipeline.synthesize(
+            "Add a rule that denies tcp traffic from 10.0.0.0/8 to host "
+            "2.2.2.2 on destination port 22."
+        )
+        synth_calls = [r for r in llm.records if r.task is TaskKind.ACL_SYNTH]
+        assert "tcp traffic" in synth_calls[0].system
+
+    def test_without_retriever_examples_are_fixed(self):
+        llm = TranscribingClient(SimulatedLLM())
+        pipeline = SynthesisPipeline(llm)
+        pipeline.synthesize(PAPER_PROMPT)
+        synth_calls = [
+            r for r in llm.records if r.task is TaskKind.ROUTE_MAP_SYNTH
+        ]
+        assert "EXAMPLE 2 PROMPT:" in synth_calls[0].system

@@ -1,0 +1,201 @@
+"""Tests for the JSON spec model and snippet verification."""
+
+import pytest
+
+from repro.config import parse_config
+from repro.core import (
+    AclSpec,
+    RouteMapSpec,
+    SpecError,
+    verify_acl_snippet,
+    verify_route_map_snippet,
+)
+from repro.route import BgpRoute
+
+PAPER_SPEC = (
+    '{"permit": true, "prefix": ["100.0.0.0/16:16-23"], '
+    '"community": "/_300:3_/", "set": {"metric": 55}}'
+)
+
+PAPER_SNIPPET = """
+ip community-list expanded COM_LIST permit _300:3_
+ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23
+route-map SET_METRIC permit 10
+ match community COM_LIST
+ match ip address prefix-list PREFIX_100
+ set metric 55
+"""
+
+
+class TestRouteMapSpecParsing:
+    def test_paper_spec(self):
+        spec = RouteMapSpec.from_json(PAPER_SPEC)
+        assert spec.permit
+        assert spec.action() == "permit"
+        assert len(spec.prefixes) == 1
+        prefix, lo, hi = spec.prefixes[0]
+        assert str(prefix) == "100.0.0.0/16" and (lo, hi) == (16, 23)
+        assert spec.communities == ("_300:3_",)
+        assert spec.sets == {"metric": 55}
+
+    def test_match_space_semantics(self):
+        spec = RouteMapSpec.from_json(PAPER_SPEC)
+        space = spec.match_space()
+        assert space.contains(
+            BgpRoute.build("100.0.0.0/16", communities=["300:3"])
+        )
+        assert space.contains(
+            BgpRoute.build("100.0.128.0/23", communities=["300:3", "1:1"])
+        )
+        assert not space.contains(BgpRoute.build("100.0.0.0/16"))
+        assert not space.contains(
+            BgpRoute.build("100.0.0.0/24", communities=["300:3"])
+        )
+        assert not space.contains(
+            BgpRoute.build("101.0.0.0/16", communities=["300:3"])
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            "[1,2]",
+            '{"prefix": []}',
+            '{"permit": "yes"}',
+            '{"permit": true, "prefix": ["100.0.0.0/16"]}',
+            '{"permit": true, "prefix": ["100.0.0.0/16:8-23"]}',
+            '{"permit": true, "community": "_300:3_"}',
+            '{"permit": true, "wibble": 1}',
+            '{"permit": true, "set": {"colour": "red"}}',
+            '{"permit": true, "local_preference": "high"}',
+            '{"permit": true, "set": {"community": "300:3"}}',
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(SpecError):
+            RouteMapSpec.from_json(text)
+
+
+class TestRouteMapVerification:
+    def test_paper_snippet_verifies(self):
+        snippet = parse_config(PAPER_SNIPPET)
+        spec = RouteMapSpec.from_json(PAPER_SPEC)
+        result = verify_route_map_snippet(snippet, spec)
+        assert result.ok, result
+
+    def test_wrong_action_detected(self):
+        snippet = parse_config(PAPER_SNIPPET.replace("permit 10", "deny 10"))
+        spec = RouteMapSpec.from_json(PAPER_SPEC)
+        result = verify_route_map_snippet(snippet, spec)
+        assert not result.ok
+        assert any("action" in p for p in result.problems)
+
+    def test_wrong_metric_detected(self):
+        snippet = parse_config(PAPER_SNIPPET.replace("set metric 55", "set metric 56"))
+        spec = RouteMapSpec.from_json(PAPER_SPEC)
+        result = verify_route_map_snippet(snippet, spec)
+        assert not result.ok
+        assert any("set clauses" in p for p in result.problems)
+
+    def test_too_narrow_guard_detected(self):
+        snippet = parse_config(PAPER_SNIPPET.replace("le 23", "le 20"))
+        spec = RouteMapSpec.from_json(PAPER_SPEC)
+        result = verify_route_map_snippet(snippet, spec)
+        assert not result.ok
+        assert result.counterexample is not None
+        # The counterexample is a route the spec covers but the stanza misses.
+        assert spec.match_space().contains(result.counterexample)
+        assert 21 <= result.counterexample.network.length <= 23
+
+    def test_too_wide_guard_detected(self):
+        snippet = parse_config(PAPER_SNIPPET.replace("le 23", "le 24"))
+        spec = RouteMapSpec.from_json(PAPER_SPEC)
+        result = verify_route_map_snippet(snippet, spec)
+        assert not result.ok
+        assert result.counterexample is not None
+        assert not spec.match_space().contains(result.counterexample)
+
+    def test_missing_match_detected(self):
+        snippet = parse_config(
+            """
+ip prefix-list PREFIX_100 permit 100.0.0.0/16 le 23
+route-map SET_METRIC permit 10
+ match ip address prefix-list PREFIX_100
+ set metric 55
+"""
+        )
+        spec = RouteMapSpec.from_json(PAPER_SPEC)
+        result = verify_route_map_snippet(snippet, spec)
+        assert not result.ok
+
+    def test_multi_stanza_snippet_rejected(self):
+        snippet = parse_config(
+            "route-map X permit 10\nroute-map X deny 20"
+        )
+        spec = RouteMapSpec.from_json('{"permit": true}')
+        result = verify_route_map_snippet(snippet, spec)
+        assert not result.ok
+
+    def test_dangling_reference_reported(self):
+        snippet = parse_config(
+            "route-map X permit 10\n match ip address prefix-list NOPE"
+        )
+        spec = RouteMapSpec.from_json('{"permit": true}')
+        result = verify_route_map_snippet(snippet, spec)
+        assert not result.ok
+        assert any("dangling" in p for p in result.problems)
+
+
+class TestAclSpec:
+    ACL_SPEC = (
+        '{"permit": false, "protocol": "tcp", "src": "10.0.0.0/8", '
+        '"dst": "2.2.2.2/32", "dst_ports": ["22-22"]}'
+    )
+    ACL_SNIPPET = """
+ip access-list extended NEW_RULE
+ 10 deny tcp 10.0.0.0 0.255.255.255 host 2.2.2.2 eq 22
+"""
+
+    def test_parse(self):
+        spec = AclSpec.from_json(self.ACL_SPEC)
+        assert not spec.permit
+        assert spec.protocol == "tcp"
+        assert str(spec.src) == "10.0.0.0/8"
+        assert spec.dst_ports == ((22, 22),)
+
+    def test_verifies(self):
+        result = verify_acl_snippet(
+            parse_config(self.ACL_SNIPPET), AclSpec.from_json(self.ACL_SPEC)
+        )
+        assert result.ok, result
+
+    def test_wrong_port_detected(self):
+        snippet = parse_config(self.ACL_SNIPPET.replace("eq 22", "eq 23"))
+        result = verify_acl_snippet(snippet, AclSpec.from_json(self.ACL_SPEC))
+        assert not result.ok
+        assert result.counterexample is not None
+
+    def test_wrong_action_detected(self):
+        snippet = parse_config(self.ACL_SNIPPET.replace("deny", "permit"))
+        result = verify_acl_snippet(snippet, AclSpec.from_json(self.ACL_SPEC))
+        assert not result.ok
+
+    def test_wrong_protocol_detected(self):
+        snippet = parse_config(self.ACL_SNIPPET.replace("tcp", "udp").replace(" eq 22", ""))
+        result = verify_acl_snippet(snippet, AclSpec.from_json(self.ACL_SPEC))
+        assert not result.ok
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "nope",
+            '{"permit": false, "protocol": "carrier-pigeon"}',
+            '{"permit": false, "src": "10.0.0.1/8"}',
+            '{"permit": false, "dst_ports": ["22"]}',
+            '{"permit": false, "dst_ports": ["9-800000"]}',
+            '{"permit": false, "extra": 1}',
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(SpecError):
+            AclSpec.from_json(text)

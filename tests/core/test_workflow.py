@@ -1,0 +1,105 @@
+"""End-to-end tests for ClarifySession (the full Fig. 1 loop)."""
+
+import pytest
+
+from repro.analysis import eval_acl, eval_route_map
+from repro.config import parse_config
+from repro.core import ClarifySession, DisambiguationMode, ScriptedOracle
+from repro.core.errors import SynthesisPunt
+from repro.llm import FaultyLLM, SimulatedLLM
+from repro.route import BgpRoute, Packet
+
+ISP_OUT = """
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+"""
+
+PAPER_INTENT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+
+class TestPaperWalkthrough:
+    def test_full_cycle_reproduces_figure_2a(self):
+        session = ClarifySession(
+            store=parse_config(ISP_OUT),
+            oracle=ScriptedOracle([1, 1]),  # prefer the new behaviour
+            mode=DisambiguationMode.TOP_BOTTOM,
+        )
+        report = session.request(PAPER_INTENT, "ISP_OUT")
+        assert report.kind == "route-map"
+        assert report.llm_calls == 3  # classify + spec + one synthesis pass
+        assert report.attempts == 1
+        assert report.questions == 1
+        assert report.position == 0
+
+        rm = session.store.route_map("ISP_OUT")
+        assert [s.seq for s in rm.stanzas] == [10, 20, 30, 40]
+        # Figure 2(a): the new stanza is at the top, lists renamed D2/D3.
+        assert session.store.has_community_list("D2")
+        assert session.store.has_prefix_list("D3")
+        route = BgpRoute.build("100.0.0.0/16", as_path=[32], communities=["300:3"])
+        outcome = eval_route_map(rm, session.store, route)
+        assert outcome.permitted() and outcome.output.metric == 55
+
+    def test_acl_request_routed_to_acl_pipeline(self):
+        session = ClarifySession(oracle=ScriptedOracle([]))
+        report = session.request(
+            "Add a rule that denies tcp traffic from 10.0.0.0/8 to host "
+            "2.2.2.2 on destination port 22.",
+            "EDGE_IN",
+        )
+        assert report.kind == "acl"
+        acl = session.store.acl("EDGE_IN")
+        assert len(acl.rules) == 1
+        assert not eval_acl(
+            acl, Packet.build("10.1.1.1", "2.2.2.2", dst_port=22)
+        ).permitted()
+
+    def test_incremental_growth(self):
+        session = ClarifySession(oracle=ScriptedOracle([2, 2, 2, 2]))
+        session.request(
+            "Write a route-map stanza that denies routes originating from AS 32.",
+            "OUT",
+        )
+        session.request(
+            "Write a route-map stanza that permits routes with local-preference 300.",
+            "OUT",
+        )
+        rm = session.store.route_map("OUT")
+        assert len(rm.stanzas) == 2
+        assert session.total_llm_calls == 6
+
+
+class TestFaultyLLMRetries:
+    def test_verifier_catches_faults_and_retries(self):
+        # Error rate below 1: some attempt eventually passes verification.
+        llm = FaultyLLM(SimulatedLLM(), error_rate=0.6, seed=3)
+        session = ClarifySession(
+            llm=llm, oracle=ScriptedOracle([1] * 5), max_attempts=10
+        )
+        report = session.request(PAPER_INTENT, "ISP_OUT")
+        assert report.attempts >= 1
+        rm = session.store.route_map("ISP_OUT")
+        # Whatever the retries, the inserted stanza is the verified one.
+        route = BgpRoute.build("100.0.0.0/16", as_path=[174], communities=["300:3"])
+        outcome = eval_route_map(rm, session.store, route)
+        assert outcome.permitted() and outcome.output.metric == 55
+
+    def test_punt_at_threshold(self):
+        llm = FaultyLLM(SimulatedLLM(), error_rate=1.0, seed=3)
+        session = ClarifySession(llm=llm, max_attempts=3)
+        with pytest.raises(SynthesisPunt) as exc_info:
+            session.request(PAPER_INTENT, "ISP_OUT")
+        assert exc_info.value.attempts == 3
+        assert len(exc_info.value.failures) == 3

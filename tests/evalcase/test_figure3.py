@@ -1,0 +1,93 @@
+"""End-to-end tests for the §5 evaluation (Figure 3 + Figure 4)."""
+
+import pytest
+
+from repro.bgp.checks import learned_from, visible_prefixes
+from repro.evalcase import build_figure3, figure4_rows
+from repro.evalcase.figure3 import build_edge, build_m
+
+#: Figure 4 of the paper: router -> (#route-maps, #LLM calls, #disambiguation).
+PAPER_FIGURE_4 = {
+    "M": (4, 9, 5),
+    "R1": (5, 12, 6),
+    "R2": (5, 12, 6),
+}
+
+
+@pytest.fixture(scope="module")
+def result():
+    return build_figure3()
+
+
+class TestFigure4:
+    def test_table_matches_paper(self, result):
+        rows = {name: tuple(rest) for name, *rest in figure4_rows(result.stats)}
+        assert rows == PAPER_FIGURE_4
+
+    def test_single_pass_synthesis(self, result):
+        # §5: "GPT-4 was able to synthesize the correct stanza every time
+        # in a single pass and no errors were detected" — LLM calls are
+        # exactly 3 per stanza, i.e. no retries happened.
+        for stats in result.stats:
+            assert stats.llm_calls == 3 * stats.stanzas
+
+
+class TestGlobalPolicies:
+    def test_all_policies_hold(self, result):
+        assert all(result.policy_results.values()), result.policy_results
+
+    def test_m_sees_only_the_service_prefix(self, result):
+        assert visible_prefixes(result.ribs, "M") == ["10.1.0.0/16"]
+
+    def test_m_prefers_r1_with_local_preference(self, result):
+        assert learned_from(result.ribs, "M", "10.1.0.0/16") == "R1"
+        entry = result.ribs["M"][list(result.ribs["M"])[0]]
+        assert entry.route.local_preference == 200
+
+    def test_isps_see_only_the_public_block(self, result):
+        for isp, own in (("ISP1", "8.8.0.0/16"), ("ISP2", "9.9.0.0/16")):
+            assert visible_prefixes(result.ribs, isp) == sorted(
+                [own, "200.0.0.0/16"]
+            )
+
+    def test_sites_exchange_only_non_reused_prefixes(self, result):
+        dc = visible_prefixes(result.ribs, "DC")
+        assert "10.2.0.0/16" in dc  # management's unique prefix arrives
+        assert "8.8.0.0/16" in dc  # internet access works
+        mgmt = visible_prefixes(result.ribs, "MGMT")
+        assert "10.1.0.0/16" in mgmt
+        # The reused prefix is known only via local origination.
+        assert learned_from(result.ribs, "DC", "10.0.0.0/16") is None
+        assert learned_from(result.ribs, "MGMT", "10.0.0.0/16") is None
+
+
+class TestFaultyBuild:
+    def test_policies_hold_despite_llm_faults(self):
+        # With a fault-injected LLM the pipeline needs retries (so the
+        # Figure 4 call counts change), but the verified outcome — and
+        # therefore every global policy — is unchanged.
+        from repro.llm import FaultyLLM, SimulatedLLM
+
+        result = build_figure3(FaultyLLM(SimulatedLLM(), 0.3, seed=5))
+        assert all(result.policy_results.values())
+        total_calls = sum(s.llm_calls for s in result.stats)
+        clean_calls = 9 + 12 + 12
+        assert total_calls >= clean_calls
+
+
+class TestRouterBuilders:
+    def test_m_route_maps_shape(self):
+        session, stats = build_m()
+        from_r1 = session.store.route_map("FROM_R1")
+        assert [s.action for s in from_r1.stanzas] == ["deny", "permit"]
+        assert stats.questions == 2
+
+    def test_edge_route_maps_shape(self):
+        session, stats = build_edge("R1")
+        from_edge = session.store.route_map("FROM_EDGE")
+        assert [s.action for s in from_edge.stanzas] == ["deny", "permit"]
+        from_isp = session.store.route_map("FROM_ISP")
+        assert [s.action for s in from_isp.stanzas] == ["deny", "permit"]
+        to_isp = session.store.route_map("TO_ISP")
+        assert [s.action for s in to_isp.stanzas] == ["permit"]
+        assert stats.questions == 2

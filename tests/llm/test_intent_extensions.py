@@ -1,0 +1,73 @@
+"""Tests for the metric/tag match phrasings and their pipeline support."""
+
+import pytest
+
+from repro.core import RouteMapSpec, SpecError
+from repro.core.synthesis import SynthesisPipeline
+from repro.llm import SimulatedLLM, parse_route_map_intent
+from repro.route import BgpRoute
+
+
+class TestScalarMatchIntents:
+    def test_metric_match(self):
+        intent = parse_route_map_intent(
+            "Write a route-map stanza that denies routes with metric 100."
+        )
+        assert intent.metric == 100
+        assert intent.set_metric is None
+
+    def test_med_synonym(self):
+        intent = parse_route_map_intent(
+            "Permit routes with a MED of 55."
+        )
+        assert intent.metric == 55
+
+    def test_tag_match(self):
+        intent = parse_route_map_intent("Permit routes with tag 7.")
+        assert intent.tag == 7
+        assert intent.set_tag is None
+
+    def test_match_vs_set_disambiguated(self):
+        intent = parse_route_map_intent(
+            "Permit routes with metric 10, setting the tag to 3."
+        )
+        assert intent.metric == 10
+        assert intent.set_tag == 3
+        assert intent.tag is None
+
+    def test_paper_set_phrasing_still_a_set(self):
+        intent = parse_route_map_intent(
+            "Permit routes containing the prefix 10.0.0.0/8. Their MED "
+            "value should be set to 55."
+        )
+        assert intent.metric is None
+        assert intent.set_metric == 55
+
+
+class TestScalarSpecFields:
+    def test_spec_round_trip(self):
+        spec = RouteMapSpec.from_json(
+            '{"permit": false, "metric": 100, "tag": 7}'
+        )
+        assert spec.metric == 100
+        assert spec.tag == 7
+        space = spec.match_space()
+        assert space.contains(BgpRoute.build("1.0.0.0/8", metric=100, tag=7))
+        assert not space.contains(BgpRoute.build("1.0.0.0/8", metric=101, tag=7))
+        assert not space.contains(BgpRoute.build("1.0.0.0/8", metric=100, tag=8))
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(SpecError):
+            RouteMapSpec.from_json('{"permit": true, "metric": "low"}')
+        with pytest.raises(SpecError):
+            RouteMapSpec.from_json('{"permit": true, "tag": [7]}')
+
+    def test_pipeline_end_to_end(self):
+        pipeline = SynthesisPipeline(SimulatedLLM())
+        result = pipeline.synthesize(
+            "Write a route-map stanza that denies routes with metric 100."
+        )
+        assert result.attempts == 1
+        stanza = list(result.snippet.route_maps())[0].stanzas[0]
+        assert stanza.action == "deny"
+        assert result.spec.metric == 100

@@ -1,0 +1,159 @@
+"""Tests for the English intent grammar."""
+
+import pytest
+
+from repro.llm import IntentParseError, parse_acl_intent, parse_route_map_intent
+
+PAPER_PROMPT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+
+class TestRouteMapIntents:
+    def test_paper_prompt(self):
+        intent = parse_route_map_intent(PAPER_PROMPT)
+        assert intent.action == "permit"
+        assert len(intent.prefixes) == 1
+        constraint = intent.prefixes[0]
+        assert str(constraint.prefix) == "100.0.0.0/16"
+        assert constraint.le == 23 and constraint.ge is None
+        assert constraint.bounds() == (16, 23)
+        assert intent.communities == ("300:3",)
+        assert intent.set_metric == 55
+
+    def test_deny_origin_as(self):
+        intent = parse_route_map_intent(
+            "Write a route-map stanza that denies routes originating from AS 32."
+        )
+        assert intent.action == "deny"
+        assert intent.as_path_regex == "_32$"
+        assert intent.name_hint() == "DENY_AS"
+
+    def test_passing_through_as(self):
+        intent = parse_route_map_intent(
+            "Permit routes passing through AS 174."
+        )
+        assert intent.as_path_regex == "_174_"
+
+    def test_received_from_neighbor(self):
+        intent = parse_route_map_intent(
+            "Deny routes received from AS 65500."
+        )
+        assert intent.as_path_regex == "^65500_"
+
+    def test_local_preference_match(self):
+        intent = parse_route_map_intent(
+            "Write a stanza that permits routes with local-preference 300."
+        )
+        assert intent.local_preference == 300
+
+    def test_set_local_preference(self):
+        intent = parse_route_map_intent(
+            "Permit routes containing the prefix 10.1.0.0/16. Their local "
+            "preference should be set to 200."
+        )
+        assert intent.local_preference is None
+        assert intent.set_local_preference == 200
+
+    def test_mask_windows(self):
+        cases = [
+            ("with mask length at least 24", (24, 32)),
+            ("with mask length between 20 and 28", (20, 28)),
+            ("with mask length up to 24", (8, 24)),
+            ("or longer", (8, 32)),
+            ("and all its more-specific prefixes", (8, 32)),
+            ("", (8, 8)),
+        ]
+        for phrase, expected in cases:
+            intent = parse_route_map_intent(
+                f"Permit routes containing the prefix 10.0.0.0/8 {phrase}."
+            )
+            assert intent.prefixes[0].bounds() == expected, phrase
+
+    def test_multiple_communities(self):
+        intent = parse_route_map_intent(
+            "Permit routes tagged with the communities 100:1 and 100:2."
+        )
+        assert intent.communities == ("100:1", "100:2")
+
+    def test_set_community_additive(self):
+        intent = parse_route_map_intent(
+            "Permit routes containing the prefix 10.0.0.0/8, adding the "
+            "community 65000:99."
+        )
+        assert intent.set_communities == ("65000:99",)
+        assert intent.set_community_additive
+
+    def test_set_community_replace(self):
+        intent = parse_route_map_intent(
+            "Permit routes containing the prefix 10.0.0.0/8, replacing "
+            "their communities with 65000:1."
+        )
+        assert intent.set_communities == ("65000:1",)
+        assert not intent.set_community_additive
+
+    def test_next_hop(self):
+        intent = parse_route_map_intent(
+            "Permit routes containing the prefix 10.0.0.0/8 with the next "
+            "hop set to 192.0.2.1."
+        )
+        assert intent.set_next_hop == "192.0.2.1"
+        # The next-hop address must not be mistaken for a matched prefix.
+        assert len(intent.prefixes) == 1
+
+    def test_prepend(self):
+        intent = parse_route_map_intent(
+            "Permit routes containing the prefix 10.0.0.0/8, prepending "
+            "AS 65000 three times."
+        )
+        assert intent.set_prepend == (65000, 65000, 65000)
+
+    def test_rejects_empty_intent(self):
+        with pytest.raises(IntentParseError):
+            parse_route_map_intent("Write a route-map stanza that permits routes.")
+
+    def test_rejects_actionless_intent(self):
+        with pytest.raises(IntentParseError):
+            parse_route_map_intent("Routes with community 1:1 exist.")
+
+
+class TestAclIntents:
+    def test_basic_deny(self):
+        intent = parse_acl_intent(
+            "Add a rule that denies tcp traffic from 10.0.0.0/8 to host "
+            "2.2.2.2 on destination port 22."
+        )
+        assert intent.action == "deny"
+        assert intent.protocol == "tcp"
+        assert str(intent.src) == "10.0.0.0/8"
+        assert str(intent.dst) == "2.2.2.2/32"
+        assert (intent.dst_port_lo, intent.dst_port_hi) == (22, 22)
+
+    def test_any_endpoints(self):
+        intent = parse_acl_intent("Permit udp traffic from any to any.")
+        assert intent.src is None and intent.dst is None
+        assert intent.protocol == "udp"
+
+    def test_port_range(self):
+        intent = parse_acl_intent(
+            "Permit udp traffic from any to 10.0.0.0/8 on ports 5000-6000."
+        )
+        assert (intent.dst_port_lo, intent.dst_port_hi) == (5000, 6000)
+
+    def test_source_port(self):
+        intent = parse_acl_intent(
+            "Deny tcp traffic from 10.0.0.0/8 on source port 79 to any."
+        )
+        assert (intent.src_port_lo, intent.src_port_hi) == (79, 79)
+
+    def test_established(self):
+        intent = parse_acl_intent(
+            "Permit tcp traffic from any to any for established connections."
+        )
+        assert intent.established
+
+    def test_default_protocol_is_ip(self):
+        intent = parse_acl_intent("Deny traffic from 10.0.0.0/8 to any.")
+        assert intent.protocol == "ip"

@@ -1,0 +1,194 @@
+"""Tests for the simulated LLM, prompt database, transcript, and faults."""
+
+import json
+
+import pytest
+
+from repro.config import parse_config
+from repro.llm import (
+    FaultyLLM,
+    PromptDatabase,
+    SimulatedLLM,
+    TaskKind,
+    TranscribingClient,
+)
+from repro.llm.prompts import task_kind_of
+from repro.route import BgpRoute
+
+PAPER_PROMPT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+DB = PromptDatabase()
+LLM = SimulatedLLM()
+
+
+class TestPromptDatabase:
+    def test_all_tasks_present(self):
+        assert set(DB.kinds()) == set(TaskKind)
+
+    def test_task_marker_round_trip(self):
+        for kind in TaskKind:
+            assert task_kind_of(DB.system_prompt(kind)) is kind
+
+    def test_few_shot_examples_included(self):
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH)
+        assert "EXAMPLE 1 PROMPT:" in system
+        assert "route-map SET_METRIC permit 10" in system
+
+    def test_marker_required(self):
+        with pytest.raises(ValueError):
+            task_kind_of("no marker here")
+
+
+class TestClassification:
+    def test_route_map_query(self):
+        system = DB.system_prompt(TaskKind.CLASSIFY)
+        assert LLM.complete(system, PAPER_PROMPT) == "route-map"
+
+    def test_acl_query(self):
+        system = DB.system_prompt(TaskKind.CLASSIFY)
+        prompt = (
+            "Add a rule that denies tcp traffic from 10.0.0.0/8 to host "
+            "2.2.2.2 on destination port 22."
+        )
+        assert LLM.complete(system, prompt) == "acl"
+
+
+class TestRouteMapSynthesis:
+    def test_paper_prompt_produces_paper_snippet(self):
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH)
+        output = LLM.complete(system, PAPER_PROMPT)
+        store = parse_config(output)
+        rm = store.route_map("SET_METRIC")
+        stanza = rm.stanzas[0]
+        assert stanza.action == "permit"
+        assert len(stanza.matches) == 2
+        # Behavioural check against the intent.
+        inside = BgpRoute.build("100.0.0.0/16", communities=["300:3"])
+        from repro.analysis import eval_route_map
+
+        result = eval_route_map(rm, store, inside)
+        assert result.permitted()
+        assert result.output.metric == 55
+        outside = BgpRoute.build("100.0.0.0/16", communities=["1:1"])
+        assert not eval_route_map(rm, store, outside).permitted()
+        too_long = BgpRoute.build("100.0.0.0/24", communities=["300:3"])
+        assert not eval_route_map(rm, store, too_long).permitted()
+
+    def test_deny_as_snippet(self):
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH)
+        output = LLM.complete(
+            system, "Write a route-map stanza that denies routes originating from AS 32."
+        )
+        store = parse_config(output)
+        rm = store.route_map("DENY_AS")
+        assert rm.stanzas[0].action == "deny"
+        assert store.as_path_list("AS_LIST").entries[0].regex == "_32$"
+
+    def test_multi_community_uses_standard_list(self):
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH)
+        output = LLM.complete(
+            system,
+            "Permit routes tagged with the communities 100:1 and 100:2.",
+        )
+        store = parse_config(output)
+        cl = store.community_list("COM_LIST")
+        assert not cl.expanded
+        assert cl.entries[0].communities == ("100:1", "100:2")
+
+
+class TestSpecExtraction:
+    def test_paper_spec(self):
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SPEC)
+        spec = json.loads(LLM.complete(system, PAPER_PROMPT))
+        assert spec == {
+            "permit": True,
+            "prefix": ["100.0.0.0/16:16-23"],
+            "community": "/_300:3_/",
+            "set": {"metric": 55},
+        }
+
+    def test_acl_spec(self):
+        system = DB.system_prompt(TaskKind.ACL_SPEC)
+        prompt = (
+            "Add a rule that denies tcp traffic from 10.0.0.0/8 to host "
+            "2.2.2.2 on destination port 22."
+        )
+        spec = json.loads(LLM.complete(system, prompt))
+        assert spec == {
+            "permit": False,
+            "protocol": "tcp",
+            "src": "10.0.0.0/8",
+            "dst": "2.2.2.2/32",
+            "dst_ports": ["22-22"],
+        }
+
+
+class TestAclSynthesis:
+    def test_snippet_parses_and_behaves(self):
+        from repro.analysis import eval_acl
+        from repro.route import Packet
+
+        system = DB.system_prompt(TaskKind.ACL_SYNTH)
+        output = LLM.complete(
+            system,
+            "Add a rule that denies tcp traffic from 10.0.0.0/8 to host "
+            "2.2.2.2 on destination port 22.",
+        )
+        acl = parse_config(output).acl("NEW_RULE")
+        assert len(acl.rules) == 1
+        assert not eval_acl(
+            acl, Packet.build("10.1.1.1", "2.2.2.2", dst_port=22)
+        ).permitted()
+
+
+class TestTranscribingClient:
+    def test_counts_by_task(self):
+        client = TranscribingClient(SimulatedLLM())
+        client.complete(DB.system_prompt(TaskKind.CLASSIFY), PAPER_PROMPT)
+        client.complete(DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH), PAPER_PROMPT)
+        client.complete(DB.system_prompt(TaskKind.ROUTE_MAP_SPEC), PAPER_PROMPT)
+        assert client.call_count() == 3
+        assert client.call_count(TaskKind.ROUTE_MAP_SYNTH) == 1
+        assert client.counts_by_task()[TaskKind.CLASSIFY] == 1
+        client.reset()
+        assert client.call_count() == 0
+
+
+class TestFaultyLLM:
+    def test_zero_rate_is_transparent(self):
+        faulty = FaultyLLM(SimulatedLLM(), error_rate=0.0, seed=1)
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH)
+        assert faulty.complete(system, PAPER_PROMPT) == SimulatedLLM().complete(
+            system, PAPER_PROMPT
+        )
+        assert faulty.injected_faults == 0
+
+    def test_full_rate_always_corrupts(self):
+        faulty = FaultyLLM(SimulatedLLM(), error_rate=1.0, seed=7)
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH)
+        clean = SimulatedLLM().complete(system, PAPER_PROMPT)
+        for _ in range(5):
+            assert faulty.complete(system, PAPER_PROMPT) != clean
+        assert faulty.injected_faults == 5
+
+    def test_spec_outputs_never_corrupted(self):
+        faulty = FaultyLLM(SimulatedLLM(), error_rate=1.0, seed=7)
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SPEC)
+        clean = SimulatedLLM().complete(system, PAPER_PROMPT)
+        assert faulty.complete(system, PAPER_PROMPT) == clean
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            FaultyLLM(SimulatedLLM(), error_rate=1.5)
+
+    def test_deterministic_given_seed(self):
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH)
+        a = FaultyLLM(SimulatedLLM(), error_rate=0.5, seed=42)
+        b = FaultyLLM(SimulatedLLM(), error_rate=0.5, seed=42)
+        outs_a = [a.complete(system, PAPER_PROMPT) for _ in range(10)]
+        outs_b = [b.complete(system, PAPER_PROMPT) for _ in range(10)]
+        assert outs_a == outs_b

@@ -1,0 +1,117 @@
+"""Tests for the §7 LLM-augmentation strategies."""
+
+import pytest
+
+from repro.llm import FaultyLLM, PromptDatabase, SimulatedLLM, TaskKind
+from repro.llm.prompts import FewShotExample, PromptTemplate
+from repro.llm.strategies import ExampleRetriever, MajorityVoteLLM, build_library
+
+DB = PromptDatabase()
+
+PAPER_PROMPT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+
+def library():
+    return build_library(
+        [DB.template(kind) for kind in (TaskKind.ROUTE_MAP_SYNTH, TaskKind.ACL_SYNTH)]
+    )
+
+
+class TestExampleRetriever:
+    def test_most_similar_example_ranked_first(self):
+        retriever = ExampleRetriever(library(), k=1)
+        picked = retriever.select(PAPER_PROMPT)
+        assert len(picked) == 1
+        assert "100.0.0.0/16" in picked[0].prompt
+
+    def test_acl_query_retrieves_acl_example(self):
+        retriever = ExampleRetriever(library(), k=1)
+        picked = retriever.select(
+            "Add a rule that denies tcp traffic from 10.0.0.0/8 to host "
+            "2.2.2.2 on destination port 22."
+        )
+        assert "tcp traffic" in picked[0].prompt
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            ExampleRetriever(library(), k=0)
+        retriever = ExampleRetriever(library(), k=99)
+        assert len(retriever.select("anything")) == len(library())
+
+    def test_augmented_template_renders(self):
+        retriever = ExampleRetriever(library(), k=1)
+        template = retriever.augment(
+            DB.template(TaskKind.ROUTE_MAP_SYNTH), PAPER_PROMPT
+        )
+        rendered = template.render_system()
+        assert rendered.startswith("TASK: route-map-synth")
+        assert "EXAMPLE 1 PROMPT:" in rendered
+        assert "EXAMPLE 2 PROMPT:" not in rendered
+
+    def test_deterministic_tiebreak(self):
+        examples = (
+            FewShotExample("zebra", "a"),
+            FewShotExample("zebra", "b"),
+        )
+        retriever = ExampleRetriever(examples, k=1)
+        assert retriever.select("zebra")[0].completion == "a"
+
+    def test_empty_query_tokens(self):
+        retriever = ExampleRetriever(library(), k=1)
+        assert len(retriever.select("!!!")) == 1
+
+
+class TestMajorityVoteLLM:
+    def test_recovers_clean_output_under_faults(self):
+        # Deterministic seeds: voting strictly beats a single call.
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH)
+        clean = SimulatedLLM().complete(system, PAPER_PROMPT)
+        single = sum(
+            FaultyLLM(SimulatedLLM(), 0.3, seed=s).complete(system, PAPER_PROMPT)
+            == clean
+            for s in range(40)
+        )
+        voted = sum(
+            MajorityVoteLLM(
+                FaultyLLM(SimulatedLLM(), 0.3, seed=s), k=5
+            ).complete(system, PAPER_PROMPT)
+            == clean
+            for s in range(40)
+        )
+        assert voted > single
+        assert voted >= 32  # ~88% recovery at a 30% fault rate
+
+    def test_inner_call_accounting(self):
+        voter = MajorityVoteLLM(SimulatedLLM(), k=3)
+        system = DB.system_prompt(TaskKind.CLASSIFY)
+        voter.complete(system, PAPER_PROMPT)
+        voter.complete(system, PAPER_PROMPT)
+        assert voter.inner_calls == 6
+
+    def test_k_one_is_passthrough(self):
+        system = DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH)
+        voter = MajorityVoteLLM(SimulatedLLM(), k=1)
+        assert voter.complete(system, PAPER_PROMPT) == SimulatedLLM().complete(
+            system, PAPER_PROMPT
+        )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            MajorityVoteLLM(SimulatedLLM(), k=0)
+
+    def test_composes_with_pipeline(self):
+        from repro.core import ClarifySession, ScriptedOracle
+
+        voter = MajorityVoteLLM(
+            FaultyLLM(SimulatedLLM(), error_rate=0.4, seed=11), k=5
+        )
+        session = ClarifySession(
+            llm=voter, oracle=ScriptedOracle([1] * 3), max_attempts=5
+        )
+        report = session.request(PAPER_PROMPT, "ISP_OUT")
+        assert report.attempts <= 5
+        assert session.store.has_route_map("ISP_OUT")

@@ -1,0 +1,177 @@
+"""Unit and property tests for interval sets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netaddr import Interval, IntervalSet
+
+UNIVERSE = IntervalSet.closed(0, 100)
+
+
+def members(s: IntervalSet) -> set:
+    return set(s)
+
+
+@st.composite
+def interval_sets(draw, lo=0, hi=100, max_intervals=5):
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(lo, hi), st.integers(lo, hi)),
+            max_size=max_intervals,
+        )
+    )
+    return IntervalSet.from_pairs([(min(a, b), max(a, b)) for a, b in pairs])
+
+
+class TestInterval:
+    def test_empty_when_reversed(self):
+        assert Interval(5, 3).is_empty()
+        assert not Interval(3, 5).is_empty()
+
+    def test_contains(self):
+        iv = Interval(3, 5)
+        assert iv.contains(3) and iv.contains(5)
+        assert not iv.contains(2) and not iv.contains(6)
+
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+        assert Interval(0, 4).intersect(Interval(5, 9)).is_empty()
+
+    def test_str(self):
+        assert str(Interval(3, 3)) == "[3]"
+        assert str(Interval(3, 5)) == "[3, 5]"
+        assert str(Interval(5, 3)) == "[]"
+
+
+class TestIntervalSetConstruction:
+    def test_normalisation_merges_overlaps(self):
+        s = IntervalSet((Interval(0, 5), Interval(3, 9)))
+        assert s.intervals == (Interval(0, 9),)
+
+    def test_normalisation_merges_adjacent(self):
+        s = IntervalSet((Interval(0, 4), Interval(5, 9)))
+        assert s.intervals == (Interval(0, 9),)
+
+    def test_normalisation_keeps_gaps(self):
+        s = IntervalSet((Interval(0, 4), Interval(6, 9)))
+        assert s.intervals == (Interval(0, 4), Interval(6, 9))
+
+    def test_empties_dropped(self):
+        s = IntervalSet((Interval(5, 3),))
+        assert s.is_empty()
+
+    def test_of_and_single(self):
+        assert members(IntervalSet.of(1, 3, 5)) == {1, 3, 5}
+        assert members(IntervalSet.single(7)) == {7}
+
+    def test_canonical_equality(self):
+        a = IntervalSet((Interval(0, 2), Interval(3, 5)))
+        b = IntervalSet.closed(0, 5)
+        assert a == b
+
+
+class TestIntervalSetQueries:
+    def test_contains_binary_search(self):
+        s = IntervalSet.from_pairs([(0, 10), (20, 30), (40, 50)])
+        for v in [0, 10, 25, 50]:
+            assert s.contains(v)
+        for v in [-1, 11, 19, 31, 39, 51]:
+            assert not s.contains(v)
+
+    def test_min_max_size(self):
+        s = IntervalSet.from_pairs([(5, 10), (20, 21)])
+        assert s.min() == 5
+        assert s.max() == 21
+        assert s.size() == 8
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            IntervalSet.empty().min()
+        with pytest.raises(ValueError):
+            IntervalSet.empty().max()
+
+    def test_witness(self):
+        assert IntervalSet.empty().witness() is None
+        assert IntervalSet.closed(9, 12).witness() == 9
+
+    def test_bool(self):
+        assert IntervalSet.single(1)
+        assert not IntervalSet.empty()
+
+
+class TestIntervalSetAlgebra:
+    def test_intersect(self):
+        a = IntervalSet.from_pairs([(0, 10), (20, 30)])
+        b = IntervalSet.from_pairs([(5, 25)])
+        assert members(a.intersect(b)) == set(range(5, 11)) | set(range(20, 26))
+
+    def test_union(self):
+        a = IntervalSet.closed(0, 3)
+        b = IntervalSet.closed(10, 12)
+        assert members(a.union(b)) == set(range(0, 4)) | set(range(10, 13))
+
+    def test_complement(self):
+        s = IntervalSet.from_pairs([(10, 20), (40, 60)])
+        c = s.complement(UNIVERSE)
+        assert members(c) == members(UNIVERSE) - members(s)
+
+    def test_complement_of_empty_is_universe(self):
+        assert IntervalSet.empty().complement(UNIVERSE) == UNIVERSE
+
+    def test_complement_of_universe_is_empty(self):
+        assert UNIVERSE.complement(UNIVERSE).is_empty()
+
+    def test_subtract(self):
+        a = IntervalSet.closed(0, 10)
+        b = IntervalSet.closed(3, 5)
+        assert members(a.subtract(b)) == {0, 1, 2, 6, 7, 8, 9, 10}
+
+    def test_is_subset_of(self):
+        assert IntervalSet.closed(3, 5).is_subset_of(IntervalSet.closed(0, 10))
+        assert not IntervalSet.closed(3, 15).is_subset_of(IntervalSet.closed(0, 10))
+
+    def test_str(self):
+        assert str(IntervalSet.empty()) == "{}"
+        assert str(IntervalSet.from_pairs([(1, 2), (4, 4)])) == "[1, 2] u [4]"
+
+
+class TestIntervalSetProperties:
+    @given(interval_sets(), interval_sets())
+    def test_intersection_matches_set_semantics(self, a, b):
+        assert members(a.intersect(b)) == members(a) & members(b)
+
+    @given(interval_sets(), interval_sets())
+    def test_union_matches_set_semantics(self, a, b):
+        assert members(a.union(b)) == members(a) | members(b)
+
+    @given(interval_sets())
+    def test_complement_matches_set_semantics(self, a):
+        assert members(a.complement(UNIVERSE)) == members(UNIVERSE) - members(a)
+
+    @given(interval_sets())
+    def test_double_complement_is_identity(self, a):
+        clipped = a.intersect(UNIVERSE)
+        assert clipped.complement(UNIVERSE).complement(UNIVERSE) == clipped
+
+    @given(interval_sets(), interval_sets())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(interval_sets(), interval_sets(), interval_sets())
+    def test_distributivity(self, a, b, c):
+        left = a.intersect(b.union(c))
+        right = a.intersect(b).union(a.intersect(c))
+        assert left == right
+
+    @given(interval_sets())
+    def test_size_matches_member_count(self, a):
+        assert a.size() == len(members(a))
+
+    @given(interval_sets())
+    def test_witness_is_member(self, a):
+        w = a.witness()
+        if w is None:
+            assert a.is_empty()
+        else:
+            assert a.contains(w)

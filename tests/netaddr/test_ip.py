@@ -1,0 +1,157 @@
+"""Unit tests for IPv4 addresses, prefixes, and wildcard masks."""
+
+import pytest
+
+from repro.netaddr import Ipv4Address, Ipv4Prefix, Ipv4Wildcard
+
+
+class TestIpv4Address:
+    def test_parse_round_trip(self):
+        for text in ["0.0.0.0", "10.0.0.1", "255.255.255.255", "192.168.1.7"]:
+            assert str(Ipv4Address.parse(text)) == text
+
+    def test_parse_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            Ipv4Address.parse("10.0.0.256")
+
+    def test_parse_rejects_short_form(self):
+        with pytest.raises(ValueError):
+            Ipv4Address.parse("10.0.0")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Ipv4Address.parse("ten.zero.zero.one")
+
+    def test_value_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Ipv4Address(-1)
+        with pytest.raises(ValueError):
+            Ipv4Address(2**32)
+
+    def test_ordering_follows_numeric_value(self):
+        assert Ipv4Address.parse("10.0.0.1") < Ipv4Address.parse("10.0.0.2")
+
+    def test_bit_extraction(self):
+        addr = Ipv4Address.parse("128.0.0.1")
+        assert addr.bit(0) == 1
+        assert addr.bit(1) == 0
+        assert addr.bit(31) == 1
+
+    def test_bit_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            Ipv4Address(0).bit(32)
+
+
+class TestIpv4Prefix:
+    def test_parse_round_trip(self):
+        assert str(Ipv4Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Ipv4Prefix.parse("10.0.0.1/8")
+
+    def test_canonical_zeroes_host_bits(self):
+        prefix = Ipv4Prefix.canonical(Ipv4Address.parse("10.1.2.3"), 8)
+        assert str(prefix) == "10.0.0.0/8"
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Ipv4Prefix.parse("10.0.0.0/33")
+
+    def test_contains_address(self):
+        prefix = Ipv4Prefix.parse("10.0.0.0/8")
+        assert prefix.contains_address(Ipv4Address.parse("10.255.0.1"))
+        assert not prefix.contains_address(Ipv4Address.parse("11.0.0.0"))
+
+    def test_contains_prefix(self):
+        outer = Ipv4Prefix.parse("10.0.0.0/8")
+        inner = Ipv4Prefix.parse("10.1.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_overlaps(self):
+        a = Ipv4Prefix.parse("10.0.0.0/8")
+        b = Ipv4Prefix.parse("10.1.0.0/16")
+        c = Ipv4Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_address_range(self):
+        prefix = Ipv4Prefix.parse("10.0.0.0/24")
+        assert str(prefix.first_address()) == "10.0.0.0"
+        assert str(prefix.last_address()) == "10.0.0.255"
+
+    def test_default_route_range(self):
+        prefix = Ipv4Prefix.parse("0.0.0.0/0")
+        assert str(prefix.last_address()) == "255.255.255.255"
+
+    def test_truncate(self):
+        prefix = Ipv4Prefix.parse("10.1.0.0/16")
+        assert str(prefix.truncate(8)) == "10.0.0.0/8"
+        with pytest.raises(ValueError):
+            prefix.truncate(24)
+
+    def test_child_and_sibling(self):
+        prefix = Ipv4Prefix.parse("10.0.0.0/8")
+        assert str(prefix.child(0)) == "10.0.0.0/9"
+        assert str(prefix.child(1)) == "10.128.0.0/9"
+        assert str(prefix.child(1).sibling()) == "10.0.0.0/9"
+
+    def test_sibling_of_root_rejected(self):
+        with pytest.raises(ValueError):
+            Ipv4Prefix.parse("0.0.0.0/0").sibling()
+
+    def test_ancestors(self):
+        prefix = Ipv4Prefix.parse("192.0.0.0/3")
+        ancestors = list(prefix.ancestors())
+        assert [str(p) for p in ancestors] == [
+            "0.0.0.0/0",
+            "128.0.0.0/1",
+            "192.0.0.0/2",
+        ]
+
+    def test_host_prefix(self):
+        host = Ipv4Prefix.host(Ipv4Address.parse("1.2.3.4"))
+        assert str(host) == "1.2.3.4/32"
+
+
+class TestIpv4Wildcard:
+    def test_prefix_round_trip(self):
+        prefix = Ipv4Prefix.parse("10.0.0.0/8")
+        wc = Ipv4Wildcard.from_prefix(prefix)
+        assert str(wc) == "10.0.0.0 0.255.255.255"
+        assert wc.is_prefix_like()
+        assert wc.to_prefix() == prefix
+
+    def test_any(self):
+        wc = Ipv4Wildcard.any()
+        assert wc.matches(Ipv4Address.parse("1.2.3.4"))
+        assert wc.to_prefix() == Ipv4Prefix.parse("0.0.0.0/0")
+
+    def test_host(self):
+        wc = Ipv4Wildcard.host(Ipv4Address.parse("1.1.1.1"))
+        assert wc.matches(Ipv4Address.parse("1.1.1.1"))
+        assert not wc.matches(Ipv4Address.parse("1.1.1.2"))
+        assert wc.to_prefix() == Ipv4Prefix.parse("1.1.1.1/32")
+
+    def test_matching_respects_wildcard_bits(self):
+        wc = Ipv4Wildcard(
+            Ipv4Address.parse("10.0.0.0"), Ipv4Address.parse("0.255.255.255")
+        )
+        assert wc.matches(Ipv4Address.parse("10.9.8.7"))
+        assert not wc.matches(Ipv4Address.parse("11.0.0.0"))
+
+    def test_non_contiguous_mask_detected(self):
+        wc = Ipv4Wildcard(
+            Ipv4Address.parse("10.0.0.0"), Ipv4Address.parse("0.255.0.255")
+        )
+        assert not wc.is_prefix_like()
+        with pytest.raises(ValueError):
+            wc.to_prefix()
+
+    def test_address_canonicalised_against_mask(self):
+        wc = Ipv4Wildcard(
+            Ipv4Address.parse("10.0.0.42"), Ipv4Address.parse("0.0.0.255")
+        )
+        assert str(wc.address) == "10.0.0.0"

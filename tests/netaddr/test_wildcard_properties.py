@@ -1,0 +1,63 @@
+"""Cross-module consistency: wildcard matching vs interval expansion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.headerspace import HeaderSpaceError, wildcard_to_intervals
+from repro.netaddr import Ipv4Address, Ipv4Wildcard
+
+
+@st.composite
+def wildcards(draw):
+    # Keep don't-care bits in the low byte plus at most a few scattered
+    # bits so exact expansion stays feasible.
+    low = draw(st.integers(0, 255))
+    scattered_bits = draw(
+        st.lists(st.integers(8, 31), max_size=3, unique=True)
+    )
+    mask = low
+    for bit in scattered_bits:
+        mask |= 1 << bit
+    address = draw(st.integers(0, 0xFFFFFFFF))
+    return Ipv4Wildcard(Ipv4Address(address), Ipv4Address(mask))
+
+
+@st.composite
+def probe_addresses(draw, wc):
+    """Addresses biased toward the wildcard's boundary region."""
+    base = wc.address.value
+    tweak = draw(st.integers(0, 0xFFFFFFFF))
+    mode = draw(st.integers(0, 2))
+    if mode == 0:
+        return Ipv4Address(tweak)
+    if mode == 1:
+        return Ipv4Address(base | (tweak & wc.wildcard.value))
+    return Ipv4Address((base ^ (1 << draw(st.integers(0, 31)))) & 0xFFFFFFFF)
+
+
+class TestWildcardIntervalConsistency:
+    @given(st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_agrees_with_interval_membership(self, data):
+        wc = data.draw(wildcards())
+        intervals = wildcard_to_intervals(wc)
+        for _ in range(4):
+            address = data.draw(probe_addresses(wc))
+            assert wc.matches(address) == intervals.contains(address.value), (
+                wc,
+                address,
+            )
+
+    @given(wildcards())
+    @settings(max_examples=100, deadline=None)
+    def test_interval_size_is_power_of_two(self, wc):
+        intervals = wildcard_to_intervals(wc)
+        size = intervals.size()
+        dont_care = bin(wc.wildcard.value).count("1")
+        assert size == 1 << dont_care
+
+    @given(wildcards())
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_address_is_member(self, wc):
+        intervals = wildcard_to_intervals(wc)
+        assert intervals.contains(wc.address.value)

@@ -1,0 +1,72 @@
+"""Tests for cross-map chain overlap analysis (§3.1)."""
+
+from repro.config import parse_config
+from repro.overlap import chain_overlap_report
+
+CHAIN_TEXT = """
+ip prefix-list NETS seq 5 permit 10.0.0.0/8 le 24
+ip community-list expanded TAGGED permit _65000:1_
+
+route-map STAGE1 permit 10
+ match ip address prefix-list NETS
+route-map STAGE1 deny 20
+ match community TAGGED
+
+route-map STAGE2 deny 10
+ match ip address prefix-list NETS
+route-map STAGE2 permit 20
+"""
+
+
+class TestChainOverlaps:
+    def test_cross_map_pairs_found(self):
+        store = parse_config(CHAIN_TEXT)
+        chain = [store.route_map("STAGE1"), store.route_map("STAGE2")]
+        report = chain_overlap_report(chain, store)
+        assert report.maps == ("STAGE1", "STAGE2")
+        # STAGE1/10 (prefix) overlaps STAGE2/10 (same prefix, conflict)
+        # and STAGE2/20 (match-all); STAGE1/20 (community) overlaps both
+        # STAGE2 stanzas.
+        assert report.overlap_count == 4
+        assert report.conflict_count >= 2
+        assert report.has_overlap()
+
+    def test_intra_map_pairs_excluded(self):
+        # A chain of one map reports nothing: cross-map pairs only.
+        store = parse_config(CHAIN_TEXT)
+        report = chain_overlap_report([store.route_map("STAGE1")], store)
+        assert report.overlap_count == 0
+
+    def test_disjoint_maps(self):
+        text = """
+ip prefix-list A seq 5 permit 10.0.0.0/16 le 24
+ip prefix-list B seq 5 permit 99.0.0.0/16 le 24
+route-map M1 permit 10
+ match ip address prefix-list A
+route-map M2 deny 10
+ match ip address prefix-list B
+"""
+        store = parse_config(text)
+        report = chain_overlap_report(
+            [store.route_map("M1"), store.route_map("M2")], store
+        )
+        assert not report.has_overlap()
+
+    def test_three_map_chain(self):
+        text = """
+route-map X permit 10
+ match metric 1
+route-map Y deny 10
+ match metric 1
+route-map Z permit 10
+ match tag 5
+"""
+        store = parse_config(text)
+        chain = [store.route_map(n) for n in ("X", "Y", "Z")]
+        report = chain_overlap_report(chain, store)
+        # X/Y overlap (conflicting); X/Z and Y/Z overlap (independent
+        # fields).
+        assert report.overlap_count == 3
+        assert report.conflict_count == 2
+        pair_maps = {(p.map_a, p.map_b) for p in report.pairs}
+        assert pair_maps == {("X", "Y"), ("X", "Z"), ("Y", "Z")}

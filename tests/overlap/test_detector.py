@@ -1,0 +1,223 @@
+"""Tests for pairwise overlap detection and corpus statistics."""
+
+from repro.config import parse_config
+from repro.overlap import (
+    AclCorpusStats,
+    RouteMapCorpusStats,
+    acl_overlap_report,
+    route_map_overlap_report,
+)
+
+
+class TestAclOverlaps:
+    def test_paper_trivial_example(self):
+        # The §3.2 example: permit host pair vs deny ip any any — a
+        # conflicting overlap where one match is a proper subset.
+        text = """
+ip access-list extended T
+ 10 permit tcp host 1.1.1.1 host 2.2.2.2
+ 20 deny ip any any
+"""
+        report = acl_overlap_report(parse_config(text).acl("T"))
+        assert report.overlap_count == 1
+        assert report.conflict_count == 1
+        assert report.pairs[0].subset
+        assert report.nontrivial_conflict_count == 0
+        assert report.has_conflict()
+        assert not report.has_nontrivial_conflict()
+
+    def test_nontrivial_conflict(self):
+        text = """
+ip access-list extended T
+ 10 permit tcp 10.0.0.0 0.255.255.255 any
+ 20 deny tcp any 20.0.0.0 0.255.255.255
+"""
+        report = acl_overlap_report(parse_config(text).acl("T"))
+        assert report.overlap_count == 1
+        assert report.conflict_count == 1
+        assert not report.pairs[0].subset
+        assert report.nontrivial_conflict_count == 1
+
+    def test_same_action_overlap_not_conflicting(self):
+        text = """
+ip access-list extended T
+ 10 permit tcp 10.0.0.0 0.255.255.255 any
+ 20 permit tcp any any
+"""
+        report = acl_overlap_report(parse_config(text).acl("T"))
+        assert report.overlap_count == 1
+        assert report.conflict_count == 0
+
+    def test_disjoint_rules_have_no_overlap(self):
+        text = """
+ip access-list extended T
+ 10 permit tcp 10.0.0.0 0.255.255.255 any
+ 20 deny tcp 11.0.0.0 0.255.255.255 any
+"""
+        report = acl_overlap_report(parse_config(text).acl("T"))
+        assert report.overlap_count == 0
+
+    def test_port_disjoint_rules(self):
+        text = """
+ip access-list extended T
+ 10 permit tcp any any eq 80
+ 20 deny tcp any any eq 443
+"""
+        report = acl_overlap_report(parse_config(text).acl("T"))
+        assert report.overlap_count == 0
+
+    def test_pair_count_in_crossing_acl(self):
+        from repro.synth.builders import PrefixPool, crossing_acl
+        import random
+
+        rng = random.Random(7)
+        acl = crossing_acl("X", rng, PrefixPool(rng), permits=4, denies=3)
+        report = acl_overlap_report(acl)
+        assert report.overlap_count == 12
+        assert report.nontrivial_conflict_count == 12
+
+
+class TestWitnesses:
+    def test_acl_pair_witness_matches_both_rules(self):
+        text = """
+ip access-list extended T
+ 10 permit tcp 10.0.0.0 0.255.255.255 any
+ 20 deny tcp any 20.0.0.0 0.255.255.255
+"""
+        acl = parse_config(text).acl("T")
+        report = acl_overlap_report(acl, with_witnesses=True)
+        witness = report.pairs[0].witness
+        assert witness is not None
+        assert acl.rules[0].matches(witness)
+        assert acl.rules[1].matches(witness)
+
+    def test_route_map_pair_witness_matches_both_stanzas(self):
+        from repro.analysis.evaluate import stanza_matches
+
+        text = """
+ip community-list expanded C permit _65000:1_
+route-map RM deny 10
+ match community C
+route-map RM permit 20
+"""
+        store = parse_config(text)
+        rm = store.route_map("RM")
+        report = route_map_overlap_report(rm, store, with_witnesses=True)
+        witness = report.pairs[0].witness
+        assert witness is not None
+        assert stanza_matches(rm.stanzas[0], witness, store)
+        assert stanza_matches(rm.stanzas[1], witness, store)
+
+    def test_witnesses_off_by_default(self):
+        text = """
+ip access-list extended T
+ 10 permit tcp any any
+ 20 deny ip any any
+"""
+        report = acl_overlap_report(parse_config(text).acl("T"))
+        assert report.pairs[0].witness is None
+
+
+class TestRouteMapOverlaps:
+    def test_overlap_ignores_actions(self):
+        text = """
+ip prefix-list WIDE seq 5 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 5 permit 10.1.0.0/16 le 32
+route-map RM permit 10
+ match ip address prefix-list NARROW
+route-map RM permit 20
+ match ip address prefix-list WIDE
+"""
+        store = parse_config(text)
+        report = route_map_overlap_report(store.route_map("RM"), store)
+        assert report.overlap_count == 1
+        assert report.conflict_count == 0
+        assert report.pairs[0].subset
+
+    def test_conflicting_stanzas_recorded(self):
+        text = """
+ip community-list expanded C permit _65000:1_
+route-map RM deny 10
+ match community C
+route-map RM permit 20
+"""
+        store = parse_config(text)
+        report = route_map_overlap_report(store.route_map("RM"), store)
+        assert report.overlap_count == 1
+        assert report.conflict_count == 1
+
+    def test_disjoint_prefix_stanzas(self):
+        text = """
+ip prefix-list A seq 5 permit 10.0.0.0/16 le 24
+ip prefix-list B seq 5 permit 11.0.0.0/16 le 24
+route-map RM permit 10
+ match ip address prefix-list A
+route-map RM deny 20
+ match ip address prefix-list B
+"""
+        store = parse_config(text)
+        report = route_map_overlap_report(store.route_map("RM"), store)
+        assert report.overlap_count == 0
+
+    def test_paper_isp_out_overlaps(self):
+        # In ISP_OUT, stanza 10 (as-path) overlaps 20 (prefix) and 30
+        # (local-pref); 20 and 30 also overlap each other.
+        text = """
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+"""
+        store = parse_config(text)
+        report = route_map_overlap_report(store.route_map("ISP_OUT"), store)
+        assert report.overlap_count == 3
+
+
+class TestCorpusStats:
+    def test_acl_stats_fractions(self):
+        texts = [
+            # conflicting, subset only
+            "ip access-list extended A\n 10 permit tcp host 1.1.1.1 any\n 20 deny ip any any",
+            # conflicting, non-trivial
+            "ip access-list extended B\n 10 permit tcp 10.0.0.0 0.255.255.255 any\n 20 deny tcp any 20.0.0.0 0.255.255.255",
+            # clean
+            "ip access-list extended C\n 10 permit tcp 10.0.0.0 0.255.255.255 any",
+            "ip access-list extended D\n 10 permit udp any any",
+        ]
+        reports = [
+            acl_overlap_report(list(parse_config(t).acls())[0]) for t in texts
+        ]
+        stats = AclCorpusStats.collect(reports)
+        assert stats.total == 4
+        assert stats.with_conflicts == 2
+        assert stats.with_nontrivial_conflicts == 1
+        assert stats.conflict_fraction == 50.0
+        assert stats.nontrivial_fraction == 25.0
+        assert "ACLs analysed" in stats.render()
+
+    def test_route_map_stats(self):
+        text = """
+ip community-list expanded C permit _65000:1_
+route-map X deny 10
+ match community C
+route-map X permit 20
+route-map Y permit 10
+"""
+        store = parse_config(text)
+        reports = [
+            route_map_overlap_report(rm, store) for rm in store.route_maps()
+        ]
+        stats = RouteMapCorpusStats.collect(reports)
+        assert stats.total == 2
+        assert stats.with_overlaps == 1
+        assert stats.with_many_overlaps == 0
+        assert "route-maps analysed" in stats.render()
+
+    def test_empty_corpus(self):
+        stats = AclCorpusStats.collect([])
+        assert stats.total == 0
+        assert stats.conflict_fraction == 0.0

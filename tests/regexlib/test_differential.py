@@ -1,0 +1,98 @@
+"""Differential testing: our regex engine vs Python's ``re``.
+
+For patterns in the shared fragment (no Cisco ``_``), our search
+semantics must agree exactly with ``re.search``.  Patterns are generated
+structurally (so they are always syntactically valid) and rendered to
+pattern text; subjects are short random strings over the same alphabet.
+"""
+
+import re as python_re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regexlib import compile_regex
+
+ALPHABET = "ab01:"
+
+
+@st.composite
+def patterns(draw, depth=3):
+    """A random pattern string in the fragment both engines support."""
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return draw(st.sampled_from(ALPHABET))
+        if choice == 1:
+            return "."
+        chars = draw(st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=3))
+        negated = draw(st.booleans())
+        return "[" + ("^" if negated else "") + "".join(sorted(set(chars))) + "]"
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return draw(patterns(depth=0))
+    if choice == 1:
+        left = draw(patterns(depth=depth - 1))
+        right = draw(patterns(depth=depth - 1))
+        return left + right
+    if choice == 2:
+        left = draw(patterns(depth=depth - 1))
+        right = draw(patterns(depth=depth - 1))
+        return f"({left}|{right})"
+    if choice == 3:
+        inner = draw(patterns(depth=depth - 1))
+        op = draw(st.sampled_from("*+?"))
+        return f"({inner}){op}"
+    inner = draw(patterns(depth=depth - 1))
+    lo = draw(st.integers(0, 2))
+    hi = draw(st.integers(lo, 3))
+    return f"({inner}){{{lo},{hi}}}"
+
+
+@st.composite
+def anchored_patterns(draw):
+    core = draw(patterns())
+    anchor = draw(st.integers(0, 3))
+    if anchor == 1:
+        return "^" + core
+    if anchor == 2:
+        return core + "$"
+    if anchor == 3:
+        return "^" + core + "$"
+    return core
+
+
+subjects = st.text(alphabet=ALPHABET, max_size=8)
+
+
+class TestAgainstPythonRe:
+    @given(anchored_patterns(), subjects)
+    @settings(max_examples=300, deadline=None)
+    def test_search_agrees_with_re(self, pattern, subject):
+        ours = compile_regex(pattern).search(subject)
+        theirs = python_re.search(pattern, subject) is not None
+        assert ours == theirs, (pattern, subject)
+
+    @given(anchored_patterns())
+    @settings(max_examples=150, deadline=None)
+    def test_generated_example_accepted_by_re(self, pattern):
+        example = compile_regex(pattern).example()
+        if example is None:
+            return  # unsatisfiable within the length bound
+        assert python_re.search(pattern, example) is not None, (
+            pattern,
+            example,
+        )
+
+    @given(anchored_patterns(), anchored_patterns())
+    @settings(max_examples=100, deadline=None)
+    def test_joint_witness_respects_both_engines(self, positive, negative):
+        from repro.regexlib import find_word
+
+        word = find_word(
+            [compile_regex(positive)], [compile_regex(negative)], max_length=12
+        )
+        if word is None:
+            return
+        assert python_re.search(positive, word) is not None
+        assert python_re.search(negative, word) is None

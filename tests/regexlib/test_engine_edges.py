@@ -1,0 +1,70 @@
+"""Edge-case tests for the regex engine internals."""
+
+from repro.regexlib import compile_regex, find_word
+from repro.regexlib.nfa import NFA, _joint_alphabet
+from repro.regexlib.parser import parse_regex
+
+
+class TestFindWordBounds:
+    def test_max_length_limits_search(self):
+        # The only words matching require 5 characters; a bound of 3 must
+        # report unsatisfiable without hanging.
+        r = compile_regex("^aaaaa$")
+        assert find_word([r], [], max_length=3) is None
+        assert find_word([r], [], max_length=8) == "aaaaa"
+
+    def test_empty_positive_list(self):
+        # With no positive patterns the shortest unforbidden word wins.
+        assert find_word([], []) == ""
+        assert find_word([], [compile_regex("^$")]) not in (None, "")
+
+    def test_multiple_positives_share_one_word(self):
+        word = find_word(
+            [compile_regex("^a"), compile_regex("b$"), compile_regex("ab|aab")],
+            [],
+        )
+        assert word is not None
+        assert word.startswith("a") and word.endswith("b")
+
+    def test_compile_cache_returns_same_object(self):
+        assert compile_regex("_300:3_") is compile_regex("_300:3_")
+
+
+class TestAlphabetSelection:
+    def test_mentioned_chars_collected(self):
+        nfa = NFA.from_ast(parse_regex("[ab]c|d"))
+        assert {"a", "b", "c", "d"} <= set(nfa.mentioned_chars())
+
+    def test_joint_alphabet_has_representative_for_dot(self):
+        nfa = NFA.from_ast(parse_regex("."))
+        alphabet = _joint_alphabet([nfa])
+        assert alphabet  # at least the representative char
+        # The representative is outside the (empty) mentioned set.
+        assert all(ch not in nfa.mentioned_chars() for ch in alphabet)
+
+    def test_witness_prefers_digits(self):
+        # For numeric patterns the witness should look numeric.
+        example = compile_regex("^[0-9]+$").example()
+        assert example.isdigit()
+
+
+class TestSearchEdges:
+    def test_empty_subject(self):
+        assert compile_regex("^$").search("")
+        assert not compile_regex("a").search("")
+        assert compile_regex("a*").search("")
+
+    def test_anchors_inside_alternation(self):
+        r = compile_regex("^start|end$")
+        assert r.search("start of line")
+        assert r.search("at the end")
+        assert not r.search("middle startish...")
+
+    def test_str_is_pattern(self):
+        assert str(compile_regex("_65000:1_")) == "_65000:1_"
+
+    def test_long_subject(self):
+        r = compile_regex("needle")
+        haystack = "hay" * 500 + "needle" + "hay" * 500
+        assert r.search(haystack)
+        assert not r.search("hay" * 1000)

@@ -1,0 +1,205 @@
+"""Tests for the Cisco-flavoured regex engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.regexlib import RegexSyntaxError, compile_regex, find_word, parse_regex
+from repro.regexlib.cisco import (
+    as_path_matches,
+    community_matches,
+    find_as_path,
+    find_community,
+    literal_community_pattern,
+    render_as_path,
+)
+
+
+class TestParser:
+    def test_rejects_unbalanced_paren(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("(ab")
+
+    def test_rejects_leading_star(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("*a")
+
+    def test_rejects_unterminated_class(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("[abc")
+
+    def test_rejects_reversed_range(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("[9-0]")
+
+    def test_rejects_bad_repeat(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a{5,2}")
+
+    def test_rejects_huge_repeat(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a{1,1000}")
+
+    def test_rejects_bare_brace(self):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex("a{x}")
+
+
+class TestSearchSemantics:
+    def test_unanchored_substring_match(self):
+        assert compile_regex("300").search("1300:35")
+
+    def test_anchored_match(self):
+        r = compile_regex("^300:3$")
+        assert r.search("300:3")
+        assert not r.search("1300:3")
+        assert not r.search("300:35")
+
+    def test_empty_pattern_matches_everything(self):
+        assert compile_regex("").search("anything")
+        assert compile_regex("").search("")
+
+    def test_dot_does_not_cross_boundaries(self):
+        # ".3" requires a real character before '3'.
+        assert not compile_regex("^.3").search("3")
+        assert compile_regex("^.3").search("13")
+
+    def test_alternation(self):
+        r = compile_regex("cat|dog")
+        assert r.search("hotdog")
+        assert r.search("catalog")
+        assert not r.search("bird")
+
+    def test_star_plus_opt(self):
+        assert compile_regex("^ab*c$").search("ac")
+        assert compile_regex("^ab*c$").search("abbbc")
+        assert not compile_regex("^ab+c$").search("ac")
+        assert compile_regex("^ab?c$").search("abc")
+        assert not compile_regex("^ab?c$").search("abbc")
+
+    def test_char_class(self):
+        r = compile_regex("^[0-9]+$")
+        assert r.search("12345")
+        assert not r.search("12a45")
+
+    def test_negated_class(self):
+        r = compile_regex("^[^0-9]$")
+        assert r.search("x")
+        assert not r.search("7")
+
+    def test_bounded_repeat(self):
+        r = compile_regex("^a{2,3}$")
+        assert not r.search("a")
+        assert r.search("aa")
+        assert r.search("aaa")
+        assert not r.search("aaaa")
+
+    def test_escape(self):
+        r = compile_regex("^1\\.2$")
+        assert r.search("1.2")
+        assert not r.search("1x2")
+
+
+class TestCiscoUnderscore:
+    def test_underscore_matches_boundaries(self):
+        assert as_path_matches("_32$", [174, 32])
+        assert not as_path_matches("_32$", [32, 174])
+        assert as_path_matches("_32$", [32])
+
+    def test_underscore_does_not_match_inside_number(self):
+        assert not as_path_matches("_32_", [132])
+        assert not as_path_matches("_32_", [321])
+        assert as_path_matches("_32_", [1, 32, 4])
+
+    def test_origin_asn_pattern(self):
+        # Routes originating from ASN 65001: path ends with 65001.
+        assert as_path_matches("_65001$", [7018, 65001])
+        assert not as_path_matches("_65001$", [65001, 7018])
+
+    def test_empty_path(self):
+        assert as_path_matches("^$", [])
+        assert not as_path_matches("^$", [1])
+
+    def test_community_underscore(self):
+        assert community_matches("_300:3_", "300:3")
+        assert not community_matches("_300:3_", "1300:3")
+        assert not community_matches("_300:3_", "300:35")
+
+
+class TestWitnessGeneration:
+    def test_example_satisfies_pattern(self):
+        for pattern in ["^300:3$", "_32$", "^[0-9]+:[0-9]+$", "ab+c"]:
+            r = compile_regex(pattern)
+            example = r.example()
+            assert example is not None
+            assert r.search(example)
+
+    def test_unsatisfiable_conjunction(self):
+        assert find_word([compile_regex("^a$"), compile_regex("^b$")], []) is None
+
+    def test_positive_and_negative(self):
+        word = find_word([compile_regex("^[0-9]+$")], [compile_regex("7")])
+        assert word is not None
+        assert word.isdigit()
+        assert "7" not in word
+
+    def test_forbidden_matches_everything(self):
+        assert find_word([compile_regex("^a$")], [compile_regex("")]) is None
+
+    def test_find_community(self):
+        c = find_community(["_300:3_"], [])
+        assert c is not None
+        assert community_matches("_300:3_", c)
+
+    def test_find_community_with_forbidden(self):
+        c = find_community(["^300:"], ["^300:3$"])
+        assert c is not None
+        assert community_matches("^300:", c)
+        assert not community_matches("^300:3$", c)
+
+    def test_find_as_path(self):
+        path = find_as_path(["_32$"], [])
+        assert path is not None
+        assert path[-1] == 32
+
+    def test_find_as_path_with_forbidden(self):
+        path = find_as_path(["_32$"], ["_174_"])
+        assert path is not None
+        assert path[-1] == 32
+        assert 174 not in path
+
+    def test_find_as_path_unsat(self):
+        assert find_as_path(["^$"], ["^$"]) is None
+
+
+class TestLiteralCommunityPattern:
+    def test_escapes_metacharacters(self):
+        pattern = literal_community_pattern("300:3")
+        assert community_matches(pattern, "300:3")
+        assert not community_matches(pattern, "1300:3")
+        assert not community_matches(pattern, "300:33")
+
+    @given(
+        st.tuples(st.integers(0, 65535), st.integers(0, 65535)).map(
+            lambda t: f"{t[0]}:{t[1]}"
+        )
+    )
+    def test_literal_pattern_matches_only_itself(self, community):
+        pattern = literal_community_pattern(community)
+        assert community_matches(pattern, community)
+        assert not community_matches(pattern, community + "0")
+        assert not community_matches(pattern, "1" + community)
+
+
+class TestRenderAsPath:
+    def test_render(self):
+        assert render_as_path([1, 2, 3]) == "1 2 3"
+        assert render_as_path([]) == ""
+
+
+@given(st.lists(st.integers(0, 4294967295), max_size=6))
+def test_rendered_path_round_trips_through_matching(asns):
+    # A literal anchored pattern built from the rendered path matches it.
+    rendered = render_as_path(asns)
+    pattern = "^" + rendered.replace(" ", " ") + "$" if rendered else "^$"
+    assert as_path_matches(pattern, asns)

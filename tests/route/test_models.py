@@ -1,0 +1,121 @@
+"""Unit tests for the route and packet value models."""
+
+import pytest
+
+from repro.route import AsPathSegment, BgpRoute, Packet
+from repro.route.packet import PROTOCOL_NUMBERS
+
+
+class TestBgpRoute:
+    def test_build_defaults_match_batfish_counterexample_defaults(self):
+        route = BgpRoute.build("10.0.0.0/8")
+        assert route.local_preference == 100
+        assert route.metric == 0
+        assert str(route.next_hop) == "0.0.0.1"
+        assert route.tag == 0
+        assert route.weight == 0
+        assert route.communities == frozenset()
+        assert route.asns() == []
+
+    def test_as_path_segments_flatten(self):
+        route = BgpRoute(
+            network=BgpRoute.build("10.0.0.0/8").network,
+            as_path=(
+                AsPathSegment((65000, 65001)),
+                AsPathSegment((7018,), confederation=True),
+            ),
+        )
+        assert route.asns() == [65000, 65001, 7018]
+
+    def test_segment_rejects_bad_asn(self):
+        with pytest.raises(ValueError):
+            AsPathSegment((2**32,))
+
+    def test_prepend_adds_leading_segment(self):
+        route = BgpRoute.build("10.0.0.0/8", as_path=[7])
+        prepended = route.prepend([65000, 65000])
+        assert prepended.asns() == [65000, 65000, 7]
+        assert route.asns() == [7]  # original untouched
+
+    def test_prepend_empty_is_noop(self):
+        route = BgpRoute.build("10.0.0.0/8", as_path=[7])
+        assert route.prepend([]) is route
+
+    def test_with_updates(self):
+        route = BgpRoute.build("10.0.0.0/8")
+        updated = route.with_updates(metric=99, tag=5)
+        assert updated.metric == 99 and updated.tag == 5
+        assert route.metric == 0
+
+    def test_render_matches_paper_format(self):
+        route = BgpRoute.build(
+            "100.0.0.0/16",
+            as_path=[32],
+            communities=["300:3"],
+        )
+        text = route.render()
+        assert text.splitlines() == [
+            "Network: 100.0.0.0/16",
+            'AS Path: [{ "asns": [32], "confederation": false }]',
+            'Communities: ["300:3"]',
+            "Local Preference: 100",
+            "Metric: 0",
+            "Next Hop IP: 0.0.0.1",
+            "Tag: 0",
+            "Weight: 0",
+        ]
+
+    def test_render_confederation_true(self):
+        route = BgpRoute(
+            network=BgpRoute.build("10.0.0.0/8").network,
+            as_path=(AsPathSegment((1,), confederation=True),),
+        )
+        assert '"confederation": true' in route.render()
+
+    def test_hashable_and_equal(self):
+        a = BgpRoute.build("10.0.0.0/8", communities=["1:1"])
+        b = BgpRoute.build("10.0.0.0/8", communities=["1:1"])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPacket:
+    def test_build_and_defaults(self):
+        packet = Packet.build("1.2.3.4", "5.6.7.8")
+        assert packet.protocol == PROTOCOL_NUMBERS["tcp"]
+        assert packet.has_ports()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Packet.build("1.2.3.4", "5.6.7.8", protocol=300)
+        with pytest.raises(ValueError):
+            Packet.build("1.2.3.4", "5.6.7.8", src_port=70000)
+        with pytest.raises(ValueError):
+            Packet.build("1.2.3.4", "5.6.7.8", dscp=70)
+
+    def test_established_requires_tcp(self):
+        with pytest.raises(ValueError):
+            Packet.build("1.2.3.4", "5.6.7.8", protocol=17, tcp_established=True)
+        packet = Packet.build("1.2.3.4", "5.6.7.8", tcp_established=True)
+        assert packet.tcp_established
+
+    def test_protocol_names(self):
+        assert Packet.build("1.1.1.1", "2.2.2.2", protocol=17).protocol_name() == "udp"
+        assert Packet.build("1.1.1.1", "2.2.2.2", protocol=142).protocol_name() == "142"
+
+    def test_render_tcp_includes_ports_and_flag(self):
+        packet = Packet.build(
+            "1.1.1.1", "2.2.2.2", dst_port=443, tcp_established=True
+        )
+        text = packet.render()
+        assert "Destination Port: 443" in text
+        assert "TCP Established: true" in text
+
+    def test_render_icmp_omits_ports(self):
+        packet = Packet.build("1.1.1.1", "2.2.2.2", protocol=1)
+        text = packet.render()
+        assert "Port" not in text
+
+    def test_render_dscp_when_set(self):
+        packet = Packet.build("1.1.1.1", "2.2.2.2", dscp=46)
+        assert "DSCP: 46" in packet.render()

@@ -1,0 +1,155 @@
+"""Tests for the synthetic §3 corpora (at reduced scale)."""
+
+from repro.overlap import (
+    AclCorpusStats,
+    RouteMapCorpusStats,
+    acl_overlap_report,
+    route_map_overlap_report,
+)
+from repro.synth import generate_campus_corpus, generate_cloud_corpus
+from repro.synth.campus import ArchetypeCounts
+
+
+class TestArchetypeCounts:
+    def test_full_scale_counts_match_paper_percentages(self):
+        counts = ArchetypeCounts.for_total(11088)
+        conflicting = (
+            counts.shadowed_light
+            + counts.shadowed_heavy
+            + counts.crossing_light
+            + counts.crossing_heavy
+        )
+        nontrivial = counts.crossing_light + counts.crossing_heavy
+        assert counts.total == 11088
+        assert round(100 * conflicting / 11088, 1) == 37.7
+        assert round(100 * nontrivial / 11088, 1) == 18.6
+        heavy_conflicting = counts.shadowed_heavy + counts.crossing_heavy
+        assert round(100 * heavy_conflicting / conflicting) == 27
+        assert round(100 * counts.crossing_heavy / nontrivial, 1) == 16.3
+
+    def test_small_totals_stay_consistent(self):
+        for total in (10, 100, 500):
+            counts = ArchetypeCounts.for_total(total)
+            assert counts.total == total
+            assert min(
+                counts.clean,
+                counts.shadowed_light,
+                counts.shadowed_heavy,
+                counts.crossing_light,
+                counts.crossing_heavy,
+            ) >= 0
+
+
+class TestCampusCorpus:
+    def test_scaled_corpus_statistics(self):
+        corpus = generate_campus_corpus(seed=1, total_acls=300, route_maps=20)
+        assert len(corpus.acls) == 300
+        stats = AclCorpusStats.collect(
+            acl_overlap_report(acl) for acl in corpus.acls
+        )
+        # The archetype construction should land within a point of the
+        # paper's percentages even at this scale.
+        assert abs(stats.conflict_fraction - 37.7) < 1.5
+        assert abs(stats.nontrivial_fraction - 18.6) < 1.5
+        assert stats.with_many_conflicts > 0
+
+    def test_route_map_shape(self):
+        corpus = generate_campus_corpus(seed=1, total_acls=50, route_maps=20)
+        assert len(corpus.route_maps) == 20
+        reports = [
+            route_map_overlap_report(rm, corpus.store)
+            for rm in corpus.route_maps
+        ]
+        stats = RouteMapCorpusStats.collect(reports)
+        assert stats.with_overlaps == 2
+        by_name = {r.name: r for r in reports}
+        triple = by_name["CAMPUS_SPECIAL_TRIPLE"]
+        assert triple.overlap_count == 3
+        assert triple.conflict_count == 2
+        single = by_name["CAMPUS_SPECIAL_SINGLE"]
+        assert single.overlap_count == 1
+        assert single.conflict_count == 0
+
+    def test_deterministic(self):
+        a = generate_campus_corpus(seed=5, total_acls=40, route_maps=5)
+        b = generate_campus_corpus(seed=5, total_acls=40, route_maps=5)
+        assert a.acls == b.acls
+        assert a.route_maps == b.route_maps
+
+    def test_different_seeds_differ(self):
+        a = generate_campus_corpus(seed=5, total_acls=40, route_maps=5)
+        b = generate_campus_corpus(seed=6, total_acls=40, route_maps=5)
+        assert a.acls != b.acls
+
+
+class TestCampusDevices:
+    def test_grouping_into_devices(self):
+        from repro.config.device import parse_device, render_device
+
+        corpus = generate_campus_corpus(seed=2, total_acls=90, route_maps=10)
+        devices = corpus.devices(device_count=12)
+        assert len(devices) == 12
+        assert sum(len(list(d.store.acls())) for d in devices) == 90
+        assert sum(len(list(d.store.route_maps())) for d in devices) == 10
+        # Every ACL is attached to an interface on its device.
+        for device in devices:
+            attached = {i.acl_in for i in device.interfaces}
+            assert {acl.name for acl in device.store.acls()} == attached
+
+    def test_device_files_round_trip(self):
+        from repro.config.device import parse_device, render_device
+
+        corpus = generate_campus_corpus(seed=2, total_acls=30, route_maps=4)
+        for device in corpus.devices(device_count=4):
+            reparsed = parse_device(render_device(device))
+            assert reparsed.hostname == device.hostname
+            assert reparsed.interfaces == device.interfaces
+            assert {a.name for a in reparsed.store.acls()} == {
+                a.name for a in device.store.acls()
+            }
+
+
+class TestCloudCorpus:
+    def test_scaled_corpus_statistics(self):
+        corpus = generate_cloud_corpus(seed=1, scale=0.2)
+        stats = AclCorpusStats.collect(
+            acl_overlap_report(acl) for acl in corpus.acls
+        )
+        # Shape: some overlap-free, some heavy, a border ACL >100 pairs.
+        assert stats.with_conflicts < stats.total
+        assert stats.with_many_conflicts >= 2
+        assert stats.max_conflict_count > 100
+
+    def test_border_acl_has_over_100_pairs(self):
+        corpus = generate_cloud_corpus(seed=1, scale=0.05)
+        border = next(a for a in corpus.acls if a.name == "CLOUD_BORDER_IN")
+        report = acl_overlap_report(border)
+        assert report.overlap_count == 108
+        assert report.nontrivial_conflict_count == 108
+
+    def test_route_map_heavy_band(self):
+        corpus = generate_cloud_corpus(seed=1, scale=0.05)
+        reports = [
+            route_map_overlap_report(rm, corpus.store)
+            for rm in corpus.route_maps
+        ]
+        stats = RouteMapCorpusStats.collect(reports)
+        assert stats.with_many_overlaps >= 1
+        assert stats.with_overlaps > stats.with_many_overlaps
+
+    def test_deterministic(self):
+        a = generate_cloud_corpus(seed=9, scale=0.02)
+        b = generate_cloud_corpus(seed=9, scale=0.02)
+        assert a.acls == b.acls
+
+    def test_devices_round_trip(self):
+        from repro.config.device import parse_device, render_device
+
+        corpus = generate_cloud_corpus(seed=3, scale=0.05)
+        devices = corpus.devices(device_count=6)
+        assert sum(len(list(d.store.acls())) for d in devices) == len(corpus.acls)
+        assert sum(len(list(d.store.route_maps())) for d in devices) == len(
+            corpus.route_maps
+        )
+        reparsed = parse_device(render_device(devices[0]))
+        assert reparsed.hostname == devices[0].hostname

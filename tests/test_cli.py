@@ -1,0 +1,260 @@
+"""Tests for the ``clarify`` CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import StdioOracle, main
+from repro.core.errors import ClarifyError
+
+ISP_OUT = """
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+"""
+
+PAPER_INTENT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+
+@pytest.fixture
+def config_file(tmp_path):
+    path = tmp_path / "config.ios"
+    path.write_text(ISP_OUT)
+    return str(path)
+
+
+class TestAdd:
+    def test_add_with_scripted_answers(self, config_file, capsys):
+        code = main(
+            [
+                "add",
+                PAPER_INTENT,
+                "--config",
+                config_file,
+                "--target",
+                "ISP_OUT",
+                "--answers",
+                "1,1",
+                "--top-bottom",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route-map ISP_OUT" in out
+        assert "set metric 55" in out
+
+    def test_add_into_fresh_map_needs_no_answers(self, capsys):
+        # Inserting into a brand-new route-map asks no questions, so the
+        # interactive oracle is never consulted.
+        code = main(
+            [
+                "add",
+                "Write a route-map stanza that denies routes originating from AS 32.",
+                "--target",
+                "NEW",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route-map NEW deny 10" in out
+        assert "ip as-path access-list" in out
+
+    def test_add_with_diff_output(self, config_file, capsys):
+        code = main(
+            [
+                "add",
+                PAPER_INTENT,
+                "--config",
+                config_file,
+                "--target",
+                "ISP_OUT",
+                "--answers",
+                "1,1",
+                "--top-bottom",
+                "--diff",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("--- before")
+        assert "+ set metric 55" in out
+
+    def test_unparseable_intent_reports_error(self, config_file, capsys):
+        code = main(
+            [
+                "add",
+                "Write a route-map stanza that permits routes.",
+                "--config",
+                config_file,
+                "--target",
+                "ISP_OUT",
+                "--answers",
+                "1",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestOverlaps:
+    def test_overlap_report(self, config_file, capsys):
+        code = main(["overlaps", "--config", config_file, "--verbose"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route-maps analysed" in out
+        assert "overlap" in out
+
+
+class TestCompare:
+    def test_equivalent(self, config_file, capsys):
+        code = main(
+            [
+                "compare",
+                "--config-a",
+                config_file,
+                "--config-b",
+                config_file,
+                "--name",
+                "ISP_OUT",
+            ]
+        )
+        assert code == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_different(self, tmp_path, config_file, capsys):
+        other = tmp_path / "other.ios"
+        other.write_text(ISP_OUT.replace("deny 10", "permit 10"))
+        code = main(
+            [
+                "compare",
+                "--config-a",
+                config_file,
+                "--config-b",
+                str(other),
+                "--name",
+                "ISP_OUT",
+            ]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "difference 1" in out
+        assert "OPTION 1:" in out
+
+
+class TestEval:
+    def test_eval_prints_figure4(self, capsys):
+        code = main(["eval"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "M       4             9           5" in out
+        assert out.count("PASS") == 5
+
+    def test_eval_from_configs(self, capsys):
+        code = main(["eval", "--from-configs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reassembled from rendered device files" in out
+        assert out.count("PASS") == 5
+
+
+class TestCorpus:
+    def test_campus_small(self, capsys):
+        code = main(["corpus", "campus", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ACLs analysed" in out
+        assert "route-maps analysed" in out
+
+    def test_cloud_small(self, capsys):
+        code = main(["corpus", "cloud", "--scale", "0.02"])
+        assert code == 0
+        assert "ACLs analysed" in capsys.readouterr().out
+
+
+class TestListAdd:
+    def test_prefix_list_exception(self, tmp_path, capsys):
+        path = tmp_path / "lists.ios"
+        path.write_text(
+            "ip prefix-list EDGE seq 10 deny 10.1.0.0/16 le 32\n"
+            "ip prefix-list EDGE seq 20 permit 10.0.0.0/8 le 24\n"
+        )
+        code = main(
+            [
+                "list-add",
+                "--config",
+                str(path),
+                "--target",
+                "EDGE",
+                "--action",
+                "permit",
+                "--prefix",
+                "10.1.2.0/24",
+                "--le",
+                "32",
+                "--answers",
+                "1,1",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "permit 10.1.2.0/24 le 32" in captured.out
+        assert "inserted at position" in captured.err
+
+    def test_bad_prefix_reports_error(self, capsys):
+        code = main(
+            [
+                "list-add",
+                "--target",
+                "EDGE",
+                "--action",
+                "permit",
+                "--prefix",
+                "10.1.2.1/24",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestStdioOracle:
+    def test_reads_choice(self):
+        from repro.analysis.compare import BehaviorDifference
+        from repro.analysis.evaluate import RouteMapResult
+        from repro.core.oracle import DisambiguationQuestion
+        from repro.route import BgpRoute
+
+        diff = BehaviorDifference(
+            BgpRoute.build("10.0.0.0/8"),
+            RouteMapResult("permit", BgpRoute.build("10.0.0.0/8"), 10),
+            RouteMapResult("deny", None, 20),
+        )
+        question = DisambiguationQuestion(diff)
+        out = io.StringIO()
+        oracle = StdioOracle(out=out, inp=io.StringIO("x\n2\n"))
+        assert oracle.choose(question) == 2
+        assert "OPTION 1:" in out.getvalue()
+
+    def test_eof_raises(self):
+        from repro.analysis.compare import BehaviorDifference
+        from repro.analysis.evaluate import RouteMapResult
+        from repro.core.oracle import DisambiguationQuestion
+        from repro.route import BgpRoute
+
+        diff = BehaviorDifference(
+            BgpRoute.build("10.0.0.0/8"),
+            RouteMapResult("permit", BgpRoute.build("10.0.0.0/8"), 10),
+            RouteMapResult("deny", None, 20),
+        )
+        oracle = StdioOracle(out=io.StringIO(), inp=io.StringIO(""))
+        with pytest.raises(ClarifyError):
+            oracle.choose(DisambiguationQuestion(diff))

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs clean and prints its headline."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "classifier says: route-map" in out
+        assert '"set": {"metric": 55}' in out
+        assert "OPTION 1:" in out
+        assert "route-map ISP_OUT permit 10" in out
+
+    def test_datacenter_policies(self):
+        out = run_example("datacenter_policies.py")
+        assert "M       4             9           5" in out
+        assert "R1      5             12          6" in out
+        assert out.count("[PASS]") == 5
+
+    def test_acl_update(self):
+        out = run_example("acl_update.py")
+        assert "SSH from 10.9.1.1" in out
+        assert "-> deny" in out
+
+    def test_overlap_audit_scaled(self):
+        out = run_example("overlap_audit.py")
+        assert "cloud WAN corpus" in out
+        assert "campus corpus" in out
+        assert "ACLs analysed" in out
+
+    def test_list_insertion(self):
+        out = run_example("list_insertion.py")
+        assert "questions asked: 1" in out
+        assert "permit 10.1.2.0/24 le 32" in out
+
+    def test_device_roundtrip(self):
+        out = run_example("device_roundtrip.py", "--show", "R1")
+        assert out.count("[PASS]") == 5
+        assert "hostname R1" in out
+        assert "router bgp 65010" in out
