@@ -5,13 +5,24 @@ Every benchmark regenerates one table or figure from the paper and
 thresholds land), so ``pytest benchmarks/ --benchmark-only`` doubles as
 the reproduction check.  Each module also appends its rows to
 ``benchmarks/results.txt`` so the numbers survive pytest's capture.
+
+The whole session additionally runs under a metrics-only
+:class:`repro.obs.Recorder` (spans disabled — benchmark repetition
+would accumulate millions of them), and the aggregate counters and
+histograms are written to ``benchmarks/BENCH_obs.json`` at session end.
+That file is the per-run observability baseline future performance PRs
+diff against: LLM calls, verify retries, disambiguation questions, and
+route/header-space operation counts for the full benchmark suite.
 """
 
 import pathlib
 
 import pytest
 
+from repro import obs
+
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+OBS_SNAPSHOT_PATH = pathlib.Path(__file__).parent / "BENCH_obs.json"
 
 
 @pytest.fixture(scope="session")
@@ -31,3 +42,11 @@ def pytest_sessionstart(session):
     # Start each benchmark session with a fresh results file.
     if RESULTS_PATH.exists():
         RESULTS_PATH.unlink()
+    obs.install(obs.Recorder(capture_spans=False))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    recorder = obs.get_recorder()
+    if isinstance(recorder, obs.Recorder):
+        OBS_SNAPSHOT_PATH.write_text(obs.to_json(recorder) + "\n")
+        obs.uninstall()

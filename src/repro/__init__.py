@@ -13,9 +13,11 @@ the subpackages are:
 * :mod:`repro.overlap` / :mod:`repro.synth` — the §3 measurement study;
 * :mod:`repro.bgp` / :mod:`repro.evalcase` — the §5 evaluation;
 * :mod:`repro.netaddr`, :mod:`repro.regexlib`, :mod:`repro.route` —
-  foundation value types and the regex engine.
+  foundation value types and the regex engine;
+* :mod:`repro.obs` — the tracing/metrics layer (no-op unless enabled).
 """
 
+from repro import obs
 from repro.config import ConfigStore, parse_config, render_config
 from repro.core import (
     ClarifySession,
@@ -40,6 +42,7 @@ __all__ = [
     "ScriptedOracle",
     "SimulatedLLM",
     "UpdateReport",
+    "obs",
     "parse_config",
     "render_config",
     "__version__",

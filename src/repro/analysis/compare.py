@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.analysis.evaluate import (
     AclResult,
     RouteMapResult,
@@ -216,34 +217,42 @@ def compare_route_policies(
     behaviourally equivalent).  ``max_differences`` stops the search early
     — the disambiguator only needs one example per question.
     """
-    store_b = store_b if store_b is not None else store
-    reaches_a = route_map_reachable_spaces(map_a, store, include_implicit_deny=True)
-    reaches_b = route_map_reachable_spaces(map_b, store_b, include_implicit_deny=True)
+    with obs.span("analysis.compare_route_policies", policy=map_a.name) as sp:
+        obs.count("analysis.compares")
+        store_b = store_b if store_b is not None else store
+        reaches_a = route_map_reachable_spaces(
+            map_a, store, include_implicit_deny=True
+        )
+        reaches_b = route_map_reachable_spaces(
+            map_b, store_b, include_implicit_deny=True
+        )
 
-    differences: List[BehaviorDifference] = []
-    seen_routes = set()
-    for stanza_a, space_a in reaches_a:
-        for stanza_b, space_b in reaches_b:
-            if _same_outcome(stanza_a, stanza_b):
-                continue
-            overlap = space_a.intersect(space_b)
-            for cell in overlap.regions:
-                difference = _cell_difference(
-                    cell, map_a, map_b, store, store_b, stanza_a, stanza_b
-                )
-                if difference is None:
+        differences: List[BehaviorDifference] = []
+        seen_routes = set()
+        for stanza_a, space_a in reaches_a:
+            for stanza_b, space_b in reaches_b:
+                if _same_outcome(stanza_a, stanza_b):
                     continue
-                if difference.route in seen_routes:
-                    continue
-                seen_routes.add(difference.route)
-                differences.append(difference)
-                if (
-                    max_differences is not None
-                    and len(differences) >= max_differences
-                ):
-                    return differences
-                break  # one example per stanza pair is enough
-    return differences
+                overlap = space_a.intersect(space_b)
+                for cell in overlap.regions:
+                    difference = _cell_difference(
+                        cell, map_a, map_b, store, store_b, stanza_a, stanza_b
+                    )
+                    if difference is None:
+                        continue
+                    if difference.route in seen_routes:
+                        continue
+                    seen_routes.add(difference.route)
+                    differences.append(difference)
+                    if (
+                        max_differences is not None
+                        and len(differences) >= max_differences
+                    ):
+                        sp.annotate(differences=len(differences))
+                        return differences
+                    break  # one example per stanza pair is enough
+        sp.annotate(differences=len(differences))
+        return differences
 
 
 def _same_outcome(
@@ -297,29 +306,36 @@ def compare_filters(
     max_differences: Optional[int] = None,
 ) -> List[PacketDifference]:
     """Find packets on which the two ACLs disagree (permit vs deny)."""
-    reaches_a = acl_reachable_spaces(acl_a, include_implicit_deny=True)
-    reaches_b = acl_reachable_spaces(acl_b, include_implicit_deny=True)
-    differences: List[PacketDifference] = []
-    seen = set()
-    for rule_a, space_a in reaches_a:
-        action_a = rule_a.action if rule_a is not None else "deny"
-        for rule_b, space_b in reaches_b:
-            action_b = rule_b.action if rule_b is not None else "deny"
-            if action_a == action_b:
-                continue
-            overlap = space_a.intersect(space_b)
-            packet = overlap.witness()
-            if packet is None or packet in seen:
-                continue
-            result_a = eval_acl(acl_a, packet)
-            result_b = eval_acl(acl_b, packet)
-            if result_a.behaviour_key() == result_b.behaviour_key():
-                continue
-            seen.add(packet)
-            differences.append(PacketDifference(packet, result_a, result_b))
-            if max_differences is not None and len(differences) >= max_differences:
-                return differences
-    return differences
+    with obs.span("analysis.compare_filters", acl=acl_a.name) as sp:
+        obs.count("analysis.compares")
+        reaches_a = acl_reachable_spaces(acl_a, include_implicit_deny=True)
+        reaches_b = acl_reachable_spaces(acl_b, include_implicit_deny=True)
+        differences: List[PacketDifference] = []
+        seen = set()
+        for rule_a, space_a in reaches_a:
+            action_a = rule_a.action if rule_a is not None else "deny"
+            for rule_b, space_b in reaches_b:
+                action_b = rule_b.action if rule_b is not None else "deny"
+                if action_a == action_b:
+                    continue
+                overlap = space_a.intersect(space_b)
+                packet = overlap.witness()
+                if packet is None or packet in seen:
+                    continue
+                result_a = eval_acl(acl_a, packet)
+                result_b = eval_acl(acl_b, packet)
+                if result_a.behaviour_key() == result_b.behaviour_key():
+                    continue
+                seen.add(packet)
+                differences.append(PacketDifference(packet, result_a, result_b))
+                if (
+                    max_differences is not None
+                    and len(differences) >= max_differences
+                ):
+                    sp.annotate(differences=len(differences))
+                    return differences
+        sp.annotate(differences=len(differences))
+        return differences
 
 
 __all__ = [

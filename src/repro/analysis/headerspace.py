@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.config.acl import (
     FULL_PORT_RANGE,
     FULL_PROTOCOL_RANGE,
@@ -242,6 +243,7 @@ class PacketSpace:
         return PacketSpace(self.regions + other.regions)
 
     def intersect(self, other: "PacketSpace") -> "PacketSpace":
+        obs.count("headerspace.intersections")
         out = [a.intersect(b) for a in self.regions for b in other.regions]
         return PacketSpace(tuple(out))
 
@@ -250,6 +252,7 @@ class PacketSpace:
 
     def subtract(self, other: "PacketSpace") -> "PacketSpace":
         """Exact difference via disjoint rectangle carving (stays small)."""
+        obs.count("headerspace.subtractions")
         remaining = list(self.regions)
         for taken in other.regions:
             remaining = [
@@ -295,6 +298,7 @@ def acl_rule_region(rule: AclRule) -> PacketRegion:
 
 
 def acl_guard_space(rule: AclRule) -> PacketSpace:
+    obs.count("headerspace.guards")
     return PacketSpace.of(acl_rule_region(rule))
 
 

@@ -22,6 +22,7 @@ import dataclasses
 import functools
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.prefixspace import PrefixAtom, PrefixSpace
 from repro.config.lists import (
     PERMIT,
@@ -346,6 +347,7 @@ class RouteSpace:
         return RouteSpace(self.regions + other.regions)
 
     def intersect(self, other: "RouteSpace") -> "RouteSpace":
+        obs.count("routespace.intersections")
         out = [
             a.intersect(b) for a in self.regions for b in other.regions
         ]
@@ -367,6 +369,7 @@ class RouteSpace:
         (the common case when stanza guards are disjoint), so first-match
         reachability stays small on wide route-maps.
         """
+        obs.count("routespace.subtractions")
         remaining = list(self.regions)
         for taken in other.regions:
             carved: List[RouteRegion] = []
@@ -527,6 +530,7 @@ def clause_space(clause: MatchClause, store: ConfigStore) -> RouteSpace:
 
 def stanza_guard_space(stanza: RouteMapStanza, store: ConfigStore) -> RouteSpace:
     """The set of routes a stanza matches (clauses are conjunctive)."""
+    obs.count("routespace.guards")
     space = RouteSpace.universe()
     for clause in stanza.matches:
         space = space.intersect(clause_space(clause, store))

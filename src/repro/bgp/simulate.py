@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.analysis.evaluate import eval_route_map
 from repro.bgp.topology import Network, Router
 from repro.netaddr import Ipv4Prefix
@@ -83,6 +84,16 @@ def _select_best(
 
 def simulate(network: Network, max_iterations: int = 64) -> Ribs:
     """Propagate routes to a fixpoint and return each router's best RIB."""
+    with obs.span("bgp.simulate", routers=len(network.routers)) as sp:
+        obs.count("bgp.simulations")
+        ribs, iterations = _simulate(network, max_iterations)
+        obs.observe("bgp.iterations", iterations)
+        sp.annotate(iterations=iterations)
+        return ribs
+
+
+def _simulate(network: Network, max_iterations: int) -> Tuple[Ribs, int]:
+    """The fixpoint loop; returns (ribs, rounds until convergence)."""
     # adj_rib_in[v][prefix][u] = route as accepted by v from u
     adj_rib_in: Dict[str, Dict[Ipv4Prefix, Dict[str, BgpRoute]]] = {
         name: {} for name in network.routers
@@ -107,7 +118,7 @@ def simulate(network: Network, max_iterations: int = 64) -> Ribs:
         return rib
 
     previous: Ribs = {name: best_rib(name) for name in network.routers}
-    for _ in range(max_iterations):
+    for iteration in range(1, max_iterations + 1):
         changed = False
         for sender_name in sorted(network.routers):
             sender = network.router(sender_name)
@@ -155,7 +166,7 @@ def simulate(network: Network, max_iterations: int = 64) -> Ribs:
                         changed = True
         current: Ribs = {name: best_rib(name) for name in network.routers}
         if not changed and current == previous:
-            return current
+            return current, iteration
         previous = current
     raise ConvergenceError(
         f"no fixpoint after {max_iterations} iterations; "

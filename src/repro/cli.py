@@ -7,6 +7,7 @@ Subcommands::
     clarify compare    differential examples between two route-maps
     clarify eval       the §5 evaluation (Figure 4 + global policies)
     clarify corpus     generate a §3 synthetic corpus and report stats
+    clarify trace      one instrumented cycle: span tree + metric summary
 
 ``clarify add`` reads an existing IOS configuration, runs the full
 Clarify cycle for an English intent, asks the differential questions on
@@ -24,6 +25,29 @@ from repro.core import ClarifySession, DisambiguationMode, ScriptedOracle
 from repro.core.errors import ClarifyError
 from repro.core.oracle import DisambiguationQuestion
 from repro.llm.simulated import SimulatedLLM
+
+#: The §2 walkthrough scenario, used by ``clarify trace`` when no
+#: configuration/intent is supplied (same inputs as the paper's Fig. 2).
+WALKTHROUGH_CONFIG = """
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+"""
+
+WALKTHROUGH_INTENT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+WALKTHROUGH_TARGET = "ISP_OUT"
 
 
 class StdioOracle:
@@ -200,6 +224,67 @@ def cmd_list_add(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one Clarify cycle under a recorder; print spans + metrics.
+
+    With no arguments this traces the paper's §2 walkthrough (the
+    ``ISP_OUT`` policy and intent), so it doubles as an instrumentation
+    smoke test: the cross-check section asserts that the recorded
+    counters agree with the cycle's :class:`~repro.core.UpdateReport`.
+    """
+    from repro import obs
+    from repro.core import FirstOptionOracle
+
+    if args.config:
+        store = _read_config(args.config)
+    else:
+        store = parse_config(WALKTHROUGH_CONFIG)
+    intent = args.intent if args.intent else WALKTHROUGH_INTENT
+    if args.answers:
+        oracle = ScriptedOracle([int(a) for a in args.answers.split(",")])
+    else:
+        oracle = FirstOptionOracle()
+    mode = (
+        DisambiguationMode.TOP_BOTTOM
+        if args.top_bottom
+        else DisambiguationMode.FULL
+    )
+    recorder = obs.Recorder()
+    with obs.recording(recorder):
+        session = ClarifySession(
+            store=store, llm=SimulatedLLM(), oracle=oracle, mode=mode
+        )
+        try:
+            report = session.request(intent, args.target)
+        except (ClarifyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(obs.to_json(recorder))
+        return 0
+    print("== span tree ==")
+    print(obs.render_span_tree(recorder.roots))
+    print()
+    print("== metrics ==")
+    print(obs.render_metrics(recorder))
+    print()
+    print("== cross-check vs UpdateReport ==")
+    checks = (
+        ("llm calls", report.llm_calls, recorder.counter("llm.calls")),
+        ("questions", report.questions, recorder.counter("disambiguation.questions")),
+        ("attempts", report.attempts, recorder.counter("synthesis.attempts")),
+    )
+    ok = True
+    for label, from_report, from_metrics in checks:
+        match = from_report == from_metrics
+        ok = ok and match
+        print(
+            f"{label}: report={from_report} metrics={from_metrics} "
+            f"{'OK' if match else 'MISMATCH'}"
+        )
+    return 0 if ok else 1
+
+
 def cmd_corpus(args: argparse.Namespace) -> int:
     from repro.overlap import (
         AclCorpusStats,
@@ -301,6 +386,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated scripted answers (1/2) instead of stdin",
     )
     p_list.set_defaults(func=cmd_list_add)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one instrumented Clarify cycle and print the span tree "
+        "plus metric summary (defaults to the §2 walkthrough)",
+    )
+    p_trace.add_argument(
+        "intent",
+        nargs="?",
+        help="English intent for the new stanza (default: the §2 walkthrough)",
+    )
+    p_trace.add_argument(
+        "--config",
+        help="existing IOS configuration file (default: the §2 ISP_OUT sample)",
+    )
+    p_trace.add_argument(
+        "--target",
+        default=WALKTHROUGH_TARGET,
+        help="route-map or ACL to update (default: %(default)s)",
+    )
+    p_trace.add_argument(
+        "--answers",
+        help="comma-separated scripted answers (1/2); default answers 1 "
+        "to every question",
+    )
+    p_trace.add_argument(
+        "--top-bottom",
+        action="store_true",
+        help="use the prototype's top/bottom-only disambiguation",
+    )
+    p_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the trace snapshot as JSON instead of text",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_corpus = sub.add_parser(
         "corpus", help="generate a §3 corpus and report overlap statistics"

@@ -28,6 +28,7 @@ import dataclasses
 import enum
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.compare import (
     BehaviorDifference,
     PacketDifference,
@@ -104,9 +105,11 @@ def _binary_search_slot(
         mid = (lo + hi) // 2
         before = build_candidate(slot_to_position(active, mid))
         after = build_candidate(slot_to_position(active, mid + 1))
+        obs.count("disambiguation.candidates", 2)
         difference = diff(before, after)
         if difference is None:
             # Relative order with active[mid] is unobservable: discard it.
+            obs.count("disambiguation.pruned")
             del active[mid]
             hi -= 1
             continue
@@ -139,8 +142,10 @@ def _linear_scan_slot(
     while slot < len(active):
         before = build_candidate(slot_to_position(active, slot))
         after = build_candidate(slot_to_position(active, slot + 1))
+        obs.count("disambiguation.candidates", 2)
         difference = diff(before, after)
         if difference is None:
+            obs.count("disambiguation.pruned")
             del active[slot]
             continue
         question = DisambiguationQuestion(difference)
@@ -150,6 +155,17 @@ def _linear_scan_slot(
             return slot_to_position(active, slot), questions
         slot += 1
     return slot_to_position(active, slot), questions
+
+
+def _record_run(sp, overlaps, questions, position) -> None:
+    """Metric bookkeeping shared by every disambiguation entry point."""
+    obs.count("disambiguation.runs")
+    obs.count("disambiguation.questions", len(questions))
+    obs.observe("disambiguation.overlaps", len(overlaps))
+    obs.observe("disambiguation.search_depth", len(questions))
+    sp.annotate(
+        overlaps=len(overlaps), questions=len(questions), position=position
+    )
 
 
 def _slot_to_position(active: List[int], slot: int) -> int:
@@ -192,45 +208,51 @@ def disambiguate_stanza(
     collisions (see :func:`repro.config.names.rename_snippet_lists`);
     :class:`repro.core.workflow.ClarifySession` does this automatically.
     """
-    target = (
-        store.route_map(route_map_name)
-        if store.has_route_map(route_map_name)
-        else RouteMap(route_map_name, ())
-    )
-
-    def build(position: int) -> Tuple[ConfigStore, RouteMap]:
-        real = len(target.stanzas) if position == -1 else position
-        return insert_stanza_into_store(store, route_map_name, snippet, real)
-
-    def diff(
-        a: Tuple[ConfigStore, RouteMap], b: Tuple[ConfigStore, RouteMap]
-    ) -> Optional[BehaviorDifference]:
-        differences = compare_route_policies(
-            a[1], b[1], a[0], b[0], max_differences=1
+    with obs.span(
+        "disambiguate.stanza", target=route_map_name, mode=mode.value
+    ) as sp:
+        target = (
+            store.route_map(route_map_name)
+            if store.has_route_map(route_map_name)
+            else RouteMap(route_map_name, ())
         )
-        return differences[0] if differences else None
 
-    overlaps = route_map_overlaps(target, store, snippet)
-    if mode is DisambiguationMode.TOP_BOTTOM:
-        position, questions = _top_bottom(len(target.stanzas), build, diff, oracle)
-    else:
-        search = (
-            _linear_scan_slot
-            if mode is DisambiguationMode.LINEAR
-            else _binary_search_slot
+        def build(position: int) -> Tuple[ConfigStore, RouteMap]:
+            real = len(target.stanzas) if position == -1 else position
+            return insert_stanza_into_store(store, route_map_name, snippet, real)
+
+        def diff(
+            a: Tuple[ConfigStore, RouteMap], b: Tuple[ConfigStore, RouteMap]
+        ) -> Optional[BehaviorDifference]:
+            differences = compare_route_policies(
+                a[1], b[1], a[0], b[0], max_differences=1
+            )
+            return differences[0] if differences else None
+
+        overlaps = route_map_overlaps(target, store, snippet)
+        if mode is DisambiguationMode.TOP_BOTTOM:
+            position, questions = _top_bottom(
+                len(target.stanzas), build, diff, oracle
+            )
+        else:
+            search = (
+                _linear_scan_slot
+                if mode is DisambiguationMode.LINEAR
+                else _binary_search_slot
+            )
+            position, questions = search(
+                overlaps, _slot_to_position, build, diff, oracle
+            )
+            if position == -1:
+                position = len(target.stanzas)
+        final_store, _updated = build(position)
+        _record_run(sp, overlaps, questions, position)
+        return DisambiguationResult(
+            position=position,
+            questions=tuple(questions),
+            overlaps=tuple(overlaps),
+            store=final_store,
         )
-        position, questions = search(
-            overlaps, _slot_to_position, build, diff, oracle
-        )
-        if position == -1:
-            position = len(target.stanzas)
-    final_store, _updated = build(position)
-    return DisambiguationResult(
-        position=position,
-        questions=tuple(questions),
-        overlaps=tuple(overlaps),
-        store=final_store,
-    )
 
 
 def _top_bottom(
@@ -244,8 +266,10 @@ def _top_bottom(
         return 0, []
     top_candidate = build_candidate(0)
     bottom_candidate = build_candidate(bottom)
+    obs.count("disambiguation.candidates", 2)
     difference = diff(top_candidate, bottom_candidate)
     if difference is None:
+        obs.count("disambiguation.pruned")
         return bottom, []
     question = DisambiguationQuestion(difference)
     choice = oracle.choose(question)
@@ -273,39 +297,43 @@ def disambiguate_acl_rule(
     mode: DisambiguationMode = DisambiguationMode.FULL,
 ) -> DisambiguationResult:
     """Determine where the snippet's ACL rule belongs and insert it."""
-    target = store.acl(acl_name) if store.has_acl(acl_name) else Acl(acl_name, ())
-
-    def build(position: int) -> Tuple[ConfigStore, Acl]:
-        real = len(target.rules) if position == -1 else position
-        return insert_rule_into_acl(store, acl_name, snippet, real)
-
-    def diff(
-        a: Tuple[ConfigStore, Acl], b: Tuple[ConfigStore, Acl]
-    ) -> Optional[PacketDifference]:
-        differences = compare_filters(a[1], b[1], max_differences=1)
-        return differences[0] if differences else None
-
-    overlaps = acl_overlaps(target, snippet)
-    if mode is DisambiguationMode.TOP_BOTTOM:
-        position, questions = _top_bottom(len(target.rules), build, diff, oracle)
-    else:
-        search = (
-            _linear_scan_slot
-            if mode is DisambiguationMode.LINEAR
-            else _binary_search_slot
+    with obs.span("disambiguate.acl", target=acl_name, mode=mode.value) as sp:
+        target = (
+            store.acl(acl_name) if store.has_acl(acl_name) else Acl(acl_name, ())
         )
-        position, questions = search(
-            overlaps, _slot_to_position, build, diff, oracle
+
+        def build(position: int) -> Tuple[ConfigStore, Acl]:
+            real = len(target.rules) if position == -1 else position
+            return insert_rule_into_acl(store, acl_name, snippet, real)
+
+        def diff(
+            a: Tuple[ConfigStore, Acl], b: Tuple[ConfigStore, Acl]
+        ) -> Optional[PacketDifference]:
+            differences = compare_filters(a[1], b[1], max_differences=1)
+            return differences[0] if differences else None
+
+        overlaps = acl_overlaps(target, snippet)
+        if mode is DisambiguationMode.TOP_BOTTOM:
+            position, questions = _top_bottom(len(target.rules), build, diff, oracle)
+        else:
+            search = (
+                _linear_scan_slot
+                if mode is DisambiguationMode.LINEAR
+                else _binary_search_slot
+            )
+            position, questions = search(
+                overlaps, _slot_to_position, build, diff, oracle
+            )
+            if position == -1:
+                position = len(target.rules)
+        final_store, _updated = build(position)
+        _record_run(sp, overlaps, questions, position)
+        return DisambiguationResult(
+            position=position,
+            questions=tuple(questions),
+            overlaps=tuple(overlaps),
+            store=final_store,
         )
-        if position == -1:
-            position = len(target.rules)
-    final_store, _updated = build(position)
-    return DisambiguationResult(
-        position=position,
-        questions=tuple(questions),
-        overlaps=tuple(overlaps),
-        store=final_store,
-    )
 
 
 __all__ = [

@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.prefixspace import PrefixAtom, PrefixSpace
 from repro.config.lists import (
     PERMIT,
@@ -105,6 +106,16 @@ def _search(mode: DisambiguationMode):
     return _binary_search_slot
 
 
+def _record_list_run(sp, overlaps, questions, position) -> None:
+    """Metric bookkeeping shared by the three list-insertion kinds."""
+    obs.count("listinsert.runs")
+    obs.count("listinsert.questions", len(questions))
+    obs.observe("listinsert.overlaps", len(overlaps))
+    sp.annotate(
+        overlaps=len(overlaps), questions=len(questions), position=position
+    )
+
+
 # ------------------------------------------------------------ prefix lists
 
 
@@ -184,36 +195,40 @@ def disambiguate_prefix_list_entry(
     mode: DisambiguationMode = DisambiguationMode.FULL,
 ) -> ListInsertionResult:
     """Insert a prefix-list entry, disambiguating its position (§7)."""
-    target = (
-        store.prefix_list(list_name)
-        if store.has_prefix_list(list_name)
-        else PrefixList(list_name, ())
-    )
-
-    def build(position: int) -> PrefixList:
-        real = len(target.entries) if position == -1 else position
-        return insert_prefix_list_entry(target, entry, real)
-
-    def diff(a: PrefixList, b: PrefixList) -> Optional[ListEntryDifference]:
-        return compare_prefix_lists(a, b)
-
-    overlaps = prefix_list_entry_overlaps(target, entry)
-    if mode is DisambiguationMode.TOP_BOTTOM:
-        position, questions = _top_bottom(len(target.entries), build, diff, oracle)
-    else:
-        position, questions = _search(mode)(
-            overlaps, _slot_to_position, build, diff, oracle
+    with obs.span("listinsert.prefix_list", target=list_name, mode=mode.value) as sp:
+        target = (
+            store.prefix_list(list_name)
+            if store.has_prefix_list(list_name)
+            else PrefixList(list_name, ())
         )
-        if position == -1:
-            position = len(target.entries)
-    updated_store = store.copy()
-    updated_store.add_prefix_list(build(position), replace=True)
-    return ListInsertionResult(
-        position=position,
-        questions=tuple(questions),
-        overlaps=tuple(overlaps),
-        store=updated_store,
-    )
+
+        def build(position: int) -> PrefixList:
+            real = len(target.entries) if position == -1 else position
+            return insert_prefix_list_entry(target, entry, real)
+
+        def diff(a: PrefixList, b: PrefixList) -> Optional[ListEntryDifference]:
+            return compare_prefix_lists(a, b)
+
+        overlaps = prefix_list_entry_overlaps(target, entry)
+        if mode is DisambiguationMode.TOP_BOTTOM:
+            position, questions = _top_bottom(
+                len(target.entries), build, diff, oracle
+            )
+        else:
+            position, questions = _search(mode)(
+                overlaps, _slot_to_position, build, diff, oracle
+            )
+            if position == -1:
+                position = len(target.entries)
+        updated_store = store.copy()
+        updated_store.add_prefix_list(build(position), replace=True)
+        _record_list_run(sp, overlaps, questions, position)
+        return ListInsertionResult(
+            position=position,
+            questions=tuple(questions),
+            overlaps=tuple(overlaps),
+            store=updated_store,
+        )
 
 
 # ----------------------------------------------------------- as-path lists
@@ -288,35 +303,37 @@ def disambiguate_as_path_entry(
     mode: DisambiguationMode = DisambiguationMode.FULL,
 ) -> ListInsertionResult:
     """Insert an as-path access-list entry, disambiguating its position."""
-    target = (
-        store.as_path_list(list_name)
-        if store.has_as_path_list(list_name)
-        else AsPathAccessList(list_name, ())
-    )
-
-    def build(position: int) -> AsPathAccessList:
-        real = len(target.entries) if position == -1 else position
-        return insert_as_path_entry(target, entry, real)
-
-    overlaps = as_path_entry_overlaps(target, entry)
-    if mode is DisambiguationMode.TOP_BOTTOM:
-        position, questions = _top_bottom(
-            len(target.entries), build, compare_as_path_lists, oracle
+    with obs.span("listinsert.as_path", target=list_name, mode=mode.value) as sp:
+        target = (
+            store.as_path_list(list_name)
+            if store.has_as_path_list(list_name)
+            else AsPathAccessList(list_name, ())
         )
-    else:
-        position, questions = _search(mode)(
-            overlaps, _slot_to_position, build, compare_as_path_lists, oracle
+
+        def build(position: int) -> AsPathAccessList:
+            real = len(target.entries) if position == -1 else position
+            return insert_as_path_entry(target, entry, real)
+
+        overlaps = as_path_entry_overlaps(target, entry)
+        if mode is DisambiguationMode.TOP_BOTTOM:
+            position, questions = _top_bottom(
+                len(target.entries), build, compare_as_path_lists, oracle
+            )
+        else:
+            position, questions = _search(mode)(
+                overlaps, _slot_to_position, build, compare_as_path_lists, oracle
+            )
+            if position == -1:
+                position = len(target.entries)
+        updated_store = store.copy()
+        updated_store.add_as_path_list(build(position), replace=True)
+        _record_list_run(sp, overlaps, questions, position)
+        return ListInsertionResult(
+            position=position,
+            questions=tuple(questions),
+            overlaps=tuple(overlaps),
+            store=updated_store,
         )
-        if position == -1:
-            position = len(target.entries)
-    updated_store = store.copy()
-    updated_store.add_as_path_list(build(position), replace=True)
-    return ListInsertionResult(
-        position=position,
-        questions=tuple(questions),
-        overlaps=tuple(overlaps),
-        store=updated_store,
-    )
 
 
 # --------------------------------------------------------- community lists
@@ -437,35 +454,37 @@ def disambiguate_community_entry(
     mode: DisambiguationMode = DisambiguationMode.FULL,
 ) -> ListInsertionResult:
     """Insert a community-list entry, disambiguating its position."""
-    target = (
-        store.community_list(list_name)
-        if store.has_community_list(list_name)
-        else CommunityList(list_name, (), expanded=entry.regex is not None)
-    )
-
-    def build(position: int) -> CommunityList:
-        real = len(target.entries) if position == -1 else position
-        return insert_community_entry(target, entry, real)
-
-    overlaps = community_entry_overlaps(target, entry)
-    if mode is DisambiguationMode.TOP_BOTTOM:
-        position, questions = _top_bottom(
-            len(target.entries), build, compare_community_lists, oracle
+    with obs.span("listinsert.community", target=list_name, mode=mode.value) as sp:
+        target = (
+            store.community_list(list_name)
+            if store.has_community_list(list_name)
+            else CommunityList(list_name, (), expanded=entry.regex is not None)
         )
-    else:
-        position, questions = _search(mode)(
-            overlaps, _slot_to_position, build, compare_community_lists, oracle
+
+        def build(position: int) -> CommunityList:
+            real = len(target.entries) if position == -1 else position
+            return insert_community_entry(target, entry, real)
+
+        overlaps = community_entry_overlaps(target, entry)
+        if mode is DisambiguationMode.TOP_BOTTOM:
+            position, questions = _top_bottom(
+                len(target.entries), build, compare_community_lists, oracle
+            )
+        else:
+            position, questions = _search(mode)(
+                overlaps, _slot_to_position, build, compare_community_lists, oracle
+            )
+            if position == -1:
+                position = len(target.entries)
+        updated_store = store.copy()
+        updated_store.add_community_list(build(position), replace=True)
+        _record_list_run(sp, overlaps, questions, position)
+        return ListInsertionResult(
+            position=position,
+            questions=tuple(questions),
+            overlaps=tuple(overlaps),
+            store=updated_store,
         )
-        if position == -1:
-            position = len(target.entries)
-    updated_store = store.copy()
-    updated_store.add_community_list(build(position), replace=True)
-    return ListInsertionResult(
-        position=position,
-        questions=tuple(questions),
-        overlaps=tuple(overlaps),
-        store=updated_store,
-    )
 
 
 __all__ = [

@@ -11,6 +11,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Union
 
+from repro import obs
 from repro.config import ConfigParseError, parse_config
 from repro.config.store import ConfigStore
 from repro.core.errors import SpecError, SynthesisPunt
@@ -73,60 +74,76 @@ class SynthesisPipeline:
 
     def classify(self, prompt: str) -> str:
         """Step 1: is this a route-map or an ACL query?"""
-        answer = self._llm.complete(
-            self._system_prompt(TaskKind.CLASSIFY, prompt), prompt
-        ).strip().lower()
-        if answer not in (ROUTE_MAP, ACL):
-            raise SpecError(f"classifier answered {answer!r}")
-        return answer
+        with obs.span("synthesis.classify") as sp:
+            answer = self._llm.complete(
+                self._system_prompt(TaskKind.CLASSIFY, prompt), prompt
+            ).strip().lower()
+            if answer not in (ROUTE_MAP, ACL):
+                raise SpecError(f"classifier answered {answer!r}")
+            sp.annotate(kind=answer)
+            return answer
 
     def extract_spec(self, prompt: str, kind: str) -> Union[RouteMapSpec, AclSpec]:
         """Step 3: the JSON specification the user cross-checks."""
-        if kind == ROUTE_MAP:
+        with obs.span("synthesis.extract_spec", kind=kind):
+            if kind == ROUTE_MAP:
+                text = self._llm.complete(
+                    self._system_prompt(TaskKind.ROUTE_MAP_SPEC, prompt), prompt
+                )
+                return RouteMapSpec.from_json(text)
             text = self._llm.complete(
-                self._system_prompt(TaskKind.ROUTE_MAP_SPEC, prompt), prompt
+                self._system_prompt(TaskKind.ACL_SPEC, prompt), prompt
             )
-            return RouteMapSpec.from_json(text)
-        text = self._llm.complete(
-            self._system_prompt(TaskKind.ACL_SPEC, prompt), prompt
-        )
-        return AclSpec.from_json(text)
+            return AclSpec.from_json(text)
 
     def generate_snippet(self, prompt: str, kind: str) -> str:
         """Step 3: one stanza/rule in IOS syntax (raw LLM text)."""
         task = TaskKind.ROUTE_MAP_SYNTH if kind == ROUTE_MAP else TaskKind.ACL_SYNTH
-        return self._llm.complete(self._system_prompt(task, prompt), prompt)
+        with obs.span("synthesis.generate", kind=kind):
+            return self._llm.complete(self._system_prompt(task, prompt), prompt)
 
     # ------------------------------------------------------------- runner
 
     def synthesize(self, prompt: str) -> SynthesisResult:
         """The full classify → spec → generate → verify → retry loop."""
-        kind = self.classify(prompt)
-        spec = self.extract_spec(prompt, kind)
-        failures: List[str] = []
-        for attempt in range(1, self._max_attempts + 1):
-            raw = self.generate_snippet(prompt, kind)
-            try:
-                snippet = parse_config(raw)
-            except ConfigParseError as exc:
-                failures.append(f"attempt {attempt}: snippet does not parse: {exc}")
-                continue
-            if kind == ROUTE_MAP:
-                verdict: VerificationResult = verify_route_map_snippet(
-                    snippet, spec
-                )
-            else:
-                verdict = verify_acl_snippet(snippet, spec)
-            if verdict.ok:
-                return SynthesisResult(
-                    kind=kind,
-                    snippet=snippet,
-                    spec=spec,
-                    attempts=attempt,
-                    failures=failures,
-                )
-            failures.append(f"attempt {attempt}: {verdict}")
-        raise SynthesisPunt(self._max_attempts, failures)
+        with obs.span("synthesis.synthesize") as pipeline_span:
+            kind = self.classify(prompt)
+            spec = self.extract_spec(prompt, kind)
+            failures: List[str] = []
+            for attempt in range(1, self._max_attempts + 1):
+                with obs.span("synthesis.attempt", attempt=attempt) as sp:
+                    obs.count("synthesis.attempts")
+                    raw = self.generate_snippet(prompt, kind)
+                    try:
+                        snippet = parse_config(raw)
+                    except ConfigParseError as exc:
+                        failures.append(
+                            f"attempt {attempt}: snippet does not parse: {exc}"
+                        )
+                        obs.count("synthesis.retries")
+                        sp.annotate(outcome="parse-error")
+                        continue
+                    if kind == ROUTE_MAP:
+                        verdict: VerificationResult = verify_route_map_snippet(
+                            snippet, spec
+                        )
+                    else:
+                        verdict = verify_acl_snippet(snippet, spec)
+                    if verdict.ok:
+                        sp.annotate(outcome="verified")
+                        pipeline_span.annotate(kind=kind, attempts=attempt)
+                        return SynthesisResult(
+                            kind=kind,
+                            snippet=snippet,
+                            spec=spec,
+                            attempts=attempt,
+                            failures=failures,
+                        )
+                    failures.append(f"attempt {attempt}: {verdict}")
+                    obs.count("synthesis.retries")
+                    sp.annotate(outcome="rejected")
+            obs.count("synthesis.punts")
+            raise SynthesisPunt(self._max_attempts, failures)
 
 
 __all__ = ["ACL", "ROUTE_MAP", "SynthesisPipeline", "SynthesisResult"]

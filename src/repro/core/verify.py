@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Union
 
+from repro import obs
 from repro.analysis.compare import transform_summary
 from repro.analysis.headerspace import acl_guard_space
 from repro.analysis.routespace import stanza_guard_space
@@ -68,6 +69,18 @@ def verify_route_map_snippet(
     snippet: ConfigStore, spec: RouteMapSpec
 ) -> VerificationResult:
     """Verify a synthesised route-map snippet against its specification."""
+    with obs.span("verify.route_map") as sp:
+        result = _verify_route_map_snippet(snippet, spec)
+        obs.count("verify.checks")
+        if not result.ok:
+            obs.count("verify.failures")
+        sp.annotate(ok=result.ok)
+        return result
+
+
+def _verify_route_map_snippet(
+    snippet: ConfigStore, spec: RouteMapSpec
+) -> VerificationResult:
     route_maps = list(snippet.route_maps())
     if len(route_maps) != 1:
         return VerificationResult(
@@ -119,6 +132,16 @@ def verify_route_map_snippet(
 
 def verify_acl_snippet(snippet: ConfigStore, spec: AclSpec) -> VerificationResult:
     """Verify a synthesised ACL snippet against its specification."""
+    with obs.span("verify.acl") as sp:
+        result = _verify_acl_snippet(snippet, spec)
+        obs.count("verify.checks")
+        if not result.ok:
+            obs.count("verify.failures")
+        sp.annotate(ok=result.ok)
+        return result
+
+
+def _verify_acl_snippet(snippet: ConfigStore, spec: AclSpec) -> VerificationResult:
     acls = list(snippet.acls())
     if len(acls) != 1:
         return VerificationResult(

@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.config.diff import config_diff
 from repro.config.names import rename_snippet_lists
 from repro.config.store import ConfigStore
@@ -89,18 +90,28 @@ class ClarifySession:
         question count still accumulates on the session).  The session's
         store is updated in place on success.
         """
-        calls_before = self.llm.call_count()
-        result = self.pipeline.synthesize(intent_text)
-        self.spec_reviews += 1
-        report = self._insert(
-            result.kind,
-            result.snippet,
-            target,
-            oracle,
-            llm_calls=self.llm.call_count() - calls_before,
-            attempts=result.attempts,
-        )
-        return report
+        with obs.span("clarify.request", target=target) as sp:
+            obs.count("clarify.cycles")
+            calls_before = self.llm.call_count()
+            result = self.pipeline.synthesize(intent_text)
+            self.spec_reviews += 1
+            obs.count("clarify.spec_reviews")
+            report = self._insert(
+                result.kind,
+                result.snippet,
+                target,
+                oracle,
+                llm_calls=self.llm.call_count() - calls_before,
+                attempts=result.attempts,
+            )
+            sp.annotate(
+                kind=report.kind,
+                position=report.position,
+                llm_calls=report.llm_calls,
+                questions=report.questions,
+                attempts=report.attempts,
+            )
+            return report
 
     def reuse(
         self,
@@ -110,7 +121,13 @@ class ClarifySession:
         kind: str = ROUTE_MAP,
     ) -> UpdateReport:
         """Insert an already-synthesised snippet into another target."""
-        return self._insert(kind, snippet, target, oracle, llm_calls=0, attempts=0)
+        with obs.span("clarify.reuse", target=target, kind=kind) as sp:
+            obs.count("clarify.reuses")
+            report = self._insert(
+                kind, snippet, target, oracle, llm_calls=0, attempts=0
+            )
+            sp.annotate(position=report.position, questions=report.questions)
+            return report
 
     def _insert(
         self,
@@ -123,7 +140,8 @@ class ClarifySession:
     ) -> UpdateReport:
         questions_before = self.oracle.question_count
         answering = self.oracle if oracle is None else _CountInto(self.oracle, oracle)
-        renamed = rename_snippet_lists(snippet, self.store)
+        with obs.span("clarify.rename"):
+            renamed = rename_snippet_lists(snippet, self.store)
         before = self.store
         if kind == ROUTE_MAP:
             outcome = disambiguate_stanza(
@@ -134,6 +152,8 @@ class ClarifySession:
                 self.store, target, renamed, answering, self.mode
             )
         self.store = outcome.store
+        with obs.span("clarify.diff"):
+            diff_text = config_diff(before, self.store)
         report = UpdateReport(
             kind=kind,
             target=target,
@@ -143,7 +163,7 @@ class ClarifySession:
             attempts=attempts,
             overlaps=outcome.overlaps,
             snippet=snippet,
-            diff=config_diff(before, self.store),
+            diff=diff_text,
         )
         self.history.append(report)
         return report

@@ -16,6 +16,7 @@ import random
 import re
 from typing import Optional
 
+from repro import obs
 from repro.llm.client import LLMClient
 from repro.llm.prompts import TaskKind, task_kind_of
 
@@ -44,6 +45,7 @@ class FaultyLLM:
         corrupted = self._corrupt(response)
         if corrupted != response:
             self.injected_faults += 1
+            obs.count("llm.faults_injected")
         return corrupted
 
     def _corrupt(self, text: str) -> str:

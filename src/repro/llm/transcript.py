@@ -12,6 +12,7 @@ import dataclasses
 from collections import Counter
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.llm.client import LLMClient
 from repro.llm.prompts import TaskKind, task_kind_of
 
@@ -34,10 +35,14 @@ class TranscribingClient:
         self.records: List[CallRecord] = []
 
     def complete(self, system: str, prompt: str) -> str:
-        response = self._inner.complete(system, prompt)
+        task = task_kind_of(system)
+        with obs.span("llm.complete", task=task.value):
+            response = self._inner.complete(system, prompt)
+        obs.count("llm.calls")
+        obs.count(f"llm.calls.{task.value}")
         self.records.append(
             CallRecord(
-                task=task_kind_of(system),
+                task=task,
                 system=system,
                 prompt=prompt,
                 response=response,

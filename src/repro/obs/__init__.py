@@ -1,0 +1,81 @@
+"""``repro.obs`` — tracing and metrics for the Clarify pipeline.
+
+A dependency-free observability layer (stdlib only) with three pieces:
+
+* **spans** (:class:`Span`) — a wall-clock-timed tree mirroring one
+  Clarify cycle: ``clarify.request`` at the root, synthesis attempts,
+  verification, disambiguation, and LLM calls underneath;
+* **metrics** — monotonic counters (LLM calls, verify retries, user
+  questions, space intersections) and summary histograms (overlap
+  set sizes, binary-search depth, BGP convergence iterations) in a
+  thread-safe registry (:class:`Recorder`);
+* **exporters** — text renderings (:func:`render_span_tree`,
+  :func:`render_metrics`, :func:`render_report`) and a JSON snapshot
+  (:func:`snapshot` / :func:`to_json`) that round-trips.
+
+Instrumentation is **off by default**: the active recorder is a
+:class:`NullRecorder` and every hook is a no-op, so library users pay
+nothing.  Turn it on around a region of interest::
+
+    from repro import obs
+
+    with obs.recording() as rec:
+        session.request(intent, "ISP_OUT")
+    print(obs.render_report(rec))
+    rec.counter("llm.calls")          # == report.llm_calls
+
+or process-wide with :func:`install` / :func:`uninstall`.  The
+``clarify trace`` CLI subcommand does exactly this around one cycle.
+The span and metric names emitted by the library are catalogued in
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    SNAPSHOT_VERSION,
+    render_metrics,
+    render_report,
+    render_span_tree,
+    snapshot,
+    snapshot_to_recorder,
+    span_from_dict,
+    span_to_dict,
+    to_json,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.recorder import (
+    NullRecorder,
+    Recorder,
+    Span,
+    count,
+    enabled,
+    get_recorder,
+    install,
+    observe,
+    recording,
+    span,
+    uninstall,
+)
+
+__all__ = [
+    "Histogram",
+    "NullRecorder",
+    "Recorder",
+    "SNAPSHOT_VERSION",
+    "Span",
+    "count",
+    "enabled",
+    "get_recorder",
+    "install",
+    "observe",
+    "recording",
+    "render_metrics",
+    "render_report",
+    "render_span_tree",
+    "snapshot",
+    "snapshot_to_recorder",
+    "span",
+    "span_from_dict",
+    "span_to_dict",
+    "to_json",
+    "uninstall",
+]

@@ -1,0 +1,166 @@
+"""Exporters: span trees and metric registries as text or JSON.
+
+Two formats:
+
+* **text** — :func:`render_span_tree` draws the forest with per-span
+  wall-clock timings and attributes; :func:`render_metrics` tabulates
+  counters and histogram summaries; :func:`render_report` is both.
+* **JSON** — :func:`snapshot` flattens a recorder into plain dicts and
+  lists (spans keep ``duration_s`` rather than raw clock readings, so a
+  snapshot round-trips exactly through :func:`span_from_dict` /
+  :func:`to_json` / ``json.loads``).  The benchmark harness writes one
+  of these to ``benchmarks/BENCH_obs.json`` per run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.obs.metrics import Histogram
+from repro.obs.recorder import NullRecorder, Recorder, Span
+
+SNAPSHOT_VERSION = 1
+
+
+# ----------------------------------------------------------------- spans
+
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """One span subtree as JSON-serialisable dicts."""
+    return {
+        "name": span.name,
+        "duration_s": span.duration_s,
+        "attrs": dict(span.attrs),
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def span_from_dict(data: Dict[str, Any]) -> Span:
+    """Rebuild a :class:`Span` tree from :func:`span_to_dict` output."""
+    span = Span(data["name"], data.get("attrs"))
+    duration = data.get("duration_s")
+    if duration is not None:
+        span.start = 0.0
+        span.end = duration
+    span.children = [span_from_dict(child) for child in data.get("children", ())]
+    return span
+
+
+def _format_duration(duration_s) -> str:
+    if duration_s is None:
+        return "open"
+    millis = duration_s * 1000.0
+    if millis >= 100:
+        return f"{millis:.0f} ms"
+    if millis >= 1:
+        return f"{millis:.2f} ms"
+    return f"{millis:.3f} ms"
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    return " ".join(f"{key}={attrs[key]}" for key in attrs)
+
+
+def render_span_tree(spans: Sequence[Span]) -> str:
+    """The span forest as an indented tree with timings and attributes."""
+    lines: List[str] = []
+
+    def walk(span: Span, lead: str, child_lead: str) -> None:
+        attrs = _format_attrs(span.attrs)
+        line = f"{lead}{span.name} [{_format_duration(span.duration_s)}]"
+        if attrs:
+            line += f"  {attrs}"
+        lines.append(line)
+        for idx, child in enumerate(span.children):
+            last = idx == len(span.children) - 1
+            walk(
+                child,
+                child_lead + ("`- " if last else "|- "),
+                child_lead + ("   " if last else "|  "),
+            )
+
+    for root in spans:
+        walk(root, "", "")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------- metrics
+
+
+def render_metrics(recorder: Union[Recorder, NullRecorder]) -> str:
+    """Counters and histogram summaries as aligned text lines."""
+    lines: List[str] = []
+    counters = getattr(recorder, "counters", {})
+    histograms = getattr(recorder, "histograms", {})
+    if counters:
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"{name:<{width}}  {counters[name]}")
+    for name in sorted(histograms):
+        hist = histograms[name]
+        lines.append(
+            f"{name}  count={hist.count} min={hist.min} "
+            f"mean={hist.mean:.2f} max={hist.max}"
+        )
+    return "\n".join(lines)
+
+
+def render_report(recorder: Union[Recorder, NullRecorder]) -> str:
+    """A full human-readable report: span tree plus metric summary."""
+    sections = []
+    roots = getattr(recorder, "roots", ())
+    if roots:
+        sections.append("== spans ==\n" + render_span_tree(roots))
+    metrics = render_metrics(recorder)
+    if metrics:
+        sections.append("== metrics ==\n" + metrics)
+    return "\n\n".join(sections) if sections else "(nothing recorded)"
+
+
+# ------------------------------------------------------------- snapshots
+
+
+def snapshot(recorder: Union[Recorder, NullRecorder]) -> Dict[str, Any]:
+    """The recorder's full state as JSON-serialisable dicts."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "counters": {
+            name: value
+            for name, value in sorted(getattr(recorder, "counters", {}).items())
+        },
+        "histograms": {
+            name: hist.to_dict()
+            for name, hist in sorted(getattr(recorder, "histograms", {}).items())
+        },
+        "spans": [span_to_dict(root) for root in getattr(recorder, "roots", ())],
+    }
+
+
+def to_json(recorder: Union[Recorder, NullRecorder], indent: int = 2) -> str:
+    """:func:`snapshot` rendered as a JSON document."""
+    return json.dumps(snapshot(recorder), indent=indent, sort_keys=True)
+
+
+def snapshot_to_recorder(data: Dict[str, Any]) -> Recorder:
+    """Rebuild a :class:`Recorder` from a snapshot dict (for tooling)."""
+    recorder = Recorder()
+    for name, value in data.get("counters", {}).items():
+        recorder.counters[name] = value
+    for name, hist in data.get("histograms", {}).items():
+        recorder.histograms[name] = Histogram.from_dict(hist)
+    recorder.roots = [span_from_dict(span) for span in data.get("spans", ())]
+    return recorder
+
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "render_metrics",
+    "render_report",
+    "render_span_tree",
+    "snapshot",
+    "snapshot_to_recorder",
+    "span_from_dict",
+    "span_to_dict",
+    "to_json",
+]

@@ -1,0 +1,91 @@
+"""Monotonic counters and summary histograms.
+
+The metric model is deliberately tiny: a *counter* is a monotonically
+increasing integer keyed by name, and a *histogram* is a streaming
+summary (count / total / min / max) of observed values.  Both live in a
+:class:`~repro.obs.recorder.Recorder`'s registry; this module only holds
+the value types so the exporters and tests can use them standalone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class Histogram:
+    """A streaming summary of observed values.
+
+    Stores only the four aggregates Figure-4-style bookkeeping needs
+    (count, total, min, max); :attr:`mean` is derived.  Not a bucketed
+    histogram — per-value distributions are the spans' job.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.total: Number = 0
+        self.min: Number = 0
+        self.max: Number = 0
+
+    def observe(self, value: Number) -> None:
+        if self.count == 0:
+            self.min = value
+            self.max = value
+        else:
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.min = other.min
+            self.max = other.max
+        else:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+
+    # ------------------------------------------------------- serialisation
+
+    def to_dict(self) -> Dict[str, Number]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Number]) -> "Histogram":
+        hist = cls()
+        hist.count = int(data["count"])
+        hist.total = data["total"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, total={self.total}, "
+            f"min={self.min}, max={self.max})"
+        )
+
+
+__all__ = ["Histogram"]

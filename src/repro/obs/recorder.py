@@ -1,0 +1,305 @@
+"""Span recording and the process-wide recorder registry.
+
+The model follows the usual tracing shape at its smallest useful size:
+
+* a :class:`Span` is one named, timed region of work with attributes and
+  child spans — one :class:`Recorder` run yields a forest of span trees;
+* a :class:`Recorder` owns the span forest plus the metric registry
+  (counters and histograms) and is safe to use from multiple threads:
+  the span stack is thread-local (each thread nests independently) and
+  the registry is guarded by a lock;
+* a :class:`NullRecorder` is the default — every instrumentation hook in
+  the library goes through the module-level :func:`span` / :func:`count`
+  / :func:`observe` helpers, which dispatch to the *active* recorder, so
+  with nothing installed the cost of an instrumented call site is one
+  no-op method call and no allocation.
+
+Instrumented code must never import ``Recorder`` directly; it calls the
+helpers.  Harness code (the CLI, tests, benchmarks) installs a real
+recorder around the region it wants to measure::
+
+    from repro import obs
+
+    with obs.recording() as rec:
+        session.request(intent, "ISP_OUT")
+    print(obs.render_report(rec))
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.obs.metrics import Histogram
+
+Number = Union[int, float]
+
+
+class Span:
+    """One named, timed region of work in a trace tree."""
+
+    __slots__ = ("name", "attrs", "children", "start", "end")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        #: ``time.perf_counter()`` readings; ``None`` while in flight.
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach key/value attributes to the span after entry."""
+        self.attrs.update(attrs)
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Wall-clock duration in seconds, or None while in flight."""
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span named ``name`` in this subtree, depth-first order."""
+        return [span for span in self.walk() if span.name == name]
+
+    def __repr__(self) -> str:
+        timing = (
+            f"{self.duration_s * 1000:.3f}ms"
+            if self.duration_s is not None
+            else "open"
+        )
+        return f"Span({self.name!r}, {timing}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """The no-op span handed out when no recorder is active."""
+
+    __slots__ = ()
+
+    name: Optional[str] = None
+    children: Tuple[()] = ()
+    duration_s: Optional[float] = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that opens a :class:`Span` on a recorder."""
+
+    __slots__ = ("_recorder", "_name", "_attrs", "_span")
+
+    def __init__(self, recorder: "Recorder", name: str, attrs: Dict[str, Any]) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        span = Span(self._name, self._attrs)
+        span.start = time.perf_counter()
+        stack = self._recorder._span_stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._recorder._lock:
+                self._recorder.roots.append(span)
+        stack.append(span)
+        self._span = span
+        return span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        span = self._span
+        assert span is not None
+        span.end = time.perf_counter()
+        if exc_type is not None:
+            span.attrs.setdefault("error", exc_type.__name__)
+        stack = self._recorder._span_stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        return False
+
+
+class Recorder:
+    """Collects a span forest plus counters and histograms.
+
+    ``capture_spans=False`` keeps only the metric registry — use it for
+    long sessions (the benchmark harness does) where accumulating every
+    span tree would grow without bound.
+    """
+
+    def __init__(self, capture_spans: bool = True) -> None:
+        self.capture_spans = capture_spans
+        self.roots: List[Span] = []
+        self.counters: Dict[str, Number] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _span_stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # ------------------------------------------------------------ recording
+
+    def span(self, name: str, /, **attrs: Any):
+        """Open a child span of the current thread's innermost span."""
+        if not self.capture_spans:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, attrs)
+
+    def count(self, name: str, value: Number = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at zero)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one observation in the histogram ``name``."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
+
+    # -------------------------------------------------------------- reading
+
+    def counter(self, name: str) -> Number:
+        return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.histograms.get(name, Histogram())
+
+    def find(self, name: str) -> List[Span]:
+        """Every recorded span named ``name``, depth-first across roots."""
+        return [span for root in self.roots for span in root.find(name)]
+
+    def reset(self) -> None:
+        with self._lock:
+            self.roots.clear()
+            self.counters.clear()
+            self.histograms.clear()
+
+
+class NullRecorder:
+    """The default recorder: records nothing, costs (almost) nothing."""
+
+    capture_spans = False
+    roots: Tuple[()] = ()
+
+    def span(self, name: str, /, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def count(self, name: str, value: Number = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: Number) -> None:
+        pass
+
+    def counter(self, name: str) -> Number:
+        return 0
+
+    def histogram(self, name: str) -> Histogram:
+        return Histogram()
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+_NULL_RECORDER = NullRecorder()
+_active: Union[Recorder, NullRecorder] = _NULL_RECORDER
+
+
+def get_recorder() -> Union[Recorder, NullRecorder]:
+    """The recorder instrumentation currently dispatches to."""
+    return _active
+
+
+def install(recorder: Optional[Recorder] = None) -> Recorder:
+    """Make ``recorder`` (a fresh one by default) the active recorder."""
+    global _active
+    rec = recorder if recorder is not None else Recorder()
+    _active = rec
+    return rec
+
+
+def uninstall() -> None:
+    """Restore the no-op default recorder."""
+    global _active
+    _active = _NULL_RECORDER
+
+
+@contextlib.contextmanager
+def recording(
+    recorder: Optional[Recorder] = None,
+) -> Iterator[Recorder]:
+    """Activate a recorder for the dynamic extent of a ``with`` block."""
+    global _active
+    rec = recorder if recorder is not None else Recorder()
+    previous = _active
+    _active = rec
+    try:
+        yield rec
+    finally:
+        _active = previous
+
+
+# Module-level hooks: what instrumented library code calls.  They read
+# the active recorder at call time, so importing them early is safe.
+
+
+def span(name: str, /, **attrs: Any):
+    """Open a span on the active recorder (no-op span by default)."""
+    return _active.span(name, **attrs)
+
+
+def count(name: str, value: Number = 1) -> None:
+    """Bump a counter on the active recorder (no-op by default)."""
+    _active.count(name, value)
+
+
+def observe(name: str, value: Number) -> None:
+    """Record a histogram observation on the active recorder."""
+    _active.observe(name, value)
+
+
+def enabled() -> bool:
+    """True when a real recorder is active."""
+    return _active is not _NULL_RECORDER
+
+
+__all__ = [
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "count",
+    "enabled",
+    "get_recorder",
+    "install",
+    "observe",
+    "recording",
+    "span",
+    "uninstall",
+]

@@ -1,6 +1,7 @@
 """Tests for the ``clarify`` CLI."""
 
 import io
+import json
 
 import pytest
 
@@ -222,6 +223,58 @@ class TestListAdd:
                 "10.1.2.1/24",
             ]
         )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_default_walkthrough_cross_checks(self, capsys):
+        code = main(["trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== span tree ==" in out
+        assert "clarify.request" in out
+        assert "== metrics ==" in out
+        assert "llm.calls" in out
+        assert "== cross-check vs UpdateReport ==" in out
+        assert "MISMATCH" not in out
+        assert out.count("OK") == 3
+
+    def test_trace_leaves_no_global_recorder(self):
+        from repro import obs
+
+        main(["trace"])
+        assert not obs.enabled()
+
+    def test_json_output_is_a_snapshot(self, capsys):
+        from repro import obs
+
+        code = main(["trace", "--json", "--top-bottom"])
+        assert code == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["version"] == obs.SNAPSHOT_VERSION
+        assert snap["counters"]["llm.calls"] == 3
+        assert snap["spans"][0]["name"] == "clarify.request"
+
+    def test_custom_config_and_intent(self, config_file, capsys):
+        code = main(
+            [
+                "trace",
+                PAPER_INTENT,
+                "--config",
+                config_file,
+                "--target",
+                "ISP_OUT",
+                "--answers",
+                "1,1,1",
+            ]
+        )
+        assert code == 0
+        assert "synthesis.synthesize" in capsys.readouterr().out
+
+    def test_exhausted_answers_report_error(self, capsys):
+        # The walkthrough needs two answers in FULL mode; give it one.
+        code = main(["trace", "--answers", "1"])
         assert code == 1
         assert "error" in capsys.readouterr().err
 

@@ -1,0 +1,128 @@
+"""Docs lint: every ``repro.*`` path and ``clarify`` subcommand the
+documentation mentions must actually exist.
+
+Checks three things across ``README.md`` and ``docs/*.md``:
+
+1. import lines inside ```python blocks resolve (module imports, and
+   every imported name is an attribute or submodule);
+2. inline-code dotted references like ``repro.config.device.parse_device``
+   resolve to a module or a module attribute;
+3. ``clarify <subcommand>`` invocations inside ```bash blocks (and in
+   inline code) name real subcommands of the CLI parser.
+"""
+
+import argparse
+import importlib
+import pathlib
+import re
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+FENCE_RE = re.compile(r"```(\w*)\n(.*?)```", re.DOTALL)
+IMPORT_FROM_RE = re.compile(r"^\s*from\s+(repro[\w.]*)\s+import\s+(.+)$")
+IMPORT_RE = re.compile(r"^\s*import\s+(repro[\w.]*)\s*$")
+DOTTED_REF_RE = re.compile(r"`(repro(?:\.\w+)+)(?:\(\))?`")
+CLARIFY_RE = re.compile(r"^\s*clarify\s+([\w-]+)")
+
+
+def fenced_blocks(text, language):
+    return [
+        body for lang, body in FENCE_RE.findall(text) if lang == language
+    ]
+
+
+def resolves(dotted):
+    """True if ``dotted`` is an importable module or a module attribute."""
+    try:
+        importlib.import_module(dotted)
+        return True
+    except ImportError:
+        pass
+    if "." not in dotted:
+        return False
+    parent, _, attr = dotted.rpartition(".")
+    try:
+        module = importlib.import_module(parent)
+    except ImportError:
+        return False
+    return hasattr(module, attr)
+
+
+def subcommands():
+    parser = build_parser()
+    action = next(
+        a
+        for a in parser._actions
+        if isinstance(a, argparse._SubParsersAction)
+    )
+    return set(action.choices)
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[p.name for p in DOC_FILES]
+)
+class TestDocsLint:
+    def test_python_block_imports_resolve(self, doc):
+        errors = []
+        for block in fenced_blocks(doc.read_text(), "python"):
+            for line in block.splitlines():
+                match = IMPORT_FROM_RE.match(line)
+                if match:
+                    module_name, names = match.groups()
+                    try:
+                        module = importlib.import_module(module_name)
+                    except ImportError:
+                        errors.append(f"{line.strip()}: no module {module_name}")
+                        continue
+                    for name in names.split(","):
+                        name = name.strip().split(" as ")[0]
+                        if not name or name == "(":
+                            continue
+                        if not (
+                            hasattr(module, name)
+                            or resolves(f"{module_name}.{name}")
+                        ):
+                            errors.append(
+                                f"{line.strip()}: {module_name} has no {name}"
+                            )
+                    continue
+                match = IMPORT_RE.match(line)
+                if match and not resolves(match.group(1)):
+                    errors.append(f"{line.strip()}: does not import")
+        assert not errors, f"{doc.name}:\n" + "\n".join(errors)
+
+    def test_dotted_references_resolve(self, doc):
+        stale = sorted(
+            {
+                ref
+                for ref in DOTTED_REF_RE.findall(doc.read_text())
+                if not resolves(ref)
+            }
+        )
+        assert not stale, f"{doc.name} references unknown paths: {stale}"
+
+    def test_clarify_subcommands_exist(self, doc):
+        known = subcommands()
+        text = doc.read_text()
+        used = set()
+        for block in fenced_blocks(text, "bash"):
+            for line in block.splitlines():
+                match = CLARIFY_RE.match(line)
+                if match:
+                    used.add(match.group(1))
+        for inline in re.findall(r"`clarify\s+([\w-]+)[^`]*`", text):
+            used.add(inline)
+        unknown = sorted(used - known)
+        assert not unknown, f"{doc.name} uses unknown subcommands: {unknown}"
+
+
+def test_doc_set_is_present():
+    names = {path.name for path in DOC_FILES}
+    assert {"README.md", "ARCHITECTURE.md", "OBSERVABILITY.md", "TUTORIAL.md"} <= names
