@@ -15,7 +15,6 @@ middle-of-map intent, while FULL places it correctly.
 
 import math
 
-import pytest
 
 from repro.analysis import eval_route_map
 from repro.config import parse_config

@@ -16,7 +16,7 @@ by nudging unconstrained fields while staying inside the cell.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro import obs
 from repro.analysis.evaluate import (
@@ -25,8 +25,8 @@ from repro.analysis.evaluate import (
     eval_acl,
     eval_route_map,
 )
-from repro.analysis.headerspace import PacketSpace, acl_reachable_spaces
-from repro.analysis.routespace import RouteRegion, RouteSpace, route_map_reachable_spaces
+from repro.analysis.headerspace import acl_reachable_spaces
+from repro.analysis.routespace import RouteRegion, route_map_reachable_spaces
 from repro.config.acl import Acl
 from repro.config.routemap import RouteMap, RouteMapStanza
 from repro.config.sets import (

@@ -10,7 +10,7 @@ violating the spec.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Optional
 
 from repro.analysis.evaluate import eval_acl, eval_route_map
 from repro.analysis.headerspace import PacketSpace, acl_reachable_spaces

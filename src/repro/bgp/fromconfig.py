@@ -11,7 +11,7 @@ optional origination route-maps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.evaluate import eval_route_map
 from repro.bgp.topology import Network

@@ -6,7 +6,6 @@ import dataclasses
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.config.store import ConfigStore
-from repro.netaddr import Ipv4Prefix
 from repro.route import BgpRoute
 
 

@@ -8,6 +8,8 @@ Subcommands::
     clarify eval       the §5 evaluation (Figure 4 + global policies)
     clarify corpus     generate a §3 synthetic corpus and report stats
     clarify trace      one instrumented cycle: span tree + metric summary
+    clarify lint       symbolic static analysis: shadowed/conflicting
+                       rules, dangling references, naming drift
 
 ``clarify add`` reads an existing IOS configuration, runs the full
 Clarify cycle for an English intent, asks the differential questions on
@@ -318,6 +320,55 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Lint a configuration (or a §3 corpus) with the symbolic checks.
+
+    Exit status is 0 when no diagnostic reaches the ``--fail-on``
+    threshold (and, in corpus mode, the archetype cross-check matches),
+    1 otherwise.
+    """
+    from repro.lint import lint_campus_corpus, lint_store, render_json, render_text
+    from repro.lint.diagnostics import Severity
+
+    select = args.select.split(",") if args.select else None
+    threshold = (
+        None if args.fail_on == "none" else Severity.parse(args.fail_on)
+    )
+    with_witnesses = not args.no_witness
+
+    if args.corpus == "campus":
+        from repro.synth import generate_campus_corpus
+        from repro.synth.campus import TOTAL_ACLS, TOTAL_ROUTE_MAPS
+
+        corpus = generate_campus_corpus(
+            seed=args.seed,
+            total_acls=max(1, round(TOTAL_ACLS * args.scale)),
+            route_maps=max(1, round(TOTAL_ROUTE_MAPS * args.scale)),
+        )
+        result = lint_campus_corpus(corpus, with_witnesses=with_witnesses)
+        print(result.render())
+        return 0 if result.matches_expected else 1
+    if args.corpus == "cloud":
+        from repro.synth import generate_cloud_corpus
+
+        corpus = generate_cloud_corpus(seed=args.seed, scale=args.scale)
+        store = corpus.store
+        title = "cloud corpus"
+    elif args.config:
+        store = _read_config(args.config)
+        title = args.config
+    else:
+        store = parse_config(WALKTHROUGH_CONFIG)
+        title = "walkthrough (§2 ISP_OUT sample)"
+
+    report = lint_store(store, select=select, with_witnesses=with_witnesses)
+    if args.format == "json":
+        print(render_json(report, title=title))
+    else:
+        print(render_text(report, title=title))
+    return 1 if report.fails(threshold) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="clarify",
@@ -430,6 +481,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("--seed", type=int, default=2025)
     p_corpus.add_argument("--scale", type=float, default=1.0)
     p_corpus.set_defaults(func=cmd_corpus)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="symbolic static analysis of a configuration or §3 corpus",
+    )
+    p_lint.add_argument(
+        "--config",
+        help="IOS configuration file to lint (default: the §2 ISP_OUT sample)",
+    )
+    p_lint.add_argument(
+        "--corpus",
+        choices=("campus", "cloud"),
+        help="lint a generated §3 corpus instead of a file; campus mode "
+        "cross-checks recovered archetype counts against the generator",
+    )
+    p_lint.add_argument(
+        "--seed", type=int, default=2025, help="corpus generator seed"
+    )
+    p_lint.add_argument(
+        "--scale", type=float, default=0.01, help="corpus size scale factor"
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: %(default)s)",
+    )
+    p_lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "none"),
+        default="error",
+        help="exit 1 when a diagnostic at or above this severity is found "
+        "(default: %(default)s)",
+    )
+    p_lint.add_argument(
+        "--select",
+        help="comma-separated diagnostic codes to run (e.g. RM001,AC001)",
+    )
+    p_lint.add_argument(
+        "--no-witness",
+        action="store_true",
+        help="skip witness extraction (faster on large corpora)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
     return parser
 
 

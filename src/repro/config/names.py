@@ -26,25 +26,55 @@ from repro.config.store import ConfigStore
 _NUMBERED_NAME = re.compile(r"^([A-Za-z_]+?)(\d+)$")
 
 
+def numbered_family(name: str) -> Optional[Tuple[str, int]]:
+    """Split a ``<stem><number>`` name, e.g. ``D2`` -> ``("D", 2)``.
+
+    Returns ``None`` for names that do not end in digits (or contain a
+    digit mid-name, which breaks the family pattern).
+    """
+    match = _NUMBERED_NAME.match(name)
+    if match is None:
+        return None
+    return match.group(1), int(match.group(2))
+
+
 def _family_counter(existing: Iterable[str]) -> Optional[Tuple[str, int]]:
-    """Detect a shared ``<stem><number>`` naming family, e.g. D0/D1 -> (D, 2).
+    """Detect a dominant ``<stem><number>`` naming family, e.g. D0/D1 -> (D, 2).
 
     Returns the stem and the next free number, or ``None`` when the
-    existing names do not share one numbered family.
+    existing names establish no clear family.  A family is clear when
+
+    * every name belongs to one numbered family (any size, so a lone
+      ``PREFIX_100`` still seeds the ``PREFIX_`` family), or
+    * at least two names share one stem and strictly more of them than
+      of any other numbered stem — deviant names (descriptive ones, or
+      mixed-stem families that merely share a prefix, like ``D0``/``D1``
+      next to ``DENY_EXT2``) no longer veto the dominant family.
+
+    An empty iterable (no existing names at all) yields ``None``.
     """
-    stems: Dict[str, int] = {}
+    members: Dict[str, int] = {}
+    highest: Dict[str, int] = {}
     total = 0
     for name in existing:
-        match = _NUMBERED_NAME.match(name)
-        if not match:
-            return None
-        stem, number = match.group(1), int(match.group(2))
-        stems[stem] = max(stems.get(stem, -1), number)
         total += 1
-    if len(stems) != 1 or total == 0:
+        family = numbered_family(name)
+        if family is None:
+            continue
+        stem, number = family
+        members[stem] = members.get(stem, 0) + 1
+        highest[stem] = max(highest.get(stem, -1), number)
+    if total == 0 or not members:
         return None
-    ((stem, highest),) = stems.items()
-    return stem, highest + 1
+    if len(members) == 1 and sum(members.values()) == total:
+        ((stem, count),) = members.items()
+        return stem, highest[stem] + 1
+    best = max(members.values())
+    dominant = [stem for stem, count in members.items() if count == best]
+    if best < 2 or len(dominant) != 1:
+        return None
+    stem = dominant[0]
+    return stem, highest[stem] + 1
 
 
 def _fresh_name(base: str, taken: Set[str]) -> str:
@@ -83,6 +113,9 @@ def plan_renames(snippet: ConfigStore, target: ConfigStore) -> Dict[str, str]:
         stem, counter = family
         for name in ordered:
             new_name = f"{stem}{counter}"
+            while new_name in taken:
+                counter += 1
+                new_name = f"{stem}{counter}"
             counter += 1
             renames[name] = new_name
             taken.add(new_name)

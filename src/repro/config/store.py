@@ -8,7 +8,7 @@ dangling references and duplicate definitions.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.config.acl import Acl
 from repro.config.lists import AsPathAccessList, CommunityList, PrefixList

@@ -36,7 +36,6 @@ from repro.core.disambiguator import (
     _top_bottom,
 )
 from repro.core.oracle import DisambiguationQuestion, UserOracle
-from repro.netaddr import Ipv4Prefix
 from repro.regexlib.cisco import (
     find_as_path,
     find_community,

@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import re
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.headerspace import PacketRegion, PacketSpace
 from repro.analysis.prefixspace import PrefixAtom, PrefixSpace

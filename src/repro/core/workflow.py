@@ -28,7 +28,8 @@ from repro.core.disambiguator import (
     disambiguate_stanza,
 )
 from repro.core.oracle import CountingOracle, FirstOptionOracle, UserOracle
-from repro.core.synthesis import ACL, ROUTE_MAP, SynthesisPipeline
+from repro.core.synthesis import ROUTE_MAP, SynthesisPipeline
+from repro.lint.gate import gate_insertion
 from repro.llm.client import LLMClient
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.transcript import TranscribingClient
@@ -49,6 +50,8 @@ class UpdateReport:
     snippet: ConfigStore
     #: Unified diff of the device configuration this update applied.
     diff: str = ""
+    #: Advisory lint-gate warnings (empty when the gate is off or clean).
+    gate_warnings: Tuple[str, ...] = ()
 
 
 class ClarifySession:
@@ -61,8 +64,11 @@ class ClarifySession:
         oracle: Optional[UserOracle] = None,
         mode: DisambiguationMode = DisambiguationMode.FULL,
         max_attempts: int = 3,
+        lint_gate: bool = True,
     ) -> None:
         self.store = store if store is not None else ConfigStore()
+        #: Run the advisory :mod:`repro.lint` gate around each insertion.
+        self.lint_gate = lint_gate
         self.llm = TranscribingClient(llm if llm is not None else SimulatedLLM())
         self.oracle = CountingOracle(
             oracle if oracle is not None else FirstOptionOracle()
@@ -154,6 +160,12 @@ class ClarifySession:
         self.store = outcome.store
         with obs.span("clarify.diff"):
             diff_text = config_diff(before, self.store)
+        gate_warnings: Tuple[str, ...] = ()
+        if self.lint_gate:
+            gate = gate_insertion(
+                before, self.store, kind, target, outcome.position
+            )
+            gate_warnings = gate.warnings
         report = UpdateReport(
             kind=kind,
             target=target,
@@ -164,6 +176,7 @@ class ClarifySession:
             overlaps=outcome.overlaps,
             snippet=snippet,
             diff=diff_text,
+            gate_warnings=gate_warnings,
         )
         self.history.append(report)
         return report

@@ -1,0 +1,76 @@
+"""``repro.lint`` — a symbolic policy linter over parsed configurations.
+
+Static analysis on top of the route-space/header-space engines: every
+check reasons about the *semantics* of a policy (which inputs reach
+which rule), not its syntax, and defects come back as
+:class:`~repro.lint.diagnostics.Diagnostic` objects with stable codes,
+severities, suggested fixes, and — where the symbolic engines can
+produce one — a concrete witness route or packet.
+
+Diagnostic codes (catalogued in ``docs/LINT.md``):
+
+========  ========  ====================================================
+code      severity  meaning
+========  ========  ====================================================
+RM001     warning   fully shadowed route-map stanza
+RM002     info      conflicting stanza overlap (order-sensitive pair)
+RM003     warning   route-map with no terminal permit (denies all)
+AC001     error     ACL rule fully shadowed by opposite-action rules
+AC002     warning   redundant ACL rule (same-action cover)
+AC003     info      correlated ACL rules (partial conflicting overlap)
+AC004     info      generalization (catch-all reversing an earlier rule)
+RF001     error     reference to an undefined list/ACL
+RF002     info      defined but unreferenced list/ACL
+NM001     info      name straying from the dominant naming family
+========  ========  ====================================================
+
+Entry points: :func:`lint_store` / :func:`lint_device` for one
+configuration, :func:`gate_insertion` for the pre/post-insertion gate
+the Clarify workflow runs, :func:`lint_campus_corpus` for the §3
+corpus cross-check, and the ``clarify lint`` CLI subcommand.
+"""
+
+from repro.lint.corpus import (
+    AclClassification,
+    CorpusLintResult,
+    classify_acl,
+    lint_campus_corpus,
+)
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceLocation,
+)
+from repro.lint.gate import GateReport, gate_insertion
+from repro.lint.registry import (
+    Check,
+    CheckRegistry,
+    counts_by_object,
+    default_registry,
+    lint_device,
+    lint_store,
+)
+from repro.lint.reporters import diagnostic_to_dict, render_json, render_text
+
+__all__ = [
+    "AclClassification",
+    "Check",
+    "CheckRegistry",
+    "CorpusLintResult",
+    "Diagnostic",
+    "GateReport",
+    "LintReport",
+    "Severity",
+    "SourceLocation",
+    "classify_acl",
+    "counts_by_object",
+    "default_registry",
+    "diagnostic_to_dict",
+    "gate_insertion",
+    "lint_campus_corpus",
+    "lint_device",
+    "lint_store",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,155 @@
+"""Symbolic ACL checks: AC001 shadowed-ace, AC002 redundant-ace, AC003
+correlated-aces, AC004 generalization.
+
+The taxonomy follows the classic firewall-anomaly classification
+(shadowing / redundancy / correlation / generalization), computed
+exactly on the packet-space engine (:mod:`repro.analysis.headerspace`)
+and the §3 overlap detector.  Witness packets come straight from the
+region algebra and are checked against the concrete evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.evaluate import eval_acl
+from repro.analysis.headerspace import acl_guard_space, acl_reachable_spaces
+from repro.config.acl import Acl
+from repro.lint.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.overlap.detector import acl_overlap_report
+
+
+def _location(acl: Acl, seq: Optional[int] = None) -> SourceLocation:
+    return SourceLocation(kind="acl", name=acl.name, seq=seq)
+
+
+def check_unreachable_aces(
+    acl: Acl, with_witnesses: bool = True
+) -> List[Diagnostic]:
+    """AC001/AC002: rules no packet can ever reach and match.
+
+    A rule whose reachable space is empty is dead.  When some earlier
+    covering rule takes the *opposite* action the dead rule was meant to
+    change behaviour and silently does not (**AC001 shadowed-ace**,
+    error); when every covering rule agrees with it the rule is merely
+    dead weight (**AC002 redundant-ace**, warning).
+    """
+    diagnostics: List[Diagnostic] = []
+    reachable = acl_reachable_spaces(acl)
+    guards = [acl_guard_space(rule) for rule in acl.rules]
+    for index, (rule, space) in enumerate(reachable):
+        if rule is None or not space.is_empty():
+            continue
+        conflicting_cover = False
+        related = []
+        for earlier in range(index):
+            if guards[earlier].intersect(guards[index]).is_empty():
+                continue
+            related.append(_location(acl, acl.rules[earlier].seq))
+            if acl.rules[earlier].action != rule.action:
+                conflicting_cover = True
+        witness = guards[index].witness() if with_witnesses else None
+        capturing = ""
+        if witness is not None:
+            result = eval_acl(acl, witness)
+            if result.rule_seq is not None and result.rule_seq != rule.seq:
+                capturing = f" (e.g. rule {result.rule_seq} matches first)"
+        if conflicting_cover:
+            code, severity = "AC001", Severity.ERROR
+            message = (
+                f"rule {rule.seq} ({rule.action}) is fully shadowed by "
+                f"earlier rules with the opposite action{capturing}"
+            )
+            suggestion = (
+                "move the rule above the rules that shadow it, or delete "
+                "it if the current behaviour is intended"
+            )
+        else:
+            code, severity = "AC002", Severity.WARNING
+            message = (
+                f"rule {rule.seq} is redundant: earlier rules with the "
+                f"same action already cover every packet it matches{capturing}"
+            )
+            suggestion = "delete the rule; behaviour is unchanged"
+        diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                location=_location(acl, rule.seq),
+                message=message,
+                suggestion=suggestion,
+                witness=witness,
+                related=tuple(related),
+            )
+        )
+    return diagnostics
+
+
+def check_overlap_pairs(
+    acl: Acl, with_witnesses: bool = True
+) -> List[Diagnostic]:
+    """AC003/AC004: order-sensitive conflicting rule pairs.
+
+    **AC003 correlated-aces** — two rules with different actions whose
+    spaces partially overlap (neither contains the other): the §3
+    "non-trivial" conflicts, where reordering or inserting between them
+    flips the overlap.  **AC004 generalization** — a later rule with the
+    opposite action whose space fully contains an earlier rule's (the
+    specific-permits-then-catch-all-deny shape §3.2 calls *shadowed*):
+    legitimate idiom, but exactly the latent structure a user cannot see
+    when asking for an insertion.  Both carry a packet matched by the
+    pair.
+    """
+    diagnostics: List[Diagnostic] = []
+    report = acl_overlap_report(acl, with_witnesses=with_witnesses)
+    for pair in report.pairs:
+        if not pair.conflicting:
+            continue
+        if pair.b_in_a:
+            # Later rule (partially) shadowed by the earlier one; the
+            # reachability checks report the fully-dead case exactly.
+            continue
+        if pair.a_in_b:
+            diagnostics.append(
+                Diagnostic(
+                    code="AC004",
+                    severity=Severity.INFO,
+                    location=_location(acl, pair.seq_b),
+                    message=(
+                        f"rule {pair.seq_b} is a catch-all that reverses "
+                        f"earlier rule {pair.seq_a} everywhere outside it; "
+                        f"rule {pair.seq_a} is an exception punched into "
+                        f"rule {pair.seq_b}"
+                    ),
+                    suggestion=(
+                        "expected for exception-then-default policies; "
+                        "keep new rules on the correct side of the catch-all"
+                    ),
+                    witness=pair.witness,
+                    related=(_location(acl, pair.seq_a),),
+                )
+            )
+        else:
+            diagnostics.append(
+                Diagnostic(
+                    code="AC003",
+                    severity=Severity.INFO,
+                    location=_location(acl, pair.seq_b),
+                    message=(
+                        f"rules {pair.seq_a} and {pair.seq_b} take "
+                        "different actions on a shared packet space and "
+                        "neither contains the other; their order decides "
+                        "the overlap"
+                    ),
+                    suggestion=(
+                        "confirm the relative order is intended; insertions "
+                        "between these rules change behaviour"
+                    ),
+                    witness=pair.witness,
+                    related=(_location(acl, pair.seq_a),),
+                )
+            )
+    return diagnostics
+
+
+__all__ = ["check_overlap_pairs", "check_unreachable_aces"]

@@ -1,0 +1,196 @@
+"""The diagnostic model: stable codes, severities, locations, reports.
+
+Every lint finding is a :class:`Diagnostic` — a stable code (``RM001``),
+a :class:`Severity`, a :class:`SourceLocation` naming the configuration
+object (and, where applicable, the rule/stanza sequence number), a
+human-readable message, an optional suggested fix, and an optional
+concrete *witness* (a route or packet demonstrating the defect, produced
+by the symbolic engines).  A :class:`LintReport` is an ordered,
+immutable collection with the filtering and threshold helpers the CLI
+and the insertion gate need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered ``INFO < WARNING < ERROR``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def at_least(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            choices = ", ".join(s.value for s in cls)
+            raise ValueError(
+                f"unknown severity {text!r} (choose from {choices})"
+            ) from None
+
+
+_SEVERITY_RANK: Dict[Severity, int] = {
+    Severity.INFO: 10,
+    Severity.WARNING: 20,
+    Severity.ERROR: 30,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceLocation:
+    """Where in the configuration a diagnostic points.
+
+    ``kind`` names the object type (``route-map``, ``acl``,
+    ``prefix-list``, ``community-list``, ``as-path-list``,
+    ``interface``); ``seq`` is the stanza/rule sequence number when the
+    diagnostic is about one specific entry.
+    """
+
+    kind: str
+    name: str
+    seq: Optional[int] = None
+
+    def render(self) -> str:
+        entry = "stanza" if self.kind == "route-map" else "rule"
+        if self.seq is None:
+            return f"{self.kind} {self.name}"
+        return f"{self.kind} {self.name} {entry} {self.seq}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    code: str
+    severity: Severity
+    location: SourceLocation
+    message: str
+    suggestion: Optional[str] = None
+    #: A concrete route/packet demonstrating the defect (has ``render()``).
+    witness: Optional[object] = None
+    #: Locations of the other objects/entries involved (e.g. the stanza
+    #: that shadows this one).
+    related: Tuple[SourceLocation, ...] = ()
+
+    def witness_text(self, indent: str = "    ") -> Optional[str]:
+        """The witness rendered for display, or None without one."""
+        if self.witness is None:
+            return None
+        render = getattr(self.witness, "render", None)
+        if callable(render):
+            return str(render(indent))
+        return indent + str(self.witness)
+
+    def render(self) -> str:
+        """One-line summary: ``severity code location: message``."""
+        return (
+            f"{self.severity.value} {self.code} "
+            f"{self.location.render()}: {self.message}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LintReport:
+    """An ordered collection of diagnostics with threshold helpers."""
+
+    diagnostics: Tuple[Diagnostic, ...] = ()
+
+    @classmethod
+    def of(cls, diagnostics: Iterable[Diagnostic]) -> "LintReport":
+        return cls(tuple(diagnostics))
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def extend(self, other: "LintReport") -> "LintReport":
+        return LintReport(self.diagnostics + other.diagnostics)
+
+    def with_code(self, *codes: str) -> "LintReport":
+        wanted = set(codes)
+        return LintReport(
+            tuple(d for d in self.diagnostics if d.code in wanted)
+        )
+
+    def for_object(self, kind: str, name: str) -> "LintReport":
+        return LintReport(
+            tuple(
+                d
+                for d in self.diagnostics
+                if d.location.kind == kind and d.location.name == name
+            )
+        )
+
+    def at_least(self, severity: Severity) -> "LintReport":
+        return LintReport(
+            tuple(
+                d for d in self.diagnostics if d.severity.at_least(severity)
+            )
+        )
+
+    def counts_by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            counts[diagnostic.code] = counts.get(diagnostic.code, 0) + 1
+        return counts
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            key = diagnostic.severity.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def max_severity(self) -> Optional[Severity]:
+        """The worst severity present, or None for a clean report."""
+        worst: Optional[Severity] = None
+        for diagnostic in self.diagnostics:
+            if worst is None or diagnostic.severity.rank > worst.rank:
+                worst = diagnostic.severity
+        return worst
+
+    def fails(self, threshold: Optional[Severity]) -> bool:
+        """True when any diagnostic reaches ``threshold`` (None: never)."""
+        if threshold is None:
+            return False
+        return any(d.severity.at_least(threshold) for d in self.diagnostics)
+
+    def sorted(self) -> "LintReport":
+        """Severity-descending, then by location, for stable display."""
+        ordered: List[Diagnostic] = sorted(
+            self.diagnostics,
+            key=lambda d: (
+                -d.severity.rank,
+                d.location.kind,
+                d.location.name,
+                d.location.seq if d.location.seq is not None else -1,
+                d.code,
+            ),
+        )
+        return LintReport(tuple(ordered))
+
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "SourceLocation",
+]

@@ -1,0 +1,147 @@
+"""The insertion gate: lint the update an insertion is about to apply.
+
+The paper's core observation is that a synthesized stanza can be
+*correct in isolation* yet change nothing (or the wrong thing) once
+spliced into the target policy.  The gate compares the configuration
+before and after a proposed insertion:
+
+* would the inserted stanza/rule land **fully shadowed** (no input ever
+  reaches it)?  That is the clearest possible signal the user's intent
+  was not realised;
+* does the insertion **introduce new diagnostics** (per-code count
+  deltas, robust against the renumbering an insertion performs)?
+
+The result is advisory — a :class:`GateReport` of human-readable
+warnings plus the before/after lint reports — because the §2 workflow
+already asked the user where the stanza should go; the gate tells them
+what that choice did.  Warnings bump the ``lint.gate_warnings`` counter
+on the active :mod:`repro.obs` recorder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro import obs
+from repro.analysis.headerspace import acl_reachable_spaces
+from repro.analysis.routespace import route_map_reachable_spaces
+from repro.config.store import ConfigStore
+from repro.lint.diagnostics import LintReport
+from repro.lint.registry import (
+    CheckRegistry,
+    _translatable,
+    lint_store,
+)
+
+ROUTE_MAP = "route-map"
+ACL = "acl"
+
+
+@dataclasses.dataclass(frozen=True)
+class GateReport:
+    """What the gate found about one proposed insertion."""
+
+    warnings: Tuple[str, ...]
+    #: True when the inserted entry itself is unreachable.
+    inserted_shadowed: bool
+    before: LintReport
+    after: LintReport
+
+    def __bool__(self) -> bool:
+        return bool(self.warnings)
+
+    @property
+    def new_counts(self) -> dict:
+        """Per-code diagnostic count increases caused by the insertion."""
+        old = self.before.counts_by_code()
+        new = self.after.counts_by_code()
+        return {
+            code: new[code] - old.get(code, 0)
+            for code in sorted(new)
+            if new[code] > old.get(code, 0)
+        }
+
+
+def _inserted_entry_shadowed(
+    store: ConfigStore, kind: str, target: str, position: int
+) -> Optional[bool]:
+    """Whether the entry at index ``position`` is unreachable.
+
+    Returns ``None`` when the question cannot be decided (unknown
+    target, position out of range, or untranslatable guards).
+    """
+    if kind == ROUTE_MAP:
+        if not store.has_route_map(target):
+            return None
+        route_map = store.route_map(target)
+        if not 0 <= position < len(route_map.stanzas):
+            return None
+        if not _translatable(route_map, store):
+            return None
+        reachable = route_map_reachable_spaces(route_map, store)
+        return reachable[position][1].is_empty()
+    if kind == ACL:
+        if not store.has_acl(target):
+            return None
+        acl = store.acl(target)
+        if not 0 <= position < len(acl.rules):
+            return None
+        reachable = acl_reachable_spaces(acl)
+        return reachable[position][1].is_empty()
+    return None
+
+
+def gate_insertion(
+    before: ConfigStore,
+    after: ConfigStore,
+    kind: str,
+    target: str,
+    position: int,
+    registry: Optional[CheckRegistry] = None,
+    with_witnesses: bool = True,
+) -> GateReport:
+    """Lint a proposed insertion of one stanza/rule.
+
+    ``before``/``after`` are the stores around the insertion; ``kind``
+    is ``"route-map"`` or ``"acl"``; ``position`` is the insertion index
+    (the inserted entry's index in the updated target).
+    """
+    with obs.span("lint.gate", kind=kind, target=target):
+        report_before = lint_store(
+            before, registry=registry, with_witnesses=False
+        )
+        report_after = lint_store(
+            after, registry=registry, with_witnesses=with_witnesses
+        )
+        warnings: List[str] = []
+        entry = "stanza" if kind == ROUTE_MAP else "rule"
+        shadowed = _inserted_entry_shadowed(after, kind, target, position)
+        if shadowed:
+            seq = (position + 1) * 10
+            warnings.append(
+                f"the inserted {entry} ({kind} {target} {entry} ~{seq}) "
+                "is fully shadowed: no input ever reaches it, so this "
+                "update changes nothing"
+            )
+        old_counts = report_before.counts_by_code()
+        for code, count in sorted(report_after.counts_by_code().items()):
+            delta = count - old_counts.get(code, 0)
+            if delta <= 0:
+                continue
+            plural = "s" if delta != 1 else ""
+            warnings.append(
+                f"insertion introduces {delta} new {code} "
+                f"diagnostic{plural}"
+            )
+        if warnings:
+            obs.count("lint.gate_warnings", len(warnings))
+        return GateReport(
+            warnings=tuple(warnings),
+            inserted_shadowed=bool(shadowed),
+            before=report_before,
+            after=report_after,
+        )
+
+
+__all__ = ["ACL", "GateReport", "ROUTE_MAP", "gate_insertion"]

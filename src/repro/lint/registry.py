@@ -1,0 +1,251 @@
+"""The check registry and the two lint entry points.
+
+Checks are small callables registered with a scope — ``store`` checks
+see the whole :class:`~repro.config.store.ConfigStore` (plus the device,
+when linting one), ``route-map`` and ``acl`` checks see one object at a
+time.  :func:`default_registry` wires up every built-in check;
+:func:`lint_store` / :func:`lint_device` drive a registry over a
+configuration and return one merged, sorted
+:class:`~repro.lint.diagnostics.LintReport`.
+
+Ordering matters in one place: route-maps whose guards reference
+undefined lists cannot be translated to route spaces, so the symbolic
+route-map checks are skipped for those maps — RF001 already reports the
+root cause.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro import obs
+from repro.config.acl import Acl
+from repro.config.device import DeviceConfig
+from repro.config.routemap import RouteMap
+from repro.config.store import ConfigStore
+from repro.lint import acl_checks, routemap_checks, store_checks
+from repro.lint.diagnostics import Diagnostic, LintReport
+
+SCOPE_STORE = "store"
+SCOPE_ROUTE_MAP = "route-map"
+SCOPE_ACL = "acl"
+
+StoreCheck = Callable[
+    [ConfigStore, Optional[DeviceConfig], bool], List[Diagnostic]
+]
+RouteMapCheck = Callable[[RouteMap, ConfigStore, bool], List[Diagnostic]]
+AclCheck = Callable[[Acl, bool], List[Diagnostic]]
+
+
+@dataclasses.dataclass(frozen=True)
+class Check:
+    """One registered check: codes it may emit, scope, and the callable."""
+
+    codes: tuple
+    scope: str
+    run: Callable[..., List[Diagnostic]]
+    description: str = ""
+
+    def emits(self, select: Optional[Set[str]]) -> bool:
+        """Whether any of this check's codes survive a ``--select`` set."""
+        if select is None:
+            return True
+        return any(code in select for code in self.codes)
+
+
+class CheckRegistry:
+    """An ordered collection of checks, filterable by scope and code."""
+
+    def __init__(self) -> None:
+        self._checks: List[Check] = []
+
+    def register(self, check: Check) -> None:
+        self._checks.append(check)
+
+    def checks(
+        self, scope: str, select: Optional[Set[str]] = None
+    ) -> List[Check]:
+        return [
+            check
+            for check in self._checks
+            if check.scope == scope and check.emits(select)
+        ]
+
+    def all_codes(self) -> List[str]:
+        codes: List[str] = []
+        for check in self._checks:
+            for code in check.codes:
+                if code not in codes:
+                    codes.append(code)
+        return sorted(codes)
+
+
+def default_registry() -> CheckRegistry:
+    """All built-in checks, in diagnosis order."""
+    registry = CheckRegistry()
+    registry.register(
+        Check(
+            codes=("RF001",),
+            scope=SCOPE_STORE,
+            run=store_checks.check_dangling_references,
+            description="references to undefined lists/ACLs",
+        )
+    )
+    registry.register(
+        Check(
+            codes=("RF002",),
+            scope=SCOPE_STORE,
+            run=store_checks.check_unused_definitions,
+            description="defined but unreferenced lists",
+        )
+    )
+    registry.register(
+        Check(
+            codes=("NM001",),
+            scope=SCOPE_STORE,
+            run=store_checks.check_naming_families,
+            description="names straying from the dominant family",
+        )
+    )
+    registry.register(
+        Check(
+            codes=("RM001",),
+            scope=SCOPE_ROUTE_MAP,
+            run=routemap_checks.check_shadowed_stanzas,
+            description="fully shadowed stanzas",
+        )
+    )
+    registry.register(
+        Check(
+            codes=("RM002",),
+            scope=SCOPE_ROUTE_MAP,
+            run=routemap_checks.check_conflicting_overlaps,
+            description="order-sensitive conflicting stanza pairs",
+        )
+    )
+    registry.register(
+        Check(
+            codes=("RM003",),
+            scope=SCOPE_ROUTE_MAP,
+            run=routemap_checks.check_no_terminal_permit,
+            description="route-maps that deny everything",
+        )
+    )
+    registry.register(
+        Check(
+            codes=("AC001", "AC002"),
+            scope=SCOPE_ACL,
+            run=acl_checks.check_unreachable_aces,
+            description="dead (shadowed or redundant) ACL rules",
+        )
+    )
+    registry.register(
+        Check(
+            codes=("AC003", "AC004"),
+            scope=SCOPE_ACL,
+            run=acl_checks.check_overlap_pairs,
+            description="order-sensitive conflicting ACL rule pairs",
+        )
+    )
+    return registry
+
+
+def _translatable(route_map: RouteMap, store: ConfigStore) -> bool:
+    """Whether every list the route-map references is defined."""
+    checkers = {
+        "prefix-list": store.has_prefix_list,
+        "community-list": store.has_community_list,
+        "as-path-list": store.has_as_path_list,
+    }
+    for kind, names in store_checks.referenced_lists(route_map).items():
+        for name in names:
+            if not checkers[kind](name):
+                return False
+    return True
+
+
+def _normalize_select(
+    select: Optional[Iterable[str]],
+) -> Optional[Set[str]]:
+    if select is None:
+        return None
+    return {code.upper() for code in select}
+
+
+def lint_store(
+    store: ConfigStore,
+    device: Optional[DeviceConfig] = None,
+    registry: Optional[CheckRegistry] = None,
+    select: Optional[Iterable[str]] = None,
+    with_witnesses: bool = True,
+) -> LintReport:
+    """Run every (selected) check over one configuration store.
+
+    ``select`` keeps only the given diagnostic codes (case-insensitive);
+    ``with_witnesses=False`` skips witness extraction for speed.  Emits
+    the ``lint.diagnostics`` counter on the active
+    :mod:`repro.obs` recorder.
+    """
+    registry = registry or default_registry()
+    wanted = _normalize_select(select)
+    diagnostics: List[Diagnostic] = []
+    for check in registry.checks(SCOPE_STORE, wanted):
+        diagnostics.extend(check.run(store, device, with_witnesses))
+    route_map_checks = registry.checks(SCOPE_ROUTE_MAP, wanted)
+    if route_map_checks:
+        for route_map in store.route_maps():
+            if not _translatable(route_map, store):
+                continue
+            for check in route_map_checks:
+                diagnostics.extend(
+                    check.run(route_map, store, with_witnesses)
+                )
+    acl_scope_checks = registry.checks(SCOPE_ACL, wanted)
+    if acl_scope_checks:
+        for acl in store.acls():
+            for check in acl_scope_checks:
+                diagnostics.extend(check.run(acl, with_witnesses))
+    if wanted is not None:
+        diagnostics = [d for d in diagnostics if d.code in wanted]
+    report = LintReport.of(diagnostics).sorted()
+    obs.count("lint.diagnostics", len(report))
+    return report
+
+
+def lint_device(
+    device: DeviceConfig,
+    registry: Optional[CheckRegistry] = None,
+    select: Optional[Iterable[str]] = None,
+    with_witnesses: bool = True,
+) -> LintReport:
+    """Lint one device: its policy store plus interface attachments."""
+    return lint_store(
+        device.store,
+        device=device,
+        registry=registry,
+        select=select,
+        with_witnesses=with_witnesses,
+    )
+
+
+def counts_by_object(report: LintReport) -> Dict[str, int]:
+    """Diagnostics per configuration object (``kind name`` keys)."""
+    counts: Dict[str, int] = {}
+    for diagnostic in report:
+        key = f"{diagnostic.location.kind} {diagnostic.location.name}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+__all__ = [
+    "Check",
+    "CheckRegistry",
+    "SCOPE_ACL",
+    "SCOPE_ROUTE_MAP",
+    "SCOPE_STORE",
+    "counts_by_object",
+    "default_registry",
+    "lint_device",
+    "lint_store",
+]

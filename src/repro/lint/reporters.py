@@ -1,0 +1,92 @@
+"""Reporters: render a :class:`~repro.lint.diagnostics.LintReport`.
+
+Two formats: a human-readable text listing (witnesses indented under
+each finding, a per-severity summary line at the bottom) and a JSON
+document for toolchains (stable key order, witnesses rendered to
+strings).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.lint.diagnostics import Diagnostic, LintReport, SourceLocation
+
+
+def _location_dict(location: SourceLocation) -> Dict[str, object]:
+    out: Dict[str, object] = {"kind": location.kind, "name": location.name}
+    if location.seq is not None:
+        out["seq"] = location.seq
+    return out
+
+
+def diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, object]:
+    """One diagnostic as a JSON-ready dict (stable keys)."""
+    out: Dict[str, object] = {
+        "code": diagnostic.code,
+        "severity": diagnostic.severity.value,
+        "location": _location_dict(diagnostic.location),
+        "message": diagnostic.message,
+    }
+    if diagnostic.suggestion is not None:
+        out["suggestion"] = diagnostic.suggestion
+    witness = diagnostic.witness_text(indent="")
+    if witness is not None:
+        out["witness"] = witness
+    if diagnostic.related:
+        out["related"] = [_location_dict(loc) for loc in diagnostic.related]
+    return out
+
+
+def render_json(report: LintReport, title: Optional[str] = None) -> str:
+    """The whole report as a JSON document."""
+    document: Dict[str, object] = {
+        "diagnostics": [diagnostic_to_dict(d) for d in report],
+        "counts_by_code": report.counts_by_code(),
+        "counts_by_severity": report.counts_by_severity(),
+    }
+    if title is not None:
+        document["title"] = title
+    worst = report.max_severity()
+    document["max_severity"] = worst.value if worst is not None else None
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def render_text(
+    report: LintReport,
+    title: Optional[str] = None,
+    show_witnesses: bool = True,
+    show_suggestions: bool = True,
+) -> str:
+    """The whole report as a human-readable listing."""
+    lines: List[str] = []
+    if title is not None:
+        lines.append(title)
+    if not report:
+        lines.append("no findings")
+        return "\n".join(lines)
+    for diagnostic in report:
+        lines.append(diagnostic.render())
+        if show_suggestions and diagnostic.suggestion is not None:
+            lines.append(f"    fix: {diagnostic.suggestion}")
+        if show_witnesses:
+            witness = diagnostic.witness_text(indent="    ")
+            if witness is not None:
+                lines.append("    witness:")
+                lines.extend(
+                    "    " + line for line in witness.splitlines()
+                )
+        for related in diagnostic.related:
+            lines.append(f"    see also: {related.render()}")
+    severities = report.counts_by_severity()
+    summary = ", ".join(
+        f"{severities[key]} {key}"
+        for key in ("error", "warning", "info")
+        if key in severities
+    )
+    lines.append(f"{len(report)} finding(s): {summary}")
+    return "\n".join(lines)
+
+
+__all__ = ["diagnostic_to_dict", "render_json", "render_text"]

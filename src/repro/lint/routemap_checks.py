@@ -1,0 +1,166 @@
+"""Symbolic route-map checks: RM001 shadowed-stanza, RM002
+conflicting-overlap, RM003 no-terminal-permit.
+
+All three run on top of the route-space engine
+(:mod:`repro.analysis.routespace`) and the §3 overlap detector
+(:mod:`repro.overlap.detector`); witnesses are concrete
+:class:`~repro.route.BgpRoute` objects validated against the concrete
+evaluator, the same machinery the differential disambiguator uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.analysis.evaluate import eval_route_map
+from repro.analysis.routespace import (
+    route_map_reachable_spaces,
+    stanza_guard_space,
+)
+from repro.config.routemap import RouteMap
+from repro.config.store import ConfigStore
+from repro.lint.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.overlap.detector import route_map_overlap_report
+
+PERMIT = "permit"
+
+
+def _location(route_map: RouteMap, seq: Optional[int] = None) -> SourceLocation:
+    return SourceLocation(kind="route-map", name=route_map.name, seq=seq)
+
+
+def check_shadowed_stanzas(
+    route_map: RouteMap, store: ConfigStore, with_witnesses: bool = True
+) -> List[Diagnostic]:
+    """RM001: stanzas no route can ever reach and match.
+
+    A stanza is *fully shadowed* when the set of routes that both match
+    its guard and survive every earlier stanza is empty — inserting or
+    keeping it changes nothing.  The witness shows a route the stanza
+    *would* match together with the earlier stanza that captures it.
+    """
+    diagnostics: List[Diagnostic] = []
+    reachable = route_map_reachable_spaces(route_map, store)
+    for stanza, space in reachable:
+        if stanza is None or not space.is_empty():
+            continue
+        guard = stanza_guard_space(stanza, store)
+        witness = guard.witness() if with_witnesses else None
+        related = ()
+        if witness is not None:
+            result = eval_route_map(route_map, store, witness)
+            if result.stanza_seq is not None and result.stanza_seq != stanza.seq:
+                related = (_location(route_map, result.stanza_seq),)
+                message = (
+                    f"stanza {stanza.seq} is fully shadowed: every route it "
+                    f"matches is captured by stanza {result.stanza_seq} first"
+                )
+            else:
+                message = (
+                    f"stanza {stanza.seq} is fully shadowed by the stanzas "
+                    "above it"
+                )
+        elif guard.is_empty():
+            message = (
+                f"stanza {stanza.seq} matches no route at all (its match "
+                "clauses are unsatisfiable)"
+            )
+        else:
+            message = (
+                f"stanza {stanza.seq} is fully shadowed by the stanzas above it"
+            )
+        diagnostics.append(
+            Diagnostic(
+                code="RM001",
+                severity=Severity.WARNING,
+                location=_location(route_map, stanza.seq),
+                message=message,
+                suggestion=(
+                    "move the stanza earlier if its behaviour is intended, "
+                    "or delete it"
+                ),
+                witness=witness,
+                related=related,
+            )
+        )
+    return diagnostics
+
+
+def check_conflicting_overlaps(
+    route_map: RouteMap, store: ConfigStore, with_witnesses: bool = True
+) -> List[Diagnostic]:
+    """RM002: stanza pairs with different actions whose guards overlap.
+
+    Relative order decides the fate of every route in the intersection,
+    so inserting anything between such a pair silently changes behaviour
+    (the ambiguity §3 measures).  Pairs whose later stanza is entirely
+    inside the earlier one are left to RM001 (the later stanza may be
+    fully shadowed); the rest carry a concrete route matched by both.
+    """
+    diagnostics: List[Diagnostic] = []
+    report = route_map_overlap_report(
+        route_map, store, with_witnesses=with_witnesses
+    )
+    shadow_candidates: Set[int] = {
+        pair.seq_b for pair in report.pairs if pair.b_in_a
+    }
+    for pair in report.pairs:
+        if not pair.conflicting:
+            continue
+        if pair.seq_b in shadow_candidates:
+            continue
+        action_a = route_map.stanza_at(pair.seq_a).action
+        action_b = route_map.stanza_at(pair.seq_b).action
+        diagnostics.append(
+            Diagnostic(
+                code="RM002",
+                severity=Severity.INFO,
+                location=_location(route_map, pair.seq_b),
+                message=(
+                    f"stanza {pair.seq_b} ({action_b}) overlaps stanza "
+                    f"{pair.seq_a} ({action_a}) with the opposite action; "
+                    "their relative order decides the overlap"
+                ),
+                suggestion=(
+                    "confirm the relative order is intended; insertions "
+                    "between these stanzas change behaviour"
+                ),
+                witness=pair.witness,
+                related=(_location(route_map, pair.seq_a),),
+            )
+        )
+    return diagnostics
+
+
+def check_no_terminal_permit(
+    route_map: RouteMap, store: ConfigStore, with_witnesses: bool = True
+) -> List[Diagnostic]:
+    """RM003: a non-empty route-map whose stanzas all deny.
+
+    With the implicit deny at the bottom, such a policy rejects every
+    route — almost always a truncated or mis-synthesised policy.
+    """
+    if not route_map.stanzas:
+        return []
+    if any(stanza.action == PERMIT for stanza in route_map.stanzas):
+        return []
+    return [
+        Diagnostic(
+            code="RM003",
+            severity=Severity.WARNING,
+            location=_location(route_map),
+            message=(
+                "no stanza permits: together with the implicit deny this "
+                "route-map rejects every route"
+            ),
+            suggestion="add a terminal permit stanza if fall-through "
+            "routes should be accepted",
+        )
+    ]
+
+
+__all__ = [
+    "check_conflicting_overlaps",
+    "check_no_terminal_permit",
+    "check_shadowed_stanzas",
+]

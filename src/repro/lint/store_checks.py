@@ -1,0 +1,250 @@
+"""Store-level checks: RF001 dangling-reference, RF002
+unused-definition, NM001 naming-inconsistency.
+
+These need no symbolic analysis — they walk the reference graph between
+route-maps, their ancillary lists, and (when a device is supplied)
+interface ACL attachments.  RF001 findings additionally gate the
+symbolic route-map checks: a guard with a dangling list reference cannot
+be translated, so the registry skips those route-maps instead of
+crashing mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.config.device import DeviceConfig
+from repro.config.matches import (
+    MatchAsPath,
+    MatchClause,
+    MatchCommunity,
+    MatchPrefixList,
+)
+from repro.config.names import numbered_family
+from repro.config.routemap import RouteMap
+from repro.config.store import ConfigStore
+from repro.lint.diagnostics import Diagnostic, Severity, SourceLocation
+
+#: (clause type, list kind, store membership test name) triples.
+_CLAUSE_KINDS: Tuple[Tuple[type, str, str], ...] = (
+    (MatchPrefixList, "prefix-list", "has_prefix_list"),
+    (MatchCommunity, "community-list", "has_community_list"),
+    (MatchAsPath, "as-path-list", "has_as_path_list"),
+)
+
+
+def _clause_references(clause: MatchClause) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """The (list kind, names) a match clause references, if any."""
+    for clause_type, kind, _checker in _CLAUSE_KINDS:
+        if isinstance(clause, clause_type):
+            names: Tuple[str, ...] = clause.names  # type: ignore[attr-defined]
+            return kind, names
+    return None
+
+
+def referenced_lists(route_map: RouteMap) -> Dict[str, Set[str]]:
+    """Every ancillary-list name a route-map's stanzas reference, by kind."""
+    out: Dict[str, Set[str]] = {
+        "prefix-list": set(),
+        "community-list": set(),
+        "as-path-list": set(),
+    }
+    for stanza in route_map.stanzas:
+        for clause in stanza.matches:
+            reference = _clause_references(clause)
+            if reference is not None:
+                kind, names = reference
+                out[kind].update(names)
+    return out
+
+
+def check_dangling_references(
+    store: ConfigStore,
+    device: Optional[DeviceConfig] = None,
+    with_witnesses: bool = True,
+) -> List[Diagnostic]:
+    """RF001: references to lists/ACLs that are not defined.
+
+    Evaluating such a policy raises at match time (the store fails
+    loudly), and the symbolic engine cannot translate the guard at all —
+    the configuration is broken, severity *error*.
+    """
+    diagnostics: List[Diagnostic] = []
+    checkers = {
+        kind: checker for _clause_type, kind, checker in _CLAUSE_KINDS
+    }
+    for route_map in store.route_maps():
+        for stanza in route_map.stanzas:
+            for clause in stanza.matches:
+                reference = _clause_references(clause)
+                if reference is None:
+                    continue
+                kind, names = reference
+                has = getattr(store, checkers[kind])
+                for name in names:
+                    if has(name):
+                        continue
+                    diagnostics.append(
+                        Diagnostic(
+                            code="RF001",
+                            severity=Severity.ERROR,
+                            location=SourceLocation(
+                                "route-map", route_map.name, stanza.seq
+                            ),
+                            message=(
+                                f"stanza {stanza.seq} references undefined "
+                                f"{kind} {name!r}"
+                            ),
+                            suggestion=f"define {kind} {name} or fix the "
+                            "reference",
+                        )
+                    )
+    if device is not None:
+        for interface in device.interfaces:
+            for attribute in ("acl_in", "acl_out"):
+                acl_name = getattr(interface, attribute)
+                if acl_name is None or store.has_acl(acl_name):
+                    continue
+                direction = "in" if attribute == "acl_in" else "out"
+                diagnostics.append(
+                    Diagnostic(
+                        code="RF001",
+                        severity=Severity.ERROR,
+                        location=SourceLocation("interface", interface.name),
+                        message=(
+                            f"ip access-group {acl_name} {direction} "
+                            f"references an undefined access-list"
+                        ),
+                        suggestion=f"define access-list {acl_name} or "
+                        "remove the attachment",
+                    )
+                )
+    return diagnostics
+
+
+def check_unused_definitions(
+    store: ConfigStore,
+    device: Optional[DeviceConfig] = None,
+    with_witnesses: bool = True,
+) -> List[Diagnostic]:
+    """RF002: ancillary lists no route-map references.
+
+    Unused definitions are where half-applied updates hide; they also
+    make family-style renaming pick surprising names.  ACLs are only
+    checked when a device is supplied (interface attachments are the
+    reference points at that level).
+    """
+    used: Dict[str, Set[str]] = {
+        "prefix-list": set(),
+        "community-list": set(),
+        "as-path-list": set(),
+    }
+    for route_map in store.route_maps():
+        for kind, names in referenced_lists(route_map).items():
+            used[kind].update(names)
+    defined = {
+        "prefix-list": [pl.name for pl in store.prefix_lists()],
+        "community-list": [cl.name for cl in store.community_lists()],
+        "as-path-list": [al.name for al in store.as_path_lists()],
+    }
+    diagnostics: List[Diagnostic] = []
+    for kind, names in defined.items():
+        for name in names:
+            if name in used[kind]:
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    code="RF002",
+                    severity=Severity.INFO,
+                    location=SourceLocation(kind, name),
+                    message=f"{kind} {name} is defined but never referenced",
+                    suggestion="delete the definition or wire it into a "
+                    "route-map",
+                )
+            )
+    if device is not None:
+        attached: Set[str] = set()
+        for interface in device.interfaces:
+            for acl_name in (interface.acl_in, interface.acl_out):
+                if acl_name is not None:
+                    attached.add(acl_name)
+        for acl in store.acls():
+            if acl.name in attached:
+                continue
+            diagnostics.append(
+                Diagnostic(
+                    code="RF002",
+                    severity=Severity.INFO,
+                    location=SourceLocation("acl", acl.name),
+                    message=(
+                        f"access-list {acl.name} is not attached to any "
+                        "interface"
+                    ),
+                    suggestion="attach it with ip access-group or delete it",
+                )
+            )
+    return diagnostics
+
+
+def check_naming_families(
+    store: ConfigStore,
+    device: Optional[DeviceConfig] = None,
+    with_witnesses: bool = True,
+) -> List[Diagnostic]:
+    """NM001: numbered list names that stray from the dominant family.
+
+    Insertion-time renaming (Fig. 2) continues the dominant
+    ``<stem><number>`` family; a lone numbered name with a different
+    stem usually means an earlier update bypassed the rename and the
+    naming scheme is drifting.  Descriptive (un-numbered) names are
+    deliberate and never flagged.
+    """
+    kinds: Dict[str, str] = {}
+    for pl in store.prefix_lists():
+        kinds[pl.name] = "prefix-list"
+    for cl in store.community_lists():
+        kinds[cl.name] = "community-list"
+    for al in store.as_path_lists():
+        kinds[al.name] = "as-path-list"
+    families: Dict[str, List[str]] = {}
+    for name in kinds:
+        family = numbered_family(name)
+        if family is None:
+            continue
+        families.setdefault(family[0], []).append(name)
+    if not families:
+        return []
+    best = max(len(names) for names in families.values())
+    dominant = [
+        stem for stem, names in families.items() if len(names) == best
+    ]
+    if best < 2 or len(dominant) != 1:
+        return []
+    stem = dominant[0]
+    diagnostics: List[Diagnostic] = []
+    for other_stem, names in sorted(families.items()):
+        if other_stem == stem or len(names) != 1:
+            continue
+        (name,) = names
+        diagnostics.append(
+            Diagnostic(
+                code="NM001",
+                severity=Severity.INFO,
+                location=SourceLocation(kinds[name], name),
+                message=(
+                    f"name {name} strays from the dominant "
+                    f"{stem}<n> naming family ({best} members)"
+                ),
+                suggestion=f"rename it into the {stem}<n> family for "
+                "consistency with insertion-time renaming",
+            )
+        )
+    return diagnostics
+
+
+__all__ = [
+    "check_dangling_references",
+    "check_naming_families",
+    "check_unused_definitions",
+    "referenced_lists",
+]

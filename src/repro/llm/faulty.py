@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import random
 import re
-from typing import Optional
 
 from repro import obs
 from repro.llm.client import LLMClient

@@ -26,7 +26,7 @@ from collections import Counter
 from typing import List, Sequence, Tuple
 
 from repro.llm.client import LLMClient
-from repro.llm.prompts import FewShotExample, PromptTemplate, TaskKind
+from repro.llm.prompts import FewShotExample, PromptTemplate
 
 _TOKEN = re.compile(r"[a-z0-9.:/]+")
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Tuple
 
-from repro.analysis.headerspace import PacketSpace, acl_guard_space
+from repro.analysis.headerspace import acl_guard_space
 from repro.analysis.routespace import RouteSpace, stanza_guard_space
 from repro.config.acl import Acl
 from repro.config.routemap import RouteMap
@@ -33,6 +33,12 @@ class OverlapPair:
     subset: bool
     #: A concrete input matched by both (populated on request).
     witness: object = None
+    #: Direction of containment: the earlier rule's space inside the
+    #: later one's (``a_in_b``, a *generalization* — e.g. a specific
+    #: permit punched into a catch-all deny) or the reverse (``b_in_a``,
+    #: the later rule at least partially *shadowed* by the earlier).
+    a_in_b: bool = False
+    b_in_a: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -95,16 +101,17 @@ def acl_overlap_report(acl: Acl, with_witnesses: bool = False) -> AclOverlapRepo
             intersection = spaces[i].intersect(spaces[j])
             if intersection.is_empty():
                 continue
-            subset = spaces[i].is_subset_of(spaces[j]) or spaces[
-                j
-            ].is_subset_of(spaces[i])
+            a_in_b = spaces[i].is_subset_of(spaces[j])
+            b_in_a = spaces[j].is_subset_of(spaces[i])
             pairs.append(
                 OverlapPair(
                     seq_a=acl.rules[i].seq,
                     seq_b=acl.rules[j].seq,
                     conflicting=acl.rules[i].action != acl.rules[j].action,
-                    subset=subset,
+                    subset=a_in_b or b_in_a,
                     witness=intersection.witness() if with_witnesses else None,
+                    a_in_b=a_in_b,
+                    b_in_a=b_in_a,
                 )
             )
     return AclOverlapReport(acl.name, len(acl.rules), tuple(pairs))
@@ -130,9 +137,8 @@ def route_map_overlap_report(
             intersection = guards[i].intersect(guards[j])
             if intersection.is_empty():
                 continue
-            subset = guards[i].is_subset_of(guards[j]) or guards[
-                j
-            ].is_subset_of(guards[i])
+            a_in_b = guards[i].is_subset_of(guards[j])
+            b_in_a = guards[j].is_subset_of(guards[i])
             pairs.append(
                 OverlapPair(
                     seq_a=route_map.stanzas[i].seq,
@@ -141,8 +147,10 @@ def route_map_overlap_report(
                         route_map.stanzas[i].action
                         != route_map.stanzas[j].action
                     ),
-                    subset=subset,
+                    subset=a_in_b or b_in_a,
                     witness=intersection.witness() if with_witnesses else None,
+                    a_in_b=a_in_b,
+                    b_in_a=b_in_a,
                 )
             )
     return RouteMapOverlapReport(

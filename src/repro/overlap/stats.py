@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, List
+from typing import Iterable
 
 from repro.overlap.detector import AclOverlapReport, RouteMapOverlapReport
 

@@ -10,7 +10,7 @@ confederation segments render the way Batfish prints them
 from __future__ import annotations
 
 import dataclasses
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.netaddr import Ipv4Address, Ipv4Prefix
 

@@ -1,0 +1,186 @@
+"""Tests for witness de-coinciding in differential comparison.
+
+When two permit stanzas' outputs happen to coincide on a cell witness
+(the input metric already equals the ``set metric`` value, the set
+community is already on the route, ...) the comparator must nudge the
+witness inside the cell until the difference becomes observable — or
+prove the stanzas genuinely coincide.  These tests pin both the helper
+(:func:`repro.analysis.compare._decoincide`) and the end-to-end paths
+through :func:`compare_route_policies`.
+"""
+
+from repro.analysis.compare import (
+    _decoincide,
+    _decoincide_communities,
+    compare_route_policies,
+    transform_summary,
+)
+from repro.analysis.routespace import RouteRegion
+from repro.config import parse_config
+from repro.route import BgpRoute
+
+
+def _cell() -> RouteRegion:
+    return RouteRegion()
+
+
+def _route(**kwargs) -> BgpRoute:
+    return BgpRoute.build("10.0.0.0/8", **kwargs)
+
+
+def _summary(text: str):
+    store = parse_config("route-map S permit 10\n " + text)
+    return transform_summary(store.route_map("S").stanzas[0])
+
+
+class TestDecoincideScalars:
+    def test_metric_nudged_off_the_set_value(self):
+        route = _route(metric=55)
+        nudged = _decoincide(route, _cell(), _summary("set metric 55"), {})
+        assert nudged is not None
+        assert nudged.metric != 55
+
+    def test_field_set_by_both_sides_is_skipped(self):
+        route = _route(metric=55)
+        nudged = _decoincide(
+            route,
+            _cell(),
+            _summary("set metric 55"),
+            _summary("set metric 55"),
+        )
+        assert nudged is None
+
+    def test_local_preference_and_tag(self):
+        route = _route(local_preference=300, tag=7)
+        nudged = _decoincide(
+            route, _cell(), {}, _summary("set local-preference 300")
+        )
+        assert nudged is not None and nudged.local_preference != 300
+        nudged = _decoincide(route, _cell(), _summary("set tag 7"), {})
+        assert nudged is not None and nudged.tag != 7
+
+    def test_weight_flips(self):
+        nudged = _decoincide(
+            _route(weight=0), _cell(), _summary("set weight 0"), {}
+        )
+        assert nudged is not None and nudged.weight == 1
+        nudged = _decoincide(
+            _route(weight=5), _cell(), _summary("set weight 5"), {}
+        )
+        assert nudged is not None and nudged.weight == 0
+
+    def test_next_hop_moves_off_the_set_address(self):
+        route = _route()
+        summary = _summary("set ip next-hop " + str(route.next_hop))
+        nudged = _decoincide(route, _cell(), summary, {})
+        assert nudged is not None
+        assert str(nudged.next_hop) != str(route.next_hop)
+
+    def test_prepend_never_needs_a_nudge(self):
+        nudged = _decoincide(
+            _route(), _cell(), _summary("set as-path prepend 65000"), {}
+        )
+        assert nudged is None
+
+    def test_no_transforms_no_nudge(self):
+        assert _decoincide(_route(), _cell(), {}, {}) is None
+
+
+class TestDecoincideCommunities:
+    def test_fresh_community_added(self):
+        route = _route(communities=["65000:1"])
+        nudged = _decoincide_communities(
+            route, _cell(), (("65000:1",), False)
+        )
+        assert nudged is not None
+        added = set(nudged.communities) - set(route.communities)
+        assert len(added) == 1
+        assert added.pop() not in {"65000:1"}
+
+    def test_forbidden_patterns_respected(self):
+        # The cell forbids the first few candidate communities; the
+        # helper must skip them and still find a fresh one.
+        cell = RouteRegion(
+            communities_forbidden=frozenset(
+                {f"{seed}:99" for seed in range(64000, 64010)}
+            )
+        )
+        nudged = _decoincide_communities(_route(), cell, ((), False))
+        assert nudged is not None
+        added = set(nudged.communities)
+        assert added and not (added & cell.communities_forbidden)
+        assert cell.contains(nudged)
+
+    def test_via_decoincide_dispatch(self):
+        route = _route(communities=["65000:1"])
+        nudged = _decoincide(
+            route, _cell(), _summary("set community 65000:1"), {}
+        )
+        assert nudged is not None
+        assert set(nudged.communities) > set(route.communities)
+
+
+COINCIDENT_METRIC = """
+ip prefix-list P seq 10 permit 10.0.0.0/8 le 24
+route-map RM permit 10
+ match ip address prefix-list P
+ set metric 0
+"""
+
+PLAIN_PERMIT = """
+ip prefix-list P seq 10 permit 10.0.0.0/8 le 24
+route-map RM permit 10
+ match ip address prefix-list P
+"""
+
+COINCIDENT_COMMUNITY = """
+ip community-list standard CL permit 65000:1
+route-map RM permit 10
+ match community CL
+ set community 65000:1
+"""
+
+PLAIN_COMMUNITY_PERMIT = """
+ip community-list standard CL permit 65000:1
+route-map RM permit 10
+ match community CL
+"""
+
+
+class TestEndToEnd:
+    def _compare(self, text_a, text_b):
+        store_a, store_b = parse_config(text_a), parse_config(text_b)
+        return compare_route_policies(
+            store_a.route_map("RM"),
+            store_b.route_map("RM"),
+            store_a,
+            store_b,
+            max_differences=1,
+        )
+
+    def test_coincident_metric_witness_is_nudged(self):
+        # The cell witness has metric 0, and side A sets metric 0 — the
+        # outputs coincide until the witness metric is nudged.
+        differences = self._compare(COINCIDENT_METRIC, PLAIN_PERMIT)
+        assert differences
+        diff = differences[0]
+        assert diff.route.metric != 0
+        assert diff.result_a.output.metric == 0
+        assert diff.result_b.output.metric == diff.route.metric
+
+    def test_coincident_community_witness_is_nudged(self):
+        # Both sides see a route already tagged 65000:1; the replace-set
+        # is invisible until a fresh community is added to the input.
+        differences = self._compare(
+            COINCIDENT_COMMUNITY, PLAIN_COMMUNITY_PERMIT
+        )
+        assert differences
+        diff = differences[0]
+        assert set(diff.route.communities) > {"65000:1"}
+        assert set(diff.result_a.output.communities) == {"65000:1"}
+        assert set(diff.result_b.output.communities) == set(
+            diff.route.communities
+        )
+
+    def test_genuinely_identical_stanzas_have_no_difference(self):
+        assert self._compare(COINCIDENT_METRIC, COINCIDENT_METRIC) == []

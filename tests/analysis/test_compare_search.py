@@ -19,7 +19,6 @@ from repro.analysis.routespace import RouteRegion, RouteSpace
 from repro.analysis.prefixspace import PrefixAtom, PrefixSpace
 from repro.config import parse_config
 from repro.netaddr import IntervalSet, Ipv4Prefix
-from repro.route import BgpRoute
 
 TOP_INSERTED = """
 ip as-path access-list D0 permit _32$

@@ -13,7 +13,6 @@ from hypothesis import strategies as st
 
 from repro.analysis.evaluate import eval_route_map, stanza_matches
 from repro.analysis.routespace import (
-    RouteSpace,
     route_map_reachable_spaces,
     stanza_guard_space,
 )

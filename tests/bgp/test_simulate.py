@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bgp import ConvergenceError, Network, simulate
+from repro.bgp import Network, simulate
 from repro.bgp.checks import as_path_at, has_route, learned_from
 from repro.config import parse_config
 

@@ -13,7 +13,6 @@ from repro.config import (
     render_config,
 )
 from repro.config.render import render_route_map
-from repro.netaddr import Ipv4Prefix
 from repro.route import BgpRoute, Packet
 
 ISP_OUT_TEXT = """

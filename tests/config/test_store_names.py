@@ -3,7 +3,12 @@
 import pytest
 
 from repro.config import ConfigStore, parse_config
-from repro.config.names import plan_renames, rename_snippet_lists
+from repro.config.names import (
+    _family_counter,
+    numbered_family,
+    plan_renames,
+    rename_snippet_lists,
+)
 from repro.config.routemap import RouteMap
 from repro.route import BgpRoute
 
@@ -133,3 +138,71 @@ class TestRenaming:
         renames = plan_renames(parse_config(SNIPPET), target)
         # Two different stems -> no single family -> keep names.
         assert renames["COM_LIST"] == "COM_LIST"
+
+    def test_dominant_family_survives_deviant_names(self):
+        # D0/D1 clearly dominate; a stray DENY_EXT2 (which merely shares
+        # the "D" prefix textually) no longer vetoes the family.
+        target = parse_config(
+            "ip prefix-list D0 seq 10 permit 10.0.0.0/8 le 24\n"
+            "ip prefix-list D1 seq 10 permit 20.0.0.0/8 le 24\n"
+            "ip prefix-list DENY_EXT2 seq 10 permit 99.0.0.0/8\n"
+        )
+        renames = plan_renames(parse_config(SNIPPET), target)
+        assert renames == {"COM_LIST": "D2", "PREFIX_100": "D3"}
+
+    def test_family_continuation_skips_taken_names(self):
+        # The next free number (D2) is already defined: skip past it.
+        target = parse_config(
+            "ip prefix-list D0 seq 10 permit 10.0.0.0/8 le 24\n"
+            "ip prefix-list D1 seq 10 permit 20.0.0.0/8 le 24\n"
+            "ip community-list standard D2 permit 65000:1\n"
+        )
+        renames = plan_renames(parse_config(SNIPPET), target)
+        assert renames == {"COM_LIST": "D3", "PREFIX_100": "D4"}
+
+
+class TestNumberedFamily:
+    def test_split(self):
+        assert numbered_family("D2") == ("D", 2)
+        assert numbered_family("PREFIX_100") == ("PREFIX_", 100)
+
+    def test_non_family_names(self):
+        assert numbered_family("CORP_NETS") is None
+        assert numbered_family("D2X") is None
+        # A digit mid-name breaks the pattern.
+        assert numbered_family("CAMPUS_RM_0_PL") is None
+        assert numbered_family("100") is None
+
+
+class TestFamilyCounter:
+    def test_empty_iterable(self):
+        assert _family_counter([]) is None
+        assert _family_counter(iter([])) is None
+
+    def test_accepts_generator(self):
+        assert _family_counter(name for name in ["D0", "D1"]) == ("D", 2)
+
+    def test_uniform_family(self):
+        assert _family_counter(["D0", "D1"]) == ("D", 2)
+        assert _family_counter(["PREFIX_100"]) == ("PREFIX_", 101)
+
+    def test_no_numbered_names(self):
+        assert _family_counter(["CORP_NETS", "EDGE"]) is None
+
+    def test_deviants_do_not_veto_dominant_family(self):
+        assert _family_counter(["D0", "D1", "DENY_EXT2"]) == ("D", 2)
+        assert _family_counter(["D0", "D1", "CORP_NETS"]) == ("D", 2)
+
+    def test_singleton_next_to_descriptive_name_is_ambiguous(self):
+        # One numbered name among descriptive ones is too weak a signal.
+        assert _family_counter(["PREFIX_100", "EDGE"]) is None
+        assert _family_counter(["D1", "OTHER"]) is None
+
+    def test_tied_families_are_ambiguous(self):
+        assert _family_counter(["D0", "D1", "E0", "E1"]) is None
+
+    def test_majority_family_wins(self):
+        assert _family_counter(["D0", "D1", "D2", "E0", "E1"]) == ("D", 3)
+
+    def test_next_number_follows_highest(self):
+        assert _family_counter(["D0", "D7"]) == ("D", 8)

@@ -21,9 +21,7 @@ from hypothesis import strategies as st
 
 from repro.analysis import eval_acl, eval_route_map
 from repro.config import parse_config
-from repro.config.acl import Acl
 from repro.config.names import rename_snippet_lists
-from repro.config.routemap import RouteMap
 from repro.core import CountingOracle, IntentOracle, disambiguate_acl_rule, disambiguate_stanza
 from repro.core.disambiguator import DisambiguationMode
 from repro.route import BgpRoute, Packet

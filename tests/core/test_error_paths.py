@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import SpecError, SynthesisPunt
 from repro.core.synthesis import SynthesisPipeline
-from repro.llm import PromptDatabase, TaskKind
+from repro.llm import TaskKind
 from repro.llm.prompts import task_kind_of
 from repro.llm.simulated import SimulatedLLM
 

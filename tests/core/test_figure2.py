@@ -12,7 +12,6 @@ to stanzas 10 and 30 matters — and the disambiguator's three candidate
 slots correspond exactly to the classes {a}, {c, d}, {b}.
 """
 
-import itertools
 
 import pytest
 

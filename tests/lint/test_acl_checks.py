@@ -1,0 +1,98 @@
+"""Tests for the symbolic ACL checks (AC001-AC004)."""
+
+from repro.analysis.evaluate import eval_acl
+from repro.config import parse_config
+from repro.lint.acl_checks import check_overlap_pairs, check_unreachable_aces
+
+SHADOWED_RULE = """
+ip access-list extended A
+ 10 permit tcp any any
+ 20 deny tcp 10.0.0.0 0.255.255.255 any
+"""
+
+REDUNDANT_RULE = """
+ip access-list extended A
+ 10 permit tcp any any
+ 20 permit tcp host 1.1.1.1 any
+"""
+
+CROSSING = """
+ip access-list extended A
+ 10 permit tcp 10.0.0.0 0.255.255.255 any
+ 20 deny tcp any 20.0.0.0 0.255.255.255
+"""
+
+GENERALIZATION = """
+ip access-list extended A
+ 10 permit tcp host 1.1.1.1 host 2.2.2.2
+ 20 deny ip any any
+"""
+
+CLEAN = """
+ip access-list extended A
+ 10 permit tcp any 10.0.0.0 0.0.255.255
+ 20 permit tcp any 20.0.0.0 0.0.255.255
+"""
+
+
+def _acl(text):
+    return parse_config(text).acl("A")
+
+
+class TestUnreachableAces:
+    def test_shadowed_rule_is_error(self):
+        diags = check_unreachable_aces(_acl(SHADOWED_RULE))
+        assert [d.code for d in diags] == ["AC001"]
+        diag = diags[0]
+        assert diag.severity.value == "error"
+        assert diag.location.seq == 20
+        assert diag.related and diag.related[0].seq == 10
+        # The witness matches the dead rule's guard but is captured by
+        # the earlier opposite-action rule.
+        assert diag.witness is not None
+        result = eval_acl(_acl(SHADOWED_RULE), diag.witness)
+        assert result.rule_seq == 10
+
+    def test_redundant_rule_is_warning(self):
+        diags = check_unreachable_aces(_acl(REDUNDANT_RULE))
+        assert [d.code for d in diags] == ["AC002"]
+        assert diags[0].severity.value == "warning"
+        assert diags[0].location.seq == 20
+
+    def test_without_witnesses(self):
+        diags = check_unreachable_aces(
+            _acl(SHADOWED_RULE), with_witnesses=False
+        )
+        assert len(diags) == 1 and diags[0].witness is None
+
+    def test_reachable_rules_not_flagged(self):
+        assert check_unreachable_aces(_acl(CROSSING)) == []
+        assert check_unreachable_aces(_acl(GENERALIZATION)) == []
+        assert check_unreachable_aces(_acl(CLEAN)) == []
+
+
+class TestOverlapPairs:
+    def test_crossing_pair_is_ac003(self):
+        diags = check_overlap_pairs(_acl(CROSSING))
+        assert [d.code for d in diags] == ["AC003"]
+        diag = diags[0]
+        assert diag.location.seq == 20
+        assert diag.related[0].seq == 10
+        assert diag.witness is not None
+        # The witness lies in the overlap: the first rule captures it.
+        assert eval_acl(_acl(CROSSING), diag.witness).rule_seq == 10
+
+    def test_generalization_is_ac004(self):
+        diags = check_overlap_pairs(_acl(GENERALIZATION))
+        assert [d.code for d in diags] == ["AC004"]
+        assert diags[0].location.seq == 20
+        assert diags[0].related[0].seq == 10
+
+    def test_fully_shadowed_pair_left_to_ac001(self):
+        # Rule 20 is inside rule 10 (b_in_a): the reachability check
+        # owns that finding.
+        assert check_overlap_pairs(_acl(SHADOWED_RULE)) == []
+        assert check_overlap_pairs(_acl(REDUNDANT_RULE)) == []
+
+    def test_clean_acl_has_none(self):
+        assert check_overlap_pairs(_acl(CLEAN)) == []

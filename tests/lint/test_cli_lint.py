@@ -1,0 +1,110 @@
+"""Tests for the ``clarify lint`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SHADOWED = """
+ip prefix-list WIDE seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+route-map RM permit 10
+ match ip address prefix-list WIDE
+route-map RM deny 20
+ match ip address prefix-list NARROW
+"""
+
+CLEAN = """
+ip prefix-list A seq 10 permit 10.0.0.0/16 le 24
+route-map RM permit 10
+ match ip address prefix-list A
+"""
+
+BROKEN = """
+route-map RM permit 10
+ match ip address prefix-list NOPE
+"""
+
+
+@pytest.fixture
+def shadowed_file(tmp_path):
+    path = tmp_path / "shadowed.ios"
+    path.write_text(SHADOWED)
+    return str(path)
+
+
+class TestLintFile:
+    def test_findings_printed(self, shadowed_file, capsys):
+        code = main(["lint", "--config", shadowed_file])
+        out = capsys.readouterr().out
+        assert code == 0  # warnings don't hit the default error threshold
+        assert "warning RM001 route-map RM stanza 20" in out
+        assert "witness:" in out
+
+    def test_fail_on_warning(self, shadowed_file):
+        assert main(["lint", "--config", shadowed_file, "--fail-on", "warning"]) == 1
+        assert main(["lint", "--config", shadowed_file, "--fail-on", "none"]) == 0
+
+    def test_clean_config(self, tmp_path, capsys):
+        path = tmp_path / "clean.ios"
+        path.write_text(CLEAN)
+        assert main(["lint", "--config", str(path), "--fail-on", "info"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_error_threshold_on_dangling_reference(self, tmp_path, capsys):
+        path = tmp_path / "broken.ios"
+        path.write_text(BROKEN)
+        assert main(["lint", "--config", str(path)]) == 1
+        assert "RF001" in capsys.readouterr().out
+
+    def test_json_format(self, shadowed_file, capsys):
+        code = main(["lint", "--config", shadowed_file, "--format", "json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["counts_by_code"] == {"RM001": 1}
+
+    def test_select_and_no_witness(self, shadowed_file, capsys):
+        code = main(
+            [
+                "lint",
+                "--config",
+                shadowed_file,
+                "--select",
+                "RM003",
+                "--no-witness",
+            ]
+        )
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_default_lints_walkthrough(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "ISP_OUT" in out
+
+
+class TestLintCorpus:
+    def test_campus_cross_check(self, capsys):
+        code = main(
+            ["lint", "--corpus", "campus", "--scale", "0.005", "--seed", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "archetype cross-check: MATCH" in out
+
+    def test_cloud_lint(self, capsys):
+        code = main(
+            [
+                "lint",
+                "--corpus",
+                "cloud",
+                "--scale",
+                "0.02",
+                "--no-witness",
+                "--fail-on",
+                "error",
+            ]
+        )
+        assert code == 0
+        assert "finding" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Tests for corpus mode: archetype recovery from diagnostics alone."""
+
+import random
+
+import pytest
+
+from repro.lint.corpus import (
+    CLEAN,
+    CROSSING_HEAVY,
+    CROSSING_LIGHT,
+    SHADOWED_HEAVY,
+    SHADOWED_LIGHT,
+    classify_acl,
+    lint_campus_corpus,
+)
+from repro.synth.builders import (
+    PrefixPool,
+    clean_acl,
+    crossing_acl,
+    shadowed_acl,
+)
+from repro.synth.campus import generate_campus_corpus
+
+
+def _pool(seed=0):
+    rng = random.Random(seed)
+    return rng, PrefixPool(rng)
+
+
+class TestClassifyAcl:
+    def test_clean(self):
+        rng, pool = _pool()
+        result = classify_acl(clean_acl("A", rng, pool, rules=6))
+        assert result.archetype == CLEAN
+        assert result.conflict_pairs == 0
+        assert not result.diagnostics
+
+    def test_shadowed_light(self):
+        rng, pool = _pool()
+        result = classify_acl(shadowed_acl("A", rng, pool, permits=5))
+        assert result.archetype == SHADOWED_LIGHT
+        assert result.conflict_pairs == 5
+        assert set(result.diagnostics.counts_by_code()) == {"AC004"}
+
+    def test_shadowed_heavy(self):
+        rng, pool = _pool()
+        result = classify_acl(shadowed_acl("A", rng, pool, permits=25))
+        assert result.archetype == SHADOWED_HEAVY
+        assert result.conflict_pairs == 25
+
+    def test_crossing_light(self):
+        rng, pool = _pool()
+        result = classify_acl(crossing_acl("A", rng, pool, permits=3, denies=4))
+        assert result.archetype == CROSSING_LIGHT
+        assert result.conflict_pairs == 12
+        assert set(result.diagnostics.counts_by_code()) == {"AC003"}
+
+    def test_crossing_heavy(self):
+        rng, pool = _pool()
+        result = classify_acl(crossing_acl("A", rng, pool, permits=7, denies=4))
+        assert result.archetype == CROSSING_HEAVY
+        assert result.conflict_pairs == 28
+
+    def test_witnesses_on_request(self):
+        rng, pool = _pool()
+        result = classify_acl(
+            shadowed_acl("A", rng, pool, permits=2), with_witnesses=True
+        )
+        assert all(d.witness is not None for d in result.diagnostics)
+
+
+@pytest.mark.parametrize("seed", [7, 1421])
+class TestCampusCrossCheck:
+    def test_archetypes_recovered_exactly(self, seed):
+        corpus = generate_campus_corpus(seed=seed, total_acls=80, route_maps=8)
+        result = lint_campus_corpus(corpus)
+        assert result.total_acls == 80
+        assert result.matches_expected
+        assert result.observed.get("mixed", 0) == 0
+
+    def test_special_route_maps_flagged(self, seed):
+        corpus = generate_campus_corpus(seed=seed, total_acls=20, route_maps=8)
+        result = lint_campus_corpus(corpus)
+        # §3.2: one route-map with three overlapping pairs, two of them
+        # conflicting — exactly two RM002 findings, both on the triple map.
+        report = result.route_map_report
+        assert report.counts_by_code() == {"RM002": 2}
+        assert {d.location.name for d in report} == {"CAMPUS_SPECIAL_TRIPLE"}
+
+    def test_render_mentions_cross_check(self, seed):
+        corpus = generate_campus_corpus(seed=seed, total_acls=30, route_maps=4)
+        text = lint_campus_corpus(corpus).render()
+        assert "archetype cross-check: MATCH" in text

@@ -1,0 +1,126 @@
+"""Tests for the diagnostic model: severities, locations, reports."""
+
+import pytest
+
+from repro.lint import Diagnostic, LintReport, Severity, SourceLocation
+
+
+def _diag(code, severity, kind="route-map", name="RM", seq=10):
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        location=SourceLocation(kind, name, seq),
+        message=f"{code} message",
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+        assert Severity.ERROR.at_least(Severity.WARNING)
+        assert Severity.WARNING.at_least(Severity.WARNING)
+        assert not Severity.INFO.at_least(Severity.WARNING)
+
+    def test_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("WARNING") is Severity.WARNING
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestSourceLocation:
+    def test_render_route_map_stanza(self):
+        loc = SourceLocation("route-map", "ISP_OUT", 30)
+        assert loc.render() == "route-map ISP_OUT stanza 30"
+
+    def test_render_acl_rule(self):
+        assert SourceLocation("acl", "FW", 20).render() == "acl FW rule 20"
+
+    def test_render_without_seq(self):
+        assert SourceLocation("prefix-list", "D0").render() == "prefix-list D0"
+
+
+class TestDiagnostic:
+    def test_render_one_line(self):
+        diag = _diag("RM001", Severity.WARNING)
+        assert diag.render() == (
+            "warning RM001 route-map RM stanza 10: RM001 message"
+        )
+
+    def test_witness_text_without_witness(self):
+        assert _diag("RM001", Severity.INFO).witness_text() is None
+
+    def test_witness_text_uses_render(self):
+        class FakeWitness:
+            def render(self, indent=""):
+                return indent + "w"
+
+        diag = Diagnostic(
+            code="AC001",
+            severity=Severity.ERROR,
+            location=SourceLocation("acl", "A", 10),
+            message="m",
+            witness=FakeWitness(),
+        )
+        assert diag.witness_text(indent="  ") == "  w"
+
+
+class TestLintReport:
+    def _report(self):
+        return LintReport.of(
+            [
+                _diag("RM002", Severity.INFO, seq=30),
+                _diag("AC001", Severity.ERROR, kind="acl", name="A", seq=20),
+                _diag("RM001", Severity.WARNING, seq=20),
+                _diag("RM001", Severity.WARNING, seq=40),
+            ]
+        )
+
+    def test_len_bool_iter(self):
+        report = self._report()
+        assert len(report) == 4
+        assert report
+        assert not LintReport()
+        assert [d.code for d in report] == ["RM002", "AC001", "RM001", "RM001"]
+
+    def test_with_code(self):
+        assert len(self._report().with_code("RM001")) == 2
+        assert len(self._report().with_code("RM001", "AC001")) == 3
+
+    def test_for_object(self):
+        assert len(self._report().for_object("acl", "A")) == 1
+        assert len(self._report().for_object("route-map", "RM")) == 3
+
+    def test_at_least(self):
+        report = self._report()
+        assert len(report.at_least(Severity.WARNING)) == 3
+        assert len(report.at_least(Severity.ERROR)) == 1
+
+    def test_counts(self):
+        report = self._report()
+        assert report.counts_by_code() == {"RM002": 1, "AC001": 1, "RM001": 2}
+        assert report.counts_by_severity() == {
+            "info": 1,
+            "error": 1,
+            "warning": 2,
+        }
+
+    def test_max_severity(self):
+        assert self._report().max_severity() is Severity.ERROR
+        assert LintReport().max_severity() is None
+
+    def test_fails_threshold(self):
+        report = self._report()
+        assert report.fails(Severity.ERROR)
+        assert report.fails(Severity.INFO)
+        assert not report.fails(None)
+        info_only = report.with_code("RM002")
+        assert not info_only.fails(Severity.WARNING)
+
+    def test_sorted_severity_descending(self):
+        codes = [d.code for d in self._report().sorted()]
+        assert codes == ["AC001", "RM001", "RM001", "RM002"]
+
+    def test_extend(self):
+        merged = self._report().extend(LintReport.of([_diag("X", Severity.INFO)]))
+        assert len(merged) == 5

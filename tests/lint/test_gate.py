@@ -1,0 +1,147 @@
+"""Tests for the insertion gate and its workflow wiring."""
+
+from repro import obs
+from repro.config import parse_config
+from repro.core import ClarifySession
+from repro.lint.gate import gate_insertion
+
+BEFORE = """
+ip prefix-list WIDE seq 10 permit 10.0.0.0/8 le 32
+route-map RM permit 10
+ match ip address prefix-list WIDE
+"""
+
+# The same map after inserting a NARROW deny at the bottom (index 1):
+# NARROW is inside WIDE, so the new stanza is fully shadowed.
+AFTER_SHADOWED = """
+ip prefix-list WIDE seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+route-map RM permit 10
+ match ip address prefix-list WIDE
+route-map RM deny 20
+ match ip address prefix-list NARROW
+"""
+
+# The same insertion at the top (index 0): reachable, no new findings
+# beyond the order-sensitivity note.
+AFTER_TOP = """
+ip prefix-list WIDE seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+route-map RM deny 10
+ match ip address prefix-list NARROW
+route-map RM permit 20
+ match ip address prefix-list WIDE
+"""
+
+
+class TestGateInsertion:
+    def test_shadowed_landing_warns(self):
+        gate = gate_insertion(
+            parse_config(BEFORE),
+            parse_config(AFTER_SHADOWED),
+            "route-map",
+            "RM",
+            position=1,
+        )
+        assert gate.inserted_shadowed
+        assert any("fully shadowed" in w for w in gate.warnings)
+        assert gate.new_counts.get("RM001") == 1
+        assert gate  # truthiness == has warnings
+
+    def test_reachable_landing_counts_only_new_diagnostics(self):
+        gate = gate_insertion(
+            parse_config(BEFORE),
+            parse_config(AFTER_TOP),
+            "route-map",
+            "RM",
+            position=0,
+        )
+        assert not gate.inserted_shadowed
+        # The insertion creates one RM002 (order-sensitive pair).
+        assert gate.new_counts == {"RM002": 1}
+        assert all("fully shadowed" not in w for w in gate.warnings)
+
+    def test_identical_stores_clean(self):
+        store = parse_config(BEFORE)
+        gate = gate_insertion(store, store, "route-map", "RM", position=0)
+        assert gate.warnings == ()
+        assert not gate
+
+    def test_unknown_target_is_not_shadowed(self):
+        gate = gate_insertion(
+            parse_config(BEFORE),
+            parse_config(BEFORE),
+            "route-map",
+            "NOPE",
+            position=0,
+        )
+        assert not gate.inserted_shadowed
+
+    def test_counter_emitted(self):
+        with obs.recording() as recorder:
+            gate = gate_insertion(
+                parse_config(BEFORE),
+                parse_config(AFTER_SHADOWED),
+                "route-map",
+                "RM",
+                position=1,
+            )
+        assert recorder.counter("lint.gate_warnings") == len(gate.warnings)
+
+
+ACL_BEFORE = """
+ip access-list extended FW
+ 10 deny ip any any
+"""
+
+ACL_AFTER = """
+ip access-list extended FW
+ 10 deny ip any any
+ 20 permit tcp host 1.1.1.1 any
+"""
+
+
+class TestGateAcl:
+    def test_rule_below_catch_all_is_shadowed(self):
+        gate = gate_insertion(
+            parse_config(ACL_BEFORE),
+            parse_config(ACL_AFTER),
+            "acl",
+            "FW",
+            position=1,
+        )
+        assert gate.inserted_shadowed
+        assert any("rule" in w for w in gate.warnings)
+
+
+class TestWorkflowWiring:
+    def test_update_report_carries_gate_warnings(self):
+        session = ClarifySession(store=parse_config(BEFORE))
+        report = session.request(
+            "Add a stanza to route-map RM that denies routes with "
+            "community 65001:999",
+            "RM",
+        )
+        assert isinstance(report.gate_warnings, tuple)
+
+    def test_gate_can_be_disabled(self):
+        session = ClarifySession(store=parse_config(BEFORE), lint_gate=False)
+        report = session.request(
+            "Add a stanza to route-map RM that denies routes with "
+            "community 65001:999",
+            "RM",
+        )
+        assert report.gate_warnings == ()
+
+    def test_gate_counter_reaches_recorder(self):
+        with obs.recording() as recorder:
+            session = ClarifySession(store=parse_config(BEFORE))
+            session.request(
+                "Add a stanza to route-map RM that denies routes with "
+                "community 65001:999",
+                "RM",
+            )
+        # The gate ran: both the before- and after-store lint passes
+        # registered the counter, and the gate span exists.
+        assert "lint.diagnostics" in recorder.counters
+        assert recorder.find("lint.gate")

@@ -1,0 +1,107 @@
+"""Tests for the check registry and the lint entry points."""
+
+from repro import obs
+from repro.config import parse_config
+from repro.config.device import DeviceConfig, Interface
+from repro.lint import default_registry, lint_device, lint_store
+from repro.lint.registry import counts_by_object
+
+MIXED = """
+ip prefix-list WIDE seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+ip prefix-list ORPHAN seq 10 permit 99.0.0.0/8 le 24
+route-map RM permit 10
+ match ip address prefix-list WIDE
+route-map RM deny 20
+ match ip address prefix-list NARROW
+ip access-list extended FW
+ 10 permit tcp host 1.1.1.1 host 2.2.2.2
+ 20 deny ip any any
+"""
+
+DANGLING = """
+route-map BAD permit 10
+ match ip address prefix-list NOPE
+"""
+
+
+class TestDefaultRegistry:
+    def test_all_codes(self):
+        assert default_registry().all_codes() == [
+            "AC001",
+            "AC002",
+            "AC003",
+            "AC004",
+            "NM001",
+            "RF001",
+            "RF002",
+            "RM001",
+            "RM002",
+            "RM003",
+        ]
+
+    def test_scopes(self):
+        registry = default_registry()
+        assert len(registry.checks("store")) == 3
+        assert len(registry.checks("route-map")) == 3
+        assert len(registry.checks("acl")) == 2
+
+
+class TestLintStore:
+    def test_mixed_config(self):
+        report = lint_store(parse_config(MIXED))
+        counts = report.counts_by_code()
+        assert counts["RM001"] == 1  # NARROW stanza shadowed by WIDE
+        assert counts["RF002"] == 1  # ORPHAN unused
+        assert counts["AC004"] == 1  # catch-all deny vs specific permit
+
+    def test_sorted_by_severity(self):
+        report = lint_store(parse_config(MIXED))
+        ranks = [d.severity.rank for d in report]
+        assert ranks == sorted(ranks, reverse=True)
+
+    def test_select_filters_codes(self):
+        report = lint_store(parse_config(MIXED), select=["rm001"])
+        assert set(report.counts_by_code()) == {"RM001"}
+
+    def test_dangling_refs_skip_symbolic_checks(self):
+        # The symbolic engine cannot translate BAD's guard; only RF001
+        # fires (no crash, no RM00x).
+        report = lint_store(parse_config(DANGLING))
+        assert set(report.counts_by_code()) == {"RF001"}
+
+    def test_clean_config_empty(self):
+        text = """
+ip prefix-list A seq 10 permit 10.0.0.0/16 le 24
+route-map RM permit 10
+ match ip address prefix-list A
+"""
+        assert len(lint_store(parse_config(text))) == 0
+
+    def test_counter_emitted(self):
+        with obs.recording() as recorder:
+            report = lint_store(parse_config(MIXED))
+        assert recorder.counter("lint.diagnostics") == len(report)
+
+    def test_counts_by_object(self):
+        report = lint_store(parse_config(MIXED))
+        counts = counts_by_object(report)
+        assert counts["route-map RM"] == 1
+        assert counts["acl FW"] == 1
+
+
+class TestLintDevice:
+    def test_device_checks_included(self):
+        store = parse_config(MIXED)
+        device = DeviceConfig(
+            hostname="r1",
+            interfaces=[Interface(name="Gi0/0", acl_in="MISSING")],
+            store=store,
+        )
+        report = lint_device(device)
+        assert report.counts_by_code()["RF001"] == 1
+        # FW is unattached at device level.
+        assert ("acl", "FW") in {
+            (d.location.kind, d.location.name)
+            for d in report.with_code("RF002")
+        }

@@ -1,0 +1,64 @@
+"""Tests for the text and JSON reporters."""
+
+import json
+
+from repro.config import parse_config
+from repro.lint import lint_store, render_json, render_text
+
+CONFIG = """
+ip prefix-list WIDE seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+route-map RM permit 10
+ match ip address prefix-list WIDE
+route-map RM deny 20
+ match ip address prefix-list NARROW
+"""
+
+
+def _report():
+    return lint_store(parse_config(CONFIG))
+
+
+class TestRenderText:
+    def test_structure(self):
+        text = render_text(_report(), title="example")
+        lines = text.splitlines()
+        assert lines[0] == "example"
+        assert any(line.startswith("warning RM001") for line in lines)
+        assert any(line.strip().startswith("fix:") for line in lines)
+        assert any(line.strip() == "witness:" for line in lines)
+        assert lines[-1].startswith("1 finding(s):")
+
+    def test_suppression_flags(self):
+        text = render_text(
+            _report(), show_witnesses=False, show_suggestions=False
+        )
+        assert "witness:" not in text
+        assert "fix:" not in text
+
+    def test_empty_report(self):
+        from repro.lint import LintReport
+
+        assert "no findings" in render_text(LintReport(), title="t")
+
+
+class TestRenderJson:
+    def test_round_trips_as_json(self):
+        document = json.loads(render_json(_report(), title="example"))
+        assert document["title"] == "example"
+        assert document["max_severity"] == "warning"
+        assert document["counts_by_code"] == {"RM001": 1}
+        (diag,) = document["diagnostics"]
+        assert diag["code"] == "RM001"
+        assert diag["location"] == {
+            "kind": "route-map",
+            "name": "RM",
+            "seq": 20,
+        }
+        assert "witness" in diag
+        assert diag["related"][0]["seq"] == 10
+
+    def test_empty_report(self):
+        document = json.loads(render_json(lint_store(parse_config(""))))
+        assert document["diagnostics"] == []
+        assert document["max_severity"] is None

@@ -1,0 +1,110 @@
+"""Tests for the symbolic route-map checks (RM001/RM002/RM003)."""
+
+from repro.analysis.evaluate import eval_route_map
+from repro.config import parse_config
+from repro.lint.routemap_checks import (
+    check_conflicting_overlaps,
+    check_no_terminal_permit,
+    check_shadowed_stanzas,
+)
+
+SHADOWED = """
+ip prefix-list WIDE seq 10 permit 10.0.0.0/8 le 32
+ip prefix-list NARROW seq 10 permit 10.1.0.0/16 le 32
+route-map RM permit 10
+ match ip address prefix-list WIDE
+route-map RM deny 20
+ match ip address prefix-list NARROW
+route-map RM permit 30
+"""
+
+CONFLICTING = """
+ip prefix-list A seq 10 permit 10.0.0.0/8 le 24
+ip community-list standard C permit 65000:1
+route-map RM deny 10
+ match community C
+route-map RM permit 20
+ match ip address prefix-list A
+"""
+
+CLEAN = """
+ip prefix-list A seq 10 permit 10.0.0.0/16 le 24
+ip prefix-list B seq 10 permit 20.0.0.0/16 le 24
+route-map RM permit 10
+ match ip address prefix-list A
+route-map RM deny 20
+ match ip address prefix-list B
+"""
+
+ALL_DENY = """
+ip prefix-list A seq 10 permit 10.0.0.0/16 le 24
+route-map RM deny 10
+ match ip address prefix-list A
+"""
+
+
+class TestShadowedStanzas:
+    def test_fully_shadowed_stanza_flagged_with_witness(self):
+        store = parse_config(SHADOWED)
+        diags = check_shadowed_stanzas(store.route_map("RM"), store)
+        assert [d.code for d in diags] == ["RM001"]
+        diag = diags[0]
+        assert diag.location.seq == 20
+        assert diag.severity.value == "warning"
+        # The witness is a route the stanza would match, captured earlier.
+        assert diag.witness is not None
+        result = eval_route_map(store.route_map("RM"), store, diag.witness)
+        assert result.stanza_seq == 10
+        assert diag.related and diag.related[0].seq == 10
+
+    def test_without_witnesses(self):
+        store = parse_config(SHADOWED)
+        diags = check_shadowed_stanzas(
+            store.route_map("RM"), store, with_witnesses=False
+        )
+        assert len(diags) == 1 and diags[0].witness is None
+
+    def test_clean_map_has_none(self):
+        store = parse_config(CLEAN)
+        assert check_shadowed_stanzas(store.route_map("RM"), store) == []
+
+
+class TestConflictingOverlaps:
+    def test_conflicting_partial_overlap_flagged(self):
+        store = parse_config(CONFLICTING)
+        diags = check_conflicting_overlaps(store.route_map("RM"), store)
+        assert [d.code for d in diags] == ["RM002"]
+        diag = diags[0]
+        assert diag.location.seq == 20
+        assert diag.related[0].seq == 10
+        assert diag.witness is not None
+
+    def test_subset_pairs_left_to_rm001(self):
+        store = parse_config(SHADOWED)
+        # Stanza 20 is inside stanza 10 (conflicting subset): RM001
+        # territory, not RM002 — only the (20, 30) pair remains.
+        diags = check_conflicting_overlaps(store.route_map("RM"), store)
+        assert [(d.location.seq, d.related[0].seq) for d in diags] == [(30, 20)]
+
+    def test_clean_map_has_none(self):
+        store = parse_config(CLEAN)
+        assert check_conflicting_overlaps(store.route_map("RM"), store) == []
+
+
+class TestNoTerminalPermit:
+    def test_all_deny_flagged(self):
+        store = parse_config(ALL_DENY)
+        diags = check_no_terminal_permit(store.route_map("RM"), store)
+        assert [d.code for d in diags] == ["RM003"]
+        assert diags[0].location.seq is None
+
+    def test_map_with_permit_clean(self):
+        store = parse_config(CLEAN)
+        assert check_no_terminal_permit(store.route_map("RM"), store) == []
+
+    def test_empty_map_not_flagged(self):
+        from repro.config.routemap import RouteMap
+        from repro.config.store import ConfigStore
+
+        store = ConfigStore()
+        assert check_no_terminal_permit(RouteMap("E", ()), store) == []

@@ -1,0 +1,145 @@
+"""Tests for the reference-graph checks (RF001/RF002/NM001)."""
+
+from repro.config import parse_config
+from repro.config.device import DeviceConfig, Interface
+from repro.lint.store_checks import (
+    check_dangling_references,
+    check_naming_families,
+    check_unused_definitions,
+    referenced_lists,
+)
+
+DANGLING = """
+ip prefix-list P seq 10 permit 10.0.0.0/8 le 24
+route-map RM permit 10
+ match ip address prefix-list P
+ match community MISSING_CL
+route-map RM permit 20
+ match as-path MISSING_AL
+"""
+
+UNUSED = """
+ip prefix-list USED seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list UNUSED seq 10 permit 20.0.0.0/8 le 24
+ip community-list standard LONELY permit 65000:1
+route-map RM permit 10
+ match ip address prefix-list USED
+"""
+
+FAMILY = """
+ip prefix-list D0 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 10 permit 20.0.0.0/8 le 24
+ip community-list standard CL7 permit 65000:1
+route-map RM permit 10
+ match ip address prefix-list D0
+ match ip address prefix-list D1
+ match community CL7
+"""
+
+
+class TestReferencedLists:
+    def test_collects_all_kinds(self):
+        store = parse_config(DANGLING)
+        refs = referenced_lists(store.route_map("RM"))
+        assert refs["prefix-list"] == {"P"}
+        assert refs["community-list"] == {"MISSING_CL"}
+        assert refs["as-path-list"] == {"MISSING_AL"}
+
+
+class TestDanglingReferences:
+    def test_undefined_lists_flagged(self):
+        store = parse_config(DANGLING)
+        diags = check_dangling_references(store)
+        assert sorted(d.message for d in diags) == sorted(
+            [
+                "stanza 10 references undefined community-list 'MISSING_CL'",
+                "stanza 20 references undefined as-path-list 'MISSING_AL'",
+            ]
+        )
+        assert all(d.code == "RF001" for d in diags)
+        assert all(d.severity.value == "error" for d in diags)
+
+    def test_defined_references_clean(self):
+        store = parse_config(UNUSED)
+        assert check_dangling_references(store) == []
+
+    def test_device_interface_acl_reference(self):
+        store = parse_config(UNUSED)
+        device = DeviceConfig(
+            hostname="r1",
+            interfaces=[Interface(name="Gi0/0", acl_in="NO_SUCH_ACL")],
+            store=store,
+        )
+        diags = check_dangling_references(store, device=device)
+        assert [d.code for d in diags] == ["RF001"]
+        assert diags[0].location.kind == "interface"
+        assert "NO_SUCH_ACL" in diags[0].message
+
+
+class TestUnusedDefinitions:
+    def test_unused_lists_flagged(self):
+        store = parse_config(UNUSED)
+        diags = check_unused_definitions(store)
+        assert sorted((d.location.kind, d.location.name) for d in diags) == [
+            ("community-list", "LONELY"),
+            ("prefix-list", "UNUSED"),
+        ]
+        assert all(d.code == "RF002" for d in diags)
+
+    def test_unattached_acl_needs_device(self):
+        text = UNUSED + "\nip access-list extended FW\n 10 permit ip any any\n"
+        store = parse_config(text)
+        # Store-level: ACL attachment is unknowable, so no finding.
+        acl_diags = [
+            d
+            for d in check_unused_definitions(store)
+            if d.location.kind == "acl"
+        ]
+        assert acl_diags == []
+        device = DeviceConfig(hostname="r1", interfaces=[], store=store)
+        diags = check_unused_definitions(store, device=device)
+        assert ("acl", "FW") in {
+            (d.location.kind, d.location.name) for d in diags
+        }
+
+    def test_attached_acl_clean(self):
+        text = UNUSED + "\nip access-list extended FW\n 10 permit ip any any\n"
+        store = parse_config(text)
+        device = DeviceConfig(
+            hostname="r1",
+            interfaces=[Interface(name="Gi0/0", acl_in="FW")],
+            store=store,
+        )
+        diags = check_unused_definitions(store, device=device)
+        assert ("acl", "FW") not in {
+            (d.location.kind, d.location.name) for d in diags
+        }
+
+
+class TestNamingFamilies:
+    def test_singleton_outside_dominant_family_flagged(self):
+        store = parse_config(FAMILY)
+        diags = check_naming_families(store)
+        assert [(d.code, d.location.name) for d in diags] == [("NM001", "CL7")]
+        assert "D<n>" in diags[0].message
+
+    def test_no_numbered_names_clean(self):
+        store = parse_config(UNUSED)
+        assert check_naming_families(store) == []
+
+    def test_tied_families_clean(self):
+        text = """
+ip prefix-list D0 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 10 permit 20.0.0.0/8 le 24
+ip prefix-list E0 seq 10 permit 30.0.0.0/8 le 24
+ip prefix-list E1 seq 10 permit 40.0.0.0/8 le 24
+"""
+        assert check_naming_families(parse_config(text)) == []
+
+    def test_descriptive_names_never_flagged(self):
+        text = """
+ip prefix-list D0 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 10 permit 20.0.0.0/8 le 24
+ip prefix-list CORP_NETS seq 10 permit 30.0.0.0/8 le 24
+"""
+        assert check_naming_families(parse_config(text)) == []

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.llm import FaultyLLM, PromptDatabase, SimulatedLLM, TaskKind
-from repro.llm.prompts import FewShotExample, PromptTemplate
+from repro.llm.prompts import FewShotExample
 from repro.llm.strategies import ExampleRetriever, MajorityVoteLLM, build_library
 
 DB = PromptDatabase()

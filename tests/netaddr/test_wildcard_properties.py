@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.headerspace import HeaderSpaceError, wildcard_to_intervals
+from repro.analysis.headerspace import wildcard_to_intervals
 from repro.netaddr import Ipv4Address, Ipv4Wildcard
 
 

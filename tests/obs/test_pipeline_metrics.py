@@ -99,6 +99,7 @@ class TestSpanTree:
             "clarify.rename",
             "disambiguate.stanza",
             "clarify.diff",
+            "lint.gate",
         ]
 
     def test_llm_calls_nest_under_synthesis(self):
