@@ -3,19 +3,26 @@
 Every benchmark regenerates one table or figure from the paper and
 *asserts* the reproduced shape (who wins, by what factor, where the
 thresholds land), so ``pytest benchmarks/ --benchmark-only`` doubles as
-the reproduction check.  Each module also appends its rows to
-``benchmarks/results.txt`` so the numbers survive pytest's capture.
+the reproduction check.  Each module contributes result blocks through
+the session-scoped ``report`` fixture; the blocks are buffered and
+``benchmarks/results.txt`` is rewritten **atomically** at session end
+(temp file + rename), so a crashed or interrupted run can never leave a
+truncated results file behind.
 
 The whole session additionally runs under a metrics-only
 :class:`repro.obs.Recorder` (spans disabled — benchmark repetition
-would accumulate millions of them), and the aggregate counters and
-histograms are written to ``benchmarks/BENCH_obs.json`` at session end.
-That file is the per-run observability baseline future performance PRs
-diff against: LLM calls, verify retries, disambiguation questions, and
-route/header-space operation counts for the full benchmark suite.
+would accumulate millions of them) with ``time_spans=True``, so every
+pipeline phase still lands its duration in a ``span.<name>`` histogram.
+The aggregate counters and histograms are written to
+``benchmarks/BENCH_obs.json`` at session end.  ``clarify bench-check``
+diffs that file against the committed ``benchmarks/BASELINE_obs.json``:
+counters exactly (the workload is deterministic — see the pedantic
+fixed-round benchmarks), span timings ratio-bounded.
 """
 
+import os
 import pathlib
+import tempfile
 
 import pytest
 
@@ -24,29 +31,45 @@ from repro import obs
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
 OBS_SNAPSHOT_PATH = pathlib.Path(__file__).parent / "BENCH_obs.json"
 
+_report_blocks = []
+
+
+def _write_atomic(path: pathlib.Path, text: str) -> None:
+    """Replace ``path``'s contents in one step (temp file + rename)."""
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
 
 @pytest.fixture(scope="session")
 def report():
-    """Append human-readable result blocks to benchmarks/results.txt."""
-    handle = RESULTS_PATH.open("a")
+    """Buffer human-readable result blocks for benchmarks/results.txt."""
 
     def write(title: str, body: str) -> None:
-        handle.write(f"\n=== {title} ===\n{body}\n")
-        handle.flush()
+        _report_blocks.append(f"\n=== {title} ===\n{body}\n")
 
-    yield write
-    handle.close()
+    return write
 
 
 def pytest_sessionstart(session):
-    # Start each benchmark session with a fresh results file.
-    if RESULTS_PATH.exists():
-        RESULTS_PATH.unlink()
-    obs.install(obs.Recorder(capture_spans=False))
+    _report_blocks.clear()
+    obs.install(obs.Recorder(capture_spans=False, time_spans=True))
 
 
 def pytest_sessionfinish(session, exitstatus):
+    if _report_blocks:
+        _write_atomic(RESULTS_PATH, "".join(_report_blocks))
     recorder = obs.get_recorder()
     if isinstance(recorder, obs.Recorder):
-        OBS_SNAPSHOT_PATH.write_text(obs.to_json(recorder) + "\n")
+        _write_atomic(OBS_SNAPSHOT_PATH, obs.to_json(recorder) + "\n")
         obs.uninstall()

@@ -10,15 +10,22 @@ Subcommands::
     clarify trace      one instrumented cycle: span tree + metric summary
     clarify lint       symbolic static analysis: shadowed/conflicting
                        rules, dangling references, naming drift
+    clarify replay     re-drive a recorded journal with zero LLM calls
+                       and verify it matches byte for byte
+    clarify bench-check  diff a benchmark metric snapshot against the
+                       committed baseline (the perf-regression gate)
 
 ``clarify add`` reads an existing IOS configuration, runs the full
 Clarify cycle for an English intent, asks the differential questions on
-stdin, and prints the updated configuration to stdout.
+stdin, and prints the updated configuration to stdout.  ``add``,
+``trace``, and ``eval`` accept ``--journal PATH`` to record a replayable
+session journal (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -80,6 +87,19 @@ def _read_config(path: Optional[str]):
         return parse_config(handle.read())
 
 
+@contextlib.contextmanager
+def _journal_scope(path: Optional[str]):
+    """Record a session journal to ``path`` for the enclosed block."""
+    from repro import obs
+
+    if path is None:
+        yield None
+        return
+    with obs.JournalRecorder(path) as journal:
+        with obs.journaling(journal):
+            yield journal
+
+
 def cmd_add(args: argparse.Namespace) -> int:
     store = _read_config(args.config)
     if args.answers:
@@ -91,14 +111,15 @@ def cmd_add(args: argparse.Namespace) -> int:
         if args.top_bottom
         else DisambiguationMode.FULL
     )
-    session = ClarifySession(
-        store=store, llm=SimulatedLLM(), oracle=oracle, mode=mode
-    )
-    try:
-        report = session.request(args.intent, args.target)
-    except (ClarifyError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    with _journal_scope(args.journal):
+        session = ClarifySession(
+            store=store, llm=SimulatedLLM(), oracle=oracle, mode=mode
+        )
+        try:
+            report = session.request(args.intent, args.target)
+        except (ClarifyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     print(
         f"! inserted at position {report.position} "
         f"({report.llm_calls} LLM calls, {report.questions} questions)",
@@ -168,13 +189,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_eval(args: argparse.Namespace) -> int:
     from repro.evalcase import build_figure3, figure4_rows
 
-    if args.from_configs:
-        from repro.evalcase.devices import build_figure3_from_files
+    with _journal_scope(args.journal):
+        if args.from_configs:
+            from repro.evalcase.devices import build_figure3_from_files
 
-        result = build_figure3_from_files()
-        print("(network reassembled from rendered device files)")
-    else:
-        result = build_figure3()
+            result = build_figure3_from_files()
+            print("(network reassembled from rendered device files)")
+        else:
+            result = build_figure3()
     print("Figure 4: router statistics")
     print(f"{'Router':<8}{'#Route-maps':<14}{'#LLM calls':<12}{'#Disambiguation'}")
     for name, maps, calls, interactions in figure4_rows(result.stats):
@@ -252,7 +274,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         else DisambiguationMode.FULL
     )
     recorder = obs.Recorder()
-    with obs.recording(recorder):
+    with _journal_scope(args.journal), obs.recording(recorder):
         session = ClarifySession(
             store=store, llm=SimulatedLLM(), oracle=oracle, mode=mode
         )
@@ -369,6 +391,96 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.fails(threshold) else 0
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-drive a recorded journal and verify it matches byte for byte.
+
+    Exit status: 0 when the replayed session reproduces the journal
+    exactly (same configs, diffs, verdicts, questions — all with zero
+    LLM or oracle calls), 2 on divergence, 1 on a malformed journal.
+    """
+    import json as _json
+
+    from repro import obs
+    from repro.obs.replay import ReplayError, replay_journal
+
+    try:
+        events = obs.read_journal(args.journal)
+    except (OSError, obs.JournalError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        result = replay_journal(events)
+    except (ReplayError, ClarifyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        payload = {
+            "ok": result.ok,
+            "cycles": result.cycles,
+            "events": len(result.recorded_events),
+            "matched_events": result.matched_events,
+            "llm_calls_served": result.llm_calls_served,
+            "answers_served": result.answers_served,
+        }
+        if result.divergence is not None:
+            payload["divergence"] = {
+                "seq": result.divergence.seq,
+                "kind": result.divergence.kind,
+                "detail": result.divergence.detail,
+            }
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if result.ok else 2
+    print(
+        f"replayed {result.cycles} cycle{'s' if result.cycles != 1 else ''} "
+        f"({result.llm_calls_served} recorded LLM responses, "
+        f"{result.answers_served} recorded answers, 0 live calls)"
+    )
+    if result.ok:
+        print(
+            f"journal verified: all {len(result.recorded_events)} events "
+            "reproduced exactly"
+        )
+        return 0
+    print(
+        f"DIVERGED: {result.matched_events}/{len(result.recorded_events)} "
+        "events matched",
+        file=sys.stderr,
+    )
+    if args.divergence and result.divergence is not None:
+        print(result.divergence.render(), file=sys.stderr)
+    else:
+        print("(re-run with --divergence for the first mismatch)", file=sys.stderr)
+    return 2
+
+
+def cmd_bench_check(args: argparse.Namespace) -> int:
+    """Diff a benchmark metric snapshot against the committed baseline.
+
+    Counter mismatches are behavioural regressions and always fail;
+    ``span.*`` timing regressions fail unless ``--timing-warn-only``.
+    Exit status: 0 clean, 2 on regression, 1 on unreadable snapshots.
+    """
+    from repro.obs import regress
+
+    try:
+        baseline = regress.load_snapshot(args.baseline)
+        current = regress.load_snapshot(args.current)
+    except regress.SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    tolerances = regress.Tolerances(
+        counter_rel=args.counter_rel,
+        timing_max_ratio=args.timing_max_ratio,
+        timing_warn_only=args.timing_warn_only,
+    )
+    report = regress.compare_snapshots(baseline, current, tolerances)
+    if args.format == "json":
+        print(regress.render_json(report))
+    else:
+        print(regress.render_text(report, verbose=args.verbose))
+    return 0 if report.ok else 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="clarify",
@@ -397,6 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a unified diff of the change instead of the full config",
     )
+    p_add.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="record a replayable session journal (JSONL) to PATH",
+    )
     p_add.set_defaults(func=cmd_add)
 
     p_overlaps = sub.add_parser("overlaps", help="run the §3 overlap analysis")
@@ -419,6 +536,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-check the policies on a network reassembled from rendered "
         "device configuration files",
+    )
+    p_eval.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="record a replayable session journal (JSONL) to PATH",
     )
     p_eval.set_defaults(func=cmd_eval)
 
@@ -471,6 +593,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the trace snapshot as JSON instead of text",
+    )
+    p_trace.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="record a replayable session journal (JSONL) to PATH",
     )
     p_trace.set_defaults(func=cmd_trace)
 
@@ -525,6 +652,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip witness extraction (faster on large corpora)",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-drive a recorded session journal with zero LLM calls "
+        "and verify it reproduces exactly",
+    )
+    p_replay.add_argument("journal", help="journal file (JSONL) to replay")
+    p_replay.add_argument(
+        "--divergence",
+        action="store_true",
+        help="on mismatch, print the first diverging event in full",
+    )
+    p_replay.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the replay verdict as JSON",
+    )
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_bench = sub.add_parser(
+        "bench-check",
+        help="compare a benchmark metric snapshot against the committed "
+        "baseline (perf-regression gate)",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        default="benchmarks/BASELINE_obs.json",
+        help="blessed snapshot to compare against (default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--current",
+        default="benchmarks/BENCH_obs.json",
+        help="snapshot from the run under test (default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--counter-rel",
+        type=float,
+        default=0.0,
+        help="relative tolerance on counter values (default: exact)",
+    )
+    p_bench.add_argument(
+        "--timing-max-ratio",
+        type=float,
+        default=1.5,
+        help="maximum allowed slowdown ratio for span.* timings "
+        "(default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--timing-warn-only",
+        action="store_true",
+        help="report timing regressions as warnings instead of failures "
+        "(for noisy shared runners)",
+    )
+    p_bench.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show every compared metric, not just the interesting rows",
+    )
+    p_bench.set_defaults(func=cmd_bench_check)
     return parser
 
 

@@ -116,6 +116,7 @@ def _binary_search_slot(
         question = DisambiguationQuestion(difference)
         choice = oracle.choose(question)
         questions.append(question)
+        _record_question(question, choice)
         if choice == 1:
             hi = mid
         else:
@@ -151,10 +152,21 @@ def _linear_scan_slot(
         question = DisambiguationQuestion(difference)
         choice = oracle.choose(question)
         questions.append(question)
+        _record_question(question, choice)
         if choice == 1:
             return slot_to_position(active, slot), questions
         slot += 1
     return slot_to_position(active, slot), questions
+
+
+def _record_question(question: DisambiguationQuestion, choice: int) -> None:
+    """Journal one differential question and the oracle/user's answer."""
+    if obs.journal_enabled():
+        obs.event(
+            "disambiguation.question",
+            question=question.render(),
+            answer=choice,
+        )
 
 
 def _record_run(sp, overlaps, questions, position) -> None:
@@ -273,6 +285,7 @@ def _top_bottom(
         return bottom, []
     question = DisambiguationQuestion(difference)
     choice = oracle.choose(question)
+    _record_question(question, choice)
     return (0 if choice == 1 else bottom), [question]
 
 

@@ -90,11 +90,14 @@ class SynthesisPipeline:
                 text = self._llm.complete(
                     self._system_prompt(TaskKind.ROUTE_MAP_SPEC, prompt), prompt
                 )
-                return RouteMapSpec.from_json(text)
-            text = self._llm.complete(
-                self._system_prompt(TaskKind.ACL_SPEC, prompt), prompt
-            )
-            return AclSpec.from_json(text)
+                spec: Union[RouteMapSpec, AclSpec] = RouteMapSpec.from_json(text)
+            else:
+                text = self._llm.complete(
+                    self._system_prompt(TaskKind.ACL_SPEC, prompt), prompt
+                )
+                spec = AclSpec.from_json(text)
+            obs.event("spec.extracted", kind=kind, spec_json=text)
+            return spec
 
     def generate_snippet(self, prompt: str, kind: str) -> str:
         """Step 3: one stanza/rule in IOS syntax (raw LLM text)."""
@@ -121,6 +124,12 @@ class SynthesisPipeline:
                             f"attempt {attempt}: snippet does not parse: {exc}"
                         )
                         obs.count("synthesis.retries")
+                        obs.event(
+                            "synthesis.retry",
+                            attempt=attempt,
+                            reason="parse-error",
+                            detail=str(exc),
+                        )
                         sp.annotate(outcome="parse-error")
                         continue
                     if kind == ROUTE_MAP:
@@ -129,6 +138,12 @@ class SynthesisPipeline:
                         )
                     else:
                         verdict = verify_acl_snippet(snippet, spec)
+                    obs.event(
+                        "verify.verdict",
+                        attempt=attempt,
+                        ok=verdict.ok,
+                        problems=list(verdict.problems),
+                    )
                     if verdict.ok:
                         sp.annotate(outcome="verified")
                         pipeline_span.annotate(kind=kind, attempts=attempt)
@@ -141,8 +156,16 @@ class SynthesisPipeline:
                         )
                     failures.append(f"attempt {attempt}: {verdict}")
                     obs.count("synthesis.retries")
+                    obs.event(
+                        "synthesis.retry", attempt=attempt, reason="rejected"
+                    )
                     sp.annotate(outcome="rejected")
             obs.count("synthesis.punts")
+            obs.event(
+                "synthesis.punt",
+                attempts=self._max_attempts,
+                failures=list(failures),
+            )
             raise SynthesisPunt(self._max_attempts, failures)
 
 

@@ -16,23 +16,30 @@ interfaces, reducing the number of LLM calls" (§5).
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from typing import Optional, Tuple
 
 from repro import obs
 from repro.config.diff import config_diff
 from repro.config.names import rename_snippet_lists
+from repro.config.render import render_config
 from repro.config.store import ConfigStore
 from repro.core.disambiguator import (
     DisambiguationMode,
     disambiguate_acl_rule,
     disambiguate_stanza,
 )
+from repro.core.errors import ClarifyError
 from repro.core.oracle import CountingOracle, FirstOptionOracle, UserOracle
 from repro.core.synthesis import ROUTE_MAP, SynthesisPipeline
 from repro.lint.gate import gate_insertion
 from repro.llm.client import LLMClient
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.transcript import TranscribingClient
+
+#: Process-wide session identity, recorded in journal events so a replay
+#: can group the cycles of multi-session journals (e.g. ``clarify eval``).
+_SESSION_IDS = itertools.count(1)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,7 +81,10 @@ class ClarifySession:
             oracle if oracle is not None else FirstOptionOracle()
         )
         self.mode = mode
+        self.max_attempts = max_attempts
         self.pipeline = SynthesisPipeline(self.llm, max_attempts=max_attempts)
+        #: Identity used to group this session's cycles in journal events.
+        self.session_id = next(_SESSION_IDS)
         #: Specs shown to the user for manual confirmation (§2.1).
         self.spec_reviews = 0
         #: Audit trail: one :class:`UpdateReport` per applied update.
@@ -98,18 +108,25 @@ class ClarifySession:
         """
         with obs.span("clarify.request", target=target) as sp:
             obs.count("clarify.cycles")
-            calls_before = self.llm.call_count()
-            result = self.pipeline.synthesize(intent_text)
-            self.spec_reviews += 1
-            obs.count("clarify.spec_reviews")
-            report = self._insert(
-                result.kind,
-                result.snippet,
-                target,
-                oracle,
-                llm_calls=self.llm.call_count() - calls_before,
-                attempts=result.attempts,
-            )
+            self._journal_cycle_start("request", target, intent=intent_text)
+            try:
+                calls_before = self.llm.call_count()
+                result = self.pipeline.synthesize(intent_text)
+                self.spec_reviews += 1
+                obs.count("clarify.spec_reviews")
+                report = self._insert(
+                    result.kind,
+                    result.snippet,
+                    target,
+                    oracle,
+                    llm_calls=self.llm.call_count() - calls_before,
+                    attempts=result.attempts,
+                )
+            except ClarifyError as exc:
+                obs.event(
+                    "cycle.error", error=type(exc).__name__, message=str(exc)
+                )
+                raise
             sp.annotate(
                 kind=report.kind,
                 position=report.position,
@@ -129,11 +146,50 @@ class ClarifySession:
         """Insert an already-synthesised snippet into another target."""
         with obs.span("clarify.reuse", target=target, kind=kind) as sp:
             obs.count("clarify.reuses")
-            report = self._insert(
-                kind, snippet, target, oracle, llm_calls=0, attempts=0
+            self._journal_cycle_start(
+                "reuse", target, kind=kind, snippet=snippet
             )
+            try:
+                report = self._insert(
+                    kind, snippet, target, oracle, llm_calls=0, attempts=0
+                )
+            except ClarifyError as exc:
+                obs.event(
+                    "cycle.error", error=type(exc).__name__, message=str(exc)
+                )
+                raise
             sp.annotate(position=report.position, questions=report.questions)
             return report
+
+    def _journal_cycle_start(
+        self,
+        op: str,
+        target: str,
+        intent: Optional[str] = None,
+        kind: Optional[str] = None,
+        snippet: Optional[ConfigStore] = None,
+    ) -> None:
+        """Record the inputs a replay needs to re-drive this cycle."""
+        if not obs.journal_enabled():
+            return
+        config_text = render_config(self.store)
+        data = {
+            "op": op,
+            "target": target,
+            "session": self.session_id,
+            "mode": self.mode.value,
+            "max_attempts": self.max_attempts,
+            "lint_gate": self.lint_gate,
+            "config": config_text,
+            "config_sha256": obs.sha256_text(config_text),
+        }
+        if intent is not None:
+            data["intent"] = intent
+        if kind is not None:
+            data["kind"] = kind
+        if snippet is not None:
+            data["snippet"] = render_config(snippet)
+        obs.event("cycle.start", **data)
 
     def _insert(
         self,
@@ -179,6 +235,30 @@ class ClarifySession:
             gate_warnings=gate_warnings,
         )
         self.history.append(report)
+        if obs.journal_enabled():
+            obs.event(
+                "insertion.decision",
+                kind=kind,
+                target=target,
+                position=outcome.position,
+                overlaps=list(outcome.overlaps),
+            )
+            final_config = render_config(self.store)
+            obs.event(
+                "cycle.end",
+                report={
+                    "kind": report.kind,
+                    "target": report.target,
+                    "position": report.position,
+                    "llm_calls": report.llm_calls,
+                    "questions": report.questions,
+                    "attempts": report.attempts,
+                    "overlaps": list(report.overlaps),
+                    "gate_warnings": list(report.gate_warnings),
+                },
+                diff_sha256=obs.sha256_text(report.diff),
+                config_sha256=obs.sha256_text(final_config),
+            )
         return report
 
     # -------------------------------------------------------------- stats

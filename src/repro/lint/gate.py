@@ -136,6 +136,13 @@ def gate_insertion(
             )
         if warnings:
             obs.count("lint.gate_warnings", len(warnings))
+        obs.event(
+            "lint.gate",
+            kind=kind,
+            target=target,
+            warnings=list(warnings),
+            inserted_shadowed=bool(shadowed),
+        )
         return GateReport(
             warnings=tuple(warnings),
             inserted_shadowed=bool(shadowed),

@@ -28,11 +28,16 @@ from repro.llm.intents import (
 )
 from repro.llm.prompts import PromptDatabase, TaskKind
 from repro.llm.simulated import SimulatedLLM
-from repro.llm.transcript import CallRecord, TranscribingClient
+from repro.llm.transcript import (
+    CallRecord,
+    DEFAULT_MAX_RECORDS,
+    TranscribingClient,
+)
 
 __all__ = [
     "AclIntent",
     "CallRecord",
+    "DEFAULT_MAX_RECORDS",
     "FaultyLLM",
     "IntentParseError",
     "LLMClient",

@@ -4,17 +4,30 @@ Figure 4 of the paper reports the number of LLM calls per router during
 incremental synthesis; :class:`TranscribingClient` wraps any
 :class:`~repro.llm.client.LLMClient` and records every call so the
 evaluation harness can reproduce those counts.
+
+The retained transcript is bounded: once more than ``max_records`` calls
+have been made, the oldest :class:`CallRecord` is evicted (and counted on
+the ``llm.transcript.evicted`` obs counter).  The Figure-4 statistics
+(:meth:`TranscribingClient.call_count`,
+:meth:`TranscribingClient.counts_by_task`) use running counters, so they
+stay exact no matter how many records were evicted — full per-call
+payloads belong in the session journal (:mod:`repro.obs.journal`), which
+persists them to disk instead of holding them in memory.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from collections import Counter
-from typing import Dict, List, Optional
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional
 
 from repro import obs
 from repro.llm.client import LLMClient
 from repro.llm.prompts import TaskKind, task_kind_of
+
+#: Default transcript bound: enough for any single interactive session,
+#: small enough that long-lived sessions cannot grow without limit.
+DEFAULT_MAX_RECORDS = 512
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,9 +43,42 @@ class CallRecord:
 class TranscribingClient:
     """An :class:`LLMClient` wrapper that logs every call."""
 
-    def __init__(self, inner: LLMClient) -> None:
+    def __init__(
+        self,
+        inner: LLMClient,
+        max_records: Optional[int] = DEFAULT_MAX_RECORDS,
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be at least 1 (or None)")
         self._inner = inner
-        self.records: List[CallRecord] = []
+        self._max_records = max_records
+        self._records: Deque[CallRecord] = deque()
+        self._total = 0
+        self._by_task: Counter = Counter()
+        #: Records dropped to honour ``max_records`` (monotonic).
+        self.evicted = 0
+
+    @property
+    def records(self) -> List[CallRecord]:
+        """The retained transcript, oldest first (a copy).
+
+        Bounded by ``max_records``; use :meth:`call_count` /
+        :meth:`counts_by_task` for exact totals.
+        """
+        return list(self._records)
+
+    @property
+    def max_records(self) -> Optional[int]:
+        return self._max_records
+
+    def _record(self, record: CallRecord) -> None:
+        self._total += 1
+        self._by_task[record.task] += 1
+        self._records.append(record)
+        if self._max_records is not None and len(self._records) > self._max_records:
+            self._records.popleft()
+            self.evicted += 1
+            obs.count("llm.transcript.evicted")
 
     def complete(self, system: str, prompt: str) -> str:
         task = task_kind_of(system)
@@ -40,7 +86,14 @@ class TranscribingClient:
             response = self._inner.complete(system, prompt)
         obs.count("llm.calls")
         obs.count(f"llm.calls.{task.value}")
-        self.records.append(
+        obs.event(
+            "llm.call",
+            task=task.value,
+            system_sha256=obs.sha256_text(system),
+            prompt=prompt,
+            response=response,
+        )
+        self._record(
             CallRecord(
                 task=task,
                 system=system,
@@ -53,15 +106,23 @@ class TranscribingClient:
     # ------------------------------------------------------------- stats
 
     def call_count(self, task: Optional[TaskKind] = None) -> int:
+        """Exact number of calls made (per task kind when given).
+
+        Computed from running counters, not the retained records, so the
+        Figure-4 statistics survive transcript eviction.
+        """
         if task is None:
-            return len(self.records)
-        return sum(1 for record in self.records if record.task is task)
+            return self._total
+        return self._by_task.get(task, 0)
 
     def counts_by_task(self) -> Dict[TaskKind, int]:
-        return dict(Counter(record.task for record in self.records))
+        return {task: count for task, count in self._by_task.items() if count}
 
     def reset(self) -> None:
-        self.records.clear()
+        self._records.clear()
+        self._by_task.clear()
+        self._total = 0
+        self.evicted = 0
 
 
-__all__ = ["CallRecord", "TranscribingClient"]
+__all__ = ["CallRecord", "DEFAULT_MAX_RECORDS", "TranscribingClient"]

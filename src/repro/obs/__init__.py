@@ -13,6 +13,12 @@ A dependency-free observability layer (stdlib only) with three pieces:
   :func:`render_metrics`, :func:`render_report`) and a JSON snapshot
   (:func:`snapshot` / :func:`to_json`) that round-trips.
 
+Two sibling layers build on the same hook pattern: the **journal**
+(:mod:`repro.obs.journal`) persists every pipeline decision as a JSONL
+event stream that :mod:`repro.obs.replay` can re-drive with zero LLM or
+oracle calls, and :mod:`repro.obs.regress` diffs two metric snapshots
+as a performance-regression gate (``clarify bench-check``).
+
 Instrumentation is **off by default**: the active recorder is a
 :class:`NullRecorder` and every hook is a no-op, so library users pay
 nothing.  Turn it on around a region of interest::
@@ -41,6 +47,22 @@ from repro.obs.export import (
     span_to_dict,
     to_json,
 )
+from repro.obs.journal import (
+    JOURNAL_VERSION,
+    JournalError,
+    JournalEvent,
+    JournalRecorder,
+    dumps_journal,
+    event,
+    get_journal,
+    install_journal,
+    journal_enabled,
+    journaling,
+    loads_journal,
+    read_journal,
+    sha256_text,
+    uninstall_journal,
+)
 from repro.obs.metrics import Histogram
 from repro.obs.recorder import (
     NullRecorder,
@@ -58,19 +80,32 @@ from repro.obs.recorder import (
 
 __all__ = [
     "Histogram",
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalEvent",
+    "JournalRecorder",
     "NullRecorder",
     "Recorder",
     "SNAPSHOT_VERSION",
     "Span",
     "count",
+    "dumps_journal",
     "enabled",
+    "event",
+    "get_journal",
     "get_recorder",
     "install",
+    "install_journal",
+    "journal_enabled",
+    "journaling",
+    "loads_journal",
     "observe",
+    "read_journal",
     "recording",
     "render_metrics",
     "render_report",
     "render_span_tree",
+    "sha256_text",
     "snapshot",
     "snapshot_to_recorder",
     "span",
@@ -78,4 +113,5 @@ __all__ = [
     "span_to_dict",
     "to_json",
     "uninstall",
+    "uninstall_journal",
 ]

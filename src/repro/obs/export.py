@@ -20,7 +20,10 @@ from typing import Any, Dict, List, Sequence, Union
 from repro.obs.metrics import Histogram
 from repro.obs.recorder import NullRecorder, Recorder, Span
 
-SNAPSHOT_VERSION = 1
+#: Version 2 added the histograms' bounded sample reservoirs (``samples``
+#: / ``stride`` keys); version-1 snapshots still load, with quantiles
+#: unavailable.
+SNAPSHOT_VERSION = 2
 
 
 # ----------------------------------------------------------------- spans
@@ -99,10 +102,17 @@ def render_metrics(recorder: Union[Recorder, NullRecorder]) -> str:
             lines.append(f"{name:<{width}}  {counters[name]}")
     for name in sorted(histograms):
         hist = histograms[name]
-        lines.append(
+        line = (
             f"{name}  count={hist.count} min={hist.min} "
             f"mean={hist.mean:.2f} max={hist.max}"
         )
+        p50 = hist.quantile(0.5)
+        if p50 is not None:
+            line += (
+                f" p50={p50:.4g} p95={hist.quantile(0.95):.4g} "
+                f"p99={hist.quantile(0.99):.4g}"
+            )
+        lines.append(line)
     return "\n".join(lines)
 
 

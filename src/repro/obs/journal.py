@@ -1,0 +1,276 @@
+"""The session journal: a persistent, replayable flight recorder.
+
+Where :mod:`repro.obs.recorder` answers "how much work happened and how
+long did it take", the journal answers "*what exactly* happened, in what
+order" — one schema-versioned event per decision the Clarify pipeline
+makes: every LLM request/response, spec extraction, verifier verdict,
+retry, disambiguation question with the oracle's answer, insertion
+decision, lint-gate outcome, and the final rendered configuration hash.
+A journal is enough to re-drive the whole session with zero LLM or
+oracle calls (see :mod:`repro.obs.replay`) and to diff two sessions
+event by event.
+
+The wiring mirrors the recorder's: instrumented library code calls the
+module-level :func:`event` hook (a no-op unless a journal is installed)
+and gates expensive payload construction on :func:`journal_enabled`.
+Harness code installs a :class:`JournalRecorder` around the region it
+wants captured::
+
+    from repro import obs
+
+    with obs.JournalRecorder("session.jsonl") as journal:
+        with obs.journaling(journal):
+            session.request(intent, "ISP_OUT")
+
+A journal composes with a metrics recorder — install both and spans,
+counters, and events are all captured from the same run.
+
+The on-disk format is JSONL: one ``{"seq": n, "type": t, "data": {...}}``
+object per line, first line a ``journal.open`` header carrying
+:data:`JOURNAL_VERSION`.  Events carry no timestamps, so two runs of the
+same session produce byte-identical journals — that determinism is what
+makes journals diffable and replay byte-for-byte checkable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import threading
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+#: Version of the journal event schema (the ``journal.open`` header).
+JOURNAL_VERSION = 1
+
+#: The event types the pipeline emits, for reference and validation.
+EVENT_TYPES = (
+    "journal.open",
+    "cycle.start",
+    "llm.call",
+    "spec.extracted",
+    "verify.verdict",
+    "synthesis.retry",
+    "synthesis.punt",
+    "disambiguation.question",
+    "insertion.decision",
+    "lint.gate",
+    "cycle.end",
+    "cycle.error",
+)
+
+
+class JournalError(ValueError):
+    """The journal file or event stream is malformed or unsupported."""
+
+
+def sha256_text(text: str) -> str:
+    """Hex SHA-256 of ``text`` (UTF-8) — the journal's content hash."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalEvent:
+    """One recorded pipeline event."""
+
+    seq: int
+    type: str
+    data: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "type": self.type, "data": dict(self.data)}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "JournalEvent":
+        try:
+            return cls(
+                seq=int(raw["seq"]),
+                type=str(raw["type"]),
+                data=dict(raw.get("data", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise JournalError(f"malformed journal event: {raw!r}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class JournalRecorder:
+    """Collects :class:`JournalEvent`s, optionally streaming to a file.
+
+    Events are always retained in memory (``.events``); when ``sink`` is
+    a path or an open text handle, each event is additionally written as
+    one JSONL line as soon as it is recorded, so an aborted process still
+    leaves every completed event on disk.  The ``journal.open`` header is
+    emitted on construction.
+    """
+
+    def __init__(self, sink: Union[str, IO[str], None] = None) -> None:
+        self.events: List[JournalEvent] = []
+        self._lock = threading.Lock()
+        self._handle: Optional[IO[str]] = None
+        self._owns_handle = False
+        if isinstance(sink, str):
+            self._handle = open(sink, "w")
+            self._owns_handle = True
+        elif sink is not None:
+            self._handle = sink
+        self.event("journal.open", version=JOURNAL_VERSION)
+
+    def event(self, type_: str, **data: Any) -> JournalEvent:
+        """Record one event (thread-safe; assigns the next ``seq``)."""
+        with self._lock:
+            recorded = JournalEvent(seq=len(self.events), type=type_, data=data)
+            self.events.append(recorded)
+            if self._handle is not None:
+                self._handle.write(recorded.to_json() + "\n")
+                self._handle.flush()
+        return recorded
+
+    def close(self) -> None:
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "JournalRecorder":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# ------------------------------------------------------- journal loading
+
+
+def loads_journal(text: str) -> List[JournalEvent]:
+    """Parse journal JSONL text into events, validating the header."""
+    events: List[JournalEvent] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"line {lineno} is not valid JSON: {exc}") from exc
+        events.append(JournalEvent.from_dict(raw))
+    validate_journal(events)
+    return events
+
+
+def read_journal(path: str) -> List[JournalEvent]:
+    """Load and validate a journal file written by :class:`JournalRecorder`."""
+    with open(path) as handle:
+        return loads_journal(handle.read())
+
+
+def dumps_journal(events: List[JournalEvent]) -> str:
+    """Events back to the JSONL wire format (one line per event)."""
+    return "".join(event.to_json() + "\n" for event in events)
+
+
+def validate_journal(events: List[JournalEvent]) -> None:
+    """Check the header and sequence numbering of an event list."""
+    if not events:
+        raise JournalError("journal is empty (no journal.open header)")
+    header = events[0]
+    if header.type != "journal.open":
+        raise JournalError(
+            f"journal does not start with journal.open (got {header.type!r})"
+        )
+    version = header.data.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise JournalError(f"journal.open has no usable version: {version!r}")
+    if version > JOURNAL_VERSION:
+        raise JournalError(
+            f"journal version {version} is newer than supported "
+            f"version {JOURNAL_VERSION}"
+        )
+    for expected, event in enumerate(events):
+        if event.seq != expected:
+            raise JournalError(
+                f"journal sequence broken at index {expected}: "
+                f"event carries seq {event.seq}"
+            )
+
+
+# ----------------------------------------------------- the active journal
+
+_active_journal: Optional[JournalRecorder] = None
+
+
+def get_journal() -> Optional[JournalRecorder]:
+    """The journal events currently flow to, or ``None``."""
+    return _active_journal
+
+
+def install_journal(
+    journal: Optional[JournalRecorder] = None,
+) -> JournalRecorder:
+    """Make ``journal`` (a fresh in-memory one by default) active."""
+    global _active_journal
+    recorder = journal if journal is not None else JournalRecorder()
+    _active_journal = recorder
+    return recorder
+
+
+def uninstall_journal() -> None:
+    """Stop journaling (events become no-ops again)."""
+    global _active_journal
+    _active_journal = None
+
+
+@contextlib.contextmanager
+def journaling(
+    journal: Optional[JournalRecorder] = None,
+) -> Iterator[JournalRecorder]:
+    """Activate a journal for the dynamic extent of a ``with`` block."""
+    global _active_journal
+    recorder = journal if journal is not None else JournalRecorder()
+    previous = _active_journal
+    _active_journal = recorder
+    try:
+        yield recorder
+    finally:
+        _active_journal = previous
+
+
+def journal_enabled() -> bool:
+    """True when a journal is active.
+
+    Instrumentation gates *expensive payload construction* (rendering a
+    configuration, formatting a differential example) on this; the
+    :func:`event` hook itself is already a no-op without a journal.
+    """
+    return _active_journal is not None
+
+
+def event(type_: str, **data: Any) -> None:
+    """Record an event on the active journal (no-op by default)."""
+    journal = _active_journal
+    if journal is not None:
+        journal.event(type_, **data)
+
+
+__all__ = [
+    "EVENT_TYPES",
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalEvent",
+    "JournalRecorder",
+    "dumps_journal",
+    "event",
+    "get_journal",
+    "install_journal",
+    "journal_enabled",
+    "journaling",
+    "loads_journal",
+    "read_journal",
+    "sha256_text",
+    "uninstall_journal",
+    "validate_journal",
+]

@@ -2,33 +2,44 @@
 
 The metric model is deliberately tiny: a *counter* is a monotonically
 increasing integer keyed by name, and a *histogram* is a streaming
-summary (count / total / min / max) of observed values.  Both live in a
-:class:`~repro.obs.recorder.Recorder`'s registry; this module only holds
-the value types so the exporters and tests can use them standalone.
+summary (count / total / min / max plus a bounded sample reservoir) of
+observed values.  Both live in a :class:`~repro.obs.recorder.Recorder`'s
+registry; this module only holds the value types so the exporters and
+tests can use them standalone.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Union
+from typing import Dict, List, Optional, Union
 
 Number = Union[int, float]
+
+#: Retained-sample bound per histogram.  Kept small: the reservoir exists
+#: for tail quantiles (p95/p99 of span timings), not exact distributions.
+MAX_SAMPLES = 512
 
 
 class Histogram:
     """A streaming summary of observed values.
 
-    Stores only the four aggregates Figure-4-style bookkeeping needs
-    (count, total, min, max); :attr:`mean` is derived.  Not a bucketed
-    histogram — per-value distributions are the spans' job.
+    Tracks the four exact aggregates (count, total, min, max; :attr:`mean`
+    is derived) plus a bounded, *deterministic* sample reservoir for
+    quantile estimates: every ``stride``-th observation is retained, and
+    when the reservoir exceeds :data:`MAX_SAMPLES` it is decimated by
+    dropping every other sample and doubling the stride.  The same
+    observation sequence therefore always yields the same samples, which
+    keeps metric snapshots diffable run to run.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "samples", "_stride")
 
     def __init__(self) -> None:
         self.count: int = 0
         self.total: Number = 0
         self.min: Number = 0
         self.max: Number = 0
+        self.samples: List[Number] = []
+        self._stride: int = 1
 
     def observe(self, value: Number) -> None:
         if self.count == 0:
@@ -39,10 +50,35 @@ class Histogram:
             self.max = max(self.max, value)
         self.count += 1
         self.total += value
+        if (self.count - 1) % self._stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > MAX_SAMPLES:
+                self.samples = self.samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (0 ≤ q ≤ 1) from the retained samples.
+
+        Linear interpolation between the two nearest order statistics;
+        exact when nothing has been decimated.  Returns ``None`` for an
+        empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = q * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
 
     def merge(self, other: "Histogram") -> None:
         """Fold ``other``'s observations into this histogram."""
@@ -56,6 +92,11 @@ class Histogram:
             self.max = max(self.max, other.max)
         self.count += other.count
         self.total += other.total
+        self.samples.extend(other.samples)
+        self._stride = max(self._stride, other._stride)
+        while len(self.samples) > MAX_SAMPLES:
+            self.samples = self.samples[::2]
+            self._stride *= 2
 
     # ------------------------------------------------------- serialisation
 
@@ -65,6 +106,8 @@ class Histogram:
             "total": self.total,
             "min": self.min,
             "max": self.max,
+            "samples": list(self.samples),
+            "stride": self._stride,
         }
 
     @classmethod
@@ -74,6 +117,10 @@ class Histogram:
         hist.total = data["total"]
         hist.min = data["min"]
         hist.max = data["max"]
+        # Pre-reservoir (version-1) snapshots carry no samples; quantiles
+        # on such a restored histogram report None.
+        hist.samples = list(data.get("samples", ()))
+        hist._stride = int(data.get("stride", 1))
         return hist
 
     def __eq__(self, other: object) -> bool:
@@ -88,4 +135,4 @@ class Histogram:
         )
 
 
-__all__ = ["Histogram"]
+__all__ = ["MAX_SAMPLES", "Histogram"]

@@ -135,7 +135,42 @@ class _ActiveSpan:
         stack = self._recorder._span_stack()
         if stack and stack[-1] is span:
             stack.pop()
+        if self._recorder.time_spans:
+            self._recorder.observe(f"span.{span.name}", span.end - span.start)
         return False
+
+
+class _TimerSpan:
+    """Duration-only span: no tree, just a ``span.<name>`` observation.
+
+    Handed out when the recorder runs with ``capture_spans=False`` but
+    ``time_spans=True`` — the benchmark harness's configuration, where
+    per-phase durations matter but an unbounded span forest would not.
+    """
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    name: Optional[str] = None
+    children: Tuple[()] = ()
+    duration_s: Optional[float] = None
+
+    def __init__(self, recorder: "Recorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._recorder.observe(
+            f"span.{self._name}", time.perf_counter() - self._start
+        )
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
 
 
 class Recorder:
@@ -143,11 +178,17 @@ class Recorder:
 
     ``capture_spans=False`` keeps only the metric registry — use it for
     long sessions (the benchmark harness does) where accumulating every
-    span tree would grow without bound.
+    span tree would grow without bound.  ``time_spans=True`` additionally
+    observes every span's duration into a ``span.<name>`` histogram, so
+    per-phase timings survive in the metric snapshot even when the span
+    forest itself is not captured.
     """
 
-    def __init__(self, capture_spans: bool = True) -> None:
+    def __init__(
+        self, capture_spans: bool = True, time_spans: bool = False
+    ) -> None:
         self.capture_spans = capture_spans
+        self.time_spans = time_spans
         self.roots: List[Span] = []
         self.counters: Dict[str, Number] = {}
         self.histograms: Dict[str, Histogram] = {}
@@ -165,6 +206,8 @@ class Recorder:
     def span(self, name: str, /, **attrs: Any):
         """Open a child span of the current thread's innermost span."""
         if not self.capture_spans:
+            if self.time_spans:
+                return _TimerSpan(self, name)
             return _NULL_SPAN
         return _ActiveSpan(self, name, attrs)
 
@@ -204,6 +247,7 @@ class NullRecorder:
     """The default recorder: records nothing, costs (almost) nothing."""
 
     capture_spans = False
+    time_spans = False
     roots: Tuple[()] = ()
 
     def span(self, name: str, /, **attrs: Any) -> _NullSpan:

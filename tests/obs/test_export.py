@@ -35,6 +35,8 @@ class TestJsonRoundTrip:
             "total": 6,
             "min": 2,
             "max": 4,
+            "samples": [2, 4],
+            "stride": 1,
         }
         (root,) = snap["spans"]
         assert root["name"] == "cycle"
@@ -75,6 +77,15 @@ class TestTextRendering:
         assert lines[2].startswith("overlaps")
         assert "count=2" in lines[2]
         assert "mean=3.00" in lines[2]
+        assert "p50=3" in lines[2]
+        assert "p95=" in lines[2] and "p99=" in lines[2]
+
+    def test_version1_snapshot_still_loads(self, populated):
+        # A pre-reservoir snapshot has no samples/stride keys.
+        legacy = {"count": 2, "total": 6, "min": 2, "max": 4}
+        hist = obs.Histogram.from_dict(legacy)
+        assert hist.count == 2
+        assert hist.quantile(0.5) is None
 
     def test_report_combines_sections(self, populated):
         text = obs.render_report(populated)

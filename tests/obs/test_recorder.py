@@ -124,7 +124,77 @@ class TestMetrics:
             a.observe(value)
         b.observe(10)
         a.merge(b)
-        assert a.to_dict() == {"count": 3, "total": 16, "min": 1, "max": 10}
+        assert a.to_dict() == {
+            "count": 3,
+            "total": 16,
+            "min": 1,
+            "max": 10,
+            "samples": [1, 5, 10],
+            "stride": 1,
+        }
+
+    def test_quantile_empty_histogram_is_none(self):
+        hist = obs.Histogram()
+        assert hist.quantile(0.5) is None
+        assert hist.quantile(0.0) is None
+
+    def test_quantile_single_sample(self):
+        hist = obs.Histogram()
+        hist.observe(7)
+        assert hist.quantile(0.0) == 7.0
+        assert hist.quantile(0.5) == 7.0
+        assert hist.quantile(1.0) == 7.0
+
+    def test_quantile_interpolates(self):
+        hist = obs.Histogram()
+        for value in (10, 20, 30, 40):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 10.0
+        assert hist.quantile(0.5) == 25.0
+        assert hist.quantile(1.0) == 40.0
+
+    def test_quantile_rejects_out_of_range(self):
+        hist = obs.Histogram()
+        hist.observe(1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        from repro.obs.metrics import MAX_SAMPLES
+
+        a = obs.Histogram()
+        b = obs.Histogram()
+        for value in range(5 * MAX_SAMPLES):
+            a.observe(value)
+            b.observe(value)
+        assert len(a.samples) <= MAX_SAMPLES
+        # Same observation sequence, same retained samples.
+        assert a.samples == b.samples
+        assert a.count == 5 * MAX_SAMPLES
+        # The decimated quantiles still track the true distribution.
+        assert a.quantile(0.5) == pytest.approx(
+            2.5 * MAX_SAMPLES, rel=0.05
+        )
+
+    def test_time_spans_records_duration_histograms(self):
+        rec = obs.Recorder(capture_spans=False, time_spans=True)
+        with obs.recording(rec):
+            with obs.span("phase.one"):
+                time.sleep(0.002)
+        assert rec.roots == []  # still no span forest
+        hist = rec.histogram("span.phase.one")
+        assert hist.count == 1
+        assert hist.min >= 0.002
+
+    def test_time_spans_with_captured_spans_too(self):
+        rec = obs.Recorder(capture_spans=True, time_spans=True)
+        with obs.recording(rec):
+            with obs.span("phase.two"):
+                pass
+        assert len(rec.roots) == 1
+        assert rec.histogram("span.phase.two").count == 1
 
     def test_reset(self):
         with obs.recording() as rec:

@@ -279,6 +279,120 @@ class TestTrace:
         assert "error" in capsys.readouterr().err
 
 
+class TestJournalAndReplay:
+    def test_trace_writes_replayable_journal(self, tmp_path, capsys):
+        journal = tmp_path / "walkthrough.jsonl"
+        assert main(["trace", "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        code = main(["replay", str(journal)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "journal verified" in out
+        assert "0 live calls" in out
+
+    def test_add_writes_replayable_journal(
+        self, tmp_path, config_file, capsys
+    ):
+        journal = tmp_path / "add.jsonl"
+        code = main(
+            [
+                "add",
+                PAPER_INTENT,
+                "--config",
+                config_file,
+                "--target",
+                "ISP_OUT",
+                "--answers",
+                "1,1",
+                "--top-bottom",
+                "--journal",
+                str(journal),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["replay", str(journal)]) == 0
+
+    def test_eval_writes_replayable_journal(self, tmp_path, capsys):
+        journal = tmp_path / "eval.jsonl"
+        assert main(["eval", "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        code = main(["replay", str(journal), "--json"])
+        assert code == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is True
+        assert verdict["cycles"] > 1  # multi-session, with reuses
+
+    def test_replay_detects_tampering(self, tmp_path, capsys):
+        journal = tmp_path / "walkthrough.jsonl"
+        assert main(["trace", "--journal", str(journal)]) == 0
+        lines = journal.read_text().splitlines()
+        for idx, line in enumerate(lines):
+            event = json.loads(line)
+            if event["type"] == "cycle.end":
+                event["data"]["config_sha256"] = "0" * 64
+                lines[idx] = json.dumps(event, sort_keys=True)
+        journal.write_text("\n".join(lines) + "\n")
+        capsys.readouterr()
+        code = main(["replay", str(journal), "--divergence"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "DIVERGED" in err
+        assert "divergence at event" in err
+
+    def test_replay_missing_file_errors(self, tmp_path, capsys):
+        code = main(["replay", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchCheck:
+    BASE = {
+        "counters": {"llm.calls": 45},
+        "histograms": {},
+        "spans": [],
+        "version": 2,
+    }
+
+    def _write(self, path, data):
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_identical_snapshots_pass(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", self.BASE)
+        code = main(["bench-check", "--baseline", base, "--current", base])
+        assert code == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_counter_regression_exits_nonzero(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", self.BASE)
+        regressed = dict(self.BASE, counters={"llm.calls": 90})
+        cur = self._write(tmp_path / "cur.json", regressed)
+        code = main(["bench-check", "--baseline", base, "--current", cur])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "45 -> 90" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", self.BASE)
+        code = main(
+            ["bench-check", "--baseline", base, "--current", base,
+             "--format", "json"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+
+    def test_missing_snapshot_errors(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", self.BASE)
+        code = main(
+            ["bench-check", "--baseline", base,
+             "--current", str(tmp_path / "missing.json")]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestStdioOracle:
     def test_reads_choice(self):
         from repro.analysis.compare import BehaviorDifference
