@@ -18,6 +18,12 @@ The aggregate counters and histograms are written to
 diffs that file against the committed ``benchmarks/BASELINE_obs.json``:
 counters exactly (the workload is deterministic — see the pedantic
 fixed-round benchmarks), span timings ratio-bounded.
+
+The session starts from cold :mod:`repro.perf` caches, and the cache
+hit/miss growth over the whole session is published as ``cache.*``
+counters into the snapshot at session end (campaign-internal cache
+activity is isolated per chunk and already merged in by the campaign
+runner, so the two never double-count).
 """
 
 import os
@@ -27,11 +33,13 @@ import tempfile
 import pytest
 
 from repro import obs
+from repro.perf import cache as perf_cache
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
 OBS_SNAPSHOT_PATH = pathlib.Path(__file__).parent / "BENCH_obs.json"
 
 _report_blocks = []
+_cache_baseline = {}
 
 
 def _write_atomic(path: pathlib.Path, text: str) -> None:
@@ -63,6 +71,9 @@ def report():
 
 def pytest_sessionstart(session):
     _report_blocks.clear()
+    perf_cache.clear_caches()
+    _cache_baseline.clear()
+    _cache_baseline.update(perf_cache.cache_totals())
     obs.install(obs.Recorder(capture_spans=False, time_spans=True))
 
 
@@ -71,5 +82,6 @@ def pytest_sessionfinish(session, exitstatus):
         _write_atomic(RESULTS_PATH, "".join(_report_blocks))
     recorder = obs.get_recorder()
     if isinstance(recorder, obs.Recorder):
+        perf_cache.publish_counters(_cache_baseline)
         _write_atomic(OBS_SNAPSHOT_PATH, obs.to_json(recorder) + "\n")
         obs.uninstall()

@@ -11,6 +11,7 @@ sizes.
 import random
 import time
 
+from repro import obs
 from repro.analysis import compare_route_policies
 from repro.config import parse_config
 from repro.overlap import acl_overlap_report
@@ -65,6 +66,7 @@ def test_bench_overlap_scaling(benchmark, report):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     lines = [f"{'rules':<8}{'overlap analysis (s)':<24}{'pairs'}"]
     for n, elapsed in rows:
+        obs.observe(f"span.bench.overlap.{n}", elapsed)
         lines.append(f"{n:<8}{elapsed:<24.4f}{(n // 2) * (n - n // 2)}")
     # Quadratic-ish growth: 64 rules cost more than 8 rules, but the
     # largest case still completes fast enough for corpus-scale studies.
@@ -100,6 +102,7 @@ def test_bench_reachability_scaling(benchmark, report):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     lines = [f"{'rules':<8}{'reachable-spaces (s)'}"]
     for n, elapsed in rows:
+        obs.observe(f"span.bench.reach.{n}", elapsed)
         lines.append(f"{n:<8}{elapsed:.4f}")
     # Exponential blow-up would make 64 rules take minutes; the carved
     # subtraction keeps it well under a second.
@@ -116,6 +119,7 @@ def test_bench_compare_scaling(benchmark, report):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     lines = [f"{'stanzas':<9}{'compare_route_policies (s)'}"]
     for n, elapsed in rows:
+        obs.observe(f"span.bench.compare.{n}", elapsed)
         lines.append(f"{n:<9}{elapsed:.4f}")
     assert rows[-1][1] < 10.0
     report("differential-comparison scaling", "\n".join(lines))

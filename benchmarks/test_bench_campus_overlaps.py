@@ -8,31 +8,19 @@ ACLs, 169 route-maps):
   of those exceed 20;
 * 2 of 169 route-maps have overlapping stanzas; one has three
   overlapping pairs, two of them conflicting.
+
+The study runs through the :mod:`repro.perf.campaign` process-pool
+runner with a **fixed chunk count**: the per-chunk cache counters are a
+pure function of the partition, so the snapshot this bench contributes
+to ``BENCH_obs.json`` is identical on a laptop and a many-core CI box.
 """
 
-from repro.overlap import (
-    AclCorpusStats,
-    RouteMapCorpusStats,
-    acl_overlap_report,
-    route_map_overlap_report,
-)
-from repro.synth import generate_campus_corpus
+from repro.perf import campaign
 
 
 def analyse():
-    corpus = generate_campus_corpus()
-    device_count = len(corpus.devices())
-    acl_stats = AclCorpusStats.collect(
-        acl_overlap_report(acl) for acl in corpus.acls
-    )
-    rm_reports = [
-        route_map_overlap_report(rm, corpus.store) for rm in corpus.route_maps
-    ]
-    rm_stats = RouteMapCorpusStats.collect(rm_reports)
-    triple = next(
-        r for r in rm_reports if r.name == "CAMPUS_SPECIAL_TRIPLE"
-    )
-    return acl_stats, rm_stats, triple, device_count
+    workers = min(4, campaign.default_workers())
+    return campaign.campus_overlap_study(workers=workers, chunks=4)
 
 
 def test_bench_campus_overlaps(benchmark, report):

@@ -5,16 +5,13 @@ Regenerates the paper's cloud statistics at full corpus size:
 * 237 non-identical ACLs, 69 with at least one conflicting overlap,
   48 of those with more than 20, one border ACL with >100 pairs;
 * 800 routing policies, 140 with stanza overlaps, 3 with more than 20.
+
+Like the campus bench, the study runs through the
+:mod:`repro.perf.campaign` runner with a fixed chunk count so the
+``cache.*`` counters it contributes are machine-independent.
 """
 
-from repro.overlap import (
-    AclCorpusStats,
-    RouteMapCorpusStats,
-    acl_overlap_report,
-    chain_overlap_report,
-    route_map_overlap_report,
-)
-from repro.synth import generate_cloud_corpus
+from repro.perf import campaign
 from repro.synth.cloud import (
     HEAVY_ACLS,
     HEAVY_ROUTE_MAPS,
@@ -26,26 +23,8 @@ from repro.synth.cloud import (
 
 
 def analyse():
-    corpus = generate_cloud_corpus()
-    acl_stats = AclCorpusStats.collect(
-        acl_overlap_report(acl) for acl in corpus.acls
-    )
-    rm_stats = RouteMapCorpusStats.collect(
-        route_map_overlap_report(rm, corpus.store) for rm in corpus.route_maps
-    )
-    chains_with_overlaps = 0
-    cross_map_pairs = 0
-    for chain_names in corpus.neighbor_chains:
-        chain = [corpus.store.route_map(name) for name in chain_names]
-        chain_report = chain_overlap_report(chain, corpus.store)
-        cross_map_pairs += chain_report.overlap_count
-        if chain_report.has_overlap():
-            chains_with_overlaps += 1
-    return acl_stats, rm_stats, (
-        len(corpus.neighbor_chains),
-        chains_with_overlaps,
-        cross_map_pairs,
-    )
+    workers = min(4, campaign.default_workers())
+    return campaign.cloud_overlap_study(workers=workers, chunks=4)
 
 
 def test_bench_cloud_overlaps(benchmark, report):

@@ -4,6 +4,18 @@ Packets are simpler than routes: every field is a finite integer domain,
 so a :class:`PacketRegion` is a product of interval sets plus a tri-state
 TCP-established constraint, and all operations are exact — no automaton
 search needed.
+
+The region algebra runs on top of the :mod:`repro.perf.cache` layer:
+regions are hash-consed (one canonical object per distinct constraint,
+with a cached hash and an identity-first equality), and the expensive
+operations — ``intersect``, ``subtract_region``, ``negation_regions``,
+``is_empty``, ``witness`` — are memoized in bounded LRU tables.  On top
+of that, :func:`regions_disjoint` gives a cheap disjointness pre-check
+(field-wise interval bounding tests) that lets first-match reachability
+and the overlap detector skip the full algebra for regions that cannot
+overlap.  ``docs/PERFORMANCE.md`` describes the caching model; the
+differential tests in ``tests/perf/`` pin the memoized engine to the
+uncached semantics.
 """
 
 from __future__ import annotations
@@ -12,6 +24,7 @@ import dataclasses
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.perf import cache as _perf
 from repro.config.acl import (
     FULL_PORT_RANGE,
     FULL_PROTOCOL_RANGE,
@@ -33,6 +46,50 @@ _MAX_SCATTERED_BITS = 10
 
 class HeaderSpaceError(RuntimeError):
     """Raised for wildcard masks too pathological to expand exactly."""
+
+
+#: Hash-cons table for regions and LRU memos for the region algebra
+#: (stats surface as ``cache.hits`` / ``cache.misses`` obs counters).
+_REGION_INTERNER = _perf.Interner("headerspace.regions")
+_R_INTERSECT = _perf.Memo("headerspace.intersect")
+_R_SUBTRACT = _perf.Memo("headerspace.subtract_region")
+_R_NEGATE = _perf.Memo("headerspace.negation")
+_R_EMPTY = _perf.Memo("headerspace.is_empty")
+_R_WITNESS = _perf.Memo("headerspace.witness")
+
+
+def intern_region(region: "PacketRegion") -> "PacketRegion":
+    """The canonical shared object for this region's constraint."""
+    return _REGION_INTERNER.intern(region)
+
+
+def regions_disjoint(a: "PacketRegion", b: "PacketRegion") -> bool:
+    """Exactly ``a.intersect(b).is_empty()``, without building the region.
+
+    The field-wise interval intersections bail out at the first empty
+    one (each with a bounding-box fast path underneath), so provably
+    disjoint regions cost a handful of comparisons.  This is the cheap
+    pre-check first-match reachability and the overlap detector use to
+    skip the full subtraction/intersection algebra.
+    """
+    established = a.established & b.established
+    if not established:
+        return True
+    protocol = a.protocol.intersect(b.protocol)
+    if not protocol.intervals:
+        return True
+    if not a.src.intersect(b.src).intervals:
+        return True
+    if not a.dst.intersect(b.dst).intervals:
+        return True
+    if not a.src_ports.intersect(b.src_ports).intervals:
+        return True
+    if not a.dst_ports.intersect(b.dst_ports).intervals:
+        return True
+    return established == _ESTABLISHED_ONLY and not protocol.contains(_TCP)
+
+
+_ESTABLISHED_ONLY = frozenset((True,))
 
 
 def wildcard_to_intervals(wc: Ipv4Wildcard) -> IntervalSet:
@@ -79,17 +136,61 @@ class PacketRegion:
     dst_ports: IntervalSet = FULL_PORT_RANGE
     established: FrozenSet[bool] = BOTH
 
+    # Hash-consed: equality hits the identity fast path for interned
+    # regions, and the (expensive, six-field) hash is computed once.
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is PacketRegion:
+            return (
+                self.src == other.src
+                and self.dst == other.dst
+                and self.protocol == other.protocol
+                and self.src_ports == other.src_ports
+                and self.dst_ports == other.dst_ports
+                and self.established == other.established
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash(
+                (
+                    self.src,
+                    self.dst,
+                    self.protocol,
+                    self.src_ports,
+                    self.dst_ports,
+                    self.established,
+                )
+            )
+            object.__setattr__(self, "_hash", value)
+            return value
+
     def intersect(self, other: "PacketRegion") -> "PacketRegion":
-        return PacketRegion(
-            src=self.src.intersect(other.src),
-            dst=self.dst.intersect(other.dst),
-            protocol=self.protocol.intersect(other.protocol),
-            src_ports=self.src_ports.intersect(other.src_ports),
-            dst_ports=self.dst_ports.intersect(other.dst_ports),
-            established=self.established & other.established,
+        if self is other:
+            return self
+        return _R_INTERSECT.lookup((self, other), lambda: self._intersect(other))
+
+    def _intersect(self, other: "PacketRegion") -> "PacketRegion":
+        return intern_region(
+            PacketRegion(
+                src=self.src.intersect(other.src),
+                dst=self.dst.intersect(other.dst),
+                protocol=self.protocol.intersect(other.protocol),
+                src_ports=self.src_ports.intersect(other.src_ports),
+                dst_ports=self.dst_ports.intersect(other.dst_ports),
+                established=self.established & other.established,
+            )
         )
 
     def is_empty(self) -> bool:
+        return _R_EMPTY.lookup(self, self._is_empty)
+
+    def _is_empty(self) -> bool:
         if (
             self.src.is_empty()
             or self.dst.is_empty()
@@ -107,7 +208,46 @@ class PacketRegion:
             return True
         return False
 
+    def subsumes(self, other: "PacketRegion") -> bool:
+        """Exact containment: every packet of ``other`` is in this region.
+
+        Field-wise interval containment plus the established/TCP
+        coupling: a region's packets split into an ``established=False``
+        part (constrained by the full protocol set) and an
+        ``established=True`` part (necessarily TCP), and each nonempty
+        part must fit.  This decides subset questions between single
+        regions without any subtraction; the property tests check it
+        against the carving-based definition.
+        """
+        if other.is_empty():
+            return True
+        if self.is_empty():
+            return False
+        if not (
+            other.src.is_subset_of(self.src)
+            and other.dst.is_subset_of(self.dst)
+            and other.src_ports.is_subset_of(self.src_ports)
+            and other.dst_ports.is_subset_of(self.dst_ports)
+        ):
+            return False
+        if False in other.established:
+            # The non-established part spans other's whole protocol set.
+            if False not in self.established:
+                return False
+            if not other.protocol.is_subset_of(self.protocol):
+                return False
+        if True in other.established and other.protocol.contains(_TCP):
+            # The established part is TCP-only.
+            if True not in self.established:
+                return False
+            if not self.protocol.contains(_TCP):
+                return False
+        return True
+
     def negation_regions(self) -> Tuple["PacketRegion", ...]:
+        return _R_NEGATE.lookup(self, self._negation_regions)
+
+    def _negation_regions(self) -> Tuple["PacketRegion", ...]:
         out: List[PacketRegion] = []
         for field, universe in (
             ("src", U32),
@@ -118,22 +258,32 @@ class PacketRegion:
         ):
             value: IntervalSet = getattr(self, field)
             if value != universe:
-                out.append(PacketRegion(**{field: value.complement(universe)}))
+                out.append(
+                    intern_region(
+                        PacketRegion(**{field: value.complement(universe)})
+                    )
+                )
         if self.established != BOTH:
             missing = BOTH - self.established
-            out.append(PacketRegion(established=missing))
+            out.append(intern_region(PacketRegion(established=missing)))
         return tuple(out)
 
     def subtract_region(self, other: "PacketRegion") -> Tuple["PacketRegion", ...]:
         """Exact difference as *disjoint* pieces (hyper-rectangle carving).
 
-        Returns ``(self,)`` untouched when the regions are disjoint, and
+        Returns ``(self,)`` untouched when the regions are disjoint
+        (decided by the cheap :func:`regions_disjoint` pre-check), and
         at most one piece per field otherwise — the key to keeping
         first-match reachability linear on real ACLs instead of the
         exponential growth DNF complements would cause.
         """
-        if self.intersect(other).is_empty():
+        if regions_disjoint(self, other):
             return (self,)
+        return _R_SUBTRACT.lookup(
+            (self, other), lambda: self._subtract_region(other)
+        )
+
+    def _subtract_region(self, other: "PacketRegion") -> Tuple["PacketRegion", ...]:
         pieces: List[PacketRegion] = []
         current = self
         for field, _universe in (
@@ -147,13 +297,21 @@ class PacketRegion:
             theirs: IntervalSet = getattr(other, field)
             outside = mine.subtract(theirs)
             if not outside.is_empty():
-                pieces.append(dataclasses.replace(current, **{field: outside}))
+                pieces.append(
+                    intern_region(
+                        dataclasses.replace(current, **{field: outside})
+                    )
+                )
             current = dataclasses.replace(
                 current, **{field: mine.intersect(theirs)}
             )
         missing = current.established - other.established
         if missing:
-            pieces.append(dataclasses.replace(current, established=missing))
+            pieces.append(
+                intern_region(
+                    dataclasses.replace(current, established=missing)
+                )
+            )
         return tuple(pieces)
 
     def contains(self, packet: Packet) -> bool:
@@ -174,6 +332,9 @@ class PacketRegion:
         )
 
     def witness(self) -> Optional[Packet]:
+        return _R_WITNESS.lookup(self, self._witness)
+
+    def _witness(self) -> Optional[Packet]:
         if self.is_empty():
             return None
         must_be_established = self.established == frozenset((True,))
@@ -210,10 +371,14 @@ class PacketRegion:
 
 
 def _dedupe(regions: Sequence[PacketRegion]) -> Tuple[PacketRegion, ...]:
+    # Hash-based, order-preserving dedupe: canonical region hashing makes
+    # this linear where the old list scan was quadratic in region count.
     kept: List[PacketRegion] = []
+    seen = set()
     for region in regions:
-        if region.is_empty() or region in kept:
+        if region in seen or region.is_empty():
             continue
+        seen.add(region)
         kept.append(region)
     return tuple(kept)
 
@@ -268,6 +433,19 @@ class PacketSpace:
         return not self.regions
 
     def is_subset_of(self, other: "PacketSpace") -> bool:
+        if not self.regions:
+            return True
+        if len(other.regions) == 1:
+            # Exact: a union is inside a single region iff every piece is.
+            target = other.regions[0]
+            return all(target.subsumes(region) for region in self.regions)
+        if all(
+            any(target.subsumes(region) for target in other.regions)
+            for region in self.regions
+        ):
+            # Sufficient only (a piece may straddle several targets), so
+            # a failure still falls through to the exact subtraction.
+            return True
         return self.subtract(other).is_empty()
 
     def contains(self, packet: Packet) -> bool:
@@ -287,13 +465,19 @@ class PacketSpace:
 def acl_rule_region(rule: AclRule) -> PacketRegion:
     """The packets one ACL rule matches."""
     carries_ports = rule.protocol.carries_ports()
-    return PacketRegion(
-        src=wildcard_to_intervals(rule.src),
-        dst=wildcard_to_intervals(rule.dst),
-        protocol=rule.protocol.to_intervals(),
-        src_ports=rule.src_ports.to_intervals() if carries_ports else FULL_PORT_RANGE,
-        dst_ports=rule.dst_ports.to_intervals() if carries_ports else FULL_PORT_RANGE,
-        established=frozenset((True,)) if rule.established else BOTH,
+    return intern_region(
+        PacketRegion(
+            src=wildcard_to_intervals(rule.src),
+            dst=wildcard_to_intervals(rule.dst),
+            protocol=rule.protocol.to_intervals(),
+            src_ports=(
+                rule.src_ports.to_intervals() if carries_ports else FULL_PORT_RANGE
+            ),
+            dst_ports=(
+                rule.dst_ports.to_intervals() if carries_ports else FULL_PORT_RANGE
+            ),
+            established=frozenset((True,)) if rule.established else BOTH,
+        )
     )
 
 
@@ -305,7 +489,16 @@ def acl_guard_space(rule: AclRule) -> PacketSpace:
 def acl_reachable_spaces(
     acl: Acl, include_implicit_deny: bool = False
 ) -> List[Tuple[Optional[AclRule], PacketSpace]]:
-    """Per-rule spaces of packets that reach and match each rule."""
+    """Per-rule spaces of packets that reach and match each rule.
+
+    Incremental first-match semantics: one residual space is threaded
+    through the rule list and each rule's guard is subtracted from it
+    exactly once.  Residual regions provably disjoint from a guard
+    (:func:`regions_disjoint`, interval bounding tests) pass through the
+    subtraction untouched, and repeated guard/residual pairs hit the
+    memoized region algebra — together these keep the walk near-linear
+    on real ACLs.
+    """
     remaining = PacketSpace.universe()
     out: List[Tuple[Optional[AclRule], PacketSpace]] = []
     for rule in acl.rules:
@@ -326,5 +519,7 @@ __all__ = [
     "acl_guard_space",
     "acl_reachable_spaces",
     "acl_rule_region",
+    "intern_region",
+    "regions_disjoint",
     "wildcard_to_intervals",
 ]

@@ -144,6 +144,20 @@ class PrefixSpace:
     def is_universe(self) -> bool:
         return any(atom == PrefixAtom.universe() for atom in self.atoms)
 
+    def bounds(self) -> Optional[Tuple[int, int]]:
+        """Inclusive address range covering every network in the space.
+
+        A network in an atom lies inside the atom's covering prefix, so
+        two spaces whose bounds do not overlap are certainly disjoint —
+        the bounding-box pre-check the route-space subtraction uses to
+        skip untouched regions.  Returns ``None`` when empty.
+        """
+        if not self.atoms:
+            return None
+        lo = min(atom.covering.first_address().value for atom in self.atoms)
+        hi = max(atom.covering.last_address().value for atom in self.atoms)
+        return lo, hi
+
     def contains(self, network: Ipv4Prefix) -> bool:
         return any(atom.contains(network) for atom in self.atoms)
 

@@ -14,6 +14,14 @@ earlier guards (:func:`route_map_reachable_spaces`).  Emptiness of the
 regex constraints is decided with the automaton product search in
 :mod:`repro.regexlib`, memoised because guards repeat the same small
 pattern sets.
+
+Like the header-space engine, regions are hash-consed through
+:mod:`repro.perf.cache`: regions are interned (equality usually decides
+by identity), ``intersect`` / ``is_empty`` / ``negation_regions`` /
+``witness`` are memoized in bounded LRU tables, and subtraction skips
+regions that a cheap field-wise pre-check
+(:func:`regions_cheaply_disjoint`) proves untouched before any product
+construction or automaton search runs.  See ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from repro.config.matches import (
 from repro.config.routemap import RouteMap, RouteMapStanza
 from repro.config.store import ConfigStore
 from repro.netaddr import IntervalSet
+from repro.perf import cache as _perf
 from repro.regexlib.cisco import (
     as_path_matches,
     community_matches,
@@ -102,6 +111,48 @@ def _as_path_word(
 # ----------------------------------------------------------------- regions
 
 
+#: Hash-cons table for regions and LRU memos for the region algebra
+#: (stats surface as ``cache.*`` counters; see ``docs/PERFORMANCE.md``).
+_REGION_INTERNER = _perf.Interner("routespace.regions")
+_R_INTERSECT = _perf.Memo("routespace.intersect")
+_R_NEGATE = _perf.Memo("routespace.negation")
+_R_EMPTY = _perf.Memo("routespace.is_empty")
+_R_WITNESS = _perf.Memo("routespace.witness")
+
+
+def intern_route_region(region: "RouteRegion") -> "RouteRegion":
+    """Return the canonical shared object for ``region``."""
+    return _REGION_INTERNER.intern(region)
+
+
+def regions_cheaply_disjoint(a: "RouteRegion", b: "RouteRegion") -> bool:
+    """Sound, incomplete disjointness: True proves the intersection empty.
+
+    Used by :meth:`RouteSpace.subtract` to keep regions untouched without
+    building the product region or running the automaton search.  The
+    checks mirror :meth:`RouteRegion.obviously_empty` on the would-be
+    intersection: a pattern required on one side and forbidden on the
+    other, an empty scalar interval intersection, or prefix spaces whose
+    address bounding boxes cannot overlap.
+    """
+    if a.communities_required & b.communities_forbidden:
+        return True
+    if b.communities_required & a.communities_forbidden:
+        return True
+    if a.as_path_required & b.as_path_forbidden:
+        return True
+    if b.as_path_required & a.as_path_forbidden:
+        return True
+    for field in SCALAR_UNIVERSES:
+        if getattr(a, field).intersect(getattr(b, field)).is_empty():
+            return True
+    bounds_a = a.prefix.bounds()
+    bounds_b = b.prefix.bounds()
+    if bounds_a is None or bounds_b is None:
+        return True
+    return bounds_a[1] < bounds_b[0] or bounds_b[1] < bounds_a[0]
+
+
 @dataclasses.dataclass(frozen=True)
 class RouteRegion:
     """A conjunctive constraint over every matchable route field."""
@@ -115,10 +166,58 @@ class RouteRegion:
     metric: IntervalSet = U32
     tag: IntervalSet = U32
 
+    # Equality is structural with an identity fast path (regions flowing
+    # through the algebra are interned, so ``is`` usually decides), and
+    # the hash is computed once per object — the fields cascade into
+    # prefix atoms, frozensets, and interval tuples, so a recomputed
+    # hash per memo lookup would dominate the lookup itself.
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is RouteRegion:
+            return (
+                self.prefix == other.prefix
+                and self.communities_required == other.communities_required
+                and self.communities_forbidden == other.communities_forbidden
+                and self.as_path_required == other.as_path_required
+                and self.as_path_forbidden == other.as_path_forbidden
+                and self.local_preference == other.local_preference
+                and self.metric == other.metric
+                and self.tag == other.tag
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash(
+                (
+                    self.prefix,
+                    self.communities_required,
+                    self.communities_forbidden,
+                    self.as_path_required,
+                    self.as_path_forbidden,
+                    self.local_preference,
+                    self.metric,
+                    self.tag,
+                )
+            )
+            object.__setattr__(self, "_hash", value)
+            return value
+
     # ------------------------------------------------------------ algebra
 
     def intersect(self, other: "RouteRegion") -> "RouteRegion":
-        return RouteRegion(
+        if self is other:
+            return self
+        return _R_INTERSECT.lookup(
+            (self, other), lambda: self._intersect(other)
+        )
+
+    def _intersect(self, other: "RouteRegion") -> "RouteRegion":
+        return intern_route_region(RouteRegion(
             prefix=self.prefix.intersect(other.prefix),
             communities_required=self.communities_required
             | other.communities_required,
@@ -131,10 +230,13 @@ class RouteRegion:
             ),
             metric=self.metric.intersect(other.metric),
             tag=self.tag.intersect(other.tag),
-        )
+        ))
 
     def negation_regions(self) -> Tuple["RouteRegion", ...]:
         """Regions whose union is the complement of this region."""
+        return _R_NEGATE.lookup(self, self._negation_regions)
+
+    def _negation_regions(self) -> Tuple["RouteRegion", ...]:
         out: List[RouteRegion] = []
         if not self.prefix.is_universe():
             out.append(RouteRegion(prefix=self.prefix.complement()))
@@ -152,7 +254,7 @@ class RouteRegion:
                 out.append(
                     RouteRegion(**{field: value.complement(universe)})
                 )
-        return tuple(out)
+        return tuple(intern_route_region(region) for region in out)
 
     def obviously_empty(self) -> bool:
         """Cheap emptiness checks, no automaton search."""
@@ -168,6 +270,9 @@ class RouteRegion:
         return False
 
     def is_empty(self) -> bool:
+        return _R_EMPTY.lookup(self, self._is_empty)
+
+    def _is_empty(self) -> bool:
         if self.obviously_empty():
             return True
         if (
@@ -229,6 +334,9 @@ class RouteRegion:
         when they satisfy the constraint, so differential examples look
         like the ones in the paper.
         """
+        return _R_WITNESS.lookup(self, self._witness)
+
+    def _witness(self) -> Optional[BgpRoute]:
         if self.obviously_empty():
             return None
         network = self.prefix.witness()
@@ -311,10 +419,22 @@ def _word_to_as_path(
 
 
 def _dedupe(regions: Sequence[RouteRegion]) -> Tuple[RouteRegion, ...]:
-    kept: List[RouteRegion] = []
+    # Exact duplicates first: interning makes the membership test a hash
+    # probe, and the subsumption loop below is quadratic in what is
+    # left.  Dropping a duplicate is output-preserving because subsumes
+    # is reflexive — the original loop always skipped later copies.
+    seen = set()
+    unique: List[RouteRegion] = []
     for region in regions:
         if region.obviously_empty():
             continue
+        region = intern_route_region(region)
+        if region in seen:
+            continue
+        seen.add(region)
+        unique.append(region)
+    kept: List[RouteRegion] = []
+    for region in unique:
         if any(other.subsumes(region) for other in kept):
             continue
         kept = [other for other in kept if not region.subsumes(other)]
@@ -374,6 +494,9 @@ class RouteSpace:
         for taken in other.regions:
             carved: List[RouteRegion] = []
             for region in remaining:
+                if regions_cheaply_disjoint(region, taken):
+                    carved.append(region)
+                    continue
                 if region.intersect(taken).is_empty():
                     carved.append(region)
                     continue
@@ -570,7 +693,9 @@ __all__ = [
     "as_path_list_dnf",
     "clause_space",
     "community_list_dnf",
+    "intern_route_region",
     "prefix_list_space",
+    "regions_cheaply_disjoint",
     "route_map_reachable_spaces",
     "stanza_guard_space",
 ]

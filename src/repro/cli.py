@@ -342,6 +342,80 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a §3 overlap study (or the §5 evaluation) as a parallel campaign.
+
+    With ``--benchmark`` the study runs twice — serial, then across the
+    worker pool — asserting identical results and reporting both times.
+    """
+    import time
+
+    from repro.perf import campaign
+
+    workers = 1 if args.serial else args.workers
+
+    def run(worker_count: Optional[int]):
+        if args.which == "campus":
+            from repro.synth.campus import TOTAL_ACLS, TOTAL_ROUTE_MAPS
+
+            acl_stats, rm_stats, _, _ = campaign.campus_overlap_study(
+                workers=worker_count,
+                chunks=args.chunks,
+                seed=args.seed if args.seed is not None else 1421,
+                total_acls=max(1, round(TOTAL_ACLS * args.scale)),
+                route_maps=max(1, round(TOTAL_ROUTE_MAPS * args.scale)),
+            )
+            return acl_stats, rm_stats
+        if args.which == "cloud":
+            acl_stats, rm_stats, _ = campaign.cloud_overlap_study(
+                workers=worker_count,
+                chunks=args.chunks,
+                seed=args.seed if args.seed is not None else 2025,
+                scale=args.scale,
+            )
+            return acl_stats, rm_stats
+        return campaign.evaluation_campaign(
+            runs=args.runs, workers=worker_count, chunks=args.chunks
+        ).results
+
+    def render(outcome) -> None:
+        if args.which == "eval":
+            rows, policies = outcome[0]
+            print("Figure 4: router statistics")
+            for name, maps, calls, interactions in rows:
+                print(f"  {name}: {maps} route-maps, {calls} LLM calls, "
+                      f"{interactions} disambiguations")
+            for policy, holds in policies.items():
+                print(f"  {policy}: {'PASS' if holds else 'FAIL'}")
+            return
+        acl_stats, rm_stats = outcome
+        print(acl_stats.render())
+        print()
+        print(rm_stats.render())
+
+    if args.benchmark:
+        start = time.perf_counter()
+        serial_outcome = run(1)
+        serial_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        parallel_outcome = run(workers)
+        parallel_elapsed = time.perf_counter() - start
+        if serial_outcome != parallel_outcome:
+            print("error: serial and parallel results differ", file=sys.stderr)
+            return 2
+        render(parallel_outcome)
+        print()
+        print(f"serial:   {serial_elapsed:.2f}s")
+        print(
+            f"parallel: {parallel_elapsed:.2f}s "
+            f"({args.workers or campaign.default_workers()} workers)"
+        )
+        return 0
+
+    render(run(workers))
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Lint a configuration (or a §3 corpus) with the symbolic checks.
 
@@ -608,6 +682,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("--seed", type=int, default=2025)
     p_corpus.add_argument("--scale", type=float, default=1.0)
     p_corpus.set_defaults(func=cmd_corpus)
+
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="fan a §3 overlap study or the §5 evaluation across a "
+        "process pool (deterministic results and counters)",
+    )
+    p_campaign.add_argument("which", choices=("campus", "cloud", "eval"))
+    p_campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: the CPU count)",
+    )
+    p_campaign.add_argument(
+        "--chunks",
+        type=int,
+        default=None,
+        help="chunk count (default: the worker count); fix it to make "
+        "the cache.* counters machine-independent",
+    )
+    p_campaign.add_argument(
+        "--serial",
+        action="store_true",
+        help="force the in-process serial fallback (workers=1)",
+    )
+    p_campaign.add_argument("--seed", type=int, default=None)
+    p_campaign.add_argument("--scale", type=float, default=1.0)
+    p_campaign.add_argument(
+        "--runs", type=int, default=1, help="eval repetitions (eval only)"
+    )
+    p_campaign.add_argument(
+        "--benchmark",
+        action="store_true",
+        help="time serial vs parallel and assert identical results",
+    )
+    p_campaign.set_defaults(func=cmd_campaign)
 
     p_lint = sub.add_parser(
         "lint",

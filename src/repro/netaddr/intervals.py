@@ -10,12 +10,24 @@ concrete witness value.
 The representation is canonical (sorted, disjoint, non-adjacent intervals),
 so structural equality coincides with set equality — a property the tests
 and hypothesis properties rely on.
+
+Interval sets are additionally **hash-consed** through the
+:mod:`repro.perf.cache` layer: results of the algebra are interned so
+structurally equal sets collapse to one object (equality then hits the
+identity fast path), hashes are computed once per object, and the binary
+operations ``intersect``/``complement`` (and ``subtract``, which is a
+complement) are memoized in bounded LRU tables.  The §3 overlap study
+performs hundreds of thousands of these operations over a small universe
+of distinct sets, so the memo hit rate is high; see
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.perf import cache as _perf
 
 
 @dataclasses.dataclass(frozen=True, order=True)
@@ -56,6 +68,17 @@ def _normalise(intervals: Iterable[Interval]) -> Tuple[Interval, ...]:
     return tuple(merged)
 
 
+#: Hash-cons table for canonical sets and LRU memos for the binary
+#: operations (see module docstring; stats surface as ``cache.*``).
+_SET_INTERNER = _perf.Interner("intervals.sets")
+_INTERSECT_MEMO = _perf.Memo("intervals.intersect")
+_COMPLEMENT_MEMO = _perf.Memo("intervals.complement")
+
+
+def _perf_intern(value: "IntervalSet") -> "IntervalSet":
+    return _SET_INTERNER.intern(value)
+
+
 @dataclasses.dataclass(frozen=True)
 class IntervalSet:
     """A canonical, immutable union of closed integer intervals."""
@@ -64,6 +87,37 @@ class IntervalSet:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "intervals", _normalise(self.intervals))
+
+    # Equality is structural with an identity fast path (interned sets
+    # are shared, so ``is`` usually decides), and the hash is computed
+    # once per object — these two together make memo-table keys cheap.
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is IntervalSet:
+            return self.intervals == other.intervals
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash(self.intervals)
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    @classmethod
+    def _from_canonical(cls, intervals: Tuple[Interval, ...]) -> "IntervalSet":
+        """Build from intervals already sorted, disjoint, non-adjacent.
+
+        Internal constructor for the algebra below, whose outputs are
+        canonical by construction — skipping ``_normalise`` avoids a
+        sort per operation in the hottest loops.
+        """
+        out = object.__new__(cls)
+        object.__setattr__(out, "intervals", intervals)
+        return _perf_intern(out)
 
     # ---------------------------------------------------------------- build
 
@@ -136,6 +190,17 @@ class IntervalSet:
     # ------------------------------------------------------------- algebra
 
     def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        if self is other:
+            return self
+        a, b = self.intervals, other.intervals
+        # Disjoint bounding boxes (or an empty operand) need no work —
+        # this is the "cannot overlap" pre-check the reachability and
+        # overlap engines rely on to skip untouched regions.
+        if not a or not b or a[-1].hi < b[0].lo or b[-1].hi < a[0].lo:
+            return EMPTY_SET
+        return _INTERSECT_MEMO.lookup((self, other), lambda: self._intersect(other))
+
+    def _intersect(self, other: "IntervalSet") -> "IntervalSet":
         result: List[Interval] = []
         i = j = 0
         a, b = self.intervals, other.intervals
@@ -147,13 +212,27 @@ class IntervalSet:
                 i += 1
             else:
                 j += 1
-        return IntervalSet(tuple(result))
+        # Intersecting two canonical sets yields a canonical one: pieces
+        # stay sorted and inherit a >=2 gap from whichever operand
+        # separated them.
+        return IntervalSet._from_canonical(tuple(result))
 
     def union(self, other: "IntervalSet") -> "IntervalSet":
+        if self is other or other.is_empty():
+            return self
+        if self.is_empty():
+            return other
         return IntervalSet(self.intervals + other.intervals)
 
     def complement(self, universe: "IntervalSet") -> "IntervalSet":
         """The members of ``universe`` not in this set."""
+        if self.is_empty():
+            return universe
+        return _COMPLEMENT_MEMO.lookup(
+            (self, universe), lambda: self._complement(universe)
+        )
+
+    def _complement(self, universe: "IntervalSet") -> "IntervalSet":
         gaps: List[Interval] = []
         for uiv in universe.intervals:
             cursor = uiv.lo
@@ -169,15 +248,34 @@ class IntervalSet:
                     break
             if cursor <= uiv.hi:
                 gaps.append(Interval(cursor, uiv.hi))
-        return IntervalSet(tuple(gaps))
+        # Gaps of a canonical set within a canonical universe are again
+        # sorted, disjoint, and separated by the intervals they skirt.
+        return IntervalSet._from_canonical(tuple(gaps))
 
     def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        if self is other or self.is_empty():
+            return EMPTY_SET
+        if other.is_empty():
+            return self
         return other.complement(self)
 
     def is_subset_of(self, other: "IntervalSet") -> bool:
+        if self is other or self.is_empty():
+            return True
+        if other.is_empty():
+            return False
+        # Necessary bounding-box condition decides most negatives cheaply.
+        if self.intervals[0].lo < other.intervals[0].lo:
+            return False
+        if self.intervals[-1].hi > other.intervals[-1].hi:
+            return False
         return self.subtract(other).is_empty()
 
     def __str__(self) -> str:
         if self.is_empty():
             return "{}"
         return " u ".join(str(iv) for iv in self.intervals)
+
+
+#: The canonical empty set, shared by every fast path above.
+EMPTY_SET = IntervalSet(())

@@ -14,11 +14,15 @@ is classified:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-from repro.analysis.headerspace import acl_guard_space
-from repro.analysis.routespace import RouteSpace, stanza_guard_space
-from repro.config.acl import Acl
+from repro.analysis.headerspace import PacketSpace, acl_guard_space
+from repro.analysis.routespace import (
+    RouteSpace,
+    regions_cheaply_disjoint,
+    stanza_guard_space,
+)
+from repro.config.acl import Acl, AclRule
 from repro.config.routemap import RouteMap
 from repro.config.store import ConfigStore
 
@@ -88,21 +92,73 @@ class RouteMapOverlapReport:
         return self.overlap_count > 0
 
 
+def _rule_bounds(rule: AclRule) -> Tuple[int, int, int, int, int, int]:
+    """Sound bounding box ``(src_lo, src_hi, dst_lo, dst_hi, pr_lo, pr_hi)``.
+
+    Every packet the rule matches lies inside these bounds: the wildcard
+    is canonical (don't-care address bits zeroed), so matched addresses
+    range over ``[address, address | wildcard]``, and the protocol field
+    is either one value or the full byte.  Disjoint bounds on any
+    dimension prove the rules cannot overlap.
+    """
+    src_lo = rule.src.address.value
+    dst_lo = rule.dst.address.value
+    number = rule.protocol.number()
+    pr_lo, pr_hi = (0, 255) if number is None else (number, number)
+    return (
+        src_lo,
+        src_lo | rule.src.wildcard.value,
+        dst_lo,
+        dst_lo | rule.dst.wildcard.value,
+        pr_lo,
+        pr_hi,
+    )
+
+
+def _bounds_disjoint(
+    a: Tuple[int, int, int, int, int, int],
+    b: Tuple[int, int, int, int, int, int],
+) -> bool:
+    return (
+        a[1] < b[0]
+        or b[1] < a[0]
+        or a[3] < b[2]
+        or b[3] < a[2]
+        or a[5] < b[4]
+        or b[5] < a[4]
+    )
+
+
 def acl_overlap_report(acl: Acl, with_witnesses: bool = False) -> AclOverlapReport:
     """Classify every rule pair of ``acl``.
 
     With ``with_witnesses`` each overlapping pair carries a concrete
     packet matched by both rules (what an operator would want to see).
+
+    Rule pairs whose src/dst/protocol interval bounds cannot overlap are
+    skipped before any symbolic region is built; guard spaces are built
+    lazily, so a rule appearing only in skipped pairs never constructs
+    its region at all.
     """
-    spaces = [acl_guard_space(rule) for rule in acl.rules]
+    bounds = [_rule_bounds(rule) for rule in acl.rules]
+    spaces: List[Optional[PacketSpace]] = [None] * len(acl.rules)
+
+    def guard(idx: int) -> PacketSpace:
+        space = spaces[idx]
+        if space is None:
+            space = spaces[idx] = acl_guard_space(acl.rules[idx])
+        return space
+
     pairs: List[OverlapPair] = []
     for i in range(len(acl.rules)):
         for j in range(i + 1, len(acl.rules)):
-            intersection = spaces[i].intersect(spaces[j])
+            if _bounds_disjoint(bounds[i], bounds[j]):
+                continue
+            intersection = guard(i).intersect(guard(j))
             if intersection.is_empty():
                 continue
-            a_in_b = spaces[i].is_subset_of(spaces[j])
-            b_in_a = spaces[j].is_subset_of(spaces[i])
+            a_in_b = guard(i).is_subset_of(guard(j))
+            b_in_a = guard(j).is_subset_of(guard(i))
             pairs.append(
                 OverlapPair(
                     seq_a=acl.rules[i].seq,
@@ -134,6 +190,14 @@ def route_map_overlap_report(
     pairs: List[OverlapPair] = []
     for i in range(len(route_map.stanzas)):
         for j in range(i + 1, len(route_map.stanzas)):
+            # Field-wise pre-check: if every region pair is provably
+            # disjoint, skip without products or automaton searches.
+            if all(
+                regions_cheaply_disjoint(ra, rb)
+                for ra in guards[i].regions
+                for rb in guards[j].regions
+            ):
+                continue
             intersection = guards[i].intersect(guards[j])
             if intersection.is_empty():
                 continue

@@ -1,0 +1,273 @@
+"""Hash-consing and memoization primitives for the symbolic core.
+
+The analysis engines (:mod:`repro.analysis.headerspace`,
+:mod:`repro.analysis.routespace`, :mod:`repro.netaddr.intervals`) spend
+almost all of their time re-deriving the same small algebraic facts:
+the §3 overlap study intersects the same interned interval sets hundreds
+of thousands of times, and first-match reachability re-tests emptiness
+of regions it has already carved.  This module provides the two shared
+mechanisms those engines build on:
+
+* an :class:`Interner` hash-conses immutable values — structurally equal
+  values collapse to one canonical object, so equality checks hit the
+  ``is`` fast path and memo-table keys hash once;
+* a :class:`Memo` is a bounded LRU table for pure operation results,
+  keyed by the (interned) operands.
+
+Both are registered in a process-wide registry so the whole cache layer
+can be cleared (:func:`clear_caches`), inspected (:func:`cache_stats`),
+or bypassed (:func:`disabled`, used by the differential tests that pin
+the memoized engines to the original semantics).  Hit/miss totals are
+kept as plain integers — cheap enough for the innermost loops — and
+published to the active :mod:`repro.obs` recorder on demand as
+``cache.hits`` / ``cache.misses`` counters (:func:`publish_counters`).
+
+Correctness never depends on cache *content*: every table stores results
+of pure functions over immutable values, so eviction, clearing, or
+disabling only changes speed.  The tables are intentionally lock-free;
+concurrent use can at worst lose an entry, never corrupt a result.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Iterator, List, TypeVar, Union
+
+T = TypeVar("T", bound=Hashable)
+V = TypeVar("V")
+
+#: Default bound for one memo table; small entries, so this is a few MB.
+DEFAULT_MEMO_SIZE = 1 << 16
+
+#: Default bound for one intern table.
+DEFAULT_INTERN_SIZE = 1 << 17
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISSING = object()
+
+_enabled: bool = True
+
+
+class Memo:
+    """A bounded LRU table for the results of one pure operation.
+
+    ``lookup(key, compute)`` is the only entry point the engines use: it
+    returns the cached value, or calls ``compute()`` and caches the
+    result.  ``None`` results are cached too (witness extraction returns
+    ``None`` for empty regions).  When the cache layer is disabled the
+    table is bypassed entirely and nothing is counted.
+    """
+
+    def __init__(self, name: str, max_size: int = DEFAULT_MEMO_SIZE) -> None:
+        self.name = name
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self._table: "OrderedDict[Hashable, object]" = OrderedDict()
+        _REGISTRY.append(self)
+
+    def lookup(self, key: Hashable, compute: Callable[[], V]) -> V:
+        if not _enabled:
+            return compute()
+        table = self._table
+        value = table.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            try:
+                table.move_to_end(key)
+            except KeyError:  # pragma: no cover - concurrent eviction
+                pass
+            return value  # type: ignore[return-value]
+        self.misses += 1
+        result = compute()
+        table[key] = result
+        if len(table) > self.max_size:
+            try:
+                table.popitem(last=False)
+            except KeyError:  # pragma: no cover - concurrent eviction
+                pass
+        return result
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        """Drop every entry; hit/miss totals are preserved."""
+        self._table.clear()
+
+
+class Interner:
+    """A bounded intern table: structurally equal values become one object.
+
+    Interned values compare equal by identity, which makes every
+    downstream dict lookup, memo key, and ``==`` check cheap.  Eviction
+    is safe: an evicted value merely loses its canonical status, and a
+    later intern of an equal value starts a new equivalence class.
+    """
+
+    def __init__(self, name: str, max_size: int = DEFAULT_INTERN_SIZE) -> None:
+        self.name = name
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self._table: "OrderedDict[Hashable, Hashable]" = OrderedDict()
+        _REGISTRY.append(self)
+
+    def intern(self, value: T) -> T:
+        if not _enabled:
+            return value
+        table = self._table
+        canonical = table.get(value, _MISSING)
+        if canonical is not _MISSING:
+            self.hits += 1
+            return canonical  # type: ignore[return-value]
+        self.misses += 1
+        table[value] = value
+        if len(table) > self.max_size:
+            try:
+                table.popitem(last=False)
+            except KeyError:  # pragma: no cover - concurrent eviction
+                pass
+        return value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        """Drop every entry; hit/miss totals are preserved."""
+        self._table.clear()
+
+
+_REGISTRY: List[Union[Memo, Interner]] = []
+
+
+def enabled() -> bool:
+    """True when memoization and interning are active (the default)."""
+    return _enabled
+
+
+def configure(enabled: bool) -> None:
+    """Globally enable or disable the whole cache layer."""
+    global _enabled
+    _enabled = enabled
+
+
+@contextlib.contextmanager
+def disabled() -> Iterator[None]:
+    """Bypass every cache for the extent of the block.
+
+    The differential tests run the engines once normally and once under
+    this context to prove the memoized results match the directly
+    computed ones.  Tables are cleared on entry *and* exit so no state
+    leaks across the boundary in either direction.
+    """
+    global _enabled
+    previous = _enabled
+    clear_caches()
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = previous
+        clear_caches()
+
+
+@contextlib.contextmanager
+def isolated() -> Iterator[None]:
+    """Run a block from cold caches without leaking counter growth.
+
+    On entry every table is cleared (a cold start, as in a freshly
+    forked worker process); on exit the tables are cleared again and
+    every hit/miss total is restored to its entry value, so the block's
+    cache activity is invisible to the enclosing process.  The campaign
+    runner's serial fallback uses this to stay byte-identical — results
+    *and* counters — to a process-pool run, where worker-side totals
+    never reach the parent.
+    """
+    snapshot = [(table, table.hits, table.misses) for table in _REGISTRY]
+    known = {id(table) for table in _REGISTRY}
+    clear_caches()
+    try:
+        yield
+    finally:
+        for table, hits, misses in snapshot:
+            table.hits = hits
+            table.misses = misses
+        for table in _REGISTRY:
+            if id(table) not in known:
+                table.hits = 0
+                table.misses = 0
+        clear_caches()
+
+
+def clear_caches() -> None:
+    """Empty every registered memo and intern table.
+
+    This is the only "invalidation" the layer needs: all cached values
+    are results of pure functions, so clearing affects memory and speed,
+    never semantics.  The campaign runner clears at the start of every
+    chunk so per-chunk cache behaviour (and therefore the ``cache.*``
+    counters) is deterministic regardless of worker scheduling.
+    """
+    for table in _REGISTRY:
+        table.clear()
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Per-table statistics: hits, misses, and current size."""
+    return {
+        table.name: {
+            "hits": table.hits,
+            "misses": table.misses,
+            "size": len(table),
+        }
+        for table in _REGISTRY
+    }
+
+
+def cache_totals() -> Dict[str, int]:
+    """Aggregate and per-table counter values in ``cache.*`` obs naming."""
+    totals: Dict[str, int] = {"cache.hits": 0, "cache.misses": 0}
+    for table in _REGISTRY:
+        totals["cache.hits"] += table.hits
+        totals["cache.misses"] += table.misses
+        totals[f"cache.hits.{table.name}"] = table.hits
+        totals[f"cache.misses.{table.name}"] = table.misses
+    return totals
+
+
+def publish_counters(since: Dict[str, int]) -> Dict[str, int]:
+    """Record cache-counter growth since ``since`` on the active recorder.
+
+    ``since`` is an earlier :func:`cache_totals` snapshot (pass ``{}``
+    for "since process start").  The delta for every counter that moved
+    is published via :func:`repro.obs.count` — a no-op unless a recorder
+    is installed — and returned.  Counting locally and publishing once
+    keeps the innermost memo loops free of per-operation obs calls.
+    """
+    from repro import obs
+
+    deltas: Dict[str, int] = {}
+    for name, value in sorted(cache_totals().items()):
+        delta = value - since.get(name, 0)
+        if delta:
+            deltas[name] = delta
+            obs.count(name, delta)
+    return deltas
+
+
+__all__ = [
+    "DEFAULT_INTERN_SIZE",
+    "DEFAULT_MEMO_SIZE",
+    "Interner",
+    "Memo",
+    "cache_stats",
+    "cache_totals",
+    "clear_caches",
+    "configure",
+    "disabled",
+    "enabled",
+    "isolated",
+    "publish_counters",
+]

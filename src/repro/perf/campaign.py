@@ -1,0 +1,368 @@
+"""Parallel analysis campaigns with deterministic results and counters.
+
+The §3 overlap studies classify every rule pair of ~11k ACLs and every
+stanza pair of hundreds of route-maps — embarrassingly parallel work.
+This module fans such a campaign across a process pool while keeping
+the output *indistinguishable from a serial run*:
+
+* the payload list is pre-partitioned into **contiguous chunks** whose
+  boundaries depend only on the payload count and the chunk count, never
+  on scheduling, and results are reassembled in chunk order;
+* every chunk starts from **cold caches** (:func:`repro.perf.cache.clear_caches`)
+  and records into a **fresh** :class:`repro.obs.Recorder`, so the
+  per-chunk counters — including the ``cache.*`` hit/miss counters —
+  are a pure function of the chunk's payloads;
+* the per-chunk counters are merged by summation in sorted name order
+  and published to the caller's active recorder once.
+
+The serial fallback (``workers=1``, or a pool that cannot start) runs
+the *identical* chunk function in-process, so a serial campaign produces
+byte-identical results and counters to a parallel one — the property the
+differential tests in ``tests/perf`` pin down.
+
+Unlike :mod:`repro.perf.cache`, this module sits *above* the analysis
+layers (it imports the overlap detectors), which is why it is not
+re-exported from ``repro.perf``'s ``__init__``; import it explicitly::
+
+    from repro.perf import campaign
+
+    reports = campaign.acl_overlap_campaign(corpus.acls, workers=4).results
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro import obs
+from repro.overlap.chains import chain_overlap_report
+from repro.overlap.detector import acl_overlap_report, route_map_overlap_report
+from repro.perf import cache as _perf
+
+Number = Union[int, float]
+
+#: A task implementation: ``fn(payload, context) -> picklable result``.
+TaskFn = Callable[[Any, Any], Any]
+
+
+# ------------------------------------------------------------- task kinds
+
+
+def _acl_overlap_task(payload: Any, context: Any) -> Any:
+    return acl_overlap_report(payload)
+
+
+def _route_map_overlap_task(payload: Any, context: Any) -> Any:
+    return route_map_overlap_report(payload, context)
+
+
+def _chain_overlap_task(payload: Any, context: Any) -> Any:
+    chain = [context.route_map(name) for name in payload]
+    return chain_overlap_report(chain, context)
+
+
+def _figure3_task(payload: Any, context: Any) -> Any:
+    # Imported lazily: the evaluation pulls in the LLM and BGP layers,
+    # which overlap campaigns never need.  The full Figure3Result holds
+    # closures (the intent oracles), so workers reduce it to the
+    # picklable facts the §5 evaluation reports.
+    from repro.evalcase import build_figure3, figure4_rows
+
+    result = build_figure3()
+    return (tuple(figure4_rows(result.stats)), dict(result.policy_results))
+
+
+_TASKS: Dict[str, TaskFn] = {
+    "acl-overlap": _acl_overlap_task,
+    "route-map-overlap": _route_map_overlap_task,
+    "chain-overlap": _chain_overlap_task,
+    "figure3-eval": _figure3_task,
+}
+
+
+def task_kinds() -> Tuple[str, ...]:
+    """The registered campaign task kinds, sorted."""
+    return tuple(sorted(_TASKS))
+
+
+# ---------------------------------------------------------------- chunking
+
+
+def _chunk_bounds(count: int, chunk_count: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-equal ``[lo, hi)`` bounds covering ``range(count)``.
+
+    Depends only on the two counts, so the partition — and therefore the
+    per-chunk cache behaviour — is identical however the chunks are later
+    scheduled onto workers.
+    """
+    base, extra = divmod(count, chunk_count)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(chunk_count):
+        size = base + (1 if index < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _run_chunk(
+    kind: str, payloads: Sequence[Any], context: Any
+) -> Tuple[List[Any], Dict[str, Number]]:
+    """Run one chunk from a clean slate; returns (results, counters).
+
+    Runs in a worker process (or in-process for the serial fallback —
+    the code path is deliberately the same).  Caches are cleared first
+    and a private recorder captures the chunk's counters, so the return
+    value is a pure function of ``(kind, payloads, context)``.
+    """
+    fn = _TASKS[kind]
+    recorder = obs.Recorder(capture_spans=False)
+    with _perf.isolated(), obs.recording(recorder):
+        before = _perf.cache_totals()
+        results = [fn(payload, context) for payload in payloads]
+        _perf.publish_counters(before)
+    return results, dict(recorder.counters)
+
+
+def _run_chunk_task(
+    task: Tuple[str, Sequence[Any], Any]
+) -> Tuple[List[Any], Dict[str, Number]]:
+    kind, payloads, context = task
+    return _run_chunk(kind, payloads, context)
+
+
+# ---------------------------------------------------------------- running
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignResult:
+    """The outcome of one campaign run.
+
+    ``results`` is in payload order regardless of scheduling, and
+    ``counters`` is the chunk-summed metric set (already published to
+    the recorder that was active when the campaign ran).
+    """
+
+    results: Tuple[Any, ...]
+    counters: Dict[str, Number]
+    workers: int
+    chunks: int
+
+
+def default_workers() -> int:
+    """The worker count used when none is requested: the CPU count."""
+    return os.cpu_count() or 1
+
+
+def run_campaign(
+    kind: str,
+    payloads: Sequence[Any],
+    context: Any = None,
+    workers: Optional[int] = None,
+    chunks: Optional[int] = None,
+) -> CampaignResult:
+    """Fan ``payloads`` of one task ``kind`` across a process pool.
+
+    ``workers`` defaults to the CPU count; ``workers=1`` forces the
+    serial in-process fallback.  ``chunks`` defaults to the worker count
+    — fix *both* when counters must be reproducible across machines,
+    as the benchmark suite does.  ``context`` is pickled once per chunk
+    and passed to every task (e.g. the :class:`ConfigStore` route-map
+    guards resolve against).
+    """
+    if kind not in _TASKS:
+        raise ValueError(
+            f"unknown campaign kind {kind!r}; known: {', '.join(task_kinds())}"
+        )
+    items = list(payloads)
+    worker_count = workers if workers is not None else default_workers()
+    worker_count = max(1, min(worker_count, len(items) or 1))
+    chunk_count = chunks if chunks is not None else worker_count
+    chunk_count = max(1, min(chunk_count, len(items) or 1))
+    chunk_payloads = [
+        items[lo:hi] for lo, hi in _chunk_bounds(len(items), chunk_count)
+    ]
+
+    tasks = [(kind, chunk, context) for chunk in chunk_payloads]
+    if worker_count == 1:
+        outcomes = [_run_chunk_task(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            outcomes = list(pool.map(_run_chunk_task, tasks))
+
+    results: List[Any] = []
+    merged: Dict[str, Number] = {}
+    for chunk_results, counters in outcomes:
+        results.extend(chunk_results)
+        for name, value in counters.items():
+            merged[name] = merged.get(name, 0) + value
+    for name in sorted(merged):
+        obs.count(name, merged[name])
+    return CampaignResult(tuple(results), merged, worker_count, chunk_count)
+
+
+# ------------------------------------------------------------ conveniences
+
+
+def acl_overlap_campaign(
+    acls: Sequence[Any],
+    workers: Optional[int] = None,
+    chunks: Optional[int] = None,
+) -> CampaignResult:
+    """:func:`repro.overlap.detector.acl_overlap_report` over many ACLs."""
+    return run_campaign("acl-overlap", acls, workers=workers, chunks=chunks)
+
+
+def route_map_overlap_campaign(
+    route_maps: Sequence[Any],
+    store: Any,
+    workers: Optional[int] = None,
+    chunks: Optional[int] = None,
+) -> CampaignResult:
+    """:func:`repro.overlap.detector.route_map_overlap_report` over many maps."""
+    return run_campaign(
+        "route-map-overlap",
+        route_maps,
+        context=store,
+        workers=workers,
+        chunks=chunks,
+    )
+
+
+def chain_overlap_campaign(
+    chains: Sequence[Sequence[str]],
+    store: Any,
+    workers: Optional[int] = None,
+    chunks: Optional[int] = None,
+) -> CampaignResult:
+    """:func:`repro.overlap.chains.chain_overlap_report` over neighbor chains."""
+    return run_campaign(
+        "chain-overlap",
+        [tuple(chain) for chain in chains],
+        context=store,
+        workers=workers,
+        chunks=chunks,
+    )
+
+
+def campus_overlap_study(
+    workers: Optional[int] = None,
+    chunks: Optional[int] = None,
+    seed: int = 1421,
+    total_acls: Optional[int] = None,
+    route_maps: Optional[int] = None,
+) -> Tuple[Any, Any, Any, int]:
+    """The §3.2 campus study as a campaign.
+
+    Returns ``(acl_stats, rm_stats, triple_report, device_count)`` —
+    the same tuple the serial benchmark derives — where ``triple_report``
+    is the CAMPUS_SPECIAL_TRIPLE route-map's overlap report.
+    """
+    from repro.overlap import AclCorpusStats, RouteMapCorpusStats
+    from repro.synth import generate_campus_corpus
+
+    kwargs: Dict[str, int] = {"seed": seed}
+    if total_acls is not None:
+        kwargs["total_acls"] = total_acls
+    if route_maps is not None:
+        kwargs["route_maps"] = route_maps
+    corpus = generate_campus_corpus(**kwargs)
+    acl_result = acl_overlap_campaign(
+        corpus.acls, workers=workers, chunks=chunks
+    )
+    rm_result = route_map_overlap_campaign(
+        corpus.route_maps, corpus.store, workers=workers, chunks=chunks
+    )
+    acl_stats = AclCorpusStats.collect(acl_result.results)
+    rm_stats = RouteMapCorpusStats.collect(rm_result.results)
+    # Heavily scaled-down corpora (CLI --scale) may drop the special
+    # route-map entirely; its report is None then.
+    triple = next(
+        (
+            report
+            for report in rm_result.results
+            if report.name == "CAMPUS_SPECIAL_TRIPLE"
+        ),
+        None,
+    )
+    return acl_stats, rm_stats, triple, len(corpus.devices())
+
+
+def cloud_overlap_study(
+    workers: Optional[int] = None,
+    chunks: Optional[int] = None,
+    seed: int = 2025,
+    scale: float = 1.0,
+) -> Tuple[Any, Any, Tuple[int, int, int]]:
+    """The §3.1 cloud-WAN study as a campaign.
+
+    Returns ``(acl_stats, rm_stats, (chains, chains_with_overlaps,
+    cross_map_pairs))`` — the same tuple the serial benchmark derives.
+    """
+    from repro.overlap import AclCorpusStats, RouteMapCorpusStats
+    from repro.synth import generate_cloud_corpus
+
+    corpus = generate_cloud_corpus(seed=seed, scale=scale)
+    acl_result = acl_overlap_campaign(
+        corpus.acls, workers=workers, chunks=chunks
+    )
+    rm_result = route_map_overlap_campaign(
+        corpus.route_maps, corpus.store, workers=workers, chunks=chunks
+    )
+    chain_result = chain_overlap_campaign(
+        corpus.neighbor_chains, corpus.store, workers=workers, chunks=chunks
+    )
+    acl_stats = AclCorpusStats.collect(acl_result.results)
+    rm_stats = RouteMapCorpusStats.collect(rm_result.results)
+    chains_with_overlaps = sum(
+        1 for report in chain_result.results if report.has_overlap()
+    )
+    cross_map_pairs = sum(
+        report.overlap_count for report in chain_result.results
+    )
+    return (
+        acl_stats,
+        rm_stats,
+        (len(corpus.neighbor_chains), chains_with_overlaps, cross_map_pairs),
+    )
+
+
+def evaluation_campaign(
+    runs: int = 1,
+    workers: Optional[int] = None,
+    chunks: Optional[int] = None,
+) -> CampaignResult:
+    """Run the §5 Figure 3 evaluation ``runs`` times across workers.
+
+    Each result is ``(figure4_rows, policy_results)``; the evaluation is
+    deterministic, so every run must agree — the campaign differential
+    test asserts exactly that.
+    """
+    return run_campaign(
+        "figure3-eval", list(range(runs)), workers=workers, chunks=chunks
+    )
+
+
+__all__ = [
+    "CampaignResult",
+    "acl_overlap_campaign",
+    "campus_overlap_study",
+    "chain_overlap_campaign",
+    "cloud_overlap_study",
+    "default_workers",
+    "evaluation_campaign",
+    "route_map_overlap_campaign",
+    "run_campaign",
+    "task_kinds",
+]

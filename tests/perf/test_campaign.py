@@ -1,0 +1,150 @@
+"""Tests for the parallel campaign runner.
+
+The runner's contract: a process-pool campaign is *indistinguishable*
+from a serial one — same results in the same order, same published
+counters — and the chunk partition depends only on the payload count,
+never on scheduling or the worker count.
+"""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.overlap import acl_overlap_report
+from repro.perf import campaign
+from repro.synth.builders import PrefixPool, crossing_acl, shadowed_acl
+
+
+def _acls(seed=11, count=12):
+    rng = random.Random(seed)
+    pool = PrefixPool(rng)
+    out = []
+    for idx in range(count):
+        if idx % 2:
+            out.append(crossing_acl(f"X{idx}", rng, pool, permits=3, denies=3))
+        else:
+            out.append(shadowed_acl(f"S{idx}", rng, pool, permits=4))
+    return out
+
+
+class TestChunkBounds:
+    def test_partition_is_contiguous_and_complete(self):
+        for count in (0, 1, 5, 12, 13):
+            for chunk_count in (1, 2, 4, 7):
+                bounds = campaign._chunk_bounds(count, chunk_count)
+                flat = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert flat == list(range(count)), (count, chunk_count)
+
+    def test_independent_of_worker_count(self):
+        # The partition is a pure function of (count, chunks): nothing
+        # about scheduling can change which payloads share a cache.
+        assert campaign._chunk_bounds(100, 4) == campaign._chunk_bounds(100, 4)
+
+    def test_balanced(self):
+        sizes = [hi - lo for lo, hi in campaign._chunk_bounds(10, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestRunCampaign:
+    def test_results_match_direct_serial_map(self):
+        acls = _acls()
+        result = campaign.acl_overlap_campaign(acls, workers=1, chunks=3)
+        assert list(result.results) == [acl_overlap_report(acl) for acl in acls]
+
+    def test_serial_and_parallel_identical_results_and_counters(self):
+        acls = _acls()
+
+        def run(workers):
+            recorder = obs.Recorder(capture_spans=False)
+            with obs.recording(recorder):
+                result = campaign.acl_overlap_campaign(
+                    acls, workers=workers, chunks=4
+                )
+            return result.results, dict(recorder.counters)
+
+        serial_results, serial_counters = run(1)
+        parallel_results, parallel_counters = run(2)
+        assert serial_results == parallel_results
+        assert serial_counters == parallel_counters
+        assert serial_counters.get("cache.hits", 0) > 0
+
+    def test_serial_campaign_leaks_nothing_into_parent_caches(self):
+        from repro.perf import cache as perf
+
+        acl = _acls(count=2)[0]
+        acl_overlap_report(acl)  # warm the parent's tables
+        before = perf.cache_totals()
+        campaign.acl_overlap_campaign(_acls(), workers=1, chunks=2)
+        assert perf.cache_totals() == before
+
+    def test_counters_depend_on_chunking_not_workers(self):
+        acls = _acls()
+
+        def counters(workers, chunks):
+            recorder = obs.Recorder(capture_spans=False)
+            with obs.recording(recorder):
+                campaign.acl_overlap_campaign(acls, workers=workers, chunks=chunks)
+            return dict(recorder.counters)
+
+        assert counters(1, 4) == counters(2, 4)
+        assert counters(1, 1) != counters(1, 4)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign kind"):
+            campaign.run_campaign("no-such-kind", [1])
+
+    def test_task_kinds_lists_the_registry(self):
+        kinds = campaign.task_kinds()
+        assert "acl-overlap" in kinds
+        assert "figure3-eval" in kinds
+
+
+class TestStudies:
+    def test_campus_study_scales_down_and_matches_serial(self):
+        serial = campaign.campus_overlap_study(
+            workers=1, chunks=3, total_acls=80, route_maps=8
+        )
+        pooled = campaign.campus_overlap_study(
+            workers=2, chunks=3, total_acls=80, route_maps=8
+        )
+        assert serial == pooled
+        acl_stats, _, triple, device_count = serial
+        assert acl_stats.total == 80
+        assert device_count == 1421
+        assert triple.overlap_count == 3
+
+    def test_evaluation_campaign_reproduces_figure4(self):
+        result = campaign.evaluation_campaign(runs=1, workers=1, chunks=1)
+        rows, policies = result.results[0]
+        by_name = {name: (maps, calls) for name, maps, calls, _ in rows}
+        assert set(by_name) == {"M", "R1", "R2"}
+        assert all(holds for holds in policies.values())
+
+
+class TestCli:
+    def test_campaign_campus_cli(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "campaign",
+                "campus",
+                "--serial",
+                "--chunks",
+                "2",
+                "--scale",
+                "0.005",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ACL" in out or "acl" in out
+
+    def test_campaign_eval_benchmark_cli(self, capsys):
+        from repro.cli import main
+
+        code = main(["campaign", "eval", "--benchmark", "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serial:" in out and "parallel:" in out

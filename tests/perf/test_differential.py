@@ -1,0 +1,169 @@
+"""Differential tests: the memoized engines equal the original ones.
+
+Every test runs the same workload twice — once with the cache layer
+active, once under :func:`repro.perf.cache.disabled` — and asserts the
+outputs are *equal*, not merely similar: reachable spaces, witnesses,
+and overlap reports.  Plus soundness checks for the cheap disjointness
+pre-checks the incremental engines rely on.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import acl_reachable_spaces
+from repro.analysis.headerspace import acl_rule_region, regions_disjoint
+from repro.analysis.routespace import (
+    regions_cheaply_disjoint,
+    route_map_reachable_spaces,
+    stanza_guard_space,
+)
+from repro.config.acl import Acl, AclRule, PortSpec, ProtocolSpec
+from repro.config.store import ConfigStore
+from repro.netaddr import Ipv4Wildcard
+from repro.overlap import acl_overlap_report
+from repro.overlap.detector import route_map_overlap_report
+from repro.perf import cache as perf
+from repro.synth.builders import PrefixPool, tagged_route_map
+
+SEEDS = (7, 42, 1421)
+
+
+def random_acl(seed, rules=24):
+    """A seeded ACL exercising protocols, ports, and ``established``."""
+    rng = random.Random(seed)
+    pool = PrefixPool(rng)
+    out = []
+    for idx in range(rules):
+        protocol = rng.choice(("ip", "tcp", "tcp", "udp", "icmp"))
+        kwargs = {}
+        if protocol in ("tcp", "udp"):
+            if rng.random() < 0.6:
+                port = rng.choice((22, 53, 80, 179, 443))
+                kwargs["dst_ports"] = PortSpec("eq", (port,))
+            if protocol == "tcp" and rng.random() < 0.3:
+                kwargs["established"] = True
+        src = pool.block16() if rng.random() < 0.7 else None
+        dst = pool.block24() if rng.random() < 0.7 else None
+        out.append(
+            AclRule(
+                seq=10 * (idx + 1),
+                action=rng.choice(("permit", "deny")),
+                protocol=ProtocolSpec(protocol),
+                src=Ipv4Wildcard.from_prefix(src) if src else Ipv4Wildcard.any(),
+                dst=Ipv4Wildcard.from_prefix(dst) if dst else Ipv4Wildcard.any(),
+                **kwargs,
+            )
+        )
+    return Acl(f"RAND_{seed}", tuple(out))
+
+
+def random_route_map(seed):
+    rng = random.Random(seed)
+    store = ConfigStore()
+    rm = tagged_route_map(
+        f"RM_{seed}", rng, PrefixPool(rng), store, prefix_stanzas=5, tag_stanzas=3
+    )
+    return rm, store
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestAclDifferential:
+    def test_reachable_spaces_identical(self, seed):
+        acl = random_acl(seed)
+        with perf.isolated():
+            cached = acl_reachable_spaces(acl, include_implicit_deny=True)
+        with perf.disabled():
+            plain = acl_reachable_spaces(acl, include_implicit_deny=True)
+        assert cached == plain
+
+    def test_witnesses_identical(self, seed):
+        acl = random_acl(seed)
+        with perf.isolated():
+            cached = [
+                region.witness()
+                for _, space in acl_reachable_spaces(acl)
+                for region in space.regions
+            ]
+        with perf.disabled():
+            plain = [
+                region.witness()
+                for _, space in acl_reachable_spaces(acl)
+                for region in space.regions
+            ]
+        assert cached == plain
+
+    def test_overlap_report_identical(self, seed):
+        acl = random_acl(seed)
+        with perf.isolated():
+            cached = acl_overlap_report(acl, with_witnesses=True)
+        with perf.disabled():
+            plain = acl_overlap_report(acl, with_witnesses=True)
+        assert cached == plain
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestRouteMapDifferential:
+    def test_reachable_spaces_identical(self, seed):
+        rm, store = random_route_map(seed)
+        with perf.isolated():
+            cached = route_map_reachable_spaces(
+                rm, store, include_implicit_deny=True
+            )
+        with perf.disabled():
+            plain = route_map_reachable_spaces(
+                rm, store, include_implicit_deny=True
+            )
+        assert cached == plain
+
+    def test_overlap_report_identical(self, seed):
+        rm, store = random_route_map(seed)
+        with perf.isolated():
+            cached = route_map_overlap_report(rm, store, with_witnesses=True)
+        with perf.disabled():
+            plain = route_map_overlap_report(rm, store, with_witnesses=True)
+        assert cached == plain
+
+
+def _sample_packet_regions(seed, count=12):
+    """Rule regions plus pairwise intersections (established corners)."""
+    regions = [acl_rule_region(rule) for rule in random_acl(seed, count).rules]
+    regions += [
+        a.intersect(b) for a, b in zip(regions, regions[1:])
+    ]
+    return regions
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_subsumes_matches_subtraction_ground_truth(seed):
+    regions = _sample_packet_regions(seed)
+    for a in regions:
+        for b in regions:
+            claimed = a.subsumes(b)
+            # Ground truth: b ⊆ a iff carving a out of b leaves nothing.
+            carved = b.subtract_region(a)
+            actual = all(piece.is_empty() for piece in carved)
+            assert claimed == actual, (a, b)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_regions_disjoint_is_exact(seed):
+    regions = _sample_packet_regions(seed)
+    for a in regions:
+        for b in regions:
+            assert regions_disjoint(a, b) == a.intersect(b).is_empty()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_regions_cheaply_disjoint_is_sound(seed):
+    rm, store = random_route_map(seed)
+    regions = [
+        region
+        for stanza in rm.stanzas
+        for region in stanza_guard_space(stanza, store).regions
+    ]
+    for a in regions:
+        for b in regions:
+            if regions_cheaply_disjoint(a, b):
+                # Sound: a claimed disjointness must be a real one.
+                assert a.intersect(b).is_empty(), (a, b)
