@@ -14,6 +14,12 @@ Subcommands::
                        and verify it matches byte for byte
     clarify bench-check  diff a benchmark metric snapshot against the
                        committed baseline (the perf-regression gate)
+    clarify serve      serve many sessions concurrently over a JSONL
+                       stdin/stdout request loop (admission control,
+                       per-request deadlines, LLM deduplication)
+    clarify loadgen    drive the serving layer with a deterministic
+                       seeded campus/cloud intent mix; optionally check
+                       serial-vs-pooled outcome identity
 
 ``clarify add`` reads an existing IOS configuration, runs the full
 Clarify cycle for an English intent, asks the differential questions on
@@ -555,6 +561,207 @@ def cmd_bench_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 2
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """An in-process request/response loop over a session pool.
+
+    Reads one JSON object per stdin line and answers each with one JSON
+    line on stdout.  Operations::
+
+        {"op": "open", "session": "s1", "config": "<IOS text>"}
+        {"op": "request", "session": "s1", "target": "ISP_OUT",
+         "intent": "...", "deadline_s": 5.0}
+        {"op": "close", "session": "s1"}
+        {"op": "stats"}
+        {"op": "quit"}
+
+    This is the serving layer without a network: the same admission
+    control, deadlines, and per-session FIFO that ``clarify loadgen``
+    hammers, driveable from a shell pipe or a test harness.
+    """
+    import json as _json
+
+    from repro.llm.dedup import DedupClient
+    from repro.serve import ClarifyService, ServeRequest, SessionManager
+
+    out = sys.stdout
+    manager = SessionManager(
+        llm=DedupClient(SimulatedLLM()),
+        max_attempts=args.max_attempts,
+        journal_dir=args.journal_dir,
+    )
+
+    def reply(**payload) -> None:
+        out.write(_json.dumps(payload, sort_keys=True) + "\n")
+        out.flush()
+
+    with ClarifyService(
+        manager,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        high_water=args.high_water,
+    ) as service:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                command = _json.loads(line)
+                op = command["op"]
+            except (ValueError, KeyError, TypeError) as exc:
+                reply(ok=False, error=f"bad command: {exc}")
+                continue
+            if op == "quit":
+                reply(ok=True, op="quit")
+                break
+            try:
+                if op == "open":
+                    managed = manager.open(
+                        command["session"], command.get("config", "")
+                    )
+                    reply(
+                        ok=True,
+                        op="open",
+                        session=managed.session_id,
+                        config_sha256=managed.config_sha256(),
+                    )
+                elif op == "request":
+                    response = service.call(
+                        ServeRequest(
+                            session=command["session"],
+                            intent=command["intent"],
+                            target=command["target"],
+                            deadline_s=command.get(
+                                "deadline_s", args.deadline
+                            ),
+                        )
+                    )
+                    reply(ok=response.ok, op="request", **response.to_dict())
+                elif op == "close":
+                    reply(
+                        ok=manager.close(command["session"]),
+                        op="close",
+                        session=command["session"],
+                    )
+                elif op == "stats":
+                    reply(
+                        ok=True,
+                        op="stats",
+                        sessions=len(manager),
+                        depth=service.depth(),
+                        rejected=service.rejected,
+                    )
+                else:
+                    reply(ok=False, error=f"unknown op {op!r}")
+            except (KeyError, ValueError, TypeError) as exc:
+                reply(ok=False, op=op, error=str(exc))
+    manager.close_all()
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Run a seeded load campaign against the serving layer.
+
+    Exit status: 0 clean; 1 when any ticket never resolved, any request
+    ended in ``internal-error``, or the ``--check-serial-identity``
+    differential found a serial/pooled divergence.
+    """
+    import json as _json
+    import os
+    import tempfile
+
+    from repro.serve import check_serial_identity, run_loadgen
+
+    kwargs = dict(
+        fault_rate=args.fault_rate,
+        deadline_s=args.deadline,
+        queue_limit=args.queue_limit,
+        high_water=args.high_water,
+        max_attempts=args.max_attempts,
+    )
+    failures: List[str] = []
+    serial = None
+    if args.check_serial_identity:
+        if args.fault_rate > 0.0 or args.deadline is not None:
+            print(
+                "error: --check-serial-identity requires a fault-free, "
+                "deadline-free campaign (fault placement and deadlines "
+                "are schedule-dependent)",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            serial, report = check_serial_identity(
+                args.sessions,
+                args.requests_per_session,
+                workers=args.workers,
+                seed=args.seed,
+                **kwargs,
+            )
+        except AssertionError as exc:
+            print(f"IDENTITY FAILED: {exc}", file=sys.stderr)
+            return 1
+    else:
+        report = run_loadgen(
+            args.sessions,
+            args.requests_per_session,
+            workers=args.workers,
+            seed=args.seed,
+            **kwargs,
+        )
+
+    if report.unresolved:
+        failures.append(f"{report.unresolved} request(s) never resolved")
+    internal = report.outcomes.get("internal-error", 0)
+    if internal:
+        failures.append(f"{internal} internal-error outcome(s)")
+
+    payload = {"version": 1, "loadgen": report.to_dict()}
+    if serial is not None:
+        payload["serial"] = serial.to_dict()
+        payload["identity"] = serial.fingerprint == report.fingerprint
+    if args.output:
+        directory = os.path.dirname(args.output) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(_json.dumps(payload, indent=1, sort_keys=True))
+                handle.write("\n")
+            os.replace(tmp_path, args.output)
+        except BaseException:
+            os.unlink(tmp_path)
+            raise
+
+    if args.json:
+        print(_json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(
+            f"loadgen: {report.requests} requests over {report.sessions} "
+            f"sessions, {report.workers} workers, seed {report.seed}"
+        )
+        print(
+            f"  wall {report.wall_s:.2f}s  "
+            f"throughput {report.throughput_rps:.1f} req/s"
+        )
+        quant = report.latency_quantiles
+        print(
+            f"  latency p50 {quant['p50'] * 1000:.1f}ms  "
+            f"p95 {quant['p95'] * 1000:.1f}ms  "
+            f"p99 {quant['p99'] * 1000:.1f}ms"
+        )
+        print(f"  outcomes {report.outcomes}")
+        print(
+            f"  dedup {report.dedup}  injected_faults "
+            f"{report.injected_faults}  rejected "
+            f"{report.rejected_submissions}"
+        )
+        if serial is not None:
+            print(f"  serial identity OK ({report.fingerprint[:16]}…)")
+    for failure in failures:
+        print(f"LOADGEN FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="clarify",
@@ -827,6 +1034,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="show every compared metric, not just the interesting rows",
     )
     p_bench.set_defaults(func=cmd_bench_check)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve many Clarify sessions concurrently over a JSONL "
+        "stdin/stdout request loop",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="worker threads (default: 4)"
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="maximum admitted-but-incomplete requests (default: 64)",
+    )
+    p_serve.add_argument(
+        "--high-water",
+        type=int,
+        default=None,
+        help="backlog depth past which submissions are rejected with a "
+        "retry-after (default: the queue limit)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request time budget in seconds",
+    )
+    p_serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="synthesis retry threshold per request (default: 3)",
+    )
+    p_serve.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        help="record one replayable journal per session under DIR",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the serving layer with a deterministic seeded "
+        "campus/cloud intent mix and report throughput + latency",
+    )
+    p_loadgen.add_argument(
+        "--sessions", type=int, default=16, help="sessions to open (default: 16)"
+    )
+    p_loadgen.add_argument(
+        "--requests-per-session",
+        type=int,
+        default=2,
+        help="intents per session (default: 2)",
+    )
+    p_loadgen.add_argument(
+        "--workers", type=int, default=4, help="worker threads (default: 4)"
+    )
+    p_loadgen.add_argument(
+        "--seed", type=int, default=2025, help="workload seed (default: 2025)"
+    )
+    p_loadgen.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="FaultyLLM chaos rate in [0, 1] (default: off)",
+    )
+    p_loadgen.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-request time budget in seconds (default: none)",
+    )
+    p_loadgen.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="maximum admitted-but-incomplete requests (default: 64)",
+    )
+    p_loadgen.add_argument(
+        "--high-water",
+        type=int,
+        default=None,
+        help="backlog depth past which submissions are rejected "
+        "(default: the queue limit)",
+    )
+    p_loadgen.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="synthesis retry threshold per request (default: 3)",
+    )
+    p_loadgen.add_argument(
+        "--check-serial-identity",
+        action="store_true",
+        help="also run the campaign with one worker and fail unless the "
+        "pooled run's per-session outcomes match byte for byte",
+    )
+    p_loadgen.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the campaign report as JSON to PATH (atomic replace)",
+    )
+    p_loadgen.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of the text summary",
+    )
+    p_loadgen.set_defaults(func=cmd_loadgen)
     return parser
 
 

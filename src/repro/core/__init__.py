@@ -17,6 +17,12 @@ This package is the paper's primary contribution (Fig. 1):
 :class:`~repro.core.workflow.ClarifySession` ties the loop together.
 """
 
+from repro.core.budget import (
+    TimeBudget,
+    budget_scope,
+    check_budget,
+    current_budget,
+)
 from repro.core.disambiguator import (
     DisambiguationMode,
     DisambiguationQuestion,
@@ -26,6 +32,7 @@ from repro.core.disambiguator import (
 )
 from repro.core.errors import (
     ClarifyError,
+    DeadlineExceeded,
     DisambiguationError,
     SpecError,
     SynthesisPunt,
@@ -61,6 +68,7 @@ __all__ = [
     "ClarifyError",
     "ClarifySession",
     "CountingOracle",
+    "DeadlineExceeded",
     "DisambiguationError",
     "DisambiguationMode",
     "DisambiguationQuestion",
@@ -74,9 +82,13 @@ __all__ = [
     "SynthesisPipeline",
     "SynthesisPunt",
     "SynthesisResult",
+    "TimeBudget",
     "UpdateReport",
     "UserOracle",
     "VerificationResult",
+    "budget_scope",
+    "check_budget",
+    "current_budget",
     "disambiguate_acl_rule",
     "disambiguate_as_path_entry",
     "disambiguate_community_entry",

@@ -1,0 +1,125 @@
+"""Request time budgets: deadlines threaded through the Clarify cycle.
+
+A :class:`TimeBudget` is a wall-clock deadline a request carries with it.
+The serving layer (:mod:`repro.serve`) attaches one to every request so a
+misbehaving LLM or a pathological disambiguation cannot hold a worker
+forever; the two iterative phases of the pipeline poll it:
+
+* the synthesis retry loop checks the budget before every re-attempt and
+  *punts* (the paper's "needs clarification" outcome, §2.1) with the
+  failures collected so far instead of burning more attempts;
+* the disambiguator's binary search checks the budget before every
+  differential question and raises :class:`~repro.core.errors.DeadlineExceeded`
+  carrying the questions already asked — the session's configuration is
+  untouched, so the caller can retry with a larger budget.
+
+The budget is *ambient*: :func:`budget_scope` installs it in a
+thread-local slot for the dynamic extent of one request, and the pipeline
+reads it via :func:`current_budget`.  This keeps every intermediate
+signature unchanged and composes with the serving layer's
+one-request-per-thread execution model.  With no budget installed every
+check is a no-op, so library users pay nothing.
+
+The clock is injectable (``clock=time.monotonic`` by default) so tests
+can drive expiry deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Callable, Iterator, Optional
+
+from repro.core.errors import DeadlineExceeded
+
+
+class TimeBudget:
+    """A wall-clock budget for one request, measured from construction."""
+
+    __slots__ = ("seconds", "_clock", "_t0")
+
+    def __init__(
+        self,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds <= 0:
+            raise ValueError(f"budget must be positive, got {seconds}")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self._t0 = clock()
+
+    def elapsed(self) -> float:
+        """Seconds spent since the budget started."""
+        return self._clock() - self._t0
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        return self.elapsed() >= self.seconds
+
+    def check(self, where: str, questions_asked: int = 0) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(
+                where, self.seconds, questions_asked=questions_asked
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeBudget({self.seconds}s, remaining={self.remaining():.3f}s)"
+        )
+
+
+# ------------------------------------------------------ the ambient budget
+
+_local = threading.local()
+
+
+def current_budget() -> Optional[TimeBudget]:
+    """The budget installed for the current thread's request, if any."""
+    return getattr(_local, "budget", None)
+
+
+@contextlib.contextmanager
+def budget_scope(budget: Optional[TimeBudget]) -> Iterator[Optional[TimeBudget]]:
+    """Install ``budget`` as the ambient budget for the block.
+
+    ``budget_scope(None)`` leaves the current ambient budget untouched,
+    so an unbudgeted entry point nested under a budgeted one inherits the
+    outer deadline instead of silently cancelling it.
+    """
+    if budget is None:
+        yield current_budget()
+        return
+    previous = getattr(_local, "budget", None)
+    _local.budget = budget
+    try:
+        yield budget
+    finally:
+        _local.budget = previous
+
+
+def check_budget(where: str, questions_asked: int = 0) -> None:
+    """Raise :class:`DeadlineExceeded` if the ambient budget is spent."""
+    budget = current_budget()
+    if budget is not None:
+        budget.check(where, questions_asked=questions_asked)
+
+
+def budget_expired() -> bool:
+    """True when an ambient budget exists and is spent."""
+    budget = current_budget()
+    return budget is not None and budget.expired()
+
+
+__all__ = [
+    "TimeBudget",
+    "budget_expired",
+    "budget_scope",
+    "check_budget",
+    "current_budget",
+]

@@ -29,6 +29,7 @@ import enum
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core.budget import check_budget
 from repro.analysis.compare import (
     BehaviorDifference,
     PacketDifference,
@@ -97,11 +98,18 @@ def _binary_search_slot(
     ``overlaps`` are indices of overlapping rules in the original policy;
     the slots are 0..len(active) where slot j means "immediately before
     active[j]" (and the last slot means "after the last active overlap").
+
+    Deadline-aware: before building each candidate pair the ambient
+    :class:`~repro.core.budget.TimeBudget` is checked;
+    :class:`~repro.core.errors.DeadlineExceeded` carries the number of
+    questions already asked, and the caller's store is left untouched
+    (a graceful partial result — see :mod:`repro.core.budget`).
     """
     active = list(overlaps)
     questions: List[DisambiguationQuestion] = []
     lo, hi = 0, len(active)
     while lo < hi:
+        check_budget("disambiguation", questions_asked=len(questions))
         mid = (lo + hi) // 2
         before = build_candidate(slot_to_position(active, mid))
         after = build_candidate(slot_to_position(active, mid + 1))
@@ -141,6 +149,7 @@ def _linear_scan_slot(
     questions: List[DisambiguationQuestion] = []
     slot = 0
     while slot < len(active):
+        check_budget("disambiguation", questions_asked=len(questions))
         before = build_candidate(slot_to_position(active, slot))
         after = build_candidate(slot_to_position(active, slot + 1))
         obs.count("disambiguation.candidates", 2)

@@ -33,8 +33,33 @@ class DisambiguationError(ClarifyError):
     """The disambiguator could not complete (e.g. oracle misbehaviour)."""
 
 
+class DeadlineExceeded(ClarifyError):
+    """The request's time budget ran out mid-pipeline.
+
+    Raised by the budget checks in the synthesis loop and the
+    disambiguator's binary search (see :mod:`repro.core.budget`).  The
+    session's configuration is never modified on this path — the caller
+    holds a *partial* result (``questions_asked`` differential answers
+    were collected before expiry) and should degrade to the paper's
+    "needs clarification" outcome: retry with a larger budget or hand
+    the decision back to the user.
+    """
+
+    def __init__(
+        self, where: str, budget_s: float, questions_asked: int = 0
+    ) -> None:
+        super().__init__(
+            f"time budget of {budget_s}s exhausted during {where} "
+            f"({questions_asked} question(s) already asked)"
+        )
+        self.where = where
+        self.budget_s = budget_s
+        self.questions_asked = questions_asked
+
+
 __all__ = [
     "ClarifyError",
+    "DeadlineExceeded",
     "DisambiguationError",
     "SpecError",
     "SynthesisPunt",

@@ -14,6 +14,7 @@ from typing import List, Optional, Union
 from repro import obs
 from repro.config import ConfigParseError, parse_config
 from repro.config.store import ConfigStore
+from repro.core.budget import budget_expired, check_budget
 from repro.core.errors import SpecError, SynthesisPunt
 from repro.core.spec import AclSpec, RouteMapSpec
 from repro.core.verify import (
@@ -108,12 +109,36 @@ class SynthesisPipeline:
     # ------------------------------------------------------------- runner
 
     def synthesize(self, prompt: str) -> SynthesisResult:
-        """The full classify → spec → generate → verify → retry loop."""
+        """The full classify → spec → generate → verify → retry loop.
+
+        Deadline-aware: when the ambient :class:`~repro.core.budget.TimeBudget`
+        expires between attempts, the loop punts immediately with the
+        failures collected so far (the graceful "needs clarification"
+        outcome) instead of burning the remaining attempts; an expiry
+        before any attempt raises
+        :class:`~repro.core.errors.DeadlineExceeded`.
+        """
         with obs.span("synthesis.synthesize") as pipeline_span:
+            check_budget("synthesis.classify")
             kind = self.classify(prompt)
             spec = self.extract_spec(prompt, kind)
             failures: List[str] = []
             for attempt in range(1, self._max_attempts + 1):
+                if budget_expired():
+                    if failures:
+                        obs.count("synthesis.deadline_punts")
+                        obs.event(
+                            "synthesis.punt",
+                            attempts=attempt - 1,
+                            failures=list(failures),
+                            reason="deadline",
+                        )
+                        failures.append(
+                            f"attempt {attempt}: abandoned, time budget "
+                            "exhausted"
+                        )
+                        raise SynthesisPunt(attempt - 1, failures)
+                    check_budget("synthesis.attempt")
                 with obs.span("synthesis.attempt", attempt=attempt) as sp:
                     obs.count("synthesis.attempts")
                     raw = self.generate_snippet(prompt, kind)

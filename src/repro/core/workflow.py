@@ -11,6 +11,20 @@ an :class:`UpdateReport` with the bookkeeping Figure 4 aggregates.
 another route-map or ACL without new LLM calls — the paper's
 "some route-maps were reused because similar policies were applied on
 interfaces, reducing the number of LLM calls" (§5).
+
+Concurrency (re-entrancy audit, see ``docs/SERVING.md``): a
+:class:`ClarifySession` is **not** thread-safe — ``request``/``reuse``
+read and replace ``self.store`` and append to ``self.history``, so two
+concurrent cycles on one session would race.  Callers running many
+sessions concurrently must serialise the cycles of each session
+(:class:`repro.serve.SessionManager` does, with per-session FIFO
+ordering); *distinct* sessions may run in parallel freely: the only
+mutable state they share is the LLM client (thread-safe by contract —
+see :mod:`repro.llm.dedup`), the process-wide obs recorder (locked), and
+the ambient journal (thread-local, so each worker journals its own
+session).  Until an update's disambiguation completes, ``self.store`` is
+never mutated — a cycle that fails (punt, deadline, error) leaves the
+session exactly as it was.
 """
 
 from __future__ import annotations
@@ -21,6 +35,7 @@ from typing import Optional, Tuple
 
 from repro import obs
 from repro.config.diff import config_diff
+from repro.core.budget import TimeBudget, budget_scope
 from repro.config.names import rename_snippet_lists
 from repro.config.render import render_config
 from repro.config.store import ConfigStore
@@ -72,6 +87,7 @@ class ClarifySession:
         mode: DisambiguationMode = DisambiguationMode.FULL,
         max_attempts: int = 3,
         lint_gate: bool = True,
+        session_id: Optional[int] = None,
     ) -> None:
         self.store = store if store is not None else ConfigStore()
         #: Run the advisory :mod:`repro.lint` gate around each insertion.
@@ -84,7 +100,11 @@ class ClarifySession:
         self.max_attempts = max_attempts
         self.pipeline = SynthesisPipeline(self.llm, max_attempts=max_attempts)
         #: Identity used to group this session's cycles in journal events.
-        self.session_id = next(_SESSION_IDS)
+        #: Allocated process-wide by default; the serving layer passes an
+        #: explicit id so serial and pooled runs label cycles identically.
+        self.session_id = (
+            session_id if session_id is not None else next(_SESSION_IDS)
+        )
         #: Specs shown to the user for manual confirmation (§2.1).
         self.spec_reviews = 0
         #: Audit trail: one :class:`UpdateReport` per applied update.
@@ -97,16 +117,23 @@ class ClarifySession:
         intent_text: str,
         target: str,
         oracle: Optional[UserOracle] = None,
+        budget: Optional[TimeBudget] = None,
     ) -> UpdateReport:
         """Run one full Clarify cycle for an English intent.
 
         ``target`` names the route-map or ACL the new stanza/rule should
         be added to (created on first use).  ``oracle`` overrides the
         session oracle for this request's disambiguation questions (the
-        question count still accumulates on the session).  The session's
-        store is updated in place on success.
+        question count still accumulates on the session).  ``budget``
+        installs a time budget for the cycle: expiry mid-synthesis punts
+        with the failures so far, expiry mid-disambiguation raises
+        :class:`~repro.core.errors.DeadlineExceeded` — in both cases the
+        session's store is untouched.  The session's store is updated in
+        place on success.
         """
-        with obs.span("clarify.request", target=target) as sp:
+        with budget_scope(budget), obs.span(
+            "clarify.request", target=target
+        ) as sp:
             obs.count("clarify.cycles")
             self._journal_cycle_start("request", target, intent=intent_text)
             try:
@@ -142,9 +169,12 @@ class ClarifySession:
         target: str,
         oracle: Optional[UserOracle] = None,
         kind: str = ROUTE_MAP,
+        budget: Optional[TimeBudget] = None,
     ) -> UpdateReport:
         """Insert an already-synthesised snippet into another target."""
-        with obs.span("clarify.reuse", target=target, kind=kind) as sp:
+        with budget_scope(budget), obs.span(
+            "clarify.reuse", target=target, kind=kind
+        ) as sp:
             obs.count("clarify.reuses")
             self._journal_cycle_start(
                 "reuse", target, kind=kind, snippet=snippet

@@ -14,10 +14,14 @@ package provides:
 * :class:`~repro.llm.faulty.FaultyLLM` — a fault-injection wrapper used to
   exercise the verification/retry loop;
 * :class:`~repro.llm.transcript.TranscribingClient` — call logging and the
-  per-task statistics behind Figure 4's "#LLM calls" column.
+  per-task statistics behind Figure 4's "#LLM calls" column;
+* :class:`~repro.llm.dedup.DedupClient` — thread-safe deduplication of
+  identical in-flight requests (one upstream call, fanned-out response),
+  used by the :mod:`repro.serve` layer to serve concurrent sessions.
 """
 
 from repro.llm.client import LLMClient
+from repro.llm.dedup import DedupClient
 from repro.llm.faulty import FaultyLLM
 from repro.llm.intents import (
     AclIntent,
@@ -38,6 +42,7 @@ __all__ = [
     "AclIntent",
     "CallRecord",
     "DEFAULT_MAX_RECORDS",
+    "DedupClient",
     "FaultyLLM",
     "IntentParseError",
     "LLMClient",

@@ -1,0 +1,101 @@
+"""LLM request deduplication: one upstream call per in-flight request.
+
+When many Clarify sessions run concurrently (:mod:`repro.serve`), bursts
+of identical requests are common — the synthetic loadgen mixes a small
+set of intent archetypes, and real fleets of operators issue the same
+"deny this prefix" update against many devices.  :class:`DedupClient`
+wraps any :class:`~repro.llm.client.LLMClient` and coalesces identical
+``(system, prompt)`` requests that are *in flight at the same time* into
+a single upstream call whose response is fanned out to every waiter,
+using :class:`repro.perf.cache.SingleFlight`.
+
+Coalescing in-flight calls is always semantics-preserving for a
+deterministic upstream (every waiter receives exactly the bytes the
+upstream would have returned it), which is what keeps the serving
+layer's serial-vs-pooled differential identity intact.  An optional
+*memo* layer (``memoize=True``, a bounded
+:class:`repro.perf.cache.Memo`) additionally reuses **completed**
+responses; leave it off when the upstream is impure — with
+:class:`~repro.llm.faulty.FaultyLLM` underneath, memoizing would pin a
+corrupted response forever and turn every retry into a guaranteed
+failure.
+
+Counters (exposed as attributes and, when a recorder is active, as
+``llm.dedup.*`` obs counters):
+
+* ``requests`` — calls into this client;
+* ``upstream_calls`` — calls that reached the inner client;
+* ``coalesced`` — calls served by another thread's in-flight call;
+* ``memo_hits`` — calls served from the completed-response memo.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro import obs
+from repro.llm.client import LLMClient
+from repro.perf.cache import Memo, SingleFlight
+
+#: Default bound for the optional completed-response memo.
+DEFAULT_MEMO_SIZE = 1 << 12
+
+
+class DedupClient:
+    """Thread-safe wrapper deduplicating identical in-flight LLM calls."""
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        memoize: bool = False,
+        memo_size: int = DEFAULT_MEMO_SIZE,
+    ) -> None:
+        self._inner = inner
+        self._flight: SingleFlight = SingleFlight("llm.dedup")
+        self._memo: Optional[Memo] = (
+            Memo("llm.dedup.memo", memo_size) if memoize else None
+        )
+        self._counter_lock = threading.Lock()
+        self.requests = 0
+        self.upstream_calls = 0
+
+    @property
+    def coalesced(self) -> int:
+        """Calls that were fanned out from another thread's upstream call."""
+        return self._flight.followers
+
+    @property
+    def memo_hits(self) -> int:
+        return self._memo.hits if self._memo is not None else 0
+
+    def complete(self, system: str, prompt: str) -> str:
+        key: Tuple[str, str] = (system, prompt)
+        with self._counter_lock:
+            self.requests += 1
+        obs.count("llm.dedup.requests")
+
+        def upstream() -> str:
+            with self._counter_lock:
+                self.upstream_calls += 1
+            obs.count("llm.dedup.upstream")
+            return self._inner.complete(system, prompt)
+
+        if self._memo is not None:
+            memo = self._memo
+            response = self._flight.do(key, lambda: memo.lookup(key, upstream))
+        else:
+            response = self._flight.do(key, upstream)
+        return response
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the deduplication counters."""
+        return {
+            "requests": self.requests,
+            "upstream_calls": self.upstream_calls,
+            "coalesced": self.coalesced,
+            "memo_hits": self.memo_hits,
+        }
+
+
+__all__ = ["DEFAULT_MEMO_SIZE", "DedupClient"]

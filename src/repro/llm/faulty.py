@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 import re
+import threading
 
 from repro import obs
 from repro.llm.client import LLMClient
@@ -23,7 +24,17 @@ _SYNTH_TASKS = (TaskKind.ROUTE_MAP_SYNTH, TaskKind.ACL_SYNTH)
 
 
 class FaultyLLM:
-    """Wraps a client, corrupting synthesis outputs with probability ``error_rate``."""
+    """Wraps a client, corrupting synthesis outputs with probability ``error_rate``.
+
+    Thread-safe: the seeded RNG and the ``injected_faults`` counter are
+    guarded by a lock so the wrapper can serve concurrent sessions (the
+    serving layer's chaos mode shares one instance across the worker
+    pool).  The serialised region is only the corruption decision; the
+    upstream call runs outside the lock.  Note that under concurrency
+    the *assignment* of RNG draws to calls depends on thread scheduling,
+    so chaos runs are reproducible only per-process-schedule, not
+    byte-for-byte.
+    """
 
     def __init__(
         self, inner: LLMClient, error_rate: float, seed: int = 0
@@ -33,17 +44,21 @@ class FaultyLLM:
         self._inner = inner
         self._error_rate = error_rate
         self._rng = random.Random(seed)
+        self._lock = threading.Lock()
         self.injected_faults = 0
 
     def complete(self, system: str, prompt: str) -> str:
         response = self._inner.complete(system, prompt)
         if task_kind_of(system) not in _SYNTH_TASKS:
             return response
-        if self._rng.random() >= self._error_rate:
-            return response
-        corrupted = self._corrupt(response)
-        if corrupted != response:
-            self.injected_faults += 1
+        with self._lock:
+            if self._rng.random() >= self._error_rate:
+                return response
+            corrupted = self._corrupt(response)
+            injected = corrupted != response
+            if injected:
+                self.injected_faults += 1
+        if injected:
             obs.count("llm.faults_injected")
         return corrupted
 

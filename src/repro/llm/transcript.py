@@ -18,6 +18,7 @@ persists them to disk instead of holding them in memory.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections import Counter, deque
 from typing import Deque, Dict, List, Optional
 
@@ -41,7 +42,15 @@ class CallRecord:
 
 
 class TranscribingClient:
-    """An :class:`LLMClient` wrapper that logs every call."""
+    """An :class:`LLMClient` wrapper that logs every call.
+
+    Thread-safe: the transcript, the running counters, and the eviction
+    bookkeeping are guarded by one lock, so a client shared by several
+    sessions — or one sitting behind the serving layer's deduplication
+    fan-out (:mod:`repro.llm.dedup`) — keeps exact counts under
+    concurrent ``complete`` calls.  The upstream call itself runs
+    *outside* the lock; only the bookkeeping is serialised.
+    """
 
     def __init__(
         self,
@@ -52,6 +61,7 @@ class TranscribingClient:
             raise ValueError("max_records must be at least 1 (or None)")
         self._inner = inner
         self._max_records = max_records
+        self._lock = threading.Lock()
         self._records: Deque[CallRecord] = deque()
         self._total = 0
         self._by_task: Counter = Counter()
@@ -65,19 +75,26 @@ class TranscribingClient:
         Bounded by ``max_records``; use :meth:`call_count` /
         :meth:`counts_by_task` for exact totals.
         """
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     @property
     def max_records(self) -> Optional[int]:
         return self._max_records
 
     def _record(self, record: CallRecord) -> None:
-        self._total += 1
-        self._by_task[record.task] += 1
-        self._records.append(record)
-        if self._max_records is not None and len(self._records) > self._max_records:
-            self._records.popleft()
-            self.evicted += 1
+        with self._lock:
+            self._total += 1
+            self._by_task[record.task] += 1
+            self._records.append(record)
+            evict = (
+                self._max_records is not None
+                and len(self._records) > self._max_records
+            )
+            if evict:
+                self._records.popleft()
+                self.evicted += 1
+        if evict:
             obs.count("llm.transcript.evicted")
 
     def complete(self, system: str, prompt: str) -> str:
@@ -111,18 +128,23 @@ class TranscribingClient:
         Computed from running counters, not the retained records, so the
         Figure-4 statistics survive transcript eviction.
         """
-        if task is None:
-            return self._total
-        return self._by_task.get(task, 0)
+        with self._lock:
+            if task is None:
+                return self._total
+            return self._by_task.get(task, 0)
 
     def counts_by_task(self) -> Dict[TaskKind, int]:
-        return {task: count for task, count in self._by_task.items() if count}
+        with self._lock:
+            return {
+                task: count for task, count in self._by_task.items() if count
+            }
 
     def reset(self) -> None:
-        self._records.clear()
-        self._by_task.clear()
-        self._total = 0
-        self.evicted = 0
+        with self._lock:
+            self._records.clear()
+            self._by_task.clear()
+            self._total = 0
+            self.evicted = 0
 
 
 __all__ = ["CallRecord", "DEFAULT_MAX_RECORDS", "TranscribingClient"]

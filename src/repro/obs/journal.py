@@ -199,59 +199,82 @@ def validate_journal(events: List[JournalEvent]) -> None:
 
 
 # ----------------------------------------------------- the active journal
+#
+# Two layers, mirroring how sessions are served: a *process default*
+# (:func:`install_journal`) and a *thread-local override*
+# (:func:`journaling`).  Single-threaded harness code behaves exactly as
+# before — the override shadows the default within the ``with`` block —
+# while the serving layer (:mod:`repro.serve`) gives every worker thread
+# its own override, so concurrent sessions journal independently instead
+# of interleaving their events into one stream (which would break the
+# byte-for-byte replay guarantee).
 
-_active_journal: Optional[JournalRecorder] = None
+_default_journal: Optional[JournalRecorder] = None
+_local = threading.local()
 
 
 def get_journal() -> Optional[JournalRecorder]:
-    """The journal events currently flow to, or ``None``."""
-    return _active_journal
+    """The journal this thread's events flow to, or ``None``.
+
+    The thread-local override (set by :func:`journaling`) wins; with no
+    override the process default (set by :func:`install_journal`)
+    applies.
+    """
+    override = getattr(_local, "journal", None)
+    if override is not None:
+        return override
+    return _default_journal
 
 
 def install_journal(
     journal: Optional[JournalRecorder] = None,
 ) -> JournalRecorder:
-    """Make ``journal`` (a fresh in-memory one by default) active."""
-    global _active_journal
+    """Make ``journal`` (a fresh in-memory one by default) the process default."""
+    global _default_journal
     recorder = journal if journal is not None else JournalRecorder()
-    _active_journal = recorder
+    _default_journal = recorder
     return recorder
 
 
 def uninstall_journal() -> None:
-    """Stop journaling (events become no-ops again)."""
-    global _active_journal
-    _active_journal = None
+    """Drop the process-default journal (events become no-ops again)."""
+    global _default_journal
+    _default_journal = None
 
 
 @contextlib.contextmanager
 def journaling(
     journal: Optional[JournalRecorder] = None,
 ) -> Iterator[JournalRecorder]:
-    """Activate a journal for the dynamic extent of a ``with`` block."""
-    global _active_journal
+    """Activate a journal for the dynamic extent of a ``with`` block.
+
+    The activation is **thread-local**: only the current thread's events
+    flow to ``journal``, so concurrent workers can each journal their own
+    session (see :mod:`repro.serve`).  On exit the previous override (or
+    the process default) is restored.
+    """
     recorder = journal if journal is not None else JournalRecorder()
-    previous = _active_journal
-    _active_journal = recorder
+    previous = getattr(_local, "journal", None)
+    _local.journal = recorder
     try:
         yield recorder
     finally:
-        _active_journal = previous
+        _local.journal = previous
 
 
 def journal_enabled() -> bool:
-    """True when a journal is active.
+    """True when a journal is active for the current thread.
 
     Instrumentation gates *expensive payload construction* (rendering a
     configuration, formatting a differential example) on this; the
     :func:`event` hook itself is already a no-op without a journal.
     """
-    return _active_journal is not None
+    return get_journal() is not None
 
 
 def event(type_: str, **data: Any) -> None:
     """Record an event on the active journal (no-op by default)."""
-    journal = _active_journal
+    journal = get_journal()
     if journal is not None:
         journal.event(type_, **data)
 

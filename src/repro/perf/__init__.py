@@ -21,6 +21,7 @@ evaluation layers, which live above this package.
 from repro.perf.cache import (
     Interner,
     Memo,
+    SingleFlight,
     cache_stats,
     cache_totals,
     clear_caches,
@@ -34,6 +35,7 @@ from repro.perf.cache import (
 __all__ = [
     "Interner",
     "Memo",
+    "SingleFlight",
     "cache_stats",
     "cache_totals",
     "clear_caches",

@@ -25,14 +25,30 @@ published to the active :mod:`repro.obs` recorder on demand as
 Correctness never depends on cache *content*: every table stores results
 of pure functions over immutable values, so eviction, clearing, or
 disabling only changes speed.  The tables are intentionally lock-free;
-concurrent use can at worst lose an entry, never corrupt a result.
+concurrent use can at worst lose an entry (or a hit/miss count), never
+corrupt a result.  The one fully-locked primitive is
+:class:`SingleFlight`, which coalesces concurrent computations of the
+same key into a single call — a *correctness* property for impure or
+metered upstreams (the serving layer's LLM deduplication builds on it,
+see :class:`repro.llm.dedup.DedupClient`).
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Hashable, Iterator, List, TypeVar, Union
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    TypeVar,
+    Union,
+    cast,
+)
 
 T = TypeVar("T", bound=Hashable)
 V = TypeVar("V")
@@ -137,6 +153,80 @@ class Interner:
     def clear(self) -> None:
         """Drop every entry; hit/miss totals are preserved."""
         self._table.clear()
+
+
+class _InFlight:
+    """One computation in progress: waiters block on ``done``."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Coalesce concurrent computations of the same key into one call.
+
+    ``do(key, compute)`` guarantees that at any moment at most one thread
+    is running ``compute()`` for a given key: the first caller (the
+    *leader*) computes; callers arriving while that computation is in
+    flight (*followers*) block and receive the leader's result — or its
+    exception — when it lands.  Once a computation completes the key
+    leaves the in-flight table, so single-flight alone is **not** a
+    cache; pair it with a :class:`Memo` when completed results should be
+    reused (see :class:`repro.llm.dedup.DedupClient`).
+
+    Unlike :class:`Memo`/:class:`Interner` this class is fully locked —
+    it exists to uphold a *correctness* property (one upstream call per
+    in-flight key), not to trade speed for memory — and it is therefore
+    deliberately independent of :func:`configure`/:func:`disabled`:
+    bypassing it would change how many upstream calls happen, which an
+    impure upstream (a metered API, a fault injector) can observe.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Computations actually run (one per coalesced group).
+        self.leaders = 0
+        #: Calls served by another thread's in-flight computation.
+        self.followers = 0
+        self._lock = threading.Lock()
+        self._inflight: Dict[Hashable, _InFlight] = {}
+
+    def do(self, key: Hashable, compute: Callable[[], V]) -> V:
+        """Return ``compute()`` for ``key``, coalescing concurrent calls."""
+        with self._lock:
+            call = self._inflight.get(key)
+            if call is None:
+                call = _InFlight()
+                self._inflight[key] = call
+                leader = True
+                self.leaders += 1
+            else:
+                leader = False
+                self.followers += 1
+        if leader:
+            try:
+                call.result = compute()
+            except BaseException as exc:
+                call.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                call.done.set()
+        else:
+            call.done.wait()
+            if call.error is not None:
+                raise call.error
+        return cast(V, call.result)
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed."""
+        with self._lock:
+            return len(self._inflight)
 
 
 _REGISTRY: List[Union[Memo, Interner]] = []
@@ -262,6 +352,7 @@ __all__ = [
     "DEFAULT_MEMO_SIZE",
     "Interner",
     "Memo",
+    "SingleFlight",
     "cache_stats",
     "cache_totals",
     "clear_caches",

@@ -1,0 +1,56 @@
+"""``repro.serve`` — concurrent multi-session Clarify serving.
+
+The paper's Clarify loop is one user talking to one session; the
+north-star system serves fleets of operators concurrently.  This package
+is that serving layer (architecture in ``docs/SERVING.md``):
+
+* :class:`~repro.serve.session.SessionManager` — owns per-session state
+  (configuration store, oracle, optional journal) keyed by session id,
+  with the per-session locks/FIFO ordering that make
+  :class:`~repro.core.workflow.ClarifySession` safe to drive from a pool;
+* :class:`~repro.serve.service.ClarifyService` — a bounded work queue and
+  thread pool with admission control (reject-with-retry-after past the
+  high-water mark) and per-request time budgets
+  (:class:`~repro.core.budget.TimeBudget`);
+* :mod:`~repro.serve.loadgen` — a deterministic seeded workload generator
+  (campus/cloud intent mix, optional :class:`~repro.llm.faulty.FaultyLLM`
+  chaos rate) reporting throughput, latency quantiles, and per-outcome
+  counters to ``benchmarks/BENCH_serve.json``.
+
+The layer's core invariant: a serial run (one worker) and a pooled run
+of the same seeded workload produce **identical per-session outcomes** —
+concurrency changes latency, never results.  ``clarify loadgen
+--check-serial-identity`` asserts this end to end, and CI runs it on
+every push.
+"""
+
+from repro.serve.loadgen import (
+    LoadgenReport,
+    SessionSpec,
+    check_serial_identity,
+    generate_workload,
+    run_loadgen,
+)
+from repro.serve.service import (
+    AdmissionError,
+    ClarifyService,
+    ServeRequest,
+    ServeResponse,
+    Ticket,
+)
+from repro.serve.session import ManagedSession, SessionManager
+
+__all__ = [
+    "AdmissionError",
+    "ClarifyService",
+    "LoadgenReport",
+    "ManagedSession",
+    "ServeRequest",
+    "ServeResponse",
+    "SessionSpec",
+    "SessionManager",
+    "Ticket",
+    "check_serial_identity",
+    "generate_workload",
+    "run_loadgen",
+]

@@ -1,0 +1,346 @@
+"""A deterministic load generator for the Clarify service.
+
+``clarify loadgen`` drives :class:`~repro.serve.service.ClarifyService`
+with a seeded, reproducible campaign: a mix of **campus** sessions
+(route-map policy edits against a walkthrough-style BGP config) and
+**cloud** sessions (ACL rule additions against an edge filter), each
+issuing several intents drawn from templates the simulated LLM's intent
+grammar (:mod:`repro.llm.intents`) understands.  The parameter spaces
+are deliberately small so distinct sessions collide on identical
+intents — exercising the :class:`~repro.llm.dedup.DedupClient`
+in-flight coalescing path under real concurrency.
+
+Everything about the workload is a pure function of ``seed``, which is
+what makes the serial-vs-pooled differential check meaningful: run the
+same campaign with one worker and with N workers, fingerprint the
+schedule-independent outcome fields, and the fingerprints must match
+byte for byte (:func:`check_serial_identity`).
+
+With ``fault_rate > 0`` the upstream LLM is wrapped in a
+:class:`~repro.llm.faulty.FaultyLLM` chaos layer.  Fault placement then
+depends on global call order, so outcomes are no longer
+schedule-independent — the chaos gate instead asserts *liveness and
+containment*: every request resolves, no session wedges, and no
+``internal-error`` outcomes occur.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.disambiguator import DisambiguationMode
+from repro.llm.client import LLMClient
+from repro.llm.dedup import DedupClient
+from repro.llm.faulty import FaultyLLM
+from repro.llm.simulated import SimulatedLLM
+from repro.obs.metrics import Histogram
+from repro.serve.service import (
+    AdmissionError,
+    ClarifyService,
+    ServeRequest,
+    ServeResponse,
+    Ticket,
+)
+from repro.serve.session import SessionManager
+
+#: Campus archetype: the §2 walkthrough configuration (BGP export policy).
+CAMPUS_CONFIG = """
+ip as-path access-list D0 permit _32$
+ip prefix-list D1 seq 10 permit 10.0.0.0/8 le 24
+ip prefix-list D1 seq 20 permit 20.0.0.0/16 le 32
+ip prefix-list D1 seq 30 permit 1.0.0.0/20 ge 24
+route-map ISP_OUT deny 10
+ match as-path D0
+route-map ISP_OUT deny 20
+ match ip address prefix-list D1
+route-map ISP_OUT permit 30
+ match local-preference 300
+"""
+
+CAMPUS_TARGET = "ISP_OUT"
+
+#: Cloud archetype: an edge ACL with one existing allow rule.
+CLOUD_CONFIG = """
+ip access-list extended EDGE_IN
+ 10 permit tcp host 1.1.1.1 host 2.2.2.2
+"""
+
+CLOUD_TARGET = "EDGE_IN"
+
+#: Small parameter spaces → cross-session intent collisions → dedup hits.
+_ASNS = (32, 44, 65, 77)
+_LOCAL_PREFS = (100, 200, 300)
+_MED_PREFIXES = (100, 120, 140)
+_ACL_NETS = (3, 5, 7)
+_ACL_PORTS = (22, 443, 8080)
+
+
+def _campus_intents(rng: random.Random, count: int) -> List[str]:
+    intents: List[str] = []
+    for _ in range(count):
+        kind = rng.randrange(3)
+        if kind == 0:
+            intents.append(
+                "Write a route-map stanza that denies routes originating "
+                f"from AS {rng.choice(_ASNS)}."
+            )
+        elif kind == 1:
+            intents.append(
+                "Write a route-map stanza that permits routes with "
+                f"local-preference {rng.choice(_LOCAL_PREFS)}."
+            )
+        else:
+            octet = rng.choice(_MED_PREFIXES)
+            intents.append(
+                "Write a route-map stanza that permits routes containing "
+                f"the prefix {octet}.0.0.0/16 with mask length less than "
+                f"or equal to {rng.randrange(17, 25)} and tagged with the "
+                f"community 300:{rng.randrange(1, 4)}. Their MED value "
+                f"should be set to {rng.choice((55, 70))}."
+            )
+    return intents
+
+
+def _cloud_intents(rng: random.Random, count: int) -> List[str]:
+    intents: List[str] = []
+    for _ in range(count):
+        action = rng.choice(("denies", "permits"))
+        net = rng.choice(_ACL_NETS)
+        port = rng.choice(_ACL_PORTS)
+        intents.append(
+            f"Add a rule that {action} tcp traffic from 10.{net}.0.0/16 "
+            f"to host 2.2.2.{rng.randrange(2, 6)} on destination port "
+            f"{port}."
+        )
+    return intents
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionSpec:
+    """One generated session: its seed config and intent script."""
+
+    session_id: str
+    archetype: str
+    config_text: str
+    target: str
+    intents: Tuple[str, ...]
+
+
+def generate_workload(
+    sessions: int, requests_per_session: int = 2, seed: int = 2025
+) -> List[SessionSpec]:
+    """The campaign is a pure function of ``(sessions, rps, seed)``."""
+    if sessions < 1:
+        raise ValueError("sessions must be at least 1")
+    if requests_per_session < 1:
+        raise ValueError("requests_per_session must be at least 1")
+    specs: List[SessionSpec] = []
+    for index in range(sessions):
+        rng = random.Random(f"loadgen:{seed}:{index}")
+        archetype = "campus" if rng.random() < 0.5 else "cloud"
+        if archetype == "campus":
+            intents = _campus_intents(rng, requests_per_session)
+            config, target = CAMPUS_CONFIG, CAMPUS_TARGET
+        else:
+            intents = _cloud_intents(rng, requests_per_session)
+            config, target = CLOUD_CONFIG, CLOUD_TARGET
+        specs.append(
+            SessionSpec(
+                session_id=f"{archetype}-{index:03d}",
+                archetype=archetype,
+                config_text=config,
+                target=target,
+                intents=tuple(intents),
+            )
+        )
+    return specs
+
+
+@dataclasses.dataclass
+class LoadgenReport:
+    """What one campaign did, with the identity fingerprint."""
+
+    sessions: int
+    requests: int
+    workers: int
+    seed: int
+    fault_rate: float
+    wall_s: float
+    throughput_rps: float
+    outcomes: Dict[str, int]
+    latency_quantiles: Dict[str, float]
+    queue_wait_quantiles: Dict[str, float]
+    fingerprint: str
+    rejected_submissions: int
+    dedup: Dict[str, int]
+    injected_faults: int
+    counters: Dict[str, float]
+    unresolved: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def _quantiles(histogram: Histogram) -> Dict[str, float]:
+    return {
+        "p50": histogram.quantile(0.5) or 0.0,
+        "p95": histogram.quantile(0.95) or 0.0,
+        "p99": histogram.quantile(0.99) or 0.0,
+        "max": float(histogram.max),
+    }
+
+
+def _fingerprint(keys: List[Dict[str, Any]]) -> str:
+    canonical = json.dumps(
+        sorted(keys, key=lambda k: (k["session"], k["seq"])),
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def run_loadgen(
+    sessions: int = 16,
+    requests_per_session: int = 2,
+    workers: int = 4,
+    seed: int = 2025,
+    fault_rate: float = 0.0,
+    deadline_s: Optional[float] = None,
+    queue_limit: int = 64,
+    high_water: Optional[int] = None,
+    max_attempts: int = 3,
+    wait_timeout_s: float = 120.0,
+    llm_factory: Optional[Callable[[], LLMClient]] = None,
+) -> LoadgenReport:
+    """Run one seeded campaign and aggregate the results.
+
+    Admission rejections are retried (after the advertised
+    ``retry_after_s``) until accepted, so backpressure shapes *when*
+    work runs, never *whether* it runs — a prerequisite for the
+    serial-vs-pooled identity check.
+    """
+    workload = generate_workload(sessions, requests_per_session, seed)
+    upstream: LLMClient = llm_factory() if llm_factory else SimulatedLLM()
+    faulty: Optional[FaultyLLM] = None
+    if fault_rate > 0.0:
+        faulty = FaultyLLM(upstream, error_rate=fault_rate, seed=seed)
+        upstream = faulty
+    shared = DedupClient(upstream)
+
+    recorder = obs.Recorder()
+    t_start = time.perf_counter()
+    with obs.recording(recorder):
+        manager = SessionManager(
+            llm=shared,
+            mode=DisambiguationMode.FULL,
+            max_attempts=max_attempts,
+        )
+        for spec in workload:
+            manager.open(spec.session_id, config_text=spec.config_text)
+        rejected_submissions = 0
+        tickets: List[Ticket] = []
+        with ClarifyService(
+            manager,
+            workers=workers,
+            queue_limit=queue_limit,
+            high_water=high_water,
+        ) as service:
+            # Round-robin across sessions so concurrent requests overlap
+            # across many sessions (and dedup sees simultaneous twins).
+            for round_idx in range(requests_per_session):
+                for spec in workload:
+                    request = ServeRequest(
+                        session=spec.session_id,
+                        intent=spec.intents[round_idx],
+                        target=spec.target,
+                        deadline_s=deadline_s,
+                    )
+                    while True:
+                        try:
+                            tickets.append(service.submit(request))
+                            break
+                        except AdmissionError as exc:
+                            rejected_submissions += 1
+                            time.sleep(min(exc.retry_after_s, 0.05))
+            responses: List[Optional[ServeResponse]] = [
+                t.wait(wait_timeout_s) for t in tickets
+            ]
+    wall = time.perf_counter() - t_start
+
+    resolved = [r for r in responses if r is not None]
+    unresolved = len(responses) - len(resolved)
+    outcomes: Dict[str, int] = {}
+    latency = Histogram()
+    queue_wait = Histogram()
+    for response in resolved:
+        outcomes[response.outcome] = outcomes.get(response.outcome, 0) + 1
+        latency.observe(response.latency_s)
+        queue_wait.observe(response.queue_wait_s)
+    return LoadgenReport(
+        sessions=sessions,
+        requests=len(tickets),
+        workers=workers,
+        seed=seed,
+        fault_rate=fault_rate,
+        wall_s=wall,
+        throughput_rps=len(resolved) / wall if wall > 0 else 0.0,
+        outcomes=dict(sorted(outcomes.items())),
+        latency_quantiles=_quantiles(latency),
+        queue_wait_quantiles=_quantiles(queue_wait),
+        fingerprint=_fingerprint([r.outcome_key() for r in resolved]),
+        rejected_submissions=rejected_submissions,
+        dedup=shared.stats(),
+        injected_faults=faulty.injected_faults if faulty else 0,
+        counters={
+            name: value
+            for name, value in sorted(recorder.counters.items())
+            if name.startswith(("serve.", "llm.dedup."))
+        },
+        unresolved=unresolved,
+    )
+
+
+def check_serial_identity(
+    sessions: int,
+    requests_per_session: int,
+    workers: int,
+    seed: int,
+    **kwargs: Any,
+) -> Tuple[LoadgenReport, LoadgenReport]:
+    """Run the campaign serially and pooled; raise if outcomes diverge.
+
+    Fault injection and deadlines are schedule-dependent by nature, so
+    the identity check always runs fault-free and deadline-free.
+    """
+    serial = run_loadgen(
+        sessions, requests_per_session, workers=1, seed=seed, **kwargs
+    )
+    pooled = run_loadgen(
+        sessions, requests_per_session, workers=workers, seed=seed, **kwargs
+    )
+    if serial.fingerprint != pooled.fingerprint:
+        raise AssertionError(
+            "serial and pooled runs diverged: "
+            f"{serial.fingerprint} != {pooled.fingerprint} "
+            f"(serial outcomes {serial.outcomes}, "
+            f"pooled outcomes {pooled.outcomes})"
+        )
+    return serial, pooled
+
+
+__all__ = [
+    "CAMPUS_CONFIG",
+    "CAMPUS_TARGET",
+    "CLOUD_CONFIG",
+    "CLOUD_TARGET",
+    "LoadgenReport",
+    "SessionSpec",
+    "check_serial_identity",
+    "generate_workload",
+    "run_loadgen",
+]

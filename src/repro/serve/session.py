@@ -1,0 +1,179 @@
+"""Per-session state for the serving layer.
+
+A :class:`SessionManager` owns many named Clarify sessions over shared
+substrates: every session gets its own
+:class:`~repro.core.workflow.ClarifySession` (policy snapshot, oracle,
+history) while the LLM client is shared across all of them — typically a
+:class:`~repro.llm.dedup.DedupClient` so identical in-flight requests
+collapse to one upstream call.
+
+Concurrency contract: ``ClarifySession`` is not thread-safe (see the
+re-entrancy audit in :mod:`repro.core.workflow`), so each managed
+session carries a condition variable and a FIFO ticket pair
+(``submitted_seq``/``next_seq``).  :class:`repro.serve.service.ClarifyService`
+stamps every accepted request with the session's next ``submitted_seq``
+and a worker only executes a request once ``next_seq`` catches up — so a
+session's requests run strictly in submission order no matter how the
+pool schedules them, which is what makes pooled outcomes identical to a
+serial run.
+
+Journals: with ``memory_journals=True`` (or ``journal_dir`` set) every
+session records its own :class:`~repro.obs.journal.JournalRecorder`;
+the service activates it thread-locally around each request, so the
+per-session streams stay replayable even under a concurrent pool.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro import obs
+from repro.config import parse_config, render_config
+from repro.config.store import ConfigStore
+from repro.core.disambiguator import DisambiguationMode
+from repro.core.oracle import FirstOptionOracle, UserOracle
+from repro.core.workflow import ClarifySession
+from repro.llm.client import LLMClient
+from repro.obs.journal import JournalRecorder
+
+
+class ManagedSession:
+    """One named Clarify session plus its serving-side bookkeeping."""
+
+    def __init__(
+        self,
+        session_id: str,
+        session: ClarifySession,
+        journal: Optional[JournalRecorder] = None,
+    ) -> None:
+        self.session_id = session_id
+        self.session = session
+        self.journal = journal
+        #: Guards ``submitted_seq`` assignment and ``next_seq`` waits.
+        self.cond = threading.Condition()
+        #: Sequence number the next accepted request will be stamped with.
+        self.submitted_seq = 0
+        #: Sequence number of the request allowed to execute now.
+        self.next_seq = 0
+
+    def config_text(self) -> str:
+        """The session's current rendered configuration."""
+        return render_config(self.session.store)
+
+    def config_sha256(self) -> str:
+        return obs.sha256_text(self.config_text())
+
+
+class SessionManager:
+    """Creates, looks up, and closes the sessions a service runs.
+
+    ``llm`` is shared by every session (each ``ClarifySession`` wraps it
+    in its own :class:`~repro.llm.transcript.TranscribingClient`, so
+    per-session call counts stay exact even when the shared client
+    deduplicates upstream calls).  ``oracle_factory`` builds one oracle
+    per session — the default always answers option 1, the loadgen's
+    deterministic choice.
+    """
+
+    def __init__(
+        self,
+        llm: Optional[LLMClient] = None,
+        oracle_factory: Optional[Callable[[], UserOracle]] = None,
+        mode: DisambiguationMode = DisambiguationMode.FULL,
+        max_attempts: int = 3,
+        lint_gate: bool = False,
+        memory_journals: bool = False,
+        journal_dir: Optional[str] = None,
+    ) -> None:
+        self._llm = llm
+        self._oracle_factory = oracle_factory or FirstOptionOracle
+        self._mode = mode
+        self._max_attempts = max_attempts
+        self._lint_gate = lint_gate
+        self._memory_journals = memory_journals
+        self._journal_dir = journal_dir
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, ManagedSession] = {}
+        self._opened = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def open(
+        self,
+        session_id: str,
+        config_text: str = "",
+        store: Optional[ConfigStore] = None,
+    ) -> ManagedSession:
+        """Create a session; ``config_text`` seeds its configuration."""
+        if store is None:
+            store = parse_config(config_text)
+        journal = self._make_journal(session_id)
+        with self._lock:
+            if session_id in self._sessions:
+                raise ValueError(f"session {session_id!r} already open")
+            self._opened += 1
+            numeric_id = self._opened
+        session = ClarifySession(
+            store=store,
+            llm=self._llm,
+            oracle=self._oracle_factory(),
+            mode=self._mode,
+            max_attempts=self._max_attempts,
+            lint_gate=self._lint_gate,
+            session_id=numeric_id,
+        )
+        managed = ManagedSession(session_id, session, journal=journal)
+        with self._lock:
+            self._sessions[session_id] = managed
+        obs.count("serve.sessions.opened")
+        return managed
+
+    def _make_journal(self, session_id: str) -> Optional[JournalRecorder]:
+        if self._journal_dir is not None:
+            safe = "".join(
+                c if c.isalnum() or c in "-_." else "_" for c in session_id
+            )
+            path = os.path.join(self._journal_dir, f"{safe}.journal.jsonl")
+            return JournalRecorder(path)
+        if self._memory_journals:
+            return JournalRecorder()
+        return None
+
+    def get(self, session_id: str) -> Optional[ManagedSession]:
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def close(self, session_id: str) -> bool:
+        """Forget a session, closing its journal; False if unknown."""
+        with self._lock:
+            managed = self._sessions.pop(session_id, None)
+        if managed is None:
+            return False
+        if managed.journal is not None:
+            managed.journal.close()
+        obs.count("serve.sessions.closed")
+        return True
+
+    def close_all(self) -> None:
+        for session_id in self.ids():
+            self.close(session_id)
+
+    # ------------------------------------------------------------- queries
+
+    def ids(self) -> List[str]:
+        """Open session ids, in creation order."""
+        with self._lock:
+            return list(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, session_id: object) -> bool:
+        with self._lock:
+            return session_id in self._sessions
+
+
+__all__ = ["ManagedSession", "SessionManager"]

@@ -1,0 +1,167 @@
+"""Tests for the ambient per-request time budget."""
+
+import pytest
+
+from repro.config import parse_config, render_config
+from repro.core import ClarifySession
+from repro.core.budget import (
+    TimeBudget,
+    budget_expired,
+    budget_scope,
+    check_budget,
+    current_budget,
+)
+from repro.core.errors import DeadlineExceeded, SynthesisPunt
+from repro.llm import FaultyLLM, SimulatedLLM
+
+MULTI_STANZA_CONFIG = """
+ip as-path access-list D0 permit _10$
+ip as-path access-list D1 permit _20$
+ip as-path access-list D2 permit _30$
+route-map OUT deny 10
+ match as-path D0
+route-map OUT deny 20
+ match as-path D1
+route-map OUT deny 30
+ match as-path D2
+"""
+
+LOCAL_PREF_INTENT = (
+    "Write a route-map stanza that permits routes with local-preference 700."
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class ClockAdvancingOracle:
+    """Answers option 1, advancing a fake clock on every question."""
+
+    def __init__(self, clock: FakeClock, step: float) -> None:
+        self.clock = clock
+        self.step = step
+
+    def choose(self, question) -> int:
+        self.clock.t += self.step
+        return 1
+
+
+class TestTimeBudget:
+    def test_elapsed_remaining_expired(self):
+        clock = FakeClock()
+        budget = TimeBudget(10.0, clock=clock)
+        assert budget.elapsed() == 0.0
+        assert budget.remaining() == 10.0
+        assert not budget.expired()
+        clock.t = 4.0
+        assert budget.elapsed() == 4.0
+        assert budget.remaining() == 6.0
+        clock.t = 10.0
+        assert budget.expired()
+        assert budget.remaining() == 0.0
+
+    def test_check_raises_with_context(self):
+        clock = FakeClock()
+        budget = TimeBudget(1.0, clock=clock)
+        budget.check("synthesis")  # within budget: no raise
+        clock.t = 2.0
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            budget.check("disambiguation", questions_asked=3)
+        assert excinfo.value.where == "disambiguation"
+        assert excinfo.value.budget_s == 1.0
+        assert excinfo.value.questions_asked == 3
+        assert "disambiguation" in str(excinfo.value)
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBudget(0.0)
+        with pytest.raises(ValueError):
+            TimeBudget(-1.0)
+
+    def test_scope_installs_and_restores(self):
+        assert current_budget() is None
+        budget = TimeBudget(5.0, clock=FakeClock())
+        with budget_scope(budget):
+            assert current_budget() is budget
+            assert not budget_expired()
+        assert current_budget() is None
+
+    def test_none_scope_inherits_outer(self):
+        outer = TimeBudget(5.0, clock=FakeClock())
+        with budget_scope(outer):
+            with budget_scope(None):
+                assert current_budget() is outer
+            assert current_budget() is outer
+
+    def test_check_budget_noop_without_scope(self):
+        check_budget("anywhere")  # no ambient budget: never raises
+        assert not budget_expired()
+
+    def test_expired_ambient_budget_raises(self):
+        clock = FakeClock()
+        budget = TimeBudget(1.0, clock=clock)
+        clock.t = 2.0
+        with budget_scope(budget):
+            with pytest.raises(DeadlineExceeded):
+                check_budget("late")
+
+
+class TestBudgetedWorkflow:
+    def test_deadline_mid_binary_search_leaves_store_untouched(self):
+        clock = FakeClock()
+        session = ClarifySession(
+            store=parse_config(MULTI_STANZA_CONFIG),
+            oracle=ClockAdvancingOracle(clock, step=10.0),
+        )
+        before = render_config(session.store)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            session.request(
+                LOCAL_PREF_INTENT, "OUT", budget=TimeBudget(5.0, clock=clock)
+            )
+        # This scenario asks two questions unbudgeted; the budget expires
+        # after the first, mid-binary-search.
+        assert excinfo.value.where == "disambiguation"
+        assert excinfo.value.questions_asked == 1
+        assert render_config(session.store) == before
+
+    def test_unbudgeted_baseline_asks_two_questions(self):
+        session = ClarifySession(store=parse_config(MULTI_STANZA_CONFIG))
+        report = session.request(LOCAL_PREF_INTENT, "OUT")
+        assert report.questions == 2
+
+    def test_deadline_during_retries_degrades_to_punt(self):
+        clock = FakeClock()
+        faulty = FaultyLLM(SimulatedLLM(), error_rate=1.0, seed=7)
+        original = faulty.complete
+
+        def complete_and_tick(system, prompt):
+            clock.t += 3.0
+            return original(system, prompt)
+
+        faulty.complete = complete_and_tick
+        session = ClarifySession(llm=faulty, max_attempts=10)
+        with pytest.raises(SynthesisPunt) as excinfo:
+            session.request(
+                LOCAL_PREF_INTENT, "OUT", budget=TimeBudget(10.0, clock=clock)
+            )
+        # The budget (not the attempt cap) ended the retry loop, and the
+        # punt says so — a graceful partial result, not an exception blast.
+        assert excinfo.value.attempts < 10
+        assert any("time budget" in f for f in excinfo.value.failures)
+
+    def test_generous_budget_changes_nothing(self):
+        clock = FakeClock()
+        budgeted = ClarifySession(store=parse_config(MULTI_STANZA_CONFIG))
+        report = budgeted.request(
+            LOCAL_PREF_INTENT, "OUT", budget=TimeBudget(1e9, clock=clock)
+        )
+        bare = ClarifySession(store=parse_config(MULTI_STANZA_CONFIG))
+        baseline = bare.request(LOCAL_PREF_INTENT, "OUT")
+        assert report.questions == baseline.questions
+        assert report.llm_calls == baseline.llm_calls
+        assert render_config(budgeted.store) == render_config(bare.store)

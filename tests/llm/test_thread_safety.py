@@ -1,0 +1,159 @@
+"""Regression tests: the LLM wrappers must survive a thread hammer.
+
+The serving layer shares one wrapper stack across a worker pool, so
+``TranscribingClient`` and ``FaultyLLM`` are exercised from 8 threads
+at once and their bookkeeping must come out exact.
+"""
+
+import threading
+
+from repro.llm import (
+    FaultyLLM,
+    PromptDatabase,
+    SimulatedLLM,
+    TaskKind,
+    TranscribingClient,
+)
+from repro.llm.client import LLMClient
+
+THREADS = 8
+CALLS_PER_THREAD = 50
+
+DB = PromptDatabase()
+SYNTH_SYSTEM = DB.system_prompt(TaskKind.ROUTE_MAP_SYNTH)
+SPEC_SYSTEM = DB.system_prompt(TaskKind.ROUTE_MAP_SPEC)
+
+PAPER_PROMPT = (
+    "Write a route-map stanza that permits routes containing the prefix "
+    "100.0.0.0/16 with mask length less than or equal to 23 and tagged "
+    "with the community 300:3. Their MED value should be set to 55."
+)
+
+
+class EchoLLM(LLMClient):
+    def complete(self, system: str, prompt: str) -> str:
+        return f"echo|{prompt}"
+
+
+def _hammer(worker, threads=THREADS):
+    errors = []
+
+    def run(idx):
+        try:
+            worker(idx)
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append(exc)
+
+    pool = [threading.Thread(target=run, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert errors == []
+
+
+class TestTranscribingClientThreadSafety:
+    def test_counts_exact_under_hammer(self):
+        client = TranscribingClient(EchoLLM())
+
+        def worker(idx):
+            for call in range(CALLS_PER_THREAD):
+                system = SYNTH_SYSTEM if call % 2 else SPEC_SYSTEM
+                client.complete(system, f"prompt-{idx}-{call}")
+
+        _hammer(worker)
+        assert client.call_count() == THREADS * CALLS_PER_THREAD
+        by_task = client.counts_by_task()
+        assert sum(by_task.values()) == THREADS * CALLS_PER_THREAD
+        assert by_task[TaskKind.ROUTE_MAP_SYNTH] == THREADS * (
+            CALLS_PER_THREAD // 2
+        )
+
+    def test_eviction_under_hammer_keeps_invariants(self):
+        client = TranscribingClient(EchoLLM(), max_records=64)
+
+        def worker(idx):
+            for call in range(CALLS_PER_THREAD):
+                client.complete(SYNTH_SYSTEM, f"prompt-{idx}-{call}")
+
+        _hammer(worker)
+        total = THREADS * CALLS_PER_THREAD
+        assert client.call_count() == total
+        assert len(client.records) == 64
+        assert client.evicted == total - 64
+
+    def test_concurrent_reset_never_corrupts(self):
+        client = TranscribingClient(EchoLLM())
+        stop = threading.Event()
+
+        def caller(idx):
+            while not stop.is_set():
+                client.complete(SYNTH_SYSTEM, f"p{idx}")
+
+        def resetter(_):
+            for _ in range(20):
+                client.reset()
+
+        pool = [threading.Thread(target=caller, args=(i,)) for i in range(4)]
+        for thread in pool:
+            thread.start()
+        _hammer(resetter, threads=2)
+        stop.set()
+        for thread in pool:
+            thread.join()
+        # After a final reset the counters are coherent again.
+        client.reset()
+        assert client.call_count() == 0
+        assert client.records == []
+
+
+class TestFaultyLLMThreadSafety:
+    def test_certain_faults_counted_exactly(self):
+        faulty = FaultyLLM(SimulatedLLM(), error_rate=1.0, seed=3)
+        clean = SimulatedLLM().complete(SYNTH_SYSTEM, PAPER_PROMPT)
+        corrupted = []
+        lock = threading.Lock()
+
+        def worker(idx):
+            local = []
+            for _ in range(CALLS_PER_THREAD):
+                local.append(faulty.complete(SYNTH_SYSTEM, PAPER_PROMPT))
+            with lock:
+                corrupted.extend(local)
+
+        _hammer(worker)
+        total = THREADS * CALLS_PER_THREAD
+        assert faulty.injected_faults == total
+        assert all(response != clean for response in corrupted)
+
+    def test_spec_calls_never_faulted_under_hammer(self):
+        faulty = FaultyLLM(SimulatedLLM(), error_rate=1.0, seed=3)
+        clean = SimulatedLLM().complete(SPEC_SYSTEM, PAPER_PROMPT)
+
+        def worker(idx):
+            for _ in range(CALLS_PER_THREAD):
+                assert faulty.complete(SPEC_SYSTEM, PAPER_PROMPT) == clean
+
+        _hammer(worker)
+        assert faulty.injected_faults == 0
+
+    def test_partial_rate_bookkeeping_consistent(self):
+        faulty = FaultyLLM(SimulatedLLM(), error_rate=0.5, seed=11)
+        clean = SimulatedLLM().complete(SYNTH_SYSTEM, PAPER_PROMPT)
+        responses = []
+        lock = threading.Lock()
+
+        def worker(idx):
+            local = []
+            for _ in range(CALLS_PER_THREAD):
+                local.append(faulty.complete(SYNTH_SYSTEM, PAPER_PROMPT))
+            with lock:
+                responses.extend(local)
+
+        _hammer(worker)
+        # Every injected fault corresponds to a response that differs
+        # from the clean completion — the counter and the observable
+        # corruptions must agree exactly.
+        differing = sum(1 for response in responses if response != clean)
+        assert differing == faulty.injected_faults
+        assert 0 < faulty.injected_faults < THREADS * CALLS_PER_THREAD

@@ -1,0 +1,161 @@
+"""Tests for admission control and the service lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.llm.client import LLMClient
+from repro.llm.simulated import SimulatedLLM
+from repro.serve import (
+    AdmissionError,
+    ClarifyService,
+    ServeRequest,
+    SessionManager,
+)
+
+INTENT = (
+    "Write a route-map stanza that permits routes with local-preference 300."
+)
+
+
+class GatedLLM(LLMClient):
+    """Delegates to the simulated LLM, but only once ``gate`` is set.
+
+    ``entered`` fires on the first upstream call, letting a test wait
+    until a worker is genuinely busy before probing the queue.
+    """
+
+    def __init__(self) -> None:
+        self._inner = SimulatedLLM()
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def complete(self, system: str, prompt: str) -> str:
+        self.entered.set()
+        assert self.gate.wait(timeout=60), "test never opened the gate"
+        return self._inner.complete(system, prompt)
+
+
+def _open_sessions(manager, count):
+    for idx in range(count):
+        manager.open(f"s{idx}")
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_with_retry_after(self):
+        llm = GatedLLM()
+        manager = SessionManager(llm=llm)
+        _open_sessions(manager, 3)
+        with ClarifyService(
+            manager, workers=1, queue_limit=8, high_water=2
+        ) as service:
+            first = service.submit(
+                ServeRequest(session="s0", intent=INTENT, target="OUT")
+            )
+            assert llm.entered.wait(timeout=60)
+            second = service.submit(
+                ServeRequest(session="s1", intent=INTENT, target="OUT")
+            )
+            # Backlog is now at the high-water mark: reject.
+            with pytest.raises(AdmissionError) as excinfo:
+                service.submit(
+                    ServeRequest(session="s2", intent=INTENT, target="OUT")
+                )
+            assert excinfo.value.retry_after_s > 0
+            assert excinfo.value.high_water == 2
+            assert service.rejected == 1
+            llm.gate.set()
+            assert first.wait(60).outcome == "applied"
+            assert second.wait(60).outcome == "applied"
+        # Once drained the backlog is empty again.
+        assert service.depth() == 0
+
+    def test_call_maps_rejection_to_outcome(self):
+        llm = GatedLLM()
+        manager = SessionManager(llm=llm)
+        _open_sessions(manager, 2)
+        with ClarifyService(
+            manager, workers=1, queue_limit=4, high_water=1
+        ) as service:
+            ticket = service.submit(
+                ServeRequest(session="s0", intent=INTENT, target="OUT")
+            )
+            assert llm.entered.wait(timeout=60)
+            response = service.call(
+                ServeRequest(session="s1", intent=INTENT, target="OUT")
+            )
+            assert response.outcome == "rejected"
+            assert response.retry_after_s > 0
+            assert not response.ok
+            llm.gate.set()
+            assert ticket.wait(60) is not None
+
+    def test_unknown_session_raises_key_error(self):
+        manager = SessionManager()
+        with ClarifyService(manager, workers=1) as service:
+            with pytest.raises(KeyError):
+                service.submit(
+                    ServeRequest(session="ghost", intent=INTENT, target="OUT")
+                )
+
+    def test_submit_after_stop_raises(self):
+        manager = SessionManager()
+        manager.open("s0")
+        service = ClarifyService(manager, workers=1)
+        service.start()
+        service.stop()
+        with pytest.raises(RuntimeError):
+            service.submit(
+                ServeRequest(session="s0", intent=INTENT, target="OUT")
+            )
+
+    def test_stop_drains_pending_work(self):
+        manager = SessionManager()
+        _open_sessions(manager, 4)
+        service = ClarifyService(manager, workers=2)
+        service.start()
+        tickets = [
+            service.submit(
+                ServeRequest(session=f"s{i}", intent=INTENT, target="OUT")
+            )
+            for i in range(4)
+        ]
+        service.stop()
+        for ticket in tickets:
+            response = ticket.wait(0)
+            assert response is not None and response.outcome == "applied"
+
+    def test_constructor_validation(self):
+        manager = SessionManager()
+        with pytest.raises(ValueError):
+            ClarifyService(manager, workers=0)
+        with pytest.raises(ValueError):
+            ClarifyService(manager, queue_limit=0)
+        with pytest.raises(ValueError):
+            ClarifyService(manager, queue_limit=4, high_water=5)
+
+    def test_per_session_fifo_under_pool(self):
+        """Requests to one session run in submission order even with
+        many workers racing."""
+        manager = SessionManager()
+        manager.open("s0", config_text="")
+        with ClarifyService(manager, workers=4) as service:
+            tickets = [
+                service.submit(
+                    ServeRequest(
+                        session="s0",
+                        intent=(
+                            "Write a route-map stanza that denies routes "
+                            f"originating from AS {asn}."
+                        ),
+                        target="OUT",
+                    )
+                )
+                for asn in (11, 22, 33)
+            ]
+            responses = [t.wait(60) for t in tickets]
+        assert [r.seq for r in responses] == [0, 1, 2]
+        assert all(r.outcome == "applied" for r in responses)
+        # Three stanzas landed; the store saw them in submission order.
+        rm = manager.get("s0").session.store.route_map("OUT")
+        assert len(rm.stanzas) == 3

@@ -1,0 +1,71 @@
+"""Deadline behaviour at the serving layer.
+
+The fine-grained budget mechanics (fake clocks, mid-binary-search
+expiry, retry-loop punts) are covered in ``tests/core/test_budget.py``;
+these tests check the service's outcome mapping: a deadline is a
+*graceful outcome*, never an unhandled exception, and never a mutated
+configuration.
+"""
+
+from repro.serve import ClarifyService, ServeRequest, SessionManager
+from repro.serve.loadgen import CAMPUS_CONFIG
+
+INTENT = (
+    "Write a route-map stanza that permits routes with local-preference 300."
+)
+
+
+class TestServeDeadlines:
+    def test_microscopic_deadline_resolves_to_deadline_outcome(self):
+        manager = SessionManager()
+        managed = manager.open("alice", config_text=CAMPUS_CONFIG)
+        before = managed.config_sha256()
+        with ClarifyService(manager, workers=1) as service:
+            response = service.call(
+                ServeRequest(
+                    session="alice",
+                    intent=INTENT,
+                    target="ISP_OUT",
+                    deadline_s=1e-9,
+                )
+            )
+        assert response.outcome == "deadline"
+        assert response.detail
+        # Degraded gracefully: the configuration is untouched and its
+        # hash is reported so the client can see nothing was applied.
+        assert managed.config_sha256() == before
+        assert response.config_sha256 == before
+
+    def test_deadline_session_remains_usable(self):
+        manager = SessionManager()
+        manager.open("alice", config_text=CAMPUS_CONFIG)
+        with ClarifyService(manager, workers=1) as service:
+            expired = service.call(
+                ServeRequest(
+                    session="alice",
+                    intent=INTENT,
+                    target="ISP_OUT",
+                    deadline_s=1e-9,
+                )
+            )
+            retried = service.call(
+                ServeRequest(session="alice", intent=INTENT, target="ISP_OUT")
+            )
+        assert expired.outcome == "deadline"
+        assert retried.outcome == "applied"
+        assert retried.seq == expired.seq + 1
+
+    def test_generous_deadline_applies_normally(self):
+        manager = SessionManager()
+        manager.open("alice", config_text=CAMPUS_CONFIG)
+        with ClarifyService(manager, workers=1) as service:
+            response = service.call(
+                ServeRequest(
+                    session="alice",
+                    intent=INTENT,
+                    target="ISP_OUT",
+                    deadline_s=300.0,
+                )
+            )
+        assert response.outcome == "applied"
+        assert response.position is not None

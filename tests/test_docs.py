@@ -125,4 +125,24 @@ class TestDocsLint:
 
 def test_doc_set_is_present():
     names = {path.name for path in DOC_FILES}
-    assert {"README.md", "ARCHITECTURE.md", "OBSERVABILITY.md", "TUTORIAL.md"} <= names
+    assert {
+        "README.md",
+        "ARCHITECTURE.md",
+        "OBSERVABILITY.md",
+        "TUTORIAL.md",
+        "PERFORMANCE.md",
+        "SERVING.md",
+    } <= names
+
+
+def test_serving_doc_covers_the_layer():
+    text = (REPO_ROOT / "docs" / "SERVING.md").read_text()
+    for needle in (
+        "admission control",
+        "SessionManager",
+        "ClarifyService",
+        "DedupClient",
+        "TimeBudget",
+        "loadgen",
+    ):
+        assert needle in text, f"SERVING.md does not mention {needle}"
