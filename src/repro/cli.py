@@ -580,12 +580,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     import json as _json
 
-    from repro.llm.dedup import DedupClient
     from repro.serve import ClarifyService, ServeRequest, SessionManager
+    from repro.serve.loadgen import build_llm_stack
 
     out = sys.stdout
+    stack = build_llm_stack(
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        batch_window_s=args.batch_window,
+    )
     manager = SessionManager(
-        llm=DedupClient(SimulatedLLM()),
+        llm=stack.client,
         max_attempts=args.max_attempts,
         journal_dir=args.journal_dir,
     )
@@ -649,6 +654,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         sessions=len(manager),
                         depth=service.depth(),
                         rejected=service.rejected,
+                        backend=stack.backend,
+                        upstream_llm_calls=stack.upstream_calls,
+                        cache=(
+                            stack.cached.stats()
+                            if stack.cached is not None
+                            else None
+                        ),
                     )
                 else:
                     reply(ok=False, error=f"unknown op {op!r}")
@@ -669,7 +681,11 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     import os
     import tempfile
 
-    from repro.serve import check_serial_identity, run_loadgen
+    from repro.serve import (
+        check_cache_effectiveness,
+        check_serial_identity,
+        run_loadgen,
+    )
 
     kwargs = dict(
         fault_rate=args.fault_rate,
@@ -677,9 +693,34 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         high_water=args.high_water,
         max_attempts=args.max_attempts,
+        backend=args.backend,
+        batch_window_s=args.batch_window,
     )
     failures: List[str] = []
     serial = None
+    effectiveness = None
+    if args.check_cache_effectiveness:
+        if args.fault_rate > 0.0 or args.deadline is not None:
+            print(
+                "error: --check-cache-effectiveness requires a fault-free, "
+                "deadline-free campaign (chaos bypasses the cache and "
+                "deadlines are schedule-dependent)",
+                file=sys.stderr,
+            )
+            return 1
+        cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="clarify-cache-")
+        try:
+            effectiveness = check_cache_effectiveness(
+                args.sessions,
+                args.requests_per_session,
+                workers=args.workers,
+                seed=args.seed,
+                cache_dir=cache_dir,
+                **kwargs,
+            )
+        except AssertionError as exc:
+            print(f"CACHE EFFECTIVENESS FAILED: {exc}", file=sys.stderr)
+            return 1
     if args.check_serial_identity:
         if args.fault_rate > 0.0 or args.deadline is not None:
             print(
@@ -695,17 +736,21 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 args.requests_per_session,
                 workers=args.workers,
                 seed=args.seed,
+                cache_dir=args.cache_dir,
                 **kwargs,
             )
         except AssertionError as exc:
             print(f"IDENTITY FAILED: {exc}", file=sys.stderr)
             return 1
+    elif effectiveness is not None:
+        report = effectiveness.warm
     else:
         report = run_loadgen(
             args.sessions,
             args.requests_per_session,
             workers=args.workers,
             seed=args.seed,
+            cache_dir=args.cache_dir,
             **kwargs,
         )
 
@@ -719,6 +764,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     if serial is not None:
         payload["serial"] = serial.to_dict()
         payload["identity"] = serial.fingerprint == report.fingerprint
+    if effectiveness is not None:
+        payload["cache_effectiveness"] = effectiveness.to_dict()
     if args.output:
         directory = os.path.dirname(args.output) or "."
         os.makedirs(directory, exist_ok=True)
@@ -757,6 +804,14 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         )
         if serial is not None:
             print(f"  serial identity OK ({report.fingerprint[:16]}…)")
+        if effectiveness is not None:
+            eff = effectiveness.to_dict()
+            print(
+                "  cache effectiveness OK: upstream calls "
+                f"{eff['uncached_upstream_calls']} uncached → "
+                f"{eff['cold_upstream_calls']} cold → "
+                f"{eff['warm_upstream_calls']} warm"
+            )
     for failure in failures:
         print(f"LOADGEN FAILED: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -1073,6 +1128,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="record one replayable journal per session under DIR",
     )
+    p_serve.add_argument(
+        "--backend",
+        default="simulated",
+        help="LLM backend spec: 'simulated', 'remote', or a comma-separated "
+        "fallback chain like 'remote,simulated' (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="durable response cache directory (memoizes verified-pure "
+        "responses across runs)",
+    )
+    p_serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="micro-batch concurrent LLM calls behind a flush window "
+        "(default: off)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_loadgen = sub.add_parser(
@@ -1127,10 +1202,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="synthesis retry threshold per request (default: 3)",
     )
     p_loadgen.add_argument(
+        "--backend",
+        default="simulated",
+        help="LLM backend spec: 'simulated', 'remote', or a comma-separated "
+        "fallback chain like 'remote,simulated' (default: %(default)s)",
+    )
+    p_loadgen.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="durable response cache directory (memoizes verified-pure "
+        "responses across runs)",
+    )
+    p_loadgen.add_argument(
+        "--batch-window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="micro-batch concurrent LLM calls behind a flush window "
+        "(default: off)",
+    )
+    p_loadgen.add_argument(
         "--check-serial-identity",
         action="store_true",
         help="also run the campaign with one worker and fail unless the "
         "pooled run's per-session outcomes match byte for byte",
+    )
+    p_loadgen.add_argument(
+        "--check-cache-effectiveness",
+        action="store_true",
+        help="run the campaign uncached, cold-cache, and warm-cache and "
+        "fail unless outcomes are identical while upstream LLM calls "
+        "drop (uses --cache-dir or a fresh temp directory)",
     )
     p_loadgen.add_argument(
         "--output",

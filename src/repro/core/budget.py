@@ -116,10 +116,26 @@ def budget_expired() -> bool:
     return budget is not None and budget.expired()
 
 
+def remaining_time(default: Optional[float] = None) -> Optional[float]:
+    """Seconds left on the ambient budget, or ``default`` when none is set.
+
+    The remote LLM client derives every attempt's socket timeout from
+    this, so a request that arrives with two seconds of budget never
+    blocks a serving worker for a thirty-second attempt: the attempt is
+    capped at the deadline and its failure surfaces while the budget can
+    still degrade gracefully.
+    """
+    budget = current_budget()
+    if budget is None:
+        return default
+    return budget.remaining()
+
+
 __all__ = [
     "TimeBudget",
     "budget_expired",
     "budget_scope",
     "check_budget",
     "current_budget",
+    "remaining_time",
 ]

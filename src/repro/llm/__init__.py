@@ -3,7 +3,9 @@
 The paper uses GPT-4 for three tasks: classifying a user query as ACL or
 route-map synthesis, translating the English intent into one Cisco IOS
 stanza, and extracting a JSON specification from the intent.  This
-package provides:
+package provides the full client hierarchy (see
+``docs/LLM_BACKENDS.md``), from deterministic simulation to real HTTP
+backends:
 
 * :class:`~repro.llm.client.LLMClient` — the provider-agnostic interface
   (swap in a real API client by implementing ``complete``);
@@ -17,11 +19,32 @@ package provides:
   per-task statistics behind Figure 4's "#LLM calls" column;
 * :class:`~repro.llm.dedup.DedupClient` — thread-safe deduplication of
   identical in-flight requests (one upstream call, fanned-out response),
-  used by the :mod:`repro.serve` layer to serve concurrent sessions.
+  used by the :mod:`repro.serve` layer to serve concurrent sessions;
+* :class:`~repro.llm.respcache.CachedClient` — a durable on-disk response
+  cache keyed by canonical prompt hash, memoizing only verified-pure
+  responses (never :class:`~repro.llm.faulty.FaultyLLM` output);
+* :class:`~repro.llm.remote.RemoteLLMClient` — a real HTTP backend
+  (anthropic-style messages API) with bounded deterministic retry,
+  deadline-capped attempt timeouts, and an injectable transport so CI
+  stays hermetic;
+* :class:`~repro.llm.router.BackendRouter` — ordered fallback chains
+  (``remote → simulated``) with per-backend health/latency counters, and
+  :func:`~repro.llm.router.build_backend` to construct a stack from a
+  ``--backend`` spec string;
+* :class:`~repro.llm.batching.BatchingClient` — optional micro-batching
+  of concurrent distinct prompts behind a flush window;
+* :mod:`~repro.llm.errors` — the retryable/terminal backend error
+  taxonomy the retry loop and router dispatch on.
 """
 
+from repro.llm.batching import BatchingClient
 from repro.llm.client import LLMClient
 from repro.llm.dedup import DedupClient
+from repro.llm.errors import (
+    BackendError,
+    RetryableBackendError,
+    TerminalBackendError,
+)
 from repro.llm.faulty import FaultyLLM
 from repro.llm.intents import (
     AclIntent,
@@ -31,6 +54,9 @@ from repro.llm.intents import (
     parse_route_map_intent,
 )
 from repro.llm.prompts import PromptDatabase, TaskKind
+from repro.llm.remote import RemoteLLMClient, RetryPolicy
+from repro.llm.respcache import CachedClient, ResponseCache, cache_safe_of
+from repro.llm.router import BackendRouter, build_backend
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.transcript import (
     CallRecord,
@@ -40,6 +66,10 @@ from repro.llm.transcript import (
 
 __all__ = [
     "AclIntent",
+    "BackendError",
+    "BackendRouter",
+    "BatchingClient",
+    "CachedClient",
     "CallRecord",
     "DEFAULT_MAX_RECORDS",
     "DedupClient",
@@ -47,10 +77,17 @@ __all__ = [
     "IntentParseError",
     "LLMClient",
     "PromptDatabase",
+    "RemoteLLMClient",
+    "ResponseCache",
+    "RetryPolicy",
+    "RetryableBackendError",
     "RouteMapIntent",
     "SimulatedLLM",
     "TaskKind",
+    "TerminalBackendError",
     "TranscribingClient",
+    "build_backend",
+    "cache_safe_of",
     "parse_acl_intent",
     "parse_route_map_intent",
 ]

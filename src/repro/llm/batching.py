@@ -1,0 +1,143 @@
+"""Micro-batching of concurrent LLM requests behind a flush window.
+
+Where :class:`~repro.llm.dedup.DedupClient` collapses concurrent
+*identical* prompts, :class:`BatchingClient` groups concurrent
+**distinct** prompts: calls arriving within ``flush_window_s`` of each
+other are collected into one batch and dispatched together — through the
+upstream's ``complete_many(pairs)`` when it offers one (a single HTTP
+round trip for batch-capable transports), else through a per-item loop
+by the one flusher thread.
+
+The mechanism is strictly *semantics-preserving*: every caller receives
+exactly the completion of its own ``(system, prompt)`` pair, and a
+per-item failure is raised only to the caller that owns the item, so
+batching can sit anywhere in the client stack without perturbing the
+serving layer's serial-vs-pooled identity gate.  The window only trades
+a bounded added latency (at most ``flush_window_s``) for fewer upstream
+round trips.
+
+The first caller to an empty buffer becomes the *flusher*: it waits out
+the window (cut short when ``max_batch`` fills), takes the whole buffer,
+dispatches it, and distributes results; followers just wait on their
+item.  Counters: ``flushes``, ``batched`` (requests that shared a
+flush with at least one other), and an ``llm.batch.size`` histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.llm.client import LLMClient
+from repro.llm.respcache import cache_safe_of
+
+#: Default flush window: long enough to catch a concurrent burst, short
+#: enough to be invisible next to an LLM round trip.
+DEFAULT_FLUSH_WINDOW_S = 0.005
+
+#: Default batch-size cap: a full buffer flushes without waiting.
+DEFAULT_MAX_BATCH = 16
+
+
+class _Item:
+    """One buffered request: its prompt pair and its caller's resolution."""
+
+    __slots__ = ("system", "prompt", "done", "response", "error")
+
+    def __init__(self, system: str, prompt: str) -> None:
+        self.system = system
+        self.prompt = prompt
+        self.done = threading.Event()
+        self.response: Optional[str] = None
+        self.error: Optional[BaseException] = None
+
+
+class BatchingClient:
+    """Group concurrent distinct requests into upstream batches."""
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        flush_window_s: float = DEFAULT_FLUSH_WINDOW_S,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        """Wrap ``inner``; a window of 0 degrades to pass-through timing."""
+        if flush_window_s < 0:
+            raise ValueError("flush_window_s must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self._inner = inner
+        self.flush_window_s = flush_window_s
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        self._buffer: List[_Item] = []
+        self._full = threading.Event()
+        #: Batches dispatched upstream (monotonic).
+        self.flushes = 0
+        #: Requests that shared a flush with at least one other request.
+        self.batched = 0
+
+    @property
+    def cache_safe(self) -> bool:
+        """Delegates to the wrapped client (batching adds no impurity)."""
+        return cache_safe_of(self._inner)
+
+    def _dispatch(self, batch: Sequence[_Item]) -> None:
+        """Complete every buffered item, distributing per-item results."""
+        self.flushes += 1
+        if len(batch) > 1:
+            self.batched += len(batch)
+        obs.count("llm.batch.flushes")
+        obs.observe("llm.batch.size", float(len(batch)))
+        many: Optional[
+            Callable[[Sequence[Tuple[str, str]]], Sequence[str]]
+        ] = getattr(self._inner, "complete_many", None)
+        if many is not None and len(batch) > 1:
+            try:
+                responses = many([(i.system, i.prompt) for i in batch])
+            except BaseException as exc:
+                for item in batch:
+                    item.error = exc
+                    item.done.set()
+                return
+            for item, response in zip(batch, responses):
+                item.response = response
+                item.done.set()
+            return
+        for item in batch:
+            try:
+                item.response = self._inner.complete(item.system, item.prompt)
+            except BaseException as exc:
+                item.error = exc
+            item.done.set()
+
+    def complete(self, system: str, prompt: str) -> str:
+        """Buffer the request; the window's flusher completes the batch."""
+        item = _Item(system, prompt)
+        with self._lock:
+            flusher = not self._buffer
+            self._buffer.append(item)
+            if flusher:
+                self._full.clear()
+            if len(self._buffer) >= self.max_batch:
+                self._full.set()
+        if flusher:
+            if self.flush_window_s > 0:
+                self._full.wait(self.flush_window_s)
+            with self._lock:
+                batch = self._buffer
+                self._buffer = []
+            self._dispatch(batch)
+        item.done.wait()
+        if item.error is not None:
+            raise item.error
+        assert item.response is not None
+        return item.response
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the batching counters."""
+        return {"flushes": self.flushes, "batched": self.batched}
+
+
+__all__ = ["BatchingClient", "DEFAULT_FLUSH_WINDOW_S", "DEFAULT_MAX_BATCH"]

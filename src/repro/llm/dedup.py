@@ -67,9 +67,18 @@ class DedupClient:
 
     @property
     def memo_hits(self) -> int:
+        """Calls served from the optional completed-response memo."""
         return self._memo.hits if self._memo is not None else 0
 
+    @property
+    def cache_safe(self) -> bool:
+        """Delegates to the wrapped client (coalescing adds no impurity)."""
+        from repro.llm.respcache import cache_safe_of
+
+        return cache_safe_of(self._inner)
+
     def complete(self, system: str, prompt: str) -> str:
+        """Complete via the inner client, coalescing in-flight twins."""
         key: Tuple[str, str] = (system, prompt)
         with self._counter_lock:
             self.requests += 1

@@ -1,0 +1,82 @@
+"""The typed error taxonomy for real LLM backends.
+
+Remote backends fail in two fundamentally different ways, and the
+retry/fallback machinery must tell them apart:
+
+* a :class:`RetryableBackendError` is *transient* — rate limiting (HTTP
+  429), request timeouts (408), server-side failures (5xx), connection
+  resets.  :class:`~repro.llm.remote.RemoteLLMClient` retries these with
+  exponential backoff until its
+  :class:`~repro.llm.remote.RetryPolicy` is exhausted, at which point the
+  last error surfaces and the
+  :class:`~repro.llm.router.BackendRouter` may fall through to the next
+  backend in its chain;
+* a :class:`TerminalBackendError` is *permanent* — authentication
+  failures, malformed requests, unparseable responses.  Retrying cannot
+  help, so the client raises immediately and the router falls through to
+  the next backend at once.
+
+Both derive from :class:`BackendError` (itself a
+:class:`~repro.core.errors.ClarifyError`), so the serving layer's
+existing outcome taxonomy absorbs a fully failed backend chain as an
+``error`` outcome, never an ``internal-error``.
+
+Deadline expiry is deliberately *not* part of this taxonomy: a spent
+:class:`~repro.core.budget.TimeBudget` raises
+:class:`~repro.core.errors.DeadlineExceeded`, which neither the retry
+loop nor the router catches — the request is out of time on every
+backend.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ClarifyError
+
+#: HTTP statuses the client treats as transient.
+RETRYABLE_STATUSES = frozenset({408, 429, 500, 502, 503, 504, 529})
+
+
+class BackendError(ClarifyError):
+    """A real LLM backend failed to produce a completion.
+
+    ``backend`` names the backend for router statistics and error
+    messages; ``status`` carries the HTTP status when one exists.
+    """
+
+    def __init__(
+        self, message: str, backend: str = "", status: int = 0
+    ) -> None:
+        """Record the failing ``backend`` and HTTP ``status`` (0 = none)."""
+        detail = f"[{backend}] {message}" if backend else message
+        super().__init__(detail)
+        self.backend = backend
+        self.status = status
+
+
+class RetryableBackendError(BackendError):
+    """A transient backend failure: retry with backoff, then fall back."""
+
+
+class TerminalBackendError(BackendError):
+    """A permanent backend failure: do not retry, fall back immediately."""
+
+
+def error_for_status(
+    status: int, message: str, backend: str = ""
+) -> BackendError:
+    """Classify an HTTP error status into the retryable/terminal taxonomy."""
+    cls = (
+        RetryableBackendError
+        if status in RETRYABLE_STATUSES
+        else TerminalBackendError
+    )
+    return cls(message, backend=backend, status=status)
+
+
+__all__ = [
+    "BackendError",
+    "RETRYABLE_STATUSES",
+    "RetryableBackendError",
+    "TerminalBackendError",
+    "error_for_status",
+]

@@ -36,6 +36,11 @@ class FaultyLLM:
     byte-for-byte.
     """
 
+    #: Never memoize: a cached fault would be replayed forever, turning
+    #: every verification retry into a guaranteed failure (see
+    #: :func:`repro.llm.respcache.cache_safe_of`).
+    cache_safe = False
+
     def __init__(
         self, inner: LLMClient, error_rate: float, seed: int = 0
     ) -> None:
@@ -48,6 +53,7 @@ class FaultyLLM:
         self.injected_faults = 0
 
     def complete(self, system: str, prompt: str) -> str:
+        """Complete upstream, then maybe corrupt a synthesis output."""
         response = self._inner.complete(system, prompt)
         if task_kind_of(system) not in _SYNTH_TASKS:
             return response

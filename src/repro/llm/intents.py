@@ -45,6 +45,7 @@ class PrefixConstraint:
     le: Optional[int] = None
 
     def bounds(self) -> Tuple[int, int]:
+        """The effective ``(lo, hi)`` mask-length window of the constraint."""
         if self.ge is None and self.le is None:
             return (self.prefix.length, self.prefix.length)
         lo = self.ge if self.ge is not None else self.prefix.length

@@ -206,12 +206,15 @@ class PromptDatabase:
         }
 
     def template(self, kind: TaskKind) -> PromptTemplate:
+        """The stored :class:`PromptTemplate` for ``kind``."""
         return self._templates[kind]
 
     def system_prompt(self, kind: TaskKind) -> str:
+        """The fully rendered system prompt for ``kind``."""
         return self._templates[kind].render_system()
 
     def kinds(self) -> List[TaskKind]:
+        """Every task kind the database has a template for."""
         return list(self._templates)
 
 

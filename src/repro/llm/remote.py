@@ -1,0 +1,324 @@
+"""A real HTTP LLM backend (anthropic-style messages API).
+
+:class:`RemoteLLMClient` implements :class:`~repro.llm.client.LLMClient`
+against an HTTP completion endpoint shaped like the Anthropic messages
+API: one POST per completion carrying the system prompt and a single
+user message, answered with a list of content blocks whose text is the
+completion.  Three properties make it safe to sit behind the serving
+layer:
+
+* **bounded retry with deterministic backoff** — transient failures
+  (:class:`~repro.llm.errors.RetryableBackendError`: HTTP 429/408/5xx,
+  connection errors) are retried per :class:`RetryPolicy`, an
+  exponential schedule with *no jitter* so tests can assert the exact
+  delays; terminal failures raise immediately;
+* **deadline-aware attempts** — every attempt's socket timeout is capped
+  by the ambient :class:`~repro.core.budget.TimeBudget`
+  (:func:`repro.core.budget.remaining_time`), and the retry loop checks
+  the budget before every attempt and every backoff sleep, raising
+  :class:`~repro.core.errors.DeadlineExceeded` instead of sleeping past
+  the deadline;
+* **injectable transport** — all I/O goes through a :class:`Transport`
+  (default :class:`UrllibTransport`, stdlib-only), so CI substitutes a
+  scripted fake and stays fully hermetic: no test or CI job ever opens a
+  network connection.
+
+Configuration resolves from arguments first, then environment
+variables: ``CLARIFY_LLM_API_KEY`` (falling back to
+``ANTHROPIC_API_KEY``), ``CLARIFY_LLM_BASE_URL``, and
+``CLARIFY_LLM_MODEL``.  See ``docs/LLM_BACKENDS.md``.
+
+Observability: ``llm.remote.attempts`` / ``llm.remote.retries`` /
+``llm.remote.errors`` counters and an ``llm.remote.latency`` histogram
+via :mod:`repro.obs` (no-ops unless a recorder is active).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+from repro import obs
+from repro.core.budget import check_budget, remaining_time
+from repro.llm.errors import (
+    RetryableBackendError,
+    TerminalBackendError,
+    error_for_status,
+)
+
+#: Environment variable holding the API key (preferred name).
+ENV_API_KEY = "CLARIFY_LLM_API_KEY"
+#: Fallback environment variable for the API key (anthropic convention).
+ENV_API_KEY_FALLBACK = "ANTHROPIC_API_KEY"
+#: Environment variable overriding the endpoint base URL.
+ENV_BASE_URL = "CLARIFY_LLM_BASE_URL"
+#: Environment variable overriding the model identifier.
+ENV_MODEL = "CLARIFY_LLM_MODEL"
+
+DEFAULT_BASE_URL = "https://api.anthropic.com"
+DEFAULT_MODEL = "claude-sonnet-4-5"
+DEFAULT_MAX_TOKENS = 1024
+DEFAULT_ATTEMPT_TIMEOUT_S = 30.0
+API_VERSION = "2023-06-01"
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """A deterministic exponential-backoff schedule.
+
+    ``delays()`` is a pure function of the policy — no jitter — so the
+    schedule is testable to the millisecond and identical across runs:
+    with the defaults the sleeps between attempts are 0.2s, 0.4s, 0.8s.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.2
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        """Validate the schedule parameters."""
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+
+    def delays(self) -> Tuple[float, ...]:
+        """The backoff sleeps between attempts (``max_attempts - 1`` of them)."""
+        return tuple(
+            min(self.base_delay_s * self.multiplier**i, self.max_delay_s)
+            for i in range(self.max_attempts - 1)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TransportReply:
+    """One HTTP response: status code and raw body bytes."""
+
+    status: int
+    body: bytes
+
+
+class Transport(Protocol):
+    """Anything that can POST a JSON body and return the raw reply.
+
+    Implementations must raise
+    :class:`~repro.llm.errors.RetryableBackendError` for connection-level
+    failures (refused, reset, DNS, socket timeout) and return a
+    :class:`TransportReply` for any HTTP response, error statuses
+    included — status classification is the client's job.
+    """
+
+    def post(
+        self,
+        url: str,
+        headers: Sequence[Tuple[str, str]],
+        body: bytes,
+        timeout_s: float,
+    ) -> TransportReply:
+        """POST ``body`` to ``url`` and return the reply."""
+        ...
+
+
+class UrllibTransport:
+    """The default stdlib transport (``urllib.request``), no dependencies."""
+
+    def post(
+        self,
+        url: str,
+        headers: Sequence[Tuple[str, str]],
+        body: bytes,
+        timeout_s: float,
+    ) -> TransportReply:
+        """POST ``body`` to ``url``; connection failures become retryable."""
+        request = urllib.request.Request(url, data=body, method="POST")
+        for name, value in headers:
+            request.add_header(name, value)
+        try:
+            with urllib.request.urlopen(request, timeout=timeout_s) as reply:
+                return TransportReply(
+                    status=reply.status, body=reply.read()
+                )
+        except urllib.error.HTTPError as exc:
+            return TransportReply(status=exc.code, body=exc.read())
+        except (urllib.error.URLError, OSError) as exc:
+            raise RetryableBackendError(
+                f"connection failed: {exc}", backend="remote"
+            ) from exc
+
+
+class RemoteLLMClient:
+    """An :class:`~repro.llm.client.LLMClient` over a real HTTP backend.
+
+    Responses are genuine upstream completions — cacheable by the
+    durable response cache (``cache_safe`` is true): replaying a stored
+    completion is indistinguishable from the upstream returning the same
+    text again, and everything the model produces is re-parsed and
+    verified downstream anyway.
+    """
+
+    #: Durable caching replays a genuine upstream response; always safe.
+    cache_safe = True
+
+    def __init__(
+        self,
+        model: Optional[str] = None,
+        api_key: Optional[str] = None,
+        base_url: Optional[str] = None,
+        transport: Optional[Transport] = None,
+        retry: Optional[RetryPolicy] = None,
+        attempt_timeout_s: float = DEFAULT_ATTEMPT_TIMEOUT_S,
+        max_tokens: int = DEFAULT_MAX_TOKENS,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Resolve configuration from arguments, then the environment.
+
+        Raises :class:`~repro.llm.errors.TerminalBackendError` when no
+        API key is given and neither ``CLARIFY_LLM_API_KEY`` nor
+        ``ANTHROPIC_API_KEY`` is set — failing at construction keeps a
+        misconfigured backend out of a router chain entirely.
+        """
+        key = (
+            api_key
+            or os.environ.get(ENV_API_KEY)
+            or os.environ.get(ENV_API_KEY_FALLBACK)
+        )
+        if not key:
+            raise TerminalBackendError(
+                f"no API key: pass api_key= or set {ENV_API_KEY} "
+                f"(or {ENV_API_KEY_FALLBACK})",
+                backend="remote",
+            )
+        if attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be positive")
+        self.model = model or os.environ.get(ENV_MODEL) or DEFAULT_MODEL
+        self.base_url = (
+            base_url or os.environ.get(ENV_BASE_URL) or DEFAULT_BASE_URL
+        ).rstrip("/")
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.attempt_timeout_s = attempt_timeout_s
+        self.max_tokens = max_tokens
+        self._api_key = key
+        self._transport: Transport = (
+            transport if transport is not None else UrllibTransport()
+        )
+        self._sleep = sleep
+        #: HTTP round trips attempted (monotonic).
+        self.attempts = 0
+        #: Attempts that failed with a retryable error (monotonic).
+        self.retries = 0
+
+    # ------------------------------------------------------------- request
+
+    def _request_body(self, system: str, prompt: str) -> bytes:
+        payload = {
+            "model": self.model,
+            "max_tokens": self.max_tokens,
+            "system": system,
+            "messages": [{"role": "user", "content": prompt}],
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    def _headers(self) -> List[Tuple[str, str]]:
+        return [
+            ("content-type", "application/json"),
+            ("x-api-key", self._api_key),
+            ("anthropic-version", API_VERSION),
+        ]
+
+    def _parse(self, body: bytes) -> str:
+        try:
+            data = json.loads(body.decode("utf-8"))
+            blocks = data["content"]
+            texts = [
+                block["text"] for block in blocks if block.get("type") == "text"
+            ]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise TerminalBackendError(
+                f"unparseable response: {exc}", backend="remote"
+            ) from exc
+        if not texts:
+            raise TerminalBackendError(
+                "response contains no text blocks", backend="remote"
+            )
+        return "".join(texts)
+
+    def _attempt_timeout(self) -> float:
+        """This attempt's socket timeout, capped by the ambient budget."""
+        remaining = remaining_time()
+        if remaining is None:
+            return self.attempt_timeout_s
+        return max(0.001, min(self.attempt_timeout_s, remaining))
+
+    def _attempt(self, url: str, body: bytes) -> str:
+        self.attempts += 1
+        obs.count("llm.remote.attempts")
+        t0 = time.perf_counter()
+        reply = self._transport.post(
+            url, self._headers(), body, self._attempt_timeout()
+        )
+        obs.observe("llm.remote.latency", time.perf_counter() - t0)
+        if reply.status == 200:
+            return self._parse(reply.body)
+        detail = reply.body.decode("utf-8", errors="replace")[:200]
+        raise error_for_status(
+            reply.status,
+            f"HTTP {reply.status}: {detail}",
+            backend="remote",
+        )
+
+    def complete(self, system: str, prompt: str) -> str:
+        """Complete one prompt pair, retrying transient failures.
+
+        Raises :class:`~repro.llm.errors.RetryableBackendError` when the
+        retry budget is exhausted,
+        :class:`~repro.llm.errors.TerminalBackendError` on a permanent
+        failure, and :class:`~repro.core.errors.DeadlineExceeded` when
+        the ambient time budget expires between attempts.
+        """
+        url = f"{self.base_url}/v1/messages"
+        body = self._request_body(system, prompt)
+        delays = self.retry.delays()
+        last_error: Optional[RetryableBackendError] = None
+        for attempt in range(self.retry.max_attempts):
+            check_budget("llm.remote")
+            try:
+                return self._attempt(url, body)
+            except RetryableBackendError as exc:
+                last_error = exc
+                obs.count("llm.remote.errors")
+                if attempt < len(delays):
+                    self.retries += 1
+                    obs.count("llm.remote.retries")
+                    check_budget("llm.remote.backoff")
+                    self._sleep(delays[attempt])
+            except TerminalBackendError:
+                obs.count("llm.remote.errors")
+                raise
+        assert last_error is not None  # max_attempts >= 1
+        raise last_error
+
+
+__all__ = [
+    "API_VERSION",
+    "DEFAULT_ATTEMPT_TIMEOUT_S",
+    "DEFAULT_BASE_URL",
+    "DEFAULT_MAX_TOKENS",
+    "DEFAULT_MODEL",
+    "ENV_API_KEY",
+    "ENV_API_KEY_FALLBACK",
+    "ENV_BASE_URL",
+    "ENV_MODEL",
+    "RemoteLLMClient",
+    "RetryPolicy",
+    "Transport",
+    "TransportReply",
+    "UrllibTransport",
+]

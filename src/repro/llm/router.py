@@ -1,0 +1,190 @@
+"""Ordered fallback routing across multiple LLM backends.
+
+A :class:`BackendRouter` holds an ordered chain of named backends (for
+example ``remote → simulated``) and serves each completion from the
+first backend that succeeds.  A backend is skipped — and the next one
+tried — only when it raises a :class:`~repro.llm.errors.BackendError`:
+
+* :class:`~repro.llm.errors.TerminalBackendError` falls through
+  immediately (retrying cannot help);
+* :class:`~repro.llm.errors.RetryableBackendError` surfaces from a
+  backend only after its own retry budget is exhausted (see
+  :class:`~repro.llm.remote.RemoteLLMClient`), so the router never
+  duplicates backoff logic.
+
+Everything else propagates untouched: in particular
+:class:`~repro.core.errors.DeadlineExceeded` aborts the whole chain (a
+request that is out of time on one backend is out of time on all of
+them), and intent-grammar errors from the simulated backend keep their
+meaning for the pipeline's verification loop.
+
+Per-backend health and latency land in :mod:`repro.obs` counters —
+``llm.router.calls.<name>``, ``llm.router.errors.<name>``,
+``llm.router.fallbacks`` — and an ``llm.router.latency.<name>``
+histogram, plus local :class:`BackendHealth` counters that
+:meth:`BackendRouter.stats` snapshots for the loadgen report.
+
+:func:`build_backend` is the one-stop factory the CLI flags use: it
+turns a spec string like ``"simulated"``, ``"remote"``, or
+``"remote,simulated"`` into a ready client (a bare client for a single
+backend, a router for a chain).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.llm.client import LLMClient
+from repro.llm.errors import BackendError, TerminalBackendError
+from repro.llm.respcache import cache_safe_of
+
+#: Backend names ``build_backend`` understands.
+KNOWN_BACKENDS = ("simulated", "remote")
+
+
+@dataclasses.dataclass
+class BackendHealth:
+    """Running health counters for one backend in a chain."""
+
+    #: Completions attempted against this backend.
+    calls: int = 0
+    #: Completions served by this backend.
+    successes: int = 0
+    #: Calls that failed with a :class:`BackendError`.
+    failures: int = 0
+    #: Failures in a row since the last success (0 = healthy).
+    consecutive_failures: int = 0
+    #: Total seconds spent in this backend's successful calls.
+    latency_total_s: float = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """The counters as a plain dict for reports."""
+        return {
+            "calls": self.calls,
+            "successes": self.successes,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "latency_total_s": self.latency_total_s,
+        }
+
+
+class BackendRouter:
+    """Serve completions from the first healthy backend in a chain."""
+
+    def __init__(self, backends: Sequence[Tuple[str, LLMClient]]) -> None:
+        """``backends`` is an ordered ``(name, client)`` chain (≥ 1 entry)."""
+        if not backends:
+            raise ValueError("a router needs at least one backend")
+        names = [name for name, _ in backends]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate backend names: {names}")
+        self._backends: List[Tuple[str, LLMClient]] = list(backends)
+        self.health: Dict[str, BackendHealth] = {
+            name: BackendHealth() for name in names
+        }
+        #: Completions that fell through at least one backend (monotonic).
+        self.fallbacks = 0
+
+    @property
+    def cache_safe(self) -> bool:
+        """True only when every backend in the chain is cache-safe.
+
+        A completion may come from *any* backend, so one impure link
+        (for example a :class:`~repro.llm.faulty.FaultyLLM` chaos layer)
+        makes the whole chain unsafe to memoize.
+        """
+        return all(cache_safe_of(client) for _, client in self._backends)
+
+    @property
+    def backend_names(self) -> Tuple[str, ...]:
+        """The chain's backend names, in fallback order."""
+        return tuple(name for name, _ in self._backends)
+
+    def complete(self, system: str, prompt: str) -> str:
+        """Complete via the first backend that succeeds.
+
+        Raises the *last* backend's :class:`BackendError` when every
+        backend fails, and propagates non-backend exceptions (deadline
+        expiry, intent-grammar errors) from whichever backend raised
+        them.
+        """
+        last_error: Optional[BackendError] = None
+        for index, (name, client) in enumerate(self._backends):
+            health = self.health[name]
+            health.calls += 1
+            obs.count(f"llm.router.calls.{name}")
+            t0 = time.perf_counter()
+            try:
+                response = client.complete(system, prompt)
+            except BackendError as exc:
+                health.failures += 1
+                health.consecutive_failures += 1
+                obs.count(f"llm.router.errors.{name}")
+                last_error = exc
+                if index + 1 < len(self._backends):
+                    self.fallbacks += 1
+                    obs.count("llm.router.fallbacks")
+                continue
+            elapsed = time.perf_counter() - t0
+            health.successes += 1
+            health.consecutive_failures = 0
+            health.latency_total_s += elapsed
+            obs.observe(f"llm.router.latency.{name}", elapsed)
+            return response
+        assert last_error is not None  # the chain is non-empty
+        raise TerminalBackendError(
+            f"all backends failed ({', '.join(self.backend_names)}); "
+            f"last: {last_error}",
+            backend=self.backend_names[-1],
+        ) from last_error
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-backend health snapshots plus the fallback total."""
+        report: Dict[str, Dict[str, float]] = {
+            name: health.snapshot() for name, health in self.health.items()
+        }
+        report["_router"] = {"fallbacks": float(self.fallbacks)}
+        return report
+
+
+def build_backend(spec: str, **remote_kwargs: object) -> LLMClient:
+    """Build the client a ``--backend`` spec names.
+
+    ``spec`` is a comma-separated fallback chain drawn from
+    ``simulated`` and ``remote`` — ``"remote,simulated"`` tries the real
+    API first and degrades to the deterministic simulator.  A
+    single-entry spec returns the bare client; a chain returns a
+    :class:`BackendRouter`.  ``remote_kwargs`` are forwarded to
+    :class:`~repro.llm.remote.RemoteLLMClient` (tests inject a fake
+    transport this way).
+    """
+    from repro.llm.remote import RemoteLLMClient
+    from repro.llm.simulated import SimulatedLLM
+
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    if not names:
+        raise ValueError(f"empty backend spec {spec!r}")
+    clients: List[Tuple[str, LLMClient]] = []
+    for name in names:
+        if name == "simulated":
+            clients.append((name, SimulatedLLM()))
+        elif name == "remote":
+            clients.append((name, RemoteLLMClient(**remote_kwargs)))  # type: ignore[arg-type]
+        else:
+            raise ValueError(
+                f"unknown backend {name!r} (known: {', '.join(KNOWN_BACKENDS)})"
+            )
+    if len(clients) == 1:
+        return clients[0][1]
+    return BackendRouter(clients)
+
+
+__all__ = [
+    "BackendHealth",
+    "BackendRouter",
+    "KNOWN_BACKENDS",
+    "build_backend",
+]

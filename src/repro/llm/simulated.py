@@ -55,7 +55,12 @@ _ROUTE_MAP_HINTS = (
 class SimulatedLLM:
     """Deterministic English → Cisco IOS translator behind the LLM API."""
 
+    #: A pure function of the prompt pair: safe for the durable response
+    #: cache (see :func:`repro.llm.respcache.cache_safe_of`).
+    cache_safe = True
+
     def complete(self, system: str, prompt: str) -> str:
+        """Dispatch on the system prompt's ``TASK:`` marker and translate."""
         kind = task_kind_of(system)
         if kind is TaskKind.CLASSIFY:
             return self._classify(prompt)
@@ -228,6 +233,7 @@ def render_route_map_spec(intent: RouteMapIntent) -> str:
 
 
 def render_acl_spec(intent: AclIntent) -> str:
+    """The ACL JSON specification in the paper's §2.1 format."""
     spec: Dict[str, object] = {"permit": intent.action == "permit"}
     if intent.protocol != "ip":
         spec["protocol"] = intent.protocol

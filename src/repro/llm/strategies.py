@@ -89,6 +89,7 @@ class MajorityVoteLLM:
         self.inner_calls = 0
 
     def complete(self, system: str, prompt: str) -> str:
+        """Sample ``k`` completions and return the most common one."""
         completions = []
         for _ in range(self._k):
             completions.append(self._inner.complete(system, prompt))

@@ -80,7 +80,15 @@ class TranscribingClient:
 
     @property
     def max_records(self) -> Optional[int]:
+        """The transcript bound (``None`` = unbounded)."""
         return self._max_records
+
+    @property
+    def cache_safe(self) -> bool:
+        """Delegates to the wrapped client (transcription adds no impurity)."""
+        from repro.llm.respcache import cache_safe_of
+
+        return cache_safe_of(self._inner)
 
     def _record(self, record: CallRecord) -> None:
         with self._lock:
@@ -98,6 +106,7 @@ class TranscribingClient:
             obs.count("llm.transcript.evicted")
 
     def complete(self, system: str, prompt: str) -> str:
+        """Complete via the inner client, logging the full call."""
         task = task_kind_of(system)
         with obs.span("llm.complete", task=task.value):
             response = self._inner.complete(system, prompt)
@@ -134,12 +143,14 @@ class TranscribingClient:
             return self._by_task.get(task, 0)
 
     def counts_by_task(self) -> Dict[TaskKind, int]:
+        """Exact per-task call counts (Figure 4's "#LLM calls" column)."""
         with self._lock:
             return {
                 task: count for task, count in self._by_task.items() if count
             }
 
     def reset(self) -> None:
+        """Drop the transcript and zero every counter."""
         with self._lock:
             self._records.clear()
             self._by_task.clear()

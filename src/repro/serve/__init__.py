@@ -25,8 +25,12 @@ every push.
 """
 
 from repro.serve.loadgen import (
+    CacheEffectiveness,
+    LLMStack,
     LoadgenReport,
     SessionSpec,
+    build_llm_stack,
+    check_cache_effectiveness,
     check_serial_identity,
     generate_workload,
     run_loadgen,
@@ -42,7 +46,9 @@ from repro.serve.session import ManagedSession, SessionManager
 
 __all__ = [
     "AdmissionError",
+    "CacheEffectiveness",
     "ClarifyService",
+    "LLMStack",
     "LoadgenReport",
     "ManagedSession",
     "ServeRequest",
@@ -50,6 +56,8 @@ __all__ = [
     "SessionSpec",
     "SessionManager",
     "Ticket",
+    "build_llm_stack",
+    "check_cache_effectiveness",
     "check_serial_identity",
     "generate_workload",
     "run_loadgen",

@@ -30,15 +30,18 @@ import dataclasses
 import hashlib
 import json
 import random
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.core.disambiguator import DisambiguationMode
+from repro.llm.batching import BatchingClient
 from repro.llm.client import LLMClient
 from repro.llm.dedup import DedupClient
 from repro.llm.faulty import FaultyLLM
-from repro.llm.simulated import SimulatedLLM
+from repro.llm.respcache import CachedClient, ResponseCache, cache_safe_of
+from repro.llm.router import BackendRouter, build_backend
 from repro.obs.metrics import Histogram
 from repro.serve.service import (
     AdmissionError,
@@ -162,6 +165,107 @@ def generate_workload(
     return specs
 
 
+class _CountingClient:
+    """Counts completions that truly reach the backend.
+
+    The dedup/cache/batch layers each report their own savings; this
+    innermost wrapper is the ground truth the cache-effectiveness gate
+    compares — how many calls the real (metered, billed) backend served.
+    """
+
+    def __init__(self, inner: LLMClient) -> None:
+        self._inner = inner
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    @property
+    def cache_safe(self) -> bool:
+        """Delegates to the wrapped backend (counting adds no impurity)."""
+        return cache_safe_of(self._inner)
+
+    def complete(self, system: str, prompt: str) -> str:
+        """Count, then complete via the wrapped backend."""
+        with self._lock:
+            self.calls += 1
+        return self._inner.complete(system, prompt)
+
+
+@dataclasses.dataclass
+class LLMStack:
+    """The layered shared client a campaign (or ``clarify serve``) uses.
+
+    Layering, outermost first (see ``docs/LLM_BACKENDS.md``)::
+
+        DedupClient → BatchingClient? → CachedClient? → FaultyLLM?
+                    → counter → backend (simulated / remote / router)
+
+    ``client`` is what sessions share; the other fields expose each
+    layer's counters for the campaign report.
+    """
+
+    client: DedupClient
+    backend: str
+    counting: _CountingClient
+    faulty: Optional[FaultyLLM]
+    cached: Optional[CachedClient]
+    batcher: Optional[BatchingClient]
+    router: Optional[BackendRouter]
+
+    @property
+    def upstream_calls(self) -> int:
+        """Completions that reached the real backend."""
+        return self.counting.calls
+
+
+def build_llm_stack(
+    backend: str = "simulated",
+    cache_dir: Optional[str] = None,
+    batch_window_s: Optional[float] = None,
+    fault_rate: float = 0.0,
+    seed: int = 0,
+    llm_factory: Optional[Callable[[], LLMClient]] = None,
+    **remote_kwargs: Any,
+) -> LLMStack:
+    """Build the shared client stack from serving-layer knobs.
+
+    ``llm_factory`` (tests) overrides ``backend``.  With a
+    ``fault_rate`` the chaos layer sits *inside* the cache layer, which
+    therefore bypasses itself (corrupted responses are never memoized —
+    see :func:`repro.llm.respcache.cache_safe_of`).  ``remote_kwargs``
+    are forwarded to :func:`repro.llm.router.build_backend` for specs
+    naming the ``remote`` backend (tests inject fake transports).
+    """
+    base = (
+        llm_factory()
+        if llm_factory is not None
+        else build_backend(backend, **remote_kwargs)
+    )
+    router = base if isinstance(base, BackendRouter) else None
+    counting = _CountingClient(base)
+    upstream: LLMClient = counting
+    faulty: Optional[FaultyLLM] = None
+    if fault_rate > 0.0:
+        faulty = FaultyLLM(upstream, error_rate=fault_rate, seed=seed)
+        upstream = faulty
+    cached: Optional[CachedClient] = None
+    if cache_dir is not None:
+        cached = CachedClient(upstream, ResponseCache(cache_dir))
+        upstream = cached
+    batcher: Optional[BatchingClient] = None
+    if batch_window_s is not None:
+        batcher = BatchingClient(upstream, flush_window_s=batch_window_s)
+        upstream = batcher
+    return LLMStack(
+        client=DedupClient(upstream),
+        backend=backend if llm_factory is None else "custom",
+        counting=counting,
+        faulty=faulty,
+        cached=cached,
+        batcher=batcher,
+        router=router,
+    )
+
+
 @dataclasses.dataclass
 class LoadgenReport:
     """What one campaign did, with the identity fingerprint."""
@@ -182,8 +286,14 @@ class LoadgenReport:
     injected_faults: int
     counters: Dict[str, float]
     unresolved: int
+    backend: str = "simulated"
+    #: Completions that truly reached the backend (the billed calls).
+    upstream_llm_calls: int = 0
+    cache: Dict[str, int] = dataclasses.field(default_factory=dict)
+    batch: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
+        """The report as a JSON-serialisable dict."""
         return dataclasses.asdict(self)
 
 
@@ -216,6 +326,9 @@ def run_loadgen(
     max_attempts: int = 3,
     wait_timeout_s: float = 120.0,
     llm_factory: Optional[Callable[[], LLMClient]] = None,
+    backend: str = "simulated",
+    cache_dir: Optional[str] = None,
+    batch_window_s: Optional[float] = None,
 ) -> LoadgenReport:
     """Run one seeded campaign and aggregate the results.
 
@@ -223,14 +336,23 @@ def run_loadgen(
     ``retry_after_s``) until accepted, so backpressure shapes *when*
     work runs, never *whether* it runs — a prerequisite for the
     serial-vs-pooled identity check.
+
+    ``backend`` is a :func:`repro.llm.router.build_backend` spec,
+    ``cache_dir`` enables the durable response cache, and
+    ``batch_window_s`` enables micro-batching (see
+    :func:`build_llm_stack` for the layering).
     """
     workload = generate_workload(sessions, requests_per_session, seed)
-    upstream: LLMClient = llm_factory() if llm_factory else SimulatedLLM()
-    faulty: Optional[FaultyLLM] = None
-    if fault_rate > 0.0:
-        faulty = FaultyLLM(upstream, error_rate=fault_rate, seed=seed)
-        upstream = faulty
-    shared = DedupClient(upstream)
+    stack = build_llm_stack(
+        backend=backend,
+        cache_dir=cache_dir,
+        batch_window_s=batch_window_s,
+        fault_rate=fault_rate,
+        seed=seed,
+        llm_factory=llm_factory,
+    )
+    shared = stack.client
+    faulty = stack.faulty
 
     recorder = obs.Recorder()
     t_start = time.perf_counter()
@@ -299,9 +421,13 @@ def run_loadgen(
         counters={
             name: value
             for name, value in sorted(recorder.counters.items())
-            if name.startswith(("serve.", "llm.dedup."))
+            if name.startswith(("serve.", "llm."))
         },
         unresolved=unresolved,
+        backend=stack.backend,
+        upstream_llm_calls=stack.upstream_calls,
+        cache=stack.cached.stats() if stack.cached is not None else {},
+        batch=stack.batcher.stats() if stack.batcher is not None else {},
     )
 
 
@@ -333,13 +459,116 @@ def check_serial_identity(
     return serial, pooled
 
 
+@dataclasses.dataclass
+class CacheEffectiveness:
+    """The cached-vs-uncached differential: same outcomes, fewer calls.
+
+    Three runs of the identical seeded campaign: ``uncached`` (no durable
+    cache), ``cold`` (fresh cache directory — repeats *within* the run
+    hit), and ``warm`` (same directory again — every prompt hits).  The
+    gate holds when all three fingerprints are byte-identical and the
+    upstream call count strictly drops at each stage.
+    """
+
+    uncached: LoadgenReport
+    cold: LoadgenReport
+    warm: LoadgenReport
+
+    @property
+    def identical(self) -> bool:
+        """True when every run produced byte-identical outcomes."""
+        return (
+            self.uncached.fingerprint
+            == self.cold.fingerprint
+            == self.warm.fingerprint
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The before/after call counts BENCH_serve.json records."""
+        return {
+            "identical_outcomes": self.identical,
+            "requests": self.uncached.requests,
+            "uncached_upstream_calls": self.uncached.upstream_llm_calls,
+            "cold_upstream_calls": self.cold.upstream_llm_calls,
+            "warm_upstream_calls": self.warm.upstream_llm_calls,
+            "cold_cache": self.cold.cache,
+            "warm_cache": self.warm.cache,
+            "fingerprint": self.uncached.fingerprint,
+        }
+
+
+def check_cache_effectiveness(
+    sessions: int,
+    requests_per_session: int,
+    workers: int,
+    seed: int,
+    cache_dir: str,
+    **kwargs: Any,
+) -> CacheEffectiveness:
+    """Run the cached-vs-uncached differential gate; raise on violation.
+
+    Requires a fault-free, deadline-free campaign (chaos bypasses the
+    cache by design, and both chaos and deadlines make outcomes
+    schedule-dependent).  Asserts that (1) the uncached, cold-cache, and
+    warm-cache runs produce byte-identical per-session outcomes and
+    (2) the warm run reaches the backend strictly less than the cold
+    run, which reaches it no more than the uncached run.
+    """
+    if kwargs.get("fault_rate") or kwargs.get("deadline_s") is not None:
+        raise ValueError(
+            "cache effectiveness requires a fault-free, deadline-free "
+            "campaign"
+        )
+    uncached = run_loadgen(
+        sessions, requests_per_session, workers=workers, seed=seed, **kwargs
+    )
+    cold = run_loadgen(
+        sessions,
+        requests_per_session,
+        workers=workers,
+        seed=seed,
+        cache_dir=cache_dir,
+        **kwargs,
+    )
+    warm = run_loadgen(
+        sessions,
+        requests_per_session,
+        workers=workers,
+        seed=seed,
+        cache_dir=cache_dir,
+        **kwargs,
+    )
+    result = CacheEffectiveness(uncached=uncached, cold=cold, warm=warm)
+    if not result.identical:
+        raise AssertionError(
+            "cached and uncached runs diverged: "
+            f"uncached {uncached.fingerprint} / cold {cold.fingerprint} / "
+            f"warm {warm.fingerprint}"
+        )
+    if cold.upstream_llm_calls > uncached.upstream_llm_calls:
+        raise AssertionError(
+            f"cold cache increased upstream calls: "
+            f"{cold.upstream_llm_calls} > {uncached.upstream_llm_calls}"
+        )
+    if warm.upstream_llm_calls >= cold.upstream_llm_calls:
+        raise AssertionError(
+            f"warm cache did not reduce upstream calls: "
+            f"{warm.upstream_llm_calls} >= {cold.upstream_llm_calls}"
+        )
+    return result
+
+
 __all__ = [
     "CAMPUS_CONFIG",
     "CAMPUS_TARGET",
     "CLOUD_CONFIG",
     "CLOUD_TARGET",
+    "CacheEffectiveness",
+    "LLMStack",
     "LoadgenReport",
     "SessionSpec",
+    "build_llm_stack",
+    "check_cache_effectiveness",
     "check_serial_identity",
     "generate_workload",
     "run_loadgen",

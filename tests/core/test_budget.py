@@ -10,6 +10,7 @@ from repro.core.budget import (
     budget_scope,
     check_budget,
     current_budget,
+    remaining_time,
 )
 from repro.core.errors import DeadlineExceeded, SynthesisPunt
 from repro.llm import FaultyLLM, SimulatedLLM
@@ -101,6 +102,23 @@ class TestTimeBudget:
     def test_check_budget_noop_without_scope(self):
         check_budget("anywhere")  # no ambient budget: never raises
         assert not budget_expired()
+
+    def test_remaining_time_without_scope_returns_default(self):
+        assert remaining_time() is None
+        assert remaining_time(default=30.0) == 30.0
+
+    def test_remaining_time_tracks_the_ambient_budget(self):
+        clock = FakeClock()
+        with budget_scope(TimeBudget(10.0, clock=clock)):
+            assert remaining_time() == 10.0
+            clock.t = 4.0
+            assert remaining_time() == 6.0
+            clock.t = 99.0
+            assert remaining_time() == 0.0  # never negative
+
+    def test_remaining_time_ignores_default_when_budgeted(self):
+        with budget_scope(TimeBudget(10.0, clock=FakeClock())):
+            assert remaining_time(default=3.0) == 10.0
 
     def test_expired_ambient_budget_raises(self):
         clock = FakeClock()

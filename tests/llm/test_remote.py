@@ -1,0 +1,282 @@
+"""The remote HTTP client: retry schedule, deadlines, error taxonomy."""
+
+import json
+
+import pytest
+
+from repro.core.budget import TimeBudget, budget_scope
+from repro.core.errors import DeadlineExceeded
+from repro.llm.errors import (
+    BackendError,
+    RetryableBackendError,
+    TerminalBackendError,
+    error_for_status,
+)
+from repro.llm.remote import (
+    DEFAULT_BASE_URL,
+    DEFAULT_MODEL,
+    ENV_API_KEY,
+    ENV_API_KEY_FALLBACK,
+    ENV_BASE_URL,
+    ENV_MODEL,
+    RemoteLLMClient,
+    RetryPolicy,
+    TransportReply,
+)
+
+
+def ok_body(text):
+    return json.dumps(
+        {"content": [{"type": "text", "text": text}]}
+    ).encode()
+
+
+class FakeTransport:
+    """Replays a script of TransportReply objects (or exceptions)."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = []
+
+    def post(self, url, headers, body, timeout_s):
+        self.calls.append(
+            {
+                "url": url,
+                "headers": dict(headers),
+                "body": json.loads(body.decode()),
+                "timeout_s": timeout_s,
+            }
+        )
+        reply = self.script.pop(0)
+        if isinstance(reply, Exception):
+            raise reply
+        return reply
+
+
+@pytest.fixture
+def no_env(monkeypatch):
+    for var in (ENV_API_KEY, ENV_API_KEY_FALLBACK, ENV_BASE_URL, ENV_MODEL):
+        monkeypatch.delenv(var, raising=False)
+
+
+def make_client(script, **kwargs):
+    sleeps = []
+    client = RemoteLLMClient(
+        api_key="test-key",
+        transport=FakeTransport(script),
+        sleep=sleeps.append,
+        **kwargs,
+    )
+    return client, sleeps
+
+
+class TestRetryPolicy:
+    def test_default_schedule_is_deterministic(self):
+        assert RetryPolicy().delays() == (0.2, 0.4, 0.8)
+
+    def test_delays_are_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_s=1.0, multiplier=3.0, max_delay_s=5.0
+        )
+        assert policy.delays() == (1.0, 3.0, 5.0, 5.0, 5.0)
+
+    def test_single_attempt_has_no_delays(self):
+        assert RetryPolicy(max_attempts=1).delays() == ()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"max_delay_s": -0.1},
+            {"multiplier": 0.5},
+        ],
+    )
+    def test_invalid_policies_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestConfiguration:
+    def test_no_key_anywhere_is_terminal_at_construction(self, no_env):
+        with pytest.raises(TerminalBackendError, match="no API key"):
+            RemoteLLMClient()
+
+    def test_key_falls_back_to_anthropic_convention(self, no_env, monkeypatch):
+        monkeypatch.setenv(ENV_API_KEY_FALLBACK, "fallback-key")
+        transport = FakeTransport([TransportReply(200, ok_body("hi"))])
+        client = RemoteLLMClient(transport=transport)
+        client.complete("s", "p")
+        assert transport.calls[0]["headers"]["x-api-key"] == "fallback-key"
+
+    def test_preferred_key_wins_over_fallback(self, no_env, monkeypatch):
+        monkeypatch.setenv(ENV_API_KEY, "preferred")
+        monkeypatch.setenv(ENV_API_KEY_FALLBACK, "fallback")
+        transport = FakeTransport([TransportReply(200, ok_body("hi"))])
+        RemoteLLMClient(transport=transport).complete("s", "p")
+        assert transport.calls[0]["headers"]["x-api-key"] == "preferred"
+
+    def test_env_model_and_base_url(self, no_env, monkeypatch):
+        monkeypatch.setenv(ENV_API_KEY, "k")
+        monkeypatch.setenv(ENV_BASE_URL, "https://proxy.example/")
+        monkeypatch.setenv(ENV_MODEL, "my-model")
+        transport = FakeTransport([TransportReply(200, ok_body("hi"))])
+        RemoteLLMClient(transport=transport).complete("s", "p")
+        call = transport.calls[0]
+        assert call["url"] == "https://proxy.example/v1/messages"
+        assert call["body"]["model"] == "my-model"
+
+    def test_defaults(self, no_env, monkeypatch):
+        monkeypatch.setenv(ENV_API_KEY, "k")
+        client = RemoteLLMClient()
+        assert client.base_url == DEFAULT_BASE_URL
+        assert client.model == DEFAULT_MODEL
+
+    def test_request_shape(self):
+        client, _ = make_client([TransportReply(200, ok_body("out"))])
+        assert client.complete("SYSTEM", "PROMPT") == "out"
+        call = client._transport.calls[0]
+        assert call["body"]["system"] == "SYSTEM"
+        assert call["body"]["messages"] == [
+            {"role": "user", "content": "PROMPT"}
+        ]
+        assert call["headers"]["anthropic-version"]
+
+    def test_cache_safe(self):
+        client, _ = make_client([])
+        assert client.cache_safe is True
+
+
+class TestRetries:
+    def test_retryable_statuses_retry_with_exact_backoff(self):
+        client, sleeps = make_client(
+            [
+                TransportReply(429, b"rate limited"),
+                TransportReply(503, b"overloaded"),
+                TransportReply(200, ok_body("done")),
+            ]
+        )
+        assert client.complete("s", "p") == "done"
+        assert sleeps == [0.2, 0.4]
+        assert client.attempts == 3
+        assert client.retries == 2
+
+    def test_connection_errors_retry(self):
+        client, sleeps = make_client(
+            [
+                RetryableBackendError("connection refused", backend="remote"),
+                TransportReply(200, ok_body("done")),
+            ]
+        )
+        assert client.complete("s", "p") == "done"
+        assert sleeps == [0.2]
+
+    def test_exhausted_budget_raises_last_retryable(self):
+        client, sleeps = make_client(
+            [TransportReply(500, b"boom")] * 4
+        )
+        with pytest.raises(RetryableBackendError, match="HTTP 500"):
+            client.complete("s", "p")
+        assert client.attempts == 4
+        assert sleeps == [0.2, 0.4, 0.8]
+
+    def test_terminal_status_never_retries(self):
+        client, sleeps = make_client(
+            [TransportReply(401, b"bad key")]
+        )
+        with pytest.raises(TerminalBackendError, match="HTTP 401"):
+            client.complete("s", "p")
+        assert client.attempts == 1
+        assert sleeps == []
+
+    def test_unparseable_success_is_terminal(self):
+        client, _ = make_client([TransportReply(200, b"not json")])
+        with pytest.raises(TerminalBackendError, match="unparseable"):
+            client.complete("s", "p")
+
+    def test_no_text_blocks_is_terminal(self):
+        body = json.dumps({"content": []}).encode()
+        client, _ = make_client([TransportReply(200, body)])
+        with pytest.raises(TerminalBackendError, match="no text blocks"):
+            client.complete("s", "p")
+
+    def test_multiple_text_blocks_concatenate(self):
+        body = json.dumps(
+            {
+                "content": [
+                    {"type": "text", "text": "a"},
+                    {"type": "tool_use", "id": "x"},
+                    {"type": "text", "text": "b"},
+                ]
+            }
+        ).encode()
+        client, _ = make_client([TransportReply(200, body)])
+        assert client.complete("s", "p") == "ab"
+
+
+class TestDeadlines:
+    def test_attempt_timeout_is_capped_by_budget(self):
+        client, _ = make_client(
+            [TransportReply(200, ok_body("hi"))], attempt_timeout_s=30.0
+        )
+        with budget_scope(TimeBudget(seconds=5.0)):
+            client.complete("s", "p")
+        assert client._transport.calls[0]["timeout_s"] <= 5.0
+
+    def test_no_budget_uses_attempt_timeout(self):
+        client, _ = make_client(
+            [TransportReply(200, ok_body("hi"))], attempt_timeout_s=7.5
+        )
+        client.complete("s", "p")
+        assert client._transport.calls[0]["timeout_s"] == 7.5
+
+    def test_expired_budget_aborts_before_first_attempt(self):
+        now = [0.0]
+        budget = TimeBudget(1.0, clock=lambda: now[0])
+        now[0] = 2.0  # already expired
+        client, _ = make_client([TransportReply(200, ok_body("hi"))])
+        with budget_scope(budget):
+            with pytest.raises(DeadlineExceeded):
+                client.complete("s", "p")
+        assert client.attempts == 0
+
+    def test_expired_budget_aborts_instead_of_sleeping(self):
+        now = [0.0]
+        budget = TimeBudget(1.0, clock=lambda: now[0])
+        client, sleeps = make_client([])
+
+        def expire_then_fail(url, headers, body, timeout_s):
+            now[0] = 2.0  # the attempt itself eats the whole budget
+            return TransportReply(503, b"busy")
+
+        client._transport = type(
+            "T", (), {"post": staticmethod(expire_then_fail)}
+        )()
+        with budget_scope(budget):
+            with pytest.raises(DeadlineExceeded):
+                client.complete("s", "p")
+        assert sleeps == []  # aborted before the backoff sleep
+
+
+class TestErrorTaxonomy:
+    @pytest.mark.parametrize("status", [408, 429, 500, 502, 503, 504, 529])
+    def test_retryable_statuses(self, status):
+        error = error_for_status(status, "m", backend="b")
+        assert isinstance(error, RetryableBackendError)
+        assert error.status == status
+
+    @pytest.mark.parametrize("status", [400, 401, 403, 404, 422])
+    def test_terminal_statuses(self, status):
+        assert isinstance(
+            error_for_status(status, "m", backend="b"), TerminalBackendError
+        )
+
+    def test_backend_prefix_in_message(self):
+        assert str(
+            RetryableBackendError("boom", backend="remote")
+        ).startswith("[remote]")
+
+    def test_hierarchy(self):
+        assert issubclass(RetryableBackendError, BackendError)
+        assert issubclass(TerminalBackendError, BackendError)
+        assert not issubclass(DeadlineExceeded, BackendError)

@@ -1,0 +1,220 @@
+"""The backend router: fallback order, health counters, build_backend."""
+
+import pytest
+
+from repro.core.budget import TimeBudget, budget_scope
+from repro.core.errors import DeadlineExceeded
+from repro.llm.errors import (
+    RetryableBackendError,
+    TerminalBackendError,
+)
+from repro.llm.remote import RemoteLLMClient, RetryPolicy, TransportReply
+from repro.llm.router import (
+    KNOWN_BACKENDS,
+    BackendRouter,
+    build_backend,
+)
+from repro.llm.simulated import SimulatedLLM
+
+
+class Good:
+    cache_safe = True
+
+    def __init__(self, response="ok"):
+        self.calls = 0
+        self.response = response
+
+    def complete(self, system, prompt):
+        self.calls += 1
+        return self.response
+
+
+class Failing:
+    cache_safe = True
+
+    def __init__(self, error):
+        self.calls = 0
+        self.error = error
+
+    def complete(self, system, prompt):
+        self.calls += 1
+        raise self.error
+
+
+class TestRouting:
+    def test_first_backend_serves(self):
+        first, second = Good("a"), Good("b")
+        router = BackendRouter([("one", first), ("two", second)])
+        assert router.complete("s", "p") == "a"
+        assert second.calls == 0
+        assert router.fallbacks == 0
+
+    def test_terminal_error_falls_through(self):
+        broken = Failing(TerminalBackendError("bad key", backend="one"))
+        healthy = Good("served")
+        router = BackendRouter([("one", broken), ("two", healthy)])
+        assert router.complete("s", "p") == "served"
+        assert router.fallbacks == 1
+        assert router.health["one"].failures == 1
+        assert router.health["two"].successes == 1
+
+    def test_retryable_error_also_falls_through(self):
+        """A backend's exhausted retry budget surfaces as retryable."""
+        broken = Failing(RetryableBackendError("still 503", backend="one"))
+        router = BackendRouter([("one", broken), ("two", Good())])
+        assert router.complete("s", "p") == "ok"
+
+    def test_all_backends_failing_raises_terminal(self):
+        router = BackendRouter(
+            [
+                ("one", Failing(TerminalBackendError("a", backend="one"))),
+                ("two", Failing(RetryableBackendError("b", backend="two"))),
+            ]
+        )
+        with pytest.raises(TerminalBackendError, match="all backends failed"):
+            router.complete("s", "p")
+        assert router.fallbacks == 1  # the *last* failure is not a fallback
+
+    def test_deadline_aborts_the_whole_chain(self):
+        """DeadlineExceeded is not a BackendError: no fallback happens."""
+        now = [0.0]
+        budget = TimeBudget(1.0, clock=lambda: now[0])
+
+        class Expiring:
+            cache_safe = True
+
+            def complete(self, system, prompt):
+                now[0] = 2.0
+                budget.check("test")
+                return "never"
+
+        fallback = Good()
+        router = BackendRouter([("one", Expiring()), ("two", fallback)])
+        with budget_scope(budget):
+            with pytest.raises(DeadlineExceeded):
+                router.complete("s", "p")
+        assert fallback.calls == 0
+        assert router.fallbacks == 0
+
+    def test_non_backend_errors_propagate(self):
+        """Intent-grammar errors keep their meaning for the pipeline."""
+        router = BackendRouter(
+            [("one", Failing(ValueError("no TASK marker"))), ("two", Good())]
+        )
+        with pytest.raises(ValueError):
+            router.complete("s", "p")
+
+    def test_recovery_resets_consecutive_failures(self):
+        flaky = Failing(TerminalBackendError("x", backend="one"))
+        router = BackendRouter([("one", flaky), ("two", Good())])
+        router.complete("s", "p")
+        assert router.health["one"].consecutive_failures == 1
+        flaky.error = None
+        flaky.complete = lambda system, prompt: "healed"
+        router.complete("s", "p")
+        assert router.health["one"].consecutive_failures == 0
+
+    def test_stats_snapshot(self):
+        router = BackendRouter(
+            [
+                ("one", Failing(TerminalBackendError("x", backend="one"))),
+                ("two", Good()),
+            ]
+        )
+        router.complete("s", "p")
+        stats = router.stats()
+        assert stats["one"]["failures"] == 1
+        assert stats["two"]["successes"] == 1
+        assert stats["_router"]["fallbacks"] == 1.0
+
+
+class TestValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BackendRouter([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BackendRouter([("x", Good()), ("x", Good())])
+
+    def test_backend_names_in_order(self):
+        router = BackendRouter([("b", Good()), ("a", Good())])
+        assert router.backend_names == ("b", "a")
+
+
+class TestCacheSafety:
+    def test_all_pure_chain_is_safe(self):
+        assert BackendRouter([("a", Good()), ("b", Good())]).cache_safe
+
+    def test_one_impure_link_poisons_the_chain(self):
+        class Impure:
+            cache_safe = False
+
+            def complete(self, system, prompt):
+                return "x"
+
+        router = BackendRouter([("a", Good()), ("b", Impure())])
+        assert router.cache_safe is False
+
+
+class TestBuildBackend:
+    def test_single_simulated_is_bare(self):
+        assert isinstance(build_backend("simulated"), SimulatedLLM)
+
+    def test_single_remote_is_bare(self):
+        client = build_backend("remote", api_key="k")
+        assert isinstance(client, RemoteLLMClient)
+
+    def test_chain_builds_a_router(self):
+        router = build_backend("remote,simulated", api_key="k")
+        assert isinstance(router, BackendRouter)
+        assert router.backend_names == ("remote", "simulated")
+
+    def test_whitespace_tolerated(self):
+        router = build_backend(" remote , simulated ", api_key="k")
+        assert router.backend_names == ("remote", "simulated")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            build_backend("gpt4")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty backend spec"):
+            build_backend(" , ")
+
+    def test_known_backends_constant(self):
+        assert set(KNOWN_BACKENDS) == {"simulated", "remote"}
+
+    def test_misconfigured_remote_fails_at_build_time(self, monkeypatch):
+        for var in ("CLARIFY_LLM_API_KEY", "ANTHROPIC_API_KEY"):
+            monkeypatch.delenv(var, raising=False)
+        with pytest.raises(TerminalBackendError, match="no API key"):
+            build_backend("remote,simulated")
+
+
+class TestEndToEnd:
+    def test_remote_falls_back_to_simulated(self):
+        """A dead remote endpoint degrades to the simulator transparently."""
+
+        class DeadTransport:
+            def post(self, url, headers, body, timeout_s):
+                raise RetryableBackendError("refused", backend="remote")
+
+        remote = RemoteLLMClient(
+            api_key="k",
+            transport=DeadTransport(),
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0),
+            sleep=lambda s: None,
+        )
+        router = BackendRouter(
+            [("remote", remote), ("simulated", SimulatedLLM())]
+        )
+        system = "TASK: route-map-synth\nWrite one stanza."
+        response = router.complete(
+            system,
+            "Write a route-map stanza that permits routes with "
+            "local-preference 300.",
+        )
+        assert "local-preference 300" in response
+        assert router.fallbacks == 1
+        assert remote.attempts == 2

@@ -1,14 +1,21 @@
 """Docs lint: every ``repro.*`` path and ``clarify`` subcommand the
 documentation mentions must actually exist.
 
-Checks three things across ``README.md`` and ``docs/*.md``:
+Checks five things across ``README.md`` and ``docs/*.md``:
 
 1. import lines inside ```python blocks resolve (module imports, and
    every imported name is an attribute or submodule);
 2. inline-code dotted references like ``repro.config.device.parse_device``
    resolve to a module or a module attribute;
 3. ``clarify <subcommand>`` invocations inside ```bash blocks (and in
-   inline code) name real subcommands of the CLI parser.
+   inline code) name real subcommands of the CLI parser;
+4. every ``--flag`` those bash invocations pass (``\\`` line
+   continuations folded) is accepted by that subcommand's parser;
+5. every ``CLARIFY_*`` / ``ANTHROPIC_*`` environment variable the docs
+   mention is actually read somewhere under ``src/``.
+
+Plus per-doc coverage floors (SERVING.md, LLM_BACKENDS.md) and a
+README index-completeness check over ``docs/*.md``.
 """
 
 import argparse
@@ -30,6 +37,8 @@ IMPORT_FROM_RE = re.compile(r"^\s*from\s+(repro[\w.]*)\s+import\s+(.+)$")
 IMPORT_RE = re.compile(r"^\s*import\s+(repro[\w.]*)\s*$")
 DOTTED_REF_RE = re.compile(r"`(repro(?:\.\w+)+)(?:\(\))?`")
 CLARIFY_RE = re.compile(r"^\s*clarify\s+([\w-]+)")
+FLAG_RE = re.compile(r"(--[\w-]+)")
+ENV_VAR_RE = re.compile(r"\b((?:CLARIFY|ANTHROPIC)_[A-Z0-9_]+)\b")
 
 
 def fenced_blocks(text, language):
@@ -55,14 +64,47 @@ def resolves(dotted):
     return hasattr(module, attr)
 
 
-def subcommands():
+def subparsers():
     parser = build_parser()
     action = next(
         a
         for a in parser._actions
         if isinstance(a, argparse._SubParsersAction)
     )
-    return set(action.choices)
+    return dict(action.choices)
+
+
+def subcommands():
+    return set(subparsers())
+
+
+def subcommand_flags(name):
+    """Every ``--flag`` the named subcommand accepts."""
+    return {
+        option
+        for action in subparsers()[name]._actions
+        for option in action.option_strings
+        if option.startswith("--")
+    }
+
+
+def clarify_invocations(text):
+    """``(subcommand, [flags])`` per ``clarify`` call in bash blocks.
+
+    Shell ``\\`` line continuations are folded first, so flags on
+    wrapped lines count against the command that opened them.
+    """
+    invocations = []
+    for block in fenced_blocks(text, "bash"):
+        folded = re.sub(r"\\\n", " ", block)
+        for line in folded.splitlines():
+            line = line.split("#")[0]
+            match = re.search(r"\bclarify\s+([\w-]+)", line)
+            if match:
+                invocations.append(
+                    (match.group(1), FLAG_RE.findall(line[match.end():]))
+                )
+    return invocations
 
 
 @pytest.mark.parametrize(
@@ -122,6 +164,32 @@ class TestDocsLint:
         unknown = sorted(used - known)
         assert not unknown, f"{doc.name} uses unknown subcommands: {unknown}"
 
+    def test_clarify_flags_exist(self, doc):
+        """Every --flag a bash example passes is accepted by the parser."""
+        known = subcommands()
+        errors = []
+        for sub, flags in clarify_invocations(doc.read_text()):
+            if sub not in known:
+                continue  # test_clarify_subcommands_exist reports these
+            unknown = sorted(set(flags) - subcommand_flags(sub))
+            if unknown:
+                errors.append(f"clarify {sub}: unknown flags {unknown}")
+        assert not errors, f"{doc.name}:\n" + "\n".join(errors)
+
+    def test_env_vars_are_read_by_the_source(self, doc):
+        """Every env var the docs mention is read somewhere in src/."""
+        mentioned = set(ENV_VAR_RE.findall(doc.read_text()))
+        if not mentioned:
+            return
+        source = "\n".join(
+            path.read_text()
+            for path in (REPO_ROOT / "src").rglob("*.py")
+        )
+        unread = sorted(var for var in mentioned if var not in source)
+        assert not unread, (
+            f"{doc.name} mentions env vars never read in src/: {unread}"
+        )
+
 
 def test_doc_set_is_present():
     names = {path.name for path in DOC_FILES}
@@ -132,7 +200,19 @@ def test_doc_set_is_present():
         "TUTORIAL.md",
         "PERFORMANCE.md",
         "SERVING.md",
+        "LLM_BACKENDS.md",
     } <= names
+
+
+def test_readme_layout_indexes_every_doc():
+    """The README repository-layout block lists every file in docs/."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    missing = sorted(
+        f"docs/{path.name}"
+        for path in (REPO_ROOT / "docs").glob("*.md")
+        if f"docs/{path.name}" not in readme
+    )
+    assert not missing, f"README.md does not mention: {missing}"
 
 
 def test_serving_doc_covers_the_layer():
@@ -144,5 +224,32 @@ def test_serving_doc_covers_the_layer():
         "DedupClient",
         "TimeBudget",
         "loadgen",
+        "LLM_BACKENDS.md",
     ):
         assert needle in text, f"SERVING.md does not mention {needle}"
+
+
+def test_llm_backends_doc_covers_the_tier():
+    text = (REPO_ROOT / "docs" / "LLM_BACKENDS.md").read_text()
+    for needle in (
+        "SimulatedLLM",
+        "RemoteLLMClient",
+        "BackendRouter",
+        "CachedClient",
+        "BatchingClient",
+        "DedupClient",
+        "FaultyLLM",
+        "cache_safe",
+        "RetryPolicy",
+        "no jitter",
+        "CLARIFY_LLM_API_KEY",
+        "ANTHROPIC_API_KEY",
+        "CLARIFY_LLM_BASE_URL",
+        "CLARIFY_LLM_MODEL",
+        "DeadlineExceeded",
+        "--backend",
+        "--cache-dir",
+        "--batch-window",
+        "--check-cache-effectiveness",
+    ):
+        assert needle in text, f"LLM_BACKENDS.md does not mention {needle}"
