@@ -471,6 +471,112 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.fails(threshold) else 0
 
 
+def cmd_netlint(args: argparse.Namespace) -> int:
+    """Network-wide static analysis over a whole device set.
+
+    Exit status: 0 clean, 1 when a finding reaches the ``--fail-on``
+    threshold, 3 when ``--baseline`` is given and the rendered JSON
+    report differs from the blessed baseline byte for byte.
+    """
+    import os
+    import tempfile
+
+    from repro.config.device import parse_device
+    from repro.lint import render_json, render_text
+    from repro.lint.diagnostics import Severity
+    from repro.lint.netwide import (
+        analyze_network,
+        default_contracts,
+        load_contracts,
+        seed_devices,
+    )
+
+    threshold = (
+        None if args.fail_on == "none" else Severity.parse(args.fail_on)
+    )
+
+    if args.devices:
+        devices = []
+        for path in args.devices:
+            with open(path) as handle:
+                devices.append(parse_device(handle.read()))
+        title = f"{len(devices)} device file(s)"
+    elif args.corpus == "campus":
+        from repro.synth import generate_campus_corpus
+        from repro.synth.campus import TOTAL_ACLS, TOTAL_ROUTE_MAPS
+
+        corpus = generate_campus_corpus(
+            seed=args.seed,
+            total_acls=max(1, round(TOTAL_ACLS * args.scale)),
+            route_maps=max(1, round(TOTAL_ROUTE_MAPS * args.scale)),
+        )
+        devices = corpus.devices(args.device_count)
+        title = f"campus corpus ({len(devices)} devices)"
+    elif args.corpus == "cloud":
+        from repro.synth import generate_cloud_corpus
+
+        corpus = generate_cloud_corpus(seed=args.seed, scale=args.scale)
+        devices = corpus.devices(args.device_count)
+        title = f"cloud corpus ({len(devices)} devices)"
+    else:
+        devices = seed_devices(
+            inject_shadow=args.inject_shadow,
+            inject_drift=args.inject_drift,
+            inject_route_shadow=args.inject_route_shadow,
+        )
+        title = f"seeded demo topology ({len(devices)} devices)"
+
+    contracts = ()
+    if args.contracts == "default":
+        contracts = default_contracts()
+    elif args.contracts:
+        contracts = load_contracts(args.contracts)
+
+    report = analyze_network(
+        devices,
+        contracts=contracts,
+        workers=args.workers,
+        chunks=args.chunks,
+    )
+    if args.title:
+        title = args.title
+    rendered_json = render_json(report, title=title)
+    if args.format == "json":
+        print(rendered_json)
+    else:
+        print(render_text(report, title=title))
+
+    if args.output:
+        directory = os.path.dirname(args.output) or "."
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(rendered_json)
+                handle.write("\n")
+            os.replace(tmp_path, args.output)
+        except BaseException:
+            os.unlink(tmp_path)
+            raise
+
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                blessed = handle.read()
+        except OSError as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 3
+        if blessed.rstrip("\n") != rendered_json.rstrip("\n"):
+            print(
+                f"BASELINE MISMATCH: report differs from {args.baseline}; "
+                "regenerate with --output if the change is intended",
+                file=sys.stderr,
+            )
+            return 3
+
+    return 1 if report.fails(threshold) else 0
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     """Re-drive a recorded journal and verify it matches byte for byte.
 
@@ -695,6 +801,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         backend=args.backend,
         batch_window_s=args.batch_window,
+        netwide=args.netwide,
     )
     failures: List[str] = []
     serial = None
@@ -802,6 +909,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             f"{report.injected_faults}  rejected "
             f"{report.rejected_submissions}"
         )
+        if report.netwide:
+            print(f"  netwide {report.netwide}")
         if serial is not None:
             print(f"  serial identity OK ({report.fingerprint[:16]}…)")
         if effectiveness is not None:
@@ -1025,6 +1134,99 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.set_defaults(func=cmd_lint)
 
+    p_netlint = sub.add_parser(
+        "netlint",
+        help="network-wide static analysis: cross-device conflicts, "
+        "drift, and reachability contracts with symbolic witnesses",
+    )
+    p_netlint.add_argument(
+        "--devices",
+        nargs="+",
+        metavar="FILE",
+        help="device configuration files forming the network (default: "
+        "the seeded demo topology)",
+    )
+    p_netlint.add_argument(
+        "--corpus",
+        choices=("campus", "cloud"),
+        help="analyze a generated §3 corpus's devices instead of files "
+        "(no BGP topology: drift-only analysis)",
+    )
+    p_netlint.add_argument(
+        "--seed", type=int, default=2025, help="corpus generator seed"
+    )
+    p_netlint.add_argument(
+        "--scale", type=float, default=0.01, help="corpus size scale factor"
+    )
+    p_netlint.add_argument(
+        "--device-count",
+        type=int,
+        default=24,
+        help="devices to materialise from the corpus (default: 24)",
+    )
+    p_netlint.add_argument(
+        "--inject-shadow",
+        action="store_true",
+        help="demo: inject a cross-device ACL shadow into the seeded "
+        "topology (NW001)",
+    )
+    p_netlint.add_argument(
+        "--inject-drift",
+        action="store_true",
+        help="demo: inject same-named ACL drift into the seeded topology "
+        "(NW005)",
+    )
+    p_netlint.add_argument(
+        "--inject-route-shadow",
+        action="store_true",
+        help="demo: inject a route-map chain cancellation into the seeded "
+        "topology (NW003 + NW007)",
+    )
+    p_netlint.add_argument(
+        "--contracts",
+        metavar="FILE",
+        help="reachability contract file ('SRC ~> PREFIX must-reach'); "
+        "the literal value 'default' loads the demo topology's contracts",
+    )
+    p_netlint.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan path analysis across a process pool (default: serial)",
+    )
+    p_netlint.add_argument(
+        "--chunks",
+        type=int,
+        default=None,
+        help="chunk count for the pool (default: the worker count)",
+    )
+    p_netlint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: %(default)s)",
+    )
+    p_netlint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "info", "none"),
+        default="error",
+        help="exit 1 when a finding at or above this severity is present "
+        "(default: %(default)s)",
+    )
+    p_netlint.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the JSON report to PATH (atomic replace)",
+    )
+    p_netlint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare the JSON report against a blessed baseline file; "
+        "exit 3 on any byte difference",
+    )
+    p_netlint.add_argument("--title", help="report title override")
+    p_netlint.set_defaults(func=cmd_netlint)
+
     p_replay = sub.add_parser(
         "replay",
         help="re-drive a recorded session journal with zero LLM calls "
@@ -1220,6 +1422,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="micro-batch concurrent LLM calls behind a flush window "
         "(default: off)",
+    )
+    p_loadgen.add_argument(
+        "--netwide",
+        action="store_true",
+        help="attach the network-wide advisory gate to every session "
+        "(edits embedded onto the demo topology's EDGE router) and "
+        "report the netwide.* conflict counters as a quality axis",
     )
     p_loadgen.add_argument(
         "--check-serial-identity",

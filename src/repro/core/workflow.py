@@ -31,7 +31,10 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # imported only for annotations; avoids a heavy import
+    from repro.lint.netwide.gate import NetwideGate
 
 from repro import obs
 from repro.config.diff import config_diff
@@ -87,11 +90,17 @@ class ClarifySession:
         mode: DisambiguationMode = DisambiguationMode.FULL,
         max_attempts: int = 3,
         lint_gate: bool = True,
+        netwide_gate: Optional["NetwideGate"] = None,
         session_id: Optional[int] = None,
     ) -> None:
         self.store = store if store is not None else ConfigStore()
         #: Run the advisory :mod:`repro.lint` gate around each insertion.
         self.lint_gate = lint_gate
+        #: Optional whole-network advisory gate (:mod:`repro.lint.netwide`):
+        #: embeds the session store into a device set and reports the
+        #: network-wide findings an update introduces, alongside the
+        #: per-device gate's warnings.
+        self.netwide_gate = netwide_gate
         self.llm = TranscribingClient(llm if llm is not None else SimulatedLLM())
         self.oracle = CountingOracle(
             oracle if oracle is not None else FirstOptionOracle()
@@ -252,6 +261,10 @@ class ClarifySession:
                 before, self.store, kind, target, outcome.position
             )
             gate_warnings = gate.warnings
+        if self.netwide_gate is not None:
+            gate_warnings = gate_warnings + self.netwide_gate.check(
+                before, self.store
+            )
         report = UpdateReport(
             kind=kind,
             target=target,

@@ -22,12 +22,24 @@ AC004     info      generalization (catch-all reversing an earlier rule)
 RF001     error     reference to an undefined list/ACL
 RF002     info      defined but unreferenced list/ACL
 NM001     info      name straying from the dominant naming family
+NW001     error     downstream ACL fully cancels upstream path permits
+NW002     warning   downstream ACL partially cancels upstream permits
+NW003     warning   route-map chain fully cancels upstream route space
+NW004     info      route-map chain partially cancels upstream space
+NW005     warning   same-named ACLs diverge across devices
+NW006     warning   same-named route-maps diverge across devices
+NW007     error     must-reach contract violated
+NW008     error     must-not-reach contract violated
 ========  ========  ====================================================
 
 Entry points: :func:`lint_store` / :func:`lint_device` for one
 configuration, :func:`gate_insertion` for the pre/post-insertion gate
 the Clarify workflow runs, :func:`lint_campus_corpus` for the §3
-corpus cross-check, and the ``clarify lint`` CLI subcommand.
+corpus cross-check, and the ``clarify lint`` CLI subcommand.  The
+network-wide layer (``NW*`` codes, :mod:`repro.lint.netwide`) analyzes a
+whole device set against its simulated BGP forwarding paths — entry
+points :func:`repro.lint.netwide.analyze_network` and the ``clarify
+netlint`` subcommand.
 """
 
 from repro.lint.corpus import (

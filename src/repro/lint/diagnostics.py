@@ -56,18 +56,25 @@ class SourceLocation:
     ``kind`` names the object type (``route-map``, ``acl``,
     ``prefix-list``, ``community-list``, ``as-path-list``,
     ``interface``); ``seq`` is the stanza/rule sequence number when the
-    diagnostic is about one specific entry.
+    diagnostic is about one specific entry.  ``device`` qualifies the
+    location with a hostname for network-wide findings (``repro.lint.
+    netwide``); single-device lint leaves it ``None``.
     """
 
     kind: str
     name: str
     seq: Optional[int] = None
+    device: Optional[str] = None
 
     def render(self) -> str:
         entry = "stanza" if self.kind == "route-map" else "rule"
         if self.seq is None:
-            return f"{self.kind} {self.name}"
-        return f"{self.kind} {self.name} {entry} {self.seq}"
+            text = f"{self.kind} {self.name}"
+        else:
+            text = f"{self.kind} {self.name} {entry} {self.seq}"
+        if self.device is not None:
+            text += f" @{self.device}"
+        return text
 
 
 @dataclasses.dataclass(frozen=True)
@@ -174,18 +181,60 @@ class LintReport:
         return any(d.severity.at_least(threshold) for d in self.diagnostics)
 
     def sorted(self) -> "LintReport":
-        """Severity-descending, then by location, for stable display."""
+        """Deterministic total order: (code, device, position).
+
+        The primary key is the diagnostic code, then the device (empty
+        for single-device findings), then the position (kind, object
+        name, sequence number), then the message and severity as final
+        tie-breakers — so two reports holding the same findings render
+        byte-identically regardless of discovery order.
+        """
         ordered: List[Diagnostic] = sorted(
-            self.diagnostics,
-            key=lambda d: (
-                -d.severity.rank,
-                d.location.kind,
-                d.location.name,
-                d.location.seq if d.location.seq is not None else -1,
-                d.code,
-            ),
+            self.diagnostics, key=_diagnostic_sort_key
         )
         return LintReport(tuple(ordered))
+
+    def deduped(self) -> "LintReport":
+        """Drop findings identical up to their rendered witness.
+
+        Network-wide analysis can surface one defect along several
+        overlapping paths; identical (code, location, message, witness)
+        findings collapse to the first occurrence so reports — and the
+        CI baseline artifacts diffed against them — stay minimal.
+        """
+        seen = set()
+        kept: List[Diagnostic] = []
+        for diagnostic in self.diagnostics:
+            key = (
+                diagnostic.code,
+                diagnostic.severity.value,
+                diagnostic.location,
+                diagnostic.message,
+                diagnostic.suggestion,
+                diagnostic.witness_text(indent=""),
+                diagnostic.related,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(diagnostic)
+        return LintReport(tuple(kept))
+
+    def normalized(self) -> "LintReport":
+        """The canonical presentation: :meth:`sorted` then :meth:`deduped`."""
+        return self.sorted().deduped()
+
+
+def _diagnostic_sort_key(d: Diagnostic) -> Tuple:
+    return (
+        d.code,
+        d.location.device or "",
+        d.location.kind,
+        d.location.name,
+        d.location.seq if d.location.seq is not None else -1,
+        d.message,
+        -d.severity.rank,
+    )
 
 
 __all__ = [

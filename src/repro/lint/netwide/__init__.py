@@ -1,0 +1,101 @@
+"""``repro.lint.netwide`` — whole-network static analysis.
+
+Where :mod:`repro.lint` checks one configuration at a time, this package
+checks a *device set* against the network it forms: the BGP simulator
+(:mod:`repro.bgp`) derives the forwarding paths, the symbolic engines
+compose the per-hop policies along them, and every finding carries a
+concrete witness packet or route that reproduces the conflict through
+the simulated path.
+
+Layers (codes ``NW001``–``NW008``, catalogued in ``docs/LINT.md``):
+
+* **path conflicts** — a downstream ACL cancelling an upstream permit
+  (:func:`~repro.lint.netwide.checks.analyze_path`);
+* **route cancellation** — a route-map chain dropping route space an
+  upstream chain explicitly passed
+  (:func:`~repro.lint.netwide.checks.analyze_route_propagation`);
+* **drift** — same-named lists diverging semantically across devices
+  (:func:`~repro.lint.netwide.checks.analyze_drift`);
+* **contracts** — ``src ~> prefix must[-not]-reach`` assertions checked
+  against the simulated RIBs
+  (:func:`~repro.lint.netwide.contracts.check_contracts`).
+
+:class:`~repro.lint.netwide.analyze.NetwideAnalyzer` runs them all,
+incrementally (fingerprint-keyed caches) and optionally in parallel
+(the :mod:`repro.perf.campaign` pool);
+:class:`~repro.lint.netwide.gate.NetwideGate` wraps it as the advisory
+insertion gate the serving layer uses.
+"""
+
+from repro.lint.netwide.analyze import NetwideAnalyzer, analyze_network
+from repro.lint.netwide.checks import (
+    CONFLICT_CODES,
+    DRIFT_CODES,
+    analyze_drift,
+    analyze_path,
+    analyze_route_propagation,
+    replay_packet,
+    witness_flips_at,
+)
+from repro.lint.netwide.contracts import (
+    Contract,
+    check_contracts,
+    load_contracts,
+    parse_contracts,
+)
+from repro.lint.netwide.gate import NetwideGate
+from repro.lint.netwide.model import (
+    ForwardingPath,
+    PathFilter,
+    Topology,
+    TopologyError,
+    build_topology,
+    extract_paths,
+    path_filters,
+    topology_capable,
+)
+from repro.lint.netwide.seed import (
+    DEFAULT_CONTRACTS_TEXT,
+    default_contracts,
+    embed_on_edge,
+    seed_devices,
+)
+from repro.lint.netwide.spaces import (
+    acl_permit_space,
+    chain_permit_space,
+    device_fingerprint,
+    route_map_permit_space,
+)
+
+__all__ = [
+    "CONFLICT_CODES",
+    "Contract",
+    "DEFAULT_CONTRACTS_TEXT",
+    "DRIFT_CODES",
+    "ForwardingPath",
+    "NetwideAnalyzer",
+    "NetwideGate",
+    "PathFilter",
+    "Topology",
+    "TopologyError",
+    "acl_permit_space",
+    "analyze_drift",
+    "analyze_network",
+    "analyze_path",
+    "analyze_route_propagation",
+    "build_topology",
+    "chain_permit_space",
+    "check_contracts",
+    "default_contracts",
+    "device_fingerprint",
+    "embed_on_edge",
+    "extract_paths",
+    "load_contracts",
+    "parse_contracts",
+    "path_filters",
+    "replay_packet",
+    "route_map_permit_space",
+    "seed_devices",
+    "topology_capable",
+    "witness_flips_at",
+]

@@ -1,0 +1,543 @@
+"""The network-wide checks: path conflicts, route cancellation, drift.
+
+Code catalogue (see ``docs/LINT.md``):
+
+========  ========  =====================================================
+``NW001``  error     downstream ACL fully cancels upstream permits on a
+                     simulated forwarding path (witness packet)
+``NW002``  warning   downstream ACL partially cancels upstream permits
+                     on a path (witness packet)
+``NW003``  warning   route-map chain fully cancels route space an
+                     upstream chain explicitly permitted (witness route)
+``NW004``  info      route-map chain partially cancels upstream-permitted
+                     route space (witness route)
+``NW005``  warning   same-named ACLs diverge semantically across devices
+``NW006``  warning   same-named route-maps diverge semantically across
+                     devices
+========  ========  =====================================================
+
+Every path/route finding carries a concrete witness validated against
+the first-match evaluator (:mod:`repro.analysis.evaluate`): the witness
+really traverses the reported path and flips action at the reported hop.
+Findings whose symbolic witness fails concrete replay (possible for
+route chains, where set-clause transforms are not modelled symbolically)
+are dropped rather than reported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.evaluate import eval_acl, eval_route_map
+from repro.analysis.headerspace import (
+    PacketRegion,
+    PacketSpace,
+    intern_region,
+)
+from repro.analysis.prefixspace import PrefixSpace
+from repro.analysis.routespace import RouteRegion, RouteSpace, intern_route_region
+from repro.config.device import DeviceConfig
+from repro.lint.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.lint.netwide.model import ForwardingPath, Topology
+from repro.lint.netwide.spaces import (
+    acl_permit_space,
+    chain_permit_space,
+    device_fingerprint,
+)
+from repro.netaddr import Ipv4Prefix
+from repro.netaddr.intervals import IntervalSet
+from repro.route import BgpRoute, Packet
+from repro.route.bgproute import DEFAULT_LOCAL_PREFERENCE
+
+#: Codes that count toward the ``netwide.conflicts`` obs counter.
+CONFLICT_CODES = ("NW001", "NW002", "NW003", "NW004")
+#: Codes that count toward the ``netwide.drift`` obs counter.
+DRIFT_CODES = ("NW005", "NW006")
+
+
+def _prefix_space(prefix: Ipv4Prefix) -> PacketSpace:
+    """Packets destined to an address inside ``prefix``."""
+    dst = IntervalSet.closed(
+        prefix.first_address().value, prefix.last_address().value
+    )
+    return PacketSpace.of(intern_region(PacketRegion(dst=dst)))
+
+
+# ------------------------------------------------------------- ACL paths
+
+
+def replay_packet(
+    path: ForwardingPath,
+    devices: Dict[str, DeviceConfig],
+    packet: Packet,
+) -> Tuple[str, ...]:
+    """The per-filter actions a packet takes along the path, in order."""
+    actions: List[str] = []
+    for pf in path.filters:
+        acl = devices[pf.device].store.acl(pf.acl)
+        actions.append(eval_acl(acl, packet).action)
+    return tuple(actions)
+
+
+def witness_flips_at(
+    path: ForwardingPath,
+    devices: Dict[str, DeviceConfig],
+    packet: Packet,
+    index: int,
+) -> bool:
+    """True when the packet passes every filter before ``index`` and is
+    denied exactly there — the property every NW001/NW002 witness holds."""
+    actions = replay_packet(path, devices, packet)
+    return all(a == "permit" for a in actions[:index]) and (
+        actions[index] == "deny"
+    )
+
+
+def analyze_path(
+    path: ForwardingPath, devices: Dict[str, DeviceConfig]
+) -> Tuple[Diagnostic, ...]:
+    """Path-level ACL shadow/conflict detection (NW001/NW002).
+
+    Composes the per-hop ACLs symbolically along the simulated path,
+    restricted to packets destined to the path's prefix.  When a
+    downstream device's ACL denies traffic an upstream device's ACL
+    explicitly permitted, the cancelled space yields a witness packet;
+    the finding is emitted only if the witness concretely traverses the
+    path and flips action at the reported hop.  This function is pure —
+    the campaign pool and the incremental analyzer both call it.
+    """
+    if len(path.filters) < 2:
+        return ()
+    fps = {
+        name: device_fingerprint(devices[name])
+        for name in {pf.device for pf in path.filters}
+    }
+    alive = _prefix_space(path.prefix)
+    diagnostics: List[Diagnostic] = []
+    seen: List[Tuple[int, str]] = []  # (filter index, device)
+    for index, pf in enumerate(path.filters):
+        permit = acl_permit_space(fps[pf.device], devices[pf.device], pf.acl)
+        upstream_other = [
+            i for i, device in seen if device != pf.device
+        ]
+        if upstream_other and not alive.is_empty():
+            killed = alive.subtract(permit)
+            if not killed.is_empty():
+                witness = killed.witness()
+                if witness is not None and witness_flips_at(
+                    path, devices, witness, index
+                ):
+                    full = alive.intersect(permit).is_empty()
+                    diagnostics.append(
+                        _path_conflict(
+                            path, devices, index, witness, full
+                        )
+                    )
+        alive = alive.intersect(permit)
+        seen.append((index, pf.device))
+        if alive.is_empty():
+            break
+    return tuple(diagnostics)
+
+
+def _path_conflict(
+    path: ForwardingPath,
+    devices: Dict[str, DeviceConfig],
+    index: int,
+    witness: Packet,
+    full: bool,
+) -> Diagnostic:
+    pf = path.filters[index]
+    acl = devices[pf.device].store.acl(pf.acl)
+    deny_seq = eval_acl(acl, witness).rule_seq
+    related: List[SourceLocation] = []
+    upstream_name = ""
+    for prior in path.filters[:index]:
+        if prior.device == pf.device:
+            continue
+        prior_acl = devices[prior.device].store.acl(prior.acl)
+        result = eval_acl(prior_acl, witness)
+        if result.permitted():
+            related.append(
+                SourceLocation(
+                    "acl", prior.acl, result.rule_seq, device=prior.device
+                )
+            )
+            upstream_name = f"acl {prior.acl} on {prior.device}"
+    scope = "every packet" if full else "part of the traffic"
+    message = (
+        f"{scope} toward {path.prefix} permitted upstream by "
+        f"{upstream_name or 'an upstream device'} is denied by acl "
+        f"{pf.acl} on {pf.device} (path {path.render()})"
+    )
+    suggestion = (
+        f"align acl {pf.acl} on {pf.device} with the upstream permit, or "
+        f"remove the now-dead upstream rule"
+        if full
+        else f"confirm acl {pf.acl} on {pf.device} intends to narrow the "
+        f"upstream permit"
+    )
+    return Diagnostic(
+        code="NW001" if full else "NW002",
+        severity=Severity.ERROR if full else Severity.WARNING,
+        location=SourceLocation("acl", pf.acl, deny_seq, device=pf.device),
+        message=message,
+        suggestion=suggestion,
+        witness=witness,
+        related=tuple(related),
+    )
+
+
+# -------------------------------------------------------- route policies
+
+
+@dataclasses.dataclass(frozen=True)
+class _Stage:
+    """One route-map chain application along a propagation walk."""
+
+    sender: str
+    receiver: str
+    device: str  # the device whose store resolves the chain
+    direction: str  # "export" | "import"
+    chain: Tuple[str, ...]
+
+
+def _route_space(prefix: Ipv4Prefix) -> RouteSpace:
+    return RouteSpace.of(
+        intern_route_region(RouteRegion(prefix=PrefixSpace.exact(prefix)))
+    )
+
+
+def _replay_route(
+    topo: Topology,
+    stages: Sequence[_Stage],
+    witness: BgpRoute,
+    flip_index: int,
+) -> bool:
+    """Concrete replay with transforms and eBGP attribute semantics.
+
+    Takes the witness as the route advertised at the walk's origin and
+    pushes it through every stage with the concrete evaluator (set
+    clauses applied), AS prepend / local-preference reset / loop
+    prevention at eBGP boundaries, exactly as
+    :mod:`repro.bgp.simulate` would.  True when every chain before
+    ``flip_index`` permits and the chain at ``flip_index`` denies.
+    """
+    route = witness
+    for index, stage in enumerate(stages):
+        store = topo.devices[stage.device].store
+        for name in stage.chain:
+            result = eval_route_map(store.route_map(name), store, route)
+            if not result.permitted():
+                return index == flip_index
+            assert result.output is not None
+            route = result.output
+        if index == flip_index:
+            return False  # expected a deny here, chain permitted
+        if stage.direction == "export":
+            sender_asn = _device_asn(topo, stage.sender)
+            receiver_asn = _device_asn(topo, stage.receiver)
+            if sender_asn != receiver_asn:
+                route = route.prepend((sender_asn,))
+                route = route.with_updates(
+                    local_preference=DEFAULT_LOCAL_PREFERENCE, weight=0
+                )
+            if receiver_asn in route.asns():
+                return False  # loop prevention drops it, not a policy deny
+    return False
+
+
+def _device_asn(topo: Topology, name: str) -> int:
+    bgp = topo.devices[name].bgp
+    assert bgp is not None
+    return bgp.asn
+
+
+def analyze_route_propagation(
+    topo: Topology, fps: Dict[str, str]
+) -> Tuple[Diagnostic, ...]:
+    """Route-map chain cancellation along propagation paths (NW003/NW004).
+
+    Walks every originated route outward from its origin across BGP
+    sessions (simple paths only), composing the per-session export and
+    import chains symbolically.  Unlike the ACL pass this cannot start
+    from the RIBs — a route a downstream chain cancels never *reaches*
+    the RIB, which is exactly the situation worth reporting.
+    """
+    diagnostics: List[Diagnostic] = []
+    for origin in sorted(topo.devices):
+        router = topo.network.router(origin)
+        for route in sorted(
+            router.originated, key=lambda r: (r.network.network.value, r.network.length)
+        ):
+            _walk(
+                topo,
+                fps,
+                route,
+                origin,
+                _route_space(route.network),
+                (),
+                frozenset((origin,)),
+                False,
+                diagnostics,
+            )
+    return tuple(diagnostics)
+
+
+def _walk(
+    topo: Topology,
+    fps: Dict[str, str],
+    origin_route: BgpRoute,
+    current: str,
+    alive: RouteSpace,
+    stages: Tuple[_Stage, ...],
+    visited: frozenset,
+    upstream_explicit: bool,
+    diagnostics: List[Diagnostic],
+) -> None:
+    if alive.is_empty():
+        return
+    for peer in sorted(topo.network.neighbors(current)):
+        if peer in visited:
+            continue
+        sender_router = topo.network.router(current)
+        receiver_router = topo.network.router(peer)
+        session_stages = (
+            _Stage(
+                current,
+                peer,
+                current,
+                "export",
+                tuple(sender_router.export_policies.get(peer, ())),
+            ),
+            _Stage(
+                current,
+                peer,
+                peer,
+                "import",
+                tuple(receiver_router.import_policies.get(current, ())),
+            ),
+        )
+        branch_alive = alive
+        branch_explicit = upstream_explicit
+        branch_stages = stages
+        pruned = False
+        for stage in session_stages:
+            branch_stages = branch_stages + (stage,)
+            if not stage.chain:
+                continue
+            permit = chain_permit_space(
+                fps[stage.device], topo.devices[stage.device], stage.chain
+            )
+            if branch_explicit:
+                killed = branch_alive.subtract(permit)
+                if not killed.is_empty():
+                    witness = killed.witness()
+                    if witness is not None and _replay_route(
+                        topo,
+                        branch_stages,
+                        witness,
+                        len(branch_stages) - 1,
+                    ):
+                        full = branch_alive.intersect(permit).is_empty()
+                        diagnostics.append(
+                            _route_conflict(
+                                origin_route, branch_stages, witness, full
+                            )
+                        )
+            branch_alive = branch_alive.intersect(permit)
+            branch_explicit = True
+            if branch_alive.is_empty():
+                pruned = True
+                break
+        if pruned:
+            continue
+        _walk(
+            topo,
+            fps,
+            origin_route,
+            peer,
+            branch_alive,
+            branch_stages,
+            visited | {peer},
+            branch_explicit,
+            diagnostics,
+        )
+
+
+def _route_conflict(
+    origin_route: BgpRoute,
+    stages: Tuple[_Stage, ...],
+    witness: BgpRoute,
+    full: bool,
+) -> Diagnostic:
+    stage = stages[-1]
+    upstream = next(
+        (s for s in reversed(stages[:-1]) if s.chain and s.device != stage.device),
+        None,
+    )
+    path = [stages[0].sender] + [s.receiver for s in stages if s.direction == "import"]
+    scope = (
+        "the whole remaining route space"
+        if full
+        else "part of the route space"
+    )
+    upstream_name = (
+        f"chain {'/'.join(upstream.chain)} on {upstream.device}"
+        if upstream is not None
+        else "an upstream chain"
+    )
+    message = (
+        f"{scope} for {origin_route.network} permitted upstream by "
+        f"{upstream_name} is denied by chain {'/'.join(stage.chain)} on "
+        f"{stage.device} ({stage.direction} {stage.sender}->{stage.receiver}, "
+        f"propagation {' -> '.join(path)})"
+    )
+    related = (
+        (
+            SourceLocation(
+                "route-map", upstream.chain[0], device=upstream.device
+            ),
+        )
+        if upstream is not None
+        else ()
+    )
+    return Diagnostic(
+        code="NW003" if full else "NW004",
+        severity=Severity.WARNING if full else Severity.INFO,
+        location=SourceLocation(
+            "route-map", stage.chain[0], device=stage.device
+        ),
+        message=message,
+        suggestion=(
+            f"verify {'/'.join(stage.chain)} on {stage.device} intends to "
+            f"drop what {upstream_name} advertises"
+        ),
+        witness=witness,
+        related=related,
+    )
+
+
+# ---------------------------------------------------------------- drift
+
+
+def analyze_drift(
+    devices: Sequence[DeviceConfig], fps: Dict[str, str]
+) -> Tuple[Diagnostic, ...]:
+    """Cross-device drift: same-named lists with divergent semantics.
+
+    The diff is semantic, not textual: two ACLs diverge only when some
+    packet takes a different action (witnessed), and two route-maps only
+    when :func:`repro.analysis.compare.compare_route_policies` finds a
+    behavioural difference (including transform differences).
+    """
+    diagnostics: List[Diagnostic] = []
+    by_name = sorted(
+        {d.hostname: d for d in devices}.items(), key=lambda kv: kv[0]
+    )
+    acl_homes: Dict[str, List[str]] = {}
+    rm_homes: Dict[str, List[str]] = {}
+    for hostname, device in by_name:
+        for acl in device.store.acls():
+            acl_homes.setdefault(acl.name, []).append(hostname)
+        for rm in device.store.route_maps():
+            rm_homes.setdefault(rm.name, []).append(hostname)
+    devices_map = {d.hostname: d for d in devices}
+    for name in sorted(acl_homes):
+        homes = acl_homes[name]
+        if len(homes) < 2:
+            continue
+        reference = homes[0]
+        for other in homes[1:]:
+            diag = _acl_drift(name, devices_map, fps, reference, other)
+            if diag is not None:
+                diagnostics.append(diag)
+    for name in sorted(rm_homes):
+        homes = rm_homes[name]
+        if len(homes) < 2:
+            continue
+        reference = homes[0]
+        for other in homes[1:]:
+            diag = _route_map_drift(name, devices_map, reference, other)
+            if diag is not None:
+                diagnostics.append(diag)
+    return tuple(diagnostics)
+
+
+def _acl_drift(
+    name: str,
+    devices: Dict[str, DeviceConfig],
+    fps: Dict[str, str],
+    reference: str,
+    other: str,
+) -> Optional[Diagnostic]:
+    space_a = acl_permit_space(fps[reference], devices[reference], name)
+    space_b = acl_permit_space(fps[other], devices[other], name)
+    witness = space_a.subtract(space_b).witness()
+    if witness is None:
+        witness = space_b.subtract(space_a).witness()
+    if witness is None:
+        return None
+    action_ref = eval_acl(devices[reference].store.acl(name), witness).action
+    action_other = eval_acl(devices[other].store.acl(name), witness).action
+    if action_ref == action_other:
+        return None  # symbolic artefact; semantics agree on the witness
+    verbs = {"permit": "permitted", "deny": "denied"}
+    return Diagnostic(
+        code="NW005",
+        severity=Severity.WARNING,
+        location=SourceLocation("acl", name, device=other),
+        message=(
+            f"acl {name} has drifted: the witness packet is "
+            f"{verbs[action_ref]} on {reference} but "
+            f"{verbs[action_other]} on {other}"
+        ),
+        suggestion=f"reconcile acl {name} across {reference} and {other}",
+        witness=witness,
+        related=(SourceLocation("acl", name, device=reference),),
+    )
+
+
+def _route_map_drift(
+    name: str,
+    devices: Dict[str, DeviceConfig],
+    reference: str,
+    other: str,
+) -> Optional[Diagnostic]:
+    from repro.analysis.compare import compare_route_policies
+
+    differences = compare_route_policies(
+        devices[reference].store.route_map(name),
+        devices[other].store.route_map(name),
+        devices[reference].store,
+        devices[other].store,
+        max_differences=1,
+    )
+    if not differences:
+        return None
+    difference = differences[0]
+    witness = difference.subject
+    return Diagnostic(
+        code="NW006",
+        severity=Severity.WARNING,
+        location=SourceLocation("route-map", name, device=other),
+        message=(
+            f"route-map {name} has drifted between {reference} and "
+            f"{other}: a route takes different outcomes"
+        ),
+        suggestion=f"reconcile route-map {name} across {reference} and {other}",
+        witness=witness,
+        related=(SourceLocation("route-map", name, device=reference),),
+    )
+
+
+__all__ = [
+    "CONFLICT_CODES",
+    "DRIFT_CODES",
+    "analyze_drift",
+    "analyze_path",
+    "analyze_route_propagation",
+    "replay_packet",
+    "witness_flips_at",
+]

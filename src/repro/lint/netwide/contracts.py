@@ -1,0 +1,159 @@
+"""End-to-end reachability contracts checked against the BGP simulation.
+
+A contract file is plain text, one contract per line::
+
+    # device ~> prefix, then the expectation
+    EDGE ~> 10.9.0.0/16  must-reach
+    EDGE ~> 10.66.0.0/16 must-not-reach
+
+``->`` is accepted as a synonym for ``~>``; ``#`` starts a comment.  A
+``must-reach`` contract holds when the source router's simulated RIB
+installs a route for exactly that prefix; ``must-not-reach`` holds when
+it does not.  Violations surface as ``NW007`` (a promised destination is
+unreachable) and ``NW008`` (a forbidden destination is reachable, with
+the installed route as witness) — both errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from repro.lint.diagnostics import Diagnostic, Severity, SourceLocation
+from repro.lint.netwide.model import Topology
+from repro.netaddr import Ipv4Prefix
+
+_ARROWS = ("~>", "->")
+_EXPECTATIONS = ("must-reach", "must-not-reach")
+
+
+@dataclasses.dataclass(frozen=True)
+class Contract:
+    """One reachability contract: ``source ~> prefix`` plus expectation."""
+
+    source: str
+    prefix: Ipv4Prefix
+    must_reach: bool
+
+    def render(self) -> str:
+        """Canonical one-line form (the parser's input format)."""
+        expectation = _EXPECTATIONS[0] if self.must_reach else _EXPECTATIONS[1]
+        return f"{self.source} ~> {self.prefix} {expectation}"
+
+
+def parse_contracts(text: str) -> Tuple[Contract, ...]:
+    """Parse a contract file; raises :class:`ValueError` on a bad line."""
+    contracts: List[Contract] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        for arrow in _ARROWS:
+            if arrow in line:
+                head, _, tail = line.partition(arrow)
+                break
+        else:
+            raise ValueError(
+                f"contract line {lineno}: expected 'SOURCE ~> PREFIX "
+                f"must-reach|must-not-reach', got {raw.strip()!r}"
+            )
+        source = head.strip()
+        words = tail.split()
+        if not source or len(words) != 2 or words[1] not in _EXPECTATIONS:
+            raise ValueError(
+                f"contract line {lineno}: expected 'SOURCE ~> PREFIX "
+                f"must-reach|must-not-reach', got {raw.strip()!r}"
+            )
+        try:
+            prefix = Ipv4Prefix.parse(words[0])
+        except ValueError as exc:
+            raise ValueError(f"contract line {lineno}: {exc}") from None
+        contracts.append(
+            Contract(source, prefix, must_reach=words[1] == "must-reach")
+        )
+    return tuple(contracts)
+
+
+def load_contracts(path: str) -> Tuple[Contract, ...]:
+    """Read and parse a contract file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_contracts(handle.read())
+
+
+def check_contracts(
+    topo: Topology, contracts: Sequence[Contract]
+) -> Tuple[Diagnostic, ...]:
+    """Check every contract against the simulated RIBs (NW007/NW008)."""
+    diagnostics: List[Diagnostic] = []
+    for contract in contracts:
+        if contract.source not in topo.devices:
+            diagnostics.append(
+                Diagnostic(
+                    code="NW007",
+                    severity=Severity.ERROR,
+                    location=_location(contract),
+                    message=(
+                        f"contract names unknown device "
+                        f"{contract.source!r}: {contract.render()}"
+                    ),
+                    suggestion="fix the device name in the contract file",
+                )
+            )
+            continue
+        entry = topo.ribs.get(contract.source, {}).get(contract.prefix)
+        if contract.must_reach and entry is None:
+            diagnostics.append(
+                Diagnostic(
+                    code="NW007",
+                    severity=Severity.ERROR,
+                    location=_location(contract),
+                    message=(
+                        f"{contract.source} must reach {contract.prefix} "
+                        f"but its simulated RIB installs no route for it"
+                    ),
+                    suggestion=(
+                        "check the originator and every route-map chain "
+                        "between it and the source"
+                    ),
+                )
+            )
+        elif not contract.must_reach and entry is not None:
+            learned = (
+                f"learned from {entry.learned_from}"
+                if entry.learned_from is not None
+                else "locally originated"
+            )
+            diagnostics.append(
+                Diagnostic(
+                    code="NW008",
+                    severity=Severity.ERROR,
+                    location=_location(contract),
+                    message=(
+                        f"{contract.source} must not reach "
+                        f"{contract.prefix} but its simulated RIB installs "
+                        f"a route ({learned})"
+                    ),
+                    suggestion=(
+                        "deny the prefix in an import chain on the path "
+                        "toward the source"
+                    ),
+                    witness=entry.route,
+                )
+            )
+    return tuple(diagnostics)
+
+
+def _location(contract: Contract) -> SourceLocation:
+    return SourceLocation(
+        "contract",
+        f"{contract.source}~>{contract.prefix}",
+        device=contract.source,
+    )
+
+
+__all__ = [
+    "Contract",
+    "check_contracts",
+    "load_contracts",
+    "parse_contracts",
+]

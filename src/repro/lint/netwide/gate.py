@@ -1,0 +1,78 @@
+"""The network-wide insertion gate: advisory whole-network diffing.
+
+The per-device gate (:mod:`repro.lint.gate`) answers "what did this
+insertion do to *this* policy?"; this gate answers "what did it do to
+the *network*?".  It embeds the session's store into a device set (the
+caller supplies the embedding — e.g. graft the store onto one router of
+a known topology), runs the :class:`~repro.lint.netwide.analyze.
+NetwideAnalyzer` before and after, and reports the findings the update
+*introduced* at warning severity or above.
+
+Like the per-device gate it is advisory: the warnings land in the same
+``UpdateReport.gate_warnings`` channel (prefixed ``netwide:``) and bump
+``lint.netwide_gate_warnings``.  The analyzer instance persists across
+checks, so a session of small updates pays incremental cost — only the
+paths crossing the updated device are re-analyzed each time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro import obs
+from repro.config.device import DeviceConfig
+from repro.config.store import ConfigStore
+from repro.lint.diagnostics import LintReport, Severity
+from repro.lint.netwide.analyze import NetwideAnalyzer
+from repro.lint.netwide.contracts import Contract
+
+#: Maps a session store to the device set to analyze network-wide.
+Embedding = Callable[[ConfigStore], Sequence[DeviceConfig]]
+
+
+class NetwideGate:
+    """Advisory pre/post-insertion network-wide check.
+
+    ``embed`` turns a session's :class:`ConfigStore` into the device set
+    whose network the update affects; ``contracts`` are checked on every
+    run so a contract regression surfaces as a gate warning too.
+    """
+
+    def __init__(
+        self, embed: Embedding, contracts: Sequence[Contract] = ()
+    ) -> None:
+        self.embed = embed
+        self.contracts = tuple(contracts)
+        self.analyzer = NetwideAnalyzer()
+
+    def report(self, store: ConfigStore) -> LintReport:
+        """The full network-wide report for one embedded store."""
+        return self.analyzer.analyze(
+            list(self.embed(store)), contracts=self.contracts
+        )
+
+    def check(self, before: ConfigStore, after: ConfigStore) -> Tuple[str, ...]:
+        """Warnings for the findings ``after`` introduces over ``before``.
+
+        Findings are compared by their rendered one-line form, so a
+        finding that merely moved (renumbering) does not re-fire while a
+        genuinely new conflict does.  Only warning severity and above
+        surfaces — the gate is a tripwire, not a report viewer.
+        """
+        with obs.span("lint.netwide_gate"):
+            obs.count("lint.netwide_gate_checks")
+            baseline = {
+                d.render()
+                for d in self.report(before).at_least(Severity.WARNING)
+            }
+            introduced: List[str] = [
+                f"netwide: {d.render()}"
+                for d in self.report(after).at_least(Severity.WARNING)
+                if d.render() not in baseline
+            ]
+            if introduced:
+                obs.count("lint.netwide_gate_warnings", len(introduced))
+            return tuple(introduced)
+
+
+__all__ = ["Embedding", "NetwideGate"]

@@ -1,0 +1,186 @@
+"""The network model for whole-network analysis: topology and paths.
+
+A :class:`Topology` bundles the parsed devices, the assembled
+:class:`repro.bgp.topology.Network`, the simulated RIBs, and the
+interface each device uses to face each BGP peer.  Forwarding paths are
+*derived from the BGP simulation*: a packet destined to a prefix follows
+the chain of ``learned_from`` pointers from the querying router down to
+the originator, and every witness the checks emit reproduces its
+conflict through one of these simulated paths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.fromconfig import TopologyError, network_from_devices
+from repro.bgp.simulate import Ribs, simulate
+from repro.bgp.topology import Network
+from repro.config.device import DeviceConfig, Interface
+from repro.netaddr import Ipv4Prefix
+
+
+@dataclasses.dataclass(frozen=True)
+class PathFilter:
+    """One ACL applied somewhere along a forwarding path.
+
+    ``direction`` is ``out`` for the sender's egress attachment and
+    ``in`` for the receiver's ingress attachment of the same link.
+    """
+
+    device: str
+    interface: str
+    direction: str
+    acl: str
+
+    def render(self) -> str:
+        """Short display form, e.g. ``CORE:Link2 in CORE_IN``."""
+        return f"{self.device}:{self.interface} {self.direction} {self.acl}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ForwardingPath:
+    """One simulated forwarding path toward one destination prefix.
+
+    ``devices`` runs from the querying router to the prefix's
+    originator; ``filters`` lists every ACL attachment traffic crosses,
+    in traversal order.
+    """
+
+    prefix: Ipv4Prefix
+    devices: Tuple[str, ...]
+    filters: Tuple[PathFilter, ...]
+
+    def render(self) -> str:
+        """Display form, e.g. ``EDGE -> AGG -> DC dst 10.9.0.0/16``."""
+        return " -> ".join(self.devices) + f" dst {self.prefix}"
+
+
+class Topology:
+    """Devices + assembled network + simulated RIBs + facing interfaces."""
+
+    def __init__(self, devices: Sequence[DeviceConfig]) -> None:
+        self.devices: Dict[str, DeviceConfig] = {}
+        for device in devices:
+            if device.hostname in self.devices:
+                raise TopologyError(
+                    f"duplicate hostname {device.hostname!r} in device set"
+                )
+            self.devices[device.hostname] = device
+        self.network: Network = network_from_devices(list(devices))
+        self.ribs: Ribs = simulate(self.network)
+        #: (device, peer) -> the interface ``device`` uses to reach ``peer``.
+        self.facing: Dict[Tuple[str, str], Interface] = {}
+        owner_of = {
+            address: device.hostname
+            for device in devices
+            for address in device.interface_addresses()
+        }
+        for device in devices:
+            assert device.bgp is not None  # network_from_devices checked
+            for neighbor in device.bgp.neighbors:
+                peer = owner_of[neighbor.address]
+                for iface in device.interfaces:
+                    net = iface.network()
+                    if net is not None and net.contains_address(
+                        neighbor.address
+                    ):
+                        self.facing[(device.hostname, peer)] = iface
+                        break
+
+
+def topology_capable(devices: Sequence[DeviceConfig]) -> bool:
+    """True when the device set describes a simulatable BGP network."""
+    return bool(devices) and all(
+        device.bgp is not None for device in devices
+    ) and any(
+        device.bgp is not None and device.bgp.neighbors for device in devices
+    )
+
+
+def build_topology(devices: Sequence[DeviceConfig]) -> Topology:
+    """Assemble and simulate; raises :class:`TopologyError` if incoherent."""
+    return Topology(devices)
+
+
+def _prefix_key(prefix: Ipv4Prefix) -> Tuple[int, int]:
+    return (prefix.network.value, prefix.length)
+
+
+def _rib_chain(
+    topo: Topology, router: str, prefix: Ipv4Prefix
+) -> Optional[Tuple[str, ...]]:
+    """The learned-from chain from ``router`` to the prefix's originator."""
+    chain: List[str] = [router]
+    entry = topo.ribs[router][prefix]
+    while entry.learned_from is not None:
+        nxt = entry.learned_from
+        if nxt in chain:
+            return None  # defensive: a loop would mean a broken fixpoint
+        chain.append(nxt)
+        nxt_entry = topo.ribs.get(nxt, {}).get(prefix)
+        if nxt_entry is None:
+            return None
+        entry = nxt_entry
+    return tuple(chain)
+
+
+def path_filters(
+    topo: Topology, devices_on_path: Sequence[str]
+) -> Tuple[PathFilter, ...]:
+    """Every ACL attachment traffic crosses along ``devices_on_path``."""
+    filters: List[PathFilter] = []
+    for sender, receiver in zip(devices_on_path, devices_on_path[1:]):
+        egress = topo.facing.get((sender, receiver))
+        if egress is not None and egress.acl_out is not None:
+            filters.append(
+                PathFilter(sender, egress.name, "out", egress.acl_out)
+            )
+        ingress = topo.facing.get((receiver, sender))
+        if ingress is not None and ingress.acl_in is not None:
+            filters.append(
+                PathFilter(receiver, ingress.name, "in", ingress.acl_in)
+            )
+    return tuple(filters)
+
+
+def extract_paths(topo: Topology) -> Tuple[ForwardingPath, ...]:
+    """Every maximal simulated forwarding path, deterministically ordered.
+
+    One path per (source router, destination prefix) RIB entry, deduped:
+    a path that is a strict suffix of another path toward the same
+    prefix adds no filters of its own, so only maximal chains are kept.
+    """
+    chains: Set[Tuple[Ipv4Prefix, Tuple[str, ...]]] = set()
+    for router in sorted(topo.ribs):
+        for prefix in sorted(topo.ribs[router], key=_prefix_key):
+            chain = _rib_chain(topo, router, prefix)
+            if chain is not None and len(chain) > 1:
+                chains.add((prefix, chain))
+    maximal = [
+        (prefix, chain)
+        for prefix, chain in chains
+        if not any(
+            other != chain and other[-len(chain):] == chain
+            for other_prefix, other in chains
+            if other_prefix == prefix
+        )
+    ]
+    maximal.sort(key=lambda item: (_prefix_key(item[0]), item[1]))
+    return tuple(
+        ForwardingPath(prefix, chain, path_filters(topo, chain))
+        for prefix, chain in maximal
+    )
+
+
+__all__ = [
+    "ForwardingPath",
+    "PathFilter",
+    "Topology",
+    "TopologyError",
+    "build_topology",
+    "extract_paths",
+    "path_filters",
+    "topology_capable",
+]

@@ -1,0 +1,309 @@
+"""A seeded multi-device demo topology for network-wide analysis.
+
+Five routers in a line with one branch::
+
+    EDGE(65001) -- AGG(65002) -- CORE(65003) -- DC(65004)
+                     \\
+                      LAB(65005)
+
+DC originates ``10.9.0.0/16`` and ``10.8.0.0/16``, LAB ``10.20.0.0/16``,
+EDGE ``192.0.2.0/24``.  EDGE filters its traffic toward the fabric with
+``EDGE_OUT`` (egress), CORE re-filters it with ``CORE_IN`` (ingress from
+AGG); AGG and EDGE run explicit permit-all import chains (``FROM_CORE``,
+``FROM_AGG``).  The default topology is finding-free — the CI baseline
+pins that — and three switches inject the defects the NW checks exist
+to catch:
+
+* ``inject_shadow`` — ``CORE_IN`` leads with ``deny ip any 10.9.0.0/16``,
+  fully cancelling EDGE's explicit HTTPS/SSH permits → ``NW001``;
+* ``inject_drift`` — a ``MGMT_GUARD`` ACL exists on EDGE and CORE with
+  divergent semantics → ``NW005``;
+* ``inject_route_shadow`` — EDGE's ``FROM_AGG`` denies ``10.9.0.0/16``,
+  cancelling what AGG's ``FROM_CORE`` passed → ``NW003``, and breaking
+  the ``EDGE ~> 10.9.0.0/16 must-reach`` contract → ``NW007``.
+
+The branch matters for incrementality: paths that avoid a modified
+device (e.g. ``EDGE -> AGG -> LAB`` when CORE changes) stay cached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.config.acl import Acl, AclRule, PortSpec, ProtocolSpec
+from repro.config.device import (
+    BgpConfig,
+    BgpNeighbor,
+    DeviceConfig,
+    Interface,
+    NetworkStatement,
+)
+from repro.config.lists import PrefixList, PrefixListEntry
+from repro.config.matches import MatchPrefixList
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.config.store import ConfigStore
+from repro.lint.netwide.contracts import Contract, parse_contracts
+from repro.netaddr import Ipv4Address, Ipv4Prefix, Ipv4Wildcard
+
+#: Link subnets are carved from this block, one /30 per BGP session.
+LINK_BLOCK = Ipv4Prefix.parse("172.31.0.0/16")
+
+_ASNS = {"EDGE": 65001, "AGG": 65002, "CORE": 65003, "DC": 65004, "LAB": 65005}
+#: (link index, side A, side B) — A gets the .1, B the .2 of the /30.
+_LINKS = (
+    (0, "EDGE", "AGG"),
+    (1, "AGG", "CORE"),
+    (2, "CORE", "DC"),
+    (3, "AGG", "LAB"),
+)
+
+DEFAULT_CONTRACTS_TEXT = """\
+# Reachability contracts for the seeded netwide demo topology.
+EDGE ~> 10.9.0.0/16  must-reach      # DC's production block
+EDGE ~> 10.20.0.0/16 must-reach      # the LAB branch
+EDGE ~> 10.66.0.0/16 must-not-reach  # nobody originates this
+"""
+
+
+def _link_addresses(index: int) -> Tuple[Ipv4Address, Ipv4Address]:
+    base = LINK_BLOCK.network.value + 4 * index
+    return Ipv4Address(base + 1), Ipv4Address(base + 2)
+
+
+def _dst(prefix: str) -> Ipv4Wildcard:
+    return Ipv4Wildcard.from_prefix(Ipv4Prefix.parse(prefix))
+
+
+def _edge_out() -> Acl:
+    return Acl(
+        "EDGE_OUT",
+        (
+            AclRule(10, "permit", ProtocolSpec("tcp"), Ipv4Wildcard.any(),
+                    _dst("10.9.0.0/16"), dst_ports=PortSpec("eq", (443,))),
+            AclRule(20, "permit", ProtocolSpec("tcp"), Ipv4Wildcard.any(),
+                    _dst("10.9.0.0/16"), dst_ports=PortSpec("eq", (22,))),
+            AclRule(30, "permit", ProtocolSpec("udp"), Ipv4Wildcard.any(),
+                    _dst("10.8.0.0/16"), dst_ports=PortSpec("eq", (53,))),
+            AclRule(40, "permit", ProtocolSpec("ip"), Ipv4Wildcard.any(),
+                    _dst("10.20.0.0/16")),
+            AclRule(50, "deny", ProtocolSpec("ip"), Ipv4Wildcard.any(),
+                    Ipv4Wildcard.any()),
+        ),
+    )
+
+
+def _core_in(inject_shadow: bool) -> Acl:
+    rules: List[AclRule] = []
+    if inject_shadow:
+        # The cross-device shadow: cancels EDGE_OUT's 10.9/16 permits.
+        rules.append(
+            AclRule(10, "deny", ProtocolSpec("ip"), Ipv4Wildcard.any(),
+                    _dst("10.9.0.0/16"))
+        )
+    rules.extend(
+        (
+            AclRule(20, "permit", ProtocolSpec("tcp"), Ipv4Wildcard.any(),
+                    _dst("10.9.0.0/16")),
+            AclRule(30, "permit", ProtocolSpec("udp"), Ipv4Wildcard.any(),
+                    _dst("10.8.0.0/16"), dst_ports=PortSpec("eq", (53,))),
+            AclRule(40, "deny", ProtocolSpec("ip"), Ipv4Wildcard.any(),
+                    Ipv4Wildcard.any()),
+        )
+    )
+    return Acl("CORE_IN", tuple(rules))
+
+
+def _mgmt_guard(ssh_port: int) -> Acl:
+    return Acl(
+        "MGMT_GUARD",
+        (
+            AclRule(10, "permit", ProtocolSpec("tcp"), Ipv4Wildcard.any(),
+                    _dst("10.99.0.0/24"), dst_ports=PortSpec("eq", (ssh_port,))),
+            AclRule(20, "deny", ProtocolSpec("ip"), Ipv4Wildcard.any(),
+                    Ipv4Wildcard.any()),
+        ),
+    )
+
+
+def _permit_all_map(name: str, store: ConfigStore, deny_10_9: bool) -> None:
+    if not store.has_prefix_list("ANY"):
+        store.add_prefix_list(
+            PrefixList(
+                "ANY",
+                (PrefixListEntry(10, "permit", Ipv4Prefix.parse("0.0.0.0/0"),
+                                 le=32),),
+            )
+        )
+    stanzas: List[RouteMapStanza] = []
+    if deny_10_9:
+        store.add_prefix_list(
+            PrefixList(
+                "NET_10_9",
+                (PrefixListEntry(10, "permit",
+                                 Ipv4Prefix.parse("10.9.0.0/16")),),
+            ),
+            replace=True,
+        )
+        stanzas.append(
+            RouteMapStanza(10, "deny", matches=(MatchPrefixList(("NET_10_9",)),))
+        )
+    stanzas.append(
+        RouteMapStanza(20, "permit", matches=(MatchPrefixList(("ANY",)),))
+    )
+    store.add_route_map(RouteMap(name, tuple(stanzas)), replace=True)
+
+
+def seed_devices(
+    inject_shadow: bool = False,
+    inject_drift: bool = False,
+    inject_route_shadow: bool = False,
+) -> List[DeviceConfig]:
+    """Build the demo device set, optionally with injected defects."""
+    devices: Dict[str, DeviceConfig] = {
+        name: DeviceConfig(hostname=name) for name in _ASNS
+    }
+
+    devices["EDGE"].store.add_acl(_edge_out())
+    devices["CORE"].store.add_acl(_core_in(inject_shadow))
+    if inject_drift:
+        devices["EDGE"].store.add_acl(_mgmt_guard(22))
+        devices["CORE"].store.add_acl(_mgmt_guard(2323))
+    _permit_all_map("FROM_CORE", devices["AGG"].store, deny_10_9=False)
+    _permit_all_map(
+        "FROM_AGG", devices["EDGE"].store, deny_10_9=inject_route_shadow
+    )
+
+    import_chains = {
+        ("AGG", "CORE"): ("FROM_CORE",),
+        ("EDGE", "AGG"): ("FROM_AGG",),
+    }
+    acl_out = {("EDGE", "AGG"): "EDGE_OUT"}
+    acl_in = {("CORE", "AGG"): "CORE_IN"}
+
+    neighbor_rows: Dict[str, List[BgpNeighbor]] = {n: [] for n in devices}
+    for index, side_a, side_b in _LINKS:
+        addr_a, addr_b = _link_addresses(index)
+        for side, addr, peer, peer_addr in (
+            (side_a, addr_a, side_b, addr_b),
+            (side_b, addr_b, side_a, addr_a),
+        ):
+            devices[side].interfaces.append(
+                Interface(
+                    name=f"Link{index}",
+                    address=addr,
+                    prefix_length=30,
+                    acl_in=acl_in.get((side, peer)),
+                    acl_out=acl_out.get((side, peer)),
+                )
+            )
+            neighbor_rows[side].append(
+                BgpNeighbor(
+                    address=peer_addr,
+                    remote_as=_ASNS[peer],
+                    import_chain=import_chains.get((side, peer), ()),
+                )
+            )
+
+    originations = {
+        "DC": ("10.9.0.0/16", "10.8.0.0/16"),
+        "LAB": ("10.20.0.0/16",),
+        "EDGE": ("192.0.2.0/24",),
+    }
+    for name, device in devices.items():
+        device.bgp = BgpConfig(
+            asn=_ASNS[name],
+            networks=tuple(
+                NetworkStatement(Ipv4Prefix.parse(p))
+                for p in originations.get(name, ())
+            ),
+            neighbors=tuple(
+                sorted(neighbor_rows[name], key=lambda n: n.address)
+            ),
+        )
+        device.validate()
+    return [devices[name] for name in sorted(devices)]
+
+
+def default_contracts() -> Tuple[Contract, ...]:
+    """The contracts shipped with the demo topology."""
+    return parse_contracts(DEFAULT_CONTRACTS_TEXT)
+
+
+def embed_on_edge(
+    store: ConfigStore, devices: Sequence[DeviceConfig] = ()
+) -> List[DeviceConfig]:
+    """Graft a session's store onto the demo topology's EDGE router.
+
+    This is the embedding the netwide insertion gate and the loadgen
+    quality axis use: the session under analysis is treated as editing
+    EDGE.  The session's objects join EDGE's store (session names win on
+    collision), the first session ACL (sorted by name) replaces
+    ``EDGE_OUT`` as the egress filter toward AGG, and the first session
+    route-map is appended to EDGE's import chain from AGG — so a
+    session update immediately participates in path, propagation, and
+    contract analysis.
+    """
+    base = list(devices) if devices else seed_devices()
+    out: List[DeviceConfig] = []
+    for device in base:
+        if device.hostname != "EDGE":
+            out.append(device)
+            continue
+        merged = device.store.copy()
+        for pl in store.prefix_lists():
+            merged.add_prefix_list(pl, replace=True)
+        for cl in store.community_lists():
+            merged.add_community_list(cl, replace=True)
+        for al in store.as_path_lists():
+            merged.add_as_path_list(al, replace=True)
+        for rm in store.route_maps():
+            merged.add_route_map(rm, replace=True)
+        for acl in store.acls():
+            merged.add_acl(acl, replace=True)
+        session_acls = sorted(acl.name for acl in store.acls())
+        session_maps = sorted(rm.name for rm in store.route_maps())
+        interfaces = []
+        for iface in device.interfaces:
+            if iface.acl_out is not None and session_acls:
+                iface = Interface(
+                    name=iface.name,
+                    address=iface.address,
+                    prefix_length=iface.prefix_length,
+                    acl_in=iface.acl_in,
+                    acl_out=session_acls[0],
+                )
+            interfaces.append(iface)
+        assert device.bgp is not None
+        neighbors = tuple(
+            BgpNeighbor(
+                address=n.address,
+                remote_as=n.remote_as,
+                import_chain=n.import_chain + tuple(session_maps[:1]),
+                export_chain=n.export_chain,
+            )
+            if n.import_chain and session_maps
+            else n
+            for n in device.bgp.neighbors
+        )
+        edited = DeviceConfig(
+            hostname=device.hostname,
+            interfaces=interfaces,
+            bgp=BgpConfig(
+                asn=device.bgp.asn,
+                router_id=device.bgp.router_id,
+                networks=device.bgp.networks,
+                neighbors=neighbors,
+            ),
+            store=merged,
+        )
+        edited.validate()
+        out.append(edited)
+    return out
+
+
+__all__ = [
+    "DEFAULT_CONTRACTS_TEXT",
+    "default_contracts",
+    "embed_on_edge",
+    "seed_devices",
+]

@@ -1,0 +1,128 @@
+"""Fingerprint-keyed symbolic permit spaces for network-wide analysis.
+
+The network-wide pass composes per-hop policies symbolically, so the
+same (device, list) pair is queried once per path that crosses it.  The
+permit spaces are memoized in :mod:`repro.perf.cache` tables keyed by
+``(device fingerprint, list name)`` — content-addressed keys, so an
+update to one device invalidates exactly that device's entries while
+every other device's spaces (and the hash-consed regions underneath
+them) are reused.  Cache traffic surfaces through the usual ``cache.*``
+obs counters.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.analysis.headerspace import PacketSpace, acl_reachable_spaces
+from repro.analysis.routespace import RouteSpace, route_map_reachable_spaces
+from repro.config.device import DeviceConfig
+from repro.config.render import render_config
+from repro.obs.journal import sha256_text
+from repro.perf import cache as _perf
+
+_ACL_PERMIT = _perf.Memo("netwide.acl_permit")
+_CHAIN_PERMIT = _perf.Memo("netwide.chain_permit")
+
+
+def device_fingerprint(device: DeviceConfig) -> str:
+    """A content hash of one device configuration.
+
+    Covers the hostname, every interface (address and ACL attachments),
+    the BGP block (neighbors and their route-map chains, originations),
+    and the rendered policy store — everything network-wide analysis can
+    observe.  Two devices with identical configuration share fingerprints
+    and therefore share memoized permit spaces.
+    """
+    parts = [f"hostname {device.hostname}"]
+    for iface in device.interfaces:
+        parts.append(
+            f"interface {iface.name} {iface.address}/{iface.prefix_length} "
+            f"in={iface.acl_in} out={iface.acl_out}"
+        )
+    if device.bgp is not None:
+        parts.append(f"bgp {device.bgp.asn} router-id {device.bgp.router_id}")
+        for statement in device.bgp.networks:
+            parts.append(f"network {statement.prefix} map {statement.route_map}")
+        for neighbor in device.bgp.neighbors:
+            parts.append(
+                f"neighbor {neighbor.address} as {neighbor.remote_as} "
+                f"in={','.join(neighbor.import_chain)} "
+                f"out={','.join(neighbor.export_chain)}"
+            )
+    parts.append(render_config(device.store))
+    return sha256_text("\n".join(parts))
+
+
+def acl_permit_space(
+    device_fp: str, device: DeviceConfig, acl_name: str
+) -> PacketSpace:
+    """The packets ``acl_name`` on ``device`` permits, under first-match.
+
+    Every permitted packet matched an explicit ``permit`` rule (the
+    implicit tail is a deny), so this space doubles as the ACL's
+    *explicit* permit space for shadow attribution.
+    """
+
+    def compute() -> PacketSpace:
+        """Union the reachable spaces of the explicit permit rules."""
+        acl = device.store.acl(acl_name)
+        space = PacketSpace.empty()
+        for rule, reachable in acl_reachable_spaces(acl):
+            if rule is not None and rule.action == "permit":
+                space = space.union(reachable)
+        return space
+
+    out = _ACL_PERMIT.lookup((device_fp, acl_name), compute)
+    assert isinstance(out, PacketSpace)
+    return out
+
+
+def route_map_permit_space(
+    device_fp: str, device: DeviceConfig, name: str
+) -> RouteSpace:
+    """The routes one route-map permits (transform-free guard view)."""
+    return chain_permit_space(device_fp, device, (name,))
+
+
+def chain_permit_space(
+    device_fp: str, device: DeviceConfig, chain: Tuple[str, ...]
+) -> RouteSpace:
+    """The routes an ordered route-map chain passes end to end.
+
+    Every map in the chain must permit (the chain semantics of
+    :func:`repro.bgp.simulate.simulate`), so the space is the
+    intersection of the per-map permit spaces.  Set-clause transforms
+    are deliberately ignored here — the symbolic composition is a guard
+    approximation, and every finding derived from it is re-validated
+    against the concrete evaluator (with transforms) before it is
+    reported.
+    """
+
+    def compute() -> RouteSpace:
+        """Intersect the per-map explicit permit spaces along the chain."""
+        space = RouteSpace.universe()
+        for name in chain:
+            route_map = device.store.route_map(name)
+            permits = RouteSpace.empty()
+            for stanza, reachable in route_map_reachable_spaces(
+                route_map, device.store
+            ):
+                if stanza is not None and stanza.action == "permit":
+                    permits = permits.union(reachable)
+            space = space.intersect(permits)
+            if space.is_trivially_empty():
+                return RouteSpace.empty()
+        return space
+
+    out = _CHAIN_PERMIT.lookup((device_fp, chain), compute)
+    assert isinstance(out, RouteSpace)
+    return out
+
+
+__all__ = [
+    "acl_permit_space",
+    "chain_permit_space",
+    "device_fingerprint",
+    "route_map_permit_space",
+]

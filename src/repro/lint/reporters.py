@@ -18,6 +18,8 @@ def _location_dict(location: SourceLocation) -> Dict[str, object]:
     out: Dict[str, object] = {"kind": location.kind, "name": location.name}
     if location.seq is not None:
         out["seq"] = location.seq
+    if location.device is not None:
+        out["device"] = location.device
     return out
 
 
@@ -40,7 +42,13 @@ def diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, object]:
 
 
 def render_json(report: LintReport, title: Optional[str] = None) -> str:
-    """The whole report as a JSON document."""
+    """The whole report as a JSON document.
+
+    The report is normalized first — deterministic (code, device,
+    position) order, identical-witness findings deduped — so the output
+    is byte-stable across runs and usable as a CI baseline artifact.
+    """
+    report = report.normalized()
     document: Dict[str, object] = {
         "diagnostics": [diagnostic_to_dict(d) for d in report],
         "counts_by_code": report.counts_by_code(),
@@ -59,7 +67,12 @@ def render_text(
     show_witnesses: bool = True,
     show_suggestions: bool = True,
 ) -> str:
-    """The whole report as a human-readable listing."""
+    """The whole report as a human-readable listing.
+
+    Normalized like :func:`render_json`: deterministic (code, device,
+    position) order with identical-witness findings deduped.
+    """
+    report = report.normalized()
     lines: List[str] = []
     if title is not None:
         lines.append(title)

@@ -83,11 +83,21 @@ def _figure3_task(payload: Any, context: Any) -> Any:
     return (tuple(figure4_rows(result.stats)), dict(result.policy_results))
 
 
+def _netwide_path_task(payload: Any, context: Any) -> Any:
+    # Imported lazily: the network-wide checks pull in the lint and BGP
+    # layers, which overlap campaigns never need.
+    from repro.lint.netwide.checks import analyze_path
+
+    devices = {device.hostname: device for device in context}
+    return analyze_path(payload, devices)
+
+
 _TASKS: Dict[str, TaskFn] = {
     "acl-overlap": _acl_overlap_task,
     "route-map-overlap": _route_map_overlap_task,
     "chain-overlap": _chain_overlap_task,
     "figure3-eval": _figure3_task,
+    "netwide-path": _netwide_path_task,
 }
 
 
@@ -338,6 +348,26 @@ def cloud_overlap_study(
     )
 
 
+def netwide_path_campaign(
+    paths: Sequence[Any],
+    devices: Sequence[Any],
+    workers: Optional[int] = None,
+    chunks: Optional[int] = None,
+) -> CampaignResult:
+    """:func:`repro.lint.netwide.checks.analyze_path` over many paths.
+
+    Each result is the path's diagnostic tuple, in path order — the
+    same tuples a serial loop over :func:`analyze_path` produces.
+    """
+    return run_campaign(
+        "netwide-path",
+        paths,
+        context=tuple(devices),
+        workers=workers,
+        chunks=chunks,
+    )
+
+
 def evaluation_campaign(
     runs: int = 1,
     workers: Optional[int] = None,
@@ -362,6 +392,7 @@ __all__ = [
     "cloud_overlap_study",
     "default_workers",
     "evaluation_campaign",
+    "netwide_path_campaign",
     "route_map_overlap_campaign",
     "run_campaign",
     "task_kinds",

@@ -291,6 +291,9 @@ class LoadgenReport:
     upstream_llm_calls: int = 0
     cache: Dict[str, int] = dataclasses.field(default_factory=dict)
     batch: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Network-wide quality axis (``--netwide``): gate checks run, gate
+    #: warnings raised, and the ``netwide.*`` analyzer counters.
+    netwide: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """The report as a JSON-serialisable dict."""
@@ -329,6 +332,7 @@ def run_loadgen(
     backend: str = "simulated",
     cache_dir: Optional[str] = None,
     batch_window_s: Optional[float] = None,
+    netwide: bool = False,
 ) -> LoadgenReport:
     """Run one seeded campaign and aggregate the results.
 
@@ -340,7 +344,11 @@ def run_loadgen(
     ``backend`` is a :func:`repro.llm.router.build_backend` spec,
     ``cache_dir`` enables the durable response cache, and
     ``batch_window_s`` enables micro-batching (see
-    :func:`build_llm_stack` for the layering).
+    :func:`build_llm_stack` for the layering).  ``netwide`` attaches a
+    per-session :class:`~repro.lint.netwide.gate.NetwideGate` (each
+    session's edits embedded onto the seeded demo topology's EDGE
+    router) and adds the network-wide conflict counters to the report —
+    the quality axis alongside the throughput/latency ones.
     """
     workload = generate_workload(sessions, requests_per_session, seed)
     stack = build_llm_stack(
@@ -354,6 +362,17 @@ def run_loadgen(
     shared = stack.client
     faulty = stack.faulty
 
+    netwide_gate_factory = None
+    if netwide:
+        # Imported lazily: the netwide layer pulls in the BGP simulator,
+        # which fault-only or cache-only campaigns never need.
+        from repro.lint.netwide import NetwideGate, default_contracts, embed_on_edge
+
+        contracts = default_contracts()
+        netwide_gate_factory = lambda: NetwideGate(  # noqa: E731
+            embed_on_edge, contracts=contracts
+        )
+
     recorder = obs.Recorder()
     t_start = time.perf_counter()
     with obs.recording(recorder):
@@ -361,6 +380,7 @@ def run_loadgen(
             llm=shared,
             mode=DisambiguationMode.FULL,
             max_attempts=max_attempts,
+            netwide_gate_factory=netwide_gate_factory,
         )
         for spec in workload:
             manager.open(spec.session_id, config_text=spec.config_text)
@@ -428,6 +448,11 @@ def run_loadgen(
         upstream_llm_calls=stack.upstream_calls,
         cache=stack.cached.stats() if stack.cached is not None else {},
         batch=stack.batcher.stats() if stack.batcher is not None else {},
+        netwide={
+            name: value
+            for name, value in sorted(recorder.counters.items())
+            if name.startswith(("netwide.", "lint.netwide"))
+        },
     )
 
 

@@ -27,7 +27,10 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # imported only for annotations; avoids a heavy import
+    from repro.lint.netwide.gate import NetwideGate
 
 from repro import obs
 from repro.config import parse_config, render_config
@@ -84,6 +87,7 @@ class SessionManager:
         mode: DisambiguationMode = DisambiguationMode.FULL,
         max_attempts: int = 3,
         lint_gate: bool = False,
+        netwide_gate_factory: Optional[Callable[[], "NetwideGate"]] = None,
         memory_journals: bool = False,
         journal_dir: Optional[str] = None,
     ) -> None:
@@ -92,6 +96,9 @@ class SessionManager:
         self._mode = mode
         self._max_attempts = max_attempts
         self._lint_gate = lint_gate
+        #: Builds one whole-network advisory gate per session (each gate
+        #: holds its own incremental analyzer); None disables the layer.
+        self._netwide_gate_factory = netwide_gate_factory
         self._memory_journals = memory_journals
         self._journal_dir = journal_dir
         self._lock = threading.Lock()
@@ -122,6 +129,11 @@ class SessionManager:
             mode=self._mode,
             max_attempts=self._max_attempts,
             lint_gate=self._lint_gate,
+            netwide_gate=(
+                self._netwide_gate_factory()
+                if self._netwide_gate_factory is not None
+                else None
+            ),
             session_id=numeric_id,
         )
         managed = ManagedSession(session_id, session, journal=journal)

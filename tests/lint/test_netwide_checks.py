@@ -1,0 +1,179 @@
+"""Unit tests for each NW check: one injected defect per code."""
+
+from repro.config.acl import Acl, AclRule, PortSpec, ProtocolSpec
+from repro.config.device import DeviceConfig
+from repro.config.lists import PrefixList, PrefixListEntry
+from repro.config.matches import MatchMetric, MatchPrefixList
+from repro.config.routemap import RouteMap, RouteMapStanza
+from repro.lint.diagnostics import Severity
+from repro.lint.netwide import analyze_network, seed_devices
+from repro.netaddr import Ipv4Prefix, Ipv4Wildcard
+
+
+def _dst(prefix):
+    return Ipv4Wildcard.from_prefix(Ipv4Prefix.parse(prefix))
+
+
+def _by_code(report, code):
+    return [d for d in report if d.code == code]
+
+
+class TestCleanBaseline:
+    def test_default_topology_is_finding_free(self):
+        assert len(analyze_network(seed_devices())) == 0
+
+
+class TestNW001FullShadow:
+    def test_injected_shadow_found(self):
+        report = analyze_network(seed_devices(inject_shadow=True))
+        findings = _by_code(report, "NW001")
+        assert findings
+        diag = findings[0]
+        assert diag.severity is Severity.ERROR
+        assert diag.location.device == "CORE"
+        assert diag.location.name == "CORE_IN"
+        assert "every packet" in diag.message
+        assert "EDGE_OUT" in diag.message
+
+    def test_witness_destination_inside_prefix(self):
+        report = analyze_network(seed_devices(inject_shadow=True))
+        diag = _by_code(report, "NW001")[0]
+        prefix = Ipv4Prefix.parse("10.9.0.0/16")
+        assert prefix.contains_address(diag.witness.dst_ip)
+
+    def test_related_points_at_upstream_permit(self):
+        report = analyze_network(seed_devices(inject_shadow=True))
+        diag = _by_code(report, "NW001")[0]
+        assert any(
+            loc.device == "EDGE" and loc.name == "EDGE_OUT"
+            for loc in diag.related
+        )
+
+
+class TestNW002PartialShadow:
+    def test_partial_cancellation_warns(self):
+        devices = seed_devices()
+        core = next(d for d in devices if d.hostname == "CORE")
+        # Deny only HTTPS toward 10.9/16: cancels one of EDGE_OUT's two
+        # explicit permits, but SSH still gets through — a partial kill.
+        core.store.add_acl(
+            Acl(
+                "CORE_IN",
+                (
+                    AclRule(10, "deny", ProtocolSpec("tcp"),
+                            Ipv4Wildcard.any(), _dst("10.9.0.0/16"),
+                            dst_ports=PortSpec("eq", (443,))),
+                    AclRule(20, "permit", ProtocolSpec("ip"),
+                            Ipv4Wildcard.any(), Ipv4Wildcard.any()),
+                ),
+            ),
+            replace=True,
+        )
+        report = analyze_network(devices)
+        findings = _by_code(report, "NW002")
+        assert findings
+        diag = findings[0]
+        assert diag.severity is Severity.WARNING
+        assert "part of the traffic" in diag.message
+        assert diag.witness.dst_port == 443
+        assert not _by_code(report, "NW001")
+
+
+class TestNW003RouteChainCancellation:
+    def test_injected_route_shadow_found(self):
+        report = analyze_network(seed_devices(inject_route_shadow=True))
+        findings = _by_code(report, "NW003")
+        assert findings
+        diag = findings[0]
+        assert diag.severity is Severity.WARNING
+        assert diag.location.device == "EDGE"
+        assert diag.location.name == "FROM_AGG"
+        assert "FROM_CORE" in diag.message
+        assert str(diag.witness.network) == "10.9.0.0/16"
+
+    def test_propagation_path_in_message(self):
+        report = analyze_network(seed_devices(inject_route_shadow=True))
+        diag = _by_code(report, "NW003")[0]
+        assert "DC -> CORE -> AGG -> EDGE" in diag.message
+
+
+class TestNW004PartialRouteCancellation:
+    def test_attribute_scoped_deny_is_partial(self):
+        devices = seed_devices()
+        edge = next(d for d in devices if d.hostname == "EDGE")
+        # FROM_AGG drops routes carrying metric 777 — a slice of the
+        # route space, not the whole prefix: partial cancellation.
+        edge.store.add_route_map(
+            RouteMap(
+                "FROM_AGG",
+                (
+                    RouteMapStanza(10, "deny", matches=(MatchMetric(777),)),
+                    RouteMapStanza(
+                        20, "permit", matches=(MatchPrefixList(("ANY",)),)
+                    ),
+                ),
+            ),
+            replace=True,
+        )
+        report = analyze_network(devices)
+        findings = _by_code(report, "NW004")
+        assert findings
+        diag = findings[0]
+        assert diag.severity is Severity.INFO
+        assert diag.witness.metric == 777
+        assert not _by_code(report, "NW003")
+
+
+class TestNW005AclDrift:
+    def test_injected_drift_found(self):
+        report = analyze_network(seed_devices(inject_drift=True))
+        findings = _by_code(report, "NW005")
+        assert findings
+        diag = findings[0]
+        assert diag.severity is Severity.WARNING
+        assert diag.location.name == "MGMT_GUARD"
+        assert "drifted" in diag.message
+
+    def test_same_semantics_no_drift(self):
+        # EDGE_OUT exists only on EDGE; CORE_IN only on CORE — no
+        # same-named pair, hence no NW005 on the clean topology.
+        report = analyze_network(seed_devices())
+        assert not _by_code(report, "NW005")
+
+
+class TestNW006RouteMapDrift:
+    def test_divergent_same_named_route_maps(self):
+        a = DeviceConfig(hostname="A")
+        b = DeviceConfig(hostname="B")
+        for device, action in ((a, "permit"), (b, "deny")):
+            device.store.add_prefix_list(
+                PrefixList(
+                    "P10",
+                    (PrefixListEntry(
+                        10, "permit", Ipv4Prefix.parse("10.0.0.0/8"), le=32
+                    ),),
+                )
+            )
+            device.store.add_route_map(
+                RouteMap(
+                    "POLICY",
+                    (RouteMapStanza(
+                        10, action, matches=(MatchPrefixList(("P10",)),)
+                    ),),
+                )
+            )
+        report = analyze_network([a, b])
+        findings = _by_code(report, "NW006")
+        assert findings
+        diag = findings[0]
+        assert diag.location.name == "POLICY"
+        assert diag.witness is not None
+
+    def test_identical_route_maps_clean(self):
+        a = DeviceConfig(hostname="A")
+        b = DeviceConfig(hostname="B")
+        for device in (a, b):
+            device.store.add_route_map(
+                RouteMap("POLICY", (RouteMapStanza(10, "permit"),))
+            )
+        assert not _by_code(analyze_network([a, b]), "NW006")

@@ -1,0 +1,104 @@
+"""Tests for reachability contracts: parsing and RIB-backed checking."""
+
+import pytest
+
+from repro.lint.netwide import (
+    Contract,
+    build_topology,
+    check_contracts,
+    load_contracts,
+    parse_contracts,
+    seed_devices,
+)
+from repro.netaddr import Ipv4Prefix
+
+
+class TestParsing:
+    def test_both_arrows_and_comments(self):
+        contracts = parse_contracts(
+            """
+            # header comment
+            EDGE ~> 10.9.0.0/16 must-reach
+            CORE -> 10.8.0.0/16 must-not-reach  # trailing comment
+            """
+        )
+        assert contracts == (
+            Contract("EDGE", Ipv4Prefix.parse("10.9.0.0/16"), True),
+            Contract("CORE", Ipv4Prefix.parse("10.8.0.0/16"), False),
+        )
+
+    def test_render_roundtrips(self):
+        contract = Contract("EDGE", Ipv4Prefix.parse("10.9.0.0/16"), False)
+        assert parse_contracts(contract.render()) == (contract,)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "EDGE 10.9.0.0/16 must-reach",  # no arrow
+            "EDGE ~> 10.9.0.0/16",  # missing expectation
+            "EDGE ~> 10.9.0.0/16 should-reach",  # unknown expectation
+            "~> 10.9.0.0/16 must-reach",  # empty source
+        ],
+    )
+    def test_malformed_lines_raise_with_line_number(self, line):
+        with pytest.raises(ValueError, match="contract line 1"):
+            parse_contracts(line)
+
+    def test_bad_prefix_raises(self):
+        with pytest.raises(ValueError, match="contract line 2"):
+            parse_contracts("# ok\nEDGE ~> not-a-prefix must-reach")
+
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "c.contracts"
+        path.write_text("EDGE ~> 10.9.0.0/16 must-reach\n")
+        assert len(load_contracts(str(path))) == 1
+
+
+def _contract(text):
+    return parse_contracts(text)
+
+
+class TestChecking:
+    def test_satisfied_contracts_are_silent(self):
+        topo = build_topology(seed_devices())
+        violations = check_contracts(
+            topo,
+            _contract(
+                "EDGE ~> 10.9.0.0/16 must-reach\n"
+                "EDGE ~> 10.66.0.0/16 must-not-reach"
+            ),
+        )
+        assert violations == ()
+
+    def test_must_reach_violation_is_nw007(self):
+        topo = build_topology(seed_devices())
+        (diag,) = check_contracts(
+            topo, _contract("EDGE ~> 10.66.0.0/16 must-reach")
+        )
+        assert diag.code == "NW007"
+        assert "installs no route" in diag.message
+        assert diag.location.device == "EDGE"
+
+    def test_must_not_reach_violation_is_nw008_with_witness(self):
+        topo = build_topology(seed_devices())
+        (diag,) = check_contracts(
+            topo, _contract("EDGE ~> 10.9.0.0/16 must-not-reach")
+        )
+        assert diag.code == "NW008"
+        assert "learned from AGG" in diag.message
+        assert str(diag.witness.network) == "10.9.0.0/16"
+
+    def test_unknown_device_is_nw007(self):
+        topo = build_topology(seed_devices())
+        (diag,) = check_contracts(
+            topo, _contract("GHOST ~> 10.9.0.0/16 must-reach")
+        )
+        assert diag.code == "NW007"
+        assert "unknown device" in diag.message
+
+    def test_route_shadow_breaks_the_default_contract(self):
+        topo = build_topology(seed_devices(inject_route_shadow=True))
+        violations = check_contracts(
+            topo, _contract("EDGE ~> 10.9.0.0/16 must-reach")
+        )
+        assert [d.code for d in violations] == ["NW007"]

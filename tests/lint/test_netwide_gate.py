@@ -1,0 +1,93 @@
+"""Tests for the network-wide insertion gate and its session wiring."""
+
+from repro import obs
+from repro.config import parse_config
+from repro.config.store import ConfigStore
+from repro.core import ClarifySession
+from repro.lint.netwide import NetwideGate, default_contracts, embed_on_edge
+
+# A session ACL that, grafted as EDGE's egress filter, blocks the
+# production prefix CORE_IN expects to see — and breaks the
+# must-reach-flavoured traffic the default EDGE_OUT permitted.
+BLOCKING_ACL = """
+ip access-list extended SESS_OUT
+ 10 deny ip any 10.9.0.0 0.0.255.255
+ 20 permit ip any any
+"""
+
+# A harmless session ACL: same egress behaviour as permitting all.
+OPEN_ACL = """
+ip access-list extended SESS_OUT
+ 10 permit ip any any
+"""
+
+RM_BEFORE = """
+ip prefix-list WIDE seq 10 permit 10.0.0.0/8 le 32
+route-map RM permit 10
+ match ip address prefix-list WIDE
+"""
+
+
+class TestNetwideGate:
+    def test_no_change_no_warnings(self):
+        gate = NetwideGate(embed_on_edge)
+        store = parse_config(OPEN_ACL)
+        assert gate.check(store, store) == ()
+
+    def test_introduced_conflict_surfaces(self):
+        gate = NetwideGate(embed_on_edge)
+        warnings = gate.check(ConfigStore(), parse_config(BLOCKING_ACL))
+        assert warnings
+        assert all(w.startswith("netwide: ") for w in warnings)
+        assert any("NW" in w for w in warnings)
+
+    def test_contract_regression_surfaces(self):
+        gate = NetwideGate(embed_on_edge, contracts=default_contracts())
+        warnings = gate.check(ConfigStore(), parse_config(BLOCKING_ACL))
+        # The egress deny doesn't change the RIBs, but the path conflict
+        # the graft introduces must fire.
+        assert any("NW001" in w or "NW002" in w for w in warnings)
+
+    def test_pre_existing_findings_not_re_reported(self):
+        gate = NetwideGate(embed_on_edge)
+        store = parse_config(BLOCKING_ACL)
+        # The "before" store already carries the defect: nothing new.
+        assert gate.check(store, store) == ()
+
+    def test_counters_and_span(self):
+        gate = NetwideGate(embed_on_edge)
+        with obs.recording() as recorder:
+            warnings = gate.check(ConfigStore(), parse_config(BLOCKING_ACL))
+        assert recorder.counter("lint.netwide_gate_checks") == 1
+        assert recorder.counter("lint.netwide_gate_warnings") == len(warnings)
+        assert recorder.find("lint.netwide_gate")
+
+    def test_incremental_across_checks(self):
+        gate = NetwideGate(embed_on_edge)
+        store = parse_config(OPEN_ACL)
+        gate.check(store, store)
+        with obs.recording() as recorder:
+            gate.check(store, store)
+        # The analyzer persisted: the repeat check is fully cached.
+        assert recorder.counter("netwide.paths.analyzed") == 0
+        assert recorder.counter("netwide.paths.cached") > 0
+
+
+class TestSessionWiring:
+    def test_session_without_gate_unchanged(self):
+        session = ClarifySession(store=parse_config(RM_BEFORE))
+        assert session.netwide_gate is None
+
+    def test_gate_warnings_reach_update_report(self):
+        session = ClarifySession(
+            store=parse_config(RM_BEFORE),
+            netwide_gate=NetwideGate(embed_on_edge),
+        )
+        with obs.recording() as recorder:
+            report = session.request(
+                "Add a stanza to route-map RM that denies routes with "
+                "community 65001:999",
+                "RM",
+            )
+        assert isinstance(report.gate_warnings, tuple)
+        assert recorder.counter("lint.netwide_gate_checks") == 1

@@ -1,0 +1,82 @@
+"""Tests for the netwide network model: topology, paths, filters."""
+
+import pytest
+
+from repro.config.device import DeviceConfig
+from repro.lint.netwide import (
+    TopologyError,
+    build_topology,
+    extract_paths,
+    path_filters,
+    seed_devices,
+    topology_capable,
+)
+
+
+class TestTopology:
+    def test_seed_topology_assembles(self):
+        topo = build_topology(seed_devices())
+        assert set(topo.devices) == {"EDGE", "AGG", "CORE", "DC", "LAB"}
+        # Every device installed a RIB (the simulation converged).
+        assert set(topo.ribs) == set(topo.devices)
+
+    def test_facing_interfaces_cover_every_session(self):
+        topo = build_topology(seed_devices())
+        # Both directions of all four links.
+        assert len(topo.facing) == 8
+        iface = topo.facing[("EDGE", "AGG")]
+        assert iface.name == "Link0"
+        assert iface.acl_out == "EDGE_OUT"
+
+    def test_duplicate_hostname_rejected(self):
+        devices = seed_devices()
+        with pytest.raises(TopologyError):
+            build_topology(devices + [devices[0]])
+
+    def test_topology_capable(self):
+        assert topology_capable(seed_devices())
+        assert not topology_capable([])
+        # A device without BGP makes the set unsimulatable.
+        assert not topology_capable(
+            seed_devices() + [DeviceConfig(hostname="LONER")]
+        )
+
+
+class TestExtractPaths:
+    def test_paths_follow_learned_from_chains(self):
+        topo = build_topology(seed_devices())
+        paths = extract_paths(topo)
+        rendered = {p.render() for p in paths}
+        assert "EDGE -> AGG -> CORE -> DC dst 10.9.0.0/16" in rendered
+
+    def test_only_maximal_chains_kept(self):
+        topo = build_topology(seed_devices())
+        paths = extract_paths(topo)
+        for path in paths:
+            suffixes = {
+                other.devices
+                for other in paths
+                if other.prefix == path.prefix and other is not path
+            }
+            # No other path toward the same prefix ends with this chain.
+            assert not any(
+                s != path.devices and s[-len(path.devices):] == path.devices
+                for s in suffixes
+            )
+
+    def test_deterministic_order(self):
+        topo = build_topology(seed_devices())
+        assert extract_paths(topo) == extract_paths(topo)
+
+    def test_filters_in_traversal_order(self):
+        topo = build_topology(seed_devices())
+        filters = path_filters(topo, ("EDGE", "AGG", "CORE", "DC"))
+        assert [(f.device, f.direction, f.acl) for f in filters] == [
+            ("EDGE", "out", "EDGE_OUT"),
+            ("CORE", "in", "CORE_IN"),
+        ]
+
+    def test_branch_paths_present(self):
+        topo = build_topology(seed_devices())
+        rendered = {p.render() for p in extract_paths(topo)}
+        assert "EDGE -> AGG -> LAB dst 10.20.0.0/16" in rendered

@@ -55,10 +55,12 @@ class TestLintStore:
         assert counts["RF002"] == 1  # ORPHAN unused
         assert counts["AC004"] == 1  # catch-all deny vs specific permit
 
-    def test_sorted_by_severity(self):
+    def test_sorted_deterministically_code_primary(self):
         report = lint_store(parse_config(MIXED))
-        ranks = [d.severity.rank for d in report]
-        assert ranks == sorted(ranks, reverse=True)
+        codes = [d.code for d in report]
+        # The stable total order (code, device, position) keeps reports
+        # byte-identical across runs — the CI baseline contract.
+        assert codes == sorted(codes)
 
     def test_select_filters_codes(self):
         report = lint_store(parse_config(MIXED), select=["rm001"])

@@ -54,6 +54,22 @@ class TestRunLoadgen:
         decoded = json.loads(json.dumps(report.to_dict()))
         assert decoded["fingerprint"] == report.fingerprint
 
+    def test_netwide_quality_axis(self):
+        report = run_loadgen(
+            sessions=3, requests_per_session=2, workers=2, seed=2025,
+            netwide=True,
+        )
+        # Every request still lands; the gate ran once per insertion and
+        # the analyzer's incremental cache was exercised.
+        assert report.unresolved == 0
+        assert report.netwide["lint.netwide_gate_checks"] == report.requests
+        assert report.netwide["netwide.paths"] > 0
+        assert report.netwide["netwide.paths.cached"] > 0
+
+    def test_netwide_off_by_default(self):
+        report = run_loadgen(sessions=2, requests_per_session=1, workers=1, seed=1)
+        assert report.netwide == {}
+
 
 class TestLoadgenCli:
     def test_check_serial_identity_exit_zero(self, capsys, tmp_path):

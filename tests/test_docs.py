@@ -229,6 +229,41 @@ def test_serving_doc_covers_the_layer():
         assert needle in text, f"SERVING.md does not mention {needle}"
 
 
+def test_lint_doc_covers_netwide():
+    text = (REPO_ROOT / "docs" / "LINT.md").read_text()
+    for needle in (
+        "NW001",
+        "NW002",
+        "NW003",
+        "NW004",
+        "NW005",
+        "NW006",
+        "NW007",
+        "NW008",
+        "NetwideAnalyzer",
+        "NetwideGate",
+        "must-not-reach",
+        "netwide.paths.cached",
+        "--contracts",
+        "--inject-shadow",
+        "--baseline",
+        "benchmarks/BASELINE_netlint.json",
+        "examples/netwide.contracts",
+    ):
+        assert needle in text, f"LINT.md does not mention {needle}"
+
+
+def test_serving_doc_covers_netwide_and_concurrency_lint():
+    text = (REPO_ROOT / "docs" / "SERVING.md").read_text()
+    for needle in (
+        "--netwide",
+        "NetwideGate",
+        "check_concurrency",
+        "LINT.md",
+    ):
+        assert needle in text, f"SERVING.md does not mention {needle}"
+
+
 def test_llm_backends_doc_covers_the_tier():
     text = (REPO_ROOT / "docs" / "LLM_BACKENDS.md").read_text()
     for needle in (

@@ -1,0 +1,163 @@
+"""Tests for ``tools/check_concurrency.py`` (the CC001/CC002 AST lint)."""
+
+import importlib.util
+import pathlib
+import sys
+import textwrap
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TOOL = REPO_ROOT / "tools" / "check_concurrency.py"
+
+spec = importlib.util.spec_from_file_location("check_concurrency", TOOL)
+cc = importlib.util.module_from_spec(spec)
+sys.modules["check_concurrency"] = cc
+spec.loader.exec_module(cc)
+
+
+def scan(source):
+    return cc.scan_source("<test>", textwrap.dedent(source))
+
+
+class TestCC001:
+    def test_blocking_call_under_lock_flagged(self):
+        findings = scan(
+            """
+            def f(self, prompt):
+                with self._lock:
+                    return self._inner.complete(prompt)
+            """
+        )
+        assert [f.code for f in findings] == ["CC001"]
+        assert "complete()" in findings[0].message
+
+    def test_sleep_under_lock_flagged(self):
+        findings = scan(
+            """
+            import time
+            def f(lock):
+                with lock:
+                    time.sleep(1)
+            """
+        )
+        assert [f.code for f in findings] == ["CC001"]
+
+    def test_blocking_call_outside_lock_clean(self):
+        findings = scan(
+            """
+            def f(self, prompt):
+                with self._lock:
+                    ticket = self._claim(prompt)
+                return self._inner.complete(prompt)
+            """
+        )
+        assert findings == []
+
+    def test_non_lock_context_clean(self):
+        findings = scan(
+            """
+            def f(path, client, prompt):
+                with open(path) as handle:
+                    handle.write(client.complete(prompt))
+            """
+        )
+        assert findings == []
+
+    def test_condition_wait_exempt(self):
+        findings = scan(
+            """
+            def f(self):
+                with self._cond:
+                    self._cond.wait_for(lambda: self.ready)
+                    self._cond.notify_all()
+            """
+        )
+        assert findings == []
+
+    def test_lock_depth_unwinds_after_with(self):
+        findings = scan(
+            """
+            def f(self, prompt):
+                with self._lock:
+                    pass
+                self._inner.complete(prompt)
+            """
+        )
+        assert findings == []
+
+    def test_nested_locks_still_flag(self):
+        findings = scan(
+            """
+            def f(self, prompt):
+                with self._lock:
+                    with self._cond:
+                        self._inner.complete(prompt)
+            """
+        )
+        assert [f.code for f in findings] == ["CC001"]
+
+    def test_allow_marker_suppresses(self):
+        findings = scan(
+            """
+            def f(self, prompt):
+                with self._lock:
+                    return self._inner.complete(prompt)  # cc: allow
+            """
+        )
+        assert findings == []
+
+
+class TestCC002:
+    def test_install_journal_flagged_anywhere(self):
+        findings = scan(
+            """
+            from repro import obs
+            def f(journal):
+                obs.install_journal(journal)
+            """
+        )
+        assert [f.code for f in findings] == ["CC002"]
+
+    def test_scoped_journaling_clean(self):
+        findings = scan(
+            """
+            from repro import obs
+            def f(journal):
+                with obs.journaling(journal):
+                    pass
+            """
+        )
+        assert findings == []
+
+
+class TestDriver:
+    def test_current_tree_is_clean(self):
+        findings, scanned = cc.scan_paths(
+            [str(REPO_ROOT / t) for t in cc.DEFAULT_TARGETS]
+        )
+        assert scanned > 0
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert cc.main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "def f(lock, c, p):\n    with lock:\n        c.complete(p)\n"
+        )
+        assert cc.main([str(dirty)]) == 1
+        assert "CC001" in capsys.readouterr().out
+        assert cc.main([str(tmp_path / "missing.py")]) == 2
+
+    def test_findings_sorted_by_line(self):
+        findings = scan(
+            """
+            from repro import obs
+            def f(self, p, journal):
+                with self._lock:
+                    self._inner.complete(p)
+                obs.install_journal(journal)
+            """
+        )
+        assert [f.code for f in findings] == ["CC001", "CC002"]
+        assert findings[0].lineno < findings[1].lineno
