@@ -19,6 +19,7 @@ minimum (robust against scheduler noise) and reports it.
 import json
 import time
 
+from repro import obs
 from repro.perf import cache as perf
 from repro.perf import campaign
 
@@ -126,6 +127,8 @@ def test_bench_perf_speedup_and_equivalence(benchmark, report):
     hit_rate = hits / (hits + misses) if hits + misses else 0.0
 
     snapshot = {
+        "schema_version": 1,
+        "meta": obs.run_metadata(),
         "committed": {
             "overlap64_s": COMMITTED_OVERLAP64,
             "reach64_s": COMMITTED_REACH64,

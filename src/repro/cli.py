@@ -16,10 +16,15 @@ Subcommands::
                        committed baseline (the perf-regression gate)
     clarify serve      serve many sessions concurrently over a JSONL
                        stdin/stdout request loop (admission control,
-                       per-request deadlines, LLM deduplication)
+                       per-request deadlines, LLM deduplication); with
+                       --metrics-port, a live /metrics endpoint and a
+                       wide-event request log
     clarify loadgen    drive the serving layer with a deterministic
                        seeded campus/cloud intent mix; optionally check
-                       serial-vs-pooled outcome identity
+                       serial-vs-pooled outcome identity, SLO burn
+                       rates, and telemetry overhead
+    clarify tail       follow a wide-event request log and print rolling
+                       p50/p95 latency and error rate
 
 ``clarify add`` reads an existing IOS configuration, runs the full
 Clarify cycle for an English intent, asks the differential questions on
@@ -644,27 +649,63 @@ def cmd_bench_check(args: argparse.Namespace) -> int:
 
     Counter mismatches are behavioural regressions and always fail;
     ``span.*`` timing regressions fail unless ``--timing-warn-only``.
-    Exit status: 0 clean, 2 on regression, 1 on unreadable snapshots.
+    With ``--slo-report`` a ``clarify loadgen --output`` artifact's SLO
+    verdict is checked too (``--slo-only`` skips the snapshot diff).
+    Exit status: 0 clean, 2 on regression or an alerting SLO, 1 on
+    unreadable snapshots/artifacts.
     """
+    import json as _json
+
     from repro.obs import regress
+
+    slo_failures: List[str] = []
+    if args.slo_report:
+        try:
+            with open(args.slo_report, "r", encoding="utf-8") as handle:
+                artifact = _json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read SLO report: {exc}", file=sys.stderr)
+            return 1
+        slo_block = (
+            artifact.get("loadgen", {}).get("telemetry", {}).get("slo")
+        )
+        if slo_block is None:
+            print(
+                f"error: {args.slo_report} carries no telemetry/slo block "
+                "(run clarify loadgen with telemetry on)",
+                file=sys.stderr,
+            )
+            return 1
+        alerting = slo_block.get("alerting", [])
+        if alerting:
+            slo_failures = [str(name) for name in alerting]
+            for name in slo_failures:
+                print(f"SLO ALERTING: {name}", file=sys.stderr)
+        else:
+            print(
+                f"slo: {len(slo_block.get('objectives', []))} objective(s) ok "
+                f"over {slo_block.get('events', 0)} event(s)"
+            )
+        if args.slo_only:
+            return 2 if slo_failures else 0
 
     try:
         baseline = regress.load_snapshot(args.baseline)
         current = regress.load_snapshot(args.current)
+        tolerances = regress.Tolerances(
+            counter_rel=args.counter_rel,
+            timing_max_ratio=args.timing_max_ratio,
+            timing_warn_only=args.timing_warn_only,
+        )
+        report = regress.compare_snapshots(baseline, current, tolerances)
     except regress.SnapshotError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    tolerances = regress.Tolerances(
-        counter_rel=args.counter_rel,
-        timing_max_ratio=args.timing_max_ratio,
-        timing_warn_only=args.timing_warn_only,
-    )
-    report = regress.compare_snapshots(baseline, current, tolerances)
     if args.format == "json":
         print(regress.render_json(report))
     else:
         print(regress.render_text(report, verbose=args.verbose))
-    return 0 if report.ok else 2
+    return 0 if report.ok and not slo_failures else 2
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -683,13 +724,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
     This is the serving layer without a network: the same admission
     control, deadlines, and per-session FIFO that ``clarify loadgen``
     hammers, driveable from a shell pipe or a test harness.
+
+    With ``--metrics-port`` (or ``CLARIFY_METRICS_PORT``) a live
+    Prometheus ``/metrics`` + ``/healthz`` endpoint is served on
+    loopback and every request produces one wide event; ``--event-log``
+    (or ``CLARIFY_EVENT_LOG``) appends those events as JSONL for
+    ``clarify tail``.
     """
     import json as _json
+    import os
 
+    from repro import obs
+    from repro.obs import telemetry as tele
     from repro.serve import ClarifyService, ServeRequest, SessionManager
     from repro.serve.loadgen import build_llm_stack
 
     out = sys.stdout
+    metrics_port = args.metrics_port
+    if metrics_port is None and os.environ.get("CLARIFY_METRICS_PORT"):
+        metrics_port = int(os.environ["CLARIFY_METRICS_PORT"])
+    event_log = args.event_log or os.environ.get("CLARIFY_EVENT_LOG") or None
+    telemetry_on = metrics_port is not None or event_log is not None
+
     stack = build_llm_stack(
         backend=args.backend,
         cache_dir=args.cache_dir,
@@ -705,7 +761,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
         out.write(_json.dumps(payload, sort_keys=True) + "\n")
         out.flush()
 
-    with ClarifyService(
+    recorder = None
+    hub = None
+    server = None
+    exit_stack = contextlib.ExitStack()
+    if telemetry_on:
+        # Spans stay off: the tap times phases itself, and span trees
+        # grow without bound under a long-lived server.
+        recorder = obs.Recorder(capture_spans=False)
+        exit_stack.enter_context(obs.recording(recorder))
+        hub = tele.install_hub(tele.TelemetryHub(sink=event_log))
+        exit_stack.callback(hub.close)
+        exit_stack.callback(tele.uninstall_hub)
+        if metrics_port is not None:
+            server = exit_stack.enter_context(
+                tele.MetricsServer(port=metrics_port, recorder_fn=lambda: recorder)
+            )
+            print(
+                f"telemetry: /metrics on 127.0.0.1:{server.port}",
+                file=sys.stderr,
+            )
+            sys.stderr.flush()
+
+    with exit_stack, ClarifyService(
         manager,
         workers=args.workers,
         queue_limit=args.queue_limit,
@@ -744,6 +822,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                             deadline_s=command.get(
                                 "deadline_s", args.deadline
                             ),
+                            request_id=command.get("request_id"),
                         )
                     )
                     reply(ok=response.ok, op="request", **response.to_dict())
@@ -754,9 +833,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         session=command["session"],
                     )
                 elif op == "stats":
-                    reply(
-                        ok=True,
-                        op="stats",
+                    stats_payload = dict(
                         sessions=len(manager),
                         depth=service.depth(),
                         rejected=service.rejected,
@@ -768,11 +845,71 @@ def cmd_serve(args: argparse.Namespace) -> int:
                             else None
                         ),
                     )
+                    if telemetry_on:
+                        stats_payload["telemetry"] = {
+                            "metrics_port": (
+                                server.port if server is not None else None
+                            ),
+                            "event_log": event_log,
+                            "wide_events": hub.finished if hub else 0,
+                            "completed": manager.completed_counts(),
+                        }
+                    reply(ok=True, op="stats", **stats_payload)
                 else:
                     reply(ok=False, error=f"unknown op {op!r}")
             except (KeyError, ValueError, TypeError) as exc:
                 reply(ok=False, op=op, error=str(exc))
     manager.close_all()
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Follow a wide-event request log with rolling latency/error stats.
+
+    Prints one line per wide event (outcome, latency, trace id) plus a
+    rolling-window summary every ``--every`` events.  With ``--follow``
+    the log is tailed live until ``--idle-timeout`` seconds pass with no
+    new events.  Exit status: 0 normally, 1 when the log is unreadable.
+    """
+    from repro.obs import telemetry as tele
+
+    stats = tele.RollingStats(window=args.window)
+    try:
+        if args.follow:
+            events = tele.follow_events(
+                args.event_log, idle_timeout_s=args.idle_timeout
+            )
+        else:
+            events = tele.iter_events(args.event_log)
+        seen = 0
+        for event in events:
+            stats.add(event)
+            seen += 1
+            timings = event.get("timings", {})
+            latency = float(timings.get("latency_s", 0.0))
+            print(
+                f"{event.get('request_id', '?'):<18} "
+                f"{event.get('outcome', '?'):<18} "
+                f"{latency * 1000:8.1f}ms  trace={event.get('trace_id', '?')}"
+            )
+            if args.every and seen % args.every == 0:
+                summary = stats.summary()
+                print(
+                    f"-- last {summary['events']}/{summary['window']}: "
+                    f"p50 {summary['p50_s'] * 1000:.1f}ms  "
+                    f"p95 {summary['p95_s'] * 1000:.1f}ms  "
+                    f"error-rate {summary['error_rate']:.3f}"
+                )
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = stats.summary()
+    print(
+        f"tail: {summary['events']} event(s) in window "
+        f"(p50 {summary['p50_s'] * 1000:.1f}ms  "
+        f"p95 {summary['p95_s'] * 1000:.1f}ms  "
+        f"error-rate {summary['error_rate']:.3f})"
+    )
     return 0
 
 
@@ -787,11 +924,22 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     import os
     import tempfile
 
+    from repro import obs
+    from repro.obs import slo as slo_mod
     from repro.serve import (
         check_cache_effectiveness,
         check_serial_identity,
+        check_telemetry_overhead,
         run_loadgen,
     )
+
+    slo_config = None
+    if args.slo:
+        try:
+            slo_config = slo_mod.load_config(args.slo)
+        except (OSError, slo_mod.SLOConfigError) as exc:
+            print(f"error: cannot load SLO config: {exc}", file=sys.stderr)
+            return 1
 
     kwargs = dict(
         fault_rate=args.fault_rate,
@@ -802,10 +950,48 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         backend=args.backend,
         batch_window_s=args.batch_window,
         netwide=args.netwide,
+        telemetry=not args.no_telemetry,
+        event_log=args.event_log,
+        slo=slo_config,
     )
     failures: List[str] = []
     serial = None
     effectiveness = None
+    overhead = None
+    if args.check_telemetry_overhead:
+        if args.fault_rate > 0.0 or args.deadline is not None:
+            print(
+                "error: --check-telemetry-overhead requires a fault-free, "
+                "deadline-free campaign (outcomes must be identical across "
+                "the telemetry-off and telemetry-on runs)",
+                file=sys.stderr,
+            )
+            return 1
+        overhead_kwargs = {
+            k: v
+            for k, v in kwargs.items()
+            if k
+            not in ("fault_rate", "deadline_s", "telemetry", "event_log", "slo")
+        }
+        try:
+            overhead = check_telemetry_overhead(
+                args.sessions,
+                args.requests_per_session,
+                workers=args.workers,
+                seed=args.seed,
+                repeats=args.overhead_repeats,
+                bound=args.overhead_bound,
+                cache_dir=args.cache_dir,
+                **overhead_kwargs,
+            )
+        except AssertionError as exc:
+            print(f"TELEMETRY OVERHEAD FAILED: {exc}", file=sys.stderr)
+            return 1
+        if not overhead.ok:
+            failures.append(
+                f"telemetry overhead {overhead.ratio:.3f}x exceeds "
+                f"bound {overhead.bound:g}x"
+            )
     if args.check_cache_effectiveness:
         if args.fault_rate > 0.0 or args.deadline is not None:
             print(
@@ -867,12 +1053,29 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     if internal:
         failures.append(f"{internal} internal-error outcome(s)")
 
-    payload = {"version": 1, "loadgen": report.to_dict()}
+    slo_alerting: List[str] = []
+    slo_block = report.telemetry.get("slo") if report.telemetry else None
+    if slo_block and slo_block.get("alerting"):
+        slo_alerting = list(slo_block["alerting"])
+        failures.append(
+            "SLO burn-rate alert: " + ", ".join(slo_alerting)
+        )
+
+    # schema_version 2 added the meta run-metadata block and the
+    # telemetry/slo/overhead sections; "version" kept for old tooling.
+    payload = {
+        "schema_version": 2,
+        "version": 2,
+        "meta": obs.run_metadata(),
+        "loadgen": report.to_dict(),
+    }
     if serial is not None:
         payload["serial"] = serial.to_dict()
         payload["identity"] = serial.fingerprint == report.fingerprint
     if effectiveness is not None:
         payload["cache_effectiveness"] = effectiveness.to_dict()
+    if overhead is not None:
+        payload["telemetry_overhead"] = overhead.to_dict()
     if args.output:
         directory = os.path.dirname(args.output) or "."
         os.makedirs(directory, exist_ok=True)
@@ -920,6 +1123,27 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 f"{eff['uncached_upstream_calls']} uncached → "
                 f"{eff['cold_upstream_calls']} cold → "
                 f"{eff['warm_upstream_calls']} warm"
+            )
+        if report.telemetry.get("enabled"):
+            coverage = report.telemetry.get("trace_coverage", {})
+            print(
+                f"  telemetry: {report.telemetry.get('wide_events', 0)} "
+                f"wide events, trace coverage "
+                f"{'complete' if coverage.get('complete') else 'INCOMPLETE'}"
+            )
+            if slo_block is not None:
+                verdict = (
+                    "alerting: " + ", ".join(slo_alerting)
+                    if slo_alerting
+                    else "ok"
+                )
+                print(f"  slo: {verdict}")
+        if overhead is not None:
+            print(
+                f"  telemetry overhead {'OK' if overhead.ok else 'FAILED'}: "
+                f"p50 {overhead.p50_off_s * 1000:.1f}ms off → "
+                f"{overhead.p50_on_s * 1000:.1f}ms on "
+                f"({overhead.ratio:.3f}x, bound {overhead.bound:g}x)"
             )
     for failure in failures:
         print(f"LOADGEN FAILED: {failure}", file=sys.stderr)
@@ -1290,6 +1514,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="show every compared metric, not just the interesting rows",
     )
+    p_bench.add_argument(
+        "--slo-report",
+        metavar="PATH",
+        help="also check the SLO verdict inside a clarify loadgen "
+        "--output artifact; any alerting objective fails the gate",
+    )
+    p_bench.add_argument(
+        "--slo-only",
+        action="store_true",
+        help="with --slo-report, check only the SLO verdict and skip "
+        "the snapshot diff",
+    )
     p_bench.set_defaults(func=cmd_bench_check)
 
     p_serve = sub.add_parser(
@@ -1350,7 +1586,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batch concurrent LLM calls behind a flush window "
         "(default: off)",
     )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a live Prometheus /metrics + /healthz endpoint on "
+        "127.0.0.1:PORT (0 picks a free port, announced on stderr; "
+        "env: CLARIFY_METRICS_PORT)",
+    )
+    p_serve.add_argument(
+        "--event-log",
+        metavar="PATH",
+        help="append one wide event per request as JSONL to PATH "
+        "(env: CLARIFY_EVENT_LOG); follow it with clarify tail",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_tail = sub.add_parser(
+        "tail",
+        help="follow a wide-event request log and print rolling "
+        "p50/p95 latency and error rate",
+    )
+    p_tail.add_argument(
+        "event_log",
+        help="wide-event JSONL file written by clarify serve --event-log "
+        "or clarify loadgen --event-log",
+    )
+    p_tail.add_argument(
+        "--window",
+        type=int,
+        default=128,
+        help="rolling-window size in events (default: %(default)s)",
+    )
+    p_tail.add_argument(
+        "--every",
+        type=int,
+        default=16,
+        metavar="N",
+        help="print a rolling summary every N events (0 disables; "
+        "default: %(default)s)",
+    )
+    p_tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tailing the log for new events instead of stopping "
+        "at end of file",
+    )
+    p_tail.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="with --follow, stop after this long with no new events "
+        "(default: %(default)s)",
+    )
+    p_tail.set_defaults(func=cmd_tail)
 
     p_loadgen = sub.add_parser(
         "loadgen",
@@ -1442,6 +1733,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the campaign uncached, cold-cache, and warm-cache and "
         "fail unless outcomes are identical while upstream LLM calls "
         "drop (uses --cache-dir or a fresh temp directory)",
+    )
+    p_loadgen.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="run without the telemetry hub (no wide events, no SLO "
+        "evaluation, no trace-coverage check)",
+    )
+    p_loadgen.add_argument(
+        "--event-log",
+        metavar="PATH",
+        help="append one wide event per request as JSONL to PATH",
+    )
+    p_loadgen.add_argument(
+        "--slo",
+        metavar="PATH",
+        help="evaluate burn rates against the SLO config at PATH instead "
+        "of the built-in default objectives",
+    )
+    p_loadgen.add_argument(
+        "--check-telemetry-overhead",
+        action="store_true",
+        help="also run interleaved telemetry-off/on campaigns and fail "
+        "when the telemetry-on p50 exceeds the off p50 by more than "
+        "--overhead-bound (outcomes must stay byte-identical)",
+    )
+    p_loadgen.add_argument(
+        "--overhead-bound",
+        type=float,
+        default=1.05,
+        metavar="RATIO",
+        help="maximum allowed telemetry-on/off p50 ratio "
+        "(default: %(default)s)",
+    )
+    p_loadgen.add_argument(
+        "--overhead-repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="off/on campaign pairs to run for the overhead check; the "
+        "minimum p50 per mode is compared (default: %(default)s)",
     )
     p_loadgen.add_argument(
         "--output",

@@ -27,6 +27,15 @@ Counters (exposed as attributes and, when a recorder is active, as
 * ``upstream_calls`` — calls that reached the inner client;
 * ``coalesced`` — calls served by another thread's in-flight call;
 * ``memo_hits`` — calls served from the completed-response memo.
+
+Trace attribution contract (:mod:`repro.obs.telemetry`): the obs
+counters are deliberately emitted on specific threads — ``requests`` on
+the *calling* thread (so every request's wide event counts its own
+call) and ``upstream`` inside the single-flight leader's closure (so
+only the request that actually paid for the upstream call records it).
+The hub derives each request's dedup disposition (``leader`` vs
+``follower``) from exactly this split; keep the emission sites if you
+refactor.
 """
 
 from __future__ import annotations

@@ -50,6 +50,11 @@ from repro.llm.errors import (
     TerminalBackendError,
     error_for_status,
 )
+from repro.obs.telemetry import current_trace
+
+#: Request header carrying the serving-tier trace id, when one is
+#: active — lets upstream/proxy logs correlate back to a wide event.
+TRACE_HEADER = "x-clarify-trace-id"
 
 #: Environment variable holding the API key (preferred name).
 ENV_API_KEY = "CLARIFY_LLM_API_KEY"
@@ -227,11 +232,15 @@ class RemoteLLMClient:
         return json.dumps(payload, sort_keys=True).encode("utf-8")
 
     def _headers(self) -> List[Tuple[str, str]]:
-        return [
+        headers = [
             ("content-type", "application/json"),
             ("x-api-key", self._api_key),
             ("anthropic-version", API_VERSION),
         ]
+        trace = current_trace()
+        if trace is not None:
+            headers.append((TRACE_HEADER, trace.trace_id))
+        return headers
 
     def _parse(self, body: bytes) -> str:
         try:
@@ -318,6 +327,7 @@ __all__ = [
     "ENV_MODEL",
     "RemoteLLMClient",
     "RetryPolicy",
+    "TRACE_HEADER",
     "Transport",
     "TransportReply",
     "UrllibTransport",

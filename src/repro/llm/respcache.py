@@ -85,7 +85,11 @@ class ResponseCache:
     Counters (``hits`` / ``misses`` / ``writes`` / ``corrupt``) are plain
     attributes mirrored to ``llm.cache.*`` obs counters; they are
     per-instance, while the *entries* are shared by every instance (and
-    every process) pointed at the same directory.
+    every process) pointed at the same directory.  The obs counters fire
+    on the calling thread, so with a serving-tier trace active
+    (:mod:`repro.obs.telemetry`) each request's wide event carries its
+    own cache disposition (``hit`` / ``miss`` / ``bypass``), derived
+    from these deltas.
     """
 
     def __init__(self, directory: str) -> None:

@@ -40,6 +40,7 @@ from repro import obs
 from repro.llm.client import LLMClient
 from repro.llm.errors import BackendError, TerminalBackendError
 from repro.llm.respcache import cache_safe_of
+from repro.obs import telemetry
 
 #: Backend names ``build_backend`` understands.
 KNOWN_BACKENDS = ("simulated", "remote")
@@ -133,6 +134,7 @@ class BackendRouter:
             health.consecutive_failures = 0
             health.latency_total_s += elapsed
             obs.observe(f"llm.router.latency.{name}", elapsed)
+            telemetry.annotate(backend=name)
             return response
         assert last_error is not None  # the chain is non-empty
         raise TerminalBackendError(

@@ -13,11 +13,16 @@ A dependency-free observability layer (stdlib only) with three pieces:
   :func:`render_metrics`, :func:`render_report`) and a JSON snapshot
   (:func:`snapshot` / :func:`to_json`) that round-trips.
 
-Two sibling layers build on the same hook pattern: the **journal**
+Sibling layers build on the same hook pattern: the **journal**
 (:mod:`repro.obs.journal`) persists every pipeline decision as a JSONL
 event stream that :mod:`repro.obs.replay` can re-drive with zero LLM or
-oracle calls, and :mod:`repro.obs.regress` diffs two metric snapshots
-as a performance-regression gate (``clarify bench-check``).
+oracle calls, :mod:`repro.obs.regress` diffs two metric snapshots as a
+performance-regression gate (``clarify bench-check``), and the
+**serving telemetry** pair — :mod:`repro.obs.telemetry` (per-request
+trace propagation, wide-event request logs, the live Prometheus
+``/metrics`` endpoint) and :mod:`repro.obs.slo` (declarative objectives
+with multi-window burn rates) — turns a running ``clarify serve`` into
+something you can actually watch.
 
 Instrumentation is **off by default**: the active recorder is a
 :class:`NullRecorder` and every hook is a no-op, so library users pay
@@ -41,6 +46,7 @@ from repro.obs.export import (
     render_metrics,
     render_report,
     render_span_tree,
+    run_metadata,
     snapshot,
     snapshot_to_recorder,
     span_from_dict,
@@ -77,6 +83,22 @@ from repro.obs.recorder import (
     span,
     uninstall,
 )
+from repro.obs.telemetry import (
+    MetricsServer,
+    RollingStats,
+    TelemetryHub,
+    TraceContext,
+    current_trace,
+    follow_events,
+    get_hub,
+    hub_active,
+    install_hub,
+    iter_events,
+    mint_trace,
+    render_prometheus,
+    tracing,
+    uninstall_hub,
+)
 
 __all__ = [
     "Histogram",
@@ -84,27 +106,40 @@ __all__ = [
     "JournalError",
     "JournalEvent",
     "JournalRecorder",
+    "MetricsServer",
     "NullRecorder",
     "Recorder",
+    "RollingStats",
     "SNAPSHOT_VERSION",
     "Span",
+    "TelemetryHub",
+    "TraceContext",
     "count",
+    "current_trace",
     "dumps_journal",
     "enabled",
     "event",
+    "follow_events",
+    "get_hub",
     "get_journal",
     "get_recorder",
+    "hub_active",
     "install",
+    "install_hub",
     "install_journal",
+    "iter_events",
     "journal_enabled",
     "journaling",
     "loads_journal",
+    "mint_trace",
     "observe",
     "read_journal",
     "recording",
     "render_metrics",
+    "render_prometheus",
     "render_report",
     "render_span_tree",
+    "run_metadata",
     "sha256_text",
     "snapshot",
     "snapshot_to_recorder",
@@ -112,6 +147,8 @@ __all__ = [
     "span_from_dict",
     "span_to_dict",
     "to_json",
+    "tracing",
     "uninstall",
+    "uninstall_hub",
     "uninstall_journal",
 ]

@@ -15,6 +15,7 @@ Two formats:
 from __future__ import annotations
 
 import json
+import platform
 from typing import Any, Dict, List, Sequence, Union
 
 from repro.obs.metrics import Histogram
@@ -22,8 +23,25 @@ from repro.obs.recorder import NullRecorder, Recorder, Span
 
 #: Version 2 added the histograms' bounded sample reservoirs (``samples``
 #: / ``stride`` keys); version-1 snapshots still load, with quantiles
-#: unavailable.
-SNAPSHOT_VERSION = 2
+#: unavailable.  Version 3 added the ``schema_version`` + ``meta``
+#: run-metadata block (``bench-check`` refuses cross-version diffs).
+SNAPSHOT_VERSION = 3
+
+
+def run_metadata() -> Dict[str, str]:
+    """The environment block stamped into snapshots and bench artifacts.
+
+    Deliberately coarse — interpreter and platform identity, no
+    timestamps or hostnames — so artifacts stay diffable across runs on
+    the same machine while cross-machine comparisons are visibly
+    cross-machine.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+    }
 
 
 # ----------------------------------------------------------------- spans
@@ -132,8 +150,14 @@ def render_report(recorder: Union[Recorder, NullRecorder]) -> str:
 
 
 def snapshot(recorder: Union[Recorder, NullRecorder]) -> Dict[str, Any]:
-    """The recorder's full state as JSON-serialisable dicts."""
+    """The recorder's full state as JSON-serialisable dicts.
+
+    ``version`` (the pre-v3 key) is kept alongside ``schema_version``
+    so older tooling keeps loading new snapshots.
+    """
     return {
+        "schema_version": SNAPSHOT_VERSION,
+        "meta": run_metadata(),
         "version": SNAPSHOT_VERSION,
         "counters": {
             name: value
@@ -166,6 +190,7 @@ def snapshot_to_recorder(data: Dict[str, Any]) -> Recorder:
 __all__ = [
     "SNAPSHOT_VERSION",
     "render_metrics",
+    "run_metadata",
     "render_report",
     "render_span_tree",
     "snapshot",

@@ -41,6 +41,8 @@ import json
 import threading
 from typing import IO, Any, Dict, Iterator, List, Optional, Union
 
+from repro.obs.telemetry import current_trace as _current_trace
+
 #: Version of the journal event schema (the ``journal.open`` header).
 JOURNAL_VERSION = 1
 
@@ -72,22 +74,39 @@ def sha256_text(text: str) -> str:
 
 @dataclasses.dataclass(frozen=True)
 class JournalEvent:
-    """One recorded pipeline event."""
+    """One recorded pipeline event.
+
+    ``trace`` carries the serving-tier :class:`TraceContext` wire dict
+    when one was active at recording time.  It lives *beside* ``data``,
+    never inside it: replay compares event payloads, and trace ids are
+    minted per run, so correlation metadata must stay outside the
+    byte-compared surface (see :mod:`repro.obs.replay`).
+    """
 
     seq: int
     type: str
     data: Dict[str, Any]
+    trace: Optional[Dict[str, str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"seq": self.seq, "type": self.type, "data": dict(self.data)}
+        payload: Dict[str, Any] = {
+            "seq": self.seq,
+            "type": self.type,
+            "data": dict(self.data),
+        }
+        if self.trace is not None:
+            payload["trace"] = dict(self.trace)
+        return payload
 
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "JournalEvent":
         try:
+            trace = raw.get("trace")
             return cls(
                 seq=int(raw["seq"]),
                 type=str(raw["type"]),
                 data=dict(raw.get("data", {})),
+                trace=dict(trace) if trace is not None else None,
             )
         except (KeyError, TypeError) as exc:
             raise JournalError(f"malformed journal event: {raw!r}") from exc
@@ -119,9 +138,20 @@ class JournalRecorder:
         self.event("journal.open", version=JOURNAL_VERSION)
 
     def event(self, type_: str, **data: Any) -> JournalEvent:
-        """Record one event (thread-safe; assigns the next ``seq``)."""
+        """Record one event (thread-safe; assigns the next ``seq``).
+
+        The serving-tier trace context, when one is active on the
+        recording thread, is stamped beside the payload so journal
+        events correlate back to the originating request.
+        """
+        trace = _current_trace()
         with self._lock:
-            recorded = JournalEvent(seq=len(self.events), type=type_, data=data)
+            recorded = JournalEvent(
+                seq=len(self.events),
+                type=type_,
+                data=data,
+                trace=trace.to_dict() if trace is not None else None,
+            )
             self.events.append(recorded)
             if self._handle is not None:
                 self._handle.write(recorded.to_json() + "\n")

@@ -275,6 +275,50 @@ class NullRecorder:
 _NULL_RECORDER = NullRecorder()
 _active: Union[Recorder, NullRecorder] = _NULL_RECORDER
 
+# The telemetry tap: an object with ``count`` / ``observe`` /
+# ``span_close`` methods (see ``repro.obs.telemetry.TelemetryHub``) that
+# shadows every module-level instrumentation call so per-request
+# attribution works even when no metrics recorder is installed.  With no
+# tap the added cost per call site is a single ``None`` check.
+_tap: Optional[Any] = None
+
+
+def _install_tap(tap: Optional[Any]) -> None:
+    """Register (or clear, with ``None``) the telemetry tap."""
+    global _tap
+    _tap = tap
+
+
+class _TapSpan:
+    """Wraps a span handle to time it for the telemetry tap.
+
+    The wrapper times the span with its own clock so durations reach the
+    tap even when the active recorder is a :class:`NullRecorder` (the
+    ``clarify serve --metrics-port`` configuration records metrics but
+    not span forests).
+    """
+
+    __slots__ = ("_inner", "_name", "_tap", "_start")
+
+    def __init__(self, inner: Any, name: str, tap: Any) -> None:
+        self._inner = inner
+        self._name = name
+        self._tap = tap
+        self._start = 0.0
+
+    def __enter__(self) -> Any:
+        self._start = time.perf_counter()
+        span = self._inner.__enter__()
+        self._tap.span_open(span)
+        return span
+
+    def __exit__(self, *exc: Any) -> bool:
+        suppressed = bool(self._inner.__exit__(*exc))
+        self._tap.span_close(
+            self._name, time.perf_counter() - self._start
+        )
+        return suppressed
+
 
 def get_recorder() -> Union[Recorder, NullRecorder]:
     """The recorder instrumentation currently dispatches to."""
@@ -316,17 +360,24 @@ def recording(
 
 def span(name: str, /, **attrs: Any):
     """Open a span on the active recorder (no-op span by default)."""
-    return _active.span(name, **attrs)
+    handle = _active.span(name, **attrs)
+    if _tap is not None:
+        return _TapSpan(handle, name, _tap)
+    return handle
 
 
 def count(name: str, value: Number = 1) -> None:
     """Bump a counter on the active recorder (no-op by default)."""
     _active.count(name, value)
+    if _tap is not None:
+        _tap.count(name, value)
 
 
 def observe(name: str, value: Number) -> None:
     """Record a histogram observation on the active recorder."""
     _active.observe(name, value)
+    if _tap is not None:
+        _tap.observe(name, value)
 
 
 def enabled() -> bool:

@@ -109,6 +109,31 @@ def load_snapshot(path: str) -> Dict[str, Any]:
     return data
 
 
+def _schema_of(data: Dict[str, Any]) -> Optional[Any]:
+    """A snapshot's schema version (``schema_version``, falling back to
+    the pre-v3 ``version`` key; ``None`` for versionless snapshots)."""
+    return data.get("schema_version", data.get("version"))
+
+
+def check_schema_match(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> None:
+    """Refuse to diff snapshots written under different schemas.
+
+    A cross-version comparison would surface as a wall of spurious
+    tolerance rows; failing fast with the actual versions tells the
+    operator to regenerate the baseline instead.
+    """
+    base_schema = _schema_of(baseline)
+    cur_schema = _schema_of(current)
+    if base_schema != cur_schema:
+        raise SnapshotError(
+            f"schema_version mismatch: baseline {base_schema!r} vs "
+            f"current {cur_schema!r} — regenerate the baseline under "
+            f"the current schema instead of diffing across versions"
+        )
+
+
 def _rel_close(baseline: float, current: float, rel: float) -> bool:
     if baseline == current:
         return True
@@ -165,11 +190,36 @@ def _compare_counters(
     return rows
 
 
-def _timing_stats(hist: Dict[str, Any]) -> Dict[str, Optional[float]]:
+def _timing_stats(name: str, hist: Dict[str, Any]) -> Dict[str, Optional[float]]:
     from repro.obs.metrics import Histogram
 
-    h = Histogram.from_dict(hist)
+    try:
+        h = Histogram.from_dict(hist)
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise SnapshotError(
+            f"histogram {name!r} is malformed: {exc}"
+        ) from exc
     return {"mean": h.mean, "p95": h.quantile(0.95)}
+
+
+def _histogram_dict(name: str, value: Any) -> Dict[str, Any]:
+    """Validate one snapshot histogram entry's shape."""
+    if not isinstance(value, dict):
+        raise SnapshotError(
+            f"histogram {name!r} is malformed: expected a dict, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _histogram_count(name: str, value: Dict[str, Any]) -> int:
+    """A histogram entry's observation count, validated."""
+    try:
+        return int(value.get("count", 0))
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(
+            f"histogram {name!r} is malformed: bad count: {exc}"
+        ) from exc
 
 
 def _compare_histograms(
@@ -179,13 +229,17 @@ def _compare_histograms(
     for name in sorted(set(base) | set(cur)):
         timing = name.startswith(TIMING_PREFIX)
         kind = "timing" if timing else "histogram"
+        if name in base:
+            _histogram_dict(name, base[name])
+        if name in cur:
+            _histogram_dict(name, cur[name])
         if name not in cur:
             rows.append(
                 DeltaRow(
                     name,
                     kind,
                     STATUS_REMOVED,
-                    float(base[name].get("count", 0)),
+                    float(_histogram_count(name, base[name])),
                     None,
                     "histogram present in baseline but not in this run",
                 )
@@ -198,13 +252,13 @@ def _compare_histograms(
                     kind,
                     STATUS_ADDED,
                     None,
-                    float(cur[name].get("count", 0)),
+                    float(_histogram_count(name, cur[name])),
                     "new histogram, not in baseline",
                 )
             )
             continue
-        b_count = int(base[name].get("count", 0))
-        c_count = int(cur[name].get("count", 0))
+        b_count = _histogram_count(name, base[name])
+        c_count = _histogram_count(name, cur[name])
         if timing:
             rows.extend(
                 _compare_timing(name, base[name], cur[name], tol)
@@ -232,8 +286,8 @@ def _compare_timing(
     name: str, base: Dict[str, Any], cur: Dict[str, Any], tol: Tolerances
 ) -> List[DeltaRow]:
     rows: List[DeltaRow] = []
-    b_stats = _timing_stats(base)
-    c_stats = _timing_stats(cur)
+    b_stats = _timing_stats(name, base)
+    c_stats = _timing_stats(name, cur)
     bad_status = STATUS_WARNING if tol.timing_warn_only else STATUS_REGRESSION
     for stat in ("mean", "p95"):
         b, c = b_stats[stat], c_stats[stat]
@@ -277,7 +331,14 @@ def compare_snapshots(
     current: Dict[str, Any],
     tolerances: Optional[Tolerances] = None,
 ) -> RegressionReport:
-    """Diff two metric snapshots under the given tolerances."""
+    """Diff two metric snapshots under the given tolerances.
+
+    Raises :class:`SnapshotError` when the two snapshots were written
+    under different schema versions (see :func:`check_schema_match`) or
+    when a histogram entry is malformed — both are artifact problems,
+    not regressions, and must not be reported as tolerance rows.
+    """
+    check_schema_match(baseline, current)
     tol = tolerances if tolerances is not None else Tolerances()
     rows = _compare_counters(
         baseline.get("counters", {}), current.get("counters", {}), tol
@@ -350,6 +411,7 @@ __all__ = [
     "SnapshotError",
     "TIMING_PREFIX",
     "Tolerances",
+    "check_schema_match",
     "compare_snapshots",
     "load_snapshot",
     "render_json",

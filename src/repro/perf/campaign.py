@@ -46,6 +46,8 @@ from typing import (
 )
 
 from repro import obs
+from repro.obs import telemetry
+from repro.obs.telemetry import TraceContext
 from repro.overlap.chains import chain_overlap_report
 from repro.overlap.detector import acl_overlap_report, route_map_overlap_report
 from repro.perf import cache as _perf
@@ -127,7 +129,10 @@ def _chunk_bounds(count: int, chunk_count: int) -> List[Tuple[int, int]]:
 
 
 def _run_chunk(
-    kind: str, payloads: Sequence[Any], context: Any
+    kind: str,
+    payloads: Sequence[Any],
+    context: Any,
+    trace: Optional[TraceContext] = None,
 ) -> Tuple[List[Any], Dict[str, Number]]:
     """Run one chunk from a clean slate; returns (results, counters).
 
@@ -135,10 +140,16 @@ def _run_chunk(
     the code path is deliberately the same).  Caches are cleared first
     and a private recorder captures the chunk's counters, so the return
     value is a pure function of ``(kind, payloads, context)``.
+
+    ``trace`` is the originating request's
+    :class:`~repro.obs.telemetry.TraceContext`, re-activated inside the
+    worker so anything trace-aware a task touches (a remote LLM call
+    stamping its trace header, a journal event) still correlates back
+    to the request that launched the campaign.
     """
     fn = _TASKS[kind]
     recorder = obs.Recorder(capture_spans=False)
-    with _perf.isolated(), obs.recording(recorder):
+    with telemetry.tracing(trace), _perf.isolated(), obs.recording(recorder):
         before = _perf.cache_totals()
         results = [fn(payload, context) for payload in payloads]
         _perf.publish_counters(before)
@@ -146,10 +157,10 @@ def _run_chunk(
 
 
 def _run_chunk_task(
-    task: Tuple[str, Sequence[Any], Any]
+    task: Tuple[str, Sequence[Any], Any, Optional[TraceContext]]
 ) -> Tuple[List[Any], Dict[str, Number]]:
-    kind, payloads, context = task
-    return _run_chunk(kind, payloads, context)
+    kind, payloads, context, trace = task
+    return _run_chunk(kind, payloads, context, trace)
 
 
 # ---------------------------------------------------------------- running
@@ -204,12 +215,20 @@ def run_campaign(
         items[lo:hi] for lo, hi in _chunk_bounds(len(items), chunk_count)
     ]
 
-    tasks = [(kind, chunk, context) for chunk in chunk_payloads]
+    trace = telemetry.current_trace()
+    tasks = [(kind, chunk, context, trace) for chunk in chunk_payloads]
     if worker_count == 1:
         outcomes = [_run_chunk_task(task) for task in tasks]
+        # In-process chunks already ran under the trace, so the hub saw
+        # every delta as it happened; re-publishing below must therefore
+        # stay trace-free or wide events would double-count.
+        republish_trace: Optional[TraceContext] = None
     else:
         with ProcessPoolExecutor(max_workers=worker_count) as pool:
             outcomes = list(pool.map(_run_chunk_task, tasks))
+        # Pool workers accumulated into private recorders in other
+        # processes; this re-publish is the hub's only sight of them.
+        republish_trace = trace
 
     results: List[Any] = []
     merged: Dict[str, Number] = {}
@@ -217,8 +236,9 @@ def run_campaign(
         results.extend(chunk_results)
         for name, value in counters.items():
             merged[name] = merged.get(name, 0) + value
-    for name in sorted(merged):
-        obs.count(name, merged[name])
+    with telemetry.tracing(republish_trace):
+        for name in sorted(merged):
+            obs.count(name, merged[name])
     return CampaignResult(tuple(results), merged, worker_count, chunk_count)
 
 

@@ -29,9 +29,11 @@ from repro.serve.loadgen import (
     LLMStack,
     LoadgenReport,
     SessionSpec,
+    TelemetryOverhead,
     build_llm_stack,
     check_cache_effectiveness,
     check_serial_identity,
+    check_telemetry_overhead,
     generate_workload,
     run_loadgen,
 )
@@ -55,10 +57,12 @@ __all__ = [
     "ServeResponse",
     "SessionSpec",
     "SessionManager",
+    "TelemetryOverhead",
     "Ticket",
     "build_llm_stack",
     "check_cache_effectiveness",
     "check_serial_identity",
+    "check_telemetry_overhead",
     "generate_workload",
     "run_loadgen",
 ]

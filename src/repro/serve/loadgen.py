@@ -42,6 +42,8 @@ from repro.llm.dedup import DedupClient
 from repro.llm.faulty import FaultyLLM
 from repro.llm.respcache import CachedClient, ResponseCache, cache_safe_of
 from repro.llm.router import BackendRouter, build_backend
+from repro.obs import slo as slo_mod
+from repro.obs import telemetry as tele
 from repro.obs.metrics import Histogram
 from repro.serve.service import (
     AdmissionError,
@@ -294,6 +296,9 @@ class LoadgenReport:
     #: Network-wide quality axis (``--netwide``): gate checks run, gate
     #: warnings raised, and the ``netwide.*`` analyzer counters.
     netwide: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Telemetry axis: wide-event count, the SLO burn-rate report, and
+    #: whether every tracked LLM-tier counter resolved to a trace.
+    telemetry: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         """The report as a JSON-serialisable dict."""
@@ -317,6 +322,33 @@ def _fingerprint(keys: List[Dict[str, Any]]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def _trace_coverage(
+    recorder: obs.Recorder, events: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Do the run's LLM-tier counters all resolve to a wide event?
+
+    Compares the recorder's global ``llm.*`` totals against the sum of
+    the same counters across every wide event.  A shortfall means some
+    deltas were emitted with no trace active (e.g. on a background flush
+    thread) — reported per counter so the gap is debuggable.
+    """
+    attributed: Dict[str, float] = {}
+    for event in events:
+        for name, value in event.get("counters", {}).items():
+            attributed[name] = attributed.get(name, 0) + value
+    missing: Dict[str, float] = {}
+    for name, total in recorder.counters.items():
+        if not name.startswith("llm."):
+            continue
+        shortfall = total - attributed.get(name, 0)
+        if shortfall > 0:
+            missing[name] = shortfall
+    return {
+        "complete": not missing,
+        "missing": dict(sorted(missing.items())),
+    }
+
+
 def run_loadgen(
     sessions: int = 16,
     requests_per_session: int = 2,
@@ -333,6 +365,9 @@ def run_loadgen(
     cache_dir: Optional[str] = None,
     batch_window_s: Optional[float] = None,
     netwide: bool = False,
+    telemetry: bool = True,
+    event_log: Optional[str] = None,
+    slo: Optional[slo_mod.SLOConfig] = None,
 ) -> LoadgenReport:
     """Run one seeded campaign and aggregate the results.
 
@@ -349,6 +384,14 @@ def run_loadgen(
     session's edits embedded onto the seeded demo topology's EDGE
     router) and adds the network-wide conflict counters to the report —
     the quality axis alongside the throughput/latency ones.
+
+    ``telemetry`` (on by default) installs a
+    :class:`~repro.obs.telemetry.TelemetryHub` for the campaign: the
+    report gains a ``telemetry`` block (wide-event count, the SLO
+    burn-rate evaluation under ``slo`` or the default objectives, and
+    the LLM-counter trace-coverage check), and ``event_log`` streams the
+    wide events as JSONL.  Trace ids never enter ``outcome_key``, so the
+    identity fingerprint is telemetry-invariant.
     """
     workload = generate_workload(sessions, requests_per_session, seed)
     stack = build_llm_stack(
@@ -374,45 +417,63 @@ def run_loadgen(
         )
 
     recorder = obs.Recorder()
+    hub: Optional[tele.TelemetryHub] = None
     t_start = time.perf_counter()
     with obs.recording(recorder):
-        manager = SessionManager(
-            llm=shared,
-            mode=DisambiguationMode.FULL,
-            max_attempts=max_attempts,
-            netwide_gate_factory=netwide_gate_factory,
-        )
-        for spec in workload:
-            manager.open(spec.session_id, config_text=spec.config_text)
-        rejected_submissions = 0
-        tickets: List[Ticket] = []
-        with ClarifyService(
-            manager,
-            workers=workers,
-            queue_limit=queue_limit,
-            high_water=high_water,
-        ) as service:
-            # Round-robin across sessions so concurrent requests overlap
-            # across many sessions (and dedup sees simultaneous twins).
-            for round_idx in range(requests_per_session):
-                for spec in workload:
-                    request = ServeRequest(
-                        session=spec.session_id,
-                        intent=spec.intents[round_idx],
-                        target=spec.target,
-                        deadline_s=deadline_s,
-                    )
-                    while True:
-                        try:
-                            tickets.append(service.submit(request))
-                            break
-                        except AdmissionError as exc:
-                            rejected_submissions += 1
-                            time.sleep(min(exc.retry_after_s, 0.05))
-            responses: List[Optional[ServeResponse]] = [
-                t.wait(wait_timeout_s) for t in tickets
-            ]
+        if telemetry:
+            hub = tele.install_hub(tele.TelemetryHub(sink=event_log))
+        try:
+            manager = SessionManager(
+                llm=shared,
+                mode=DisambiguationMode.FULL,
+                max_attempts=max_attempts,
+                netwide_gate_factory=netwide_gate_factory,
+            )
+            for spec in workload:
+                manager.open(spec.session_id, config_text=spec.config_text)
+            rejected_submissions = 0
+            tickets: List[Ticket] = []
+            with ClarifyService(
+                manager,
+                workers=workers,
+                queue_limit=queue_limit,
+                high_water=high_water,
+            ) as service:
+                # Round-robin across sessions so concurrent requests
+                # overlap across many sessions (and dedup sees
+                # simultaneous twins).
+                for round_idx in range(requests_per_session):
+                    for spec in workload:
+                        request = ServeRequest(
+                            session=spec.session_id,
+                            intent=spec.intents[round_idx],
+                            target=spec.target,
+                            deadline_s=deadline_s,
+                        )
+                        while True:
+                            try:
+                                tickets.append(service.submit(request))
+                                break
+                            except AdmissionError as exc:
+                                rejected_submissions += 1
+                                time.sleep(min(exc.retry_after_s, 0.05))
+                responses: List[Optional[ServeResponse]] = [
+                    t.wait(wait_timeout_s) for t in tickets
+                ]
+        finally:
+            if hub is not None:
+                tele.uninstall_hub()
+                hub.close()
     wall = time.perf_counter() - t_start
+
+    telemetry_block: Dict[str, Any] = {"enabled": hub is not None}
+    if hub is not None:
+        slo_report = slo_mod.evaluate(hub.events, slo)
+        telemetry_block["wide_events"] = hub.finished
+        telemetry_block["slo"] = slo_report.to_dict()
+        telemetry_block["trace_coverage"] = _trace_coverage(
+            recorder, hub.events
+        )
 
     resolved = [r for r in responses if r is not None]
     unresolved = len(responses) - len(resolved)
@@ -453,6 +514,7 @@ def run_loadgen(
             for name, value in sorted(recorder.counters.items())
             if name.startswith(("netwide.", "lint.netwide"))
         },
+        telemetry=telemetry_block,
     )
 
 
@@ -583,6 +645,100 @@ def check_cache_effectiveness(
     return result
 
 
+@dataclasses.dataclass
+class TelemetryOverhead:
+    """The telemetry-on vs telemetry-off differential.
+
+    ``repeats`` interleaved pairs of the identical seeded campaign, one
+    with the hub installed and one without; the compared p50 is the
+    **minimum** across repeats per mode (the least-noisy estimate of the
+    achievable latency), and every run must produce the same identity
+    fingerprint — telemetry that changed outcomes would be a bug, not an
+    overhead.
+    """
+
+    p50_off_s: float
+    p50_on_s: float
+    ratio: float
+    bound: float
+    repeats: int
+    fingerprint: str
+
+    @property
+    def ok(self) -> bool:
+        """True when the measured p50 regression is within ``bound``."""
+        return self.ratio <= self.bound
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["ok"] = self.ok
+        return data
+
+
+def check_telemetry_overhead(
+    sessions: int,
+    requests_per_session: int,
+    workers: int,
+    seed: int,
+    repeats: int = 3,
+    bound: float = 1.05,
+    **kwargs: Any,
+) -> TelemetryOverhead:
+    """Measure the hub's p50 latency cost; raise if outcomes diverge.
+
+    Requires a fault-free, deadline-free campaign (otherwise outcomes
+    are schedule-dependent and the fingerprint cross-check is vacuous).
+    The returned report says whether the ``bound`` held; the caller
+    (``clarify loadgen --check-telemetry-overhead``) turns that into an
+    exit code.
+    """
+    if kwargs.get("fault_rate") or kwargs.get("deadline_s") is not None:
+        raise ValueError(
+            "telemetry overhead requires a fault-free, deadline-free "
+            "campaign"
+        )
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    p50_off: List[float] = []
+    p50_on: List[float] = []
+    fingerprints = set()
+    for _ in range(repeats):
+        off = run_loadgen(
+            sessions,
+            requests_per_session,
+            workers=workers,
+            seed=seed,
+            telemetry=False,
+            **kwargs,
+        )
+        on = run_loadgen(
+            sessions,
+            requests_per_session,
+            workers=workers,
+            seed=seed,
+            telemetry=True,
+            **kwargs,
+        )
+        p50_off.append(off.latency_quantiles["p50"])
+        p50_on.append(on.latency_quantiles["p50"])
+        fingerprints.update((off.fingerprint, on.fingerprint))
+    if len(fingerprints) != 1:
+        raise AssertionError(
+            f"telemetry changed campaign outcomes: {sorted(fingerprints)}"
+        )
+    best_off = min(p50_off)
+    best_on = min(p50_on)
+    ratio = best_on / best_off if best_off > 0 else 1.0
+    return TelemetryOverhead(
+        p50_off_s=best_off,
+        p50_on_s=best_on,
+        ratio=ratio,
+        bound=bound,
+        repeats=repeats,
+        fingerprint=next(iter(fingerprints)),
+    )
+
+
 __all__ = [
     "CAMPUS_CONFIG",
     "CAMPUS_TARGET",
@@ -592,9 +748,11 @@ __all__ = [
     "LLMStack",
     "LoadgenReport",
     "SessionSpec",
+    "TelemetryOverhead",
     "build_llm_stack",
     "check_cache_effectiveness",
     "check_serial_identity",
+    "check_telemetry_overhead",
     "generate_workload",
     "run_loadgen",
 ]

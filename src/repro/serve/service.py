@@ -37,7 +37,9 @@ from repro import obs
 from repro.core.budget import TimeBudget
 from repro.core.errors import ClarifyError, DeadlineExceeded, SynthesisPunt
 from repro.core.workflow import UpdateReport
+from repro.obs import telemetry
 from repro.obs.journal import journaling
+from repro.obs.telemetry import TraceContext
 from repro.serve.session import ManagedSession, SessionManager
 
 #: Outcome kinds a request can resolve to.
@@ -64,6 +66,9 @@ class AdmissionError(ClarifyError):
         self.depth = depth
         self.high_water = high_water
         self.retry_after_s = retry_after_s
+        #: The trace minted for the rejected request, so callers can still
+        #: correlate the rejection with its wide event.
+        self.trace: Optional[TraceContext] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,6 +80,8 @@ class ServeRequest:
     target: str
     #: Wall-clock budget in seconds, started at admission; None = no limit.
     deadline_s: Optional[float] = None
+    #: Client-supplied request id echoed on the response; None = minted.
+    request_id: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -95,6 +102,10 @@ class ServeResponse:
     latency_s: float = 0.0
     queue_wait_s: float = 0.0
     retry_after_s: Optional[float] = None
+    #: Correlation ids (request_id may be client-supplied).  They are
+    #: per-run identities, so they live outside :meth:`outcome_key`.
+    request_id: str = ""
+    trace_id: str = ""
 
     @property
     def ok(self) -> bool:
@@ -127,6 +138,10 @@ class ServeResponse:
         data["queue_wait_s"] = self.queue_wait_s
         if self.retry_after_s is not None:
             data["retry_after_s"] = self.retry_after_s
+        if self.request_id:
+            data["request_id"] = self.request_id
+        if self.trace_id:
+            data["trace_id"] = self.trace_id
         return data
 
 
@@ -160,6 +175,7 @@ class _WorkItem:
     ticket: Ticket
     budget: Optional[TimeBudget]
     admitted_at: float
+    trace: TraceContext
 
 
 _STOP = None
@@ -246,21 +262,54 @@ class ClarifyService:
     def submit(self, request: ServeRequest) -> Ticket:
         """Admit one request, or raise :class:`AdmissionError`.
 
+        Every request — admitted or rejected — gets a fresh
+        :class:`TraceContext`; a rejection still lands in the latency
+        histograms (tagged ``rejected``) and the wide-event log, so
+        loadgen quantiles are not survivorship-biased toward requests
+        that made it past admission.
+
         Raises ``KeyError`` for an unknown session and ``RuntimeError``
         when the service is not running.
         """
+        started = time.perf_counter()
+        trace = telemetry.mint_trace(
+            session_id=request.session, request_id=request.request_id
+        )
         handle = self.manager.get(request.session)
         if handle is None:
             raise KeyError(f"unknown session {request.session!r}")
+        rejection: Optional[AdmissionError] = None
         with self._lock:
             if not self._running:
                 raise RuntimeError("service is not running")
             if self._pending >= self.high_water:
                 self.rejected += 1
-                retry_after = self._retry_after(self._pending)
+                rejection = AdmissionError(
+                    self._pending,
+                    self.high_water,
+                    self._retry_after(self._pending),
+                )
+            else:
+                self._pending += 1
+        if rejection is not None:
+            rejection.trace = trace
+            elapsed = time.perf_counter() - started
+            with telemetry.tracing(trace):
+                telemetry.begin_request(trace, seq=-1)
                 obs.count("serve.rejected")
-                raise AdmissionError(self._pending, self.high_water, retry_after)
-            self._pending += 1
+                obs.count("serve.outcome.rejected")
+                obs.observe("serve.latency", elapsed)
+                obs.observe("serve.latency.rejected", elapsed)
+                obs.observe("serve.queue_wait", 0.0)
+                obs.observe("serve.queue_wait.rejected", 0.0)
+                telemetry.finish_request(
+                    trace,
+                    outcome="rejected",
+                    latency_s=elapsed,
+                    queue_wait_s=0.0,
+                    retry_after_s=rejection.retry_after_s,
+                )
+            raise rejection
         budget = (
             TimeBudget(request.deadline_s)
             if request.deadline_s is not None
@@ -270,13 +319,16 @@ class ClarifyService:
             seq = handle.submitted_seq
             handle.submitted_seq += 1
         ticket = Ticket(request, seq)
-        obs.count("serve.admitted")
+        telemetry.begin_request(trace, seq=seq)
+        with telemetry.tracing(trace):
+            obs.count("serve.admitted")
         self._queue.put(
             _WorkItem(
                 handle=handle,
                 ticket=ticket,
                 budget=budget,
                 admitted_at=time.perf_counter(),
+                trace=trace,
             )
         )
         return ticket
@@ -294,6 +346,8 @@ class ClarifyService:
                 outcome="rejected",
                 detail=str(exc),
                 retry_after_s=exc.retry_after_s,
+                request_id=exc.trace.request_id if exc.trace else "",
+                trace_id=exc.trace.trace_id if exc.trace else "",
             )
         response = ticket.wait(timeout)
         if response is None:
@@ -324,7 +378,7 @@ class ClarifyService:
                 handle.cond.wait()
         queue_wait = time.perf_counter() - item.admitted_at
         try:
-            with obs.span(
+            with telemetry.tracing(item.trace), obs.span(
                 "serve.request", session=handle.session_id, seq=ticket.seq
             ):
                 if handle.journal is not None:
@@ -335,19 +389,36 @@ class ClarifyService:
         finally:
             with handle.cond:
                 handle.next_seq += 1
+                handle.completed += 1
                 handle.cond.notify_all()
         elapsed = time.perf_counter() - item.admitted_at
         response = dataclasses.replace(
-            response, latency_s=elapsed, queue_wait_s=queue_wait
+            response,
+            latency_s=elapsed,
+            queue_wait_s=queue_wait,
+            request_id=item.trace.request_id,
+            trace_id=item.trace.trace_id,
         )
         with self._lock:
             self._ewma_service_s = (
                 0.9 * self._ewma_service_s + 0.1 * (elapsed - queue_wait)
             )
-        obs.count("serve.requests")
-        obs.count(f"serve.outcome.{response.outcome}")
-        obs.observe("serve.latency", elapsed)
-        obs.observe("serve.queue_wait", queue_wait)
+        with telemetry.tracing(item.trace):
+            obs.count("serve.requests")
+            obs.count(f"serve.outcome.{response.outcome}")
+            obs.observe("serve.latency", elapsed)
+            obs.observe(f"serve.latency.{response.outcome}", elapsed)
+            obs.observe("serve.queue_wait", queue_wait)
+            obs.observe(f"serve.queue_wait.{response.outcome}", queue_wait)
+            telemetry.finish_request(
+                item.trace,
+                outcome=response.outcome,
+                latency_s=elapsed,
+                queue_wait_s=queue_wait,
+                attempts=response.attempts,
+                llm_calls=response.llm_calls,
+                questions=response.questions,
+            )
         ticket.resolve(response)
 
     def _run_cycle(self, item: _WorkItem, queue_wait: float) -> ServeResponse:

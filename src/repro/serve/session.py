@@ -60,6 +60,9 @@ class ManagedSession:
         self.submitted_seq = 0
         #: Sequence number of the request allowed to execute now.
         self.next_seq = 0
+        #: Requests this session has resolved (bumped by the service
+        #: under ``cond``; surfaced via the serve ``stats`` op).
+        self.completed = 0
 
     def config_text(self) -> str:
         """The session's current rendered configuration."""
@@ -178,6 +181,12 @@ class SessionManager:
         """Open session ids, in creation order."""
         with self._lock:
             return list(self._sessions)
+
+    def completed_counts(self) -> Dict[str, int]:
+        """Per-session resolved-request counts, in creation order."""
+        with self._lock:
+            managed = list(self._sessions.values())
+        return {m.session_id: m.completed for m in managed}
 
     def __len__(self) -> int:
         with self._lock:

@@ -171,6 +171,85 @@ class TestLoadingAndRendering:
         assert data["rows"][0]["name"] == "llm.calls"
 
 
+class TestEdgeCases:
+    def test_zero_valued_baseline_counter_exact(self):
+        base = make_snapshot({"serve.rejected": 0})
+        cur = make_snapshot({"serve.rejected": 0})
+        assert regress.compare_snapshots(base, cur).ok
+
+    def test_zero_valued_baseline_counter_growth_regresses(self):
+        base = make_snapshot({"serve.rejected": 0})
+        cur = make_snapshot({"serve.rejected": 3})
+        report = regress.compare_snapshots(base, cur)
+        assert not report.ok
+        (row,) = report.regressions
+        assert row.baseline == 0.0 and row.current == 3.0
+
+    def test_zero_baseline_with_relative_tolerance_still_regresses(self):
+        # rel tolerance scales by max(|b|, |c|): 0 -> 3 is a 100% change.
+        base = make_snapshot({"serve.rejected": 0})
+        cur = make_snapshot({"serve.rejected": 3})
+        tol = regress.Tolerances(counter_rel=0.5)
+        assert not regress.compare_snapshots(base, cur, tol).ok
+
+    def test_counter_only_in_current_is_added_not_regression(self):
+        base = make_snapshot()
+        cur = make_snapshot({"telemetry.new": 7})
+        report = regress.compare_snapshots(base, cur)
+        assert report.ok
+        (row,) = report.rows
+        assert row.status == regress.STATUS_ADDED
+        assert row.baseline is None and row.current == 7.0
+
+    def test_malformed_histogram_not_a_dict(self):
+        base = make_snapshot(histograms={"overlaps": [1, 2, 3]})
+        cur = make_snapshot(histograms={"overlaps": timing_hist([1.0])})
+        with pytest.raises(regress.SnapshotError, match="malformed"):
+            regress.compare_snapshots(base, cur)
+
+    def test_malformed_histogram_in_current_side(self):
+        base = make_snapshot(histograms={"overlaps": timing_hist([1.0])})
+        cur = make_snapshot(histograms={"overlaps": "oops"})
+        with pytest.raises(regress.SnapshotError, match="malformed"):
+            regress.compare_snapshots(base, cur)
+
+    def test_malformed_timing_histogram_dict_contents(self):
+        bad = {"count": "three", "total": None}
+        base = make_snapshot(histograms={"span.x": bad})
+        cur = make_snapshot(histograms={"span.x": timing_hist([1.0])})
+        with pytest.raises(regress.SnapshotError, match="span.x"):
+            regress.compare_snapshots(base, cur)
+
+    def test_schema_version_mismatch_raises(self):
+        base = make_snapshot({"llm.calls": 1})
+        cur = dict(make_snapshot({"llm.calls": 1}), version=1)
+        with pytest.raises(
+            regress.SnapshotError, match="schema_version mismatch"
+        ):
+            regress.compare_snapshots(base, cur)
+
+    def test_schema_version_key_preferred_over_legacy_version(self):
+        base = dict(make_snapshot({"llm.calls": 1}), schema_version=3)
+        cur = dict(
+            make_snapshot({"llm.calls": 1}), schema_version=3, version=2
+        )
+        # Same schema_version wins even though the legacy keys differ.
+        assert regress.compare_snapshots(base, cur).ok
+
+    def test_versionless_snapshots_compare(self):
+        base = {"counters": {"llm.calls": 1}, "histograms": {}}
+        cur = {"counters": {"llm.calls": 1}, "histograms": {}}
+        assert regress.compare_snapshots(base, cur).ok
+
+    def test_versionless_vs_versioned_mismatch(self):
+        base = {"counters": {"llm.calls": 1}, "histograms": {}}
+        cur = make_snapshot({"llm.calls": 1})
+        with pytest.raises(
+            regress.SnapshotError, match="schema_version mismatch"
+        ):
+            regress.compare_snapshots(base, cur)
+
+
 class TestAgainstRealBaseline:
     def test_committed_baseline_is_self_consistent(self):
         import pathlib

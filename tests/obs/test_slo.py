@@ -1,0 +1,219 @@
+"""SLO declarations and multi-window burn-rate evaluation."""
+
+import json
+
+import pytest
+
+from repro.obs import slo
+
+
+def event(latency_s=0.1, outcome="applied"):
+    return {"timings": {"latency_s": latency_s}, "outcome": outcome}
+
+
+class TestObjective:
+    def test_latency_good_bad(self):
+        obj = slo.Objective(
+            name="lat", kind="latency", objective=0.9, threshold_s=1.0
+        )
+        assert obj.is_good(event(latency_s=0.5))
+        assert obj.is_good(event(latency_s=1.0))
+        assert not obj.is_good(event(latency_s=1.5))
+
+    def test_availability_good_bad(self):
+        obj = slo.Objective(name="avail", kind="availability", objective=0.99)
+        assert obj.is_good(event(outcome="applied"))
+        assert obj.is_good(event(outcome="rejected"))
+        assert not obj.is_good(event(outcome="error"))
+        assert not obj.is_good(event(outcome="internal-error"))
+
+    def test_custom_error_outcomes(self):
+        obj = slo.Objective(
+            name="strict",
+            kind="availability",
+            objective=0.5,
+            error_outcomes=("rejected",),
+        )
+        assert not obj.is_good(event(outcome="rejected"))
+        assert obj.is_good(event(outcome="error"))
+
+    def test_validation(self):
+        with pytest.raises(slo.SLOConfigError, match="unknown kind"):
+            slo.Objective(name="x", kind="throughput", objective=0.9)
+        with pytest.raises(slo.SLOConfigError, match="in \\(0, 1\\)"):
+            slo.Objective(name="x", kind="availability", objective=1.0)
+        with pytest.raises(slo.SLOConfigError, match="threshold_s"):
+            slo.Objective(name="x", kind="latency", objective=0.9)
+
+    def test_window_validation(self):
+        with pytest.raises(slo.SLOConfigError, match="events"):
+            slo.Window(name="w", events=0, max_burn_rate=1.0)
+        with pytest.raises(slo.SLOConfigError, match="max_burn_rate"):
+            slo.Window(name="w", events=8, max_burn_rate=0.0)
+
+    def test_config_requires_objectives_and_windows(self):
+        win = slo.Window(name="w", events=8, max_burn_rate=1.0)
+        obj = slo.Objective(name="a", kind="availability", objective=0.9)
+        with pytest.raises(slo.SLOConfigError, match="no objectives"):
+            slo.SLOConfig(objectives=(), windows=(win,))
+        with pytest.raises(slo.SLOConfigError, match="no windows"):
+            slo.SLOConfig(objectives=(obj,), windows=())
+
+
+class TestConfigLoading:
+    def test_default_config_shape(self):
+        cfg = slo.default_config()
+        assert [o.name for o in cfg.objectives] == [
+            "latency-p90-2s",
+            "availability-99",
+        ]
+        assert [w.name for w in cfg.windows] == ["short", "long"]
+
+    def test_config_from_dict_round_trip(self):
+        cfg = slo.config_from_dict(
+            {
+                "schema_version": 1,
+                "objectives": [
+                    {
+                        "name": "lat",
+                        "kind": "latency",
+                        "objective": 0.9,
+                        "threshold_s": 2.0,
+                    }
+                ],
+                "windows": [
+                    {"name": "w", "events": 16, "max_burn_rate": 4.0}
+                ],
+            }
+        )
+        assert cfg.objectives[0].threshold_s == 2.0
+        assert cfg.windows[0].events == 16
+
+    def test_config_from_dict_rejects_bad_schema_version(self):
+        with pytest.raises(slo.SLOConfigError, match="schema_version"):
+            slo.config_from_dict({"schema_version": 99})
+
+    def test_config_from_dict_wraps_missing_keys(self):
+        with pytest.raises(slo.SLOConfigError, match="malformed"):
+            slo.config_from_dict(
+                {"objectives": [{"kind": "availability"}], "windows": []}
+            )
+
+    def test_config_from_dict_preserves_validation_errors(self):
+        with pytest.raises(slo.SLOConfigError, match="unknown kind"):
+            slo.config_from_dict(
+                {
+                    "objectives": [
+                        {"name": "x", "kind": "nope", "objective": 0.9}
+                    ],
+                    "windows": [
+                        {"name": "w", "events": 1, "max_burn_rate": 1.0}
+                    ],
+                }
+            )
+
+    def test_load_config(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "objectives": [
+                        {"name": "a", "kind": "availability", "objective": 0.9}
+                    ],
+                    "windows": [
+                        {"name": "w", "events": 8, "max_burn_rate": 2.0}
+                    ],
+                }
+            )
+        )
+        cfg = slo.load_config(str(path))
+        assert cfg.objectives[0].name == "a"
+
+    def test_load_config_errors(self, tmp_path):
+        with pytest.raises(slo.SLOConfigError, match="cannot read"):
+            slo.load_config(str(tmp_path / "missing.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(slo.SLOConfigError, match="not valid JSON"):
+            slo.load_config(str(bad))
+        arr = tmp_path / "arr.json"
+        arr.write_text("[1]")
+        with pytest.raises(slo.SLOConfigError, match="JSON object"):
+            slo.load_config(str(arr))
+
+
+class TestEvaluation:
+    def config(self, max_burn_short=2.0, max_burn_long=2.0):
+        return slo.SLOConfig(
+            objectives=(
+                slo.Objective(
+                    name="avail", kind="availability", objective=0.5
+                ),
+            ),
+            windows=(
+                slo.Window(
+                    name="short", events=4, max_burn_rate=max_burn_short
+                ),
+                slo.Window(
+                    name="long", events=8, max_burn_rate=max_burn_long
+                ),
+            ),
+        )
+
+    def test_no_events_is_trivially_ok(self):
+        report = slo.evaluate([], self.config())
+        assert report.ok
+        assert report.events == 0
+        for window in report.objectives[0].windows:
+            assert window.burn_rate == 0.0
+
+    def test_burn_rate_math(self):
+        # budget = 0.5; 2 bad out of 4 -> bad_fraction 0.5 -> burn 1.0
+        events = [event(), event(outcome="error"), event(),
+                  event(outcome="error")]
+        report = slo.evaluate(events, self.config())
+        short = report.objectives[0].windows[0]
+        assert short.bad == 2
+        assert short.bad_fraction == 0.5
+        assert short.burn_rate == 1.0
+        assert not short.breaching
+
+    def test_alerts_only_when_every_window_breaches(self):
+        # Window "short" sees the trailing 4 (all errors -> burn 2.0 > 1.0);
+        # window "long" sees all 8 (half errors -> burn 1.0, not > 2.0).
+        events = [event()] * 4 + [event(outcome="error")] * 4
+        cfg = self.config(max_burn_short=1.0, max_burn_long=2.0)
+        report = slo.evaluate(events, cfg)
+        short, long_ = report.objectives[0].windows
+        assert short.breaching
+        assert not long_.breaching
+        assert not report.objectives[0].alerting
+        assert report.ok
+
+        cfg = self.config(max_burn_short=1.0, max_burn_long=0.5)
+        report = slo.evaluate(events, cfg)
+        assert report.objectives[0].alerting
+        assert not report.ok
+        assert report.alerting == ["avail"]
+
+    def test_trailing_window_slice(self):
+        # Only the last 4 events count for the short window.
+        events = [event(outcome="error")] * 8 + [event()] * 4
+        report = slo.evaluate(events, self.config())
+        short = report.objectives[0].windows[0]
+        assert short.bad == 0
+
+    def test_report_to_dict_round_trips_through_json(self):
+        events = [event(), event(outcome="error")]
+        report = slo.evaluate(events, self.config())
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["schema_version"] == slo.SLO_SCHEMA_VERSION
+        assert data["events"] == 2
+        assert data["ok"] is True
+        assert data["objectives"][0]["windows"][0]["window"] == "short"
+        assert "breaching" in data["objectives"][0]["windows"][0]
+
+    def test_default_config_evaluation_on_healthy_stream(self):
+        report = slo.evaluate([event() for _ in range(64)])
+        assert report.ok
+        assert report.alerting == []

@@ -264,6 +264,49 @@ def test_serving_doc_covers_netwide_and_concurrency_lint():
         assert needle in text, f"SERVING.md does not mention {needle}"
 
 
+def test_observability_doc_covers_serving_telemetry():
+    text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    for needle in (
+        "Serving telemetry",
+        "TraceContext",
+        "trace_id",
+        "request_id",
+        "wide-event",
+        "x-clarify-trace-id",
+        "schema_version",
+        "check_schema_match",
+        "/metrics",
+        "/healthz",
+        "burn",
+        "max_burn_rate",
+        "--metrics-port",
+        "--event-log",
+        "--slo-report",
+        "--check-telemetry-overhead",
+        "--no-telemetry",
+        "CLARIFY_METRICS_PORT",
+        "CLARIFY_EVENT_LOG",
+        "clarify tail",
+        "telemetry_smoke",
+    ):
+        assert needle in text, f"OBSERVABILITY.md does not mention {needle}"
+
+
+def test_serving_doc_links_serving_telemetry():
+    text = (REPO_ROOT / "docs" / "SERVING.md").read_text()
+    for needle in (
+        "Serving telemetry",
+        "--metrics-port",
+        "--event-log",
+        "request_id",
+        "trace_id",
+        "clarify tail",
+        "--slo-report",
+        "--check-telemetry-overhead",
+    ):
+        assert needle in text, f"SERVING.md does not mention {needle}"
+
+
 def test_llm_backends_doc_covers_the_tier():
     text = (REPO_ROOT / "docs" / "LLM_BACKENDS.md").read_text()
     for needle in (

@@ -13,8 +13,8 @@ tests rarely catch regressing:
     releases the lock by design.
 
 ``CC002``
-    Code under ``src/repro/serve`` and ``src/repro/llm`` must not call
-    the process-global ``install_journal``/``uninstall_journal``.
+    Code under the scanned targets must not call the process-global
+    ``install_journal``/``uninstall_journal``.
     Concurrent sessions each own a journal; the scoped, thread-local
     ``obs.journaling(...)`` context is the supported route — a global
     journal interleaves events across sessions and breaks replay.
@@ -40,7 +40,9 @@ import sys
 from typing import Iterable, List, Sequence, Tuple
 
 #: Directories scanned when no paths are given (repo-root relative).
-DEFAULT_TARGETS = ("src/repro/serve", "src/repro/llm")
+#: ``src/repro/obs`` is included for the telemetry hub and metrics
+#: endpoint, which sit on the serving hot path.
+DEFAULT_TARGETS = ("src/repro/serve", "src/repro/llm", "src/repro/obs")
 
 #: Callable names considered blocking when invoked under a lock.  The
 #: list is deliberately short and high-signal: LLM completions, sleeps,

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""A hermetic end-to-end smoke test for the serving telemetry tier.
+
+Spawns ``clarify serve --metrics-port 0`` on the simulated backend,
+drives a handful of requests through its JSONL stdin/stdout protocol,
+scrapes the live ``/metrics`` endpoint over loopback, and asserts:
+
+* ``/healthz`` answers ``ok``;
+* the exposition parses as Prometheus text format (every non-comment
+  line is ``name{labels} value`` with a float-parseable value, every
+  metric name matches the exposition grammar);
+* ``clarify_serve_requests`` is present and positive — the requests we
+  sent actually landed in the scraped registry;
+* the wide-event log holds exactly one event per request, each carrying
+  a trace id that matches the ``trace_id`` the serve protocol returned.
+
+Everything runs on 127.0.0.1 against the simulated LLM; no step opens
+an external network connection.  Exit status 0 on success, 1 on any
+assertion failure.
+
+Usage::
+
+    python tools/telemetry_smoke.py [--requests N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import urllib.request
+
+#: Prometheus metric-name grammar (exposition format).
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: One exposition sample line: name, optional {labels}, value.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>\S+)$"
+)
+
+INTENT = (
+    "Write a route-map stanza that permits routes with community "
+    "100:200 and sets local-preference 250"
+)
+
+
+def _fail(message: str) -> "NoReturn":  # type: ignore[name-defined]  # noqa: F821
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse Prometheus text exposition into ``{name: [value, ...]}``.
+
+    Raises via :func:`_fail` on any line that violates the grammar.
+    """
+    samples: dict = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            _fail(f"unparseable exposition line: {line!r}")
+        name = match.group("name")
+        if not METRIC_NAME_RE.match(name):
+            _fail(f"invalid metric name: {name!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            _fail(f"non-numeric sample value in line: {line!r}")
+        samples.setdefault(name, []).append(value)
+    return samples
+
+
+def run_smoke(requests: int) -> int:
+    """Drive the serve subprocess and verify the telemetry surface."""
+    with tempfile.TemporaryDirectory(prefix="clarify-smoke-") as tmp:
+        event_log = os.path.join(tmp, "events.jsonl")
+        env = dict(os.environ)
+        env["PYTHONUNBUFFERED"] = "1"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--backend",
+                "simulated",
+                "--workers",
+                "2",
+                "--metrics-port",
+                "0",
+                "--event-log",
+                event_log,
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            assert proc.stdin is not None
+            assert proc.stdout is not None
+            assert proc.stderr is not None
+
+            # The port announcement is the first stderr line.
+            announce = proc.stderr.readline()
+            match = re.search(r"127\.0\.0\.1:(\d+)", announce)
+            if match is None:
+                _fail(f"no metrics-port announcement on stderr: {announce!r}")
+            port = int(match.group(1))
+
+            def call(payload: dict) -> dict:
+                proc.stdin.write(json.dumps(payload) + "\n")
+                proc.stdin.flush()
+                line = proc.stdout.readline()
+                if not line:
+                    _fail(f"serve closed stdout answering {payload!r}")
+                return json.loads(line)
+
+            opened = call({"op": "open", "session": "smoke", "config": ""})
+            if not opened.get("ok"):
+                _fail(f"open failed: {opened}")
+
+            trace_ids = []
+            for index in range(requests):
+                reply = call(
+                    {
+                        "op": "request",
+                        "session": "smoke",
+                        "target": "ISP_OUT",
+                        "intent": INTENT,
+                        "request_id": f"smoke-{index}",
+                    }
+                )
+                if not reply.get("ok"):
+                    _fail(f"request {index} failed: {reply}")
+                if reply.get("request_id") != f"smoke-{index}":
+                    _fail(f"request_id not echoed: {reply}")
+                if not reply.get("trace_id"):
+                    _fail(f"no trace_id on response: {reply}")
+                trace_ids.append(reply["trace_id"])
+
+            def scrape(path: str) -> str:
+                url = f"http://127.0.0.1:{port}{path}"
+                with urllib.request.urlopen(url, timeout=10) as reply:
+                    return reply.read().decode("utf-8")
+
+            if scrape("/healthz").strip() != "ok":
+                _fail("/healthz did not answer ok")
+            exposition = scrape("/metrics")
+            samples = parse_exposition(exposition)
+            served = sum(samples.get("clarify_serve_requests", []))
+            if served < requests:
+                _fail(
+                    f"clarify_serve_requests is {served}, expected at "
+                    f"least {requests}"
+                )
+
+            call({"op": "quit"})
+            proc.stdin.close()
+            proc.wait(timeout=30)
+
+            with open(event_log, "r", encoding="utf-8") as handle:
+                events = [json.loads(line) for line in handle if line.strip()]
+            if len(events) != requests:
+                _fail(
+                    f"wide-event log has {len(events)} event(s), "
+                    f"expected {requests}"
+                )
+            logged = {event.get("trace_id") for event in events}
+            if logged != set(trace_ids):
+                _fail(
+                    "wide-event trace ids do not match the serve "
+                    f"responses: {sorted(logged)} vs {sorted(trace_ids)}"
+                )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    print(
+        f"telemetry smoke: {requests} request(s) served, "
+        f"{len(samples)} metric name(s) scraped, exposition valid, "
+        "wide-event log consistent"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=3,
+        help="requests to drive through the serve loop (default: 3)",
+    )
+    args = parser.parse_args(argv)
+    return run_smoke(args.requests)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
