@@ -9,10 +9,11 @@ Three measurements, written to ``benchmarks/BENCH_perf.json`` (and a
 * the same workloads under :func:`repro.perf.cache.disabled`, proving
   the memoized engines return *identical* reports and spaces while
   quantifying what the caches buy;
-* a campaign run serial vs. across a process pool, asserting identical
-  results either way.
+* a campaign run three ways — serial, auto engine (the scaling-gate
+  number), and forced persistent pool — asserting identical results on
+  every leg and that parallel does not lose to serial.
 
-Timings are best-of-three from cold caches: the suite asserts on the
+Timings are best-of-N from cold caches: the suite asserts on the
 minimum (robust against scheduler noise) and reports it.
 """
 
@@ -22,6 +23,7 @@ import time
 from repro import obs
 from repro.perf import cache as perf
 from repro.perf import campaign
+from repro.perf import pool as worker_pool
 
 from conftest import OBS_SNAPSHOT_PATH, _write_atomic
 
@@ -29,11 +31,22 @@ PERF_SNAPSHOT_PATH = OBS_SNAPSHOT_PATH.parent / "BENCH_perf.json"
 
 #: The 64-rule rows of benchmarks/results.txt as committed by PR 3,
 #: before the repro.perf cache layer existed.  The acceptance bar for
-#: this PR is a >=3x improvement on both.
+#: that PR was a >=3x improvement on both.
 COMMITTED_OVERLAP64 = 0.1645
 COMMITTED_REACH64 = 0.1894
 
-ROUNDS = 3
+#: The uncached 64-rule overlap row as committed before the batch
+#: interval kernels existed (the per-pair space walk).  The kernel
+#: sweep must beat it by >=1.5x single-threaded, caches off.
+PRIOR_UNCACHED_OVERLAP64 = 0.02898
+
+ROUNDS = 5
+
+#: Campaign legs are heavier; best-of-three bounds the suite's runtime
+#: while still shedding scheduler hiccups.  Rounds are interleaved
+#: across the engines so clock drift between phases cannot bias one
+#: leg against another.
+CAMPAIGN_ROUNDS = 3
 
 
 def _overlap64():
@@ -119,10 +132,16 @@ def test_bench_perf_speedup_and_equivalence(benchmark, report):
 
     overlap_speedup = COMMITTED_OVERLAP64 / overlap_s
     reach_speedup = COMMITTED_REACH64 / reach_s
-    # The PR's acceptance bar: both 64-rule rows at least 3x faster than
-    # the timings committed before the cache layer existed.
+    # The cache layer's acceptance bar: both 64-rule rows at least 3x
+    # faster than the timings committed before it existed.
     assert overlap_speedup >= 3.0, f"overlap64 speedup {overlap_speedup:.2f}x"
     assert reach_speedup >= 3.0, f"reach64 speedup {reach_speedup:.2f}x"
+
+    # The batch kernels' acceptance bar: the uncached overlap sweep
+    # (caches buy nothing, so this isolates the kernels) at least 1.5x
+    # faster than the per-pair walk committed before them.
+    kernel_speedup = PRIOR_UNCACHED_OVERLAP64 / overlap_off_s
+    assert kernel_speedup >= 1.5, f"kernel speedup {kernel_speedup:.2f}x"
 
     hit_rate = hits / (hits + misses) if hits + misses else 0.0
 
@@ -132,12 +151,16 @@ def test_bench_perf_speedup_and_equivalence(benchmark, report):
         "committed": {
             "overlap64_s": COMMITTED_OVERLAP64,
             "reach64_s": COMMITTED_REACH64,
+            "prior_uncached_overlap64_s": PRIOR_UNCACHED_OVERLAP64,
         },
         "cached": {"overlap64_s": overlap_s, "reach64_s": reach_s},
         "uncached": {"overlap64_s": overlap_off_s, "reach64_s": reach_off_s},
         "speedup_vs_committed": {
             "overlap64": round(overlap_speedup, 2),
             "reach64": round(reach_speedup, 2),
+        },
+        "kernel_speedup_vs_prior_uncached": {
+            "overlap64": round(kernel_speedup, 2),
         },
         "speedup_vs_uncached": {
             "overlap64": round(overlap_off_s / overlap_s, 2),
@@ -165,50 +188,96 @@ def test_bench_perf_speedup_and_equivalence(benchmark, report):
         f"{reach_off_s:<16.4f}{reach_speedup:.1f}x\n\n"
         f"results identical with caches disabled -> the layer is a pure "
         f"speedup ({hits} cache hits / {misses} misses, "
-        f"{hit_rate:.0%} hit rate over one cold run of both rows)",
+        f"{hit_rate:.0%} hit rate over one cold run of both rows; "
+        f"uncached overlap64 {kernel_speedup:.1f}x faster than the "
+        f"pre-kernel per-pair walk)",
     )
+
+
+def _timed_study(pool_mode, workers):
+    """One campus study on one engine; returns ``(result, seconds)``."""
+    start = time.perf_counter()
+    outcome = campaign.campus_overlap_study(
+        workers=workers, chunks=4, total_acls=600, route_maps=20,
+        pool=pool_mode,
+    )
+    return outcome, time.perf_counter() - start
 
 
 def test_bench_perf_campaign_identity(benchmark, report):
     def measure():
-        start = time.perf_counter()
-        serial = campaign.campus_overlap_study(
-            workers=1, chunks=4, total_acls=600, route_maps=20
+        # Legs per round: serial; the auto engine production callers
+        # get (a persistent pool on parallel hardware, in-process on a
+        # single core — its best time is the scaling-gate number); and
+        # a forced persistent pool, which exercises real worker
+        # processes even on a one-core host where auto (correctly)
+        # stays in-process.
+        legs = [("serial", 1), ("auto", 2)]
+        if worker_pool.fork_available():
+            legs.append(("persistent", 2))
+        results = {}
+        times = {}
+        for _ in range(CAMPAIGN_ROUNDS):
+            for mode, workers in legs:
+                outcome, elapsed = _timed_study(mode, workers)
+                results[mode] = outcome
+                times[mode] = min(times.get(mode, elapsed), elapsed)
+        serial, parallel = results["serial"], results["auto"]
+        pooled = results.get("persistent", parallel)
+        return (
+            serial, parallel, pooled,
+            times["serial"], times["auto"], times.get("persistent"),
         )
-        serial_s = time.perf_counter() - start
-        start = time.perf_counter()
-        parallel = campaign.campus_overlap_study(
-            workers=2, chunks=4, total_acls=600, route_maps=20
-        )
-        parallel_s = time.perf_counter() - start
-        return serial, parallel, serial_s, parallel_s
 
-    serial, parallel, serial_s, parallel_s = benchmark.pedantic(
-        measure, rounds=1, iterations=1
+    serial, parallel, pooled, serial_s, parallel_s, pooled_s = (
+        benchmark.pedantic(measure, rounds=1, iterations=1)
     )
-    # The campaign contract: a process-pool run is indistinguishable
-    # from the serial fallback.
+    # The campaign contract: every engine is indistinguishable from the
+    # serial fallback.
     assert serial == parallel
+    assert serial == pooled
+    identical = serial == parallel == pooled
+
+    # The scaling contract: the engine callers actually get must not
+    # lose to serial (the CI gate re-checks the written snapshot with
+    # its own tolerance for shared runners).
+    assert parallel_s <= serial_s * 1.25, (
+        f"auto-engine campaign {parallel_s:.3f}s lost to serial "
+        f"{serial_s:.3f}s"
+    )
 
     existing = {}
     part_path = PERF_SNAPSHOT_PATH.with_name("BENCH_perf.part.json")
     if part_path.exists():
         existing = json.loads(part_path.read_text())
         part_path.unlink()
+    engine = campaign._choose_engine("auto", 2)
     existing["campaign"] = {
         "study": "campus (600 ACLs, 20 route-maps)",
         "serial_s": round(serial_s, 4),
         "parallel_2worker_s": round(parallel_s, 4),
-        "identical": True,
+        "pooled_2worker_s": (
+            round(pooled_s, 4) if pooled_s is not None else None
+        ),
+        "auto_engine": engine,
+        "identical": identical,
     }
     _write_atomic(PERF_SNAPSHOT_PATH, json.dumps(existing, indent=2) + "\n")
 
+    pooled_row = (
+        f"persistent pool (2):  {pooled_s:.2f}s\n"
+        if pooled_s is not None
+        else ""
+    )
     report(
         "repro.perf.campaign: serial vs parallel",
-        "campus subset (600 ACLs, 20 route-maps), 4 chunks\n"
+        "campus subset (600 ACLs, 20 route-maps), 4 chunks, "
+        f"best of {CAMPAIGN_ROUNDS}\n"
         f"serial (1 worker):    {serial_s:.2f}s\n"
-        f"process pool (2):     {parallel_s:.2f}s\n"
-        "results and merged counters byte-identical "
-        "(single-core containers pay pool overhead; counters do not "
-        "depend on the worker count, only on the fixed chunking)",
+        f"auto engine (2):      {parallel_s:.2f}s  [{engine}]\n"
+        f"{pooled_row}"
+        "results and merged counters byte-identical on every engine "
+        "(auto stays in-process on a single core, where serial is the "
+        "optimum; counters depend on the fixed chunking, never on "
+        "workers or engine)",
     )

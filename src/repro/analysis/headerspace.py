@@ -25,6 +25,7 @@ from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.perf import cache as _perf
+from repro.perf import kernels as _kernels
 from repro.config.acl import (
     FULL_PORT_RANGE,
     FULL_PROTOCOL_RANGE,
@@ -61,6 +62,146 @@ _R_WITNESS = _perf.Memo("headerspace.witness")
 def intern_region(region: "PacketRegion") -> "PacketRegion":
     """The canonical shared object for this region's constraint."""
     return _REGION_INTERNER.intern(region)
+
+
+#: Below this many region pairs, the batched kernel screens cost more
+#: (field encoding, and numpy call overhead on tiny matrices) than
+#: per-pair ``regions_disjoint`` calls save.
+_MATRIX_MIN_PAIRS = 128
+
+#: The interval-bearing PacketRegion fields, in canonical order.
+_REGION_FIELDS = ("src", "dst", "protocol", "src_ports", "dst_ports")
+
+
+def _established_mask(region: "PacketRegion") -> int:
+    # bit 0: True in established, bit 1: False in established.
+    return (1 if True in region.established else 0) | (
+        2 if False in region.established else 0
+    )
+
+
+def regions_disjoint_matrix(
+    a_regions: Sequence["PacketRegion"],
+    b_regions: Sequence["PacketRegion"],
+) -> List[bytearray]:
+    """Exact batched :func:`regions_disjoint` over the cross product.
+
+    ``out[i][j]`` is 1 iff ``regions_disjoint(a_regions[i],
+    b_regions[j])``.  Each field is flattened once per side
+    (:func:`repro.perf.kernels.encode`) and swept with the batch
+    disjointness kernel, replacing ``len(a) * len(b)`` memo-keyed
+    ``IntervalSet.intersect`` calls with array sweeps; the
+    established/TCP coupling is combined per pair exactly as
+    :func:`regions_disjoint` does.
+    """
+    enc_a = [
+        _kernels.encode([getattr(r, field) for r in a_regions])
+        for field in _REGION_FIELDS
+    ]
+    if b_regions is a_regions:
+        enc_b = enc_a
+    else:
+        enc_b = [
+            _kernels.encode([getattr(r, field) for r in b_regions])
+            for field in _REGION_FIELDS
+        ]
+    field_disjoint = [
+        _kernels.disjoint_matrix(ea, eb) for ea, eb in zip(enc_a, enc_b)
+    ]
+    tcp_a = _kernels.contains_vector(enc_a[2], _TCP)
+    tcp_b = tcp_a if enc_b is enc_a else _kernels.contains_vector(enc_b[2], _TCP)
+    est_a = [_established_mask(r) for r in a_regions]
+    est_b = est_a if b_regions is a_regions else [
+        _established_mask(r) for r in b_regions
+    ]
+    out: List[bytearray] = []
+    n_b = len(b_regions)
+    for i in range(len(a_regions)):
+        row = bytearray(n_b)
+        rows = [matrix[i] for matrix in field_disjoint]
+        mask_i = est_a[i]
+        tcp_i = tcp_a[i]
+        for j in range(n_b):
+            pair_est = mask_i & est_b[j]
+            if (
+                pair_est == 0
+                or rows[0][j]
+                or rows[1][j]
+                or rows[2][j]
+                or rows[3][j]
+                or rows[4][j]
+                or (pair_est == 1 and not (tcp_i and tcp_b[j]))
+            ):
+                row[j] = 1
+        out.append(row)
+    return out
+
+
+def regions_subsume_matrix(
+    a_regions: Sequence["PacketRegion"],
+    b_regions: Sequence["PacketRegion"],
+) -> List[bytearray]:
+    """Exact batched containment: ``out[i][j]`` is 1 iff
+    ``b_regions[j].subsumes(a_regions[i])`` (every packet of ``a_i`` is
+    in ``b_j``).
+
+    The field-wise interval containments run as batch kernels over the
+    flattened encodings; the established/TCP coupling mirrors
+    :meth:`PacketRegion.subsumes` exactly, case for case.
+    """
+    enc_a = [
+        _kernels.encode([getattr(r, field) for r in a_regions])
+        for field in _REGION_FIELDS
+    ]
+    if b_regions is a_regions:
+        enc_b = enc_a
+    else:
+        enc_b = [
+            _kernels.encode([getattr(r, field) for r in b_regions])
+            for field in _REGION_FIELDS
+        ]
+    field_subset = [
+        _kernels.subset_matrix(ea, eb) for ea, eb in zip(enc_a, enc_b)
+    ]
+    tcp_a = _kernels.contains_vector(enc_a[2], _TCP)
+    tcp_b = tcp_a if enc_b is enc_a else _kernels.contains_vector(enc_b[2], _TCP)
+    est_a = [_established_mask(r) for r in a_regions]
+    est_b = est_a if b_regions is a_regions else [
+        _established_mask(r) for r in b_regions
+    ]
+    empty_a = [r.is_empty() for r in a_regions]
+    empty_b = empty_a if b_regions is a_regions else [
+        r.is_empty() for r in b_regions
+    ]
+    sub_src, sub_dst, sub_pr, sub_sp, sub_dp = field_subset
+    out: List[bytearray] = []
+    n_b = len(b_regions)
+    for i in range(len(a_regions)):
+        row = bytearray(n_b)
+        mask_i = est_a[i]
+        tcp_i = tcp_a[i]
+        for j in range(n_b):
+            if empty_a[i]:
+                row[j] = 1
+                continue
+            if empty_b[j]:
+                continue
+            if not (
+                sub_src[i][j]
+                and sub_dst[i][j]
+                and sub_sp[i][j]
+                and sub_dp[i][j]
+            ):
+                continue
+            # The non-established part spans a_i's whole protocol set.
+            if (mask_i & 2) and (not (est_b[j] & 2) or not sub_pr[i][j]):
+                continue
+            # The established part is TCP-only.
+            if (mask_i & 1) and tcp_i and not ((est_b[j] & 1) and tcp_b[j]):
+                continue
+            row[j] = 1
+        out.append(row)
+    return out
 
 
 def regions_disjoint(a: "PacketRegion", b: "PacketRegion") -> bool:
@@ -409,7 +550,20 @@ class PacketSpace:
 
     def intersect(self, other: "PacketSpace") -> "PacketSpace":
         obs.count("headerspace.intersections")
-        out = [a.intersect(b) for a in self.regions for b in other.regions]
+        mine, theirs = self.regions, other.regions
+        if len(mine) * len(theirs) >= _MATRIX_MIN_PAIRS:
+            # Batch-screen the cross product: products the kernel proves
+            # empty would be dropped by _dedupe anyway, so skipping them
+            # changes nothing but the work done.
+            disjoint = regions_disjoint_matrix(mine, theirs)
+            out = [
+                a.intersect(b)
+                for i, a in enumerate(mine)
+                for j, b in enumerate(theirs)
+                if not disjoint[i][j]
+            ]
+        else:
+            out = [a.intersect(b) for a in mine for b in theirs]
         return PacketSpace(tuple(out))
 
     def complement(self) -> "PacketSpace":
@@ -420,11 +574,24 @@ class PacketSpace:
         obs.count("headerspace.subtractions")
         remaining = list(self.regions)
         for taken in other.regions:
-            remaining = [
-                piece
-                for region in remaining
-                for piece in region.subtract_region(taken)
-            ]
+            if len(remaining) >= _MATRIX_MIN_PAIRS:
+                # Batch-screen the column: regions provably disjoint from
+                # ``taken`` pass through untouched — exactly the
+                # ``(self,)`` fast path of subtract_region.
+                disjoint = regions_disjoint_matrix(remaining, (taken,))
+                carved: List[PacketRegion] = []
+                for index, region in enumerate(remaining):
+                    if disjoint[index][0]:
+                        carved.append(region)
+                    else:
+                        carved.extend(region.subtract_region(taken))
+                remaining = carved
+            else:
+                remaining = [
+                    piece
+                    for region in remaining
+                    for piece in region.subtract_region(taken)
+                ]
             if not remaining:
                 break
         return PacketSpace(tuple(remaining))
@@ -521,5 +688,7 @@ __all__ = [
     "acl_rule_region",
     "intern_region",
     "regions_disjoint",
+    "regions_disjoint_matrix",
+    "regions_subsume_matrix",
     "wildcard_to_intervals",
 ]

@@ -153,6 +153,88 @@ def regions_cheaply_disjoint(a: "RouteRegion", b: "RouteRegion") -> bool:
     return bounds_a[1] < bounds_b[0] or bounds_b[1] < bounds_a[0]
 
 
+def spaces_cheaply_disjoint_matrix(
+    spaces: Sequence["RouteSpace"],
+) -> List[bytearray]:
+    """Batched all-pairs :func:`regions_cheaply_disjoint` pre-check.
+
+    ``out[i][j]`` is 1 iff every region product of ``spaces[i]`` and
+    ``spaces[j]`` is provably disjoint — exactly
+    ``all(regions_cheaply_disjoint(ra, rb) for ra in spaces[i].regions
+    for rb in spaces[j].regions)``, which is what the overlap detector's
+    stanza pre-check asks per pair.  All regions of all spaces are
+    flattened and their scalar fields encoded **once**
+    (:func:`repro.perf.kernels.encode`), so the interval part of the
+    check runs as array sweeps instead of ``O(pairs * fields)``
+    memo-keyed ``IntervalSet.intersect`` calls; the pattern-clash and
+    prefix-bounds parts stay per-product (they are set/None tests).
+    """
+    from repro.perf import kernels as _kernels
+
+    regions: List[RouteRegion] = []
+    slices: List[Tuple[int, int]] = []
+    for space in spaces:
+        start = len(regions)
+        regions.extend(space.regions)
+        slices.append((start, len(regions)))
+    count = len(spaces)
+    if not regions:
+        return [bytearray([1] * count) for _ in range(count)]
+    encoded = [
+        _kernels.encode([getattr(r, field) for r in regions])
+        for field in SCALAR_UNIVERSES
+    ]
+    scalar_disjoint = [
+        _kernels.disjoint_matrix(enc, enc) for enc in encoded
+    ]
+    bounds = [region.prefix.bounds() for region in regions]
+
+    def product_disjoint(x: int, y: int) -> bool:
+        rx, ry = regions[x], regions[y]
+        if rx.communities_required & ry.communities_forbidden:
+            return True
+        if ry.communities_required & rx.communities_forbidden:
+            return True
+        if rx.as_path_required & ry.as_path_forbidden:
+            return True
+        if ry.as_path_required & rx.as_path_forbidden:
+            return True
+        if any(matrix[x][y] for matrix in scalar_disjoint):
+            return True
+        bounds_x, bounds_y = bounds[x], bounds[y]
+        if bounds_x is None or bounds_y is None:
+            return True
+        return bounds_x[1] < bounds_y[0] or bounds_y[1] < bounds_x[0]
+
+    out: List[bytearray] = []
+    for i in range(count):
+        row = bytearray(count)
+        lo_i, hi_i = slices[i]
+        for j in range(count):
+            lo_j, hi_j = slices[j]
+            row[j] = (
+                1
+                if all(
+                    product_disjoint(x, y)
+                    for x in range(lo_i, hi_i)
+                    for y in range(lo_j, hi_j)
+                )
+                else 0
+            )
+        out.append(row)
+    return out
+
+
+def spaces_cheaply_disjoint(a: "RouteSpace", b: "RouteSpace") -> bool:
+    """Sound, incomplete disjointness of two spaces (kernel-batched).
+
+    Exactly ``all(regions_cheaply_disjoint(ra, rb) for ra in a.regions
+    for rb in b.regions)``.
+    """
+    matrix = spaces_cheaply_disjoint_matrix((a, b))
+    return bool(matrix[0][1])
+
+
 @dataclasses.dataclass(frozen=True)
 class RouteRegion:
     """A conjunctive constraint over every matchable route field."""
@@ -697,5 +779,7 @@ __all__ = [
     "prefix_list_space",
     "regions_cheaply_disjoint",
     "route_map_reachable_spaces",
+    "spaces_cheaply_disjoint",
+    "spaces_cheaply_disjoint_matrix",
     "stanza_guard_space",
 ]

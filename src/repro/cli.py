@@ -365,7 +365,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     workers = 1 if args.serial else args.workers
 
-    def run(worker_count: Optional[int]):
+    def run(worker_count: Optional[int], pool: Optional[str] = None):
+        pool = pool if pool is not None else args.pool
         if args.which == "campus":
             from repro.synth.campus import TOTAL_ACLS, TOTAL_ROUTE_MAPS
 
@@ -375,6 +376,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 seed=args.seed if args.seed is not None else 1421,
                 total_acls=max(1, round(TOTAL_ACLS * args.scale)),
                 route_maps=max(1, round(TOTAL_ROUTE_MAPS * args.scale)),
+                pool=pool,
             )
             return acl_stats, rm_stats
         if args.which == "cloud":
@@ -383,10 +385,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 chunks=args.chunks,
                 seed=args.seed if args.seed is not None else 2025,
                 scale=args.scale,
+                pool=pool,
             )
             return acl_stats, rm_stats
         return campaign.evaluation_campaign(
-            runs=args.runs, workers=worker_count, chunks=args.chunks
+            runs=args.runs, workers=worker_count, chunks=args.chunks, pool=pool
         ).results
 
     def render(outcome) -> None:
@@ -406,7 +409,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.benchmark:
         start = time.perf_counter()
-        serial_outcome = run(1)
+        serial_outcome = run(1, pool="serial")
         serial_elapsed = time.perf_counter() - start
         start = time.perf_counter()
         parallel_outcome = run(workers)
@@ -542,6 +545,7 @@ def cmd_netlint(args: argparse.Namespace) -> int:
         contracts=contracts,
         workers=args.workers,
         chunks=args.chunks,
+        pool=args.pool,
     )
     if args.title:
         title = args.title
@@ -651,12 +655,63 @@ def cmd_bench_check(args: argparse.Namespace) -> int:
     ``span.*`` timing regressions fail unless ``--timing-warn-only``.
     With ``--slo-report`` a ``clarify loadgen --output`` artifact's SLO
     verdict is checked too (``--slo-only`` skips the snapshot diff).
-    Exit status: 0 clean, 2 on regression or an alerting SLO, 1 on
-    unreadable snapshots/artifacts.
+    With ``--perf-snapshot`` the campaign scaling contract inside a
+    ``BENCH_perf.json`` artifact is checked: parallel must not lose to
+    serial by more than ``--campaign-tolerance`` and the serial/parallel
+    results must have been identical (``--perf-only`` skips the
+    snapshot diff).  Exit status: 0 clean, 2 on regression, an alerting
+    SLO, or a scaling violation, 1 on unreadable snapshots/artifacts.
     """
     import json as _json
 
     from repro.obs import regress
+
+    perf_failures: List[str] = []
+    if args.perf_snapshot:
+        try:
+            with open(args.perf_snapshot, "r", encoding="utf-8") as handle:
+                perf = _json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read perf snapshot: {exc}", file=sys.stderr)
+            return 1
+        block = perf.get("campaign")
+        if not isinstance(block, dict):
+            print(
+                f"error: {args.perf_snapshot} carries no campaign block "
+                "(regenerate with the perf benchmark suite)",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            serial_s = float(block["serial_s"])
+            parallel_s = float(block["parallel_2worker_s"])
+        except (KeyError, TypeError, ValueError):
+            print(
+                f"error: {args.perf_snapshot} campaign block is missing "
+                "serial_s/parallel_2worker_s timings",
+                file=sys.stderr,
+            )
+            return 1
+        if not block.get("identical", False):
+            perf_failures.append(
+                "campaign serial and parallel results were NOT identical"
+            )
+        allowed = serial_s * (1.0 + args.campaign_tolerance)
+        if parallel_s > allowed:
+            perf_failures.append(
+                f"campaign parallel_2worker_s {parallel_s:.4f}s exceeds "
+                f"serial_s {serial_s:.4f}s by more than "
+                f"{args.campaign_tolerance:.0%} (limit {allowed:.4f}s)"
+            )
+        for failure in perf_failures:
+            print(f"PERF SCALING: {failure}", file=sys.stderr)
+        if not perf_failures:
+            print(
+                f"campaign scaling: parallel {parallel_s:.4f}s vs serial "
+                f"{serial_s:.4f}s (identical results) ok"
+            )
+        if args.perf_only:
+            return 2 if perf_failures else 0
 
     slo_failures: List[str] = []
     if args.slo_report:
@@ -705,7 +760,7 @@ def cmd_bench_check(args: argparse.Namespace) -> int:
         print(regress.render_json(report))
     else:
         print(regress.render_text(report, verbose=args.verbose))
-    return 0 if report.ok and not slo_failures else 2
+    return 0 if report.ok and not slo_failures and not perf_failures else 2
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -1302,6 +1357,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force the in-process serial fallback (workers=1)",
     )
+    p_campaign.add_argument(
+        "--pool",
+        choices=("auto", "persistent", "spawn", "serial"),
+        default=None,
+        help="worker-pool engine: 'persistent' reuses fork-warm workers "
+        "across campaigns, 'spawn' builds a fresh pool per campaign, "
+        "'serial' runs in process, 'auto' picks per machine (default: "
+        "the REPRO_POOL environment variable, else auto)",
+    )
     p_campaign.add_argument("--seed", type=int, default=None)
     p_campaign.add_argument("--scale", type=float, default=1.0)
     p_campaign.add_argument(
@@ -1422,7 +1486,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunks",
         type=int,
         default=None,
-        help="chunk count for the pool (default: the worker count)",
+        help="chunk count for the pool (default: calibrated)",
+    )
+    p_netlint.add_argument(
+        "--pool",
+        choices=("auto", "persistent", "spawn", "serial"),
+        default=None,
+        help="worker-pool engine for --workers > 1 (see 'clarify "
+        "campaign --pool'; default: the REPRO_POOL environment "
+        "variable, else auto)",
     )
     p_netlint.add_argument(
         "--format",
@@ -1525,6 +1597,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --slo-report, check only the SLO verdict and skip "
         "the snapshot diff",
+    )
+    p_bench.add_argument(
+        "--perf-snapshot",
+        metavar="PATH",
+        help="also gate on the campaign scaling contract inside a "
+        "BENCH_perf.json artifact: fails when parallel_2worker_s "
+        "exceeds serial_s by more than --campaign-tolerance, or when "
+        "the serial/parallel results were not identical",
+    )
+    p_bench.add_argument(
+        "--campaign-tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative slack on parallel vs serial campaign time "
+        "(default: %(default)s; raise on noisy shared runners)",
+    )
+    p_bench.add_argument(
+        "--perf-only",
+        action="store_true",
+        help="with --perf-snapshot, check only the scaling contract and "
+        "skip the snapshot diff",
     )
     p_bench.set_defaults(func=cmd_bench_check)
 

@@ -16,10 +16,16 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Tuple
 
-from repro.analysis.headerspace import PacketSpace, acl_guard_space
+from repro.analysis.headerspace import (
+    PacketSpace,
+    acl_guard_space,
+    acl_rule_region,
+    regions_disjoint_matrix,
+    regions_subsume_matrix,
+)
 from repro.analysis.routespace import (
     RouteSpace,
-    regions_cheaply_disjoint,
+    spaces_cheaply_disjoint_matrix,
     stanza_guard_space,
 )
 from repro.config.acl import Acl, AclRule
@@ -133,7 +139,51 @@ def acl_overlap_report(acl: Acl, with_witnesses: bool = False) -> AclOverlapRepo
     """Classify every rule pair of ``acl``.
 
     With ``with_witnesses`` each overlapping pair carries a concrete
-    packet matched by both rules (what an operator would want to see).
+    packet matched by both rules (what an operator would want to see);
+    that path walks the symbolic spaces pair by pair.  Without
+    witnesses — the §3 campaign hot path — the whole all-pairs sweep
+    runs on the batch interval kernels (:mod:`repro.perf.kernels`):
+    every rule's region fields are flattened once and the pairwise
+    disjointness/containment questions are answered as matrices, with
+    results identical to the space walk (the differential tests compare
+    the two paths report for report).
+    """
+    if not with_witnesses:
+        return _acl_overlap_report_matrix(acl)
+    return _acl_overlap_report_spaces(acl, with_witnesses)
+
+
+def _acl_overlap_report_matrix(acl: Acl) -> AclOverlapReport:
+    """The kernel-batched all-pairs sweep (no witnesses)."""
+    regions = [acl_rule_region(rule) for rule in acl.rules]
+    disjoint = regions_disjoint_matrix(regions, regions)
+    subsumed = regions_subsume_matrix(regions, regions)
+    pairs: List[OverlapPair] = []
+    for i in range(len(regions)):
+        disjoint_i = disjoint[i]
+        for j in range(i + 1, len(regions)):
+            if disjoint_i[j]:
+                continue
+            a_in_b = bool(subsumed[i][j])
+            b_in_a = bool(subsumed[j][i])
+            pairs.append(
+                OverlapPair(
+                    seq_a=acl.rules[i].seq,
+                    seq_b=acl.rules[j].seq,
+                    conflicting=acl.rules[i].action != acl.rules[j].action,
+                    subset=a_in_b or b_in_a,
+                    witness=None,
+                    a_in_b=a_in_b,
+                    b_in_a=b_in_a,
+                )
+            )
+    return AclOverlapReport(acl.name, len(acl.rules), tuple(pairs))
+
+
+def _acl_overlap_report_spaces(
+    acl: Acl, with_witnesses: bool
+) -> AclOverlapReport:
+    """The pair-by-pair space walk (carries witnesses).
 
     Rule pairs whose src/dst/protocol interval bounds cannot overlap are
     skipped before any symbolic region is built; guard spaces are built
@@ -187,16 +237,14 @@ def route_map_overlap_report(
     guards: List[RouteSpace] = [
         stanza_guard_space(stanza, store) for stanza in route_map.stanzas
     ]
+    # Field-wise pre-check, batched: every stanza's scalar fields are
+    # encoded once and swept with the batch kernels, answering "is every
+    # region product provably disjoint?" for all stanza pairs up front.
+    cheaply_disjoint = spaces_cheaply_disjoint_matrix(guards)
     pairs: List[OverlapPair] = []
     for i in range(len(route_map.stanzas)):
         for j in range(i + 1, len(route_map.stanzas)):
-            # Field-wise pre-check: if every region pair is provably
-            # disjoint, skip without products or automaton searches.
-            if all(
-                regions_cheaply_disjoint(ra, rb)
-                for ra in guards[i].regions
-                for rb in guards[j].regions
-            ):
+            if cheaply_disjoint[i][j]:
                 continue
             intersection = guards[i].intersect(guards[j])
             if intersection.is_empty():

@@ -8,12 +8,39 @@ the output *indistinguishable from a serial run*:
 * the payload list is pre-partitioned into **contiguous chunks** whose
   boundaries depend only on the payload count and the chunk count, never
   on scheduling, and results are reassembled in chunk order;
-* every chunk starts from **cold caches** (:func:`repro.perf.cache.clear_caches`)
-  and records into a **fresh** :class:`repro.obs.Recorder`, so the
-  per-chunk counters — including the ``cache.*`` hit/miss counters —
-  are a pure function of the chunk's payloads;
+* every chunk starts from **cold cache tables** (the per-chunk
+  :func:`repro.perf.cache.isolated` scope) and records into a **fresh**
+  :class:`repro.obs.Recorder`, so the per-chunk counters — including the
+  ``cache.*`` hit/miss counters — are a pure function of the chunk's
+  payloads;
 * the per-chunk counters are merged by summation in sorted name order
   and published to the caller's active recorder once.
+
+Parallel chunks run on the **persistent pool**
+(:mod:`repro.perf.pool`): workers forked once from the warm parent and
+reused across campaign calls, so repeat campaigns stop paying process
+spawn and cold imports.  Only per-chunk *mutable* state (memo-table
+entries, hit/miss tallies) is cleared between chunks; the fork-inherited
+module graph and the interner's canonical module-level constants stay
+warm.  The ``pool`` argument (or ``REPRO_POOL``) picks the engine:
+
+``auto`` (default)
+    persistent pool when the host has >1 CPU and ``fork`` exists;
+    otherwise in-process (on a single core, serial *is* the optimum).
+``persistent``
+    always the persistent pool (the identity tests force this to
+    exercise real worker processes even on one core).
+``spawn``
+    the legacy per-campaign ``ProcessPoolExecutor``.
+``serial``
+    in-process, single logical worker.
+
+When ``chunks`` is not pinned and the persistent pool is in play, a
+tiny **calibration pass** times the first few payloads (as real chunk
+0) and sizes the remaining chunks toward a per-chunk wall-time target,
+instead of the old ``chunks == workers`` rule.  Pin *both* ``workers``
+and ``chunks`` when counters must be reproducible across machines, as
+the benchmark suite does.
 
 The serial fallback (``workers=1``, or a pool that cannot start) runs
 the *identical* chunk function in-process, so a serial campaign produces
@@ -32,7 +59,9 @@ re-exported from ``repro.perf``'s ``__init__``; import it explicitly::
 from __future__ import annotations
 
 import dataclasses
+import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import (
     Any,
@@ -51,6 +80,7 @@ from repro.obs.telemetry import TraceContext
 from repro.overlap.chains import chain_overlap_report
 from repro.overlap.detector import acl_overlap_report, route_map_overlap_report
 from repro.perf import cache as _perf
+from repro.perf import pool as _pool
 
 Number = Union[int, float]
 
@@ -116,12 +146,18 @@ def _chunk_bounds(count: int, chunk_count: int) -> List[Tuple[int, int]]:
 
     Depends only on the two counts, so the partition — and therefore the
     per-chunk cache behaviour — is identical however the chunks are later
-    scheduled onto workers.
+    scheduled onto workers.  When ``chunk_count > count`` (including
+    single-item and empty campaigns) the surplus chunks would be empty;
+    they are dropped rather than emitted, so no worker is ever handed an
+    empty chunk and no chunk idles a worker.
     """
-    base, extra = divmod(count, chunk_count)
+    if count <= 0:
+        return []
+    effective = max(1, min(chunk_count, count))
+    base, extra = divmod(count, effective)
     bounds: List[Tuple[int, int]] = []
     start = 0
-    for index in range(chunk_count):
+    for index in range(effective):
         size = base + (1 if index < extra else 0)
         bounds.append((start, start + size))
         start += size
@@ -186,49 +222,165 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+#: Valid ``pool=`` / ``REPRO_POOL`` engine names.
+POOL_MODES = ("auto", "persistent", "spawn", "serial")
+
+#: Calibration pass: time this many leading payloads as real chunk 0...
+_PROBE_ITEMS = 4
+
+#: ...then size the remaining chunks toward this much wall time each.
+_TARGET_CHUNK_SECONDS = 0.05
+
+#: Upper bound on calibrated chunks, per worker (keeps per-chunk
+#: pickle/IPC overhead amortized even when items are microseconds).
+_MAX_CHUNKS_PER_WORKER = 16
+
+
+def resolve_pool_mode(pool: Optional[str] = None) -> str:
+    """The campaign engine: ``pool`` argument, else ``REPRO_POOL``, else auto."""
+    mode = pool if pool is not None else os.environ.get("REPRO_POOL", "")
+    mode = mode.strip() or "auto"
+    if mode not in POOL_MODES:
+        raise ValueError(
+            f"unknown pool mode {mode!r}; known: {', '.join(POOL_MODES)}"
+        )
+    return mode
+
+
+def _choose_engine(mode: str, worker_count: int) -> str:
+    """Pick the execution engine (``inline``/``persistent``/``spawn``)."""
+    if mode == "serial" or worker_count == 1:
+        return "inline"
+    if mode == "spawn":
+        return "spawn"
+    if mode == "persistent":
+        return "persistent" if _pool.fork_available() else "spawn"
+    # auto: real processes only help with real parallel hardware.
+    if _pool.fork_available() and (os.cpu_count() or 1) > 1:
+        return "persistent"
+    return "inline"
+
+
+def _calibrated_rest_chunks(
+    rest_count: int, probe_seconds: float, worker_count: int
+) -> int:
+    """How many chunks to cut the post-probe payloads into."""
+    per_item = max(probe_seconds, 1e-9) / _PROBE_ITEMS
+    per_chunk = max(1, round(_TARGET_CHUNK_SECONDS / per_item))
+    wanted = math.ceil(rest_count / per_chunk)
+    wanted = max(wanted, worker_count)
+    wanted = min(wanted, worker_count * _MAX_CHUNKS_PER_WORKER, rest_count)
+    return max(1, wanted)
+
+
+def _run_persistent(
+    kind: str,
+    items: List[Any],
+    context: Any,
+    trace: Optional[TraceContext],
+    worker_count: int,
+    chunks: Optional[int],
+) -> Tuple[List[Tuple[List[Any], Dict[str, Number]]], List[List[Any]]]:
+    """Run on the shared persistent pool; returns (outcomes, chunk payloads).
+
+    With ``chunks`` pinned the partition is the usual pure function of
+    the counts.  Without it, the first :data:`_PROBE_ITEMS` payloads run
+    as a timed probe chunk and the measured per-item cost sizes the rest.
+    Raises :class:`repro.perf.pool.PoolBrokenError` /
+    :class:`~repro.perf.pool.PoolTaskError` for the caller's fallback.
+    """
+    shared = _pool.get_shared_pool(worker_count)
+    cache_on = _perf.enabled()
+    if chunks is not None or len(items) <= _PROBE_ITEMS:
+        chunk_count = max(1, min(chunks or worker_count, len(items) or 1))
+        chunk_payloads = [
+            items[lo:hi] for lo, hi in _chunk_bounds(len(items), chunk_count)
+        ]
+        outcomes = shared.run(kind, chunk_payloads, context, trace, cache_on)
+        return outcomes, chunk_payloads
+    probe = items[:_PROBE_ITEMS]
+    started = time.perf_counter()
+    outcomes = shared.run(kind, [probe], context, trace, cache_on)
+    probe_seconds = time.perf_counter() - started
+    rest = items[_PROBE_ITEMS:]
+    rest_chunk_count = _calibrated_rest_chunks(
+        len(rest), probe_seconds, worker_count
+    )
+    rest_chunks = [
+        rest[lo:hi] for lo, hi in _chunk_bounds(len(rest), rest_chunk_count)
+    ]
+    outcomes = outcomes + shared.run(kind, rest_chunks, context, trace, cache_on)
+    return outcomes, [probe] + rest_chunks
+
+
 def run_campaign(
     kind: str,
     payloads: Sequence[Any],
     context: Any = None,
     workers: Optional[int] = None,
     chunks: Optional[int] = None,
+    pool: Optional[str] = None,
 ) -> CampaignResult:
-    """Fan ``payloads`` of one task ``kind`` across a process pool.
+    """Fan ``payloads`` of one task ``kind`` across the campaign pool.
 
     ``workers`` defaults to the CPU count; ``workers=1`` forces the
-    serial in-process fallback.  ``chunks`` defaults to the worker count
-    — fix *both* when counters must be reproducible across machines,
-    as the benchmark suite does.  ``context`` is pickled once per chunk
-    and passed to every task (e.g. the :class:`ConfigStore` route-map
-    guards resolve against).
+    serial in-process fallback.  ``chunks`` defaults to a calibrated
+    partition on the persistent pool (worker count elsewhere) — fix
+    *both* when counters must be reproducible across machines, as the
+    benchmark suite does.  ``context`` is pickled once per worker per
+    campaign on the persistent pool (once per chunk on ``spawn``) and
+    passed to every task (e.g. the :class:`ConfigStore` route-map guards
+    resolve against).  ``pool`` picks the engine (see the module
+    docstring); it defaults to ``REPRO_POOL`` or ``auto``.
     """
     if kind not in _TASKS:
         raise ValueError(
             f"unknown campaign kind {kind!r}; known: {', '.join(task_kinds())}"
         )
+    mode = resolve_pool_mode(pool)
     items = list(payloads)
     worker_count = workers if workers is not None else default_workers()
     worker_count = max(1, min(worker_count, len(items) or 1))
-    chunk_count = chunks if chunks is not None else worker_count
-    chunk_count = max(1, min(chunk_count, len(items) or 1))
-    chunk_payloads = [
-        items[lo:hi] for lo, hi in _chunk_bounds(len(items), chunk_count)
-    ]
+    if mode == "serial":
+        worker_count = 1
+    engine = _choose_engine(mode, worker_count)
 
     trace = telemetry.current_trace()
-    tasks = [(kind, chunk, context, trace) for chunk in chunk_payloads]
-    if worker_count == 1:
-        outcomes = [_run_chunk_task(task) for task in tasks]
-        # In-process chunks already ran under the trace, so the hub saw
-        # every delta as it happened; re-publishing below must therefore
-        # stay trace-free or wide events would double-count.
-        republish_trace: Optional[TraceContext] = None
-    else:
-        with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            outcomes = list(pool.map(_run_chunk_task, tasks))
-        # Pool workers accumulated into private recorders in other
-        # processes; this re-publish is the hub's only sight of them.
-        republish_trace = trace
+    outcomes: Optional[List[Tuple[List[Any], Dict[str, Number]]]] = None
+    chunk_payloads: Optional[List[List[Any]]] = None
+    republish_trace: Optional[TraceContext] = None
+
+    if engine == "persistent":
+        try:
+            outcomes, chunk_payloads = _run_persistent(
+                kind, items, context, trace, worker_count, chunks
+            )
+            # Pool workers accumulated into private recorders in other
+            # processes; the re-publish below is the hub's only sight
+            # of them, so it must carry the trace.
+            republish_trace = trace
+        except (_pool.PoolBrokenError, _pool.PoolTaskError):
+            # Chunk outcomes are pure functions of their payloads, so an
+            # in-process rerun is byte-identical — and a deterministic
+            # task error re-raises as its real exception type here.
+            outcomes = None
+
+    if outcomes is None or chunk_payloads is None:
+        chunk_count = max(1, min(chunks or worker_count, len(items) or 1))
+        chunk_payloads = [
+            items[lo:hi] for lo, hi in _chunk_bounds(len(items), chunk_count)
+        ]
+        tasks = [(kind, chunk, context, trace) for chunk in chunk_payloads]
+        if engine == "spawn" and len(chunk_payloads) > 1:
+            with ProcessPoolExecutor(max_workers=worker_count) as executor:
+                outcomes = list(executor.map(_run_chunk_task, tasks))
+            republish_trace = trace
+        else:
+            outcomes = [_run_chunk_task(task) for task in tasks]
+            # In-process chunks already ran under the trace, so the hub
+            # saw every delta as it happened; re-publishing below must
+            # therefore stay trace-free or wide events would double-count.
+            republish_trace = None
 
     results: List[Any] = []
     merged: Dict[str, Number] = {}
@@ -239,7 +391,9 @@ def run_campaign(
     with telemetry.tracing(republish_trace):
         for name in sorted(merged):
             obs.count(name, merged[name])
-    return CampaignResult(tuple(results), merged, worker_count, chunk_count)
+    return CampaignResult(
+        tuple(results), merged, worker_count, len(chunk_payloads)
+    )
 
 
 # ------------------------------------------------------------ conveniences
@@ -249,9 +403,12 @@ def acl_overlap_campaign(
     acls: Sequence[Any],
     workers: Optional[int] = None,
     chunks: Optional[int] = None,
+    pool: Optional[str] = None,
 ) -> CampaignResult:
     """:func:`repro.overlap.detector.acl_overlap_report` over many ACLs."""
-    return run_campaign("acl-overlap", acls, workers=workers, chunks=chunks)
+    return run_campaign(
+        "acl-overlap", acls, workers=workers, chunks=chunks, pool=pool
+    )
 
 
 def route_map_overlap_campaign(
@@ -259,6 +416,7 @@ def route_map_overlap_campaign(
     store: Any,
     workers: Optional[int] = None,
     chunks: Optional[int] = None,
+    pool: Optional[str] = None,
 ) -> CampaignResult:
     """:func:`repro.overlap.detector.route_map_overlap_report` over many maps."""
     return run_campaign(
@@ -267,6 +425,7 @@ def route_map_overlap_campaign(
         context=store,
         workers=workers,
         chunks=chunks,
+        pool=pool,
     )
 
 
@@ -275,6 +434,7 @@ def chain_overlap_campaign(
     store: Any,
     workers: Optional[int] = None,
     chunks: Optional[int] = None,
+    pool: Optional[str] = None,
 ) -> CampaignResult:
     """:func:`repro.overlap.chains.chain_overlap_report` over neighbor chains."""
     return run_campaign(
@@ -283,6 +443,7 @@ def chain_overlap_campaign(
         context=store,
         workers=workers,
         chunks=chunks,
+        pool=pool,
     )
 
 
@@ -292,6 +453,7 @@ def campus_overlap_study(
     seed: int = 1421,
     total_acls: Optional[int] = None,
     route_maps: Optional[int] = None,
+    pool: Optional[str] = None,
 ) -> Tuple[Any, Any, Any, int]:
     """The §3.2 campus study as a campaign.
 
@@ -309,10 +471,11 @@ def campus_overlap_study(
         kwargs["route_maps"] = route_maps
     corpus = generate_campus_corpus(**kwargs)
     acl_result = acl_overlap_campaign(
-        corpus.acls, workers=workers, chunks=chunks
+        corpus.acls, workers=workers, chunks=chunks, pool=pool
     )
     rm_result = route_map_overlap_campaign(
-        corpus.route_maps, corpus.store, workers=workers, chunks=chunks
+        corpus.route_maps, corpus.store, workers=workers, chunks=chunks,
+        pool=pool,
     )
     acl_stats = AclCorpusStats.collect(acl_result.results)
     rm_stats = RouteMapCorpusStats.collect(rm_result.results)
@@ -334,6 +497,7 @@ def cloud_overlap_study(
     chunks: Optional[int] = None,
     seed: int = 2025,
     scale: float = 1.0,
+    pool: Optional[str] = None,
 ) -> Tuple[Any, Any, Tuple[int, int, int]]:
     """The §3.1 cloud-WAN study as a campaign.
 
@@ -345,13 +509,15 @@ def cloud_overlap_study(
 
     corpus = generate_cloud_corpus(seed=seed, scale=scale)
     acl_result = acl_overlap_campaign(
-        corpus.acls, workers=workers, chunks=chunks
+        corpus.acls, workers=workers, chunks=chunks, pool=pool
     )
     rm_result = route_map_overlap_campaign(
-        corpus.route_maps, corpus.store, workers=workers, chunks=chunks
+        corpus.route_maps, corpus.store, workers=workers, chunks=chunks,
+        pool=pool,
     )
     chain_result = chain_overlap_campaign(
-        corpus.neighbor_chains, corpus.store, workers=workers, chunks=chunks
+        corpus.neighbor_chains, corpus.store, workers=workers, chunks=chunks,
+        pool=pool,
     )
     acl_stats = AclCorpusStats.collect(acl_result.results)
     rm_stats = RouteMapCorpusStats.collect(rm_result.results)
@@ -373,6 +539,7 @@ def netwide_path_campaign(
     devices: Sequence[Any],
     workers: Optional[int] = None,
     chunks: Optional[int] = None,
+    pool: Optional[str] = None,
 ) -> CampaignResult:
     """:func:`repro.lint.netwide.checks.analyze_path` over many paths.
 
@@ -385,6 +552,7 @@ def netwide_path_campaign(
         context=tuple(devices),
         workers=workers,
         chunks=chunks,
+        pool=pool,
     )
 
 
@@ -392,6 +560,7 @@ def evaluation_campaign(
     runs: int = 1,
     workers: Optional[int] = None,
     chunks: Optional[int] = None,
+    pool: Optional[str] = None,
 ) -> CampaignResult:
     """Run the §5 Figure 3 evaluation ``runs`` times across workers.
 
@@ -400,12 +569,17 @@ def evaluation_campaign(
     test asserts exactly that.
     """
     return run_campaign(
-        "figure3-eval", list(range(runs)), workers=workers, chunks=chunks
+        "figure3-eval",
+        list(range(runs)),
+        workers=workers,
+        chunks=chunks,
+        pool=pool,
     )
 
 
 __all__ = [
     "CampaignResult",
+    "POOL_MODES",
     "acl_overlap_campaign",
     "campus_overlap_study",
     "chain_overlap_campaign",
@@ -413,6 +587,7 @@ __all__ = [
     "default_workers",
     "evaluation_campaign",
     "netwide_path_campaign",
+    "resolve_pool_mode",
     "route_map_overlap_campaign",
     "run_campaign",
     "task_kinds",

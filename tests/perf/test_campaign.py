@@ -36,6 +36,20 @@ class TestChunkBounds:
                 flat = [i for lo, hi in bounds for i in range(lo, hi)]
                 assert flat == list(range(count)), (count, chunk_count)
 
+    def test_no_empty_chunks_when_chunks_exceed_items(self):
+        # chunk_count > count used to emit empty chunks that idled
+        # workers; surplus chunks are dropped instead.
+        assert campaign._chunk_bounds(1, 4) == [(0, 1)]
+        assert campaign._chunk_bounds(3, 8) == [(0, 1), (1, 2), (2, 3)]
+        for count in (1, 2, 5):
+            for chunk_count in (1, 3, 16):
+                bounds = campaign._chunk_bounds(count, chunk_count)
+                assert all(hi > lo for lo, hi in bounds), (count, chunk_count)
+                assert len(bounds) == min(count, chunk_count)
+
+    def test_empty_campaign_has_no_chunks(self):
+        assert campaign._chunk_bounds(0, 4) == []
+
     def test_independent_of_worker_count(self):
         # The partition is a pure function of (count, chunks): nothing
         # about scheduling can change which payloads share a cache.
@@ -93,6 +107,75 @@ class TestRunCampaign:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown campaign kind"):
             campaign.run_campaign("no-such-kind", [1])
+
+    def test_single_item_campaign_uses_one_worker_and_chunk(self):
+        acls = _acls(count=1)
+        result = campaign.acl_overlap_campaign(acls, workers=4, chunks=4)
+        assert result.workers == 1
+        assert result.chunks == 1
+        assert list(result.results) == [acl_overlap_report(acls[0])]
+
+    def test_empty_campaign_runs_no_chunks(self):
+        result = campaign.acl_overlap_campaign([], workers=4, chunks=4)
+        assert result.results == ()
+        assert result.chunks == 0
+
+
+class TestPoolModes:
+    def test_resolve_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown pool mode"):
+            campaign.resolve_pool_mode("threads")
+
+    def test_resolve_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL", "spawn")
+        assert campaign.resolve_pool_mode("serial") == "serial"
+        assert campaign.resolve_pool_mode() == "spawn"
+        monkeypatch.delenv("REPRO_POOL")
+        assert campaign.resolve_pool_mode() == "auto"
+
+    def test_serial_mode_forces_one_worker(self):
+        acls = _acls(count=4)
+        result = campaign.acl_overlap_campaign(acls, workers=4, pool="serial")
+        assert result.workers == 1
+
+    @pytest.mark.skipif(
+        not campaign._pool.fork_available(), reason="fork unavailable"
+    )
+    def test_persistent_pool_identical_to_serial(self):
+        # Forced persistent mode exercises real forked workers even on a
+        # one-core host, where auto would (correctly) stay in-process.
+        acls = _acls()
+
+        def run(pool_mode, workers):
+            recorder = obs.Recorder(capture_spans=False)
+            with obs.recording(recorder):
+                result = campaign.acl_overlap_campaign(
+                    acls, workers=workers, chunks=4, pool=pool_mode
+                )
+            return result.results, dict(recorder.counters)
+
+        serial_results, serial_counters = run("serial", 1)
+        pooled_results, pooled_counters = run("persistent", 2)
+        assert serial_results == pooled_results
+        assert serial_counters == pooled_counters
+
+    @pytest.mark.skipif(
+        not campaign._pool.fork_available(), reason="fork unavailable"
+    )
+    def test_persistent_calibration_still_covers_every_payload(self):
+        # No pinned chunks: the probe chunk + calibrated rest must cover
+        # the payload list exactly once, in order.
+        acls = _acls()
+        result = campaign.acl_overlap_campaign(
+            acls, workers=2, pool="persistent"
+        )
+        assert list(result.results) == [acl_overlap_report(a) for a in acls]
+        assert result.chunks >= 2  # the probe plus at least one rest chunk
+
+    def test_choose_engine_degrades_without_parallel_hardware(self):
+        assert campaign._choose_engine("serial", 4) == "inline"
+        assert campaign._choose_engine("auto", 1) == "inline"
+        assert campaign._choose_engine("spawn", 4) == "spawn"
 
     def test_task_kinds_lists_the_registry(self):
         kinds = campaign.task_kinds()

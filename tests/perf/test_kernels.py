@@ -1,0 +1,183 @@
+"""Differential tests for the batch interval kernels.
+
+Every kernel in :mod:`repro.perf.kernels` claims *exact* equivalence
+with the corresponding :class:`~repro.netaddr.intervals.IntervalSet`
+operation.  This suite pins that claim over randomized-but-seeded
+populations laced with the adversarial edges (empty sets, adjacent
+intervals, single points, full-range sets), on every backend the
+process can run — the pure-stdlib sweep always, the numpy fast path
+when numpy is importable.
+"""
+
+import random
+
+import pytest
+
+from repro.netaddr.intervals import EMPTY_SET, IntervalSet
+from repro.perf import kernels
+
+BACKENDS = kernels.available_backends()
+
+#: Universe the random populations draw from; small enough that random
+#: sets collide, overlap, and contain each other often.
+UNIVERSE_HI = 200
+
+#: Hand-picked sets hitting the edges random draws may miss.
+EDGE_SETS = [
+    EMPTY_SET,
+    IntervalSet.single(0),
+    IntervalSet.single(UNIVERSE_HI),
+    IntervalSet.closed(0, UNIVERSE_HI),  # full range
+    IntervalSet.from_pairs([(0, 9), (10, 19)]),  # adjacent: coalesces
+    IntervalSet.from_pairs([(0, 9), (11, 19)]),  # one-apart gap
+    IntervalSet.from_pairs([(5, 5), (7, 7), (9, 9)]),  # point cloud
+    IntervalSet.from_pairs([(0, 99), (150, UNIVERSE_HI)]),
+]
+
+
+def random_sets(seed, count=40):
+    """Seeded random interval sets, edge cases prepended."""
+    rng = random.Random(seed)
+    out = list(EDGE_SETS)
+    while len(out) < count + len(EDGE_SETS):
+        pairs = []
+        for _ in range(rng.randint(0, 4)):
+            lo = rng.randint(0, UNIVERSE_HI)
+            hi = min(UNIVERSE_HI, lo + rng.randint(0, 40))
+            pairs.append((lo, hi))
+        out.append(IntervalSet.from_pairs(pairs))
+    return out
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    with kernels.use_backend(request.param):
+        yield request.param
+
+
+class TestEncoding:
+    def test_decode_roundtrips(self, backend):
+        sets = random_sets(1)
+        flat = kernels.encode(sets)
+        assert len(flat) == len(sets)
+        for i, value in enumerate(sets):
+            assert flat.decode(i) == value
+            assert flat.size(i) == len(value.intervals)
+
+    def test_wide_endpoints_widen_the_typecode(self):
+        narrow = kernels.encode([IntervalSet.closed(0, 0xFFFFFFFF)])
+        wide = kernels.encode([IntervalSet.closed(0, 0x1_0000_0000)])
+        assert narrow.los.typecode == "I"
+        assert wide.los.typecode == "q"
+        assert wide.decode(0) == IntervalSet.closed(0, 0x1_0000_0000)
+
+    def test_empty_set_box_is_empty(self):
+        flat = kernels.encode([EMPTY_SET])
+        assert flat.box_lo[0] > flat.box_hi[0]
+
+
+class TestMatrices:
+    def test_disjoint_matrix_matches_intersect(self, backend):
+        a = random_sets(2)
+        b = random_sets(3)
+        flat_a, flat_b = kernels.encode(a), kernels.encode(b)
+        matrix = kernels.disjoint_matrix(flat_a, flat_b)
+        for i, va in enumerate(a):
+            for j, vb in enumerate(b):
+                expected = va.intersect(vb).is_empty()
+                assert bool(matrix[i][j]) == expected, (i, j)
+
+    def test_subset_matrix_matches_is_subset_of(self, backend):
+        a = random_sets(4)
+        b = random_sets(5)
+        flat_a, flat_b = kernels.encode(a), kernels.encode(b)
+        matrix = kernels.subset_matrix(flat_a, flat_b)
+        for i, va in enumerate(a):
+            for j, vb in enumerate(b):
+                assert bool(matrix[i][j]) == va.is_subset_of(vb), (i, j)
+
+    def test_self_products(self, backend):
+        # The overlap hot path runs a set against itself.
+        sets = random_sets(6)
+        flat = kernels.encode(sets)
+        disjoint = kernels.disjoint_matrix(flat, flat)
+        subset = kernels.subset_matrix(flat, flat)
+        for i, value in enumerate(sets):
+            assert bool(disjoint[i][i]) == value.is_empty()
+            assert subset[i][i] == 1  # every set contains itself
+
+
+class TestElementwise:
+    def test_intersect_many_matches(self, backend):
+        a = random_sets(7)
+        b = list(reversed(random_sets(8, count=len(a) - len(EDGE_SETS))))
+        flat_a, flat_b = kernels.encode(a), kernels.encode(b)
+        result = kernels.intersect_many(flat_a, flat_b)
+        assert result == [va.intersect(vb) for va, vb in zip(a, b)]
+
+    def test_subtract_many_matches(self, backend):
+        a = random_sets(9)
+        b = list(reversed(random_sets(10, count=len(a) - len(EDGE_SETS))))
+        flat_a, flat_b = kernels.encode(a), kernels.encode(b)
+        result = kernels.subtract_many(flat_a, flat_b)
+        assert result == [va.subtract(vb) for va, vb in zip(a, b)]
+
+    def test_length_mismatch_rejected(self, backend):
+        two = kernels.encode([EMPTY_SET, EMPTY_SET])
+        one = kernels.encode([EMPTY_SET])
+        with pytest.raises(ValueError, match="length mismatch"):
+            kernels.intersect_many(two, one)
+        with pytest.raises(ValueError, match="length mismatch"):
+            kernels.subtract_many(two, one)
+
+    def test_contains_vector_matches(self, backend):
+        sets = random_sets(11)
+        flat = kernels.encode(sets)
+        for value in (0, 5, 10, 100, UNIVERSE_HI):
+            got = kernels.contains_vector(flat, value)
+            assert got == [s.contains(value) for s in sets], value
+
+
+class TestBackendSelection:
+    def test_py_backend_always_available(self):
+        assert "py" in kernels.available_backends()
+
+    def test_use_backend_forces_and_restores(self):
+        before = kernels.active_backend()
+        with kernels.use_backend("py"):
+            assert kernels.active_backend() == "py"
+        assert kernels.active_backend() == before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(kernels.KernelBackendError, match="unknown"):
+            with kernels.use_backend("fortran"):
+                pass  # pragma: no cover
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "py")
+        assert kernels.active_backend() == "py"
+        monkeypatch.setenv("REPRO_KERNELS", "fortran")
+        with pytest.raises(kernels.KernelBackendError, match="REPRO_KERNELS"):
+            kernels.active_backend()
+
+    def test_env_numpy_without_numpy_raises(self, monkeypatch):
+        if kernels._np is not None:
+            pytest.skip("numpy importable: the error path cannot trigger")
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        with pytest.raises(kernels.KernelBackendError, match="numpy"):
+            kernels.active_backend()
+
+    @pytest.mark.skipif(
+        "numpy" not in BACKENDS, reason="numpy not importable"
+    )
+    def test_backends_agree_on_matrices(self):
+        sets = random_sets(12)
+        flat = kernels.encode(sets)
+        with kernels.use_backend("py"):
+            py_disjoint = kernels.disjoint_matrix(flat, flat)
+            py_subset = kernels.subset_matrix(flat, flat)
+        with kernels.use_backend("numpy"):
+            np_disjoint = kernels.disjoint_matrix(flat, flat)
+            np_subset = kernels.subset_matrix(flat, flat)
+        assert py_disjoint == np_disjoint
+        assert py_subset == np_subset

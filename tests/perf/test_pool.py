@@ -1,0 +1,169 @@
+"""Tests for the persistent campaign worker pool.
+
+The pool's contract: workers are forked once and reused across ``run``
+calls; chunk outcomes come back in chunk order regardless of which
+worker ran what; a dead worker breaks the pool loudly (the campaign
+layer then falls back in-process); task errors surface as
+:class:`PoolTaskError` without killing workers.
+"""
+
+import random
+
+import pytest
+
+from repro.perf import campaign, pool
+from repro.perf.campaign import _run_chunk
+from repro.synth.builders import PrefixPool, crossing_acl, shadowed_acl
+
+pytestmark = pytest.mark.skipif(
+    not pool.fork_available(), reason="fork start method unavailable"
+)
+
+
+def _acls(seed=11, count=8):
+    rng = random.Random(seed)
+    prefix_pool = PrefixPool(rng)
+    out = []
+    for idx in range(count):
+        if idx % 2:
+            out.append(
+                crossing_acl(f"X{idx}", rng, prefix_pool, permits=3, denies=3)
+            )
+        else:
+            out.append(shadowed_acl(f"S{idx}", rng, prefix_pool, permits=4))
+    return out
+
+
+@pytest.fixture
+def two_workers():
+    p = pool.PersistentPool(2)
+    try:
+        yield p
+    finally:
+        p.close()
+
+
+class TestPersistentPool:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            pool.PersistentPool(0)
+
+    def test_run_matches_inline_chunks(self, two_workers):
+        acls = _acls()
+        chunks = [acls[:3], acls[3:5], acls[5:]]
+        outcomes = two_workers.run("acl-overlap", chunks, None, None, True)
+        expected = [_run_chunk("acl-overlap", chunk, None) for chunk in chunks]
+        assert outcomes == expected
+
+    def test_results_come_back_in_chunk_order(self, two_workers):
+        # Uneven chunks so the two workers finish out of lockstep.
+        acls = _acls(count=9)
+        chunks = [acls[:6], [acls[6]], [acls[7]], [acls[8]]]
+        outcomes = two_workers.run("acl-overlap", chunks, None, None, True)
+        names = [r.name for results, _ in outcomes for r in results]
+        assert names == [acl.name for acl in acls]
+
+    def test_workers_survive_across_runs(self, two_workers):
+        chunks = [[acl] for acl in _acls(count=4)]
+        two_workers.run("acl-overlap", chunks, None, None, True)
+        pids = sorted(w.process.pid for w in two_workers._workers)
+        two_workers.run("acl-overlap", chunks, None, None, True)
+        assert sorted(w.process.pid for w in two_workers._workers) == pids
+        assert two_workers.size == 2
+
+    def test_context_token_set_once_per_run(self, two_workers):
+        # The context rides a 'ctx' message once per worker per run; the
+        # token stamped on each worker proves it arrived (and a stale
+        # token would make the worker error out, not silently reuse).
+        store = {"marker": 1}
+        chunks = [[0], [1], [2], [3]]
+        two_workers.run("figure3-eval", chunks, store, None, True)
+        used = [w for w in two_workers._workers if w.ctx_token is not None]
+        assert used
+        assert {w.ctx_token for w in used} == {1}
+
+    def test_task_error_reports_lowest_chunk(self, two_workers):
+        with pytest.raises(pool.PoolTaskError, match="chunk 0"):
+            two_workers.run("no-such-kind", [[1], [2], [3]], None, None, True)
+        # Workers survive task errors: the pool still runs real work.
+        outcomes = two_workers.run(
+            "acl-overlap", [[acl] for acl in _acls(count=2)], None, None, True
+        )
+        assert len(outcomes) == 2
+
+    def test_dead_worker_breaks_and_closes_the_pool(self, two_workers):
+        two_workers.ensure_workers(2)
+        victim = two_workers._workers[0].process
+        victim.terminate()
+        victim.join()
+        with pytest.raises(pool.PoolBrokenError):
+            two_workers.run(
+                "acl-overlap", [[acl] for acl in _acls(count=4)], None, None,
+                True,
+            )
+        assert two_workers.closed
+        with pytest.raises(pool.PoolBrokenError, match="closed"):
+            two_workers.run("acl-overlap", [[_acls(count=1)[0]]], None, None,
+                            True)
+
+    def test_grow_raises_target_only(self, two_workers):
+        two_workers.grow(1)
+        assert two_workers.target == 2
+        two_workers.grow(5)
+        assert two_workers.target == 5
+
+
+class TestSharedPool:
+    @pytest.fixture(autouse=True)
+    def _clean_shared(self):
+        pool.shutdown_shared_pool()
+        yield
+        pool.shutdown_shared_pool()
+
+    def test_reused_and_grown(self):
+        first = pool.get_shared_pool(1)
+        second = pool.get_shared_pool(3)
+        assert second is first
+        assert first.target == 3
+
+    def test_broken_pool_replaced(self):
+        first = pool.get_shared_pool(1)
+        first.close()
+        second = pool.get_shared_pool(1)
+        assert second is not first
+        assert not second.closed
+
+    def test_warm_pool_forks_eagerly(self):
+        warmed = pool.warm_pool(2)
+        assert warmed.size == 2
+
+
+class TestCampaignFallback:
+    @pytest.fixture(autouse=True)
+    def _clean_shared(self):
+        pool.shutdown_shared_pool()
+        yield
+        pool.shutdown_shared_pool()
+
+    def test_broken_pool_falls_back_in_process(self):
+        acls = _acls()
+        expected = campaign.acl_overlap_campaign(acls, workers=1, chunks=2)
+        shared = pool.warm_pool(2)
+        for worker in shared._workers:
+            worker.process.terminate()
+            worker.process.join()
+        result = campaign.acl_overlap_campaign(
+            acls, workers=2, chunks=2, pool="persistent"
+        )
+        assert result.results == expected.results
+        assert result.counters == expected.counters
+        assert shared.closed
+
+    def test_task_error_reraises_real_exception(self):
+        # chain-overlap with a None store errors identically in a worker
+        # and in-process; the pooled run must surface the *real* error,
+        # not a PoolTaskError wrapper.
+        with pytest.raises(AttributeError):
+            campaign.chain_overlap_campaign(
+                [("A", "B")], None, workers=2, chunks=2, pool="persistent"
+            )

@@ -11,8 +11,8 @@ Checks five things across ``README.md`` and ``docs/*.md``:
    inline code) name real subcommands of the CLI parser;
 4. every ``--flag`` those bash invocations pass (``\\`` line
    continuations folded) is accepted by that subcommand's parser;
-5. every ``CLARIFY_*`` / ``ANTHROPIC_*`` environment variable the docs
-   mention is actually read somewhere under ``src/``.
+5. every ``CLARIFY_*`` / ``ANTHROPIC_*`` / ``REPRO_*`` environment
+   variable the docs mention is actually read somewhere under ``src/``.
 
 Plus per-doc coverage floors (SERVING.md, LLM_BACKENDS.md) and a
 README index-completeness check over ``docs/*.md``.
@@ -38,7 +38,7 @@ IMPORT_RE = re.compile(r"^\s*import\s+(repro[\w.]*)\s*$")
 DOTTED_REF_RE = re.compile(r"`(repro(?:\.\w+)+)(?:\(\))?`")
 CLARIFY_RE = re.compile(r"^\s*clarify\s+([\w-]+)")
 FLAG_RE = re.compile(r"(--[\w-]+)")
-ENV_VAR_RE = re.compile(r"\b((?:CLARIFY|ANTHROPIC)_[A-Z0-9_]+)\b")
+ENV_VAR_RE = re.compile(r"\b((?:CLARIFY|ANTHROPIC|REPRO)_[A-Z0-9_]+)\b")
 
 
 def fenced_blocks(text, language):
@@ -305,6 +305,33 @@ def test_serving_doc_links_serving_telemetry():
         "--check-telemetry-overhead",
     ):
         assert needle in text, f"SERVING.md does not mention {needle}"
+
+
+def test_performance_doc_covers_perf_layer():
+    text = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text()
+    for needle in (
+        "PersistentPool",
+        "fork",
+        "copy-on-write",
+        "calibration",
+        "REPRO_POOL",
+        "REPRO_KERNELS",
+        "--pool",
+        "persistent",
+        "spawn",
+        "serial",
+        "FlatSets",
+        "disjoint_matrix",
+        "subset_matrix",
+        "intersect_many",
+        "subtract_many",
+        "CC003",
+        "profile_regions",
+        "--perf-snapshot",
+        "--campaign-tolerance",
+        "parallel_2worker_s",
+    ):
+        assert needle in text, f"PERFORMANCE.md does not mention {needle}"
 
 
 def test_llm_backends_doc_covers_the_tier():

@@ -1,4 +1,4 @@
-"""Tests for ``tools/check_concurrency.py`` (the CC001/CC002 AST lint)."""
+"""Tests for ``tools/check_concurrency.py`` (the CC001-CC003 AST lint)."""
 
 import importlib.util
 import pathlib
@@ -14,8 +14,10 @@ sys.modules["check_concurrency"] = cc
 spec.loader.exec_module(cc)
 
 
-def scan(source):
-    return cc.scan_source("<test>", textwrap.dedent(source))
+def scan(source, pool_worker=False):
+    return cc.scan_source(
+        "<test>", textwrap.dedent(source), pool_worker=pool_worker
+    )
 
 
 class TestCC001:
@@ -127,6 +129,61 @@ class TestCC002:
             """
         )
         assert findings == []
+
+
+class TestCC003:
+    def test_hub_touchpoints_flagged_in_pool_worker_code(self):
+        for name in ("install_hub", "get_hub", "begin_request", "journaling"):
+            findings = scan(
+                f"""
+                from repro.obs import telemetry
+                def f(arg):
+                    telemetry.{name}(arg)
+                """,
+                pool_worker=True,
+            )
+            codes = [finding.code for finding in findings]
+            assert "CC003" in codes, name
+
+    def test_same_calls_clean_outside_pool_worker_code(self):
+        findings = scan(
+            """
+            from repro.obs import telemetry
+            def f(arg):
+                telemetry.get_hub(arg)
+            """
+        )
+        assert findings == []
+
+    def test_scoped_tracing_exempt_in_pool_worker_code(self):
+        # Contextvar-scoped trace propagation is the supported route for
+        # workers; only the global hub/journal touchpoints are banned.
+        findings = scan(
+            """
+            from repro.obs import telemetry
+            def f(trace, fn):
+                with telemetry.tracing(trace):
+                    return fn(), telemetry.current_trace()
+            """,
+            pool_worker=True,
+        )
+        assert findings == []
+
+    def test_allow_marker_suppresses(self):
+        findings = scan(
+            """
+            from repro import obs
+            def f():
+                return obs.get_hub()  # cc: allow
+            """,
+            pool_worker=True,
+        )
+        assert findings == []
+
+    def test_perf_paths_classified_as_pool_worker(self):
+        assert cc._is_pool_worker_path("src/repro/perf/pool.py")
+        assert cc._is_pool_worker_path("src/repro/perf/campaign.py")
+        assert not cc._is_pool_worker_path("src/repro/serve/session.py")
 
 
 class TestDriver:

@@ -19,6 +19,17 @@ tests rarely catch regressing:
     ``obs.journaling(...)`` context is the supported route — a global
     journal interleaves events across sessions and breaks replay.
 
+``CC003``
+    Campaign pool-worker code (``src/repro/perf``) must never touch the
+    global telemetry hub or journal directly (``install_hub``,
+    ``get_hub``, ``begin_request``, ``journaling``...).  Pool workers
+    run in forked children whose counters flow through a private
+    per-chunk :class:`repro.obs.Recorder` and are re-published by the
+    parent; a worker reaching for the hub would double-count or write
+    to a hub the parent never reads.  The contextvar-scoped
+    ``telemetry.tracing``/``telemetry.current_trace`` are exempt —
+    propagating the originating trace is the supported route.
+
 The scan is lexical (AST-based, no control-flow analysis), which keeps
 it fast and deterministic; the rare intentional exception can carry a
 ``# cc: allow`` comment on the offending line.
@@ -41,8 +52,18 @@ from typing import Iterable, List, Sequence, Tuple
 
 #: Directories scanned when no paths are given (repo-root relative).
 #: ``src/repro/obs`` is included for the telemetry hub and metrics
-#: endpoint, which sit on the serving hot path.
-DEFAULT_TARGETS = ("src/repro/serve", "src/repro/llm", "src/repro/obs")
+#: endpoint, which sit on the serving hot path; ``src/repro/perf`` for
+#: the campaign pool workers (CC003).
+DEFAULT_TARGETS = (
+    "src/repro/serve",
+    "src/repro/llm",
+    "src/repro/obs",
+    "src/repro/perf",
+)
+
+#: Path fragments that mark a module as campaign pool-worker code; the
+#: CC003 rule applies only to these.
+POOL_WORKER_FRAGMENTS = ("repro/perf",)
 
 #: Callable names considered blocking when invoked under a lock.  The
 #: list is deliberately short and high-signal: LLM completions, sleeps,
@@ -69,6 +90,23 @@ LOCKISH = ("lock", "cond", "mutex", "sem")
 
 #: Process-global journal installers (CC002).
 GLOBAL_JOURNAL_NAMES = frozenset({"install_journal", "uninstall_journal"})
+
+#: Global telemetry-hub / journal touchpoints forbidden to pool-worker
+#: code (CC003).  ``tracing``/``current_trace`` are deliberately absent:
+#: they are contextvar-scoped and safe in workers.
+GLOBAL_TELEMETRY_NAMES = frozenset(
+    {
+        "install_hub",
+        "uninstall_hub",
+        "get_hub",
+        "hub_active",
+        "begin_request",
+        "finish_request",
+        "journaling",
+        "install_journal",
+        "uninstall_journal",
+    }
+)
 
 ALLOW_MARKER = "# cc: allow"
 
@@ -107,9 +145,15 @@ def _is_lockish(expr: ast.expr) -> bool:
 class _Scanner(ast.NodeVisitor):
     """Collects findings; tracks lexical ``with <lock>`` nesting."""
 
-    def __init__(self, label: str, source_lines: Sequence[str]) -> None:
+    def __init__(
+        self,
+        label: str,
+        source_lines: Sequence[str],
+        pool_worker: bool = False,
+    ) -> None:
         self.label = label
         self.lines = source_lines
+        self.pool_worker = pool_worker
         self.findings: List[Finding] = []
         self._lock_depth = 0
 
@@ -160,15 +204,31 @@ class _Scanner(ast.NodeVisitor):
                 f"blocking call {name}() lexically inside a 'with <lock>' "
                 f"block; move the call outside the critical section",
             )
+        if self.pool_worker and name in GLOBAL_TELEMETRY_NAMES:
+            self._add(
+                node,
+                "CC003",
+                f"pool-worker code calls {name}(); campaign workers must "
+                f"not touch the global telemetry hub or journal — record "
+                f"into the private chunk recorder and let the parent "
+                f"re-publish",
+            )
         self.generic_visit(node)
 
 
-def scan_source(label: str, text: str) -> List[Finding]:
+def scan_source(
+    label: str, text: str, pool_worker: bool = False
+) -> List[Finding]:
     """Scan one module's source; returns findings sorted by line."""
     tree = ast.parse(text, filename=label)
-    scanner = _Scanner(label, text.splitlines())
+    scanner = _Scanner(label, text.splitlines(), pool_worker=pool_worker)
     scanner.visit(tree)
     return sorted(scanner.findings, key=lambda f: (f.lineno, f.code))
+
+
+def _is_pool_worker_path(path: str) -> bool:
+    normalised = os.path.abspath(path).replace(os.sep, "/")
+    return any(fragment in normalised for fragment in POOL_WORKER_FRAGMENTS)
 
 
 def _python_files(paths: Iterable[str]) -> List[str]:
@@ -190,7 +250,13 @@ def scan_paths(paths: Sequence[str]) -> Tuple[List[Finding], int]:
     files = _python_files(paths)
     for path in files:
         with open(path, "r", encoding="utf-8") as handle:
-            findings.extend(scan_source(path, handle.read()))
+            findings.extend(
+                scan_source(
+                    path,
+                    handle.read(),
+                    pool_worker=_is_pool_worker_path(path),
+                )
+            )
     return findings, len(files)
 
 
