@@ -763,6 +763,132 @@ def cmd_bench_check(args: argparse.Namespace) -> int:
     return 0 if report.ok and not slo_failures and not perf_failures else 2
 
 
+def _serve_router(args: argparse.Namespace) -> int:
+    """``clarify serve --shards N``: the thin router over shard processes.
+
+    Speaks the same JSONL protocol as a single-process serve loop, but
+    routes each command to its session's ring-assigned shard
+    (:mod:`repro.serve.shard`) and applies router-side admission
+    control.  Two extra operations drive chaos drills::
+
+        {"op": "kill-shard", "shard": 0}
+        {"op": "restart-shard", "shard": 0}
+
+    ``restart-shard`` respawns the shard with ``--restore``; the reply
+    carries how many sessions the shard rebuilt from its journals.
+    """
+    import json as _json
+
+    from repro.serve.service import AdmissionError
+    from repro.serve.shard import ClusterError, ShardedCluster
+
+    out = sys.stdout
+    cluster = ShardedCluster(
+        shards=args.shards,
+        workers_per_shard=args.shard_workers or args.workers,
+        store_root=args.store_dir,
+        high_water=args.high_water or 32,
+        max_attempts=args.max_attempts,
+        backend=args.backend,
+        deadline_s=args.deadline,
+    )
+
+    def reply(tag: Optional[str] = None, **payload) -> None:
+        if tag is not None:
+            payload["tag"] = tag
+        out.write(_json.dumps(payload, sort_keys=True) + "\n")
+        out.flush()
+
+    def relay(tag: Optional[str], payload: Optional[dict]) -> None:
+        """Forward a shard reply, swapping its tag for the client's."""
+        body = dict(payload or {"ok": False, "error": "no reply"})
+        # The shard's own wire tag must not leak (or collide with) the
+        # client's; strip it before the keyword expansion.
+        body.pop("tag", None)
+        reply(tag, **body)
+
+    print(
+        f"router: {args.shards} shard(s) under {cluster.store_root}",
+        file=sys.stderr,
+    )
+    sys.stderr.flush()
+    with cluster:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                command = _json.loads(line)
+                op = command["op"]
+            except (ValueError, KeyError, TypeError) as exc:
+                reply(None, ok=False, error=f"bad command: {exc}")
+                continue
+            tag = command.get("tag")
+            if op == "quit":
+                reply(tag, ok=True, op="quit")
+                break
+            try:
+                if op == "open":
+                    relay(
+                        tag,
+                        cluster.open(
+                            command["session"], command.get("config", "")
+                        ),
+                    )
+                elif op == "request":
+                    try:
+                        call = cluster.submit(
+                            command["session"],
+                            command["intent"],
+                            command["target"],
+                        )
+                    except AdmissionError as exc:
+                        reply(
+                            tag,
+                            ok=False,
+                            op="request",
+                            outcome="rejected",
+                            session=command["session"],
+                            retry_after_s=exc.retry_after_s,
+                            error=str(exc),
+                        )
+                        continue
+                    relay(tag, call.wait())
+                elif op == "close":
+                    relay(tag, cluster.close_session(command["session"]))
+                elif op == "stats":
+                    reply(
+                        tag,
+                        ok=True,
+                        op="stats",
+                        shards=cluster.stats(),
+                        rejected=cluster.rejected,
+                        kills=cluster.kills,
+                        restored=cluster.restored_sessions,
+                        store_root=cluster.store_root,
+                    )
+                elif op == "kill-shard":
+                    cluster.kill_shard(int(command["shard"]))
+                    reply(
+                        tag, ok=True, op="kill-shard",
+                        shard=int(command["shard"]),
+                    )
+                elif op == "restart-shard":
+                    restored = cluster.restart_shard(int(command["shard"]))
+                    reply(
+                        tag,
+                        ok=True,
+                        op="restart-shard",
+                        shard=int(command["shard"]),
+                        restored=restored,
+                    )
+                else:
+                    reply(tag, ok=False, error=f"unknown op {op!r}")
+            except (KeyError, ValueError, TypeError, ClusterError) as exc:
+                reply(tag, ok=False, op=op, error=str(exc))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """An in-process request/response loop over a session pool.
 
@@ -780,6 +906,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     control, deadlines, and per-session FIFO that ``clarify loadgen``
     hammers, driveable from a shell pipe or a test harness.
 
+    Commands may carry a ``tag``; the matching reply echoes it, and a
+    tagged ``request`` is answered asynchronously (out of order) so the
+    worker pool actually pipelines — this is how the shard router keeps
+    every shard busy.  With ``--store-dir`` every session's journal
+    lives in a :class:`~repro.serve.store.DurableSessionStore`
+    (fsynced, crash-safe) and ``--restore`` rebuilds all previously
+    open sessions before serving; a re-sent ``request`` whose ``seq``
+    already resolved before the crash is answered from the journal
+    (marked ``"recovered": true``) instead of running twice.  With
+    ``--shards N`` this process becomes the shard *router* instead —
+    see ``_serve_router``.
+
     With ``--metrics-port`` (or ``CLARIFY_METRICS_PORT``) a live
     Prometheus ``/metrics`` + ``/healthz`` endpoint is served on
     loopback and every request produces one wide event; ``--event-log``
@@ -788,13 +926,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     import json as _json
     import os
+    import threading
 
     from repro import obs
     from repro.obs import telemetry as tele
     from repro.serve import ClarifyService, ServeRequest, SessionManager
     from repro.serve.loadgen import build_llm_stack
+    from repro.serve.service import AdmissionError, ServeResponse
+    from repro.serve.store import DurableSessionStore
+
+    if args.shards and args.shards > 1:
+        return _serve_router(args)
 
     out = sys.stdout
+    out_lock = threading.Lock()
     metrics_port = args.metrics_port
     if metrics_port is None and os.environ.get("CLARIFY_METRICS_PORT"):
         metrics_port = int(os.environ["CLARIFY_METRICS_PORT"])
@@ -806,15 +951,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         batch_window_s=args.batch_window,
     )
+    store = DurableSessionStore(args.store_dir) if args.store_dir else None
     manager = SessionManager(
         llm=stack.client,
         max_attempts=args.max_attempts,
         journal_dir=args.journal_dir,
+        session_store=store,
     )
+    restored_ids: List[str] = []
+    if args.restore:
+        if store is None:
+            print("error: --restore requires --store-dir", file=sys.stderr)
+            return 1
+        restored_ids = manager.restore_all()
+        print(
+            f"restored {len(restored_ids)} session(s) from {args.store_dir}",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
 
-    def reply(**payload) -> None:
-        out.write(_json.dumps(payload, sort_keys=True) + "\n")
-        out.flush()
+    def reply(tag: Optional[str] = None, **payload) -> None:
+        if tag is not None:
+            payload["tag"] = tag
+        with out_lock:
+            out.write(_json.dumps(payload, sort_keys=True) + "\n")
+            out.flush()
+
+    def send_response(
+        tag: Optional[str], response: ServeResponse, recovered: bool = False
+    ) -> None:
+        payload = response.to_dict()
+        if recovered:
+            payload["recovered"] = True
+        reply(tag, ok=response.ok, op="request", **payload)
 
     recorder = None
     hub = None
@@ -852,37 +1021,93 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 command = _json.loads(line)
                 op = command["op"]
             except (ValueError, KeyError, TypeError) as exc:
-                reply(ok=False, error=f"bad command: {exc}")
+                reply(None, ok=False, error=f"bad command: {exc}")
                 continue
+            tag = command.get("tag")
             if op == "quit":
-                reply(ok=True, op="quit")
+                reply(tag, ok=True, op="quit")
                 break
             try:
                 if op == "open":
+                    existing = (
+                        manager.get(command["session"])
+                        if command.get("idempotent")
+                        else None
+                    )
+                    if existing is not None:
+                        # A router re-send after a restore: the session
+                        # is already live (rebuilt from its journal).
+                        reply(
+                            tag,
+                            ok=True,
+                            op="open",
+                            session=existing.session_id,
+                            config_sha256=existing.config_sha256(),
+                            recovered=True,
+                        )
+                        continue
                     managed = manager.open(
                         command["session"], command.get("config", "")
                     )
                     reply(
+                        tag,
                         ok=True,
                         op="open",
                         session=managed.session_id,
                         config_sha256=managed.config_sha256(),
                     )
                 elif op == "request":
-                    response = service.call(
-                        ServeRequest(
-                            session=command["session"],
-                            intent=command["intent"],
-                            target=command["target"],
-                            deadline_s=command.get(
-                                "deadline_s", args.deadline
-                            ),
-                            request_id=command.get("request_id"),
+                    seq = command.get("seq")
+                    if seq is not None:
+                        handle = manager.get(command["session"])
+                        replayed = (
+                            handle.replayed_response(int(seq))
+                            if handle is not None
+                            else None
                         )
+                        if replayed is not None:
+                            # Resolved before the crash; answer from the
+                            # journal instead of running a second time.
+                            assert isinstance(replayed, ServeResponse)
+                            send_response(tag, replayed, recovered=True)
+                            continue
+                    request = ServeRequest(
+                        session=command["session"],
+                        intent=command["intent"],
+                        target=command["target"],
+                        deadline_s=command.get("deadline_s", args.deadline),
+                        request_id=command.get("request_id"),
+                        trace_id=command.get("trace_id"),
                     )
-                    reply(ok=response.ok, op="request", **response.to_dict())
+                    if tag is None:
+                        send_response(None, service.call(request))
+                        continue
+                    # Tagged requests pipeline: submit now, answer from a
+                    # waiter thread when the pool resolves the ticket, and
+                    # keep reading stdin meanwhile.
+                    try:
+                        ticket = service.submit(request)
+                    except AdmissionError as exc:
+                        reply(
+                            tag,
+                            ok=False,
+                            op="request",
+                            outcome="rejected",
+                            session=request.session,
+                            retry_after_s=exc.retry_after_s,
+                            error=str(exc),
+                        )
+                        continue
+                    threading.Thread(
+                        target=lambda t=ticket, g=tag: send_response(
+                            g, t.wait()
+                        ),
+                        name=f"serve-reply-{tag}",
+                        daemon=True,
+                    ).start()
                 elif op == "close":
                     reply(
+                        tag,
                         ok=manager.close(command["session"]),
                         op="close",
                         session=command["session"],
@@ -892,6 +1117,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         sessions=len(manager),
                         depth=service.depth(),
                         rejected=service.rejected,
+                        restored=len(restored_ids),
                         backend=stack.backend,
                         upstream_llm_calls=stack.upstream_calls,
                         cache=(
@@ -900,6 +1126,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                             else None
                         ),
                     )
+                    if store is not None:
+                        stats_payload["store_dir"] = args.store_dir
                     if telemetry_on:
                         stats_payload["telemetry"] = {
                             "metrics_port": (
@@ -909,12 +1137,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
                             "wide_events": hub.finished if hub else 0,
                             "completed": manager.completed_counts(),
                         }
-                    reply(ok=True, op="stats", **stats_payload)
+                    reply(tag, ok=True, op="stats", **stats_payload)
                 else:
-                    reply(ok=False, error=f"unknown op {op!r}")
+                    reply(tag, ok=False, error=f"unknown op {op!r}")
             except (KeyError, ValueError, TypeError) as exc:
-                reply(ok=False, op=op, error=str(exc))
-    manager.close_all()
+                reply(tag, ok=False, op=op, error=str(exc))
+    if store is None:
+        manager.close_all()
+    # With a store, sessions outlive a clean shutdown: an explicit
+    # "close" op is the only thing that tombstones them, and journals
+    # are fsynced per event, so there is nothing to flush here.
     return 0
 
 
@@ -1013,6 +1245,34 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     serial = None
     effectiveness = None
     overhead = None
+    shard_identity = None
+    if args.check_shard_identity:
+        from repro.serve.shard import check_shard_identity
+
+        if args.fault_rate > 0.0 or args.deadline is not None or args.netwide:
+            print(
+                "error: --check-shard-identity requires a fault-free, "
+                "deadline-free, gate-free campaign (shard processes run "
+                "the plain serving stack, so the in-process legs must "
+                "too)",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            shard_identity = check_shard_identity(
+                args.sessions,
+                args.requests_per_session,
+                workers=args.workers,
+                seed=args.seed,
+                shards=args.shards,
+                store_root=args.store_dir,
+                max_attempts=args.max_attempts,
+                backend=args.backend,
+                telemetry=False,
+            )
+        except AssertionError as exc:
+            print(f"SHARD IDENTITY FAILED: {exc}", file=sys.stderr)
+            return 1
     if args.check_telemetry_overhead:
         if args.fault_rate > 0.0 or args.deadline is not None:
             print(
@@ -1092,6 +1352,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             return 1
     elif effectiveness is not None:
         report = effectiveness.warm
+    elif shard_identity is not None:
+        report = shard_identity.pooled
     else:
         report = run_loadgen(
             args.sessions,
@@ -1127,6 +1389,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     if serial is not None:
         payload["serial"] = serial.to_dict()
         payload["identity"] = serial.fingerprint == report.fingerprint
+    if shard_identity is not None:
+        payload["shard"] = shard_identity.to_dict()
     if effectiveness is not None:
         payload["cache_effectiveness"] = effectiveness.to_dict()
     if overhead is not None:
@@ -1171,6 +1435,15 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             print(f"  netwide {report.netwide}")
         if serial is not None:
             print(f"  serial identity OK ({report.fingerprint[:16]}…)")
+        if shard_identity is not None:
+            chaos = shard_identity.chaos
+            print(
+                f"  shard identity OK: serial = pooled = "
+                f"{chaos.shards}-shard = chaos "
+                f"({report.fingerprint[:16]}…); chaos leg restarted "
+                f"{chaos.restarts} shard(s), restored "
+                f"{chaos.restored_sessions} session(s)"
+            )
         if effectiveness is not None:
             eff = effectiveness.to_dict()
             print(
@@ -1694,6 +1967,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one wide event per request as JSONL to PATH "
         "(env: CLARIFY_EVENT_LOG); follow it with clarify tail",
     )
+    p_serve.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        help="durable session store: fsynced per-session journals plus a "
+        "manifest under DIR, restorable after a crash",
+    )
+    p_serve.add_argument(
+        "--restore",
+        action="store_true",
+        help="with --store-dir, rebuild every previously open session "
+        "from its journal (deterministic replay) before serving",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run as a router over N shard serve processes placed by a "
+        "consistent-hash ring (each shard gets its own store under "
+        "--store-dir); adds kill-shard/restart-shard chaos ops",
+    )
+    p_serve.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads per shard process (default: --workers)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     p_tail = sub.add_parser(
@@ -1819,6 +2120,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the campaign with one worker and fail unless the "
         "pooled run's per-session outcomes match byte for byte",
+    )
+    p_loadgen.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="shard processes for --check-shard-identity (default: 2)",
+    )
+    p_loadgen.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        help="root directory for the sharded legs' durable session "
+        "stores (default: a fresh temp directory)",
+    )
+    p_loadgen.add_argument(
+        "--check-shard-identity",
+        action="store_true",
+        help="run the campaign serial, pooled, sharded across --shards "
+        "processes, and sharded with one shard SIGKILLed and restored "
+        "mid-campaign; fail unless all four outcome fingerprints are "
+        "byte-identical",
     )
     p_loadgen.add_argument(
         "--check-cache-effectiveness",

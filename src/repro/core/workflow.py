@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 if TYPE_CHECKING:  # imported only for annotations; avoids a heavy import
     from repro.lint.netwide.gate import NetwideGate
@@ -58,6 +58,27 @@ from repro.llm.transcript import TranscribingClient
 #: Process-wide session identity, recorded in journal events so a replay
 #: can group the cycles of multi-session journals (e.g. ``clarify eval``).
 _SESSION_IDS = itertools.count(1)
+
+
+def _journal_cycle_error(exc: ClarifyError) -> None:
+    """Emit ``cycle.error`` with enough data to rebuild the outcome.
+
+    ``attempts`` (:class:`~repro.core.errors.SynthesisPunt`) and
+    ``questions`` (:class:`~repro.core.errors.DeadlineExceeded`) are
+    stamped only when the exception carries them, so journals recorded
+    before schema version 2 still replay without divergence.  The
+    durable session store (:mod:`repro.serve.store`) reads these fields
+    to reconstruct a failed request's :class:`ServeResponse` after a
+    crash.
+    """
+    data: Dict[str, Any] = {"error": type(exc).__name__, "message": str(exc)}
+    attempts = getattr(exc, "attempts", None)
+    if attempts is not None:
+        data["attempts"] = attempts
+    questions = getattr(exc, "questions_asked", None)
+    if questions is not None:
+        data["questions"] = questions
+    obs.event("cycle.error", **data)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -159,9 +180,7 @@ class ClarifySession:
                     attempts=result.attempts,
                 )
             except ClarifyError as exc:
-                obs.event(
-                    "cycle.error", error=type(exc).__name__, message=str(exc)
-                )
+                _journal_cycle_error(exc)
                 raise
             sp.annotate(
                 kind=report.kind,
@@ -193,9 +212,7 @@ class ClarifySession:
                     kind, snippet, target, oracle, llm_calls=0, attempts=0
                 )
             except ClarifyError as exc:
-                obs.event(
-                    "cycle.error", error=type(exc).__name__, message=str(exc)
-                )
+                _journal_cycle_error(exc)
                 raise
             sp.annotate(position=report.position, questions=report.questions)
             return report

@@ -44,7 +44,10 @@ from typing import IO, Any, Dict, Iterator, List, Optional, Union
 from repro.obs.telemetry import current_trace as _current_trace
 
 #: Version of the journal event schema (the ``journal.open`` header).
-JOURNAL_VERSION = 1
+#: Version 2 adds ``attempts``/``questions`` to ``cycle.error`` so a
+#: failed cycle's serving outcome can be reconstructed from the journal
+#: alone (see :mod:`repro.serve.store`).  Version-1 journals still load.
+JOURNAL_VERSION = 2
 
 #: The event types the pipeline emits, for reference and validation.
 EVENT_TYPES = (
@@ -123,9 +126,19 @@ class JournalRecorder:
     one JSONL line as soon as it is recorded, so an aborted process still
     leaves every completed event on disk.  The ``journal.open`` header is
     emitted on construction.
+
+    Passing ``events`` *resumes* a journal instead of opening a fresh
+    one: the seed events (a validated complete prefix, e.g. the survivor
+    of a crash — see :mod:`repro.serve.store`) are re-emitted to the sink
+    verbatim and subsequent events continue the sequence numbering, so
+    the resumed file is byte-identical to one recorded in a single run.
     """
 
-    def __init__(self, sink: Union[str, IO[str], None] = None) -> None:
+    def __init__(
+        self,
+        sink: Union[str, IO[str], None] = None,
+        events: Optional[List[JournalEvent]] = None,
+    ) -> None:
         self.events: List[JournalEvent] = []
         self._lock = threading.Lock()
         self._handle: Optional[IO[str]] = None
@@ -135,7 +148,16 @@ class JournalRecorder:
             self._owns_handle = True
         elif sink is not None:
             self._handle = sink
-        self.event("journal.open", version=JOURNAL_VERSION)
+        if events is not None:
+            validate_journal(list(events))
+            for seeded in events:
+                with self._lock:
+                    self.events.append(seeded)
+                    if self._handle is not None:
+                        self._handle.write(seeded.to_json() + "\n")
+                        self._handle.flush()
+        else:
+            self.event("journal.open", version=JOURNAL_VERSION)
 
     def event(self, type_: str, **data: Any) -> JournalEvent:
         """Record one event (thread-safe; assigns the next ``seq``).
@@ -176,26 +198,44 @@ class JournalRecorder:
 # ------------------------------------------------------- journal loading
 
 
-def loads_journal(text: str) -> List[JournalEvent]:
-    """Parse journal JSONL text into events, validating the header."""
+def loads_journal(
+    text: str, drop_partial_tail: bool = False
+) -> List[JournalEvent]:
+    """Parse journal JSONL text into events, validating the header.
+
+    With ``drop_partial_tail`` a malformed **final** line is silently
+    dropped instead of raising.  A process killed mid-write (the crash
+    case the durable session store recovers from) can leave at most one
+    torn line, and only at the end of the file — corruption anywhere
+    else still raises :class:`JournalError`.
+    """
     events: List[JournalEvent] = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        line = line.strip()
-        if not line:
-            continue
+    lines = [
+        (lineno, line.strip())
+        for lineno, line in enumerate(text.splitlines(), start=1)
+        if line.strip()
+    ]
+    for index, (lineno, line) in enumerate(lines):
+        last = index == len(lines) - 1
         try:
             raw = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise JournalError(f"line {lineno} is not valid JSON: {exc}") from exc
-        events.append(JournalEvent.from_dict(raw))
+            events.append(JournalEvent.from_dict(raw))
+        except (json.JSONDecodeError, JournalError) as exc:
+            if drop_partial_tail and last:
+                break
+            raise JournalError(
+                f"line {lineno} is not a valid journal event: {exc}"
+            ) from exc
     validate_journal(events)
     return events
 
 
-def read_journal(path: str) -> List[JournalEvent]:
+def read_journal(
+    path: str, drop_partial_tail: bool = False
+) -> List[JournalEvent]:
     """Load and validate a journal file written by :class:`JournalRecorder`."""
     with open(path) as handle:
-        return loads_journal(handle.read())
+        return loads_journal(handle.read(), drop_partial_tail=drop_partial_tail)
 
 
 def dumps_journal(events: List[JournalEvent]) -> str:

@@ -177,6 +177,10 @@ class ReplayResult:
     #: The :class:`~repro.core.workflow.UpdateReport` of each replayed
     #: cycle that completed, in journal order.
     reports: List[Any] = dataclasses.field(default_factory=list)
+    #: The rebuilt :class:`~repro.core.workflow.ClarifySession` per
+    #: recorded session key — the durable session store adopts these as
+    #: live sessions after a crash (see :mod:`repro.serve.store`).
+    sessions: Dict[Any, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def matched_events(self) -> int:
@@ -346,6 +350,7 @@ def replay_journal(events: Sequence[JournalEvent]) -> ReplayResult:
         recorded_events=recorded,
         replayed_events=replay_record.events,
         reports=reports,
+        sessions=sessions,
     )
 
 

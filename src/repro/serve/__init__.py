@@ -15,13 +15,23 @@ is that serving layer (architecture in ``docs/SERVING.md``):
 * :mod:`~repro.serve.loadgen` — a deterministic seeded workload generator
   (campus/cloud intent mix, optional :class:`~repro.llm.faulty.FaultyLLM`
   chaos rate) reporting throughput, latency quantiles, and per-outcome
-  counters to ``benchmarks/BENCH_serve.json``.
+  counters to ``benchmarks/BENCH_serve.json``;
+* :mod:`~repro.serve.store` — pluggable session durability: an
+  in-memory store and a :class:`~repro.serve.store.DurableSessionStore`
+  (fsynced per-session journals plus a manifest) whose snapshots rebuild
+  live sessions bit-exactly by deterministic journal replay;
+* :mod:`~repro.serve.shard` — horizontal scale-out: a consistent-hash
+  ring (:class:`~repro.serve.shard.HashRing`) placing sessions onto N
+  shard serve processes behind a thin router with per-shard and global
+  admission high-water marks, plus first-class crash recovery
+  (SIGKILL a shard, restart with ``--restore``, replay its journals).
 
 The layer's core invariant: a serial run (one worker) and a pooled run
 of the same seeded workload produce **identical per-session outcomes** —
 concurrency changes latency, never results.  ``clarify loadgen
---check-serial-identity`` asserts this end to end, and CI runs it on
-every push.
+--check-serial-identity`` asserts this end to end, and ``clarify
+loadgen --check-shard-identity`` extends it across process boundaries
+and a mid-campaign shard kill; CI runs both on every push.
 """
 
 from repro.serve.loadgen import (
@@ -45,24 +55,54 @@ from repro.serve.service import (
     Ticket,
 )
 from repro.serve.session import ManagedSession, SessionManager
+from repro.serve.shard import (
+    HashRing,
+    ShardCampaignReport,
+    ShardedCluster,
+    ShardIdentity,
+    check_shard_identity,
+    run_sharded_loadgen,
+)
+from repro.serve.store import (
+    DurableSessionStore,
+    InMemorySessionStore,
+    RestoreError,
+    SessionRecord,
+    SessionSnapshot,
+    SessionStore,
+    rebuild_session,
+)
 
 __all__ = [
     "AdmissionError",
     "CacheEffectiveness",
     "ClarifyService",
+    "DurableSessionStore",
+    "HashRing",
+    "InMemorySessionStore",
     "LLMStack",
     "LoadgenReport",
     "ManagedSession",
+    "RestoreError",
     "ServeRequest",
     "ServeResponse",
     "SessionSpec",
     "SessionManager",
+    "SessionRecord",
+    "SessionSnapshot",
+    "SessionStore",
+    "ShardCampaignReport",
+    "ShardIdentity",
+    "ShardedCluster",
     "TelemetryOverhead",
     "Ticket",
     "build_llm_stack",
     "check_cache_effectiveness",
     "check_serial_identity",
+    "check_shard_identity",
     "check_telemetry_overhead",
     "generate_workload",
+    "rebuild_session",
     "run_loadgen",
+    "run_sharded_loadgen",
 ]

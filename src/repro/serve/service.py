@@ -82,6 +82,10 @@ class ServeRequest:
     deadline_s: Optional[float] = None
     #: Client-supplied request id echoed on the response; None = minted.
     request_id: Optional[str] = None
+    #: Upstream trace id to adopt instead of minting one — the shard
+    #: router passes its trace across the process hop so a request's
+    #: journal events and wide events correlate end to end.
+    trace_id: Optional[str] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -275,6 +279,8 @@ class ClarifyService:
         trace = telemetry.mint_trace(
             session_id=request.session, request_id=request.request_id
         )
+        if request.trace_id is not None:
+            trace = dataclasses.replace(trace, trace_id=request.trace_id)
         handle = self.manager.get(request.session)
         if handle is None:
             raise KeyError(f"unknown session {request.session!r}")

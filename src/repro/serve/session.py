@@ -21,6 +21,13 @@ Journals: with ``memory_journals=True`` (or ``journal_dir`` set) every
 session records its own :class:`~repro.obs.journal.JournalRecorder`;
 the service activates it thread-locally around each request, so the
 per-session streams stay replayable even under a concurrent pool.
+
+Durability: pass a :class:`~repro.serve.store.SessionStore` and every
+session's journal is owned by the store (write-through, fsynced for the
+durable implementation); after a crash, :meth:`SessionManager.restore_all`
+rebuilds every open session bit-exactly from its journal via
+deterministic replay, and :meth:`ManagedSession.replayed_response`
+serves re-sent pre-crash requests idempotently.
 """
 
 from __future__ import annotations
@@ -40,6 +47,12 @@ from repro.core.oracle import FirstOptionOracle, UserOracle
 from repro.core.workflow import ClarifySession
 from repro.llm.client import LLMClient
 from repro.obs.journal import JournalRecorder
+from repro.serve.store import (
+    RestoredSession,
+    SessionRecord,
+    SessionStore,
+    rebuild_session,
+)
 
 
 class ManagedSession:
@@ -63,6 +76,24 @@ class ManagedSession:
         #: Requests this session has resolved (bumped by the service
         #: under ``cond``; surfaced via the serve ``stats`` op).
         self.completed = 0
+        #: Set when this session was rebuilt from a journal after a
+        #: crash; carries the pre-crash responses for idempotent replay.
+        self.restored: Optional[RestoredSession] = None
+
+    def replayed_response(self, seq: int) -> Optional[object]:
+        """The pre-crash response for ``seq``, if this session was
+        restored and ``seq`` resolved before the crash (else None).
+
+        This is the exactly-once half of crash recovery: the router
+        re-sends every in-flight request after a shard restart, and
+        already-resolved sequence numbers are answered from the journal
+        instead of being run a second time.
+        """
+        if self.restored is None:
+            return None
+        if 0 <= seq < len(self.restored.responses):
+            return self.restored.responses[seq]
+        return None
 
     def config_text(self) -> str:
         """The session's current rendered configuration."""
@@ -93,6 +124,7 @@ class SessionManager:
         netwide_gate_factory: Optional[Callable[[], "NetwideGate"]] = None,
         memory_journals: bool = False,
         journal_dir: Optional[str] = None,
+        session_store: Optional[SessionStore] = None,
     ) -> None:
         self._llm = llm
         self._oracle_factory = oracle_factory or FirstOptionOracle
@@ -104,6 +136,11 @@ class SessionManager:
         self._netwide_gate_factory = netwide_gate_factory
         self._memory_journals = memory_journals
         self._journal_dir = journal_dir
+        #: Durable session tier (:mod:`repro.serve.store`): when set it
+        #: owns every session's journal and ``restore_all`` can rebuild
+        #: the manager's state after a crash.  Takes precedence over
+        #: ``journal_dir``/``memory_journals``.
+        self.session_store = session_store
         self._lock = threading.Lock()
         self._sessions: Dict[str, ManagedSession] = {}
         self._opened = 0
@@ -119,7 +156,9 @@ class SessionManager:
         """Create a session; ``config_text`` seeds its configuration."""
         if store is None:
             store = parse_config(config_text)
-        journal = self._make_journal(session_id)
+        elif not config_text:
+            config_text = render_config(store)
+        journal = self._make_journal(session_id, config_text)
         with self._lock:
             if session_id in self._sessions:
                 raise ValueError(f"session {session_id!r} already open")
@@ -145,7 +184,11 @@ class SessionManager:
         obs.count("serve.sessions.opened")
         return managed
 
-    def _make_journal(self, session_id: str) -> Optional[JournalRecorder]:
+    def _make_journal(
+        self, session_id: str, config_text: str = ""
+    ) -> Optional[JournalRecorder]:
+        if self.session_store is not None:
+            return self.session_store.open(self._record(session_id, config_text))
         if self._journal_dir is not None:
             safe = "".join(
                 c if c.isalnum() or c in "-_." else "_" for c in session_id
@@ -155,6 +198,53 @@ class SessionManager:
         if self._memory_journals:
             return JournalRecorder()
         return None
+
+    def _record(self, session_id: str, config_text: str) -> SessionRecord:
+        return SessionRecord(
+            session_id=session_id,
+            config_text=config_text,
+            mode=self._mode.value,
+            max_attempts=self._max_attempts,
+            lint_gate=self._lint_gate,
+        )
+
+    def restore_all(self) -> List[str]:
+        """Rebuild every open session from the session store's journals.
+
+        Each restored session resumes exactly where the journal's
+        complete-cycle prefix left it: its configuration store is the
+        replay-verified post-crash state, ``submitted_seq``/``next_seq``
+        continue from the number of already-resolved requests, and the
+        pre-crash responses are kept for idempotent re-sends
+        (:meth:`ManagedSession.replayed_response`).  Returns the
+        restored session ids in manifest order; raises
+        :class:`~repro.serve.store.RestoreError` on any divergence.
+        """
+        if self.session_store is None:
+            raise ValueError("restore_all requires a session_store")
+        restored_ids: List[str] = []
+        for record in self.session_store.records():
+            snapshot = self.session_store.snapshot(record.session_id)
+            rebuilt = rebuild_session(
+                snapshot,
+                llm=self._llm,
+                oracle_factory=self._oracle_factory,
+                netwide_gate_factory=self._netwide_gate_factory,
+            )
+            journal = self.session_store.resume(record, rebuilt.events)
+            managed = ManagedSession(
+                record.session_id, rebuilt.session, journal=journal
+            )
+            managed.submitted_seq = rebuilt.completed
+            managed.next_seq = rebuilt.completed
+            managed.completed = rebuilt.completed
+            managed.restored = rebuilt
+            with self._lock:
+                self._opened += 1
+                self._sessions[record.session_id] = managed
+            obs.count("serve.sessions.restored")
+            restored_ids.append(record.session_id)
+        return restored_ids
 
     def get(self, session_id: str) -> Optional[ManagedSession]:
         with self._lock:
@@ -168,6 +258,8 @@ class SessionManager:
             return False
         if managed.journal is not None:
             managed.journal.close()
+        if self.session_store is not None:
+            self.session_store.close(session_id)
         obs.count("serve.sessions.closed")
         return True
 

@@ -1,0 +1,827 @@
+"""Horizontal sharding: a consistent-hash router over serve processes.
+
+One process running a :class:`~repro.serve.session.SessionManager` caps
+the tier at a single Python interpreter (one GIL, one failure domain).
+This module scales *out* instead of up, without changing a single
+serving semantic:
+
+* :class:`HashRing` — a consistent-hash ring over session ids.  Hashing
+  is ``sha256``-based and therefore identical across processes and
+  Python versions (no ``PYTHONHASHSEED`` dependence); each shard owns
+  ``replicas`` virtual nodes so session load spreads evenly and a
+  resize moves only the sessions whose arc changed.
+* :class:`ShardProcess` — one ``clarify serve`` subprocess speaking the
+  existing JSONL stdin/stdout protocol, with a ``tag`` field added so
+  replies may arrive out of order (the shard pipelines tagged requests
+  through its worker pool instead of handling one line at a time).
+  Every shard owns a :class:`~repro.serve.store.DurableSessionStore`
+  directory, so a ``SIGKILL`` loses nothing that reached a journal.
+* :class:`ShardedCluster` — the thin router: routes ``open`` /
+  ``request`` / ``close`` by ring position, stamps every request with a
+  router-assigned per-session sequence number and a minted trace id
+  (both cross the process hop), and applies **router-side admission
+  control**: per-shard and global high-water marks with an EWMA
+  retry-after, mirroring :class:`~repro.serve.service.ClarifyService`'s
+  single-process policy one level up.
+
+Crash recovery is first-class: :meth:`ShardedCluster.kill_shard` is a
+real ``SIGKILL``, and :meth:`ShardedCluster.restart_shard` respawns the
+shard with ``--restore`` — the new process replays its journals,
+reconstructs every session bit-exactly
+(:func:`repro.serve.store.rebuild_session`), and the router re-sends
+every unanswered command in original order.  Already-resolved sequence
+numbers are answered from the journal
+(:meth:`~repro.serve.session.ManagedSession.replayed_response`), so a
+request is applied exactly once no matter where the crash landed.
+
+The proof obligation is the same differential the serving layer has
+used since the pool was introduced: :func:`check_shard_identity` runs
+the identical seeded campaign serial, pooled, sharded, and
+sharded-with-a-kill, and requires all four outcome fingerprints to be
+byte-identical (``clarify loadgen --check-shard-identity``, enforced by
+the ``shard`` CI job).
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ClarifyError
+from repro.obs import telemetry
+from repro.serve.loadgen import _fingerprint, generate_workload
+from repro.serve.service import AdmissionError
+
+#: Seed for the router's service-time EWMA before any reply has landed.
+_EWMA_SEED_S = 0.02
+
+#: Virtual nodes per shard; enough that a 64-session campaign spreads
+#: across every shard of a small cluster.
+DEFAULT_REPLICAS = 64
+
+
+class ClusterError(ClarifyError):
+    """A shard process died or misbehaved outside a requested kill."""
+
+
+class HashRing:
+    """Consistent hashing of session ids onto shard indices.
+
+    Deterministic across processes: ring points are the first 16 hex
+    digits of ``sha256("shard-<i>:<replica>")`` and lookups hash the
+    session id the same way, so every router instance — and every test
+    — agrees on the placement.
+    """
+
+    def __init__(self, shards: int, replicas: int = DEFAULT_REPLICAS) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self.shards = shards
+        self.replicas = replicas
+        points: List[tuple] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                token = f"shard-{shard}:{replica}"
+                points.append((self._hash(token), shard))
+        points.sort()
+        self._points = points
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int(hashlib.sha256(key.encode("utf-8")).hexdigest()[:16], 16)
+
+    def shard_for(self, session_id: str) -> int:
+        """The shard owning ``session_id`` (first point clockwise)."""
+        key = self._hash(session_id)
+        index = bisect.bisect_left(self._points, (key, -1))
+        if index == len(self._points):
+            index = 0
+        return int(self._points[index][1])
+
+    def assignments(self, session_ids: List[str]) -> Dict[str, int]:
+        """Placement for a whole workload, session id → shard index."""
+        return {sid: self.shard_for(sid) for sid in session_ids}
+
+
+class PendingCall:
+    """One in-flight JSONL command awaiting its tagged reply."""
+
+    def __init__(self, command: Dict[str, Any]) -> None:
+        self.command = command
+        self._event = threading.Event()
+        self.payload: Optional[Dict[str, Any]] = None
+
+    def resolve(self, payload: Dict[str, Any]) -> None:
+        self.payload = payload
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """The reply payload, or None if ``timeout`` expires first."""
+        if not self._event.wait(timeout):
+            return None
+        return self.payload
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+class ShardProcess:
+    """One ``clarify serve`` subprocess plus its pipe bookkeeping.
+
+    Commands are written as JSONL with a unique ``tag``; a reader
+    thread pairs each tagged reply back to its :class:`PendingCall`.
+    After :meth:`kill` + :meth:`restart`, every still-unanswered
+    command is re-sent in original order — the shard's journal-backed
+    dedupe makes the re-sends idempotent.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        store_dir: str,
+        workers: int = 4,
+        queue_limit: int = 128,
+        max_attempts: int = 3,
+        backend: str = "simulated",
+    ) -> None:
+        self.index = index
+        self.store_dir = store_dir
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.max_attempts = max_attempts
+        self.backend = backend
+        self.restarts = 0
+        self.on_reply: Optional[Any] = None
+        self._proc: Optional["subprocess.Popen[str]"] = None
+        self._reader: Optional[threading.Thread] = None
+        self._write_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[str, PendingCall] = {}
+        self._order: List[str] = []
+        self._tags = 0
+
+    # ----------------------------------------------------------- lifecycle
+
+    def _argv(self, restore: bool) -> List[str]:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--workers",
+            str(self.workers),
+            "--queue-limit",
+            str(self.queue_limit),
+            "--max-attempts",
+            str(self.max_attempts),
+            "--backend",
+            self.backend,
+            "--store-dir",
+            self.store_dir,
+        ]
+        if restore:
+            argv.append("--restore")
+        return argv
+
+    def spawn(self, restore: bool = False) -> None:
+        """Start (or re-start) the subprocess and its reply reader."""
+        env = dict(os.environ)
+        # Telemetry endpoints are per-process resources; N shards must
+        # not race for one metrics port or interleave one event log.
+        env.pop("CLARIFY_METRICS_PORT", None)
+        env.pop("CLARIFY_EVENT_LOG", None)
+        self._proc = subprocess.Popen(
+            self._argv(restore),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            args=(self._proc,),
+            name=f"shard-{self.index}-reader",
+            daemon=True,
+        )
+        self._reader.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — no shutdown hooks run; journals are the survivors."""
+        if self._proc is not None:
+            self._proc.kill()
+            self._proc.wait()
+
+    def restart(self) -> None:
+        """Respawn with ``--restore`` and re-send unanswered commands."""
+        self.restarts += 1
+        self.spawn(restore=True)
+        with self._pending_lock:
+            self._order = [t for t in self._order if t in self._pending]
+            commands = [self._pending[t].command for t in self._order]
+        for command in commands:
+            self._write(command)
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Ask the serve loop to quit; escalate to a kill on timeout."""
+        proc = self._proc
+        if proc is None or proc.poll() is not None:
+            return
+        try:
+            self._write({"op": "quit", "tag": "quit"})
+        except (ClusterError, OSError):
+            pass
+        try:
+            proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+    # ------------------------------------------------------------- the pipe
+
+    def send(self, command: Dict[str, Any]) -> PendingCall:
+        """Queue a tagged command; the reply resolves the returned call."""
+        with self._pending_lock:
+            self._tags += 1
+            tag = f"s{self.index}-{self._tags}"
+            tagged = dict(command)
+            tagged["tag"] = tag
+            call = PendingCall(tagged)
+            self._pending[tag] = call
+            self._order.append(tag)
+        self._write(tagged)
+        return call
+
+    def pending_count(self) -> int:
+        with self._pending_lock:
+            return len(self._pending)
+
+    def _write(self, command: Dict[str, Any]) -> None:
+        with self._write_lock:
+            proc = self._proc
+            if proc is None or proc.stdin is None or proc.poll() is not None:
+                raise ClusterError(f"shard {self.index} is not running")
+            try:
+                proc.stdin.write(json.dumps(command, sort_keys=True) + "\n")
+                proc.stdin.flush()
+            except (BrokenPipeError, OSError) as exc:
+                raise ClusterError(
+                    f"shard {self.index} pipe broke: {exc}"
+                ) from exc
+
+    def _read_loop(self, proc: "subprocess.Popen[str]") -> None:
+        stdout = proc.stdout
+        if stdout is None:  # pragma: no cover - Popen always pipes it
+            return
+        for line in stdout:
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                continue  # a torn line from a kill mid-write
+            if not isinstance(payload, dict):
+                continue
+            tag = payload.get("tag")
+            if tag is None:
+                continue
+            with self._pending_lock:
+                call = self._pending.pop(tag, None)
+            if call is None:
+                continue
+            hook = self.on_reply
+            if hook is not None:
+                hook(self.index, payload)
+            call.resolve(payload)
+
+
+class ShardedCluster:
+    """The router: ring placement + admission + crash recovery.
+
+    ``high_water`` bounds each shard's in-flight requests and
+    ``global_high_water`` (default ``shards * high_water``) bounds the
+    cluster's; breaching either raises
+    :class:`~repro.serve.service.AdmissionError` with an EWMA-estimated
+    ``retry_after_s``, exactly like the in-process service — the shard
+    processes run with twice the per-shard mark so router admission is
+    the binding constraint.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        workers_per_shard: int = 4,
+        store_root: Optional[str] = None,
+        high_water: int = 32,
+        global_high_water: Optional[int] = None,
+        max_attempts: int = 3,
+        backend: str = "simulated",
+        deadline_s: Optional[float] = None,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if high_water < 1:
+            raise ValueError("high_water must be at least 1")
+        self.ring = HashRing(shards, replicas=replicas)
+        self.store_root = store_root or tempfile.mkdtemp(
+            prefix="clarify-shards-"
+        )
+        self.high_water = high_water
+        self.global_high_water = (
+            global_high_water
+            if global_high_water is not None
+            else shards * high_water
+        )
+        self.deadline_s = deadline_s
+        self.procs = [
+            ShardProcess(
+                index,
+                store_dir=os.path.join(self.store_root, f"shard-{index:02d}"),
+                workers=workers_per_shard,
+                queue_limit=max(2 * high_water, 8),
+                max_attempts=max_attempts,
+                backend=backend,
+            )
+            for index in range(shards)
+        ]
+        for proc in self.procs:
+            proc.on_reply = self._reply_hook
+        self._lock = threading.Lock()
+        self._inflight = [0] * shards
+        self._ewma_service_s = _EWMA_SEED_S
+        self._session_shard: Dict[str, int] = {}
+        self._session_seq: Dict[str, int] = {}
+        #: Router-side counters, surfaced in the campaign report.
+        self.rejected = 0
+        self.kills = 0
+        self.restored_sessions = 0
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> "ShardedCluster":
+        for proc in self.procs:
+            proc.spawn(restore=False)
+        return self
+
+    def stop(self) -> None:
+        for proc in self.procs:
+            proc.stop()
+
+    def __enter__(self) -> "ShardedCluster":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- routing
+
+    def shard_of(self, session_id: str) -> int:
+        return self.ring.shard_for(session_id)
+
+    def open(
+        self, session_id: str, config_text: str = "", timeout_s: float = 30.0
+    ) -> Dict[str, Any]:
+        """Open a session on its ring-assigned shard (synchronous)."""
+        shard = self.shard_of(session_id)
+        call = self.procs[shard].send(
+            {
+                "op": "open",
+                "session": session_id,
+                "config": config_text,
+                "idempotent": True,
+            }
+        )
+        payload = call.wait(timeout_s)
+        if payload is None or not payload.get("ok"):
+            raise ClusterError(
+                f"open {session_id!r} on shard {shard} failed: {payload!r}"
+            )
+        with self._lock:
+            self._session_shard[session_id] = shard
+            self._session_seq.setdefault(session_id, 0)
+        return payload
+
+    def close_session(
+        self, session_id: str, timeout_s: float = 30.0
+    ) -> Dict[str, Any]:
+        shard = self.shard_of(session_id)
+        call = self.procs[shard].send(
+            {"op": "close", "session": session_id}
+        )
+        payload = call.wait(timeout_s) or {}
+        with self._lock:
+            self._session_shard.pop(session_id, None)
+            self._session_seq.pop(session_id, None)
+        return payload
+
+    def _retry_after(self, depth: int) -> float:
+        workers = sum(proc.workers for proc in self.procs)
+        return max(0.001, depth * self._ewma_service_s / max(1, workers))
+
+    def submit(
+        self, session_id: str, intent: str, target: str
+    ) -> PendingCall:
+        """Route one request, or raise :class:`AdmissionError`.
+
+        The router stamps the request with (a) the session's next
+        sequence number, which the shard uses for idempotent replay
+        after a restart, and (b) a minted trace id that crosses the
+        process hop into the shard's journal and wide events.
+        """
+        with self._lock:
+            shard = self._session_shard.get(session_id)
+            if shard is None:
+                raise KeyError(f"unknown session {session_id!r}")
+            total = sum(self._inflight)
+            if (
+                self._inflight[shard] >= self.high_water
+                or total >= self.global_high_water
+            ):
+                self.rejected += 1
+                raise AdmissionError(
+                    self._inflight[shard],
+                    self.high_water,
+                    self._retry_after(total),
+                )
+            self._inflight[shard] += 1
+            seq = self._session_seq[session_id]
+            self._session_seq[session_id] = seq + 1
+        trace = telemetry.mint_trace(session_id=session_id)
+        try:
+            return self.procs[shard].send(
+                {
+                    "op": "request",
+                    "session": session_id,
+                    "intent": intent,
+                    "target": target,
+                    "deadline_s": self.deadline_s,
+                    "seq": seq,
+                    "request_id": trace.request_id,
+                    "trace_id": trace.trace_id,
+                }
+            )
+        except ClusterError:
+            with self._lock:
+                self._inflight[shard] -= 1
+            raise
+
+    def _reply_hook(self, shard: int, payload: Dict[str, Any]) -> None:
+        if payload.get("op") != "request":
+            return
+        latency = float(payload.get("latency_s", 0.0) or 0.0)
+        with self._lock:
+            self._inflight[shard] -= 1
+            self._ewma_service_s = (
+                0.9 * self._ewma_service_s + 0.1 * latency
+            )
+
+    # ---------------------------------------------------------------- chaos
+
+    def kill_shard(self, index: int) -> None:
+        """SIGKILL one shard; its in-flight requests stay pending."""
+        self.kills += 1
+        self.procs[index].kill()
+
+    def restart_shard(self, index: int, timeout_s: float = 60.0) -> int:
+        """Respawn a killed shard; returns how many sessions it restored.
+
+        The new process replays every journal under the shard's store
+        directory before serving; the router then re-sends unanswered
+        commands in original order (see :meth:`ShardProcess.restart`)
+        and verifies via ``stats`` that restoration happened.
+        """
+        proc = self.procs[index]
+        proc.restart()
+        stats = proc.send({"op": "stats"}).wait(timeout_s)
+        if stats is None or not stats.get("ok"):
+            raise ClusterError(
+                f"shard {index} did not answer stats after restart"
+            )
+        restored = int(stats.get("restored", 0))
+        self.restored_sessions += restored
+        return restored
+
+    def stats(self, timeout_s: float = 30.0) -> List[Dict[str, Any]]:
+        """One stats payload per shard, in shard order."""
+        calls = [proc.send({"op": "stats"}) for proc in self.procs]
+        return [call.wait(timeout_s) or {} for call in calls]
+
+
+# ------------------------------------------------------------- campaigns
+
+
+@dataclasses.dataclass
+class ShardCampaignReport:
+    """What one sharded campaign did, with the identity fingerprint."""
+
+    sessions: int
+    requests: int
+    shards: int
+    workers_per_shard: int
+    seed: int
+    wall_s: float
+    throughput_rps: float
+    outcomes: Dict[str, int]
+    fingerprint: str
+    rejected_submissions: int
+    unresolved: int
+    kills: int
+    restarts: int
+    restored_sessions: int
+    #: Sessions per shard index, from the ring placement.
+    placement: Dict[str, int]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+_OUTCOME_KEY_FIELDS = (
+    "session",
+    "seq",
+    "outcome",
+    "position",
+    "llm_calls",
+    "questions",
+    "attempts",
+    "overlaps",
+    "gate_warnings",
+    "config_sha256",
+)
+
+
+def _wire_outcome_key(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """A reply payload reduced to the schedule-independent surface.
+
+    Mirrors :meth:`~repro.serve.service.ServeResponse.outcome_key`
+    field for field, so sharded fingerprints compare byte-for-byte
+    against serial/pooled ones.
+    """
+    key = {field: payload.get(field) for field in _OUTCOME_KEY_FIELDS}
+    key["llm_calls"] = int(key["llm_calls"] or 0)
+    key["questions"] = int(key["questions"] or 0)
+    key["attempts"] = int(key["attempts"] or 0)
+    key["overlaps"] = list(key["overlaps"] or [])
+    key["gate_warnings"] = list(key["gate_warnings"] or [])
+    key["config_sha256"] = str(key["config_sha256"] or "")
+    return key
+
+
+def run_sharded_loadgen(
+    sessions: int = 16,
+    requests_per_session: int = 2,
+    shards: int = 2,
+    workers_per_shard: int = 4,
+    seed: int = 2025,
+    store_root: Optional[str] = None,
+    high_water: int = 32,
+    global_high_water: Optional[int] = None,
+    max_attempts: int = 3,
+    backend: str = "simulated",
+    kill_and_restart: bool = False,
+    wait_timeout_s: float = 120.0,
+) -> ShardCampaignReport:
+    """Run the seeded loadgen campaign against a sharded cluster.
+
+    The workload is the exact one :func:`~repro.serve.loadgen.run_loadgen`
+    drives in-process (same ``(sessions, rps, seed)`` pure function), so
+    the resulting fingerprint is directly comparable.  Admission
+    rejections are retried after the advertised backoff, shaping *when*
+    work runs but never *whether*.
+
+    With ``kill_and_restart`` the chaos choreography is: submit every
+    round but the last, SIGKILL the shard owning the first session once
+    at least half of those requests resolved (some may still be in
+    flight — their re-sends exercise the idempotent replay path),
+    restart it with ``--restore``, then submit the final round against
+    the restored sessions.  Divergence anywhere shows up in the
+    fingerprint.
+    """
+    workload = generate_workload(sessions, requests_per_session, seed)
+    cluster = ShardedCluster(
+        shards=shards,
+        workers_per_shard=workers_per_shard,
+        store_root=store_root,
+        high_water=high_water,
+        global_high_water=global_high_water,
+        max_attempts=max_attempts,
+        backend=backend,
+    )
+    placement = cluster.ring.assignments(
+        [spec.session_id for spec in workload]
+    )
+    rejected = 0
+    pendings: List[PendingCall] = []
+    t_start = time.perf_counter()
+    with cluster:
+        for spec in workload:
+            cluster.open(spec.session_id, spec.config_text)
+
+        def submit_round(round_idx: int) -> None:
+            nonlocal rejected
+            for spec in workload:
+                while True:
+                    try:
+                        pendings.append(
+                            cluster.submit(
+                                spec.session_id,
+                                spec.intents[round_idx],
+                                spec.target,
+                            )
+                        )
+                        break
+                    except AdmissionError as exc:
+                        rejected += 1
+                        time.sleep(min(exc.retry_after_s, 0.05))
+
+        chaos_rounds = (
+            max(1, requests_per_session - 1)
+            if kill_and_restart
+            else requests_per_session
+        )
+        for round_idx in range(chaos_rounds):
+            submit_round(round_idx)
+        if kill_and_restart:
+            target_shard = cluster.shard_of(workload[0].session_id)
+            half = len(pendings) // 2
+            poll_deadline = time.monotonic() + wait_timeout_s
+            while (
+                sum(1 for p in pendings if p.done) < half
+                and time.monotonic() < poll_deadline
+            ):
+                time.sleep(0.002)
+            cluster.kill_shard(target_shard)
+            cluster.restart_shard(target_shard)
+            for round_idx in range(chaos_rounds, requests_per_session):
+                submit_round(round_idx)
+        payloads = [p.wait(wait_timeout_s) for p in pendings]
+    wall = time.perf_counter() - t_start
+
+    resolved = [p for p in payloads if p is not None]
+    outcomes: Dict[str, int] = {}
+    for payload in resolved:
+        outcome = str(payload.get("outcome", "unknown"))
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    return ShardCampaignReport(
+        sessions=sessions,
+        requests=len(pendings),
+        shards=shards,
+        workers_per_shard=workers_per_shard,
+        seed=seed,
+        wall_s=wall,
+        throughput_rps=len(resolved) / wall if wall > 0 else 0.0,
+        outcomes=dict(sorted(outcomes.items())),
+        fingerprint=_fingerprint([_wire_outcome_key(p) for p in resolved]),
+        rejected_submissions=rejected,
+        unresolved=len(pendings) - len(resolved),
+        kills=cluster.kills,
+        restarts=sum(proc.restarts for proc in cluster.procs),
+        restored_sessions=cluster.restored_sessions,
+        placement={
+            f"shard-{index:02d}": sum(
+                1 for s in placement.values() if s == index
+            )
+            for index in range(shards)
+        },
+    )
+
+
+@dataclasses.dataclass
+class ShardIdentity:
+    """The four-legged differential: serial, pooled, sharded, chaos."""
+
+    #: The in-process legs (:class:`~repro.serve.loadgen.LoadgenReport`).
+    serial: Any
+    pooled: Any
+    sharded: ShardCampaignReport
+    chaos: ShardCampaignReport
+
+    @property
+    def identical(self) -> bool:
+        return (
+            self.serial.fingerprint
+            == self.pooled.fingerprint
+            == self.sharded.fingerprint
+            == self.chaos.fingerprint
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "identical": self.identical,
+            "serial_fingerprint": self.serial.fingerprint,
+            "pooled_fingerprint": self.pooled.fingerprint,
+            "sharded": self.sharded.to_dict(),
+            "chaos": self.chaos.to_dict(),
+        }
+
+
+def check_shard_identity(
+    sessions: int,
+    requests_per_session: int,
+    workers: int,
+    seed: int,
+    shards: int = 2,
+    store_root: Optional[str] = None,
+    max_attempts: int = 3,
+    backend: str = "simulated",
+    **kwargs: Any,
+) -> ShardIdentity:
+    """Serial vs pooled vs sharded vs killed-and-restarted — all equal.
+
+    Extends :func:`~repro.serve.loadgen.check_serial_identity` across
+    the process boundary: the same seeded campaign must produce
+    byte-identical outcome fingerprints (1) serially in one thread,
+    (2) pooled across ``workers`` threads, (3) sharded across
+    ``shards`` processes, and (4) sharded with one shard SIGKILLed
+    mid-campaign and restored from its journals.  The chaos leg must
+    additionally have restarted at least one shard and restored at
+    least one session — a kill that recovered nothing would be vacuous.
+    """
+    from repro.serve.loadgen import run_loadgen
+
+    serial = run_loadgen(
+        sessions,
+        requests_per_session,
+        workers=1,
+        seed=seed,
+        max_attempts=max_attempts,
+        backend=backend,
+        **kwargs,
+    )
+    pooled = run_loadgen(
+        sessions,
+        requests_per_session,
+        workers=workers,
+        seed=seed,
+        max_attempts=max_attempts,
+        backend=backend,
+        **kwargs,
+    )
+    sharded = run_sharded_loadgen(
+        sessions,
+        requests_per_session,
+        shards=shards,
+        workers_per_shard=workers,
+        seed=seed,
+        store_root=(
+            os.path.join(store_root, "sharded") if store_root else None
+        ),
+        max_attempts=max_attempts,
+        backend=backend,
+    )
+    chaos = run_sharded_loadgen(
+        sessions,
+        requests_per_session,
+        shards=shards,
+        workers_per_shard=workers,
+        seed=seed,
+        store_root=os.path.join(store_root, "chaos") if store_root else None,
+        max_attempts=max_attempts,
+        backend=backend,
+        kill_and_restart=True,
+    )
+    identity = ShardIdentity(
+        serial=serial,
+        pooled=pooled,
+        sharded=sharded,
+        chaos=chaos,
+    )
+    if not identity.identical:
+        raise AssertionError(
+            "sharded runs diverged from the serial baseline: "
+            f"serial {serial.fingerprint} / pooled {pooled.fingerprint} / "
+            f"sharded {sharded.fingerprint} / chaos {chaos.fingerprint} "
+            f"(chaos outcomes {chaos.outcomes})"
+        )
+    if chaos.restarts < 1 or chaos.restored_sessions < 1:
+        raise AssertionError(
+            "the chaos leg did not exercise recovery: "
+            f"restarts={chaos.restarts} "
+            f"restored_sessions={chaos.restored_sessions}"
+        )
+    return identity
+
+
+__all__ = [
+    "ClusterError",
+    "HashRing",
+    "PendingCall",
+    "ShardCampaignReport",
+    "ShardIdentity",
+    "ShardProcess",
+    "ShardedCluster",
+    "check_shard_identity",
+    "run_sharded_loadgen",
+]

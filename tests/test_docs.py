@@ -264,6 +264,31 @@ def test_serving_doc_covers_netwide_and_concurrency_lint():
         assert needle in text, f"SERVING.md does not mention {needle}"
 
 
+def test_serving_doc_covers_sharding_and_durability():
+    text = (REPO_ROOT / "docs" / "SERVING.md").read_text()
+    for needle in (
+        "SessionStore",
+        "DurableSessionStore",
+        "sessions.manifest.jsonl",
+        "fsync",
+        "complete-cycle prefix",
+        "RestoreError",
+        "recovered",
+        "HashRing",
+        "ShardedCluster",
+        "virtual nodes",
+        "kill-shard",
+        "restart-shard",
+        "--store-dir",
+        "--restore",
+        "--shards",
+        "--check-shard-identity",
+        "BENCH_shard.json",
+        "exactly-once",
+    ):
+        assert needle in text, f"SERVING.md does not mention {needle}"
+
+
 def test_observability_doc_covers_serving_telemetry():
     text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
     for needle in (
